@@ -1,0 +1,42 @@
+//! B1 — §1 storage compression: building the hierarchical relation vs
+//! loading the flat extension into the baseline engine.
+//!
+//! The quantity the paper claims (tuple/byte counts) is printed by the
+//! `tables` binary; this bench measures the *time* to materialize each
+//! representation, which scales the same way: O(exceptions) vs
+//! O(members).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::workloads::{class_workload, explicated_table};
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_storage");
+    for members in [100usize, 1_000, 10_000] {
+        let w = class_workload(members, 10.min(members));
+        group.bench_with_input(
+            BenchmarkId::new("build_hierarchical", members),
+            &members,
+            |b, &members| {
+                b.iter(|| {
+                    let w = class_workload(members, 10.min(members));
+                    std::hint::black_box(w.relation.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("load_flat_baseline", members),
+            &w,
+            |b, w| {
+                b.iter(|| std::hint::black_box(explicated_table(w).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_storage
+}
+criterion_main!(benches);

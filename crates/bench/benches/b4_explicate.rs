@@ -1,0 +1,29 @@
+//! B4 — §3.3.2 explication: output-linear flattening cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hrdm_bench::workloads::explication_workload;
+use hrdm_core::explicate::explicate_all;
+
+fn bench_explicate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_explicate");
+    for depth in [3usize, 4, 5, 6] {
+        let r = explication_workload(4, depth);
+        let extension = explicate_all(&r).len();
+        group.throughput(Throughput::Elements(extension as u64));
+        group.bench_with_input(
+            BenchmarkId::new("explicate_all", extension),
+            &r,
+            |b, r| {
+                b.iter(|| std::hint::black_box(explicate_all(r).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_explicate
+}
+criterion_main!(benches);

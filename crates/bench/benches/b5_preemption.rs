@@ -1,0 +1,48 @@
+//! B5 — Appendix preemption ablation: binding-lookup cost per semantics
+//! over a multiple-inheritance DAG.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::workloads::dag_relation;
+use hrdm_core::prelude::*;
+
+fn bench_preemption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_preemption");
+    let base = dag_relation(4, 8, 3, 12, 7);
+    let atoms: Vec<Item> = base
+        .schema()
+        .domain(0)
+        .instances()
+        .map(|n| Item::new(vec![n]))
+        .collect();
+    for mode in Preemption::ALL {
+        let mut r = base.clone();
+        r.set_preemption(mode);
+        group.bench_with_input(
+            BenchmarkId::new("bind_all_atoms", mode.to_string()),
+            &r,
+            |b, r| {
+                b.iter(|| {
+                    atoms
+                        .iter()
+                        .map(|a| std::hint::black_box(r.bind(a).truth().is_some()) as usize)
+                        .sum::<usize>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("find_conflicts", mode.to_string()),
+            &r,
+            |b, r| {
+                b.iter(|| std::hint::black_box(hrdm_core::conflict::find_conflicts(r).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_preemption
+}
+criterion_main!(benches);

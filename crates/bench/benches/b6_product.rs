@@ -1,0 +1,58 @@
+//! B6 — §2.2 product hierarchies: lazy probes stay cheap while the
+//! materialized product grows geometrically with arity.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_hierarchy::gen::balanced_tree;
+use hrdm_hierarchy::{NodeId, ProductHierarchy};
+
+fn bench_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b6_product");
+    for arity in 1usize..=4 {
+        let domains: Vec<Arc<hrdm_hierarchy::HierarchyGraph>> = (0..arity)
+            .map(|_| Arc::new(balanced_tree(3, 3)))
+            .collect();
+        // A deep atom and a shallow class item to probe between.
+        let atom: Vec<NodeId> = domains
+            .iter()
+            .map(|g| g.instances().next().expect("tree has instances"))
+            .collect();
+        let class: Vec<NodeId> = domains
+            .iter()
+            .map(|g| g.classes().next().expect("tree has classes"))
+            .collect();
+        let p = ProductHierarchy::new(domains);
+        group.bench_with_input(
+            BenchmarkId::new("lazy_reaches", arity),
+            &(),
+            |b, ()| b.iter(|| std::hint::black_box(p.reaches(&class, &atom))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lazy_parents", arity),
+            &(),
+            |b, ()| b.iter(|| std::hint::black_box(p.parents(&atom).len())),
+        );
+    }
+    // Materialization is only feasible at tiny sizes — that asymmetry IS
+    // the experiment.
+    for arity in 1usize..=2 {
+        let domains: Vec<Arc<hrdm_hierarchy::HierarchyGraph>> = (0..arity)
+            .map(|_| Arc::new(balanced_tree(2, 3)))
+            .collect();
+        let p = ProductHierarchy::new(domains);
+        group.bench_with_input(
+            BenchmarkId::new("materialize", arity),
+            &(),
+            |b, ()| b.iter(|| std::hint::black_box(p.materialize().expect("small product").len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_product
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! B7 — §3.1 conflict detection and resolution-set cost as
+//! multiple-inheritance density grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::workloads::dag_relation;
+use hrdm_core::conflict::{find_conflicts, minimal_resolution_set};
+
+fn bench_conflict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b7_conflict");
+    for max_parents in [1usize, 2, 3, 4] {
+        let r = dag_relation(4, 8, max_parents, 12, 11);
+        group.bench_with_input(
+            BenchmarkId::new("find_conflicts", max_parents),
+            &r,
+            |b, r| b.iter(|| std::hint::black_box(find_conflicts(r).len())),
+        );
+    }
+    // Resolution-set computation for the densest case.
+    let r = dag_relation(4, 8, 4, 12, 11);
+    let items: Vec<_> = r.items().cloned().collect();
+    if items.len() >= 2 {
+        group.bench_function("minimal_resolution_set", |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    minimal_resolution_set(r.schema(), &items[0], &items[1]).len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_conflict
+}
+criterion_main!(benches);

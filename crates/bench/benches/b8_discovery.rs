@@ -1,0 +1,25 @@
+//! B8 — §4 mechanical hierarchy discovery: greedy cover cost across
+//! coverage levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::workloads::discovery_workload;
+use hrdm_core::discover::discover;
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b8_discovery");
+    group.sample_size(10);
+    for coverage in [100usize, 90, 50] {
+        let flat = discovery_workload(5, 40, coverage);
+        group.bench_with_input(
+            BenchmarkId::new("greedy_discover", format!("{coverage}pct")),
+            &flat,
+            |b, flat| {
+                b.iter(|| std::hint::black_box(discover(flat).stats.hierarchical_tuples))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

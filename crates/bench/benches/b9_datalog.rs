@@ -1,0 +1,30 @@
+//! B9 — §2.1 Datalog over hierarchical EDB: semi-naive transitive
+//! closure throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hrdm_bench::workloads::datalog_workload;
+
+fn bench_datalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b9_datalog");
+    group.sample_size(10);
+    for n in [10usize, 30, 60] {
+        let (engine, program) = datalog_workload(n);
+        let facts = (n * (n - 1) / 2) as u64;
+        group.throughput(Throughput::Elements(facts));
+        group.bench_with_input(
+            BenchmarkId::new("transitive_closure", n),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        engine.run(&program).expect("stratifiable")["path"].len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datalog);
+criterion_main!(benches);

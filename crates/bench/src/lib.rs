@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Shared workloads and fixtures for the benchmark harness.
+//!
+//! Two kinds of artifacts live in this crate:
+//!
+//! * `src/bin/figures.rs` — regenerates every worked figure of the
+//!   paper (EX1–EX11 in DESIGN.md) and prints paper-style tables;
+//! * `src/bin/tables.rs` + `benches/*` — the performance experiments
+//!   (B1–B9), each reproducing one quantitative claim from the paper's
+//!   prose against the flat baseline engine.
+//!
+//! The builders here construct the paper's running examples (Figs. 1–4)
+//! and the synthetic scaled workloads both binaries and the Criterion
+//! benches share.
+
+pub mod fixtures;
+pub mod workloads;

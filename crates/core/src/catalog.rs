@@ -1,0 +1,151 @@
+//! A named catalog of domains and relations.
+//!
+//! The paper pitches the model as "a standard interface providing
+//! 'higher level' primitive operators … \[that\] could be used as a
+//! back-end for, say, a frame-based knowledge representation system or
+//! a semantic net" (§1). [`Catalog`] is that back-end surface: named
+//! domain hierarchies and named relations, shared via `Arc` so that
+//! relations over the same domain join naturally. The Datalog layer
+//! (`hrdm-datalog`) resolves its EDB predicates against a catalog.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hrdm_hierarchy::HierarchyGraph;
+
+use crate::error::{CoreError, Result};
+use crate::relation::HRelation;
+use crate::schema::Schema;
+
+/// Named domains and relations.
+#[derive(Default)]
+pub struct Catalog {
+    domains: BTreeMap<String, Arc<HierarchyGraph>>,
+    relations: BTreeMap<String, HRelation>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a domain hierarchy under a name; returns the shared
+    /// handle.
+    pub fn add_domain(
+        &mut self,
+        name: impl Into<String>,
+        graph: HierarchyGraph,
+    ) -> Arc<HierarchyGraph> {
+        self.add_domain_arc(name, Arc::new(graph))
+    }
+
+    /// Register an already-shared domain handle (e.g. one restored from
+    /// a persisted image, where relations hold the same `Arc`).
+    pub fn add_domain_arc(
+        &mut self,
+        name: impl Into<String>,
+        graph: Arc<HierarchyGraph>,
+    ) -> Arc<HierarchyGraph> {
+        self.domains.insert(name.into(), graph.clone());
+        graph
+    }
+
+    /// Look up a registered domain.
+    pub fn domain(&self, name: &str) -> Result<&Arc<HierarchyGraph>> {
+        self.domains
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Register a relation under a name (replacing any previous one).
+    pub fn add_relation(&mut self, name: impl Into<String>, relation: HRelation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, name: &str) -> Result<&HRelation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Mutable access to a relation.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut HRelation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| CoreError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Iterate relation names in order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(|s| s.as_str())
+    }
+
+    /// Iterate domain names in order.
+    pub fn domain_names(&self) -> impl Iterator<Item = &str> {
+        self.domains.keys().map(|s| s.as_str())
+    }
+
+    /// Build a schema from registered domain names, attribute names
+    /// doubling as domain names.
+    pub fn schema(&self, attrs: &[(&str, &str)]) -> Result<Arc<Schema>> {
+        let attributes = attrs
+            .iter()
+            .map(|&(attr, dom)| {
+                Ok(crate::schema::Attribute::new(attr, self.domain(dom)?.clone()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Arc::new(Schema::new(attributes)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::Truth;
+
+    fn sample_graph() -> HierarchyGraph {
+        let mut g = HierarchyGraph::new("Animal");
+        let bird = g.add_class("Bird", g.root()).unwrap();
+        g.add_instance("Tweety", bird).unwrap();
+        g
+    }
+
+    #[test]
+    fn domains_are_shared() {
+        let mut cat = Catalog::new();
+        let g = cat.add_domain("Animal", sample_graph());
+        assert!(Arc::ptr_eq(&g, cat.domain("Animal").unwrap()));
+        assert!(cat.domain("Plant").is_err());
+        assert_eq!(cat.domain_names().collect::<Vec<_>>(), vec!["Animal"]);
+    }
+
+    #[test]
+    fn schemas_from_catalog_are_join_compatible() {
+        let mut cat = Catalog::new();
+        cat.add_domain("Animal", sample_graph());
+        let s1 = cat.schema(&[("Animal", "Animal")]).unwrap();
+        let s2 = cat.schema(&[("Animal", "Animal")]).unwrap();
+        assert!(s1.compatible(&s2));
+        assert!(cat.schema(&[("X", "Nope")]).is_err());
+    }
+
+    #[test]
+    fn relations_round_trip() {
+        let mut cat = Catalog::new();
+        cat.add_domain("Animal", sample_graph());
+        let schema = cat.schema(&[("Creature", "Animal")]).unwrap();
+        let mut r = HRelation::new(schema);
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        cat.add_relation("Flies", r);
+        assert_eq!(cat.relation("Flies").unwrap().len(), 1);
+        cat.relation_mut("Flies")
+            .unwrap()
+            .assert_fact(&["Tweety"], Truth::Positive)
+            .unwrap();
+        assert_eq!(cat.relation("Flies").unwrap().len(), 2);
+        assert!(cat.relation("Walks").is_err());
+        assert_eq!(cat.relation_names().collect::<Vec<_>>(), vec!["Flies"]);
+    }
+}

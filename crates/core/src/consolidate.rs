@@ -1,0 +1,329 @@
+//! The `consolidate` operator (§3.3.1): redundant-tuple elimination.
+//!
+//! "Like all relational operators, consolidate takes as its argument a
+//! relation, and produces as its result a relation. It 'draws' the
+//! subsumption graph for the argument relation, determines the redundant
+//! tuples from the graph and then eliminates them …. When a tuple is
+//! deleted from the relation, the corresponding node is eliminated from
+//! the subsumption graph following the node elimination procedure. …
+//! there is a unique minimum relation with no redundant tuples, and …
+//! this minimum can be achieved if the nodes of the subsumption graph
+//! are examined in topologically sorted order."
+//!
+//! Redundancy (§3.3): a tuple is redundant iff it has the same truth
+//! value as **all** its immediate predecessors in the subsumption graph —
+//! with the *universal negated tuple* supplying a negative predecessor to
+//! every parentless node, so a parentless negated tuple is redundant.
+
+use crate::item::Item;
+use crate::relation::HRelation;
+use crate::subsumption::SubsumptionGraph;
+use crate::tuple::Tuple;
+
+/// The result of a consolidation: the minimal relation plus the tuples
+/// that were removed (in removal order).
+pub struct Consolidated {
+    /// The consolidated relation.
+    pub relation: HRelation,
+    /// The redundant tuples that were eliminated, in elimination order.
+    pub removed: Vec<Tuple>,
+}
+
+/// Consolidate `relation`: return the unique minimum equivalent relation
+/// and the eliminated tuples.
+///
+/// Elimination proceeds in topological order of the subsumption graph,
+/// re-running the node-elimination procedure after each removal exactly
+/// as §3.3.1 prescribes, so a tuple whose predecessors *become* redundant
+/// is itself caught later in the sweep (Fig. 6: removing the students/
+/// incoherent-teachers tuple is what makes the conflict-resolution tuple
+/// redundant).
+pub fn consolidate(relation: &HRelation) -> Consolidated {
+    let g = SubsumptionGraph::build(relation);
+    let mut d = g.to_digraph();
+    let mut removed: Vec<Tuple> = Vec::new();
+    for v in g.topo_order() {
+        let truth = g.truth(v);
+        let preds = d.predecessors(v);
+        let redundant = !preds.is_empty() && preds.iter().all(|&p| g.truth(p) == truth);
+        if redundant {
+            removed.push(Tuple::new(g.item(v).clone(), truth));
+            d.eliminate(v);
+        }
+    }
+    let mut relation = relation.clone();
+    for t in &removed {
+        relation.remove(&t.item);
+    }
+    Consolidated { relation, removed }
+}
+
+/// In-place convenience wrapper around [`consolidate`]; returns the
+/// removed tuples.
+pub fn consolidate_in_place(relation: &mut HRelation) -> Vec<Tuple> {
+    let c = consolidate(relation);
+    *relation = c.relation;
+    c.removed
+}
+
+/// The tuples [`consolidate`] would remove, without building the result.
+pub fn redundant_tuples(relation: &HRelation) -> Vec<Tuple> {
+    consolidate(relation).removed
+}
+
+/// The items of `relation` that are redundant *right now* — a single
+/// pass that, unlike [`consolidate`], does not cascade removals through
+/// the subsumption graph. Exposed for the B3 ablation of the paper's
+/// claim that topological-order (cascading) elimination reaches the
+/// unique minimum.
+pub fn immediately_redundant(relation: &HRelation) -> Vec<Item> {
+    let g = SubsumptionGraph::build(relation);
+    g.topo_order()
+        .into_iter()
+        .filter(|&v| {
+            let preds = g.parents(v);
+            !preds.is_empty() && preds.iter().all(|&p| g.truth(p) == g.truth(v))
+        })
+        .map(|v| g.item(v).clone())
+        .collect()
+}
+
+/// Ablation of the paper's order claim: the same cascading sweep but in
+/// *reverse* topological order (specific before general).
+///
+/// "Since the elimination of redundant tuples alters the subsumption
+/// graph, the result of the consolidation will be sensitive to the
+/// order in which the redundant tuples are deleted" — this variant
+/// still yields an equivalent relation, but can miss the unique minimum
+/// (Fig. 6: the conflict-resolution tuple is examined while its negated
+/// ancestor still shields it, so both survive).
+pub fn consolidate_reverse_order(relation: &HRelation) -> Consolidated {
+    let g = SubsumptionGraph::build(relation);
+    let mut d = g.to_digraph();
+    let mut removed: Vec<Tuple> = Vec::new();
+    let mut order = g.topo_order();
+    order.reverse();
+    for v in order {
+        let truth = g.truth(v);
+        let preds = d.predecessors(v);
+        let redundant = !preds.is_empty() && preds.iter().all(|&p| g.truth(p) == truth);
+        if redundant {
+            removed.push(Tuple::new(g.item(v).clone(), truth));
+            d.eliminate(v);
+        }
+    }
+    let mut relation = relation.clone();
+    for t in &removed {
+        relation.remove(&t.item);
+    }
+    Consolidated { relation, removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::truth::Truth;
+    use hrdm_hierarchy::HierarchyGraph;
+    use std::sync::Arc;
+
+    /// Figs. 2–3: the Respects relation over Student × Teacher.
+    fn respects() -> HRelation {
+        let mut s = HierarchyGraph::new("Student");
+        let ob = s.add_class("Obsequious Student", s.root()).unwrap();
+        s.add_instance("John", ob).unwrap();
+        let mut t = HierarchyGraph::new("Teacher");
+        t.add_class("Incoherent Teacher", t.root()).unwrap();
+        let schema = Arc::new(Schema::new(vec![
+            Attribute::new("Student", Arc::new(s)),
+            Attribute::new("Teacher", Arc::new(t)),
+        ]));
+        let mut r = HRelation::new(schema);
+        r.assert_fact(&["Obsequious Student", "Teacher"], Truth::Positive)
+            .unwrap();
+        r.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
+            .unwrap();
+        r.assert_fact(&["Obsequious Student", "Incoherent Teacher"], Truth::Positive)
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn fig6_consolidation_of_respects() {
+        // Fig. 6: the students/incoherent-teacher negation is redundant
+        // (only predecessor is the universal negated tuple); its removal
+        // makes the conflict-resolving tuple redundant too. The minimum
+        // is the single tuple +(∀Obsequious Student, ∀Teacher).
+        let r = respects();
+        let c = consolidate(&r);
+        assert_eq!(c.relation.len(), 1);
+        let survivor = c.relation.items().next().unwrap().clone();
+        assert_eq!(
+            survivor,
+            r.item(&["Obsequious Student", "Teacher"]).unwrap()
+        );
+        assert_eq!(c.removed.len(), 2);
+        // Removal order: the negation first (topological order).
+        assert_eq!(
+            c.removed[0].item,
+            r.item(&["Student", "Incoherent Teacher"]).unwrap()
+        );
+        assert_eq!(c.removed[0].truth, Truth::Negative);
+        assert_eq!(
+            c.removed[1].item,
+            r.item(&["Obsequious Student", "Incoherent Teacher"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn fig6_extension_preserved() {
+        // "has exactly the same extension as the relation in Fig. 3".
+        let r = respects();
+        let c = consolidate(&r);
+        let john_inco = r.item(&["John", "Incoherent Teacher"]).unwrap();
+        let john_any = r.item(&["John", "Teacher"]).unwrap();
+        for item in [john_inco, john_any] {
+            assert_eq!(
+                r.bind(&item).truth(),
+                c.relation.bind(&item).truth(),
+                "binding changed for {item:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parentless_negated_tuple_is_redundant() {
+        // A negated tuple with no positive predecessor asserts what the
+        // closed world already implies.
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        g.add_instance("x", a).unwrap();
+        let schema = Arc::new(Schema::single("D", Arc::new(g)));
+        let mut r = HRelation::new(schema);
+        r.assert_fact(&["A"], Truth::Negative).unwrap();
+        let c = consolidate(&r);
+        assert!(c.relation.is_empty());
+        assert_eq!(c.removed.len(), 1);
+    }
+
+    #[test]
+    fn parentless_positive_tuple_is_not_redundant() {
+        let mut g = HierarchyGraph::new("D");
+        g.add_class("A", g.root()).unwrap();
+        let schema = Arc::new(Schema::single("D", Arc::new(g)));
+        let mut r = HRelation::new(schema);
+        r.assert_fact(&["A"], Truth::Positive).unwrap();
+        let c = consolidate(&r);
+        assert_eq!(c.relation.len(), 1);
+        assert!(c.removed.is_empty());
+    }
+
+    #[test]
+    fn exception_structure_is_preserved() {
+        // +Bird, -Penguin, +AFP: nothing is redundant (alternating
+        // truth values down the chain).
+        let mut g = HierarchyGraph::new("Animal");
+        let bird = g.add_class("Bird", g.root()).unwrap();
+        let penguin = g.add_class("Penguin", bird).unwrap();
+        g.add_class("Amazing Flying Penguin", penguin).unwrap();
+        let schema = Arc::new(Schema::single("Animal", Arc::new(g)));
+        let mut r = HRelation::new(schema);
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        r.assert_fact(&["Penguin"], Truth::Negative).unwrap();
+        r.assert_fact(&["Amazing Flying Penguin"], Truth::Positive)
+            .unwrap();
+        let c = consolidate(&r);
+        assert_eq!(c.relation.len(), 3);
+        assert!(c.removed.is_empty());
+    }
+
+    #[test]
+    fn same_truth_chain_collapses_to_top() {
+        // +Bird, +Penguin, +AFP: only the most general survives.
+        let mut g = HierarchyGraph::new("Animal");
+        let bird = g.add_class("Bird", g.root()).unwrap();
+        let penguin = g.add_class("Penguin", bird).unwrap();
+        g.add_class("Amazing Flying Penguin", penguin).unwrap();
+        let schema = Arc::new(Schema::single("Animal", Arc::new(g)));
+        let mut r = HRelation::new(schema);
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        r.assert_fact(&["Penguin"], Truth::Positive).unwrap();
+        r.assert_fact(&["Amazing Flying Penguin"], Truth::Positive)
+            .unwrap();
+        let c = consolidate(&r);
+        assert_eq!(c.relation.len(), 1);
+        assert!(c
+            .relation
+            .contains(&r.item(&["Bird"]).unwrap()));
+    }
+
+    #[test]
+    fn consolidate_is_idempotent() {
+        let r = respects();
+        let once = consolidate(&r).relation;
+        let twice = consolidate(&once);
+        assert!(twice.removed.is_empty());
+        assert_eq!(twice.relation.len(), once.len());
+    }
+
+    #[test]
+    fn in_place_variant_matches() {
+        let mut r = respects();
+        let removed = consolidate_in_place(&mut r);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(redundant_tuples(&r).len(), 0);
+    }
+
+    #[test]
+    fn immediately_redundant_misses_cascade() {
+        // First-pass redundancy finds only the negation; the cascade
+        // (conflict-resolver) needs the topological sweep.
+        let r = respects();
+        let now = immediately_redundant(&r);
+        assert_eq!(now.len(), 1);
+        assert_eq!(now[0], r.item(&["Student", "Incoherent Teacher"]).unwrap());
+    }
+
+    #[test]
+    fn reverse_order_misses_the_minimum_but_stays_equivalent() {
+        // The order-sensitivity the paper warns about: processing the
+        // Fig. 6 relation most-specific-first examines the resolver
+        // tuple while the (not yet removed) negation still shields it.
+        let r = respects();
+        let forward = consolidate(&r);
+        let reverse = consolidate_reverse_order(&r);
+        assert_eq!(forward.relation.len(), 1, "topological order: unique minimum");
+        assert!(
+            reverse.relation.len() > forward.relation.len(),
+            "reverse order keeps {} tuples",
+            reverse.relation.len()
+        );
+        // Both orders preserve the model.
+        assert!(crate::flat::equivalent(&r, &reverse.relation));
+        assert!(crate::flat::equivalent(&r, &forward.relation));
+    }
+
+    #[test]
+    fn fig5_union_subsumption_is_not_eliminated() {
+        // §3.2 / Fig. 5: C ⊆ A ∪ B with assertions on A and B does NOT
+        // make the C tuple redundant (no union concept in the model).
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        let b = g.add_class("B", g.root()).unwrap();
+        // C splits across A and B: c1 under A and B... model C as a class
+        // whose members each fall under A or B but C itself is under
+        // neither.
+        let c = g.add_class("C", g.root()).unwrap();
+        g.add_instance_multi("c1", &[a, c]).unwrap();
+        g.add_instance_multi("c2", &[b, c]).unwrap();
+        let schema = Arc::new(Schema::single("D", Arc::new(g)));
+        let mut r = HRelation::new(schema);
+        r.assert_fact(&["A"], Truth::Positive).unwrap();
+        r.assert_fact(&["B"], Truth::Positive).unwrap();
+        r.assert_fact(&["C"], Truth::Positive).unwrap();
+        let cons = consolidate(&r);
+        assert_eq!(cons.relation.len(), 3, "C is kept although A ∪ B covers it");
+        let _ = c;
+    }
+}

@@ -1,0 +1,289 @@
+//! Classical integrity constraints over hierarchical relations (§3.1).
+//!
+//! "A relational database may include integrity constraints in the form
+//! of restrictions on attribute values as a function of other attribute
+//! values, restrictions on the number of tuples that satisfy some
+//! selection criterion, and so forth…. In general, they should continue
+//! to work on hierarchical relations as well."
+//!
+//! Constraints are declared against the relation's **flat model** — the
+//! only semantics the paper gives them — and evaluated through the
+//! binding machinery, so a single class tuple can violate a cardinality
+//! bound by implying a large extension, and an exception can *restore*
+//! a functional dependency the generalization alone would break (the
+//! paper's Fig. 4 explicit-cancellation discussion: a front end encodes
+//! "colour is unique per animal" exactly this way).
+
+use hrdm_hierarchy::NodeId;
+
+use crate::error::{CoreError, Result};
+use crate::flat::flatten;
+use crate::item::Item;
+use crate::relation::HRelation;
+
+/// A declarative constraint over a relation's flat model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// A functional dependency: atoms agreeing on the `determinant`
+    /// attributes must agree on the `dependent` attributes.
+    ///
+    /// `FD {determinants: [0], dependents: [1]}` over (Animal, Color)
+    /// says every animal has at most one colour.
+    FunctionalDependency {
+        /// Attribute positions forming the key.
+        determinants: Vec<usize>,
+        /// Attribute positions functionally determined by the key.
+        dependents: Vec<usize>,
+    },
+    /// The extension restricted to `region` may contain at most `limit`
+    /// atoms ("restrictions on the number of tuples that satisfy some
+    /// selection criterion").
+    MaxExtension {
+        /// The region (componentwise class restriction).
+        region: Item,
+        /// Inclusive atom-count bound.
+        limit: u128,
+    },
+    /// The extension restricted to `region` must contain at least
+    /// `minimum` atoms (participation / totality).
+    MinExtension {
+        /// The region.
+        region: Item,
+        /// Inclusive lower bound.
+        minimum: u128,
+    },
+}
+
+/// A constraint violation, with enough context to report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated constraint.
+    pub constraint: Constraint,
+    /// Human-readable detail (offending key, counts, …).
+    pub detail: String,
+}
+
+/// Check one constraint; `Ok(())` or the violation.
+pub fn check_constraint(
+    relation: &HRelation,
+    constraint: &Constraint,
+) -> Result<(), Violation> {
+    match constraint {
+        Constraint::FunctionalDependency {
+            determinants,
+            dependents,
+        } => {
+            let arity = relation.schema().arity();
+            for &a in determinants.iter().chain(dependents) {
+                if a >= arity {
+                    return Err(Violation {
+                        constraint: constraint.clone(),
+                        detail: format!("attribute index {a} out of range"),
+                    });
+                }
+            }
+            let mut seen: std::collections::BTreeMap<Vec<NodeId>, Vec<NodeId>> =
+                std::collections::BTreeMap::new();
+            for atom in flatten(relation).iter() {
+                let key: Vec<NodeId> = determinants.iter().map(|&i| atom.component(i)).collect();
+                let val: Vec<NodeId> = dependents.iter().map(|&i| atom.component(i)).collect();
+                if let Some(prev) = seen.get(&key) {
+                    if prev != &val {
+                        let schema = relation.schema();
+                        let key_names: Vec<String> = determinants
+                            .iter()
+                            .zip(&key)
+                            .map(|(&i, &n)| schema.domain(i).name(n).to_string())
+                            .collect();
+                        return Err(Violation {
+                            constraint: constraint.clone(),
+                            detail: format!(
+                                "key ({}) maps to two distinct dependent values",
+                                key_names.join(", ")
+                            ),
+                        });
+                    }
+                } else {
+                    seen.insert(key, val);
+                }
+            }
+            Ok(())
+        }
+        Constraint::MaxExtension { region, limit } => {
+            let count = region_count(relation, region);
+            if count > *limit {
+                Err(Violation {
+                    constraint: constraint.clone(),
+                    detail: format!("extension has {count} atoms, limit is {limit}"),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        Constraint::MinExtension { region, minimum } => {
+            let count = region_count(relation, region);
+            if count < *minimum {
+                Err(Violation {
+                    constraint: constraint.clone(),
+                    detail: format!("extension has {count} atoms, minimum is {minimum}"),
+                })
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+fn region_count(relation: &HRelation, region: &Item) -> u128 {
+    let product = relation.schema().product();
+    flatten(relation)
+        .iter()
+        .filter(|a| product.subsumes(region.components(), a.components()))
+        .count() as u128
+}
+
+/// Check a whole constraint set; returns every violation.
+pub fn check_constraints(relation: &HRelation, constraints: &[Constraint]) -> Vec<Violation> {
+    constraints
+        .iter()
+        .filter_map(|c| check_constraint(relation, c).err())
+        .collect()
+}
+
+/// Check constraints and convert violations into a [`CoreError`] for
+/// transaction plumbing.
+pub fn enforce(relation: &HRelation, constraints: &[Constraint]) -> Result<()> {
+    let violations = check_constraints(relation, constraints);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(CoreError::ConstraintViolations(
+            violations.into_iter().map(|v| v.detail).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::truth::Truth;
+    use hrdm_hierarchy::HierarchyGraph;
+    use std::sync::Arc;
+
+    /// Fig. 4 world: animals and colours.
+    fn world() -> HRelation {
+        let mut a = HierarchyGraph::new("Animal");
+        let elephant = a.add_class("Elephant", a.root()).unwrap();
+        let royal = a.add_class("Royal Elephant", elephant).unwrap();
+        a.add_instance("Clyde", royal).unwrap();
+        a.add_instance("Dumbo", elephant).unwrap();
+        let mut c = HierarchyGraph::new("Color");
+        c.add_instance("Grey", c.root()).unwrap();
+        c.add_instance("White", c.root()).unwrap();
+        let schema = Arc::new(Schema::new(vec![
+            Attribute::new("Animal", Arc::new(a)),
+            Attribute::new("Color", Arc::new(c)),
+        ]));
+        HRelation::new(schema)
+    }
+
+    fn unique_color() -> Constraint {
+        Constraint::FunctionalDependency {
+            determinants: vec![0],
+            dependents: vec![1],
+        }
+    }
+
+    #[test]
+    fn fd_satisfied_through_explicit_cancellation() {
+        // The paper's Fig. 4 pattern: elephants grey, royals white —
+        // with the cancellation, every animal has exactly one colour.
+        let mut r = world();
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        r.assert_fact(&["Royal Elephant", "Grey"], Truth::Negative)
+            .unwrap();
+        r.assert_fact(&["Royal Elephant", "White"], Truth::Positive)
+            .unwrap();
+        assert!(check_constraint(&r, &unique_color()).is_ok());
+    }
+
+    #[test]
+    fn fd_violated_without_cancellation() {
+        // "Having said elephants are grey, it is not enough to say that
+        // royal elephants are white: we would then be implying that
+        // royal elephants were somehow both grey and white."
+        let mut r = world();
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        r.assert_fact(&["Royal Elephant", "White"], Truth::Positive)
+            .unwrap();
+        let v = check_constraint(&r, &unique_color()).unwrap_err();
+        assert!(v.detail.contains("Clyde"), "{}", v.detail);
+    }
+
+    #[test]
+    fn max_extension_counts_class_implications() {
+        let mut r = world();
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        // One class tuple implies 2 atoms (Clyde, Dumbo) × Grey.
+        let region = r.schema().universal_item();
+        assert!(check_constraint(
+            &r,
+            &Constraint::MaxExtension { region: region.clone(), limit: 2 }
+        )
+        .is_ok());
+        let v = check_constraint(
+            &r,
+            &Constraint::MaxExtension { region, limit: 1 },
+        )
+        .unwrap_err();
+        assert!(v.detail.contains("2 atoms"));
+    }
+
+    #[test]
+    fn min_extension_over_region() {
+        let mut r = world();
+        r.assert_fact(&["Royal Elephant", "White"], Truth::Positive)
+            .unwrap();
+        let royal_region = r.item(&["Royal Elephant", "Color"]).unwrap();
+        assert!(check_constraint(
+            &r,
+            &Constraint::MinExtension { region: royal_region, minimum: 1 }
+        )
+        .is_ok());
+        let dumbo_region = r.item(&["Dumbo", "Color"]).unwrap();
+        assert!(check_constraint(
+            &r,
+            &Constraint::MinExtension { region: dumbo_region, minimum: 1 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn enforce_collects_all_violations() {
+        let mut r = world();
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        r.assert_fact(&["Elephant", "White"], Truth::Positive).unwrap();
+        let constraints = vec![
+            unique_color(),
+            Constraint::MaxExtension {
+                region: r.schema().universal_item(),
+                limit: 1,
+            },
+        ];
+        let violations = check_constraints(&r, &constraints);
+        assert_eq!(violations.len(), 2);
+        let err = enforce(&r, &constraints).unwrap_err();
+        assert!(matches!(err, CoreError::ConstraintViolations(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn out_of_range_fd_reports_violation_not_panic() {
+        let r = world();
+        let bad = Constraint::FunctionalDependency {
+            determinants: vec![7],
+            dependents: vec![1],
+        };
+        assert!(check_constraint(&r, &bad).is_err());
+    }
+}

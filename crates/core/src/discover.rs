@@ -1,0 +1,299 @@
+//! Mechanical hierarchy discovery (§4 extension).
+//!
+//! "We can relax the assumption … that the class hierarchy is specified
+//! by the user based upon some semantic notions. Instead, the database
+//! system could mechanically organize traditional relation(s) given
+//! into hierarchical relations with 'classes' being defined in such a
+//! way that storage is minimized."
+//!
+//! Exact minimization is intractable — §3.2 already notes that the
+//! special case is the NP-complete minimum-cover problem — so this is a
+//! greedy gain heuristic: repeatedly pick the class item whose positive
+//! assertion saves the most tuples (newly covered target atoms, minus
+//! the negative exception tuples it forces, minus the tuple itself),
+//! then close the remainder with atomic tuples and the accumulated
+//! exceptions. The result is guaranteed equivalent to the input flat
+//! relation (property-tested); only its *size* is heuristic.
+
+use std::collections::BTreeSet;
+
+use crate::flat::{flatten, FlatRelation};
+use crate::item::Item;
+use crate::ops::cartesian_items;
+use crate::relation::HRelation;
+use crate::tuple::Tuple;
+
+/// Bound on the candidate class-item enumeration. When the product of
+/// domain sizes exceeds this, candidates generalize one attribute at a
+/// time instead of all combinations.
+const FULL_ENUMERATION_LIMIT: u128 = 200_000;
+
+/// Statistics of one discovery run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryStats {
+    /// Atoms in the input flat relation.
+    pub flat_tuples: usize,
+    /// Tuples in the discovered hierarchical relation.
+    pub hierarchical_tuples: usize,
+    /// Positive class tuples chosen by the greedy cover.
+    pub classes_used: usize,
+    /// Negative exception tuples the classes forced.
+    pub exceptions: usize,
+}
+
+/// Result of [`discover`].
+pub struct Discovery {
+    /// The equivalent hierarchical relation.
+    pub relation: HRelation,
+    /// Size accounting.
+    pub stats: DiscoveryStats,
+}
+
+/// Mechanically organize a flat relation into an equivalent hierarchical
+/// relation using the schema's class hierarchies.
+pub fn discover(flat: &FlatRelation) -> Discovery {
+    let schema = flat.schema();
+    let product = schema.product();
+    let target: &BTreeSet<Item> = flat.atoms();
+
+    // Candidate class items.
+    let axes_full: Vec<Vec<hrdm_hierarchy::NodeId>> = (0..schema.arity())
+        .map(|i| schema.domain(i).node_ids().collect())
+        .collect();
+    let total: u128 = axes_full
+        .iter()
+        .map(|a| a.len() as u128)
+        .fold(1, |p, n| p.saturating_mul(n));
+    let candidates: Vec<Item> = if total <= FULL_ENUMERATION_LIMIT {
+        cartesian_items(&axes_full)
+    } else {
+        // One generalized attribute at a time, seeded from target atoms.
+        let mut out = BTreeSet::new();
+        for atom in target {
+            for i in 0..schema.arity() {
+                for anc in schema.domain(i).ancestors(atom.component(i)) {
+                    out.insert(atom.with_component(i, anc));
+                }
+            }
+        }
+        out.into_iter().collect()
+    };
+
+    // Pre-filter: keep candidates that are composite (some class
+    // component) and whose extension is non-trivial.
+    struct Cand {
+        item: Item,
+        ext: BTreeSet<Item>,
+    }
+    let candidates: Vec<Cand> = candidates
+        .into_iter()
+        .filter(|c| !product.is_atomic(c.components()))
+        .map(|item| {
+            let ext: BTreeSet<Item> = product
+                .extension(item.components())
+                .map(Item::new)
+                .collect();
+            Cand { item, ext }
+        })
+        .filter(|c| c.ext.len() > 1)
+        .collect();
+
+    let mut remaining: BTreeSet<Item> = target.clone();
+    let mut chosen: Vec<Item> = Vec::new();
+    let mut exceptions: BTreeSet<Item> = BTreeSet::new();
+
+    loop {
+        let mut best: Option<(i64, usize)> = None;
+        for (idx, c) in candidates.iter().enumerate() {
+            let newly = c.ext.intersection(&remaining).count() as i64;
+            if newly == 0 {
+                continue;
+            }
+            let outside = c.ext.iter().filter(|a| !target.contains(*a)).count() as i64;
+            let gain = newly - outside - 1;
+            if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
+                best = Some((gain, idx));
+            }
+        }
+        let Some((_, idx)) = best else { break };
+        let c = &candidates[idx];
+        chosen.push(c.item.clone());
+        for a in &c.ext {
+            if target.contains(a) {
+                remaining.remove(a);
+            } else {
+                exceptions.insert(a.clone());
+            }
+        }
+    }
+
+    let mut relation = HRelation::new(schema.clone());
+    for item in &chosen {
+        relation
+            .insert(Tuple::positive(item.clone()))
+            .expect("candidate items come from the schema");
+    }
+    for atom in &remaining {
+        relation
+            .insert(Tuple::positive(atom.clone()))
+            .expect("target atoms come from the schema");
+    }
+    // Exceptions: only where the positive cover actually over-asserts.
+    let mut exception_count = 0usize;
+    for e in &exceptions {
+        if relation.holds(e) {
+            relation
+                .insert(Tuple::negative(e.clone()))
+                .expect("exception atoms come from the schema");
+            exception_count += 1;
+        }
+    }
+
+    let stats = DiscoveryStats {
+        flat_tuples: target.len(),
+        hierarchical_tuples: relation.len(),
+        classes_used: chosen.len(),
+        exceptions: exception_count,
+    };
+    Discovery { relation, stats }
+}
+
+/// Round-trip convenience: re-discover the minimal-ish hierarchical form
+/// of an existing relation.
+pub fn rediscover(relation: &HRelation) -> Discovery {
+    discover(&flatten(relation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::truth::Truth;
+    use hrdm_hierarchy::HierarchyGraph;
+    use std::sync::Arc;
+
+    fn schema_with_classes() -> Arc<Schema> {
+        let mut g = HierarchyGraph::new("Animal");
+        let bird = g.add_class("Bird", g.root()).unwrap();
+        for n in ["b1", "b2", "b3", "b4", "b5"] {
+            g.add_instance(n, bird).unwrap();
+        }
+        let fish = g.add_class("Fish", g.root()).unwrap();
+        for n in ["f1", "f2", "f3"] {
+            g.add_instance(n, fish).unwrap();
+        }
+        Arc::new(Schema::new(vec![Attribute::new("Creature", Arc::new(g))]))
+    }
+
+    fn flat_of(schema: &Arc<Schema>, names: &[&str]) -> FlatRelation {
+        let atoms = names
+            .iter()
+            .map(|n| schema.item(&[n]).unwrap())
+            .collect();
+        FlatRelation::from_atoms(schema.clone(), atoms)
+    }
+
+    #[test]
+    fn full_class_compresses_to_one_tuple() {
+        let schema = schema_with_classes();
+        let flat = flat_of(&schema, &["b1", "b2", "b3", "b4", "b5"]);
+        let d = discover(&flat);
+        assert_eq!(d.stats.hierarchical_tuples, 1);
+        assert_eq!(d.stats.classes_used, 1);
+        assert_eq!(d.stats.exceptions, 0);
+        assert_eq!(flatten(&d.relation).atoms(), flat.atoms());
+    }
+
+    #[test]
+    fn near_full_class_uses_exception() {
+        // 4 of 5 birds: +Bird, -b5 (2 tuples) beats 4 atoms.
+        let schema = schema_with_classes();
+        let flat = flat_of(&schema, &["b1", "b2", "b3", "b4"]);
+        let d = discover(&flat);
+        assert_eq!(d.stats.hierarchical_tuples, 2);
+        assert_eq!(d.stats.exceptions, 1);
+        assert_eq!(flatten(&d.relation).atoms(), flat.atoms());
+    }
+
+    #[test]
+    fn sparse_membership_stays_atomic() {
+        // 2 of 5 birds: class gains nothing; atoms win.
+        let schema = schema_with_classes();
+        let flat = flat_of(&schema, &["b1", "b2"]);
+        let d = discover(&flat);
+        assert_eq!(d.stats.classes_used, 0);
+        assert_eq!(d.stats.hierarchical_tuples, 2);
+        assert_eq!(flatten(&d.relation).atoms(), flat.atoms());
+    }
+
+    #[test]
+    fn multiple_classes_combine() {
+        // All birds + all fish: root class covers everything in one
+        // tuple (Animal), since every instance is in the target.
+        let schema = schema_with_classes();
+        let flat = flat_of(&schema, &["b1", "b2", "b3", "b4", "b5", "f1", "f2", "f3"]);
+        let d = discover(&flat);
+        assert_eq!(d.stats.hierarchical_tuples, 1);
+        assert_eq!(flatten(&d.relation).atoms(), flat.atoms());
+    }
+
+    #[test]
+    fn empty_flat_relation() {
+        let schema = schema_with_classes();
+        let flat = flat_of(&schema, &[]);
+        let d = discover(&flat);
+        assert!(d.relation.is_empty());
+        assert_eq!(d.stats.flat_tuples, 0);
+    }
+
+    #[test]
+    fn rediscover_compresses_explicated_relation() {
+        let schema = schema_with_classes();
+        let mut r = HRelation::new(schema.clone());
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        r.assert_fact(&["b3"], Truth::Negative).unwrap();
+        let explicated = crate::explicate::explicate_all(&r);
+        assert_eq!(explicated.len(), 5);
+        let d = rediscover(&explicated);
+        assert!(d.stats.hierarchical_tuples <= 2 + 1);
+        assert!(crate::flat::equivalent(&d.relation, &r));
+    }
+
+    #[test]
+    fn two_attribute_discovery() {
+        let mut a = HierarchyGraph::new("Animal");
+        let bird = a.add_class("Bird", a.root()).unwrap();
+        for n in ["b1", "b2", "b3"] {
+            a.add_instance(n, bird).unwrap();
+        }
+        let mut f = HierarchyGraph::new("Food");
+        let seed = f.add_class("Seed", f.root()).unwrap();
+        for n in ["s1", "s2"] {
+            f.add_instance(n, seed).unwrap();
+        }
+        let schema = Arc::new(Schema::new(vec![
+            Attribute::new("Animal", Arc::new(a)),
+            Attribute::new("Food", Arc::new(f)),
+        ]));
+        // Full rectangle Bird × Seed.
+        let mut atoms = BTreeSet::new();
+        for b in ["b1", "b2", "b3"] {
+            for s in ["s1", "s2"] {
+                atoms.insert(schema.item(&[b, s]).unwrap());
+            }
+        }
+        let flat = FlatRelation::from_atoms(schema.clone(), atoms);
+        let d = discover(&flat);
+        assert_eq!(d.stats.hierarchical_tuples, 1, "one (∀Bird, ∀Seed) tuple");
+        assert_eq!(flatten(&d.relation).atoms(), flat.atoms());
+    }
+
+    #[test]
+    fn discovery_result_is_consistent() {
+        let schema = schema_with_classes();
+        let flat = flat_of(&schema, &["b1", "b2", "b3", "b4", "f1", "f2", "f3"]);
+        let d = discover(&flat);
+        assert!(crate::conflict::is_consistent(&d.relation));
+        assert_eq!(flatten(&d.relation).atoms(), flat.atoms());
+    }
+}

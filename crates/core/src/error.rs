@@ -1,0 +1,125 @@
+//! Error type for the hierarchical relational core.
+
+use std::fmt;
+
+use crate::item::Item;
+use hrdm_hierarchy::HierarchyError;
+
+/// Result alias used throughout the crate.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+/// Errors raised by relation construction, updates, and operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A name did not resolve in the attribute's domain hierarchy, or a
+    /// graph-level operation failed.
+    Hierarchy(HierarchyError),
+    /// An item's arity does not match the relation's schema.
+    ArityMismatch {
+        /// Arity the schema expects.
+        expected: usize,
+        /// Arity that was supplied.
+        got: usize,
+    },
+    /// Two relations were combined but their schemas differ (different
+    /// attribute count, names, or domain graphs).
+    SchemaMismatch,
+    /// No attribute with this name exists in the schema.
+    UnknownAttribute(String),
+    /// The same item was asserted with both truth values.
+    ContradictoryAssertion(Item),
+    /// Committing these updates would leave unresolved conflicts
+    /// (ambiguity-constraint violations, §3.1). The payload lists the
+    /// conflicted items.
+    Inconsistent(Vec<Item>),
+    /// The operation requires a consistent relation but the input is not
+    /// (e.g. explication of a conflicted relation is undefined).
+    InputInconsistent(Vec<Item>),
+    /// An operator received attribute indexes out of range.
+    AttributeIndexOutOfRange(usize),
+    /// Natural join found no shared attributes.
+    NoJoinAttributes,
+    /// Declarative integrity constraints were violated (§3.1); the
+    /// payload lists one human-readable detail per violation.
+    ConstraintViolations(Vec<String>),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Hierarchy(e) => write!(f, "hierarchy error: {e}"),
+            CoreError::ArityMismatch { expected, got } => {
+                write!(f, "item arity {got} does not match schema arity {expected}")
+            }
+            CoreError::SchemaMismatch => write!(f, "relations have incompatible schemas"),
+            CoreError::UnknownAttribute(name) => {
+                write!(f, "no attribute named {name:?} in the schema")
+            }
+            CoreError::ContradictoryAssertion(item) => {
+                write!(f, "item {item:?} asserted with both truth values")
+            }
+            CoreError::Inconsistent(items) => write!(
+                f,
+                "update leaves {} unresolved conflict(s) (ambiguity constraint)",
+                items.len()
+            ),
+            CoreError::InputInconsistent(items) => write!(
+                f,
+                "operation requires a consistent relation; {} conflict(s) present",
+                items.len()
+            ),
+            CoreError::AttributeIndexOutOfRange(i) => {
+                write!(f, "attribute index {i} out of range")
+            }
+            CoreError::NoJoinAttributes => {
+                write!(f, "natural join requires at least one shared attribute")
+            }
+            CoreError::ConstraintViolations(details) => write!(
+                f,
+                "{} integrity constraint violation(s): {}",
+                details.len(),
+                details.join("; ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Hierarchy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HierarchyError> for CoreError {
+    fn from(e: HierarchyError) -> CoreError {
+        CoreError::Hierarchy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrdm_hierarchy::NodeId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::ArityMismatch { expected: 2, got: 3 };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('3'));
+        let e = CoreError::UnknownAttribute("Color".into());
+        assert!(e.to_string().contains("Color"));
+        let e = CoreError::Inconsistent(vec![Item::new(vec![NodeId::ROOT])]);
+        assert!(e.to_string().contains("1 unresolved"));
+    }
+
+    #[test]
+    fn hierarchy_errors_convert_and_chain() {
+        let h = HierarchyError::NoParent;
+        let e: CoreError = h.clone().into();
+        assert_eq!(e, CoreError::Hierarchy(h));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,243 @@
+//! The equivalent flat relation: a hierarchical relation's unique model.
+//!
+//! "Every hierarchical relation must be equivalent to a unique flat
+//! relation for a given item hierarchy; that is, it has a unique model
+//! of the atomic items that satisfy the given relation. Any
+//! manipulations on hierarchical relations should have the same effect
+//! whether performed on the hierarchical relations or on the equivalent
+//! flat relations" (§3).
+//!
+//! [`FlatRelation`] is that model: the set of atomic items for which the
+//! relation holds. It is the ground truth every operator in [`crate::ops`]
+//! is property-tested against, and the representation the flat-baseline
+//! storage engine (`hrdm-storage`) persists.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::explicate::explicate_all;
+use crate::item::Item;
+use crate::relation::HRelation;
+use crate::schema::Schema;
+use crate::truth::Truth;
+
+/// The atomic extension of a hierarchical relation.
+#[derive(Clone)]
+pub struct FlatRelation {
+    schema: Arc<Schema>,
+    atoms: BTreeSet<Item>,
+}
+
+impl PartialEq for FlatRelation {
+    fn eq(&self, other: &FlatRelation) -> bool {
+        self.schema.compatible(&other.schema) && self.atoms == other.atoms
+    }
+}
+
+impl Eq for FlatRelation {}
+
+impl FlatRelation {
+    /// An empty flat relation.
+    pub fn new(schema: Arc<Schema>) -> FlatRelation {
+        FlatRelation {
+            schema,
+            atoms: BTreeSet::new(),
+        }
+    }
+
+    /// Build from an explicit atom set.
+    pub fn from_atoms(schema: Arc<Schema>, atoms: BTreeSet<Item>) -> FlatRelation {
+        FlatRelation { schema, atoms }
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of atomic items in the extension.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when the extension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, item: &Item) -> bool {
+        self.atoms.contains(item)
+    }
+
+    /// Iterate atoms in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Item> {
+        self.atoms.iter()
+    }
+
+    /// Add an atom.
+    pub fn insert(&mut self, item: Item) -> bool {
+        self.atoms.insert(item)
+    }
+
+    /// The underlying set.
+    pub fn atoms(&self) -> &BTreeSet<Item> {
+        &self.atoms
+    }
+
+    /// Consume into the underlying set.
+    pub fn into_atoms(self) -> BTreeSet<Item> {
+        self.atoms
+    }
+}
+
+impl std::fmt::Debug for FlatRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "FlatRelation({} atoms)", self.len())?;
+        for a in &self.atoms {
+            writeln!(f, "  {}", self.schema.display_item(a))?;
+        }
+        Ok(())
+    }
+}
+
+/// The flat extension of `relation`, computed by full explication
+/// (reverse-topological insertion; linear in the extension size).
+///
+/// Requires a consistent relation — conflicted items resolve
+/// arbitrarily otherwise.
+pub fn flatten(relation: &HRelation) -> FlatRelation {
+    let full = explicate_all(relation);
+    let atoms = full
+        .iter()
+        .filter(|&(_, t)| t == Truth::Positive)
+        .map(|(i, _)| i.clone())
+        .collect();
+    FlatRelation {
+        schema: relation.schema().clone(),
+        atoms,
+    }
+}
+
+/// The flat extension computed the slow, definitional way: enumerate
+/// every candidate atom and evaluate its binding. Used as the oracle in
+/// property tests for [`flatten`] and the operators.
+pub fn flatten_via_binding(relation: &HRelation) -> FlatRelation {
+    let product = relation.schema().product();
+    let mut atoms = BTreeSet::new();
+    let mut seen = BTreeSet::new();
+    for (item, truth) in relation.iter() {
+        if truth != Truth::Positive {
+            continue; // only atoms under a positive tuple can ever hold
+        }
+        for atom in product.extension(item.components()) {
+            let atom = Item::new(atom);
+            if seen.insert(atom.clone()) && relation.holds(&atom) {
+                atoms.insert(atom);
+            }
+        }
+    }
+    FlatRelation {
+        schema: relation.schema().clone(),
+        atoms,
+    }
+}
+
+/// Are two hierarchical relations equivalent (same flat model)?
+///
+/// The §3 notion of equality that `consolidate` and `explicate` preserve.
+pub fn equivalent(a: &HRelation, b: &HRelation) -> bool {
+    a.schema().compatible(b.schema()) && flatten(a).atoms == flatten(b).atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consolidate::consolidate;
+    use crate::schema::Attribute;
+    use hrdm_hierarchy::HierarchyGraph;
+
+    fn flying() -> HRelation {
+        let mut g = HierarchyGraph::new("Animal");
+        let bird = g.add_class("Bird", g.root()).unwrap();
+        let canary = g.add_class("Canary", bird).unwrap();
+        g.add_instance("Tweety", canary).unwrap();
+        let penguin = g.add_class("Penguin", bird).unwrap();
+        let afp = g.add_class("Amazing Flying Penguin", penguin).unwrap();
+        g.add_instance("Paul", penguin).unwrap();
+        g.add_instance("Pamela", afp).unwrap();
+        let schema = Arc::new(Schema::new(vec![Attribute::new("Creature", Arc::new(g))]));
+        let mut r = HRelation::new(schema);
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        r.assert_fact(&["Penguin"], Truth::Negative).unwrap();
+        r.assert_fact(&["Amazing Flying Penguin"], Truth::Positive)
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn flatten_lists_flying_creatures() {
+        let r = flying();
+        let flat = flatten(&r);
+        assert!(flat.contains(&r.item(&["Tweety"]).unwrap()));
+        assert!(flat.contains(&r.item(&["Pamela"]).unwrap()));
+        assert!(!flat.contains(&r.item(&["Paul"]).unwrap()));
+        assert_eq!(flat.len(), 2);
+        assert!(!flat.is_empty());
+    }
+
+    #[test]
+    fn flatten_agrees_with_binding_oracle() {
+        let r = flying();
+        assert_eq!(flatten(&r).atoms, flatten_via_binding(&r).atoms);
+    }
+
+    #[test]
+    fn consolidation_preserves_equivalence() {
+        let r = flying();
+        let c = consolidate(&r);
+        assert!(equivalent(&r, &c.relation));
+    }
+
+    #[test]
+    fn equivalence_distinguishes_different_extensions() {
+        let r = flying();
+        let mut r2 = r.clone();
+        r2.remove(&r.item(&["Penguin"]).unwrap());
+        assert!(!equivalent(&r, &r2), "dropping the exception changes the model");
+    }
+
+    #[test]
+    fn empty_relation_has_empty_model() {
+        let r = flying();
+        let empty = HRelation::new(r.schema().clone());
+        let flat = flatten(&empty);
+        assert!(flat.is_empty());
+        assert_eq!(flatten_via_binding(&empty).len(), 0);
+    }
+
+    #[test]
+    fn negative_only_relation_has_empty_model() {
+        let r = flying();
+        let mut neg = HRelation::new(r.schema().clone());
+        neg.assert_fact(&["Bird"], Truth::Negative).unwrap();
+        assert!(flatten(&neg).is_empty());
+        // ...and is equivalent to the empty relation.
+        assert!(equivalent(&neg, &HRelation::new(r.schema().clone())));
+    }
+
+    #[test]
+    fn manual_construction_and_iteration() {
+        let r = flying();
+        let mut f = FlatRelation::new(r.schema().clone());
+        let tweety = r.item(&["Tweety"]).unwrap();
+        assert!(f.insert(tweety.clone()));
+        assert!(!f.insert(tweety.clone()), "set semantics");
+        assert_eq!(f.iter().count(), 1);
+        assert_eq!(f.atoms().len(), 1);
+        let atoms = f.clone().into_atoms();
+        let f2 = FlatRelation::from_atoms(r.schema().clone(), atoms);
+        assert_eq!(f, f2);
+        assert!(format!("{f:?}").contains("Tweety"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Integrity enforcement: the ambiguity constraint at transaction
+//! commit (§3.1).
+//!
+//! "The maintenance of consistency is a central database precept.
+//! Whenever an update is made we require that the update does not create
+//! an unresolved conflict. If an update creates a conflict, within the
+//! same transaction, before the update is committed, other updates must
+//! be made that resolve the conflict, and themselves create no new
+//! unresolved conflict."
+//!
+//! A [`Transaction`] batches inserts and deletes against a scratch copy
+//! and checks the ambiguity constraint once at [`Transaction::commit`];
+//! the base relation is replaced only if the whole batch is consistent.
+//! The crate imposes no automatic conflict-resolution policy: "We
+//! require explicit conflict resolution in the data model …. A front end
+//! can easily be added to provide any desired conflict resolution
+//! semantics, including left precedence, by compiling a user generated
+//! update request into a transaction that … perform\[s\] additional
+//! updates for conflict resolution."
+
+use crate::conflict::{find_conflicts, Conflict};
+use crate::error::{CoreError, Result};
+use crate::item::Item;
+use crate::relation::HRelation;
+use crate::truth::Truth;
+
+/// Check the ambiguity constraint; `Err(Inconsistent)` lists the
+/// conflicted items.
+pub fn check_consistency(relation: &HRelation) -> Result<()> {
+    let conflicts = find_conflicts(relation);
+    if conflicts.is_empty() {
+        Ok(())
+    } else {
+        Err(CoreError::Inconsistent(
+            conflicts.into_iter().map(|c| c.item).collect(),
+        ))
+    }
+}
+
+/// A batched update checked for consistency at commit.
+///
+/// Operations apply immediately to a scratch copy (so reads through
+/// [`Transaction::relation`] see uncommitted state); dropping the
+/// transaction without committing discards everything.
+pub struct Transaction<'a> {
+    base: &'a mut HRelation,
+    scratch: HRelation,
+}
+
+impl<'a> Transaction<'a> {
+    /// Open a transaction over `base`.
+    pub fn begin(base: &'a mut HRelation) -> Transaction<'a> {
+        let scratch = base.clone();
+        Transaction { base, scratch }
+    }
+
+    /// The uncommitted state.
+    pub fn relation(&self) -> &HRelation {
+        &self.scratch
+    }
+
+    /// Stage an assertion (rejects contradicting an already-staged
+    /// truth for the same item).
+    pub fn assert_item(&mut self, item: Item, truth: Truth) -> Result<()> {
+        self.scratch.assert_item(item, truth)
+    }
+
+    /// Name-resolved assertion.
+    pub fn assert_fact(&mut self, names: &[&str], truth: Truth) -> Result<()> {
+        self.scratch.assert_fact(names, truth)
+    }
+
+    /// Stage an overwriting insertion.
+    pub fn insert(&mut self, item: Item, truth: Truth) -> Result<Option<Truth>> {
+        self.scratch.insert(crate::tuple::Tuple::new(item, truth))
+    }
+
+    /// Stage a deletion.
+    pub fn delete(&mut self, item: &Item) -> Option<Truth> {
+        self.scratch.remove(item)
+    }
+
+    /// The conflicts the batch would create if committed now — useful
+    /// for front ends that auto-resolve (e.g. left precedence) before
+    /// committing.
+    pub fn pending_conflicts(&self) -> Vec<Conflict> {
+        find_conflicts(&self.scratch)
+    }
+
+    /// Validate the ambiguity constraint and publish the batch.
+    pub fn commit(self) -> Result<()> {
+        self.commit_with(&[])
+    }
+
+    /// Like [`Transaction::commit`], additionally enforcing the given
+    /// declarative constraints (§3.1's classical integrity constraints,
+    /// see [`crate::constraints`]) against the post-batch state.
+    pub fn commit_with(self, constraints: &[crate::constraints::Constraint]) -> Result<()> {
+        check_consistency(&self.scratch)?;
+        crate::constraints::enforce(&self.scratch, constraints)?;
+        *self.base = self.scratch;
+        Ok(())
+    }
+
+    /// Discard the batch (equivalent to dropping the transaction).
+    pub fn abort(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use hrdm_hierarchy::HierarchyGraph;
+    use std::sync::Arc;
+
+    fn respects_schema() -> Arc<Schema> {
+        let mut s = HierarchyGraph::new("Student");
+        let ob = s.add_class("Obsequious Student", s.root()).unwrap();
+        s.add_instance("John", ob).unwrap();
+        let mut t = HierarchyGraph::new("Teacher");
+        t.add_class("Incoherent Teacher", t.root()).unwrap();
+        Arc::new(Schema::new(vec![
+            Attribute::new("Student", Arc::new(s)),
+            Attribute::new("Teacher", Arc::new(t)),
+        ]))
+    }
+
+    #[test]
+    fn conflicting_batch_rejected_atomically() {
+        let mut r = HRelation::new(respects_schema());
+        let mut tx = Transaction::begin(&mut r);
+        tx.assert_fact(&["Obsequious Student", "Teacher"], Truth::Positive)
+            .unwrap();
+        tx.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
+            .unwrap();
+        let err = tx.commit().unwrap_err();
+        assert!(matches!(err, CoreError::Inconsistent(items) if !items.is_empty()));
+        assert!(r.is_empty(), "nothing published on failed commit");
+    }
+
+    #[test]
+    fn resolved_batch_commits() {
+        // The same updates plus the §3.1 resolution tuple commit fine.
+        let mut r = HRelation::new(respects_schema());
+        let mut tx = Transaction::begin(&mut r);
+        tx.assert_fact(&["Obsequious Student", "Teacher"], Truth::Positive)
+            .unwrap();
+        tx.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
+            .unwrap();
+        tx.assert_fact(&["Obsequious Student", "Incoherent Teacher"], Truth::Positive)
+            .unwrap();
+        tx.commit().unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(check_consistency(&r).is_ok());
+    }
+
+    #[test]
+    fn pending_conflicts_guide_resolution() {
+        let mut r = HRelation::new(respects_schema());
+        let mut tx = Transaction::begin(&mut r);
+        tx.assert_fact(&["Obsequious Student", "Teacher"], Truth::Positive)
+            .unwrap();
+        tx.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
+            .unwrap();
+        let pending = tx.pending_conflicts();
+        assert!(!pending.is_empty());
+        // A left-precedence front end would resolve each conflict in
+        // favour of the earlier assertion (positive here).
+        for c in pending {
+            tx.insert(c.item, Truth::Positive).unwrap();
+        }
+        tx.commit().unwrap();
+        assert!(check_consistency(&r).is_ok());
+    }
+
+    #[test]
+    fn abort_discards_everything() {
+        let mut r = HRelation::new(respects_schema());
+        r.assert_fact(&["Obsequious Student", "Teacher"], Truth::Positive)
+            .unwrap();
+        let mut tx = Transaction::begin(&mut r);
+        tx.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
+            .unwrap();
+        assert_eq!(tx.relation().len(), 2, "reads see uncommitted state");
+        tx.abort();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn delete_can_resolve_a_conflict() {
+        // §3.1: "Such resolution can be through deleting the assertion
+        // for either A or B."
+        let mut r = HRelation::new(respects_schema());
+        r.assert_fact(&["Obsequious Student", "Teacher"], Truth::Positive)
+            .unwrap();
+        let mut tx = Transaction::begin(&mut r);
+        tx.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
+            .unwrap();
+        assert!(!tx.pending_conflicts().is_empty());
+        let pos = tx
+            .relation()
+            .item(&["Obsequious Student", "Teacher"])
+            .unwrap();
+        tx.delete(&pos);
+        tx.commit().unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn commit_with_enforces_declarative_constraints() {
+        use crate::constraints::Constraint;
+        let mut r = HRelation::new(respects_schema());
+        let mut tx = Transaction::begin(&mut r);
+        tx.assert_fact(&["Obsequious Student", "Teacher"], Truth::Positive)
+            .unwrap();
+        // This fixture's Teacher domain has no instances, so the flat
+        // extension is empty — a participation (min-extension) bound
+        // rejects the batch.
+        let region = tx.relation().schema().universal_item();
+        let err = tx
+            .commit_with(&[Constraint::MinExtension { region, minimum: 1 }])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ConstraintViolations(_)));
+        assert!(r.is_empty(), "rejected batch publishes nothing");
+
+        // A satisfiable bound commits fine.
+        let mut tx = Transaction::begin(&mut r);
+        tx.assert_fact(&["Obsequious Student", "Teacher"], Truth::Positive)
+            .unwrap();
+        let region = tx.relation().schema().universal_item();
+        tx.commit_with(&[Constraint::MaxExtension { region, limit: 10 }])
+            .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn staged_contradiction_rejected_inside_transaction() {
+        let mut r = HRelation::new(respects_schema());
+        let mut tx = Transaction::begin(&mut r);
+        tx.assert_fact(&["Obsequious Student", "Teacher"], Truth::Positive)
+            .unwrap();
+        assert!(matches!(
+            tx.assert_fact(&["Obsequious Student", "Teacher"], Truth::Negative),
+            Err(CoreError::ContradictoryAssertion(_))
+        ));
+    }
+}

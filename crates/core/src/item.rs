@@ -1,0 +1,134 @@
+//! Items: one hierarchy node per attribute (§2.1–§2.2).
+//!
+//! "An item is now obtained as one member (class or element) from each of
+//! D₁, D₂, etc., the domains of the various attributes. Thus an item is a
+//! subset of D*." An *atomic* item has an instance in every position; a
+//! *composite* item has at least one class.
+
+use std::fmt;
+
+use hrdm_hierarchy::NodeId;
+
+/// One node of the product item hierarchy: a `NodeId` per attribute.
+///
+/// `Item` is ordered (`Ord`) so relations can store tuples in a
+/// deterministic `BTreeMap`; the order is lexicographic over per-graph
+/// node ids and carries no semantic meaning.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Item(Vec<NodeId>);
+
+impl Item {
+    /// Build an item from per-attribute nodes.
+    pub fn new(components: Vec<NodeId>) -> Item {
+        Item(components)
+    }
+
+    /// The arity of the item (number of attributes).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The per-attribute nodes.
+    #[inline]
+    pub fn components(&self) -> &[NodeId] {
+        &self.0
+    }
+
+    /// One component.
+    #[inline]
+    pub fn component(&self, i: usize) -> NodeId {
+        self.0[i]
+    }
+
+    /// A copy with component `i` replaced.
+    pub fn with_component(&self, i: usize, node: NodeId) -> Item {
+        let mut c = self.0.clone();
+        c[i] = node;
+        Item(c)
+    }
+
+    /// Keep only the listed components, in the listed order (used by
+    /// projection).
+    pub fn select_components(&self, indexes: &[usize]) -> Item {
+        Item(indexes.iter().map(|&i| self.0[i]).collect())
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_components(self) -> Vec<NodeId> {
+        self.0
+    }
+}
+
+impl From<Vec<NodeId>> for Item {
+    fn from(v: Vec<NodeId>) -> Item {
+        Item(v)
+    }
+}
+
+impl AsRef<[NodeId]> for Item {
+    fn as_ref(&self) -> &[NodeId] {
+        &self.0
+    }
+}
+
+impl std::ops::Index<usize> for Item {
+    type Output = NodeId;
+
+    fn index(&self, i: usize) -> &NodeId {
+        &self.0[i]
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Item{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let item = Item::new(vec![n(1), n(2), n(3)]);
+        assert_eq!(item.arity(), 3);
+        assert_eq!(item.component(1), n(2));
+        assert_eq!(item[2], n(3));
+        assert_eq!(item.components(), &[n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn with_component_replaces_one_position() {
+        let item = Item::new(vec![n(1), n(2)]);
+        let other = item.with_component(0, n(9));
+        assert_eq!(other.components(), &[n(9), n(2)]);
+        assert_eq!(item.components(), &[n(1), n(2)], "original untouched");
+    }
+
+    #[test]
+    fn select_components_projects_and_reorders() {
+        let item = Item::new(vec![n(1), n(2), n(3)]);
+        assert_eq!(item.select_components(&[2, 0]).components(), &[n(3), n(1)]);
+        assert_eq!(item.select_components(&[]).arity(), 0);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Item::new(vec![n(1), n(5)]) < Item::new(vec![n(2), n(0)]));
+        assert!(Item::new(vec![n(1), n(1)]) < Item::new(vec![n(1), n(2)]));
+        assert_eq!(Item::new(vec![n(1)]), Item::from(vec![n(1)]));
+    }
+
+    #[test]
+    fn round_trip_into_components() {
+        let item = Item::new(vec![n(4), n(7)]);
+        assert_eq!(item.clone().into_components(), vec![n(4), n(7)]);
+        assert_eq!(item.as_ref(), &[n(4), n(7)]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Statistical operations over hierarchical relations (§3.3.2).
+//!
+//! "This operator \[explicate\] is useful when a count, average, or other
+//! statistical operation is to be performed over the relation." These
+//! aggregates make that pipeline first-class: they evaluate over the
+//! relation's *flat model*, so a relation condensed to a handful of
+//! class tuples still counts its whole extension.
+//!
+//! Counting the *extension* of a class tuple needs no explication at all
+//! ([`cardinality`] multiplies per-attribute extension sizes and then
+//! corrects for exceptions by explicating lazily only when negated or
+//! overlapping tuples make the naive product wrong); grouped counts go
+//! through the explicated model.
+
+use std::collections::BTreeMap;
+
+use hrdm_hierarchy::NodeId;
+
+use crate::error::{CoreError, Result};
+use crate::flat::flatten;
+use crate::relation::HRelation;
+use crate::truth::Truth;
+
+/// The number of atomic items in the relation's flat model.
+///
+/// Fast path: a relation whose tuples are all positive with pairwise
+/// provably-disjoint items is counted without explication (sum of
+/// extension-size products — §1's "potentially infinite relation in
+/// constant space" made countable in constant-ish time). Otherwise the
+/// model is explicated.
+pub fn cardinality(relation: &HRelation) -> u128 {
+    let product = relation.schema().product();
+    let tuples: Vec<_> = relation.iter().collect();
+    let disjoint_positive = tuples.iter().all(|(_, t)| *t == Truth::Positive)
+        && tuples.iter().enumerate().all(|(i, (a, _))| {
+            tuples.iter().skip(i + 1).all(|(b, _)| {
+                !(0..relation.schema().arity()).all(|k| {
+                    relation
+                        .schema()
+                        .domain(k)
+                        .provably_intersect(a.component(k), b.component(k))
+                })
+            })
+        });
+    if disjoint_positive {
+        tuples
+            .iter()
+            .map(|(item, _)| product.extension_size(item.components()))
+            .sum()
+    } else {
+        flatten(relation).len() as u128
+    }
+}
+
+/// Count the flat model grouped by one attribute: how many atoms of the
+/// extension carry each instance value in position `attr`.
+///
+/// Returns `(instance node, count)` pairs in node order; instances with
+/// zero count are omitted.
+pub fn group_count(relation: &HRelation, attr: usize) -> Result<Vec<(NodeId, u128)>> {
+    if attr >= relation.schema().arity() {
+        return Err(CoreError::AttributeIndexOutOfRange(attr));
+    }
+    let mut counts: BTreeMap<NodeId, u128> = BTreeMap::new();
+    for atom in flatten(relation).iter() {
+        *counts.entry(atom.component(attr)).or_insert(0) += 1;
+    }
+    Ok(counts.into_iter().collect())
+}
+
+/// Count by attribute name.
+pub fn group_count_by_name(relation: &HRelation, attr: &str) -> Result<Vec<(String, u128)>> {
+    let i = relation.schema().index_of(attr)?;
+    let g = relation.schema().domain(i);
+    Ok(group_count(relation, i)?
+        .into_iter()
+        .map(|(node, count)| (g.name(node).to_string(), count))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_fixtures::*;
+    use crate::relation::HRelation;
+    use crate::truth::Truth;
+
+    #[test]
+    fn cardinality_of_flying_creatures() {
+        let schema = animal_schema();
+        let r = flying(&schema);
+        // Tweety, Patricia, Pamela, Peter.
+        assert_eq!(cardinality(&r), 4);
+        assert_eq!(cardinality(&r), flatten(&r).len() as u128);
+    }
+
+    #[test]
+    fn cardinality_fast_path_for_disjoint_positive_classes() {
+        let schema = animal_schema();
+        let mut r = HRelation::new(schema.clone());
+        // Canary and Galapagos Penguin are provably disjoint... not
+        // quite: Patricia is under Galapagos. Use Canary + AFP:
+        // Patricia is under AFP and Galapagos, but Canary ∩ AFP = ∅.
+        r.assert_fact(&["Canary"], Truth::Positive).unwrap();
+        r.assert_fact(&["Galapagos Penguin"], Truth::Positive)
+            .unwrap();
+        // Canary ext = {Tweety}; Galapagos ext = {Paul, Patricia}.
+        assert_eq!(cardinality(&r), 3);
+        assert_eq!(flatten(&r).len(), 3);
+    }
+
+    #[test]
+    fn cardinality_with_overlap_uses_model_not_sum() {
+        let schema = animal_schema();
+        let mut r = HRelation::new(schema.clone());
+        r.assert_fact(&["Galapagos Penguin"], Truth::Positive)
+            .unwrap();
+        r.assert_fact(&["Amazing Flying Penguin"], Truth::Positive)
+            .unwrap();
+        // Naive sum would double-count Patricia: 2 + 3 = 5; model = 4.
+        assert_eq!(cardinality(&r), 4);
+    }
+
+    #[test]
+    fn group_count_over_respects() {
+        let r = respects();
+        // Respects extension: John×{Smith, Jones}, Jane? no Jane here —
+        // fixture has John, Mary students; only obsequious John respects.
+        let by_student = group_count_by_name(&r, "Student").unwrap();
+        assert_eq!(by_student, vec![("John".to_string(), 2)]);
+        let by_teacher = group_count_by_name(&r, "Teacher").unwrap();
+        assert_eq!(
+            by_teacher,
+            vec![("Smith".to_string(), 1), ("Jones".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn group_count_errors() {
+        let r = respects();
+        assert!(matches!(
+            group_count(&r, 5),
+            Err(CoreError::AttributeIndexOutOfRange(5))
+        ));
+        assert!(group_count_by_name(&r, "Dean").is_err());
+    }
+
+    #[test]
+    fn empty_relation_counts_zero() {
+        let schema = animal_schema();
+        let r = HRelation::new(schema);
+        assert_eq!(cardinality(&r), 0);
+        assert!(group_count(&r, 0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Projection and renaming (§3.4, Fig. 11).
+//!
+//! Projection is **tuple-wise**: each stored tuple keeps the selected
+//! components and its truth value, exactly as Fig. 11c projects the
+//! joined relation back onto (Animal, Color) "with no loss of
+//! information" — the universally quantified reading of a tuple
+//! survives componentwise. When a positive and a negated tuple collapse
+//! onto the same projected item, the positive one wins (the flat
+//! semantics of projection is existential).
+//!
+//! Caveat, documented in DESIGN.md: tuple-wise projection of a tuple
+//! whose *dropped* components are intensional classes with empty
+//! extensions keeps the tuple, whereas a strictly extensional projection
+//! would drop it. The paper's reading of classes as intensional sets
+//! ("a potentially infinite relation … stored in constant space") makes
+//! tuple-wise the faithful choice.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::{CoreError, Result};
+use crate::item::Item;
+use crate::relation::HRelation;
+use crate::schema::{Attribute, Schema};
+use crate::truth::Truth;
+
+/// Project `relation` onto the attribute positions `attrs` (order taken
+/// from `attrs`, so projection doubles as column reordering).
+pub fn project(relation: &HRelation, attrs: &[usize]) -> Result<HRelation> {
+    let schema = relation.schema();
+    for &a in attrs {
+        if a >= schema.arity() {
+            return Err(CoreError::AttributeIndexOutOfRange(a));
+        }
+    }
+    let new_schema = Arc::new(Schema::new(
+        attrs
+            .iter()
+            .map(|&a| {
+                let attr = schema.attribute(a);
+                Attribute::new(attr.name(), attr.domain().clone())
+            })
+            .collect(),
+    ));
+    let mut out: BTreeMap<Item, Truth> = BTreeMap::new();
+    for (item, truth) in relation.iter() {
+        let projected = item.select_components(attrs);
+        out.entry(projected)
+            .and_modify(|t| {
+                // Existential semantics: positive evidence wins.
+                if truth == Truth::Positive {
+                    *t = Truth::Positive;
+                }
+            })
+            .or_insert(truth);
+    }
+    let mut result = HRelation::with_preemption(new_schema, relation.preemption());
+    result.replace_tuples(out);
+    Ok(result)
+}
+
+/// Project onto attributes by name.
+pub fn project_names(relation: &HRelation, names: &[&str]) -> Result<HRelation> {
+    let schema = relation.schema();
+    let attrs: Vec<usize> = names
+        .iter()
+        .map(|n| schema.index_of(n))
+        .collect::<Result<_>>()?;
+    project(relation, &attrs)
+}
+
+/// Rename one attribute, keeping tuples untouched.
+pub fn rename(relation: &HRelation, old: &str, new: &str) -> Result<HRelation> {
+    let schema = relation.schema();
+    let idx = schema.index_of(old)?;
+    let new_schema = Arc::new(Schema::new(
+        schema
+            .attributes()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let name = if i == idx { new } else { a.name() };
+                Attribute::new(name, a.domain().clone())
+            })
+            .collect(),
+    ));
+    let mut result = HRelation::with_preemption(new_schema, relation.preemption());
+    for (item, truth) in relation.iter() {
+        result.insert(crate::tuple::Tuple::new(item.clone(), truth))?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::flatten;
+    use crate::ops::test_fixtures::*;
+
+    #[test]
+    fn projection_keeps_class_tuples_and_truths() {
+        let r = respects();
+        let students = project_names(&r, &["Student"]).unwrap();
+        assert_eq!(students.schema().arity(), 1);
+        // +(ObsStudent, Teacher) -> +ObsStudent; the negation projects to
+        // -Student but the resolver tuple projects to +ObsStudent (dup).
+        let obs = students.item(&["Obsequious Student"]).unwrap();
+        assert_eq!(students.stored(&obs), Some(Truth::Positive));
+        let flat = flatten(&students);
+        assert!(flat.contains(&students.item(&["John"]).unwrap()));
+        assert!(!flat.contains(&students.item(&["Mary"]).unwrap()));
+    }
+
+    #[test]
+    fn positive_wins_on_collision() {
+        // +(ObsStud, Teacher) and -(ObsStud, IncoTeacher): projecting on
+        // Student collapses them to one item; existential semantics keep
+        // the positive.
+        let mut r = respects();
+        // Replace the resolver with a negation to force the collision.
+        let resolver = r
+            .item(&["Obsequious Student", "Incoherent Teacher"])
+            .unwrap();
+        r.insert(crate::tuple::Tuple::negative(resolver)).unwrap();
+        let students = project_names(&r, &["Student"]).unwrap();
+        let obs = students.item(&["Obsequious Student"]).unwrap();
+        assert_eq!(students.stored(&obs), Some(Truth::Positive));
+    }
+
+    #[test]
+    fn projection_for_positive_relations_matches_flat_semantics() {
+        let r = respects();
+        let students = project_names(&r, &["Student"]).unwrap();
+        let flat_direct = flatten(&students);
+        // Flat spec: exists a teacher the student respects.
+        let full = flatten(&r);
+        let mut expected = std::collections::BTreeSet::new();
+        for atom in full.iter() {
+            expected.insert(atom.select_components(&[0]));
+        }
+        assert_eq!(flat_direct.atoms(), &expected);
+    }
+
+    #[test]
+    fn projection_reorders_columns() {
+        let r = respects();
+        let swapped = project_names(&r, &["Teacher", "Student"]).unwrap();
+        assert_eq!(swapped.schema().attribute(0).name(), "Teacher");
+        assert_eq!(swapped.schema().attribute(1).name(), "Student");
+        let item = swapped.item(&["Teacher", "Obsequious Student"]).unwrap();
+        assert_eq!(swapped.stored(&item), Some(Truth::Positive));
+        assert_eq!(swapped.len(), r.len());
+    }
+
+    #[test]
+    fn rename_changes_schema_only() {
+        let r = respects();
+        let renamed = rename(&r, "Student", "Pupil").unwrap();
+        assert_eq!(renamed.schema().attribute(0).name(), "Pupil");
+        assert_eq!(renamed.len(), r.len());
+        assert!(rename(&r, "Nope", "X").is_err());
+        // Tuples unchanged.
+        let item = renamed.item(&["Obsequious Student", "Teacher"]).unwrap();
+        assert_eq!(renamed.stored(&item), Some(Truth::Positive));
+    }
+
+    #[test]
+    fn out_of_range_projection_rejected() {
+        let r = respects();
+        assert!(matches!(
+            project(&r, &[5]),
+            Err(CoreError::AttributeIndexOutOfRange(5))
+        ));
+        assert!(project_names(&r, &["Ghost"]).is_err());
+    }
+
+    #[test]
+    fn empty_projection_yields_nullary_relation() {
+        let r = respects();
+        let unit = project(&r, &[]).unwrap();
+        assert_eq!(unit.schema().arity(), 0);
+        // All tuples collapse to the single empty item.
+        assert_eq!(unit.len(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Selection over hierarchical relations (§3.4, Figs. 7–9).
+//!
+//! A selection is specified by a *region*: an item whose components
+//! restrict each attribute to a class (or instance) subtree — e.g.
+//! "who do obsequious students respect?" selects the region
+//! `(∀Obsequious Student, ∀Teacher)` of the Respects relation.
+//!
+//! Evaluation: every stored tuple intersecting the region is restricted
+//! to it (componentwise maximal intersection), and each restricted item
+//! is assigned the truth value it *binds to in the argument* — so a
+//! generalization restricted into the scope of one of its exceptions
+//! comes out carrying the exception's truth, preserving the equivalent
+//! flat semantics (property-tested against `σ(flat(R))`).
+
+use std::collections::BTreeSet;
+
+use crate::error::Result;
+use crate::item::Item;
+use crate::ops::{class_holds, resolve_conflicts_fixpoint, restrict};
+use crate::relation::HRelation;
+use crate::truth::Truth;
+use crate::tuple::Tuple;
+
+/// Select the sub-relation of `relation` within `region`.
+///
+/// The result ranges over the same schema; items outside the region are
+/// absent (negated tuples about them are not generated — absence already
+/// excludes them under the closed world).
+pub fn select(relation: &HRelation, region: &Item) -> Result<HRelation> {
+    let schema = relation.schema();
+    schema.check_item(region)?;
+
+    // Candidate result items: restrictions of every stored tuple item.
+    let mut candidates: BTreeSet<Item> = BTreeSet::new();
+    for (item, _) in relation.iter() {
+        for restricted in restrict(schema, item, region) {
+            candidates.insert(restricted);
+        }
+    }
+
+    let mut result = HRelation::with_preemption(schema.clone(), relation.preemption());
+    for item in candidates {
+        let truth = Truth::from_bool(class_holds(relation, &item)?);
+        result.insert(Tuple::new(item, truth))?;
+    }
+    resolve_conflicts_fixpoint(&mut result, |item| {
+        Ok(Truth::from_bool(class_holds(relation, item)?))
+    })?;
+    Ok(result)
+}
+
+/// Convenience: select on a single attribute by name, leaving the others
+/// unrestricted — `select_eq(r, "Student", "John")` is Fig. 8's
+/// "who does John respect?".
+pub fn select_eq(relation: &HRelation, attr: &str, value: &str) -> Result<HRelation> {
+    let schema = relation.schema();
+    let i = schema.index_of(attr)?;
+    let node = schema.domain(i).node(value)?;
+    let region = schema.universal_item().with_component(i, node);
+    select(relation, &region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::{flatten, FlatRelation};
+    use crate::ops::test_fixtures::*;
+
+    /// σ(flat(R)) — the specification the operator must match.
+    fn flat_select(relation: &HRelation, region: &Item) -> FlatRelation {
+        let product = relation.schema().product();
+        let atoms = flatten(relation)
+            .into_atoms()
+            .into_iter()
+            .filter(|a| product.subsumes(region.components(), a.components()))
+            .collect();
+        FlatRelation::from_atoms(relation.schema().clone(), atoms)
+    }
+
+    #[test]
+    fn fig7_who_do_obsequious_students_respect() {
+        let r = respects();
+        let region = r.item(&["Obsequious Student", "Teacher"]).unwrap();
+        let result = select(&r, &region).unwrap();
+        // All of (ObsStudent, Teacher) holds: John respects Smith and
+        // Jones; Mary (not obsequious) is absent.
+        let flat = flatten(&result);
+        assert!(flat.contains(&r.item(&["John", "Smith"]).unwrap()));
+        assert!(flat.contains(&r.item(&["John", "Jones"]).unwrap()));
+        assert!(!flat.contains(&r.item(&["Mary", "Jones"]).unwrap()));
+        assert_eq!(flat.atoms(), flat_select(&r, &region).atoms());
+        // And the hierarchical form stays condensed: one positive class
+        // tuple is enough.
+        assert!(result
+            .stored(&r.item(&["Obsequious Student", "Teacher"]).unwrap())
+            .is_some());
+    }
+
+    #[test]
+    fn fig8_who_does_john_respect() {
+        let r = respects();
+        let result = select_eq(&r, "Student", "John").unwrap();
+        let flat = flatten(&result);
+        assert!(flat.contains(&r.item(&["John", "Smith"]).unwrap()));
+        assert!(flat.contains(&r.item(&["John", "Jones"]).unwrap()));
+        assert_eq!(flat.len(), 2);
+        let region = r.item(&["John", "Teacher"]).unwrap();
+        assert_eq!(flat.atoms(), flat_select(&r, &region).atoms());
+    }
+
+    #[test]
+    fn selection_preserves_exception_structure() {
+        // Selecting the penguins from the flying relation must keep the
+        // exception-to-the-exception.
+        let schema = animal_schema();
+        let r = flying(&schema);
+        let region = r.item(&["Penguin"]).unwrap();
+        let result = select(&r, &region).unwrap();
+        let flat = flatten(&result);
+        assert!(!flat.contains(&r.item(&["Paul"]).unwrap()));
+        assert!(flat.contains(&r.item(&["Pamela"]).unwrap()));
+        assert!(flat.contains(&r.item(&["Peter"]).unwrap()));
+        assert!(flat.contains(&r.item(&["Patricia"]).unwrap()));
+        assert_eq!(flat.atoms(), flat_select(&r, &region).atoms());
+        // The Bird generalization restricted into the penguin region
+        // carries the exception's truth (negative), not its own.
+        assert_eq!(
+            result.stored(&r.item(&["Penguin"]).unwrap()),
+            Some(Truth::Negative)
+        );
+    }
+
+    #[test]
+    fn selection_on_instance_region() {
+        let schema = animal_schema();
+        let r = flying(&schema);
+        let region = r.item(&["Tweety"]).unwrap();
+        let result = select(&r, &region).unwrap();
+        let flat = flatten(&result);
+        assert_eq!(flat.len(), 1);
+        assert!(flat.contains(&region));
+    }
+
+    #[test]
+    fn selection_outside_any_tuple_is_empty() {
+        let schema = animal_schema();
+        let r = flying(&schema);
+        // Canaries are birds, so they fly — but select a disjoint region
+        // with no applicable tuples by using a fresh sibling class.
+        let region = r.item(&["Canary"]).unwrap();
+        let result = select(&r, &region).unwrap();
+        // Canary region: +Bird applies, so tweety flies.
+        assert!(flatten(&result).contains(&r.item(&["Tweety"]).unwrap()));
+        // Whole-domain selection is identity on the flat model.
+        let all = select(&r, &r.schema().universal_item()).unwrap();
+        assert_eq!(flatten(&all).atoms(), flatten(&r).atoms());
+    }
+
+    #[test]
+    fn multi_condition_region_select() {
+        // Both attributes restricted at once: obsequious students AND
+        // incoherent teachers.
+        let r = respects();
+        let region = r
+            .item(&["Obsequious Student", "Incoherent Teacher"])
+            .unwrap();
+        let result = select(&r, &region).unwrap();
+        let flat = flatten(&result);
+        assert!(flat.contains(&r.item(&["John", "Smith"]).unwrap()));
+        assert!(!flat.contains(&r.item(&["John", "Jones"]).unwrap()));
+        assert!(!flat.contains(&r.item(&["Mary", "Smith"]).unwrap()));
+        assert_eq!(flat.atoms(), flat_select(&r, &region).atoms());
+    }
+
+    #[test]
+    fn select_eq_unknown_attribute_or_value() {
+        let r = respects();
+        assert!(select_eq(&r, "Professor", "John").is_err());
+        assert!(select_eq(&r, "Student", "Nobody").is_err());
+    }
+
+    #[test]
+    fn selection_region_arity_checked() {
+        let r = respects();
+        let bad = Item::new(vec![hrdm_hierarchy::NodeId::ROOT]);
+        assert!(select(&r, &bad).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Preemption semantics (Appendix).
+//!
+//! "In the semantic network literature, there are two alternate theories
+//! of the correct mechanism to perform multiple inheritance with
+//! exceptions. … The techniques presented in this paper are applicable
+//! irrespective of the semantics used for preemption. All the relational
+//! operations … stay the same. The difference arises only in the
+//! construction of the inheritance hierarchy and the tuple binding
+//! graph."
+//!
+//! The variants differ in which stored tuples count as *immediate
+//! predecessors* of an item:
+//!
+//! * [`Preemption::OffPath`] (paper default): tuple *i* preempts tuple
+//!   *j* iff there is a path *j → i* in addition to both reaching the
+//!   item. Realized by the node-elimination procedure that refuses to
+//!   introduce redundant edges.
+//! * [`Preemption::OnPath`]: *i* preempts *j* iff **every** path from
+//!   *j* to the item passes through *i*. Realized by keeping redundant
+//!   edges during elimination.
+//! * [`Preemption::NoPreemption`]: nothing preempts; every applicable
+//!   tuple is an immediate predecessor (transitive closure), and any
+//!   mixed truth values conflict.
+//!
+//! The Appendix's fourth option — arbitrary preference rules — is not a
+//! separate mode: preference edges are placed in the hierarchy graph
+//! (see [`hrdm_hierarchy::preference`]) "and the semantics of off-path
+//! preemption apply".
+
+/// Which tuples bind strongest to an item. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Preemption {
+    /// Off-path preemption (paper default; "in most cases appears to
+    /// closest match human intuition").
+    #[default]
+    OffPath,
+    /// On-path preemption.
+    OnPath,
+    /// No preemption: conflict whenever differing truth values are
+    /// inherited.
+    NoPreemption,
+}
+
+impl Preemption {
+    /// All variants, for ablation sweeps.
+    pub const ALL: [Preemption; 3] = [
+        Preemption::OffPath,
+        Preemption::OnPath,
+        Preemption::NoPreemption,
+    ];
+}
+
+impl std::fmt::Display for Preemption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Preemption::OffPath => "off-path",
+            Preemption::OnPath => "on-path",
+            Preemption::NoPreemption => "no-preemption",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off_path() {
+        assert_eq!(Preemption::default(), Preemption::OffPath);
+    }
+
+    #[test]
+    fn all_lists_each_variant_once() {
+        assert_eq!(Preemption::ALL.len(), 3);
+        let set: std::collections::HashSet<_> = Preemption::ALL.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Preemption::OffPath.to_string(), "off-path");
+        assert_eq!(Preemption::OnPath.to_string(), "on-path");
+        assert_eq!(Preemption::NoPreemption.to_string(), "no-preemption");
+    }
+}

@@ -1,0 +1,296 @@
+//! Hierarchical relations: sets of truth-valued tuples (§2).
+//!
+//! "Rather than store every individual tuple that satisfies the
+//! predicate, we would like, in our model, to store only a few tuples,
+//! each of which represents many ordered sets of attribute-value
+//! mappings that satisfy the predicate."
+//!
+//! A [`HRelation`] stores tuples in a `BTreeMap<Item, Truth>`:
+//! set semantics (duplicate elimination exactly as in flat relations,
+//! §3.2) with deterministic iteration order. An item may carry only one
+//! truth value at a time — asserting the opposite truth for the *same*
+//! item is a contradiction, rejected by [`HRelation::assert_item`]
+//! (use [`HRelation::insert`] to overwrite deliberately).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::binding::{bind, Binding};
+use crate::error::{CoreError, Result};
+use crate::item::Item;
+use crate::preemption::Preemption;
+use crate::schema::Schema;
+use crate::truth::Truth;
+use crate::tuple::Tuple;
+
+/// A hierarchical relation: a set of truth-valued tuples over a shared
+/// schema, evaluated under a chosen [`Preemption`] semantics.
+#[derive(Clone)]
+pub struct HRelation {
+    schema: Arc<Schema>,
+    tuples: BTreeMap<Item, Truth>,
+    preemption: Preemption,
+}
+
+impl HRelation {
+    /// An empty relation with the paper's default (off-path) semantics.
+    pub fn new(schema: Arc<Schema>) -> HRelation {
+        HRelation::with_preemption(schema, Preemption::OffPath)
+    }
+
+    /// An empty relation with explicit preemption semantics.
+    pub fn with_preemption(schema: Arc<Schema>, preemption: Preemption) -> HRelation {
+        HRelation {
+            schema,
+            tuples: BTreeMap::new(),
+            preemption,
+        }
+    }
+
+    /// The shared schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The preemption semantics in force.
+    #[inline]
+    pub fn preemption(&self) -> Preemption {
+        self.preemption
+    }
+
+    /// Switch preemption semantics (reinterprets the stored tuples; no
+    /// data changes).
+    pub fn set_preemption(&mut self, p: Preemption) {
+        self.preemption = p;
+    }
+
+    /// Number of stored tuples (not the extension size!).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuples are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Resolve per-attribute node names into an item (see
+    /// [`Schema::item`]).
+    pub fn item(&self, names: &[&str]) -> Result<Item> {
+        self.schema.item(names)
+    }
+
+    /// Insert or overwrite a tuple; returns the previous truth value of
+    /// the item, if any.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<Option<Truth>> {
+        self.schema.check_item(&tuple.item)?;
+        Ok(self.tuples.insert(tuple.item, tuple.truth))
+    }
+
+    /// Insert a tuple, rejecting a contradictory re-assertion of the
+    /// same item (idempotent for identical assertions).
+    pub fn assert_item(&mut self, item: Item, truth: Truth) -> Result<()> {
+        self.schema.check_item(&item)?;
+        match self.tuples.get(&item) {
+            Some(&t) if t != truth => Err(CoreError::ContradictoryAssertion(item)),
+            _ => {
+                self.tuples.insert(item, truth);
+                Ok(())
+            }
+        }
+    }
+
+    /// Name-based convenience for [`HRelation::assert_item`].
+    pub fn assert_fact(&mut self, names: &[&str], truth: Truth) -> Result<()> {
+        let item = self.schema.item(names)?;
+        self.assert_item(item, truth)
+    }
+
+    /// Remove the tuple stored for `item`, returning its truth value.
+    pub fn remove(&mut self, item: &Item) -> Option<Truth> {
+        self.tuples.remove(item)
+    }
+
+    /// The truth value *stored* for exactly this item (no inheritance —
+    /// see [`HRelation::bind`] for the inherited truth).
+    pub fn stored(&self, item: &Item) -> Option<Truth> {
+        self.tuples.get(item).copied()
+    }
+
+    /// Is a tuple stored for exactly this item?
+    pub fn contains(&self, item: &Item) -> bool {
+        self.tuples.contains_key(item)
+    }
+
+    /// Iterate stored tuples in deterministic (item) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Item, Truth)> {
+        self.tuples.iter().map(|(i, &t)| (i, t))
+    }
+
+    /// Stored tuples as owned values, in deterministic order.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.tuples
+            .iter()
+            .map(|(i, &t)| Tuple::new(i.clone(), t))
+            .collect()
+    }
+
+    /// Just the stored items, in deterministic order.
+    pub fn items(&self) -> impl Iterator<Item = &Item> {
+        self.tuples.keys()
+    }
+
+    /// The truth value `item` receives under inheritance with
+    /// exceptions: explicit tuple, strongest-binding inherited tuple(s),
+    /// conflict, or unspecified. This is the paper's tuple-binding-graph
+    /// lookup (§2.1).
+    pub fn bind(&self, item: &Item) -> Binding {
+        bind(self, item)
+    }
+
+    /// Does the relation hold for `item`?
+    ///
+    /// Closed-world reading: positive binding → `true`; negative,
+    /// conflicting, or unspecified → `false`. Use
+    /// [`crate::three_valued::holds3`] for the §4 three-valued reading.
+    pub fn holds(&self, item: &Item) -> bool {
+        self.bind(item).truth() == Some(Truth::Positive)
+    }
+
+    /// Replace the entire tuple set (used by the physical operators —
+    /// consolidate/explicate — which rewrite a relation's form).
+    pub(crate) fn replace_tuples(&mut self, tuples: BTreeMap<Item, Truth>) {
+        self.tuples = tuples;
+    }
+
+    /// Build a relation from parts, checking every item.
+    pub fn from_tuples(
+        schema: Arc<Schema>,
+        preemption: Preemption,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<HRelation> {
+        let mut r = HRelation::with_preemption(schema, preemption);
+        for t in tuples {
+            r.assert_item(t.item, t.truth)?;
+        }
+        Ok(r)
+    }
+}
+
+impl std::fmt::Debug for HRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "HRelation {:?} [{}]", self.schema, self.preemption)?;
+        for (item, truth) in self.iter() {
+            writeln!(f, "  {} {}", truth.sign(), self.schema.display_item(item))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+    use hrdm_hierarchy::HierarchyGraph;
+
+    fn flying_schema() -> Arc<Schema> {
+        let mut g = HierarchyGraph::new("Animal");
+        let bird = g.add_class("Bird", g.root()).unwrap();
+        let canary = g.add_class("Canary", bird).unwrap();
+        g.add_instance("Tweety", canary).unwrap();
+        let penguin = g.add_class("Penguin", bird).unwrap();
+        g.add_instance("Paul", penguin).unwrap();
+        Arc::new(Schema::new(vec![Attribute::new("Creature", Arc::new(g))]))
+    }
+
+    #[test]
+    fn insert_remove_len() {
+        let s = flying_schema();
+        let mut r = HRelation::new(s);
+        assert!(r.is_empty());
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        assert_eq!(r.len(), 1);
+        let bird = r.item(&["Bird"]).unwrap();
+        assert_eq!(r.stored(&bird), Some(Truth::Positive));
+        assert!(r.contains(&bird));
+        assert_eq!(r.remove(&bird), Some(Truth::Positive));
+        assert!(r.is_empty());
+        assert_eq!(r.remove(&bird), None);
+    }
+
+    #[test]
+    fn duplicate_assertion_is_idempotent() {
+        let s = flying_schema();
+        let mut r = HRelation::new(s);
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        assert_eq!(r.len(), 1, "set semantics: duplicates eliminated");
+    }
+
+    #[test]
+    fn contradictory_assertion_rejected() {
+        let s = flying_schema();
+        let mut r = HRelation::new(s);
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        assert!(matches!(
+            r.assert_fact(&["Bird"], Truth::Negative),
+            Err(CoreError::ContradictoryAssertion(_))
+        ));
+        // insert() may overwrite deliberately.
+        let bird = r.item(&["Bird"]).unwrap();
+        let old = r.insert(Tuple::negative(bird.clone())).unwrap();
+        assert_eq!(old, Some(Truth::Positive));
+        assert_eq!(r.stored(&bird), Some(Truth::Negative));
+    }
+
+    #[test]
+    fn iteration_is_deterministic_and_sorted() {
+        let s = flying_schema();
+        let mut r = HRelation::new(s);
+        r.assert_fact(&["Penguin"], Truth::Negative).unwrap();
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        let items: Vec<Item> = r.items().cloned().collect();
+        let mut sorted = items.clone();
+        sorted.sort();
+        assert_eq!(items, sorted);
+        assert_eq!(r.tuples().len(), 2);
+    }
+
+    #[test]
+    fn from_tuples_checks_contradictions() {
+        let s = flying_schema();
+        let bird = s.item(&["Bird"]).unwrap();
+        let result = HRelation::from_tuples(
+            s.clone(),
+            Preemption::OffPath,
+            vec![Tuple::positive(bird.clone()), Tuple::negative(bird)],
+        );
+        assert!(matches!(result, Err(CoreError::ContradictoryAssertion(_))));
+    }
+
+    #[test]
+    fn arity_checked_on_insert() {
+        let s = flying_schema();
+        let mut r = HRelation::new(s);
+        let bad = Item::new(vec![]);
+        assert!(matches!(
+            r.assert_item(bad, Truth::Positive),
+            Err(CoreError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn debug_renders_signs_and_items() {
+        let s = flying_schema();
+        let mut r = HRelation::new(s);
+        r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        r.assert_fact(&["Penguin"], Truth::Negative).unwrap();
+        let d = format!("{r:?}");
+        assert!(d.contains("+ ∀Bird"));
+        assert!(d.contains("- ∀Penguin"));
+        assert!(d.contains("off-path"));
+    }
+}

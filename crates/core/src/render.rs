@@ -1,0 +1,136 @@
+//! Paper-style table rendering of relations.
+//!
+//! The figures in the paper print relations as tables with a leading
+//! `+`/`-` sign column and `∀`-prefixed class values. This module
+//! renders a [`HRelation`] the same way, so the `figures` binary of the
+//! benchmark harness can be compared line by line against the paper.
+
+use std::fmt::Write as _;
+
+use crate::relation::HRelation;
+
+/// Render `relation` as an aligned, paper-style text table.
+pub fn render_table(relation: &HRelation) -> String {
+    render_table_titled(relation, None)
+}
+
+/// Like [`render_table`], with an optional title line.
+pub fn render_table_titled(relation: &HRelation, title: Option<&str>) -> String {
+    let schema = relation.schema();
+    let headers: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (item, truth) in relation.iter() {
+        let mut row = vec![truth.sign().to_string()];
+        for (i, &node) in item.components().iter().enumerate() {
+            let g = schema.domain(i);
+            let cell = if g.is_instance(node) {
+                g.name(node).to_string()
+            } else {
+                format!("∀{}", g.name(node))
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+
+    let mut widths: Vec<usize> = vec![1]; // sign column
+    widths.extend(headers.iter().map(|h| h.chars().count()));
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    if let Some(t) = title {
+        let _ = writeln!(out, "{t}");
+    }
+    let mut header = format!("{:w$}", "", w = widths[0]);
+    for (h, w) in headers.iter().zip(&widths[1..]) {
+        let _ = write!(header, " | {h:w$}");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.chars().count()));
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str(" | ");
+            }
+            let _ = write!(line, "{cell:w$}", w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    if relation.is_empty() {
+        let _ = writeln!(out, "(empty)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::truth::Truth;
+    use hrdm_hierarchy::HierarchyGraph;
+    use std::sync::Arc;
+
+    fn sample() -> HRelation {
+        let mut a = HierarchyGraph::new("Animal");
+        let e = a.add_class("Elephant", a.root()).unwrap();
+        a.add_instance("Clyde", e).unwrap();
+        let mut c = HierarchyGraph::new("Color");
+        c.add_instance("Grey", c.root()).unwrap();
+        let schema = Arc::new(Schema::new(vec![
+            Attribute::new("Animal", Arc::new(a)),
+            Attribute::new("Color", Arc::new(c)),
+        ]));
+        let mut r = HRelation::new(schema);
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        r.assert_fact(&["Clyde", "Grey"], Truth::Negative).unwrap();
+        r
+    }
+
+    #[test]
+    fn table_contains_headers_signs_and_values() {
+        let t = render_table(&sample());
+        assert!(t.contains("Animal"));
+        assert!(t.contains("Color"));
+        assert!(t.contains("+ | ∀Elephant"));
+        assert!(t.contains("- | Clyde"));
+        assert!(t.contains("Grey"));
+    }
+
+    #[test]
+    fn title_is_prepended() {
+        let t = render_table_titled(&sample(), Some("Fig. 4"));
+        assert!(t.starts_with("Fig. 4\n"));
+    }
+
+    #[test]
+    fn empty_relation_renders_marker() {
+        let r = sample();
+        let empty = HRelation::new(r.schema().clone());
+        let t = render_table(&empty);
+        assert!(t.contains("(empty)"));
+    }
+
+    #[test]
+    fn columns_align() {
+        let t = render_table(&sample());
+        let lines: Vec<&str> = t.lines().collect();
+        // Header, rule, two rows.
+        assert_eq!(lines.len(), 4);
+        let bar_positions = |s: &str| -> Vec<usize> {
+            s.char_indices().filter(|&(_, c)| c == '|').map(|(i, _)| i).collect()
+        };
+        // All data rows have separators in matching count.
+        assert_eq!(bar_positions(lines[0]).len(), 2);
+        assert_eq!(bar_positions(lines[2]).len(), 2);
+        assert_eq!(bar_positions(lines[3]).len(), 2);
+    }
+}

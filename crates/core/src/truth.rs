@@ -1,0 +1,98 @@
+//! Truth values of tuples (§2.1).
+//!
+//! "Every tuple is an item with an associated truth value. The truth
+//! value of a tuple is a Boolean variable that is true for a positive
+//! (normal) tuple and false for a negated tuple."
+
+use std::fmt;
+use std::ops::Not;
+
+/// The truth value carried by a stored tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Truth {
+    /// A negated tuple: "for every element of the item, the relation
+    /// does not hold."
+    Negative,
+    /// A normal tuple: the relation holds for every element of the item.
+    Positive,
+}
+
+impl Truth {
+    /// Convert from a plain boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::Positive
+        } else {
+            Truth::Negative
+        }
+    }
+
+    /// True for [`Truth::Positive`].
+    #[inline]
+    pub fn holds(self) -> bool {
+        self == Truth::Positive
+    }
+
+    /// The paper's table prefix: `+` for positive, `-` for negated
+    /// tuples.
+    #[inline]
+    pub fn sign(self) -> char {
+        match self {
+            Truth::Positive => '+',
+            Truth::Negative => '-',
+        }
+    }
+}
+
+impl Not for Truth {
+    type Output = Truth;
+
+    fn not(self) -> Truth {
+        match self {
+            Truth::Positive => Truth::Negative,
+            Truth::Negative => Truth::Positive,
+        }
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Truth {
+        Truth::from_bool(b)
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sign())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Truth::from_bool(true), Truth::Positive);
+        assert_eq!(Truth::from_bool(false), Truth::Negative);
+        assert!(Truth::Positive.holds());
+        assert!(!Truth::Negative.holds());
+        assert_eq!(Truth::from(true), Truth::Positive);
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for t in [Truth::Positive, Truth::Negative] {
+            assert_eq!(!!t, t);
+        }
+        assert_eq!(!Truth::Positive, Truth::Negative);
+    }
+
+    #[test]
+    fn display_signs() {
+        assert_eq!(Truth::Positive.to_string(), "+");
+        assert_eq!(Truth::Negative.to_string(), "-");
+        assert_eq!(Truth::Negative.sign(), '-');
+    }
+}

@@ -1,0 +1,74 @@
+//! Tuples: items with truth values (§2.1).
+
+use std::fmt;
+
+use crate::item::Item;
+use crate::truth::Truth;
+
+/// A stored tuple: an [`Item`] plus a [`Truth`] value.
+///
+/// A positive tuple `+⟨∀A, b⟩` reads "for every element x of A, the
+/// relation holds of (x, b)"; a negated tuple reads "…does not hold".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    /// The (possibly composite) item.
+    pub item: Item,
+    /// Positive (normal) or negative (exception) assertion.
+    pub truth: Truth,
+}
+
+impl Tuple {
+    /// Build a tuple.
+    pub fn new(item: Item, truth: Truth) -> Tuple {
+        Tuple { item, truth }
+    }
+
+    /// A positive tuple over `item`.
+    pub fn positive(item: Item) -> Tuple {
+        Tuple::new(item, Truth::Positive)
+    }
+
+    /// A negated tuple over `item`.
+    pub fn negative(item: Item) -> Tuple {
+        Tuple::new(item, Truth::Negative)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:?}", self.truth.sign(), self.item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrdm_hierarchy::NodeId;
+
+    fn item() -> Item {
+        Item::new(vec![NodeId::from_index(1), NodeId::from_index(2)])
+    }
+
+    #[test]
+    fn constructors() {
+        let t = Tuple::positive(item());
+        assert_eq!(t.truth, Truth::Positive);
+        let t = Tuple::negative(item());
+        assert_eq!(t.truth, Truth::Negative);
+        let t = Tuple::new(item(), Truth::Positive);
+        assert_eq!(t.item, item());
+    }
+
+    #[test]
+    fn display_leads_with_sign() {
+        assert!(Tuple::positive(item()).to_string().starts_with('+'));
+        assert!(Tuple::negative(item()).to_string().starts_with('-'));
+    }
+
+    #[test]
+    fn tuples_order_by_item_then_truth() {
+        let a = Tuple::negative(item());
+        let b = Tuple::positive(item());
+        assert!(a < b, "Negative < Positive for equal items");
+    }
+}

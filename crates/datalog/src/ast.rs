@@ -1,0 +1,418 @@
+//! Terms, atoms, literals, rules, and programs.
+//!
+//! The concrete syntax is classic Datalog:
+//!
+//! ```text
+//! travels_far(X) :- flies(X).
+//! grounded(X)    :- creature(X), !flies(X).
+//! respects_some(S) :- respects(S, T).
+//! white_royal(X) :- isa(X, "Royal Elephant"), color(X, white).
+//! ```
+//!
+//! Identifiers starting with an uppercase letter (or `_`) are variables;
+//! lowercase identifiers and `"quoted strings"` are *symbolic constants*,
+//! resolved against the engine's registered domain hierarchies by node
+//! name at evaluation time. Negation is `!` (or `not `).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use hrdm_hierarchy::NodeId;
+
+use crate::error::{DatalogError, Result};
+
+/// A fully resolved constant: a node of one registered domain.
+///
+/// The `domain` tag keeps node ids from different hierarchy graphs from
+/// unifying by numeric accident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value {
+    /// Engine-assigned domain tag.
+    pub domain: u32,
+    /// Node within that domain's hierarchy graph.
+    pub node: NodeId,
+}
+
+/// A term of an atom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable (uppercase identifier).
+    Var(String),
+    /// A symbolic constant awaiting resolution by the engine.
+    Sym(String),
+    /// A resolved constant.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A predicate applied to terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Predicate name.
+    pub predicate: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(predicate: impl Into<String>, terms: Vec<Term>) -> Atom {
+        Atom {
+            predicate: predicate.into(),
+            terms,
+        }
+    }
+
+    /// Variables occurring in the atom.
+    pub fn variables(&self) -> BTreeSet<&str> {
+        self.terms.iter().filter_map(Term::as_var).collect()
+    }
+}
+
+/// A possibly negated atom in a rule body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    /// The atom.
+    pub atom: Atom,
+    /// `true` for a plain literal, `false` under negation.
+    pub positive: bool,
+}
+
+/// A Horn rule with (stratified) negation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// The body literals, evaluated left to right.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Build a rule and check safety: every head variable and every
+    /// variable of a negated literal must occur in some positive body
+    /// literal.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Result<Rule> {
+        let rule = Rule { head, body };
+        rule.check_safety()?;
+        Ok(rule)
+    }
+
+    fn check_safety(&self) -> Result<()> {
+        let bound: BTreeSet<&str> = self
+            .body
+            .iter()
+            .filter(|l| l.positive)
+            .flat_map(|l| l.atom.variables())
+            .collect();
+        for v in self.head.variables() {
+            if !bound.contains(v) {
+                return Err(DatalogError::Unsafe {
+                    rule: self.to_string(),
+                    variable: v.to_string(),
+                });
+            }
+        }
+        for l in &self.body {
+            if !l.positive {
+                for v in l.atom.variables() {
+                    if !bound.contains(v) {
+                        return Err(DatalogError::Unsafe {
+                            rule: self.to_string(),
+                            variable: v.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse one rule from text (see the module docs for the grammar).
+    /// A trailing `.` is optional. Facts (`p(a).`) are rules with empty
+    /// bodies.
+    pub fn parse(text: &str) -> Result<Rule> {
+        let text = text.trim().trim_end_matches('.').trim();
+        let (head_s, body_s) = match text.split_once(":-") {
+            Some((h, b)) => (h.trim(), Some(b.trim())),
+            None => (text, None),
+        };
+        let head = parse_atom(head_s)?;
+        let mut body = Vec::new();
+        if let Some(body_s) = body_s {
+            for lit in split_top_level(body_s)? {
+                let lit = lit.trim();
+                let (positive, atom_s) = if let Some(rest) = lit.strip_prefix('!') {
+                    (false, rest.trim())
+                } else if let Some(rest) = lit.strip_prefix("not ") {
+                    (false, rest.trim())
+                } else {
+                    (true, lit)
+                };
+                body.push(Literal {
+                    atom: parse_atom(atom_s)?,
+                    positive,
+                });
+            }
+        }
+        Rule::new(head, body)
+    }
+}
+
+/// Split a body on commas that are not inside parentheses or quotes.
+fn split_top_level(s: &str) -> Result<Vec<&str>> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '(' if !in_str => depth += 1,
+            ')' if !in_str => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| DatalogError::Parse(format!("unbalanced ')' in {s:?}")))?;
+            }
+            ',' if !in_str && depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_str {
+        return Err(DatalogError::Parse(format!("unbalanced delimiters in {s:?}")));
+    }
+    out.push(&s[start..]);
+    Ok(out)
+}
+
+fn parse_atom(s: &str) -> Result<Atom> {
+    let s = s.trim();
+    let open = s
+        .find('(')
+        .ok_or_else(|| DatalogError::Parse(format!("expected '(' in atom {s:?}")))?;
+    if !s.ends_with(')') {
+        return Err(DatalogError::Parse(format!("expected ')' at end of {s:?}")));
+    }
+    let pred = s[..open].trim();
+    if pred.is_empty()
+        || !pred
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Err(DatalogError::Parse(format!("bad predicate name {pred:?}")));
+    }
+    let inner = &s[open + 1..s.len() - 1];
+    let mut terms = Vec::new();
+    if !inner.trim().is_empty() {
+        for t in split_top_level(inner)? {
+            terms.push(parse_term(t.trim())?);
+        }
+    }
+    Ok(Atom::new(pred, terms))
+}
+
+fn parse_term(s: &str) -> Result<Term> {
+    if s.is_empty() {
+        return Err(DatalogError::Parse("empty term".into()));
+    }
+    if let Some(stripped) = s.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| DatalogError::Parse(format!("unterminated string {s:?}")))?;
+        return Ok(Term::Sym(inner.to_string()));
+    }
+    let first = s.chars().next().expect("non-empty");
+    if !s
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Err(DatalogError::Parse(format!("bad term {s:?}")));
+    }
+    if first.is_ascii_uppercase() || first == '_' {
+        Ok(Term::Var(s.to_string()))
+    } else {
+        Ok(Term::Sym(s.to_string()))
+    }
+}
+
+/// A list of rules evaluated together.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Build from rules.
+    pub fn new(rules: Vec<Rule>) -> Program {
+        Program { rules }
+    }
+
+    /// Parse a multi-line program; `%` starts a comment, blank lines are
+    /// skipped.
+    pub fn parse(text: &str) -> Result<Program> {
+        let mut rules = Vec::new();
+        for line in text.lines() {
+            let line = line.split('%').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            rules.push(Rule::parse(line)?);
+        }
+        Ok(Program::new(rules))
+    }
+
+    /// All predicates defined by rule heads (the IDB).
+    pub fn idb_predicates(&self) -> BTreeSet<&str> {
+        self.rules.iter().map(|r| r.head.predicate.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => f.write_str(v),
+            Term::Sym(s) => write!(f, "{s:?}"),
+            Term::Const(c) => write!(f, "<{}:{}>", c.domain, c.node),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                if !l.positive {
+                    write!(f, "!")?;
+                }
+                write!(f, "{}", l.atom)?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_rule() {
+        let r = Rule::parse("travels_far(X) :- flies(X).").unwrap();
+        assert_eq!(r.head.predicate, "travels_far");
+        assert_eq!(r.body.len(), 1);
+        assert!(r.body[0].positive);
+        assert_eq!(r.body[0].atom.terms, vec![Term::Var("X".into())]);
+    }
+
+    #[test]
+    fn parse_negation_both_spellings() {
+        for text in [
+            "grounded(X) :- creature(X), !flies(X)",
+            "grounded(X) :- creature(X), not flies(X)",
+        ] {
+            let r = Rule::parse(text).unwrap();
+            assert!(!r.body[1].positive);
+        }
+    }
+
+    #[test]
+    fn parse_constants_and_strings() {
+        let r = Rule::parse(r#"white_royal(X) :- isa(X, "Royal Elephant"), color(X, white)"#)
+            .unwrap();
+        assert_eq!(
+            r.body[0].atom.terms[1],
+            Term::Sym("Royal Elephant".into())
+        );
+        assert_eq!(r.body[1].atom.terms[1], Term::Sym("white".into()));
+    }
+
+    #[test]
+    fn parse_fact() {
+        let r = Rule::parse("p(a, b).").unwrap();
+        assert!(r.body.is_empty());
+        assert_eq!(r.head.terms.len(), 2);
+    }
+
+    #[test]
+    fn unsafe_head_variable_rejected() {
+        assert!(matches!(
+            Rule::parse("p(X, Y) :- q(X)"),
+            Err(DatalogError::Unsafe { variable, .. }) if variable == "Y"
+        ));
+    }
+
+    #[test]
+    fn unsafe_negated_variable_rejected() {
+        assert!(matches!(
+            Rule::parse("p(X) :- q(X), !r(Y)"),
+            Err(DatalogError::Unsafe { variable, .. }) if variable == "Y"
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Rule::parse("p(X :- q(X)").is_err());
+        assert!(Rule::parse("(X) :- q(X)").is_err());
+        assert!(Rule::parse("p(X) :- q(\"unterminated)").is_err());
+        assert!(Rule::parse("p() :- q()").is_ok(), "nullary atoms are fine");
+        assert!(Rule::parse("p(x y)").is_err());
+    }
+
+    #[test]
+    fn program_parse_with_comments() {
+        let p = Program::parse(
+            "% transitive travel\n\
+             travels_far(X) :- flies(X).\n\
+             \n\
+             grounded(X) :- creature(X), !flies(X). % CWA\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        let idb = p.idb_predicates();
+        assert!(idb.contains("travels_far"));
+        assert!(idb.contains("grounded"));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let r = Rule::parse("p(X) :- q(X, y), !r(X)").unwrap();
+        let again = Rule::parse(&r.to_string()).unwrap();
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn underscore_leading_is_variable() {
+        let r = Rule::parse("p(X) :- q(X, _ignored)").unwrap();
+        assert_eq!(r.body[0].atom.terms[1], Term::Var("_ignored".into()));
+    }
+}

@@ -1,0 +1,572 @@
+//! The semi-naive bottom-up evaluator.
+//!
+//! EDB predicates come from hierarchical relations (their flat models,
+//! tagged per domain so ids from different hierarchies never unify) and
+//! from the built-in taxonomy predicate registered by
+//! [`Engine::add_isa`]. Evaluation is stratum by stratum; within a
+//! stratum, semi-naive iteration: after the first (naive) round, a rule
+//! only re-fires with at least one body literal drawn from the previous
+//! round's delta.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use hrdm_core::flat::flatten;
+use hrdm_core::{Catalog, HRelation};
+use hrdm_hierarchy::HierarchyGraph;
+
+use crate::ast::{Atom, Program, Rule, Term, Value};
+use crate::error::{DatalogError, Result};
+use crate::strata::stratify;
+
+/// A ground fact.
+pub type Fact = Vec<Value>;
+/// A set of ground facts for one predicate.
+pub type Relation = BTreeSet<Fact>;
+
+/// The Datalog engine: registered domains, EDB facts, and the evaluator.
+#[derive(Default)]
+pub struct Engine {
+    domains: Vec<Arc<HierarchyGraph>>,
+    edb: BTreeMap<String, Relation>,
+}
+
+impl Engine {
+    /// An empty engine.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Intern a domain graph, returning its tag.
+    fn domain_tag(&mut self, g: &Arc<HierarchyGraph>) -> u32 {
+        if let Some(i) = self.domains.iter().position(|d| Arc::ptr_eq(d, g)) {
+            return i as u32;
+        }
+        self.domains.push(g.clone());
+        (self.domains.len() - 1) as u32
+    }
+
+    /// The graph behind a tag (for rendering results).
+    pub fn domain(&self, tag: u32) -> &Arc<HierarchyGraph> {
+        &self.domains[tag as usize]
+    }
+
+    /// Register a hierarchical relation's *flat model* as EDB facts for
+    /// `name`. The condensed relation stays where it is; this flattens
+    /// on registration.
+    pub fn add_relation(&mut self, name: impl Into<String>, relation: &HRelation) {
+        let tags: Vec<u32> = relation
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| self.domain_tag(a.domain()))
+            .collect();
+        let facts: Relation = flatten(relation)
+            .iter()
+            .map(|item| {
+                item.components()
+                    .iter()
+                    .zip(&tags)
+                    .map(|(&node, &domain)| Value { domain, node })
+                    .collect()
+            })
+            .collect();
+        self.edb.insert(name.into(), facts);
+    }
+
+    /// Register every relation of a catalog under its catalog name.
+    pub fn add_catalog(&mut self, catalog: &Catalog) {
+        let names: Vec<String> = catalog.relation_names().map(String::from).collect();
+        for name in names {
+            let rel = catalog.relation(&name).expect("name from the catalog");
+            self.add_relation(name, rel);
+        }
+    }
+
+    /// Register the taxonomy of `graph` as the binary predicate `name`:
+    /// facts `name(member, container)` for every transitive
+    /// member/subset pair (instances *and* classes, per the paper's
+    /// reading of `∈`/`⊆` as one relation).
+    pub fn add_isa(&mut self, name: impl Into<String>, graph: &Arc<HierarchyGraph>) {
+        let tag = self.domain_tag(graph);
+        let mut facts = Relation::new();
+        for a in graph.node_ids() {
+            for b in graph.node_ids() {
+                if a != b && graph.is_descendant(a, b) {
+                    facts.insert(vec![
+                        Value { domain: tag, node: a },
+                        Value { domain: tag, node: b },
+                    ]);
+                }
+            }
+        }
+        self.edb.insert(name.into(), facts);
+    }
+
+    /// Add one ground EDB fact by node names, resolving each name in the
+    /// registered domains.
+    pub fn add_fact(&mut self, predicate: impl Into<String>, names: &[&str]) -> Result<()> {
+        let values = names
+            .iter()
+            .map(|n| self.resolve_symbol(n))
+            .collect::<Result<Fact>>()?;
+        self.edb.entry(predicate.into()).or_default().insert(values);
+        Ok(())
+    }
+
+    /// Resolve a symbolic constant to a unique node across all
+    /// registered domains.
+    fn resolve_symbol(&self, symbol: &str) -> Result<Value> {
+        let mut hits = Vec::new();
+        for (tag, g) in self.domains.iter().enumerate() {
+            if let Ok(node) = g.node(symbol) {
+                hits.push(Value {
+                    domain: tag as u32,
+                    node,
+                });
+            }
+        }
+        match hits.len() {
+            1 => Ok(hits[0]),
+            n => Err(DatalogError::UnresolvedConstant {
+                symbol: symbol.to_string(),
+                matches: n,
+            }),
+        }
+    }
+
+    /// Resolve every `Term::Sym` in the program to constants.
+    fn resolve_program(&self, program: &Program) -> Result<Program> {
+        let mut rules = Vec::with_capacity(program.rules.len());
+        for rule in &program.rules {
+            let fix_atom = |atom: &Atom| -> Result<Atom> {
+                let terms = atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Sym(s) => Ok(Term::Const(self.resolve_symbol(s)?)),
+                        other => Ok(other.clone()),
+                    })
+                    .collect::<Result<Vec<Term>>>()?;
+                Ok(Atom::new(atom.predicate.clone(), terms))
+            };
+            let head = fix_atom(&rule.head)?;
+            let body = rule
+                .body
+                .iter()
+                .map(|l| {
+                    Ok(crate::ast::Literal {
+                        atom: fix_atom(&l.atom)?,
+                        positive: l.positive,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            rules.push(Rule { head, body });
+        }
+        Ok(Program::new(rules))
+    }
+
+    /// Register a domain graph so symbolic constants and
+    /// [`Engine::add_fact`] can resolve names against it, even before
+    /// any relation over it is added.
+    pub fn register_domain(&mut self, graph: &Arc<HierarchyGraph>) -> u32 {
+        self.domain_tag(graph)
+    }
+
+    /// Validate arities and unknown predicates across program + EDB.
+    fn check_program(&self, program: &Program) -> Result<()> {
+        let mut arity: HashMap<String, usize> = HashMap::new();
+        for (name, rel) in &self.edb {
+            if let Some(f) = rel.iter().next() {
+                arity.insert(name.clone(), f.len());
+            }
+        }
+        let idb = program.idb_predicates();
+        let mut check = |atom: &Atom| -> Result<()> {
+            match arity.get(atom.predicate.as_str()) {
+                Some(&a) if a != atom.terms.len() => Err(DatalogError::ArityMismatch {
+                    predicate: atom.predicate.clone(),
+                    expected: a,
+                    got: atom.terms.len(),
+                }),
+                Some(_) => Ok(()),
+                None => {
+                    arity.insert(atom.predicate.clone(), atom.terms.len());
+                    Ok(())
+                }
+            }
+        };
+        for rule in &program.rules {
+            check(&rule.head)?;
+            for lit in &rule.body {
+                check(&lit.atom)?;
+                let p = lit.atom.predicate.as_str();
+                if !idb.contains(p) && !self.edb.contains_key(p) {
+                    return Err(DatalogError::UnknownPredicate(p.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate `program` to a fixpoint; returns every IDB relation.
+    pub fn run(&self, program: &Program) -> Result<BTreeMap<String, Relation>> {
+        let program = self.resolve_program(program)?;
+        self.check_program(&program)?;
+        let strata = stratify(&program)?;
+
+        // Working database: EDB plus accumulating IDB.
+        let mut db: BTreeMap<&str, Relation> = self
+            .edb
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        for p in program.idb_predicates() {
+            db.entry(p).or_default();
+        }
+
+        for stratum in &strata {
+            let rules: Vec<&Rule> = stratum.iter().map(|&i| &program.rules[i]).collect();
+            let stratum_preds: BTreeSet<&str> =
+                rules.iter().map(|r| r.head.predicate.as_str()).collect();
+
+            // Naive first round.
+            let mut delta: BTreeMap<&str, Relation> = BTreeMap::new();
+            for rule in &rules {
+                for fact in eval_rule(rule, &db, None, &stratum_preds)? {
+                    let head = rule.head.predicate.as_str();
+                    if !db[head].contains(&fact) {
+                        delta.entry(head).or_default().insert(fact);
+                    }
+                }
+            }
+            merge(&mut db, &delta);
+
+            // Semi-naive rounds.
+            while delta.values().any(|d| !d.is_empty()) {
+                let mut next: BTreeMap<&str, Relation> = BTreeMap::new();
+                for rule in &rules {
+                    for (pos, lit) in rule.body.iter().enumerate() {
+                        if !lit.positive {
+                            continue;
+                        }
+                        let p = lit.atom.predicate.as_str();
+                        let Some(d) = delta.get(p) else { continue };
+                        if d.is_empty() {
+                            continue;
+                        }
+                        for fact in eval_rule(rule, &db, Some((pos, d)), &stratum_preds)? {
+                            let head = rule.head.predicate.as_str();
+                            if !db[head].contains(&fact)
+                                && !next.get(head).is_some_and(|n| n.contains(&fact))
+                            {
+                                next.entry(head).or_default().insert(fact);
+                            }
+                        }
+                    }
+                }
+                merge(&mut db, &next);
+                delta = next;
+            }
+        }
+
+        Ok(program
+            .idb_predicates()
+            .into_iter()
+            .map(|p| (p.to_string(), db[p].clone()))
+            .collect())
+    }
+
+    /// Evaluate and render one predicate's facts as name tuples.
+    pub fn run_pretty(&self, program: &Program, predicate: &str) -> Result<Vec<Vec<String>>> {
+        let out = self.run(program)?;
+        let rel = out
+            .get(predicate)
+            .ok_or_else(|| DatalogError::UnknownPredicate(predicate.to_string()))?;
+        Ok(rel
+            .iter()
+            .map(|fact| {
+                fact.iter()
+                    .map(|v| self.domain(v.domain).name(v.node).to_string())
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+fn merge<'a>(db: &mut BTreeMap<&'a str, Relation>, delta: &BTreeMap<&'a str, Relation>) {
+    for (p, facts) in delta {
+        db.entry(p).or_default().extend(facts.iter().cloned());
+    }
+}
+
+type Subst = BTreeMap<String, Value>;
+
+fn unify(atom: &Atom, fact: &[Value], subst: &Subst) -> Option<Subst> {
+    if atom.terms.len() != fact.len() {
+        return None;
+    }
+    let mut s = subst.clone();
+    for (t, &v) in atom.terms.iter().zip(fact) {
+        match t {
+            Term::Const(c) => {
+                if *c != v {
+                    return None;
+                }
+            }
+            Term::Var(name) => match s.get(name) {
+                Some(&bound) if bound != v => return None,
+                Some(_) => {}
+                None => {
+                    s.insert(name.clone(), v);
+                }
+            },
+            Term::Sym(_) => unreachable!("symbols resolved before evaluation"),
+        }
+    }
+    Some(s)
+}
+
+fn instantiate(atom: &Atom, subst: &Subst) -> Fact {
+    atom.terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => *c,
+            Term::Var(v) => subst[v],
+            Term::Sym(_) => unreachable!("symbols resolved before evaluation"),
+        })
+        .collect()
+}
+
+/// Evaluate one rule against the database. With `delta_at = Some((i,
+/// d))`, body literal `i` ranges over `d` instead of the full relation
+/// (semi-naive focus).
+fn eval_rule(
+    rule: &Rule,
+    db: &BTreeMap<&str, Relation>,
+    delta_at: Option<(usize, &Relation)>,
+    _stratum_preds: &BTreeSet<&str>,
+) -> Result<Vec<Fact>> {
+    let empty = Relation::new();
+    let mut substs: Vec<Subst> = vec![Subst::new()];
+    for (i, lit) in rule.body.iter().enumerate() {
+        let rel: &Relation = match delta_at {
+            Some((pos, d)) if pos == i => d,
+            _ => db.get(lit.atom.predicate.as_str()).unwrap_or(&empty),
+        };
+        let mut next = Vec::new();
+        if lit.positive {
+            for s in &substs {
+                for fact in rel {
+                    if let Some(s2) = unify(&lit.atom, fact, s) {
+                        next.push(s2);
+                    }
+                }
+            }
+        } else {
+            // Safety guarantees groundness here.
+            for s in substs {
+                let ground = instantiate(&lit.atom, &s);
+                if !rel.contains(&ground) {
+                    next.push(s);
+                }
+            }
+        }
+        substs = next;
+        if substs.is_empty() {
+            break;
+        }
+    }
+    Ok(substs
+        .into_iter()
+        .map(|s| instantiate(&rule.head, &s))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrdm_core::prelude::*;
+
+    fn flying_world() -> (Engine, Arc<Schema>) {
+        let mut g = HierarchyGraph::new("Animal");
+        let bird = g.add_class("Bird", g.root()).unwrap();
+        let canary = g.add_class("Canary", bird).unwrap();
+        g.add_instance("Tweety", canary).unwrap();
+        let penguin = g.add_class("Penguin", bird).unwrap();
+        g.add_instance("Paul", penguin).unwrap();
+        let fish = g.add_class("Fish", g.root()).unwrap();
+        g.add_instance("Nemo", fish).unwrap();
+        let g = Arc::new(g);
+        let schema = Arc::new(Schema::single("Creature", g.clone()));
+
+        let mut flies = HRelation::new(schema.clone());
+        flies.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        flies.assert_fact(&["Penguin"], Truth::Negative).unwrap();
+
+        let mut creature = HRelation::new(schema.clone());
+        creature.assert_fact(&["Animal"], Truth::Positive).unwrap();
+
+        let mut engine = Engine::new();
+        engine.add_relation("flies", &flies);
+        engine.add_relation("creature", &creature);
+        engine.add_isa("isa", &g);
+        (engine, schema)
+    }
+
+    #[test]
+    fn single_rule_inference() {
+        // The paper's own example: flying things can travel far, so
+        // Tweety can travel far.
+        let (engine, _) = flying_world();
+        let p = Program::parse("travels_far(X) :- flies(X).").unwrap();
+        let rows = engine.run_pretty(&p, "travels_far").unwrap();
+        assert_eq!(rows, vec![vec!["Tweety".to_string()]]);
+    }
+
+    #[test]
+    fn negation_with_cwa() {
+        let (engine, _) = flying_world();
+        let p = Program::parse("grounded(X) :- creature(X), !flies(X).").unwrap();
+        let mut rows = engine.run_pretty(&p, "grounded").unwrap();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![vec!["Nemo".to_string()], vec!["Paul".to_string()]]
+        );
+    }
+
+    #[test]
+    fn constants_resolve_against_domains() {
+        let (engine, _) = flying_world();
+        let p = Program::parse(r#"is_bird(X) :- isa(X, "Bird")."#).unwrap();
+        let mut rows = engine.run_pretty(&p, "is_bird").unwrap();
+        rows.sort();
+        // Members and subclasses of Bird: Canary, Tweety, Penguin, Paul.
+        assert_eq!(rows.len(), 4);
+        assert!(rows.contains(&vec!["Tweety".to_string()]));
+        assert!(rows.contains(&vec!["Penguin".to_string()]));
+    }
+
+    #[test]
+    fn recursive_transitive_closure() {
+        let mut g = HierarchyGraph::new("Node");
+        for n in ["a", "b", "c", "d"] {
+            g.add_instance(n, g.root()).unwrap();
+        }
+        let g = Arc::new(g);
+        let mut engine = Engine::new();
+        engine.register_domain(&g);
+        engine.add_fact("edge", &["a", "b"]).unwrap();
+        engine.add_fact("edge", &["b", "c"]).unwrap();
+        engine.add_fact("edge", &["c", "d"]).unwrap();
+        let p = Program::parse(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- path(X, Y), edge(Y, Z).",
+        )
+        .unwrap();
+        let rows = engine.run_pretty(&p, "path").unwrap();
+        assert_eq!(rows.len(), 6); // ab ac ad bc bd cd
+    }
+
+    #[test]
+    fn unknown_predicate_rejected() {
+        let (engine, _) = flying_world();
+        let p = Program::parse("p(X) :- nonexistent(X).").unwrap();
+        assert!(matches!(
+            engine.run(&p),
+            Err(DatalogError::UnknownPredicate(n)) if n == "nonexistent"
+        ));
+    }
+
+    #[test]
+    fn ambiguous_constant_rejected() {
+        let mut g1 = HierarchyGraph::new("D1");
+        g1.add_instance("dup", g1.root()).unwrap();
+        let mut g2 = HierarchyGraph::new("D2");
+        g2.add_instance("dup", g2.root()).unwrap();
+        let mut engine = Engine::new();
+        engine.register_domain(&Arc::new(g1));
+        engine.register_domain(&Arc::new(g2));
+        assert!(matches!(
+            engine.add_fact("p", &["dup"]),
+            Err(DatalogError::UnresolvedConstant { matches: 2, .. })
+        ));
+        assert!(matches!(
+            engine.add_fact("p", &["missing"]),
+            Err(DatalogError::UnresolvedConstant { matches: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (engine, _) = flying_world();
+        let p = Program::parse("p(X) :- flies(X, X).").unwrap();
+        assert!(matches!(
+            engine.run(&p),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn domains_do_not_unify_across_tags() {
+        // Two different domains with numerically identical node ids must
+        // not join.
+        let mut g1 = HierarchyGraph::new("D1");
+        g1.add_instance("x1", g1.root()).unwrap();
+        let mut g2 = HierarchyGraph::new("D2");
+        g2.add_instance("x2", g2.root()).unwrap();
+        let (g1, g2) = (Arc::new(g1), Arc::new(g2));
+        let s1 = Arc::new(Schema::single("A", g1));
+        let s2 = Arc::new(Schema::single("B", g2));
+        let mut r1 = HRelation::new(s1);
+        r1.assert_fact(&["x1"], Truth::Positive).unwrap();
+        let mut r2 = HRelation::new(s2);
+        r2.assert_fact(&["x2"], Truth::Positive).unwrap();
+        let mut engine = Engine::new();
+        engine.add_relation("p", &r1);
+        engine.add_relation("q", &r2);
+        let prog = Program::parse("same(X) :- p(X), q(X).").unwrap();
+        let out = engine.run(&prog).unwrap();
+        assert!(out["same"].is_empty(), "x1 and x2 share NodeId but differ in domain");
+    }
+
+    #[test]
+    fn catalog_registration() {
+        let mut g = HierarchyGraph::new("Animal");
+        let bird = g.add_class("Bird", g.root()).unwrap();
+        g.add_instance("Tweety", bird).unwrap();
+        let mut cat = Catalog::new();
+        let dom = cat.add_domain("Animal", g);
+        let schema = Arc::new(Schema::single("Creature", dom));
+        let mut flies = HRelation::new(schema);
+        flies.assert_fact(&["Bird"], Truth::Positive).unwrap();
+        cat.add_relation("flies", flies);
+        let mut engine = Engine::new();
+        engine.add_catalog(&cat);
+        let p = Program::parse("f(X) :- flies(X).").unwrap();
+        assert_eq!(engine.run(&p).unwrap()["f"].len(), 1);
+    }
+
+    #[test]
+    fn semi_naive_matches_naive_on_deep_chain() {
+        // Longer chain exercises multiple delta rounds.
+        let mut g = HierarchyGraph::new("Node");
+        let names: Vec<String> = (0..30).map(|i| format!("n{i}")).collect();
+        for n in &names {
+            g.add_instance(n.as_str(), g.root()).unwrap();
+        }
+        let mut engine = Engine::new();
+        engine.register_domain(&Arc::new(g));
+        for w in names.windows(2) {
+            engine.add_fact("edge", &[w[0].as_str(), w[1].as_str()]).unwrap();
+        }
+        let p = Program::parse(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- path(X, Y), edge(Y, Z).",
+        )
+        .unwrap();
+        let rows = engine.run(&p).unwrap();
+        assert_eq!(rows["path"].len(), 30 * 29 / 2);
+    }
+}

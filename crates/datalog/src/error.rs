@@ -1,0 +1,93 @@
+//! Error type for the Datalog layer.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T, E = DatalogError> = std::result::Result<T, E>;
+
+/// Errors raised by parsing, stratification, or evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A rule failed to parse; the payload explains where.
+    Parse(String),
+    /// A head variable does not occur in any positive body literal
+    /// (range restriction), or a negated literal has an unbound
+    /// variable.
+    Unsafe {
+        /// The offending rule, rendered.
+        rule: String,
+        /// The unbound variable.
+        variable: String,
+    },
+    /// The program has recursion through negation: not stratifiable.
+    NotStratifiable(String),
+    /// A body predicate has no EDB relation and no rule defining it.
+    UnknownPredicate(String),
+    /// A symbolic constant did not resolve to a node in any registered
+    /// domain, or resolved in several.
+    UnresolvedConstant {
+        /// The symbol as written.
+        symbol: String,
+        /// How many domains matched.
+        matches: usize,
+    },
+    /// An atom's arity differs between uses.
+    ArityMismatch {
+        /// The predicate involved.
+        predicate: String,
+        /// Arities observed.
+        expected: usize,
+        /// Conflicting arity.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DatalogError::Unsafe { rule, variable } => {
+                write!(f, "unsafe rule {rule:?}: variable {variable} is unbound")
+            }
+            DatalogError::NotStratifiable(p) => {
+                write!(f, "recursion through negation involving predicate {p:?}")
+            }
+            DatalogError::UnknownPredicate(p) => {
+                write!(f, "predicate {p:?} has no facts and no rules")
+            }
+            DatalogError::UnresolvedConstant { symbol, matches } => write!(
+                f,
+                "constant {symbol:?} resolved in {matches} domains (need exactly 1)"
+            ),
+            DatalogError::ArityMismatch {
+                predicate,
+                expected,
+                got,
+            } => write!(
+                f,
+                "predicate {predicate:?} used with arity {got}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(DatalogError::Parse("x".into()).to_string().contains("x"));
+        assert!(DatalogError::NotStratifiable("p".into())
+            .to_string()
+            .contains("\"p\""));
+        assert!(DatalogError::UnresolvedConstant {
+            symbol: "bird".into(),
+            matches: 2
+        }
+        .to_string()
+        .contains("2 domains"));
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Datalog over hierarchical relations.
+//!
+//! §2.1 of the paper: by separating taxonomy from association, the model
+//! gives up the semantic-net trick of inferring "Tweety can travel far"
+//! from "flying things can travel far" — and the paper's answer is that
+//! "through the use of logic programming, such as PROLOG or DATALOG, on
+//! top of our hierarchical data model, we are able to provide an even
+//! more powerful inference mechanism with no loss of succinctness."
+//!
+//! This crate is that layer: a semi-naive, bottom-up Datalog engine with
+//! stratified negation whose EDB predicates are hierarchical relations
+//! (added directly or resolved through a [`hrdm_core::Catalog`]) and
+//! whose built-in `isa`-style predicates expose each domain's taxonomy
+//! as facts.
+//!
+//! * [`ast`] — terms, atoms, literals, rules, programs, safety checks,
+//! * [`strata`] — stratification for negation,
+//! * [`engine`] — the semi-naive evaluator.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hrdm_core::prelude::*;
+//! use hrdm_datalog::ast::{Program, Rule};
+//! use hrdm_datalog::engine::Engine;
+//! use hrdm_hierarchy::HierarchyGraph;
+//!
+//! let mut g = HierarchyGraph::new("Animal");
+//! let bird = g.add_class("Bird", g.root()).unwrap();
+//! g.add_instance("Tweety", bird).unwrap();
+//! let schema = Arc::new(Schema::single("Creature", Arc::new(g)));
+//! let mut flies = HRelation::new(schema.clone());
+//! flies.assert_fact(&["Bird"], Truth::Positive).unwrap();
+//!
+//! let mut engine = Engine::new();
+//! engine.add_relation("flies", &flies);
+//! let program = Program::new(vec![
+//!     Rule::parse("travels_far(X) :- flies(X)").unwrap(),
+//! ]);
+//! let result = engine.run(&program).unwrap();
+//! assert_eq!(result["travels_far"].len(), 1); // Tweety
+//! ```
+
+pub mod ast;
+pub mod engine;
+pub mod error;
+pub mod strata;
+
+pub use ast::{Atom, Literal, Program, Rule, Term, Value};
+pub use engine::Engine;
+pub use error::{DatalogError, Result};

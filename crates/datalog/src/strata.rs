@@ -1,0 +1,139 @@
+//! Stratification: layering rules so negation only looks down.
+//!
+//! A program is *stratifiable* when no predicate depends on itself
+//! through a negation. Strata are computed with the standard iterative
+//! algorithm: `stratum(head) ≥ stratum(body-pred)` for positive
+//! dependencies, strictly greater for negated ones; failure to converge
+//! within `|preds|` rounds means recursion through negation.
+
+use std::collections::BTreeMap;
+
+use crate::ast::Program;
+use crate::error::{DatalogError, Result};
+
+/// Rule indexes grouped by stratum, in evaluation order.
+pub type Strata = Vec<Vec<usize>>;
+
+/// Stratify `program` or report the offending predicate.
+pub fn stratify(program: &Program) -> Result<Strata> {
+    let idb = program.idb_predicates();
+    let mut stratum: BTreeMap<&str, usize> = idb.iter().map(|&p| (p, 0)).collect();
+
+    let bound = idb.len().max(1);
+    for _round in 0..=bound {
+        let mut changed = false;
+        for rule in &program.rules {
+            let head = rule.head.predicate.as_str();
+            let mut need = stratum[head];
+            for lit in &rule.body {
+                let p = lit.atom.predicate.as_str();
+                if let Some(&s) = stratum.get(p) {
+                    let min = if lit.positive { s } else { s + 1 };
+                    need = need.max(min);
+                }
+            }
+            if need > stratum[head] {
+                if need > bound {
+                    return Err(DatalogError::NotStratifiable(head.to_string()));
+                }
+                stratum.insert(head, need);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // A stratum above |preds| can only come from a negative cycle.
+    if let Some((&p, _)) = stratum.iter().find(|&(_, &s)| s > bound) {
+        return Err(DatalogError::NotStratifiable(p.to_string()));
+    }
+
+    let max = stratum.values().copied().max().unwrap_or(0);
+    let mut out: Strata = vec![Vec::new(); max + 1];
+    for (i, rule) in program.rules.iter().enumerate() {
+        out[stratum[rule.head.predicate.as_str()]].push(i);
+    }
+    out.retain(|s| !s.is_empty());
+    if out.is_empty() && !program.rules.is_empty() {
+        out.push((0..program.rules.len()).collect());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Program, Rule};
+
+    fn prog(lines: &[&str]) -> Program {
+        Program::new(lines.iter().map(|l| Rule::parse(l).unwrap()).collect())
+    }
+
+    #[test]
+    fn positive_recursion_is_one_stratum() {
+        let p = prog(&[
+            "path(X, Y) :- edge(X, Y)",
+            "path(X, Z) :- path(X, Y), edge(Y, Z)",
+        ]);
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn negation_pushes_to_higher_stratum() {
+        let p = prog(&[
+            "flies(X) :- bird(X)",
+            "grounded(X) :- creature(X), !flies(X)",
+        ]);
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], vec![0]);
+        assert_eq!(s[1], vec![1]);
+    }
+
+    #[test]
+    fn recursion_through_negation_rejected() {
+        let p = prog(&[
+            "win(X) :- move(X, Y), !win(Y)",
+        ]);
+        assert!(matches!(
+            stratify(&p),
+            Err(DatalogError::NotStratifiable(p)) if p == "win"
+        ));
+    }
+
+    #[test]
+    fn mutual_recursion_through_negation_rejected() {
+        let p = prog(&[
+            "p(X) :- e(X), !q(X)",
+            "q(X) :- e(X), !p(X)",
+        ]);
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn edb_only_negation_is_fine() {
+        let p = prog(&["p(X) :- e(X), !f(X)"]);
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn chain_of_negations_builds_strata() {
+        let p = prog(&[
+            "a(X) :- e(X)",
+            "b(X) :- e(X), !a(X)",
+            "c(X) :- e(X), !b(X)",
+        ]);
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::default();
+        assert!(stratify(&p).unwrap().is_empty());
+    }
+}

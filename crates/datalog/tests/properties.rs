@@ -1,0 +1,251 @@
+//! Property tests for the Datalog engine: the semi-naive evaluator must
+//! agree with a naive reference evaluator on random programs and EDBs.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hrdm_datalog::ast::{Atom, Literal, Program, Rule, Term, Value};
+use hrdm_datalog::engine::{Engine, Relation};
+use hrdm_hierarchy::HierarchyGraph;
+
+/// Naive reference: repeat full rule evaluation until fixpoint,
+/// stratum-agnostic version for negation-free programs.
+fn naive_eval(
+    edb: &std::collections::BTreeMap<String, Relation>,
+    program: &Program,
+) -> std::collections::BTreeMap<String, Relation> {
+    let mut db: std::collections::BTreeMap<String, Relation> = edb.clone();
+    for p in program.idb_predicates() {
+        db.entry(p.to_string()).or_default();
+    }
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            let derived = naive_rule(rule, &db);
+            let head = rule.head.predicate.clone();
+            for fact in derived {
+                if db.get_mut(&head).expect("initialized").insert(fact) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            let mut out = std::collections::BTreeMap::new();
+            for p in program.idb_predicates() {
+                out.insert(p.to_string(), db[p].clone());
+            }
+            return out;
+        }
+    }
+}
+
+fn naive_rule(
+    rule: &Rule,
+    db: &std::collections::BTreeMap<String, Relation>,
+) -> Vec<Vec<Value>> {
+    type Subst = std::collections::BTreeMap<String, Value>;
+    fn unify(atom: &Atom, fact: &[Value], s: &Subst) -> Option<Subst> {
+        if atom.terms.len() != fact.len() {
+            return None;
+        }
+        let mut s = s.clone();
+        for (t, &v) in atom.terms.iter().zip(fact) {
+            match t {
+                Term::Const(c) if *c != v => return None,
+                Term::Const(_) => {}
+                Term::Var(name) => match s.get(name) {
+                    Some(&b) if b != v => return None,
+                    Some(_) => {}
+                    None => {
+                        s.insert(name.clone(), v);
+                    }
+                },
+                Term::Sym(_) => unreachable!("no symbols in generated programs"),
+            }
+        }
+        Some(s)
+    }
+    let empty = Relation::new();
+    let mut substs: Vec<Subst> = vec![Subst::new()];
+    for lit in &rule.body {
+        let rel = db.get(&lit.atom.predicate).unwrap_or(&empty);
+        let mut next = Vec::new();
+        if lit.positive {
+            for s in &substs {
+                for fact in rel {
+                    if let Some(s2) = unify(&lit.atom, fact, s) {
+                        next.push(s2);
+                    }
+                }
+            }
+        } else {
+            for s in substs {
+                let ground: Vec<Value> = lit
+                    .atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => *c,
+                        Term::Var(v) => s[v],
+                        Term::Sym(_) => unreachable!(),
+                    })
+                    .collect();
+                if !rel.contains(&ground) {
+                    next.push(s);
+                }
+            }
+        }
+        substs = next;
+    }
+    substs
+        .into_iter()
+        .map(|s| {
+            rule.head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => s[v],
+                    Term::Sym(_) => unreachable!(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Random edge EDB over `n` nodes.
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (3usize..8).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec((0..n, 0..n), 0..20),
+        )
+    })
+}
+
+fn build_engine(n: usize, edges: &[(usize, usize)]) -> (Engine, Vec<String>) {
+    let mut g = HierarchyGraph::new("Node");
+    let names: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+    for name in &names {
+        g.add_instance(name.as_str(), g.root()).expect("fresh");
+    }
+    let mut engine = Engine::new();
+    engine.register_domain(&Arc::new(g));
+    for &(a, b) in edges {
+        engine
+            .add_fact("edge", &[names[a].as_str(), names[b].as_str()])
+            .expect("registered domain");
+    }
+    // Always make the predicate exist even with no facts.
+    if edges.is_empty() {
+        // add_fact above never ran; seed via a rule-less EDB by adding
+        // and removing is not supported — instead declare edge via an
+        // empty program is fine because the engine rejects unknown
+        // predicates. Add one self-loop... no: keep at least one edge.
+    }
+    (engine, names)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transitive_closure_semi_naive_matches_naive((n, edges) in edges_strategy()) {
+        prop_assume!(!edges.is_empty());
+        let (engine, _names) = build_engine(n, &edges);
+        let program = Program::parse(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- path(X, Y), edge(Y, Z).",
+        ).expect("static program");
+        let semi = engine.run(&program).expect("no negation");
+
+        // Reference: naive iteration over the same EDB.
+        let mut edb = std::collections::BTreeMap::new();
+        let facts: Relation = edges
+            .iter()
+            .map(|&(a, b)| {
+                vec![
+                    Value { domain: 0, node: hrdm_hierarchy::NodeId::from_index(a + 1) },
+                    Value { domain: 0, node: hrdm_hierarchy::NodeId::from_index(b + 1) },
+                ]
+            })
+            .collect();
+        edb.insert("edge".to_string(), facts);
+        let naive = naive_eval(&edb, &program);
+        prop_assert_eq!(&semi["path"], &naive["path"]);
+    }
+
+    #[test]
+    fn closure_is_actually_transitive((n, edges) in edges_strategy()) {
+        prop_assume!(!edges.is_empty());
+        let (engine, _names) = build_engine(n, &edges);
+        let program = Program::parse(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- path(X, Y), edge(Y, Z).",
+        ).expect("static program");
+        let out = engine.run(&program).expect("no negation");
+        let path = &out["path"];
+        // Transitivity.
+        for p in path {
+            for q in path {
+                if p[1] == q[0] {
+                    prop_assert!(path.contains(&vec![p[0], q[1]]));
+                }
+            }
+        }
+        // Soundness: every path endpoint pair is connected in the raw
+        // edge relation (BFS check).
+        let adj: std::collections::BTreeMap<_, Vec<_>> = edges.iter().fold(
+            std::collections::BTreeMap::new(),
+            |mut m, &(a, b)| {
+                m.entry(a).or_default().push(b);
+                m
+            },
+        );
+        for p in path {
+            let start = p[0].node.index() - 1;
+            let goal = p[1].node.index() - 1;
+            let mut seen = vec![false; n];
+            let mut stack = vec![start];
+            let mut found = false;
+            while let Some(x) = stack.pop() {
+                for &y in adj.get(&x).map(Vec::as_slice).unwrap_or(&[]) {
+                    if y == goal {
+                        found = true;
+                    }
+                    if !seen[y] {
+                        seen[y] = true;
+                        stack.push(y);
+                    }
+                }
+                if found {
+                    break;
+                }
+            }
+            prop_assert!(found, "derived path {:?} not connected", p);
+        }
+    }
+
+    #[test]
+    fn stratified_negation_partitions((n, edges) in edges_strategy()) {
+        prop_assume!(!edges.is_empty());
+        let (mut engine, names) = build_engine(n, &edges);
+        // node(X) EDB.
+        for name in &names {
+            engine.add_fact("node", &[name.as_str()]).expect("registered");
+        }
+        let program = Program::parse(
+            "has_out(X) :- edge(X, Y).\n\
+             sink(X) :- node(X), !has_out(X).",
+        ).expect("static program");
+        let out = engine.run(&program).expect("stratifiable");
+        // sink ∪ has_out = node, disjointly.
+        let sinks = &out["sink"];
+        let outs = &out["has_out"];
+        prop_assert_eq!(sinks.len() + outs.len(), n);
+        for s in sinks {
+            prop_assert!(!outs.contains(s));
+        }
+    }
+}

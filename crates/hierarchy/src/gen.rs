@@ -1,0 +1,200 @@
+//! Synthetic hierarchy generators for benchmarks and property tests.
+//!
+//! The paper has no datasets; every quantitative claim is structural. The
+//! benchmark harness therefore drives the model with three families of
+//! synthetic taxonomies, all seeded and reproducible:
+//!
+//! * [`balanced_tree`] — clean single-inheritance taxonomies (the common
+//!   case in frame systems),
+//! * [`layered_dag`] — multiple-inheritance DAGs with tunable density
+//!   (stress for conflict detection and preemption),
+//! * [`flat_classes`] — one level of classes over many instances (the
+//!   §1 storage-compression scenario: one class tuple replacing *n*
+//!   instance tuples).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::HierarchyGraph;
+use crate::node::NodeId;
+
+/// A balanced tree of classes with `fanout^depth` leaf instances.
+///
+/// Depth 0 yields just the root. Interior levels are classes named
+/// `C<level>_<ordinal>`; the last level consists of instances named
+/// `i<ordinal>`.
+pub fn balanced_tree(fanout: usize, depth: usize) -> HierarchyGraph {
+    assert!(fanout >= 1, "fanout must be positive");
+    let mut g = HierarchyGraph::new("D");
+    let mut level = vec![g.root()];
+    for d in 1..=depth {
+        let mut next = Vec::with_capacity(level.len() * fanout);
+        for (pi, &p) in level.iter().enumerate() {
+            for f in 0..fanout {
+                let ord = pi * fanout + f;
+                let id = if d == depth {
+                    g.add_instance(format!("i{ord}"), p)
+                        .expect("generated names are unique")
+                } else {
+                    g.add_class(format!("C{d}_{ord}"), p)
+                        .expect("generated names are unique")
+                };
+                next.push(id);
+            }
+        }
+        level = next;
+    }
+    g
+}
+
+/// A layered random DAG: `layers` class layers of width `width`, each
+/// node drawing 1..=`max_parents` parents uniformly from the previous
+/// layer, followed by one instance per bottom-layer class.
+///
+/// With `max_parents > 1` this exercises multiple inheritance; density
+/// rises with `max_parents`. Deterministic in `seed`.
+pub fn layered_dag(
+    layers: usize,
+    width: usize,
+    max_parents: usize,
+    seed: u64,
+) -> HierarchyGraph {
+    assert!(width >= 1 && max_parents >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = HierarchyGraph::new("D");
+    let mut prev = vec![g.root()];
+    for l in 0..layers {
+        let mut layer = Vec::with_capacity(width);
+        for w in 0..width {
+            let k = rng.gen_range(1..=max_parents.min(prev.len()));
+            let mut parents: Vec<NodeId> = Vec::with_capacity(k);
+            while parents.len() < k {
+                let p = prev[rng.gen_range(0..prev.len())];
+                if !parents.contains(&p) {
+                    parents.push(p);
+                }
+            }
+            layer.push(
+                g.add_class_multi(format!("L{l}_{w}"), &parents)
+                    .expect("generated names are unique"),
+            );
+        }
+        prev = layer;
+    }
+    for (w, &p) in prev.clone().iter().enumerate() {
+        g.add_instance(format!("i{w}"), p)
+            .expect("generated names are unique");
+    }
+    g
+}
+
+/// `classes` sibling classes under the root, each with `members`
+/// instances: the flattest hierarchy that still lets a single class tuple
+/// stand for `members` facts.
+pub fn flat_classes(classes: usize, members: usize) -> HierarchyGraph {
+    let mut g = HierarchyGraph::new("D");
+    for c in 0..classes {
+        let class = g
+            .add_class(format!("C{c}"), g.root())
+            .expect("generated names are unique");
+        for m in 0..members {
+            g.add_instance(format!("i{c}_{m}"), class)
+                .expect("generated names are unique");
+        }
+    }
+    g
+}
+
+/// A random subset of `count` distinct nodes of `g` (excluding the root),
+/// for seeding random relations. Deterministic in `seed`.
+pub fn sample_nodes(g: &HierarchyGraph, count: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool: Vec<NodeId> = g.node_ids().skip(1).collect();
+    let count = count.min(pool.len());
+    // Partial Fisher-Yates.
+    for i in 0..count {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn balanced_tree_counts() {
+        let g = balanced_tree(3, 3);
+        // 1 root + 3 + 9 classes + 27 instances.
+        assert_eq!(g.len(), 1 + 3 + 9 + 27);
+        assert_eq!(g.instances().count(), 27);
+        assert!(validate(&g).is_empty(), "trees are always off-path ready");
+    }
+
+    #[test]
+    fn balanced_tree_depth_zero() {
+        let g = balanced_tree(5, 0);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn layered_dag_is_acyclic_and_rooted() {
+        let g = layered_dag(4, 6, 3, 42);
+        assert_eq!(g.len(), 1 + 4 * 6 + 6);
+        // Every node reachable from root.
+        for id in g.node_ids() {
+            assert!(g.is_descendant(id, g.root()));
+        }
+    }
+
+    #[test]
+    fn layered_dag_deterministic_in_seed() {
+        let a = layered_dag(3, 5, 2, 7);
+        let b = layered_dag(3, 5, 2, 7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for id in a.node_ids() {
+            let pa: Vec<_> = a.parents(id).collect();
+            let pb: Vec<_> = b.parents(id).collect();
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn layered_dag_different_seeds_differ() {
+        let a = layered_dag(4, 8, 3, 1);
+        let b = layered_dag(4, 8, 3, 2);
+        // Node counts match by construction; edges almost surely differ.
+        assert_eq!(a.len(), b.len());
+        let edges = |g: &HierarchyGraph| -> Vec<(NodeId, Vec<NodeId>)> {
+            g.node_ids().map(|n| (n, g.children(n).collect())).collect()
+        };
+        assert_ne!(edges(&a), edges(&b));
+    }
+
+    #[test]
+    fn flat_classes_shape() {
+        let g = flat_classes(4, 10);
+        assert_eq!(g.len(), 1 + 4 + 40);
+        assert_eq!(g.classes().count(), 4);
+        assert_eq!(g.instances().count(), 40);
+        let c0 = g.expect("C0");
+        assert_eq!(g.extension(c0).len(), 10);
+    }
+
+    #[test]
+    fn sample_nodes_distinct_and_bounded() {
+        let g = balanced_tree(2, 4);
+        let s = sample_nodes(&g, 10, 9);
+        assert_eq!(s.len(), 10);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(!s.contains(&g.root()));
+        // Requesting more than available clamps.
+        let all = sample_nodes(&g, 10_000, 9);
+        assert_eq!(all.len(), g.len() - 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Indented-outline parser for taxonomies.
+//!
+//! Frame systems and knowledge bases write taxonomies as outlines; this
+//! module parses one straight into a [`HierarchyGraph`]:
+//!
+//! ```text
+//! Animal
+//!   Bird
+//!     Canary
+//!       Tweety *
+//!     Penguin
+//!       Galapagos Penguin
+//!         Paul *
+//!       Amazing Flying Penguin
+//!         Pamela *
+//!         Peter *
+//!   Patricia * < Galapagos Penguin, Amazing Flying Penguin
+//! ```
+//!
+//! Rules: the first line names the domain (root); each subsequent line's
+//! indentation selects its parent (the nearest shallower line); a
+//! trailing `*` marks an instance; `< a, b` adds extra parents by name
+//! (multiple inheritance — the named parents must appear earlier).
+//! Blank lines and `#` comments are skipped.
+
+use crate::error::{HierarchyError, Result};
+use crate::graph::HierarchyGraph;
+use crate::node::NodeId;
+
+/// Errors produced by [`parse_outline`], wrapping graph errors with the
+/// offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutlineError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for OutlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "outline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for OutlineError {}
+
+fn err(line: usize, message: impl Into<String>) -> OutlineError {
+    OutlineError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn graph_err(line: usize, e: HierarchyError) -> OutlineError {
+    err(line, e.to_string())
+}
+
+/// Parse an indented outline into a hierarchy graph.
+pub fn parse_outline(text: &str) -> Result<HierarchyGraph, OutlineError> {
+    let mut graph: Option<HierarchyGraph> = None;
+    // Stack of (indent, node) from root to the current branch tip.
+    let mut stack: Vec<(usize, NodeId)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let without_comment = raw.split('#').next().unwrap_or("");
+        if without_comment.trim().is_empty() {
+            continue;
+        }
+        let indent = without_comment.len() - without_comment.trim_start().len();
+        let body = without_comment.trim();
+
+        // Split off extra parents: "Name * < P1, P2".
+        let (head, extra_parents) = match body.split_once('<') {
+            Some((h, rest)) => {
+                let parents: Vec<&str> =
+                    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                if parents.is_empty() {
+                    return Err(err(lineno, "'<' with no parent names"));
+                }
+                (h.trim(), parents)
+            }
+            None => (body, Vec::new()),
+        };
+        let (name, is_instance) = match head.strip_suffix('*') {
+            Some(n) => (n.trim(), true),
+            None => (head, false),
+        };
+        if name.is_empty() {
+            return Err(err(lineno, "empty node name"));
+        }
+
+        let Some(g) = graph.as_mut() else {
+            if indent != 0 {
+                return Err(err(lineno, "the first (domain) line must not be indented"));
+            }
+            if is_instance || !extra_parents.is_empty() {
+                return Err(err(lineno, "the domain line cannot be an instance or have parents"));
+            }
+            let g = HierarchyGraph::new(name);
+            stack.push((0, g.root()));
+            graph = Some(g);
+            continue;
+        };
+
+        // Parent = nearest stack entry with smaller indent.
+        while stack
+            .last()
+            .is_some_and(|&(i, _)| i >= indent)
+        {
+            stack.pop();
+        }
+        let Some(&(_, parent)) = stack.last() else {
+            return Err(err(lineno, "node has no parent (indent must exceed the domain's)"));
+        };
+
+        let mut parents = vec![parent];
+        for p in extra_parents {
+            let node = g.node(p).map_err(|e| graph_err(lineno, e))?;
+            if !parents.contains(&node) {
+                parents.push(node);
+            }
+        }
+        let id = if is_instance {
+            g.add_instance_multi(name, &parents)
+        } else {
+            g.add_class_multi(name, &parents)
+        }
+        .map_err(|e| graph_err(lineno, e))?;
+        stack.push((indent, id));
+    }
+
+    graph.ok_or_else(|| err(0, "empty outline"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "\
+Animal
+  Bird
+    Canary
+      Tweety *
+    Penguin
+      Galapagos Penguin
+        Paul *
+      Amazing Flying Penguin
+        Pamela *
+        Peter *
+        Patricia * < Galapagos Penguin
+";
+
+    #[test]
+    fn fig1_outline_builds_the_paper_taxonomy() {
+        let g = parse_outline(FIG1).unwrap();
+        assert_eq!(g.len(), 11);
+        assert_eq!(g.instances().count(), 5);
+        let patricia = g.expect("Patricia");
+        assert!(g.is_descendant(patricia, g.expect("Galapagos Penguin")));
+        assert!(g.is_descendant(patricia, g.expect("Amazing Flying Penguin")));
+        assert!(g.is_descendant(g.expect("Tweety"), g.expect("Bird")));
+        assert!(!g.is_descendant(g.expect("Tweety"), g.expect("Penguin")));
+        assert!(crate::validate::validate(&g).is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let g = parse_outline(
+            "# taxonomy\nD\n\n  A # a class\n    x *\n",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+        assert!(g.is_instance(g.expect("x")));
+    }
+
+    #[test]
+    fn dedent_returns_to_outer_parent() {
+        let g = parse_outline("D\n  A\n    A1\n  B\n").unwrap();
+        let b = g.expect("B");
+        assert!(g.is_descendant(b, g.root()));
+        assert!(!g.is_descendant(b, g.expect("A")));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_outline("  D\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("line 1"));
+
+        let e = parse_outline("D\n  A\n  A\n").unwrap_err();
+        assert_eq!(e.line, 3, "duplicate name reported at its line");
+
+        let e = parse_outline("D\n  A < Nowhere\n").unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = parse_outline("D\n  A <\n").unwrap_err();
+        assert!(e.message.contains("no parent names"));
+
+        let e = parse_outline("").unwrap_err();
+        assert_eq!(e.line, 0);
+    }
+
+    #[test]
+    fn instance_cannot_gain_children() {
+        let e = parse_outline("D\n  x *\n    y *\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("leaf"));
+    }
+
+    #[test]
+    fn domain_line_restrictions() {
+        assert!(parse_outline("D *\n").is_err());
+        assert!(parse_outline("D < X\n").is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Preference edges: the Appendix's arbitrary-preference conflict
+//! resolution.
+//!
+//! > "There may be circumstances in which one wishes to assert some
+//! > general preference relation over nodes in the hierarchy, so that
+//! > whenever two nodes have conflicting tuples and apply to some item,
+//! > then one dominates the other. Such arbitrary preference rules can be
+//! > introduced by placing special edges in the hierarchy. These edges do
+//! > not represent set inclusion … but are used to induce the proper
+//! > tuple binding graph. After these special edges have been introduced,
+//! > the semantics of off-path preemption apply."
+//!
+//! Concretely: making `stronger` dominate `weaker` means making
+//! `stronger` *reachable from* `weaker`, so that in a tuple-binding graph
+//! `weaker` is no longer an immediate predecessor of any item they both
+//! subsume — `stronger` preempts it off-path.
+
+use crate::error::{HierarchyError, Result};
+use crate::graph::HierarchyGraph;
+use crate::node::NodeId;
+
+/// Assert that tuples at `stronger` dominate tuples at `weaker` wherever
+/// both apply, by inserting the Appendix's special edge
+/// `weaker → stronger`.
+///
+/// Note the procedural limit of off-path preemption: a *direct* subset
+/// edge from `weaker` to an item is never removed by the elimination
+/// procedure, so at such items `weaker`'s tuple stays immediate and a
+/// conflict persists (the same mechanism that makes the Appendix's
+/// deliberate redundant edge create a conflict at Pamela). Preference
+/// edges resolve conflicts between tuples that bind *through*
+/// intermediate classes — the paper's intended scenario.
+///
+/// Fails if the edge would create a cycle (two opposite preferences) or
+/// if `stronger` is already reachable from `weaker` (the preference is
+/// already implied, reported as [`HierarchyError::DuplicateEdge`] when
+/// literal, or succeeds vacuously when implied transitively — see
+/// [`prefer_if_needed`] for the lenient variant).
+pub fn prefer(g: &mut HierarchyGraph, stronger: NodeId, weaker: NodeId) -> Result<()> {
+    g.add_preference_edge(weaker, stronger)
+}
+
+/// Like [`prefer`], but a no-op when `stronger` is already reachable from
+/// `weaker` (the domination already holds).
+pub fn prefer_if_needed(g: &mut HierarchyGraph, stronger: NodeId, weaker: NodeId) -> Result<()> {
+    if g.reaches(weaker, stronger) {
+        return Ok(());
+    }
+    match g.add_preference_edge(weaker, stronger) {
+        Ok(()) => Ok(()),
+        Err(HierarchyError::DuplicateEdge { .. }) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Does `stronger` currently dominate `weaker` (reachability over both
+/// edge kinds)?
+pub fn dominates(g: &HierarchyGraph, stronger: NodeId, weaker: NodeId) -> bool {
+    g.reaches(weaker, stronger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HierarchyGraph;
+
+    fn two_classes() -> (HierarchyGraph, NodeId, NodeId) {
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        let b = g.add_class("B", g.root()).unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn prefer_inserts_special_edge() {
+        let (mut g, a, b) = two_classes();
+        prefer(&mut g, a, b).unwrap(); // a dominates b
+        assert!(dominates(&g, a, b));
+        assert!(!dominates(&g, b, a));
+        // Not set inclusion.
+        assert!(!g.is_descendant(a, b));
+        assert!(!g.is_descendant(b, a));
+    }
+
+    #[test]
+    fn conflicting_preferences_rejected() {
+        let (mut g, a, b) = two_classes();
+        prefer(&mut g, a, b).unwrap();
+        assert!(matches!(
+            prefer(&mut g, b, a),
+            Err(HierarchyError::WouldCreateCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn prefer_if_needed_is_idempotent() {
+        let (mut g, a, b) = two_classes();
+        prefer_if_needed(&mut g, a, b).unwrap();
+        let edges = g.edge_count();
+        prefer_if_needed(&mut g, a, b).unwrap();
+        assert_eq!(g.edge_count(), edges, "second call adds nothing");
+    }
+
+    #[test]
+    fn subsumption_already_dominates() {
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        let b = g.add_class("B", a).unwrap();
+        // b ⊆ a: b already dominates... no — a reaches b, so *b* binds
+        // more strongly wherever both apply; dominance of b over a holds.
+        assert!(dominates(&g, b, a));
+        let edges = g.edge_count();
+        prefer_if_needed(&mut g, b, a).unwrap();
+        assert_eq!(g.edge_count(), edges);
+    }
+}

@@ -1,0 +1,174 @@
+//! Topological orders over hierarchy graphs and arbitrary sub-DAGs.
+//!
+//! The paper's node-elimination procedure (§2.1) and consolidation
+//! (§3.3.1) both require traversals "in topologically sorted order" and
+//! "in reverse topological order". A topological order here follows the
+//! paper's footnote 5: if there is an edge from node *i* to node *j*, then
+//! *i* precedes *j* (general before specific).
+
+use crate::graph::HierarchyGraph;
+use crate::node::NodeId;
+
+/// A topological order of all nodes of `g` (general before specific).
+///
+/// Deterministic: ties are broken by node id, so repeated calls (and
+/// therefore consolidation results) are stable.
+pub fn topological_order(g: &HierarchyGraph) -> Vec<NodeId> {
+    let n = g.len();
+    let mut indegree = vec![0usize; n];
+    for id in g.node_ids() {
+        for c in g.children(id) {
+            indegree[c.index()] += 1;
+        }
+    }
+    // Kahn's algorithm with an id-ordered frontier for determinism. The
+    // frontier is kept as a sorted stack (pop smallest via binary-heap-free
+    // trick: maintain ascending Vec, take from front index).
+    let mut frontier: Vec<NodeId> = g
+        .node_ids()
+        .filter(|id| indegree[id.index()] == 0)
+        .collect();
+    frontier.sort_unstable();
+    let mut order = Vec::with_capacity(n);
+    let mut next = 0usize;
+    while next < frontier.len() {
+        let id = frontier[next];
+        next += 1;
+        order.push(id);
+        let mut newly_free: Vec<NodeId> = Vec::new();
+        for c in g.children(id) {
+            let d = &mut indegree[c.index()];
+            *d -= 1;
+            if *d == 0 {
+                newly_free.push(c);
+            }
+        }
+        newly_free.sort_unstable();
+        frontier.extend(newly_free);
+        // Keep the unprocessed tail sorted so the order is deterministic.
+        frontier[next..].sort_unstable();
+    }
+    debug_assert_eq!(order.len(), n, "graph invariant guarantees acyclicity");
+    order
+}
+
+/// Reverse topological order (specific before general).
+pub fn reverse_topological_order(g: &HierarchyGraph) -> Vec<NodeId> {
+    let mut order = topological_order(g);
+    order.reverse();
+    order
+}
+
+/// Positions of each node in a topological order, indexed by node id.
+///
+/// `rank[i.index()] < rank[j.index()]` whenever there is a path `i -> j`.
+pub fn topological_ranks(g: &HierarchyGraph) -> Vec<usize> {
+    let order = topological_order(g);
+    let mut rank = vec![0usize; g.len()];
+    for (pos, id) in order.iter().enumerate() {
+        rank[id.index()] = pos;
+    }
+    rank
+}
+
+/// Topologically sort an explicit node subset of `g`.
+///
+/// The subset inherits the order induced by `g`'s edges; nodes outside
+/// `subset` merely transmit ordering (a path through outside nodes still
+/// orders two subset nodes). Used to order subsumption-graph nodes during
+/// consolidation without materializing the subgraph.
+pub fn sort_subset_topologically(g: &HierarchyGraph, subset: &[NodeId]) -> Vec<NodeId> {
+    let rank = topological_ranks(g);
+    let mut out = subset.to_vec();
+    out.sort_unstable_by_key(|id| (rank[id.index()], *id));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HierarchyGraph;
+
+    fn diamond() -> HierarchyGraph {
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        let b = g.add_class("B", g.root()).unwrap();
+        g.add_class_multi("C", &[a, b]).unwrap();
+        g
+    }
+
+    fn assert_is_topological(g: &HierarchyGraph, order: &[NodeId]) {
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        assert_eq!(order.len(), g.len());
+        for id in g.node_ids() {
+            for c in g.children(id) {
+                assert!(pos[&id] < pos[&c], "{id} must precede {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_respects_edges() {
+        let g = diamond();
+        let order = topological_order(&g);
+        assert_is_topological(&g, &order);
+        assert_eq!(order[0], g.root());
+    }
+
+    #[test]
+    fn reverse_order_is_reversed() {
+        let g = diamond();
+        let mut fwd = topological_order(&g);
+        fwd.reverse();
+        assert_eq!(fwd, reverse_topological_order(&g));
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let g = diamond();
+        assert_eq!(topological_order(&g), topological_order(&g));
+    }
+
+    #[test]
+    fn ranks_agree_with_order() {
+        let g = diamond();
+        let order = topological_order(&g);
+        let rank = topological_ranks(&g);
+        for (pos, id) in order.iter().enumerate() {
+            assert_eq!(rank[id.index()], pos);
+        }
+    }
+
+    #[test]
+    fn subset_sorting_uses_graph_order() {
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        let b = g.add_class("B", a).unwrap();
+        let c = g.add_class("C", b).unwrap();
+        // Pass the subset in scrambled order; path a -> b -> c must order
+        // a before c even if we exclude b.
+        let sorted = sort_subset_topologically(&g, &[c, a]);
+        assert_eq!(sorted, vec![a, c]);
+        let sorted = sort_subset_topologically(&g, &[c, b, a]);
+        assert_eq!(sorted, vec![a, b, c]);
+    }
+
+    #[test]
+    fn preference_edges_participate_in_ordering() {
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        let b = g.add_class("B", g.root()).unwrap();
+        g.add_preference_edge(a, b).unwrap();
+        let order = topological_order(&g);
+        let pos_a = order.iter().position(|&n| n == a).unwrap();
+        let pos_b = order.iter().position(|&n| n == b).unwrap();
+        assert!(pos_a < pos_b);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = HierarchyGraph::new("D");
+        assert_eq!(topological_order(&g), vec![g.root()]);
+    }
+}

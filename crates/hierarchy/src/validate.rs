@@ -1,0 +1,148 @@
+//! Structural validation of hierarchy graphs.
+//!
+//! [`HierarchyGraph`] enforces its invariants at mutation time, but two
+//! checks deserve standalone entry points:
+//!
+//! * the §3.1 **type-irredundancy** constraint (no cycles) — useful for
+//!   auditing graphs assembled by front ends,
+//! * **redundant-edge detection** — the Appendix makes off-path
+//!   preemption contingent on the hierarchy being transitively reduced,
+//!   so front ends that want the paper's default semantics can audit (and
+//!   strip) redundant edges before building relations.
+
+use crate::graph::{HierarchyGraph, NodeKind};
+use crate::node::NodeId;
+use crate::reach::redundant_edge_list;
+
+/// A structural problem found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An edge participates in a cycle (type-irredundancy violation).
+    ///
+    /// Cannot occur for graphs built through the public API; reported for
+    /// completeness of the audit.
+    Cycle(NodeId),
+    /// A redundant (transitive) subset/preference edge; under off-path
+    /// preemption the Appendix expects none unless deliberately placed.
+    RedundantEdge(NodeId, NodeId),
+    /// A class unreachable from the root via subset edges: it denotes a
+    /// set that is not a sub-domain of the attribute domain.
+    Unrooted(NodeId),
+}
+
+/// Audit `g` and return every violation found.
+///
+/// A graph built exclusively through [`HierarchyGraph`]'s constructors
+/// can only report [`Violation::RedundantEdge`] (which is legal but
+/// changes preemption semantics) and [`Violation::Unrooted`] (possible
+/// after `remove_edge`).
+pub fn validate(g: &HierarchyGraph) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Cycle check via DFS colouring over all edge kinds.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour = vec![Colour::White; g.len()];
+    let mut in_cycle = Vec::new();
+    for start in g.node_ids() {
+        if colour[start.index()] != Colour::White {
+            continue;
+        }
+        // Iterative DFS with an explicit edge cursor.
+        let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+        colour[start.index()] = Colour::Grey;
+        while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+            let children: Vec<NodeId> = g.children(n).collect();
+            if *i < children.len() {
+                let c = children[*i];
+                *i += 1;
+                match colour[c.index()] {
+                    Colour::White => {
+                        colour[c.index()] = Colour::Grey;
+                        stack.push((c, 0));
+                    }
+                    Colour::Grey => in_cycle.push(c),
+                    Colour::Black => {}
+                }
+            } else {
+                colour[n.index()] = Colour::Black;
+                stack.pop();
+            }
+        }
+    }
+    out.extend(in_cycle.into_iter().map(Violation::Cycle));
+
+    for (u, v) in redundant_edge_list(g) {
+        out.push(Violation::RedundantEdge(u, v));
+    }
+
+    for id in g.node_ids() {
+        if id != g.root()
+            && g.kind(id) != NodeKind::Domain
+            && !g.is_descendant(id, g.root())
+        {
+            out.push(Violation::Unrooted(id));
+        }
+    }
+
+    out
+}
+
+/// True when `g` satisfies the paper's default (off-path) preconditions:
+/// acyclic, rooted, and transitively reduced.
+pub fn is_off_path_ready(g: &HierarchyGraph) -> bool {
+    validate(g).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HierarchyGraph;
+
+    #[test]
+    fn clean_graph_validates() {
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        g.add_instance("i", a).unwrap();
+        assert!(validate(&g).is_empty());
+        assert!(is_off_path_ready(&g));
+    }
+
+    #[test]
+    fn redundant_edge_reported() {
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        let b = g.add_class("B", a).unwrap();
+        g.add_edge(g.root(), b).unwrap();
+        let v = validate(&g);
+        assert_eq!(v, vec![Violation::RedundantEdge(g.root(), b)]);
+        assert!(!is_off_path_ready(&g));
+    }
+
+    #[test]
+    fn unrooted_node_reported_after_edge_removal() {
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        let b = g.add_class("B", a).unwrap();
+        g.remove_edge(a, b).unwrap();
+        let v = validate(&g);
+        assert_eq!(v, vec![Violation::Unrooted(b)]);
+    }
+
+    #[test]
+    fn preference_only_parent_is_unrooted() {
+        // A node reachable from the root only via a preference edge is
+        // not a subset of the domain.
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        let b = g.add_class("B", a).unwrap();
+        g.remove_edge(a, b).unwrap();
+        g.add_preference_edge(a, b).unwrap();
+        let v = validate(&g);
+        assert!(v.contains(&Violation::Unrooted(b)));
+    }
+}

@@ -1,0 +1,361 @@
+//! The HQL abstract syntax.
+
+/// A value written in a tuple position: an instance/class name,
+/// optionally universally quantified with `ALL` (the paper's `∀`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueRef {
+    /// The node name as written.
+    pub name: String,
+    /// True when prefixed with `ALL` (purely documentary: a class name
+    /// without `ALL` still denotes the class; `ALL` on an instance is
+    /// harmless since instances are singleton classes).
+    pub all: bool,
+}
+
+/// One parsed HQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `CREATE DOMAIN name`
+    CreateDomain {
+        /// Domain name.
+        name: String,
+    },
+    /// `CREATE CLASS name UNDER parent, parent…`
+    CreateClass {
+        /// Class name.
+        name: String,
+        /// Parent class/domain names (resolved within one domain).
+        parents: Vec<String>,
+    },
+    /// `CREATE INSTANCE name OF parent, parent…`
+    CreateInstance {
+        /// Instance name.
+        name: String,
+        /// Parent class names.
+        parents: Vec<String>,
+    },
+    /// `PREFER stronger OVER weaker IN domain` (Appendix preference
+    /// edges)
+    Prefer {
+        /// Dominating class.
+        stronger: String,
+        /// Dominated class.
+        weaker: String,
+        /// The domain holding both.
+        domain: String,
+    },
+    /// `CREATE RELATION name (attr: domain, …)`
+    CreateRelation {
+        /// Relation name.
+        name: String,
+        /// Attribute name/domain pairs.
+        attributes: Vec<(String, String)>,
+    },
+    /// `ASSERT [NOT] rel (value, …)`
+    Assert {
+        /// Relation name.
+        relation: String,
+        /// True for a negated tuple.
+        negated: bool,
+        /// Tuple values.
+        values: Vec<ValueRef>,
+    },
+    /// `RETRACT rel (value, …)`
+    Retract {
+        /// Relation name.
+        relation: String,
+        /// Tuple values.
+        values: Vec<ValueRef>,
+    },
+    /// `HOLDS rel (value, …)`
+    Holds {
+        /// Relation name.
+        relation: String,
+        /// Item values.
+        values: Vec<ValueRef>,
+    },
+    /// `HOLDS3 rel (value, …)` — three-valued truth (§4: no closed
+    /// world; unknown instead of false when nothing binds)
+    Holds3 {
+        /// Relation name.
+        relation: String,
+        /// Item values.
+        values: Vec<ValueRef>,
+    },
+    /// `WHY rel (value, …)` — justification (Fig. 9)
+    Why {
+        /// Relation name.
+        relation: String,
+        /// Item values.
+        values: Vec<ValueRef>,
+    },
+    /// `CHECK rel` — §3.1 ambiguity-constraint audit
+    Check {
+        /// Relation name.
+        relation: String,
+    },
+    /// `SHOW rel`
+    Show {
+        /// Relation name.
+        relation: String,
+    },
+    /// `SHOW DOMAIN name` — Graphviz DOT
+    ShowDomain {
+        /// Domain name.
+        name: String,
+    },
+    /// `CONSOLIDATE rel` (§3.3.1, in place)
+    Consolidate {
+        /// Relation name.
+        relation: String,
+    },
+    /// `EXPLICATE rel [ON attr, …]` (§3.3.2, in place)
+    Explicate {
+        /// Relation name.
+        relation: String,
+        /// Attribute names to explicate; empty means all.
+        attrs: Vec<String>,
+    },
+    /// `SET PREEMPTION rel OFF-PATH|ON-PATH|NONE`
+    SetPreemption {
+        /// Relation name.
+        relation: String,
+        /// Mode keyword as written.
+        mode: String,
+    },
+    /// `COUNT rel [BY attr]` — §3.3.2's statistical motivation
+    Count {
+        /// Relation name.
+        relation: String,
+        /// Optional group-by attribute.
+        by: Option<String>,
+    },
+    /// `SAVE "path"` — snapshot the whole session to an HRDM1 image
+    Save {
+        /// Target file path.
+        path: String,
+    },
+    /// `LOAD "path"` — restore a session snapshot (replaces current
+    /// domains and relations)
+    Load {
+        /// Source file path.
+        path: String,
+    },
+    /// `LET name = <derivation>`
+    Let {
+        /// New relation name.
+        name: String,
+        /// The derivation expression.
+        derivation: Derivation,
+    },
+}
+
+/// Right-hand sides of `LET` statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Derivation {
+    /// `UNION a b`
+    Union(String, String),
+    /// `INTERSECT a b`
+    Intersect(String, String),
+    /// `DIFFERENCE a b`
+    Difference(String, String),
+    /// `JOIN a b`
+    Join(String, String),
+    /// `PROJECT a (attr, …)`
+    Project(String, Vec<String>),
+    /// `SELECT a WHERE attr IS value AND …`
+    Select(String, Vec<(String, ValueRef)>),
+    /// `CONSOLIDATE a` (derive, don't mutate)
+    Consolidated(String),
+    /// `EXPLICATE a [ON attrs]` (derive, don't mutate)
+    Explicated(String, Vec<String>),
+}
+
+
+use std::fmt;
+
+/// Quote a name when it cannot stand as a bare word (or could be
+/// absorbed as a keyword by the surrounding rule); anything uncertain
+/// gets quoted.
+fn quoted(name: &str) -> String {
+    let bare_ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        && !name.contains("--")
+        && ![
+            "all", "not", "under", "of", "over", "in", "on", "by", "where", "is", "and",
+            "domain",
+        ]
+        .contains(&name.to_ascii_lowercase().as_str());
+    if bare_ok {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\\\""))
+    }
+}
+
+impl fmt::Display for ValueRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.all {
+            write!(f, "ALL {}", quoted(&self.name))
+        } else {
+            write!(f, "{}", quoted(&self.name))
+        }
+    }
+}
+
+fn tuple(values: &[ValueRef]) -> String {
+    let parts: Vec<String> = values.iter().map(ValueRef::to_string).collect();
+    format!("({})", parts.join(", "))
+}
+
+fn names(list: &[String]) -> String {
+    list.iter()
+        .map(|n| quoted(n))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateDomain { name } => {
+                write!(f, "CREATE DOMAIN {};", quoted(name))
+            }
+            Statement::CreateClass { name, parents } => {
+                write!(f, "CREATE CLASS {} UNDER {};", quoted(name), names(parents))
+            }
+            Statement::CreateInstance { name, parents } => {
+                write!(f, "CREATE INSTANCE {} OF {};", quoted(name), names(parents))
+            }
+            Statement::Prefer {
+                stronger,
+                weaker,
+                domain,
+            } => write!(
+                f,
+                "PREFER {} OVER {} IN {};",
+                quoted(stronger),
+                quoted(weaker),
+                quoted(domain)
+            ),
+            Statement::CreateRelation { name, attributes } => {
+                let attrs: Vec<String> = attributes
+                    .iter()
+                    .map(|(a, d)| format!("{}: {}", quoted(a), quoted(d)))
+                    .collect();
+                write!(f, "CREATE RELATION {} ({});", quoted(name), attrs.join(", "))
+            }
+            Statement::Assert {
+                relation,
+                negated,
+                values,
+            } => write!(
+                f,
+                "ASSERT {}{} {};",
+                if *negated { "NOT " } else { "" },
+                quoted(relation),
+                tuple(values)
+            ),
+            Statement::Retract { relation, values } => {
+                write!(f, "RETRACT {} {};", quoted(relation), tuple(values))
+            }
+            Statement::Holds { relation, values } => {
+                write!(f, "HOLDS {} {};", quoted(relation), tuple(values))
+            }
+            Statement::Holds3 { relation, values } => {
+                write!(f, "HOLDS3 {} {};", quoted(relation), tuple(values))
+            }
+            Statement::Why { relation, values } => {
+                write!(f, "WHY {} {};", quoted(relation), tuple(values))
+            }
+            Statement::Check { relation } => write!(f, "CHECK {};", quoted(relation)),
+            Statement::Show { relation } => write!(f, "SHOW {};", quoted(relation)),
+            Statement::ShowDomain { name } => write!(f, "SHOW DOMAIN {};", quoted(name)),
+            Statement::Consolidate { relation } => {
+                write!(f, "CONSOLIDATE {};", quoted(relation))
+            }
+            Statement::Explicate { relation, attrs } => {
+                if attrs.is_empty() {
+                    write!(f, "EXPLICATE {};", quoted(relation))
+                } else {
+                    write!(f, "EXPLICATE {} ON {};", quoted(relation), names(attrs))
+                }
+            }
+            Statement::SetPreemption { relation, mode } => {
+                write!(f, "SET PREEMPTION {} {};", quoted(relation), mode)
+            }
+            Statement::Count { relation, by } => match by {
+                Some(attr) => write!(f, "COUNT {} BY {};", quoted(relation), quoted(attr)),
+                None => write!(f, "COUNT {};", quoted(relation)),
+            },
+            Statement::Save { path } => write!(f, "SAVE {};", quoted(path)),
+            Statement::Load { path } => write!(f, "LOAD {};", quoted(path)),
+            Statement::Let { name, derivation } => {
+                write!(f, "LET {} = {};", quoted(name), derivation)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Derivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Derivation::Union(a, b) => write!(f, "UNION {} {}", quoted(a), quoted(b)),
+            Derivation::Intersect(a, b) => {
+                write!(f, "INTERSECT {} {}", quoted(a), quoted(b))
+            }
+            Derivation::Difference(a, b) => {
+                write!(f, "DIFFERENCE {} {}", quoted(a), quoted(b))
+            }
+            Derivation::Join(a, b) => write!(f, "JOIN {} {}", quoted(a), quoted(b)),
+            Derivation::Project(a, attrs) => {
+                write!(f, "PROJECT {} ({})", quoted(a), names(attrs))
+            }
+            Derivation::Select(a, conds) => {
+                let cs: Vec<String> = conds
+                    .iter()
+                    .map(|(attr, v)| format!("{} IS {}", quoted(attr), v))
+                    .collect();
+                write!(f, "SELECT {} WHERE {}", quoted(a), cs.join(" AND "))
+            }
+            Derivation::Consolidated(a) => write!(f, "CONSOLIDATE {}", quoted(a)),
+            Derivation::Explicated(a, attrs) => {
+                if attrs.is_empty() {
+                    write!(f, "EXPLICATE {}", quoted(a))
+                } else {
+                    write!(f, "EXPLICATE {} ON {}", quoted(a), names(attrs))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_ref_equality() {
+        let a = ValueRef {
+            name: "Bird".into(),
+            all: true,
+        };
+        let b = ValueRef {
+            name: "Bird".into(),
+            all: false,
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn statements_are_cloneable_and_comparable() {
+        let s = Statement::CreateDomain {
+            name: "Animal".into(),
+        };
+        assert_eq!(s.clone(), s);
+        let d = Derivation::Union("A".into(), "B".into());
+        assert_eq!(d.clone(), d);
+    }
+}

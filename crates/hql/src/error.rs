@@ -1,0 +1,119 @@
+//! Error type for HQL.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T, E = HqlError> = std::result::Result<T, E>;
+
+/// Errors raised while lexing, parsing, or executing HQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte position in the input.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error with the offending token and expectation.
+    Parse {
+        /// Rendered offending token (or "end of input").
+        found: String,
+        /// What the parser wanted.
+        expected: String,
+    },
+    /// A named object (domain, relation, class, attribute) is missing.
+    Unknown {
+        /// Object category ("domain", "relation", …).
+        kind: &'static str,
+        /// The name as written.
+        name: String,
+    },
+    /// An object with this name already exists.
+    Duplicate {
+        /// Object category.
+        kind: &'static str,
+        /// The name as written.
+        name: String,
+    },
+    /// An error bubbled up from the core model.
+    Core(String),
+    /// A statement that needs a consistent relation found conflicts.
+    Inconsistent {
+        /// Relation involved.
+        relation: String,
+        /// Rendered conflicted items.
+        conflicts: Vec<String>,
+    },
+}
+
+impl fmt::Display for HqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            HqlError::Parse { found, expected } => {
+                write!(f, "parse error: expected {expected}, found {found}")
+            }
+            HqlError::Unknown { kind, name } => write!(f, "unknown {kind} {name:?}"),
+            HqlError::Duplicate { kind, name } => write!(f, "{kind} {name:?} already exists"),
+            HqlError::Core(msg) => write!(f, "execution error: {msg}"),
+            HqlError::Inconsistent {
+                relation,
+                conflicts,
+            } => write!(
+                f,
+                "relation {relation:?} violates the ambiguity constraint at {} item(s): {}",
+                conflicts.len(),
+                conflicts.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HqlError {}
+
+impl From<hrdm_core::CoreError> for HqlError {
+    fn from(e: hrdm_core::CoreError) -> HqlError {
+        HqlError::Core(e.to_string())
+    }
+}
+
+impl From<hrdm_hierarchy::HierarchyError> for HqlError {
+    fn from(e: hrdm_hierarchy::HierarchyError) -> HqlError {
+        HqlError::Core(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = HqlError::Parse {
+            found: "UNDER".into(),
+            expected: "a relation name".into(),
+        };
+        assert!(e.to_string().contains("UNDER"));
+        let e = HqlError::Unknown {
+            kind: "domain",
+            name: "Plant".into(),
+        };
+        assert!(e.to_string().contains("Plant"));
+        let e = HqlError::Inconsistent {
+            relation: "R".into(),
+            conflicts: vec!["(a, b)".into()],
+        };
+        assert!(e.to_string().contains("1 item"));
+    }
+
+    #[test]
+    fn conversions() {
+        let c: HqlError = hrdm_core::CoreError::SchemaMismatch.into();
+        assert!(matches!(c, HqlError::Core(_)));
+        let h: HqlError = hrdm_hierarchy::HierarchyError::NoParent.into();
+        assert!(matches!(h, HqlError::Core(_)));
+    }
+}

@@ -1,0 +1,835 @@
+//! The HQL session: name resolution and statement execution.
+//!
+//! A [`Session`] owns the mutable domain graphs and the relations over
+//! them. Because relations share their domain graphs through `Arc`s
+//! (join compatibility is `Arc` identity), any DDL that *mutates* a
+//! domain — `CREATE CLASS`, `CREATE INSTANCE`, `PREFER` — re-shares a
+//! fresh `Arc` across every relation on that domain. Node ids are stable
+//! under node/edge addition, so the stored tuples carry over verbatim.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use hrdm_core::consolidate::consolidate;
+use hrdm_core::justify::justify;
+use hrdm_core::prelude::*;
+use hrdm_core::render::render_table;
+use hrdm_hierarchy::HierarchyGraph;
+
+use crate::ast::{Derivation, Statement, ValueRef};
+use crate::error::{HqlError, Result};
+use crate::parser::parse;
+
+/// The result of one executed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Generic success with a human-readable summary.
+    Ok(String),
+    /// A rendered relation table.
+    Table(String),
+    /// A `HOLDS` answer (`None` = conflicted/ambiguous).
+    Truth {
+        /// The queried item, rendered.
+        item: String,
+        /// The closed-world answer, or `None` on conflict.
+        value: Option<bool>,
+    },
+    /// A `WHY` justification, rendered.
+    Justification(String),
+    /// A `CHECK` report: the conflicted items (empty = consistent).
+    Conflicts(Vec<String>),
+    /// A `SHOW DOMAIN` Graphviz document.
+    Dot(String),
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Ok(msg) => write!(f, "{msg}"),
+            Response::Table(t) => write!(f, "{t}"),
+            Response::Truth { item, value } => match value {
+                Some(v) => write!(f, "{item}: {v}"),
+                None => write!(f, "{item}: conflict"),
+            },
+            Response::Justification(j) => write!(f, "{j}"),
+            Response::Conflicts(items) if items.is_empty() => write!(f, "consistent"),
+            Response::Conflicts(items) => {
+                write!(f, "conflicts at: {}", items.join(", "))
+            }
+            Response::Dot(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// An interactive HQL session.
+#[derive(Default)]
+pub struct Session {
+    /// Mutable master copies of the domain graphs.
+    domains: BTreeMap<String, HierarchyGraph>,
+    /// The shared handles currently referenced by relations.
+    shared: BTreeMap<String, Arc<HierarchyGraph>>,
+    /// Relations plus their (attribute, domain-name) signatures.
+    relations: BTreeMap<String, (HRelation, Vec<(String, String)>)>,
+}
+
+impl Session {
+    /// A fresh, empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Names of the defined relations.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Access a relation by name (for embedding HQL in a larger
+    /// program).
+    pub fn relation(&self, name: &str) -> Result<&HRelation> {
+        self.relations
+            .get(name)
+            .map(|(r, _)| r)
+            .ok_or_else(|| HqlError::Unknown {
+                kind: "relation",
+                name: name.to_string(),
+            })
+    }
+
+    /// Parse and execute a script; returns one response per statement.
+    pub fn execute(&mut self, script: &str) -> Result<Vec<Response>> {
+        let statements = parse(script)?;
+        let mut out = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    fn domain_mut(&mut self, name: &str) -> Result<&mut HierarchyGraph> {
+        self.domains
+            .get_mut(name)
+            .ok_or_else(|| HqlError::Unknown {
+                kind: "domain",
+                name: name.to_string(),
+            })
+    }
+
+    /// The domain that contains all the given node names (for resolving
+    /// `UNDER`/`OF` parents).
+    fn domain_containing(&self, names: &[String]) -> Result<String> {
+        let mut hits: Vec<&String> = self
+            .domains
+            .iter()
+            .filter(|(_, g)| names.iter().all(|n| g.node(n).is_ok()))
+            .map(|(d, _)| d)
+            .collect();
+        match hits.len() {
+            1 => Ok(hits.remove(0).clone()),
+            0 => Err(HqlError::Unknown {
+                kind: "class",
+                name: names.join(", "),
+            }),
+            _ => Err(HqlError::Core(format!(
+                "parents {names:?} exist in several domains; qualify with distinct names"
+            ))),
+        }
+    }
+
+    /// After mutating `domain`, re-share one fresh `Arc` across every
+    /// relation that references it (node ids are stable, so tuples are
+    /// reused as-is).
+    fn reshare(&mut self, domain: &str) {
+        let fresh = Arc::new(self.domains[domain].clone());
+        self.shared.insert(domain.to_string(), fresh.clone());
+        let names: Vec<String> = self
+            .relations
+            .iter()
+            .filter(|(_, (_, sig))| sig.iter().any(|(_, d)| d == domain))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in names {
+            let (old, sig) = self.relations.remove(&name).expect("listed above");
+            let attrs: Vec<Attribute> = sig
+                .iter()
+                .map(|(attr, dom)| Attribute::new(attr.clone(), self.shared[dom].clone()))
+                .collect();
+            let schema = Arc::new(Schema::new(attrs));
+            let mut rebuilt = HRelation::with_preemption(schema, old.preemption());
+            for (item, truth) in old.iter() {
+                rebuilt
+                    .insert(Tuple::new(item.clone(), truth))
+                    .expect("node ids are stable across domain growth");
+            }
+            self.relations.insert(name, (rebuilt, sig));
+        }
+    }
+
+    fn shared_domain(&mut self, name: &str) -> Result<Arc<HierarchyGraph>> {
+        if !self.domains.contains_key(name) {
+            return Err(HqlError::Unknown {
+                kind: "domain",
+                name: name.to_string(),
+            });
+        }
+        if !self.shared.contains_key(name) {
+            let arc = Arc::new(self.domains[name].clone());
+            self.shared.insert(name.to_string(), arc);
+        }
+        Ok(self.shared[name].clone())
+    }
+
+    fn relation_entry(&self, name: &str) -> Result<&(HRelation, Vec<(String, String)>)> {
+        self.relations.get(name).ok_or_else(|| HqlError::Unknown {
+            kind: "relation",
+            name: name.to_string(),
+        })
+    }
+
+    /// Resolve a written tuple into an item against a relation's schema.
+    fn resolve_item(relation: &HRelation, values: &[ValueRef]) -> Result<Item> {
+        let names: Vec<&str> = values.iter().map(|v| v.name.as_str()).collect();
+        Ok(relation.item(&names)?)
+    }
+
+    fn store_derived(&mut self, name: String, relation: HRelation) -> Result<Response> {
+        if self.relations.contains_key(&name) {
+            return Err(HqlError::Duplicate {
+                kind: "relation",
+                name,
+            });
+        }
+        let sig: Vec<(String, String)> = relation
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| {
+                let domain_name = a.domain().name(a.domain().root()).to_string();
+                (a.name().to_string(), domain_name)
+            })
+            .collect();
+        let tuples = relation.len();
+        self.relations.insert(name.clone(), (relation, sig));
+        Ok(Response::Ok(format!(
+            "relation {name} defined ({tuples} tuples)"
+        )))
+    }
+
+    fn execute_statement(&mut self, stmt: Statement) -> Result<Response> {
+        match stmt {
+            Statement::CreateDomain { name } => {
+                if self.domains.contains_key(&name) {
+                    return Err(HqlError::Duplicate {
+                        kind: "domain",
+                        name,
+                    });
+                }
+                self.domains
+                    .insert(name.clone(), HierarchyGraph::new(name.as_str()));
+                Ok(Response::Ok(format!("domain {name} created")))
+            }
+            Statement::CreateClass { name, parents } => {
+                let domain = self.domain_containing(&parents)?;
+                let g = self.domain_mut(&domain)?;
+                let parent_ids = parents
+                    .iter()
+                    .map(|p| g.node(p))
+                    .collect::<std::result::Result<Vec<_>, _>>()?;
+                g.add_class_multi(name.as_str(), &parent_ids)?;
+                self.reshare(&domain);
+                Ok(Response::Ok(format!("class {name} created in {domain}")))
+            }
+            Statement::CreateInstance { name, parents } => {
+                let domain = self.domain_containing(&parents)?;
+                let g = self.domain_mut(&domain)?;
+                let parent_ids = parents
+                    .iter()
+                    .map(|p| g.node(p))
+                    .collect::<std::result::Result<Vec<_>, _>>()?;
+                g.add_instance_multi(name.as_str(), &parent_ids)?;
+                self.reshare(&domain);
+                Ok(Response::Ok(format!("instance {name} created in {domain}")))
+            }
+            Statement::Prefer {
+                stronger,
+                weaker,
+                domain,
+            } => {
+                let g = self.domain_mut(&domain)?;
+                let s = g.node(&stronger)?;
+                let w = g.node(&weaker)?;
+                hrdm_hierarchy::preference::prefer(g, s, w)?;
+                self.reshare(&domain);
+                Ok(Response::Ok(format!(
+                    "{stronger} now dominates {weaker} in {domain}"
+                )))
+            }
+            Statement::CreateRelation { name, attributes } => {
+                if self.relations.contains_key(&name) {
+                    return Err(HqlError::Duplicate {
+                        kind: "relation",
+                        name,
+                    });
+                }
+                let attrs = attributes
+                    .iter()
+                    .map(|(attr, dom)| {
+                        Ok(Attribute::new(attr.clone(), self.shared_domain(dom)?))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let schema = Arc::new(Schema::new(attrs));
+                self.relations
+                    .insert(name.clone(), (HRelation::new(schema), attributes));
+                Ok(Response::Ok(format!("relation {name} created")))
+            }
+            Statement::Assert {
+                relation,
+                negated,
+                values,
+            } => {
+                let (rel, _) = self.relation_entry(&relation)?;
+                let item = Self::resolve_item(rel, &values)?;
+                let truth = if negated {
+                    Truth::Negative
+                } else {
+                    Truth::Positive
+                };
+                let rendered = rel.schema().display_item(&item);
+                let (rel, _) = self.relations.get_mut(&relation).expect("checked");
+                rel.assert_item(item, truth)?;
+                Ok(Response::Ok(format!(
+                    "asserted {} {rendered} in {relation}",
+                    truth.sign()
+                )))
+            }
+            Statement::Retract { relation, values } => {
+                let (rel, _) = self.relation_entry(&relation)?;
+                let item = Self::resolve_item(rel, &values)?;
+                let rendered = rel.schema().display_item(&item);
+                let (rel, _) = self.relations.get_mut(&relation).expect("checked");
+                match rel.remove(&item) {
+                    Some(_) => Ok(Response::Ok(format!(
+                        "retracted {rendered} from {relation}"
+                    ))),
+                    None => Err(HqlError::Unknown {
+                        kind: "tuple",
+                        name: rendered,
+                    }),
+                }
+            }
+            Statement::Holds { relation, values } => {
+                let (rel, _) = self.relation_entry(&relation)?;
+                let item = Self::resolve_item(rel, &values)?;
+                let rendered = rel.schema().display_item(&item);
+                let value = match rel.bind(&item) {
+                    hrdm_core::Binding::Conflict { .. } => None,
+                    b => Some(b.truth() == Some(Truth::Positive)),
+                };
+                Ok(Response::Truth {
+                    item: rendered,
+                    value,
+                })
+            }
+            Statement::Holds3 { relation, values } => {
+                let (rel, _) = self.relation_entry(&relation)?;
+                let item = Self::resolve_item(rel, &values)?;
+                let rendered = rel.schema().display_item(&item);
+                let verdict = match hrdm_core::three_valued::holds3(rel, &item) {
+                    hrdm_core::three_valued::Truth3::True => "true",
+                    hrdm_core::three_valued::Truth3::False => "false",
+                    hrdm_core::three_valued::Truth3::Unknown => "unknown",
+                };
+                Ok(Response::Ok(format!("{rendered}: {verdict}")))
+            }
+            Statement::Why { relation, values } => {
+                let (rel, _) = self.relation_entry(&relation)?;
+                let item = Self::resolve_item(rel, &values)?;
+                let j = justify(rel, &item);
+                let mut out = format!(
+                    "{}: {:?}\napplicable:\n",
+                    rel.schema().display_item(&item),
+                    j.binding.truth().map(Truth::holds)
+                );
+                for t in &j.applicable {
+                    out.push_str(&format!(
+                        "    {} {}\n",
+                        t.truth.sign(),
+                        rel.schema().display_item(&t.item)
+                    ));
+                }
+                out.push_str("decisive:\n");
+                for t in &j.decisive {
+                    out.push_str(&format!(
+                        "    {} {}\n",
+                        t.truth.sign(),
+                        rel.schema().display_item(&t.item)
+                    ));
+                }
+                Ok(Response::Justification(out))
+            }
+            Statement::Check { relation } => {
+                let (rel, _) = self.relation_entry(&relation)?;
+                let conflicts = hrdm_core::conflict::find_conflicts(rel)
+                    .into_iter()
+                    .map(|c| rel.schema().display_item(&c.item))
+                    .collect();
+                Ok(Response::Conflicts(conflicts))
+            }
+            Statement::Show { relation } => {
+                let (rel, _) = self.relation_entry(&relation)?;
+                Ok(Response::Table(render_table(rel)))
+            }
+            Statement::ShowDomain { name } => {
+                let g = self.domains.get(&name).ok_or_else(|| HqlError::Unknown {
+                    kind: "domain",
+                    name: name.clone(),
+                })?;
+                Ok(Response::Dot(hrdm_hierarchy::dot::to_dot(g, &name)))
+            }
+            Statement::Consolidate { relation } => {
+                let (rel, _) = self.relation_entry(&relation)?;
+                let result = consolidate(rel);
+                let removed = result.removed.len();
+                let (slot, _) = self.relations.get_mut(&relation).expect("checked");
+                *slot = result.relation;
+                Ok(Response::Ok(format!(
+                    "consolidated {relation}: removed {removed} redundant tuple(s)"
+                )))
+            }
+            Statement::Explicate { relation, attrs } => {
+                let (rel, _) = self.relation_entry(&relation)?;
+                let indexes = Self::attr_indexes(rel, &attrs)?;
+                let result = hrdm_core::explicate::explicate(rel, &indexes)?;
+                let tuples = result.len();
+                let (slot, _) = self.relations.get_mut(&relation).expect("checked");
+                *slot = result;
+                Ok(Response::Ok(format!(
+                    "explicated {relation}: now {tuples} tuple(s)"
+                )))
+            }
+            Statement::SetPreemption { relation, mode } => {
+                let preemption = match mode.to_ascii_uppercase().as_str() {
+                    "OFF-PATH" => Preemption::OffPath,
+                    "ON-PATH" => Preemption::OnPath,
+                    "NONE" | "NO-PREEMPTION" => Preemption::NoPreemption,
+                    other => {
+                        return Err(HqlError::Parse {
+                            found: other.to_string(),
+                            expected: "OFF-PATH, ON-PATH, or NONE".into(),
+                        })
+                    }
+                };
+                let (rel, _) =
+                    self.relations.get_mut(&relation).ok_or(HqlError::Unknown {
+                        kind: "relation",
+                        name: relation.clone(),
+                    })?;
+                rel.set_preemption(preemption);
+                Ok(Response::Ok(format!(
+                    "{relation} now uses {preemption} preemption"
+                )))
+            }
+            Statement::Save { path } => {
+                let image = self.to_image();
+                image
+                    .save(&path)
+                    .map_err(|e| HqlError::Core(e.to_string()))?;
+                Ok(Response::Ok(format!("session saved to {path}")))
+            }
+            Statement::Load { path } => {
+                let image = hrdm_persist::Image::load(&path)
+                    .map_err(|e| HqlError::Core(e.to_string()))?;
+                self.restore(image);
+                Ok(Response::Ok(format!(
+                    "session restored from {path} ({} domain(s), {} relation(s))",
+                    self.domains.len(),
+                    self.relations.len()
+                )))
+            }
+            Statement::Count { relation, by } => {
+                let (rel, _) = self.relation_entry(&relation)?;
+                match by {
+                    None => {
+                        let n = hrdm_core::ops::cardinality(rel);
+                        Ok(Response::Ok(format!("{relation} has {n} atom(s) in its extension")))
+                    }
+                    Some(attr) => {
+                        let rows = hrdm_core::ops::group_count_by_name(rel, &attr)?;
+                        let mut out = format!("{relation} grouped by {attr}:\n");
+                        for (name, count) in rows {
+                            out.push_str(&format!("    {name}: {count}\n"));
+                        }
+                        Ok(Response::Table(out))
+                    }
+                }
+            }
+            Statement::Let { name, derivation } => {
+                let derived = self.derive(derivation)?;
+                self.store_derived(name, derived)
+            }
+        }
+    }
+
+    /// Snapshot the session as a persistence image (domains use the
+    /// currently shared handles so relation `Arc`s match).
+    pub fn to_image(&mut self) -> hrdm_persist::Image {
+        let mut image = hrdm_persist::Image::new();
+        let domain_names: Vec<String> = self.domains.keys().cloned().collect();
+        for name in domain_names {
+            let arc = self.shared_domain(&name).expect("domain exists");
+            image.add_domain(name, arc);
+        }
+        for (name, (rel, _)) in &self.relations {
+            image.add_relation(name.clone(), rel.clone());
+        }
+        image
+    }
+
+    /// Replace the session's whole state from a persistence image.
+    pub fn restore(&mut self, image: hrdm_persist::Image) {
+        self.domains.clear();
+        self.shared.clear();
+        self.relations.clear();
+        let domain_names: Vec<String> = image.domain_names().map(String::from).collect();
+        for name in &domain_names {
+            let arc = image.domain(name).expect("listed").clone();
+            self.domains.insert(name.clone(), (*arc).clone());
+            self.shared.insert(name.clone(), arc);
+        }
+        let relation_names: Vec<String> = image.relation_names().map(String::from).collect();
+        for name in relation_names {
+            let rel = image.relation(&name).expect("listed").clone();
+            let sig: Vec<(String, String)> = rel
+                .schema()
+                .attributes()
+                .iter()
+                .map(|a| {
+                    (
+                        a.name().to_string(),
+                        a.domain().name(a.domain().root()).to_string(),
+                    )
+                })
+                .collect();
+            self.relations.insert(name, (rel, sig));
+        }
+    }
+
+    fn attr_indexes(rel: &HRelation, attrs: &[String]) -> Result<Vec<usize>> {
+        if attrs.is_empty() {
+            return Ok((0..rel.schema().arity()).collect());
+        }
+        attrs
+            .iter()
+            .map(|a| Ok(rel.schema().index_of(a)?))
+            .collect()
+    }
+
+    fn derive(&mut self, derivation: Derivation) -> Result<HRelation> {
+        use hrdm_core::ops;
+        match derivation {
+            Derivation::Union(a, b) => {
+                let (ra, _) = self.relation_entry(&a)?;
+                let (rb, _) = self.relation_entry(&b)?;
+                Ok(ops::union(ra, rb)?)
+            }
+            Derivation::Intersect(a, b) => {
+                let (ra, _) = self.relation_entry(&a)?;
+                let (rb, _) = self.relation_entry(&b)?;
+                Ok(ops::intersection(ra, rb)?)
+            }
+            Derivation::Difference(a, b) => {
+                let (ra, _) = self.relation_entry(&a)?;
+                let (rb, _) = self.relation_entry(&b)?;
+                Ok(ops::difference(ra, rb)?)
+            }
+            Derivation::Join(a, b) => {
+                let (ra, _) = self.relation_entry(&a)?;
+                let (rb, _) = self.relation_entry(&b)?;
+                Ok(ops::join(ra, rb)?)
+            }
+            Derivation::Project(a, attrs) => {
+                let (ra, _) = self.relation_entry(&a)?;
+                let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                Ok(ops::project_names(ra, &names)?)
+            }
+            Derivation::Select(a, conds) => {
+                let (ra, _) = self.relation_entry(&a)?;
+                let schema = ra.schema();
+                let mut region = schema.universal_item();
+                for (attr, value) in &conds {
+                    let i = schema.index_of(attr)?;
+                    let node = schema.domain(i).node(&value.name)?;
+                    region = region.with_component(i, node);
+                }
+                Ok(ops::select(ra, &region)?)
+            }
+            Derivation::Consolidated(a) => {
+                let (ra, _) = self.relation_entry(&a)?;
+                Ok(consolidate(ra).relation)
+            }
+            Derivation::Explicated(a, attrs) => {
+                let (ra, _) = self.relation_entry(&a)?;
+                let indexes = Self::attr_indexes(ra, &attrs)?;
+                Ok(hrdm_core::explicate::explicate(ra, &indexes)?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 1 world, entirely through HQL.
+    fn fig1_session() -> Session {
+        let mut s = Session::new();
+        s.execute(
+            r#"
+            CREATE DOMAIN Animal;
+            CREATE CLASS Bird UNDER Animal;
+            CREATE CLASS Canary UNDER Bird;
+            CREATE CLASS Penguin UNDER Bird;
+            CREATE CLASS "Galapagos Penguin" UNDER Penguin;
+            CREATE CLASS "Amazing Flying Penguin" UNDER Penguin;
+            CREATE INSTANCE Tweety OF Canary;
+            CREATE INSTANCE Paul OF "Galapagos Penguin";
+            CREATE INSTANCE Patricia OF "Galapagos Penguin", "Amazing Flying Penguin";
+            CREATE INSTANCE Pamela OF "Amazing Flying Penguin";
+            CREATE INSTANCE Peter OF "Amazing Flying Penguin";
+            CREATE RELATION Flies (Creature: Animal);
+            ASSERT Flies (ALL Bird);
+            ASSERT NOT Flies (ALL Penguin);
+            ASSERT Flies (ALL "Amazing Flying Penguin");
+            ASSERT Flies (Peter);
+            "#,
+        )
+        .expect("script is well-formed");
+        s
+    }
+
+    fn truth_of(s: &mut Session, q: &str) -> Option<bool> {
+        match s.execute(q).unwrap().remove(0) {
+            Response::Truth { value, .. } => value,
+            other => panic!("expected truth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig1_through_hql() {
+        let mut s = fig1_session();
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Tweety);"), Some(true));
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Paul);"), Some(false));
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Patricia);"), Some(true));
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Peter);"), Some(true));
+    }
+
+    #[test]
+    fn show_and_why() {
+        let mut s = fig1_session();
+        let table = s.execute("SHOW Flies;").unwrap().remove(0);
+        let rendered = table.to_string();
+        assert!(rendered.contains("∀Bird"));
+        assert!(rendered.contains("- | ∀Penguin"));
+        let why = s.execute("WHY Flies (Paul);").unwrap().remove(0);
+        assert!(why.to_string().contains("∀Penguin"));
+        let dot = s.execute("SHOW DOMAIN Animal;").unwrap().remove(0);
+        assert!(dot.to_string().contains("digraph"));
+    }
+
+    #[test]
+    fn check_reports_conflicts() {
+        let mut s = fig1_session();
+        let r = s.execute("CHECK Flies;").unwrap().remove(0);
+        assert_eq!(r, Response::Conflicts(vec![]));
+        s.execute("ASSERT NOT Flies (ALL \"Galapagos Penguin\");")
+            .unwrap();
+        let r = s.execute("CHECK Flies;").unwrap().remove(0);
+        match r {
+            Response::Conflicts(items) => assert_eq!(items, vec!["Patricia"]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // And HOLDS reports the conflict as None.
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Patricia);"), None);
+    }
+
+    #[test]
+    fn consolidate_and_explicate_in_place() {
+        let mut s = fig1_session();
+        let r = s.execute("CONSOLIDATE Flies;").unwrap().remove(0);
+        assert!(r.to_string().contains("removed 1"));
+        let mut s = fig1_session();
+        let r = s.execute("EXPLICATE Flies;").unwrap().remove(0);
+        assert!(r.to_string().contains("now 5 tuple(s)"));
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Pamela);"), Some(true));
+    }
+
+    #[test]
+    fn ddl_after_relations_reshares_domains() {
+        let mut s = fig1_session();
+        // Growing the taxonomy after the relation exists must keep old
+        // tuples and make the new instance inherit.
+        s.execute("CREATE INSTANCE Pablo OF \"Galapagos Penguin\";")
+            .unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Pablo);"), Some(false));
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Tweety);"), Some(true));
+    }
+
+    #[test]
+    fn let_derivations() {
+        let mut s = fig1_session();
+        s.execute(
+            "CREATE RELATION JillLoves (Creature: Animal);\
+             ASSERT JillLoves (ALL Penguin);",
+        )
+        .unwrap();
+        s.execute("LET Both = INTERSECT Flies JillLoves;").unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS Both (Peter);"), Some(true));
+        assert_eq!(truth_of(&mut s, "HOLDS Both (Tweety);"), Some(false));
+        s.execute("LET Sub = SELECT Flies WHERE Creature IS ALL Penguin;")
+            .unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS Sub (Pamela);"), Some(true));
+        s.execute("LET Small = CONSOLIDATE Flies;").unwrap();
+        assert!(s.relation("Small").unwrap().len() < s.relation("Flies").unwrap().len());
+    }
+
+    #[test]
+    fn preference_statement() {
+        let mut s = Session::new();
+        s.execute(
+            r#"
+            CREATE DOMAIN D;
+            CREATE CLASS A UNDER D;
+            CREATE CLASS B UNDER D;
+            CREATE CLASS A1 UNDER A;
+            CREATE CLASS B1 UNDER B;
+            CREATE INSTANCE x OF A1, B1;
+            CREATE RELATION R (V: D);
+            ASSERT R (ALL A);
+            ASSERT NOT R (ALL B);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS R (x);"), None, "conflict");
+        s.execute("PREFER A OVER B IN D;").unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS R (x);"), Some(true));
+    }
+
+    #[test]
+    fn set_preemption() {
+        let mut s = fig1_session();
+        s.execute("SET PREEMPTION Flies ON-PATH;").unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Patricia);"), None);
+        s.execute("SET PREEMPTION Flies OFF-PATH;").unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Patricia);"), Some(true));
+        assert!(s.execute("SET PREEMPTION Flies SIDEWAYS;").is_err());
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut s = Session::new();
+        assert!(matches!(
+            s.execute("SHOW Nope;"),
+            Err(HqlError::Unknown { kind: "relation", .. })
+        ));
+        s.execute("CREATE DOMAIN D;").unwrap();
+        assert!(matches!(
+            s.execute("CREATE DOMAIN D;"),
+            Err(HqlError::Duplicate { .. })
+        ));
+        assert!(matches!(
+            s.execute("CREATE CLASS X UNDER Nowhere;"),
+            Err(HqlError::Unknown { kind: "class", .. })
+        ));
+        s.execute("CREATE RELATION R (V: D);").unwrap();
+        assert!(matches!(
+            s.execute("CREATE RELATION R (V: D);"),
+            Err(HqlError::Duplicate { .. })
+        ));
+        assert!(matches!(
+            s.execute("RETRACT R (D);"),
+            Err(HqlError::Unknown { kind: "tuple", .. })
+        ));
+    }
+
+    #[test]
+    fn derived_relations_survive_later_ddl() {
+        // A LET-derived relation references the domain through its
+        // schema; later DDL on that domain must re-share it too, keeping
+        // the derived relation queryable and join-compatible.
+        let mut s = fig1_session();
+        s.execute("LET Flyers = SELECT Flies WHERE Creature IS ALL Bird;")
+            .unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS Flyers (Tweety);"), Some(true));
+        s.execute("CREATE INSTANCE Pablo OF Penguin;").unwrap();
+        // Old derived data still queryable after the re-share...
+        assert_eq!(truth_of(&mut s, "HOLDS Flyers (Tweety);"), Some(true));
+        // ...and it can still combine with the (rebuilt) base relation.
+        s.execute("LET Again = INTERSECT Flyers Flies;").unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS Again (Tweety);"), Some(true));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let mut s = fig1_session();
+        let path = std::env::temp_dir().join(format!(
+            "hrdm_hql_session_{}.hrdm",
+            std::process::id()
+        ));
+        let path_str = path.to_str().unwrap().to_string();
+        s.execute(&format!("SAVE \"{path_str}\";")).unwrap();
+
+        // A fresh session restores the whole world.
+        let mut s2 = Session::new();
+        s2.execute(&format!("LOAD \"{path_str}\";")).unwrap();
+        assert_eq!(truth_of(&mut s2, "HOLDS Flies (Patricia);"), Some(true));
+        assert_eq!(truth_of(&mut s2, "HOLDS Flies (Paul);"), Some(false));
+        // DDL continues to work after a restore (re-sharing logic).
+        s2.execute("CREATE INSTANCE Pablo OF Penguin;").unwrap();
+        assert_eq!(truth_of(&mut s2, "HOLDS Flies (Pablo);"), Some(false));
+        std::fs::remove_file(&path).unwrap();
+
+        // Loading a missing file reports a Core error.
+        assert!(matches!(
+            s2.execute("LOAD \"/nonexistent/nowhere.hrdm\";"),
+            Err(HqlError::Core(_))
+        ));
+    }
+
+    #[test]
+    fn holds3_reports_unknown() {
+        let mut s = fig1_session();
+        // Canary flies via Bird: true.
+        let r = s.execute("HOLDS3 Flies (Tweety);").unwrap().remove(0);
+        assert!(r.to_string().ends_with("true"), "{r}");
+        let r = s.execute("HOLDS3 Flies (Paul);").unwrap().remove(0);
+        assert!(r.to_string().ends_with("false"), "{r}");
+        // Nothing asserted above Bird: the root is unknown, not false.
+        let r = s.execute("HOLDS3 Flies (Animal);").unwrap().remove(0);
+        assert!(r.to_string().ends_with("unknown"), "{r}");
+        // Closed-world HOLDS says false for the same item.
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Animal);"), Some(false));
+    }
+
+    #[test]
+    fn count_statements() {
+        let mut s = fig1_session();
+        let r = s.execute("COUNT Flies;").unwrap().remove(0);
+        assert!(r.to_string().contains("4 atom(s)"), "{r}");
+        let r = s.execute("COUNT Flies BY Creature;").unwrap().remove(0);
+        let text = r.to_string();
+        assert!(text.contains("Tweety: 1"), "{text}");
+        assert!(text.contains("Peter: 1"), "{text}");
+        assert!(!text.contains("Paul"), "{text}");
+        assert!(s.execute("COUNT Nope;").is_err());
+        assert!(s.execute("COUNT Flies BY Wing;").is_err());
+    }
+
+    #[test]
+    fn retract_and_assert_round_trip() {
+        let mut s = fig1_session();
+        s.execute("RETRACT Flies (ALL Penguin);").unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Paul);"), Some(true));
+        s.execute("ASSERT NOT Flies (ALL Penguin);").unwrap();
+        assert_eq!(truth_of(&mut s, "HOLDS Flies (Paul);"), Some(false));
+    }
+}

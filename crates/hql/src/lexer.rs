@@ -1,0 +1,206 @@
+//! The HQL lexer.
+//!
+//! Tokens: bare identifiers (`[A-Za-z_][A-Za-z0-9_-]*` plus digits-only
+//! words, so enclosure sizes like `3000` lex as names), quoted names
+//! (`"Amazing Flying Penguin"`), and punctuation. Keywords are
+//! recognized case-insensitively by the parser, not the lexer — any
+//! word token can also be a name. `--` comments run to end of line.
+
+use crate::error::{HqlError, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Bare word (identifier, keyword, or number-like name).
+    Word(String),
+    /// Quoted name (quotes stripped; `\"` unescaped).
+    Quoted(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Equals,
+}
+
+impl Token {
+    /// The token's text for error messages.
+    pub fn render(&self) -> String {
+        match self {
+            Token::Word(w) => w.clone(),
+            Token::Quoted(q) => format!("{q:?}"),
+            Token::LParen => "(".into(),
+            Token::RParen => ")".into(),
+            Token::Comma => ",".into(),
+            Token::Colon => ":".into(),
+            Token::Semicolon => ";".into(),
+            Token::Equals => "=".into(),
+        }
+    }
+
+    /// Case-insensitive keyword match for a bare word.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    /// The name a word or quoted token denotes.
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            Token::Word(w) => Some(w),
+            Token::Quoted(q) => Some(q),
+            _ => None,
+        }
+    }
+}
+
+/// Lex a full input into tokens.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Equals);
+                i += 1;
+            }
+            '"' => {
+                let mut s = String::new();
+                let start = i;
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(HqlError::Lex {
+                                position: start,
+                                message: "unterminated quoted name".into(),
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') if bytes.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Quoted(s));
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        // A '-' inside a word is part of it unless it
+                        // starts a comment.
+                        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+                            break;
+                        }
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Word(input[start..i].to_string()));
+            }
+            other => {
+                return Err(HqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_punctuation_and_quotes() {
+        let toks = lex(r#"CREATE CLASS "Amazing Flying Penguin" UNDER Penguin;"#).unwrap();
+        assert_eq!(toks.len(), 6);
+        assert!(toks[0].is_kw("create"));
+        assert_eq!(toks[2], Token::Quoted("Amazing Flying Penguin".into()));
+        assert_eq!(toks[5], Token::Semicolon);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SHOW R; -- the whole relation\nCHECK R;").unwrap();
+        assert_eq!(toks.len(), 6);
+    }
+
+    #[test]
+    fn numbers_are_names() {
+        let toks = lex("ASSERT Sizes (ALL Elephant, 3000);").unwrap();
+        assert!(toks.iter().any(|t| t == &Token::Word("3000".into())));
+    }
+
+    #[test]
+    fn hyphenated_words() {
+        let toks = lex("SET PREEMPTION R ON-PATH;").unwrap();
+        assert!(toks.iter().any(|t| t.is_kw("on-path")));
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let toks = lex(r#"SHOW "say \"hi\"";"#).unwrap();
+        assert_eq!(toks[1], Token::Quoted("say \"hi\"".into()));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(lex("SHOW @"), Err(HqlError::Lex { .. })));
+        assert!(matches!(lex("SHOW \"open"), Err(HqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn render_and_as_name() {
+        assert_eq!(Token::LParen.render(), "(");
+        assert_eq!(Token::Word("Bird".into()).as_name(), Some("Bird"));
+        assert_eq!(Token::Quoted("A B".into()).as_name(), Some("A B"));
+        assert_eq!(Token::Comma.as_name(), None);
+    }
+}

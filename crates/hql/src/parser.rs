@@ -1,0 +1,450 @@
+//! Recursive-descent parser for HQL.
+
+use crate::ast::{Derivation, Statement, ValueRef};
+use crate::error::{HqlError, Result};
+use crate::lexer::{lex, Token};
+
+/// Parse a script into statements (semicolon-separated; the final
+/// semicolon is optional).
+pub fn parse(input: &str) -> Result<Vec<Statement>> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, at: 0 };
+    let mut out = Vec::new();
+    while !p.done() {
+        // Tolerate stray semicolons.
+        if p.eat(&Token::Semicolon) {
+            continue;
+        }
+        out.push(p.statement()?);
+        if !p.done() {
+            p.expect(&Token::Semicolon, "';' between statements")?;
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn done(&self) -> bool {
+        self.at >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.at)
+    }
+
+    fn err(&self, expected: &str) -> HqlError {
+        HqlError::Parse {
+            found: self
+                .peek()
+                .map(Token::render)
+                .unwrap_or_else(|| "end of input".into()),
+            expected: expected.into(),
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("keyword {kw}")))
+        }
+    }
+
+    fn name(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(t) if t.as_name().is_some() => {
+                let n = t.as_name().expect("checked").to_string();
+                self.at += 1;
+                Ok(n)
+            }
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn name_list(&mut self, what: &str) -> Result<Vec<String>> {
+        let mut out = vec![self.name(what)?];
+        while self.eat(&Token::Comma) {
+            out.push(self.name(what)?);
+        }
+        Ok(out)
+    }
+
+    fn value(&mut self) -> Result<ValueRef> {
+        let all = self.eat_kw("all");
+        let name = self.name("a value name")?;
+        Ok(ValueRef { name, all })
+    }
+
+    fn value_tuple(&mut self) -> Result<Vec<ValueRef>> {
+        self.expect(&Token::LParen, "'('")?;
+        let mut out = vec![self.value()?];
+        while self.eat(&Token::Comma) {
+            out.push(self.value()?);
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(out)
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("create") {
+            return self.create();
+        }
+        if self.eat_kw("prefer") {
+            let stronger = self.name("a class name")?;
+            self.expect_kw("over")?;
+            let weaker = self.name("a class name")?;
+            self.expect_kw("in")?;
+            let domain = self.name("a domain name")?;
+            return Ok(Statement::Prefer {
+                stronger,
+                weaker,
+                domain,
+            });
+        }
+        if self.eat_kw("assert") {
+            let negated = self.eat_kw("not");
+            let relation = self.name("a relation name")?;
+            let values = self.value_tuple()?;
+            return Ok(Statement::Assert {
+                relation,
+                negated,
+                values,
+            });
+        }
+        if self.eat_kw("retract") {
+            let relation = self.name("a relation name")?;
+            let values = self.value_tuple()?;
+            return Ok(Statement::Retract { relation, values });
+        }
+        if self.eat_kw("holds3") {
+            let relation = self.name("a relation name")?;
+            let values = self.value_tuple()?;
+            return Ok(Statement::Holds3 { relation, values });
+        }
+        if self.eat_kw("holds") {
+            let relation = self.name("a relation name")?;
+            let values = self.value_tuple()?;
+            return Ok(Statement::Holds { relation, values });
+        }
+        if self.eat_kw("why") {
+            let relation = self.name("a relation name")?;
+            let values = self.value_tuple()?;
+            return Ok(Statement::Why { relation, values });
+        }
+        if self.eat_kw("check") {
+            let relation = self.name("a relation name")?;
+            return Ok(Statement::Check { relation });
+        }
+        if self.eat_kw("show") {
+            if self.eat_kw("domain") {
+                let name = self.name("a domain name")?;
+                return Ok(Statement::ShowDomain { name });
+            }
+            let relation = self.name("a relation name")?;
+            return Ok(Statement::Show { relation });
+        }
+        if self.eat_kw("consolidate") {
+            let relation = self.name("a relation name")?;
+            return Ok(Statement::Consolidate { relation });
+        }
+        if self.eat_kw("explicate") {
+            let relation = self.name("a relation name")?;
+            let attrs = if self.eat_kw("on") {
+                self.name_list("an attribute name")?
+            } else {
+                Vec::new()
+            };
+            return Ok(Statement::Explicate { relation, attrs });
+        }
+        if self.eat_kw("set") {
+            self.expect_kw("preemption")?;
+            let relation = self.name("a relation name")?;
+            let mode = self.name("OFF-PATH, ON-PATH, or NONE")?;
+            return Ok(Statement::SetPreemption { relation, mode });
+        }
+        if self.eat_kw("save") {
+            let path = self.name("a file path (quote it)")?;
+            return Ok(Statement::Save { path });
+        }
+        if self.eat_kw("load") {
+            let path = self.name("a file path (quote it)")?;
+            return Ok(Statement::Load { path });
+        }
+        if self.eat_kw("count") {
+            let relation = self.name("a relation name")?;
+            let by = if self.eat_kw("by") {
+                Some(self.name("an attribute name")?)
+            } else {
+                None
+            };
+            return Ok(Statement::Count { relation, by });
+        }
+        if self.eat_kw("let") {
+            let name = self.name("a new relation name")?;
+            self.expect(&Token::Equals, "'='")?;
+            let derivation = self.derivation()?;
+            return Ok(Statement::Let { name, derivation });
+        }
+        Err(self.err("a statement keyword"))
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        if self.eat_kw("domain") {
+            let name = self.name("a domain name")?;
+            return Ok(Statement::CreateDomain { name });
+        }
+        if self.eat_kw("class") {
+            let name = self.name("a class name")?;
+            self.expect_kw("under")?;
+            let parents = self.name_list("a parent name")?;
+            return Ok(Statement::CreateClass { name, parents });
+        }
+        if self.eat_kw("instance") {
+            let name = self.name("an instance name")?;
+            self.expect_kw("of")?;
+            let parents = self.name_list("a parent name")?;
+            return Ok(Statement::CreateInstance { name, parents });
+        }
+        if self.eat_kw("relation") {
+            let name = self.name("a relation name")?;
+            self.expect(&Token::LParen, "'('")?;
+            let mut attributes = Vec::new();
+            loop {
+                let attr = self.name("an attribute name")?;
+                self.expect(&Token::Colon, "':'")?;
+                let domain = self.name("a domain name")?;
+                attributes.push((attr, domain));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen, "')'")?;
+            return Ok(Statement::CreateRelation { name, attributes });
+        }
+        Err(self.err("DOMAIN, CLASS, INSTANCE, or RELATION after CREATE"))
+    }
+
+    fn derivation(&mut self) -> Result<Derivation> {
+        if self.eat_kw("union") {
+            return Ok(Derivation::Union(
+                self.name("a relation name")?,
+                self.name("a relation name")?,
+            ));
+        }
+        if self.eat_kw("intersect") {
+            return Ok(Derivation::Intersect(
+                self.name("a relation name")?,
+                self.name("a relation name")?,
+            ));
+        }
+        if self.eat_kw("difference") {
+            return Ok(Derivation::Difference(
+                self.name("a relation name")?,
+                self.name("a relation name")?,
+            ));
+        }
+        if self.eat_kw("join") {
+            return Ok(Derivation::Join(
+                self.name("a relation name")?,
+                self.name("a relation name")?,
+            ));
+        }
+        if self.eat_kw("project") {
+            let rel = self.name("a relation name")?;
+            self.expect(&Token::LParen, "'('")?;
+            let attrs = self.name_list("an attribute name")?;
+            self.expect(&Token::RParen, "')'")?;
+            return Ok(Derivation::Project(rel, attrs));
+        }
+        if self.eat_kw("select") {
+            let rel = self.name("a relation name")?;
+            self.expect_kw("where")?;
+            let mut conds = Vec::new();
+            loop {
+                let attr = self.name("an attribute name")?;
+                self.expect_kw("is")?;
+                let value = self.value()?;
+                conds.push((attr, value));
+                if !self.eat_kw("and") {
+                    break;
+                }
+            }
+            return Ok(Derivation::Select(rel, conds));
+        }
+        if self.eat_kw("consolidate") {
+            return Ok(Derivation::Consolidated(self.name("a relation name")?));
+        }
+        if self.eat_kw("explicate") {
+            let rel = self.name("a relation name")?;
+            let attrs = if self.eat_kw("on") {
+                self.name_list("an attribute name")?
+            } else {
+                Vec::new()
+            };
+            return Ok(Derivation::Explicated(rel, attrs));
+        }
+        Err(self.err("UNION, INTERSECT, DIFFERENCE, JOIN, PROJECT, SELECT, CONSOLIDATE, or EXPLICATE"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_ddl() {
+        let stmts = parse(
+            r#"
+            CREATE DOMAIN Animal;
+            CREATE CLASS Bird UNDER Animal;
+            CREATE CLASS "Amazing Flying Penguin" UNDER Penguin;
+            CREATE INSTANCE Patricia OF "Galapagos Penguin", "Amazing Flying Penguin";
+            CREATE RELATION Flies (Creature: Animal);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 5);
+        assert_eq!(
+            stmts[0],
+            Statement::CreateDomain {
+                name: "Animal".into()
+            }
+        );
+        match &stmts[3] {
+            Statement::CreateInstance { name, parents } => {
+                assert_eq!(name, "Patricia");
+                assert_eq!(parents.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &stmts[4] {
+            Statement::CreateRelation { attributes, .. } => {
+                assert_eq!(attributes[0], ("Creature".into(), "Animal".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_assertions() {
+        let stmts = parse(
+            "ASSERT Flies (ALL Bird);\
+             ASSERT NOT Flies (ALL Penguin);\
+             RETRACT Flies (ALL Penguin);",
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::Assert {
+                negated, values, ..
+            } => {
+                assert!(!negated);
+                assert!(values[0].all);
+                assert_eq!(values[0].name, "Bird");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&stmts[1], Statement::Assert { negated: true, .. }));
+        assert!(matches!(&stmts[2], Statement::Retract { .. }));
+    }
+
+    #[test]
+    fn parse_queries_and_physical_ops() {
+        let stmts = parse(
+            "HOLDS Flies (Tweety);\
+             WHY Flies (Paul);\
+             CHECK Flies;\
+             SHOW Flies;\
+             SHOW DOMAIN Animal;\
+             CONSOLIDATE Flies;\
+             EXPLICATE Flies ON Creature;\
+             SET PREEMPTION Flies ON-PATH;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 8);
+        assert!(matches!(&stmts[4], Statement::ShowDomain { .. }));
+        match &stmts[6] {
+            Statement::Explicate { attrs, .. } => assert_eq!(attrs, &["Creature"]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &stmts[7] {
+            Statement::SetPreemption { mode, .. } => assert_eq!(mode, "ON-PATH"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_derivations() {
+        let stmts = parse(
+            "LET U = UNION A B;\
+             LET J = JOIN Sizes Colors;\
+             LET P = PROJECT J (Animal, Color);\
+             LET S = SELECT R WHERE Student IS ALL \"Obsequious Student\" AND Teacher IS Smith;\
+             LET C = CONSOLIDATE A;\
+             LET E = EXPLICATE A;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 6);
+        match &stmts[3] {
+            Statement::Let {
+                derivation: Derivation::Select(rel, conds),
+                ..
+            } => {
+                assert_eq!(rel, "R");
+                assert_eq!(conds.len(), 2);
+                assert!(conds[0].1.all);
+                assert!(!conds[1].1.all);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_optional() {
+        assert_eq!(parse("SHOW R").unwrap().len(), 1);
+        assert_eq!(parse("SHOW R;;;").unwrap().len(), 1);
+        assert!(parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let e = parse("CREATE TABLE x").unwrap_err();
+        assert!(e.to_string().contains("DOMAIN, CLASS"));
+        let e = parse("ASSERT Flies Tweety").unwrap_err();
+        assert!(e.to_string().contains("'('"));
+        let e = parse("SHOW R CHECK R").unwrap_err();
+        assert!(e.to_string().contains("';'"));
+        let e = parse("LET X = FROBNICATE A").unwrap_err();
+        assert!(e.to_string().contains("UNION"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Primitive encoders/decoders: little-endian integers and
+//! length-prefixed UTF-8 strings over `std::io` streams.
+
+use std::io::{Read, Write};
+
+use crate::error::{PersistError, Result};
+
+/// Write a `u32` little-endian.
+pub fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+/// Read a `u32` little-endian.
+pub fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)
+        .map_err(|_| PersistError::Corrupt("short read for u32".into()))?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Write a single byte.
+pub fn write_u8(w: &mut impl Write, v: u8) -> Result<()> {
+    w.write_all(&[v])?;
+    Ok(())
+}
+
+/// Read a single byte.
+pub fn read_u8(r: &mut impl Read) -> Result<u8> {
+    let mut buf = [0u8; 1];
+    r.read_exact(&mut buf)
+        .map_err(|_| PersistError::Corrupt("short read for u8".into()))?;
+    Ok(buf[0])
+}
+
+/// Write a length-prefixed UTF-8 string.
+pub fn write_str(w: &mut impl Write, s: &str) -> Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Read a length-prefixed UTF-8 string (capped at 16 MiB to keep a
+/// corrupt length from allocating the moon).
+pub fn read_str(r: &mut impl Read) -> Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > 16 << 20 {
+        return Err(PersistError::Corrupt(format!(
+            "string length {len} exceeds sanity cap"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)
+        .map_err(|_| PersistError::Corrupt("short read for string body".into()))?;
+    String::from_utf8(buf).map_err(|_| PersistError::Corrupt("invalid UTF-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_str(s: &str) -> String {
+        let mut buf = Vec::new();
+        write_str(&mut buf, s).unwrap();
+        read_str(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let mut buf = Vec::new();
+        for v in [0u32, 1, 0xDEAD_BEEF, u32::MAX] {
+            buf.clear();
+            write_u32(&mut buf, v).unwrap();
+            assert_eq!(read_u32(&mut &buf[..]).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn u8_round_trip() {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, 7).unwrap();
+        assert_eq!(read_u8(&mut &buf[..]).unwrap(), 7);
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        assert_eq!(round_trip_str(""), "");
+        assert_eq!(round_trip_str("Bird"), "Bird");
+        assert_eq!(round_trip_str("Amazing Flying Penguin ∀"), "Amazing Flying Penguin ∀");
+    }
+
+    #[test]
+    fn short_reads_are_corrupt_not_panics() {
+        assert!(matches!(
+            read_u32(&mut &[1u8, 2][..]),
+            Err(PersistError::Corrupt(_))
+        ));
+        // Length says 10 but only 2 bytes follow.
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 10).unwrap();
+        buf.extend_from_slice(b"ab");
+        assert!(matches!(
+            read_str(&mut &buf[..]),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, u32::MAX).unwrap();
+        assert!(matches!(
+            read_str(&mut &buf[..]),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 2).unwrap();
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            read_str(&mut &buf[..]),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the persistence layer.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T, E = PersistError> = std::result::Result<T, E>;
+
+/// Errors raised while encoding or decoding an image.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not an HRDM image (bad magic bytes).
+    BadMagic,
+    /// The image declares an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The byte stream ended or contradicted itself mid-structure.
+    Corrupt(String),
+    /// Rebuilding in-memory structures from decoded data failed (name
+    /// collisions, dangling ids, …).
+    Rebuild(String),
+    /// A requested object is not in the image.
+    NotFound(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not an HRDM image (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported image version {v}")
+            }
+            PersistError::Corrupt(msg) => write!(f, "corrupt image: {msg}"),
+            PersistError::Rebuild(msg) => write!(f, "cannot rebuild from image: {msg}"),
+            PersistError::NotFound(name) => write!(f, "no object named {name:?} in image"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+impl PartialEq for PersistError {
+    fn eq(&self, other: &PersistError) -> bool {
+        match (self, other) {
+            (PersistError::BadMagic, PersistError::BadMagic) => true,
+            (PersistError::UnsupportedVersion(a), PersistError::UnsupportedVersion(b)) => a == b,
+            (PersistError::Corrupt(a), PersistError::Corrupt(b)) => a == b,
+            (PersistError::Rebuild(a), PersistError::Rebuild(b)) => a == b,
+            (PersistError::NotFound(a), PersistError::NotFound(b)) => a == b,
+            (PersistError::Io(a), PersistError::Io(b)) => a.kind() == b.kind(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        assert!(PersistError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(PersistError::Corrupt("short read".into())
+            .to_string()
+            .contains("short read"));
+    }
+
+    #[test]
+    fn io_conversion_chains_source() {
+        let e: PersistError =
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

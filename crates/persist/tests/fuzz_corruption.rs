@@ -1,0 +1,80 @@
+//! Failure injection: decoding corrupted or truncated images must
+//! return errors, never panic, and never fabricate a world that the
+//! writer did not produce (when it does decode, the result must be
+//! internally valid).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hrdm_core::prelude::*;
+use hrdm_hierarchy::HierarchyGraph;
+use hrdm_persist::Image;
+
+fn sample_bytes() -> Vec<u8> {
+    let mut g = HierarchyGraph::new("Animal");
+    let bird = g.add_class("Bird", g.root()).unwrap();
+    let penguin = g.add_class("Penguin", bird).unwrap();
+    g.add_instance("Tweety", bird).unwrap();
+    g.add_instance("Paul", penguin).unwrap();
+    let dom = Arc::new(g);
+    let schema = Arc::new(Schema::single("Creature", dom.clone()));
+    let mut flies = HRelation::new(schema);
+    flies.assert_fact(&["Bird"], Truth::Positive).unwrap();
+    flies.assert_fact(&["Penguin"], Truth::Negative).unwrap();
+    let mut image = Image::new();
+    image.add_domain("Animal", dom);
+    image.add_relation("Flies", flies);
+    image.to_bytes().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn truncation_never_panics(cut in 0usize..1000) {
+        let bytes = sample_bytes();
+        let cut = cut.min(bytes.len());
+        let _ = Image::from_bytes(&bytes[..cut]); // must not panic
+        if cut < bytes.len() {
+            prop_assert!(Image::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn single_byte_flips_never_panic(pos in 0usize..1000, xor in 1u8..=255) {
+        let mut bytes = sample_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor;
+        // Either a decode error, or a decodable image whose graphs are
+        // still structurally valid (the flip hit a name byte or a truth
+        // tag without breaking framing).
+        if let Ok(image) = Image::from_bytes(&bytes) {
+            for name in image.domain_names().map(String::from).collect::<Vec<_>>() {
+                let g = image.domain(&name).unwrap();
+                // Re-validate structural invariants.
+                let violations = hrdm_hierarchy::validate::validate(g);
+                prop_assert!(
+                    violations
+                        .iter()
+                        .all(|v| !matches!(v, hrdm_hierarchy::validate::Violation::Cycle(_))),
+                    "decoded graph has a cycle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Image::from_bytes(&bytes); // must not panic
+    }
+
+    #[test]
+    fn garbage_with_valid_magic_never_panics(
+        tail in prop::collection::vec(any::<u8>(), 0..200)
+    ) {
+        let mut bytes = b"HRDM1\0\x01\x00\x00\x00".to_vec();
+        bytes.extend(tail);
+        let _ = Image::from_bytes(&bytes); // must not panic
+    }
+}

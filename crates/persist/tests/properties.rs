@@ -1,0 +1,87 @@
+//! Property tests: any world survives an encode/decode round trip with
+//! its flat model intact.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hrdm_core::flat::flatten;
+use hrdm_core::prelude::*;
+use hrdm_hierarchy::gen::{layered_dag, sample_nodes};
+use hrdm_persist::Image;
+
+fn arb_world() -> impl Strategy<Value = Image> {
+    (any::<u64>(), 1usize..6, any::<u64>(), 0u8..3).prop_map(
+        |(gseed, ntuples, tseed, pre)| {
+            let layers = 1 + (gseed % 3) as usize;
+            let width = 2 + (gseed / 3 % 3) as usize;
+            let g = Arc::new(layered_dag(layers, width, 2, gseed));
+            let preemption = match pre {
+                0 => Preemption::OffPath,
+                1 => Preemption::OnPath,
+                _ => Preemption::NoPreemption,
+            };
+            let schema = Arc::new(Schema::single("V", g.clone()));
+            let mut r = HRelation::with_preemption(schema, preemption);
+            for (k, node) in sample_nodes(&g, ntuples, tseed).into_iter().enumerate() {
+                let truth = if (tseed >> k) & 1 == 1 {
+                    Truth::Positive
+                } else {
+                    Truth::Negative
+                };
+                let _ = r.insert(Tuple::new(Item::new(vec![node]), truth));
+            }
+            let mut image = Image::new();
+            image.add_domain("D", g);
+            image.add_relation("R", r);
+            image
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn round_trip_preserves_everything(image in arb_world()) {
+        let bytes = image.to_bytes().unwrap();
+        let restored = Image::from_bytes(&bytes).unwrap();
+        let before = image.relation("R").unwrap();
+        let after = restored.relation("R").unwrap();
+        prop_assert_eq!(before.len(), after.len());
+        prop_assert_eq!(before.preemption(), after.preemption());
+        // Same stored tuples.
+        let a: Vec<_> = before.iter().map(|(i, t)| (i.clone(), t)).collect();
+        let b: Vec<_> = after.iter().map(|(i, t)| (i.clone(), t)).collect();
+        prop_assert_eq!(a, b);
+        // Same graph structure.
+        let g1 = image.domain("D").unwrap();
+        let g2 = restored.domain("D").unwrap();
+        prop_assert_eq!(g1.len(), g2.len());
+        prop_assert_eq!(g1.edge_count(), g2.edge_count());
+        for id in g1.node_ids() {
+            prop_assert_eq!(g1.name(id).as_str(), g2.name(id).as_str());
+            let mut c1: Vec<_> = g1.children(id).collect();
+            let mut c2: Vec<_> = g2.children(id).collect();
+            c1.sort_unstable();
+            c2.sort_unstable();
+            prop_assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_flat_model(image in arb_world()) {
+        let restored = Image::from_bytes(&image.to_bytes().unwrap()).unwrap();
+        let before = flatten(image.relation("R").unwrap());
+        let after = flatten(restored.relation("R").unwrap());
+        prop_assert_eq!(before.atoms(), after.atoms());
+    }
+
+    #[test]
+    fn double_round_trip_is_stable(image in arb_world()) {
+        let once = Image::from_bytes(&image.to_bytes().unwrap()).unwrap();
+        let bytes1 = once.to_bytes().unwrap();
+        let twice = Image::from_bytes(&bytes1).unwrap();
+        prop_assert_eq!(bytes1, twice.to_bytes().unwrap());
+    }
+}

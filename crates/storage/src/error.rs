@@ -1,0 +1,100 @@
+//! Error type for the flat storage engine.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T, E = StorageError> = std::result::Result<T, E>;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A record exceeds what a single page can hold.
+    RecordTooLarge {
+        /// Bytes requested.
+        size: usize,
+        /// Bytes a fresh page offers.
+        max: usize,
+    },
+    /// A record id referenced a page that does not exist.
+    InvalidPage(usize),
+    /// A record id referenced a missing or deleted slot.
+    InvalidSlot {
+        /// Page of the bad reference.
+        page: usize,
+        /// Slot of the bad reference.
+        slot: usize,
+    },
+    /// Encoded row bytes do not match the table's arity.
+    CorruptRow {
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length.
+        got: usize,
+    },
+    /// No table with this name exists.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// A column index was out of range for the table's arity.
+    ColumnOutOfRange(usize),
+    /// An underlying I/O failure while writing or reading a file image
+    /// (message only, so the error stays `Clone`/`PartialEq`).
+    Io(String),
+    /// The footnote-1 integrity constraint failed: the stored membership
+    /// extension differs from the hierarchy's membership.
+    MembershipViolation {
+        /// Rows stored but not implied by the hierarchy.
+        spurious: usize,
+        /// Rows implied by the hierarchy but missing.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::InvalidPage(p) => write!(f, "page {p} does not exist"),
+            StorageError::InvalidSlot { page, slot } => {
+                write!(f, "slot {slot} invalid on page {page}")
+            }
+            StorageError::CorruptRow { expected, got } => {
+                write!(f, "row length {got} does not match expected {expected}")
+            }
+            StorageError::UnknownTable(n) => write!(f, "no table named {n:?}"),
+            StorageError::DuplicateTable(n) => write!(f, "table {n:?} already exists"),
+            StorageError::ColumnOutOfRange(c) => write!(f, "column {c} out of range"),
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
+            StorageError::MembershipViolation { spurious, missing } => write!(
+                f,
+                "membership integrity violated: {spurious} spurious, {missing} missing rows"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(StorageError::UnknownTable("t".into()).to_string().contains("\"t\""));
+        assert!(StorageError::RecordTooLarge { size: 9000, max: 8180 }
+            .to_string()
+            .contains("9000"));
+        assert!(StorageError::MembershipViolation { spurious: 1, missing: 2 }
+            .to_string()
+            .contains("1 spurious"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error>() {}
+        check::<StorageError>();
+    }
+}

@@ -1,0 +1,289 @@
+//! Heap files: unordered collections of records across slotted pages.
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PAGE_SIZE};
+
+/// Stable address of a record in a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Page number within the file.
+    pub page: u32,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+/// An append-friendly heap file of byte records.
+#[derive(Default)]
+pub struct HeapFile {
+    pages: Vec<Page>,
+    live: usize,
+}
+
+impl HeapFile {
+    /// An empty heap file.
+    pub fn new() -> HeapFile {
+        HeapFile::default()
+    }
+
+    /// Append a record, allocating a page when the last one is full.
+    pub fn insert(&mut self, record: &[u8]) -> Result<RecordId> {
+        if record.len() > Page::max_record() {
+            return Err(StorageError::RecordTooLarge {
+                size: record.len(),
+                max: Page::max_record(),
+            });
+        }
+        if self
+            .pages
+            .last()
+            .is_none_or(|p| p.free_space() < record.len())
+        {
+            self.pages.push(Page::new());
+        }
+        let page = self.pages.len() - 1;
+        let slot = self
+            .pages
+            .last_mut()
+            .expect("just ensured")
+            .insert(record)?;
+        self.live += 1;
+        Ok(RecordId {
+            page: page as u32,
+            slot: slot as u16,
+        })
+    }
+
+    /// Read a record by id.
+    pub fn get(&self, rid: RecordId) -> Result<&[u8]> {
+        let page = self
+            .pages
+            .get(rid.page as usize)
+            .ok_or(StorageError::InvalidPage(rid.page as usize))?;
+        page.get(rid.slot as usize).ok_or(StorageError::InvalidSlot {
+            page: rid.page as usize,
+            slot: rid.slot as usize,
+        })
+    }
+
+    /// Delete a record (tombstone).
+    pub fn delete(&mut self, rid: RecordId) -> Result<()> {
+        let page = self
+            .pages
+            .get_mut(rid.page as usize)
+            .ok_or(StorageError::InvalidPage(rid.page as usize))?;
+        if page.delete(rid.slot as usize) {
+            self.live -= 1;
+            Ok(())
+        } else {
+            Err(StorageError::InvalidSlot {
+                page: rid.page as usize,
+                slot: rid.slot as usize,
+            })
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live records remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total bytes allocated (pages × page size) — what the file would
+    /// occupy on disk.
+    pub fn bytes_allocated(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Bytes actually used by payloads and directories.
+    pub fn bytes_used(&self) -> usize {
+        self.pages.iter().map(|p| p.bytes_used()).sum()
+    }
+
+    /// Iterate live records as `(rid, bytes)`.
+    pub fn scan(&self) -> impl Iterator<Item = (RecordId, &[u8])> {
+        self.pages.iter().enumerate().flat_map(|(pno, page)| {
+            page.iter().map(move |(slot, rec)| {
+                (
+                    RecordId {
+                        page: pno as u32,
+                        slot: slot as u16,
+                    },
+                    rec,
+                )
+            })
+        })
+    }
+
+    /// Write the file page-by-page: a `u32` page count followed by the
+    /// raw 8 KiB pages, exactly as they would sit on disk.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> Result<()> {
+        w.write_all(&(self.pages.len() as u32).to_le_bytes())
+            .map_err(io_err)?;
+        for page in &self.pages {
+            w.write_all(page.raw()).map_err(io_err)?;
+        }
+        Ok(())
+    }
+
+    /// Read a heap file written by [`HeapFile::write_to`].
+    pub fn read_from(r: &mut impl std::io::Read) -> Result<HeapFile> {
+        let mut count = [0u8; 4];
+        r.read_exact(&mut count).map_err(io_err)?;
+        let count = u32::from_le_bytes(count) as usize;
+        if count > 1 << 22 {
+            return Err(StorageError::InvalidPage(count));
+        }
+        let mut pages = Vec::new();
+        let mut live = 0usize;
+        for _ in 0..count {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            r.read_exact(&mut buf).map_err(io_err)?;
+            let page = Page::from_raw(&buf)?;
+            live += page.iter().count();
+            pages.push(page);
+        }
+        Ok(HeapFile { pages, live })
+    }
+}
+
+fn io_err(e: std::io::Error) -> StorageError {
+    StorageError::Io(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_multiple_pages() {
+        let mut h = HeapFile::new();
+        let rec = [7u8; 1024];
+        let mut rids = Vec::new();
+        for _ in 0..20 {
+            rids.push(h.insert(&rec).unwrap());
+        }
+        assert_eq!(h.len(), 20);
+        assert!(h.page_count() >= 3, "1 KiB × 20 spans ≥ 3 pages");
+        for rid in rids {
+            assert_eq!(h.get(rid).unwrap(), &rec[..]);
+        }
+    }
+
+    #[test]
+    fn scan_yields_all_live_records_in_order() {
+        let mut h = HeapFile::new();
+        let a = h.insert(b"a").unwrap();
+        let b = h.insert(b"b").unwrap();
+        let c = h.insert(b"c").unwrap();
+        h.delete(b).unwrap();
+        let got: Vec<(RecordId, &[u8])> = h.scan().collect();
+        assert_eq!(got, vec![(a, &b"a"[..]), (c, &b"c"[..])]);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn invalid_ids_error() {
+        let mut h = HeapFile::new();
+        let rid = h.insert(b"x").unwrap();
+        assert!(matches!(
+            h.get(RecordId { page: 9, slot: 0 }),
+            Err(StorageError::InvalidPage(9))
+        ));
+        assert!(matches!(
+            h.get(RecordId { page: 0, slot: 42 }),
+            Err(StorageError::InvalidSlot { .. })
+        ));
+        h.delete(rid).unwrap();
+        assert!(h.get(rid).is_err(), "deleted record unreadable");
+        assert!(h.delete(rid).is_err(), "double delete errors");
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn storage_accounting_grows_with_data() {
+        let mut h = HeapFile::new();
+        assert_eq!(h.bytes_allocated(), 0);
+        h.insert(&[0u8; 100]).unwrap();
+        assert_eq!(h.bytes_allocated(), PAGE_SIZE);
+        let used = h.bytes_used();
+        h.insert(&[0u8; 100]).unwrap();
+        assert!(h.bytes_used() > used);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut h = HeapFile::new();
+        assert!(h.insert(&vec![0u8; PAGE_SIZE]).is_err());
+        assert_eq!(h.page_count(), 0, "no page allocated for rejected insert");
+    }
+}
+
+#[cfg(test)]
+mod disk_tests {
+    use super::*;
+
+    #[test]
+    fn heap_file_round_trips_through_bytes() {
+        let mut h = HeapFile::new();
+        let mut rids = Vec::new();
+        for i in 0..50u32 {
+            rids.push(h.insert(&i.to_le_bytes()).unwrap());
+        }
+        h.delete(rids[7]).unwrap();
+        let mut bytes = Vec::new();
+        h.write_to(&mut bytes).unwrap();
+        let restored = HeapFile::read_from(&mut &bytes[..]).unwrap();
+        assert_eq!(restored.len(), 49);
+        assert_eq!(restored.page_count(), h.page_count());
+        // Record ids stay valid, tombstones stay dead.
+        assert_eq!(restored.get(rids[3]).unwrap(), &3u32.to_le_bytes());
+        assert!(restored.get(rids[7]).is_err());
+    }
+
+    #[test]
+    fn empty_heap_round_trips() {
+        let h = HeapFile::new();
+        let mut bytes = Vec::new();
+        h.write_to(&mut bytes).unwrap();
+        let restored = HeapFile::read_from(&mut &bytes[..]).unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.page_count(), 0);
+    }
+
+    #[test]
+    fn corrupt_page_images_error_not_panic() {
+        let mut h = HeapFile::new();
+        h.insert(b"record").unwrap();
+        let mut bytes = Vec::new();
+        h.write_to(&mut bytes).unwrap();
+        // Truncated.
+        assert!(HeapFile::read_from(&mut &bytes[..bytes.len() - 1]).is_err());
+        // Corrupt slot offset pointing outside the page.
+        let mut evil = bytes.clone();
+        evil[4 + 4] = 0xFF; // slot 0 offset low byte
+        evil[4 + 5] = 0x3F; // offset = 0x3FFF > PAGE_SIZE
+        assert!(HeapFile::read_from(&mut &evil[..]).is_err());
+        // Absurd page count.
+        let mut evil = bytes.clone();
+        evil[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(HeapFile::read_from(&mut &evil[..]).is_err());
+    }
+
+    #[test]
+    fn page_from_raw_validates() {
+        let p = Page::new();
+        assert!(Page::from_raw(p.raw()).is_ok());
+        assert!(Page::from_raw(&[0u8; 10]).is_err());
+        // All zeros: slot_count 0 but free_ptr 0 < HEADER — invalid.
+        assert!(Page::from_raw(&[0u8; PAGE_SIZE]).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Hash indexes over heap files.
+//!
+//! A [`HashIndex`] maps one column's value to the record ids holding it,
+//! giving the flat baseline the same O(1)-ish point lookups a production
+//! engine would have — the B2 comparison against hierarchical binding
+//! lookups would be unfair without it.
+
+use std::collections::HashMap;
+
+use crate::heap::{HeapFile, RecordId};
+use crate::row::column;
+
+/// A hash index on one column of a table.
+pub struct HashIndex {
+    col: usize,
+    map: HashMap<u32, Vec<RecordId>>,
+}
+
+impl HashIndex {
+    /// Build an index over the current contents of `heap`.
+    pub fn build(heap: &HeapFile, col: usize) -> HashIndex {
+        let mut map: HashMap<u32, Vec<RecordId>> = HashMap::new();
+        for (rid, bytes) in heap.scan() {
+            if let Ok(v) = column(bytes, col) {
+                map.entry(v).or_default().push(rid);
+            }
+        }
+        HashIndex { col, map }
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.col
+    }
+
+    /// Record ids whose indexed column equals `value`.
+    pub fn lookup(&self, value: u32) -> &[RecordId] {
+        self.map.get(&value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Register a newly inserted record.
+    pub fn insert(&mut self, value: u32, rid: RecordId) {
+        self.map.entry(value).or_default().push(rid);
+    }
+
+    /// Remove a record (e.g. after heap delete).
+    pub fn remove(&mut self, value: u32, rid: RecordId) {
+        if let Some(v) = self.map.get_mut(&value) {
+            v.retain(|&r| r != rid);
+            if v.is_empty() {
+                self.map.remove(&value);
+            }
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::encode;
+
+    #[test]
+    fn build_and_lookup() {
+        let mut h = HeapFile::new();
+        let r0 = h.insert(&encode(&[1, 100])).unwrap();
+        let r1 = h.insert(&encode(&[2, 200])).unwrap();
+        let r2 = h.insert(&encode(&[1, 300])).unwrap();
+        let idx = HashIndex::build(&h, 0);
+        assert_eq!(idx.lookup(1), &[r0, r2]);
+        assert_eq!(idx.lookup(2), &[r1]);
+        assert_eq!(idx.lookup(9), &[] as &[RecordId]);
+        assert_eq!(idx.key_count(), 2);
+        assert_eq!(idx.column(), 0);
+    }
+
+    #[test]
+    fn second_column_index() {
+        let mut h = HeapFile::new();
+        let r0 = h.insert(&encode(&[1, 100])).unwrap();
+        let idx = HashIndex::build(&h, 1);
+        assert_eq!(idx.lookup(100), &[r0]);
+        assert_eq!(idx.lookup(1), &[] as &[RecordId]);
+    }
+
+    #[test]
+    fn incremental_maintenance() {
+        let mut h = HeapFile::new();
+        let mut idx = HashIndex::build(&h, 0);
+        let r0 = h.insert(&encode(&[5, 0])).unwrap();
+        idx.insert(5, r0);
+        assert_eq!(idx.lookup(5), &[r0]);
+        idx.remove(5, r0);
+        assert_eq!(idx.lookup(5), &[] as &[RecordId]);
+        assert_eq!(idx.key_count(), 0);
+        idx.remove(5, r0); // no-op
+    }
+}

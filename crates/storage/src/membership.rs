@@ -1,0 +1,225 @@
+//! The footnote-1 flat encoding: class membership as a table plus an
+//! integrity constraint.
+//!
+//! "One could, of course, store the class membership in a separate
+//! relation and keep only a single tuple with a class name … in the
+//! standard relational model. The problem then is that repeated joins
+//! are required causing a degradation in performance."
+//!
+//! [`MembershipTable`] materializes `(class, instance)` pairs for the
+//! transitive membership of a hierarchy, indexed both ways. §1's
+//! companion requirement — "storing an integrity constraint that ensures
+//! that the extension stored is exactly the membership of the class" —
+//! is [`MembershipTable::check_integrity`], which revalidates the stored
+//! extension against the hierarchy (this is precisely the maintenance
+//! burden the hierarchical model eliminates).
+
+use hrdm_hierarchy::HierarchyGraph;
+
+use crate::catalog::Table;
+use crate::error::{Result, StorageError};
+use crate::exec::{hash_join, scan};
+use crate::row::Row;
+
+/// A stored `(class, instance)` membership extension with indexes on
+/// both columns.
+pub struct MembershipTable {
+    table: Table,
+}
+
+impl MembershipTable {
+    /// Materialize the transitive membership of `g`: one row per
+    /// (class-or-domain, instance) pair with `instance ⊆ class`.
+    pub fn materialize(g: &HierarchyGraph) -> MembershipTable {
+        let mut table = Table::new("Membership", 2);
+        for class in g.node_ids() {
+            if g.is_instance(class) {
+                continue;
+            }
+            for inst in g.extension(class) {
+                table
+                    .insert(&[class.index() as u32, inst.index() as u32])
+                    .expect("two-column rows always fit a page");
+            }
+        }
+        table.create_index(0).expect("column 0 exists");
+        table.create_index(1).expect("column 1 exists");
+        MembershipTable { table }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Number of stored membership rows.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when no memberships are stored.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Instances stored as members of `class`.
+    pub fn members(&self, class: u32) -> Vec<u32> {
+        self.table
+            .lookup(0, class)
+            .into_iter()
+            .map(|r| r[1])
+            .collect()
+    }
+
+    /// Classes stored as containing `instance`.
+    pub fn classes_of(&self, instance: u32) -> Vec<u32> {
+        self.table
+            .lookup(1, instance)
+            .into_iter()
+            .map(|r| r[0])
+            .collect()
+    }
+
+    /// The §1 integrity constraint: the stored extension must be exactly
+    /// the hierarchy's membership. O(rows + nodes²) revalidation — the
+    /// recurring cost the hierarchical model avoids by construction.
+    pub fn check_integrity(&self, g: &HierarchyGraph) -> Result<()> {
+        use std::collections::BTreeSet;
+        let stored: BTreeSet<(u32, u32)> = self
+            .table
+            .scan()
+            .map(|r| (r[0], r[1]))
+            .collect();
+        let mut expected: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for class in g.node_ids() {
+            if g.is_instance(class) {
+                continue;
+            }
+            for inst in g.extension(class) {
+                expected.insert((class.index() as u32, inst.index() as u32));
+            }
+        }
+        let spurious = stored.difference(&expected).count();
+        let missing = expected.difference(&stored).count();
+        if spurious == 0 && missing == 0 {
+            Ok(())
+        } else {
+            Err(StorageError::MembershipViolation { spurious, missing })
+        }
+    }
+
+    /// The footnote-1 query plan: expand a by-class relation
+    /// `r(class, …)` to instance level via a hash join with the
+    /// membership table. Output rows: `(instance, …rest of r's row)`.
+    pub fn expand_by_class<'a>(
+        &'a self,
+        by_class: &'a Table,
+    ) -> impl Iterator<Item = Row> + 'a {
+        // join Membership(class, instance) with r(class, ...) on class,
+        // then project instance + r's payload columns.
+        let arity = by_class.arity();
+        hash_join(scan(self.table()), 0, scan(by_class), 0).map(move |row| {
+            // row = [class, instance, class, payload...]
+            let mut out = Vec::with_capacity(arity);
+            out.push(row[1]);
+            out.extend_from_slice(&row[3..3 + (arity - 1)]);
+            out
+        })
+    }
+
+    /// Point query through the join: is `instance` a member of any class
+    /// listed in `by_class` (footnote-1's "does R hold for x?").
+    pub fn holds_via_join(&self, by_class: &Table, instance: u32) -> bool {
+        self.classes_of(instance)
+            .into_iter()
+            .any(|class| !by_class.lookup(0, class).is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn birds() -> HierarchyGraph {
+        let mut g = HierarchyGraph::new("Animal");
+        let bird = g.add_class("Bird", g.root()).unwrap();
+        let canary = g.add_class("Canary", bird).unwrap();
+        g.add_instance("Tweety", canary).unwrap();
+        let penguin = g.add_class("Penguin", bird).unwrap();
+        g.add_instance("Paul", penguin).unwrap();
+        g
+    }
+
+    #[test]
+    fn materialization_counts() {
+        let g = birds();
+        let m = MembershipTable::materialize(&g);
+        // Classes: Animal(2 members), Bird(2), Canary(1), Penguin(1).
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+        let bird = g.expect("Bird").index() as u32;
+        assert_eq!(m.members(bird).len(), 2);
+        let tweety = g.expect("Tweety").index() as u32;
+        let mut classes = m.classes_of(tweety);
+        classes.sort_unstable();
+        assert_eq!(classes.len(), 3); // Animal, Bird, Canary
+    }
+
+    #[test]
+    fn integrity_holds_then_breaks_on_hierarchy_change() {
+        let mut g = birds();
+        let m = MembershipTable::materialize(&g);
+        m.check_integrity(&g).unwrap();
+        // The hierarchy evolves; the stored extension silently rots —
+        // exactly the maintenance problem §1 describes.
+        let penguin = g.expect("Penguin");
+        g.add_instance("Pablo", penguin).unwrap();
+        let err = m.check_integrity(&g).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::MembershipViolation { spurious: 0, missing } if missing > 0
+        ));
+    }
+
+    #[test]
+    fn expand_by_class_is_the_flat_extension() {
+        let g = birds();
+        let m = MembershipTable::materialize(&g);
+        // Flies(class): one tuple, "all birds".
+        let mut flies = Table::new("Flies", 1);
+        let bird = g.expect("Bird").index() as u32;
+        flies.insert(&[bird]).unwrap();
+        let mut rows: Vec<Row> = m.expand_by_class(&flies).collect();
+        rows.sort();
+        let tweety = g.expect("Tweety").index() as u32;
+        let paul = g.expect("Paul").index() as u32;
+        let mut expected = vec![vec![tweety], vec![paul]];
+        expected.sort();
+        assert_eq!(rows, expected);
+    }
+
+    #[test]
+    fn point_query_via_join() {
+        let g = birds();
+        let m = MembershipTable::materialize(&g);
+        let mut flies = Table::new("Flies", 1);
+        flies.insert(&[g.expect("Bird").index() as u32]).unwrap();
+        flies.create_index(0).unwrap();
+        assert!(m.holds_via_join(&flies, g.expect("Tweety").index() as u32));
+        assert!(m.holds_via_join(&flies, g.expect("Paul").index() as u32));
+        // The root domain id is not an instance of anything.
+        assert!(!m.holds_via_join(&flies, g.root().index() as u32));
+    }
+
+    #[test]
+    fn expand_with_payload_columns() {
+        let g = birds();
+        let m = MembershipTable::materialize(&g);
+        let mut rel = Table::new("R", 2);
+        let bird = g.expect("Bird").index() as u32;
+        rel.insert(&[bird, 99]).unwrap();
+        let rows: Vec<Row> = m.expand_by_class(&rel).collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.len() == 2 && r[1] == 99));
+    }
+}

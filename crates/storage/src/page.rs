@@ -1,0 +1,259 @@
+//! Slotted pages.
+//!
+//! Classic layout: a header with slot count and free-space pointer,
+//! a slot directory growing from the front, and record payloads growing
+//! from the back. Deleted slots are tombstoned (offset = `u16::MAX`), so
+//! record ids stay stable.
+//!
+//! ```text
+//! +--------+--------------------+……free……+-----------+-----------+
+//! | header | slot 0 | slot 1 | …          | payload 1 | payload 0 |
+//! +--------+--------------------+……free……+-----------+-----------+
+//! ```
+
+use crate::error::{Result, StorageError};
+
+/// Page size in bytes (8 KiB, the common default in real engines).
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER: usize = 4; // slot_count: u16, free_ptr: u16
+const SLOT: usize = 4; // offset: u16, len: u16
+const TOMBSTONE: u16 = u16::MAX;
+
+/// A fixed-size slotted page.
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Page {
+        let mut data: Box<[u8; PAGE_SIZE]> = vec![0u8; PAGE_SIZE]
+            .into_boxed_slice()
+            .try_into()
+            .expect("exact size");
+        data[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        Page { data }
+    }
+
+    fn slot_count(&self) -> usize {
+        u16::from_le_bytes([self.data[0], self.data[1]]) as usize
+    }
+
+    fn set_slot_count(&mut self, n: usize) {
+        self.data[0..2].copy_from_slice(&(n as u16).to_le_bytes());
+    }
+
+    fn free_ptr(&self) -> usize {
+        u16::from_le_bytes([self.data[2], self.data[3]]) as usize
+    }
+
+    fn set_free_ptr(&mut self, p: usize) {
+        self.data[2..4].copy_from_slice(&(p as u16).to_le_bytes());
+    }
+
+    fn slot(&self, i: usize) -> (u16, u16) {
+        let at = HEADER + i * SLOT;
+        (
+            u16::from_le_bytes([self.data[at], self.data[at + 1]]),
+            u16::from_le_bytes([self.data[at + 2], self.data[at + 3]]),
+        )
+    }
+
+    fn set_slot(&mut self, i: usize, offset: u16, len: u16) {
+        let at = HEADER + i * SLOT;
+        self.data[at..at + 2].copy_from_slice(&offset.to_le_bytes());
+        self.data[at + 2..at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Bytes still available for one more record (payload + its slot).
+    pub fn free_space(&self) -> usize {
+        let used_front = HEADER + self.slot_count() * SLOT;
+        self.free_ptr().saturating_sub(used_front).saturating_sub(SLOT)
+    }
+
+    /// Maximum record payload a fresh page can hold.
+    pub fn max_record() -> usize {
+        PAGE_SIZE - HEADER - SLOT
+    }
+
+    /// Insert a record, returning its slot number.
+    pub fn insert(&mut self, record: &[u8]) -> Result<usize> {
+        if record.len() > Self::max_record() {
+            return Err(StorageError::RecordTooLarge {
+                size: record.len(),
+                max: Self::max_record(),
+            });
+        }
+        if record.len() > self.free_space() {
+            return Err(StorageError::RecordTooLarge {
+                size: record.len(),
+                max: self.free_space(),
+            });
+        }
+        let slot = self.slot_count();
+        let start = self.free_ptr() - record.len();
+        self.data[start..start + record.len()].copy_from_slice(record);
+        self.set_slot(slot, start as u16, record.len() as u16);
+        self.set_free_ptr(start);
+        self.set_slot_count(slot + 1);
+        Ok(slot)
+    }
+
+    /// Read the record in a slot.
+    pub fn get(&self, slot: usize) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (offset, len) = self.slot(slot);
+        if offset == TOMBSTONE {
+            return None;
+        }
+        Some(&self.data[offset as usize..offset as usize + len as usize])
+    }
+
+    /// Tombstone a slot (space is not reclaimed; ids stay stable).
+    pub fn delete(&mut self, slot: usize) -> bool {
+        if slot >= self.slot_count() || self.slot(slot).0 == TOMBSTONE {
+            return false;
+        }
+        let len = self.slot(slot).1;
+        self.set_slot(slot, TOMBSTONE, len);
+        true
+    }
+
+    /// Number of slots ever allocated (including tombstones).
+    pub fn slots(&self) -> usize {
+        self.slot_count()
+    }
+
+    /// Iterate live records as `(slot, bytes)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[u8])> {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|r| (s, r)))
+    }
+
+    /// Bytes of payload + directory in use (storage accounting for B1).
+    pub fn bytes_used(&self) -> usize {
+        HEADER + self.slot_count() * SLOT + (PAGE_SIZE - self.free_ptr())
+    }
+
+    /// The raw page bytes, as they would sit on disk.
+    pub fn raw(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Rebuild a page from raw bytes, validating the header and every
+    /// slot (offset/length in range) so corrupt input errors instead of
+    /// causing out-of-bounds reads later.
+    pub fn from_raw(bytes: &[u8]) -> Result<Page> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StorageError::CorruptRow {
+                expected: PAGE_SIZE,
+                got: bytes.len(),
+            });
+        }
+        let data: Box<[u8; PAGE_SIZE]> = bytes
+            .to_vec()
+            .into_boxed_slice()
+            .try_into()
+            .expect("length checked");
+        let page = Page { data };
+        let slots = page.slot_count();
+        let dir_end = HEADER + slots * SLOT;
+        if dir_end > PAGE_SIZE || page.free_ptr() > PAGE_SIZE || page.free_ptr() < dir_end {
+            return Err(StorageError::CorruptRow {
+                expected: PAGE_SIZE,
+                got: dir_end,
+            });
+        }
+        for i in 0..slots {
+            let (offset, len) = page.slot(i);
+            if offset == TOMBSTONE {
+                continue;
+            }
+            let (offset, len) = (offset as usize, len as usize);
+            if offset < page.free_ptr() || offset + len > PAGE_SIZE {
+                return Err(StorageError::InvalidSlot { page: 0, slot: i });
+            }
+        }
+        Ok(page)
+    }
+}
+
+impl Default for Page {
+    fn default() -> Page {
+        Page::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get_round_trip() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s0), Some(&b"hello"[..]));
+        assert_eq!(p.get(s1), Some(&b"world!"[..]));
+        assert_eq!(p.slots(), 2);
+        assert_eq!(p.get(5), None);
+    }
+
+    #[test]
+    fn delete_tombstones_without_moving_others() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"aaa").unwrap();
+        let s1 = p.insert(b"bbb").unwrap();
+        assert!(p.delete(s0));
+        assert!(!p.delete(s0), "double delete is a no-op");
+        assert_eq!(p.get(s0), None);
+        assert_eq!(p.get(s1), Some(&b"bbb"[..]));
+        let live: Vec<_> = p.iter().collect();
+        assert_eq!(live, vec![(s1, &b"bbb"[..])]);
+    }
+
+    #[test]
+    fn fills_up_and_rejects_overflow() {
+        let mut p = Page::new();
+        let rec = [0u8; 1000];
+        let mut n = 0;
+        while p.insert(&rec).is_ok() {
+            n += 1;
+        }
+        // 8 KiB page: 8 payloads of 1000B + slots fit, a 9th does not.
+        assert_eq!(n, 8);
+        assert!(matches!(
+            p.insert(&rec),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+        // Smaller records still fit in the remainder.
+        assert!(p.insert(&[1u8; 32]).is_ok());
+    }
+
+    #[test]
+    fn oversized_record_rejected_upfront() {
+        let mut p = Page::new();
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            p.insert(&huge),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_record_is_fine() {
+        let mut p = Page::new();
+        let s = p.insert(b"").unwrap();
+        assert_eq!(p.get(s), Some(&b""[..]));
+    }
+
+    #[test]
+    fn bytes_used_accounting() {
+        let mut p = Page::new();
+        assert_eq!(p.bytes_used(), HEADER);
+        p.insert(&[0u8; 100]).unwrap();
+        assert_eq!(p.bytes_used(), HEADER + SLOT + 100);
+    }
+}

@@ -1,0 +1,87 @@
+//! Fixed-arity row encoding.
+//!
+//! The flat baseline stores atoms of the hierarchical model, whose
+//! attribute values are dense node ids — so a row is a fixed-arity
+//! sequence of `u32`s, encoded little-endian. This mirrors what a real
+//! engine would do for integer-keyed dictionary-encoded columns.
+
+use crate::error::{Result, StorageError};
+
+/// A decoded row: one `u32` value per column.
+pub type Row = Vec<u32>;
+
+/// Encode a row as little-endian bytes.
+pub fn encode(row: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(row.len() * 4);
+    for v in row {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a row of known arity.
+pub fn decode(bytes: &[u8], arity: usize) -> Result<Row> {
+    if bytes.len() != arity * 4 {
+        return Err(StorageError::CorruptRow {
+            expected: arity * 4,
+            got: bytes.len(),
+        });
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Read one column without decoding the whole row.
+pub fn column(bytes: &[u8], col: usize) -> Result<u32> {
+    let at = col * 4;
+    if at + 4 > bytes.len() {
+        return Err(StorageError::ColumnOutOfRange(col));
+    }
+    Ok(u32::from_le_bytes([
+        bytes[at],
+        bytes[at + 1],
+        bytes[at + 2],
+        bytes[at + 3],
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let row = vec![1u32, 0, u32::MAX, 42];
+        let bytes = encode(&row);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(decode(&bytes, 4).unwrap(), row);
+    }
+
+    #[test]
+    fn wrong_arity_is_corrupt() {
+        let bytes = encode(&[1, 2]);
+        assert!(matches!(
+            decode(&bytes, 3),
+            Err(StorageError::CorruptRow { expected: 12, got: 8 })
+        ));
+    }
+
+    #[test]
+    fn column_access() {
+        let bytes = encode(&[10, 20, 30]);
+        assert_eq!(column(&bytes, 0).unwrap(), 10);
+        assert_eq!(column(&bytes, 2).unwrap(), 30);
+        assert!(matches!(
+            column(&bytes, 3),
+            Err(StorageError::ColumnOutOfRange(3))
+        ));
+    }
+
+    #[test]
+    fn empty_row() {
+        assert_eq!(encode(&[]), Vec::<u8>::new());
+        assert_eq!(decode(&[], 0).unwrap(), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the flat storage engine.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hrdm_storage::exec::{distinct, hash_join, scan};
+use hrdm_storage::row::{decode, encode};
+use hrdm_storage::{HeapFile, Table};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn row_encoding_round_trips(row in vec(any::<u32>(), 0..16)) {
+        let bytes = encode(&row);
+        prop_assert_eq!(decode(&bytes, row.len()).unwrap(), row);
+    }
+
+    #[test]
+    fn heap_preserves_all_records(records in vec(vec(any::<u8>(), 0..200), 1..100)) {
+        let mut h = HeapFile::new();
+        let rids: Vec<_> = records
+            .iter()
+            .map(|r| h.insert(r).unwrap())
+            .collect();
+        prop_assert_eq!(h.len(), records.len());
+        for (rid, rec) in rids.iter().zip(&records) {
+            prop_assert_eq!(h.get(*rid).unwrap(), rec.as_slice());
+        }
+        // Scan yields exactly the inserted multiset, in insertion order.
+        let scanned: Vec<Vec<u8>> = h.scan().map(|(_, b)| b.to_vec()).collect();
+        prop_assert_eq!(scanned, records);
+    }
+
+    #[test]
+    fn heap_deletion_removes_exactly_the_deleted(
+        records in vec(vec(any::<u8>(), 1..50), 2..40),
+        delete_mask in vec(any::<bool>(), 2..40),
+    ) {
+        let mut h = HeapFile::new();
+        let rids: Vec<_> = records.iter().map(|r| h.insert(r).unwrap()).collect();
+        let mut kept = Vec::new();
+        for ((rid, rec), del) in rids.iter().zip(&records).zip(&delete_mask) {
+            if *del {
+                h.delete(*rid).unwrap();
+            } else {
+                kept.push(rec.clone());
+            }
+        }
+        // Records beyond the mask's length are kept.
+        for rec in records.iter().skip(delete_mask.len()) {
+            kept.push(rec.clone());
+        }
+        let scanned: Vec<Vec<u8>> = h.scan().map(|(_, b)| b.to_vec()).collect();
+        prop_assert_eq!(scanned, kept);
+    }
+
+    #[test]
+    fn indexed_lookup_equals_scan_filter(
+        rows in vec((0u32..20, any::<u32>()), 0..200),
+        key in 0u32..20,
+    ) {
+        let mut t = Table::new("R", 2);
+        for (a, b) in &rows {
+            t.insert(&[*a, *b]).unwrap();
+        }
+        t.create_index(0).unwrap();
+        let via_index = t.lookup(0, key);
+        let via_scan: Vec<Vec<u32>> = t.scan().filter(|r| r[0] == key).collect();
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn hash_join_equals_nested_loop(
+        left in vec((0u32..10, any::<u32>()), 0..50),
+        right in vec((0u32..10, any::<u32>()), 0..50),
+    ) {
+        let mut lt = Table::new("L", 2);
+        for (a, b) in &left {
+            lt.insert(&[*a, *b]).unwrap();
+        }
+        let mut rt = Table::new("R", 2);
+        for (a, b) in &right {
+            rt.insert(&[*a, *b]).unwrap();
+        }
+        let mut hashed: Vec<Vec<u32>> = hash_join(scan(&lt), 0, scan(&rt), 0).collect();
+        hashed.sort();
+        let mut nested = Vec::new();
+        for l in scan(&lt) {
+            for r in scan(&rt) {
+                if l[0] == r[0] {
+                    let mut row = l.clone();
+                    row.extend_from_slice(&r);
+                    nested.push(row);
+                }
+            }
+        }
+        nested.sort();
+        prop_assert_eq!(hashed, nested);
+    }
+
+    #[test]
+    fn distinct_is_a_set(rows in vec((0u32..5, 0u32..5), 0..60)) {
+        let mut t = Table::new("R", 2);
+        for (a, b) in &rows {
+            t.insert(&[*a, *b]).unwrap();
+        }
+        let d = distinct(scan(&t));
+        let set: std::collections::BTreeSet<Vec<u32>> = d.iter().cloned().collect();
+        prop_assert_eq!(d.len(), set.len());
+        let full: std::collections::BTreeSet<Vec<u32>> = scan(&t).collect();
+        prop_assert_eq!(set, full);
+    }
+}

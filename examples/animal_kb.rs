@@ -1,0 +1,149 @@
+//! A frame-style knowledge base over the hierarchical model.
+//!
+//! ```sh
+//! cargo run --example animal_kb
+//! ```
+//!
+//! §1 pitches the model as a back-end "for, say, a frame-based knowledge
+//! representation system". This example plays that front end: slots
+//! (colour, enclosure size) become two-attribute relations over a shared
+//! animal taxonomy (the paper's Fig. 4 "Clyde the royal elephant"
+//! world), updates go through transactions that auto-resolve exceptions
+//! by explicit cancellation, and slot reads are justified lookups.
+
+use std::sync::Arc;
+
+use hrdm::core::integrity::Transaction;
+use hrdm::core::justify::justify;
+use hrdm::core::ops::join;
+use hrdm::core::render::render_table_titled;
+use hrdm::hierarchy::HierarchyGraph;
+use hrdm::prelude::*;
+
+/// The front end: unique-value slots with explicit cancellation.
+struct Frame {
+    relation: HRelation,
+}
+
+impl Frame {
+    fn new(relation: HRelation) -> Frame {
+        Frame { relation }
+    }
+
+    /// Assert `subject.slot = value` with the paper's *explicit
+    /// cancellation* (§2.2): when an inherited value exists, the update
+    /// negates it ("it is not enough to say that royal elephants are
+    /// white … royal elephants are not grey but white").
+    fn set(&mut self, subject: &str, value: &str) -> Result<(), CoreError> {
+        let item = self.relation.item(&[subject, value])?;
+        let mut tx = Transaction::begin(&mut self.relation);
+        // Cancel every inherited value that differs.
+        let schema = tx.relation().schema().clone();
+        let subject_node = schema.domain(0).node(subject)?;
+        let cancellations: Vec<Item> = schema
+            .domain(1)
+            .instances()
+            .filter(|&v| v != item.component(1))
+            .map(|v| Item::new(vec![subject_node, v]))
+            .filter(|other| tx.relation().holds(other))
+            .collect();
+        for other in cancellations {
+            tx.insert(other, Truth::Negative)?;
+        }
+        tx.assert_item(item, Truth::Positive)?;
+        // Resolve any remaining multiple-inheritance conflicts in favour
+        // of the new assertion's truth (a left-precedence-style policy).
+        loop {
+            let pending = tx.pending_conflicts();
+            if pending.is_empty() {
+                break;
+            }
+            for c in pending {
+                tx.insert(c.item, Truth::Negative)?;
+            }
+        }
+        tx.commit()
+    }
+
+    /// Read the slot value(s) for a subject, with justification.
+    fn get(&self, subject: &str) -> Result<Vec<String>, CoreError> {
+        let schema = self.relation.schema();
+        let subject_node = schema.domain(0).node(subject)?;
+        let mut out = Vec::new();
+        for v in schema.domain(1).instances() {
+            let item = Item::new(vec![subject_node, v]);
+            if self.relation.holds(&item) {
+                out.push(schema.domain(1).name(v).to_string());
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The taxonomy (Fig. 4) plus a colour domain.
+    let mut a = HierarchyGraph::new("Animal");
+    let elephant = a.add_class("Elephant", a.root())?;
+    let royal = a.add_class("Royal Elephant", elephant)?;
+    let indian = a.add_class("Indian Elephant", elephant)?;
+    a.add_instance_multi("Appu", &[royal, indian])?;
+    a.add_instance("Clyde", royal)?;
+    a.add_instance("Dumbo", indian)?;
+    let animals = Arc::new(a);
+
+    let mut c = HierarchyGraph::new("Color");
+    for color in ["Grey", "White", "Dappled"] {
+        c.add_instance(color, c.root())?;
+    }
+    let colors = Arc::new(c);
+
+    let schema = Arc::new(Schema::new(vec![
+        Attribute::new("Animal", animals.clone()),
+        Attribute::new("Color", colors),
+    ]));
+    let mut color_slot = Frame::new(HRelation::new(schema));
+
+    // The KB is populated through the front end; cancellations appear
+    // automatically.
+    color_slot.set("Elephant", "Grey")?;
+    color_slot.set("Royal Elephant", "White")?;
+    color_slot.set("Clyde", "Dappled")?;
+
+    println!(
+        "{}",
+        render_table_titled(&color_slot.relation, Some("colour slot (with cancellations)"))
+    );
+
+    for subject in ["Dumbo", "Appu", "Clyde"] {
+        println!("{subject:6} colour: {:?}", color_slot.get(subject)?);
+    }
+
+    // Justified read: why is Appu white?
+    let appu_white = color_slot.relation.item(&["Appu", "White"])?;
+    let j = justify(&color_slot.relation, &appu_white);
+    println!("\nwhy is Appu white?");
+    for t in &j.decisive {
+        println!(
+            "    {} {}",
+            t.truth.sign(),
+            color_slot.relation.schema().display_item(&t.item)
+        );
+    }
+
+    // A second slot joins naturally on the shared Animal attribute.
+    let mut e = HierarchyGraph::new("Enclosure");
+    e.add_instance("Large", e.root())?;
+    e.add_instance("Small", e.root())?;
+    let enclosure_schema = Arc::new(Schema::new(vec![
+        Attribute::new("Animal", animals),
+        Attribute::new("Enclosure", Arc::new(e)),
+    ]));
+    let mut enclosure = HRelation::new(enclosure_schema);
+    enclosure.assert_fact(&["Elephant", "Large"], Truth::Positive)?;
+    let profile = join(&enclosure, &color_slot.relation)?;
+    println!(
+        "{}",
+        render_table_titled(&profile, Some("joined animal profile (Enclosure ⋈ Color)"))
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Quickstart: the paper's Fig. 1 flying-creatures scenario end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the taxonomy, asserts three class-level facts plus one
+//! instance-level fact, and shows inheritance with exceptions, the
+//! equivalent flat relation, consolidation, and justification.
+
+use std::sync::Arc;
+
+use hrdm::core::consolidate::consolidate;
+use hrdm::core::justify::justify;
+use hrdm::core::render::render_table_titled;
+use hrdm::hierarchy::HierarchyGraph;
+use hrdm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A class hierarchy: the attribute domain is the root; classes
+    //    derive from it; instances are the leaves.
+    let mut g = HierarchyGraph::new("Animal");
+    let bird = g.add_class("Bird", g.root())?;
+    let canary = g.add_class("Canary", bird)?;
+    g.add_instance("Tweety", canary)?;
+    let penguin = g.add_class("Penguin", bird)?;
+    let gala = g.add_class("Galapagos Penguin", penguin)?;
+    let afp = g.add_class("Amazing Flying Penguin", penguin)?;
+    g.add_instance("Paul", gala)?;
+    g.add_instance_multi("Patricia", &[gala, afp])?;
+    g.add_instance("Pamela", afp)?;
+    g.add_instance("Peter", afp)?;
+
+    // 2. A single-attribute hierarchical relation: "flying creatures".
+    //    Four tuples stand in for the whole extension.
+    let schema = Arc::new(Schema::single("Creature", Arc::new(g)));
+    let mut flies = HRelation::new(schema);
+    flies.assert_fact(&["Bird"], Truth::Positive)?; // all birds fly
+    flies.assert_fact(&["Penguin"], Truth::Negative)?; // …except penguins
+    flies.assert_fact(&["Amazing Flying Penguin"], Truth::Positive)?; // …except these
+    flies.assert_fact(&["Peter"], Truth::Positive)?; // and Peter, explicitly
+
+    println!("{}", render_table_titled(&flies, Some("Flying creatures (4 stored tuples)")));
+
+    // 3. Inheritance with exceptions: truth values are derived through
+    //    the tuple-binding graph.
+    for name in ["Tweety", "Paul", "Patricia", "Pamela", "Peter"] {
+        let item = flies.item(&[name])?;
+        println!("{name:10} flies: {}", flies.holds(&item));
+    }
+
+    // 4. The unique equivalent flat relation.
+    let flat = hrdm::core::flat::flatten(&flies);
+    println!("\nflat extension ({} atoms):", flat.len());
+    for atom in flat.iter() {
+        println!("    {}", flies.schema().display_item(atom));
+    }
+
+    // 5. Justification: which stored tuples decided an answer?
+    let paul = flies.item(&["Paul"])?;
+    let j = justify(&flies, &paul);
+    println!("\nwhy doesn't Paul fly?");
+    for t in &j.decisive {
+        println!(
+            "    decisive: {} {}",
+            t.truth.sign(),
+            flies.schema().display_item(&t.item)
+        );
+    }
+
+    // 6. Consolidate: the explicit +Peter tuple is redundant — its only
+    //    predecessor in the subsumption graph is the positive Amazing
+    //    Flying Penguin tuple, which already implies it (§3.3.1).
+    let c = consolidate(&flies);
+    println!("\nconsolidate removed {} tuple(s):", c.removed.len());
+    for t in &c.removed {
+        println!(
+            "    {} {}",
+            t.truth.sign(),
+            flies.schema().display_item(&t.item)
+        );
+    }
+    assert!(hrdm::core::flat::equivalent(&flies, &c.relation));
+    println!("…and the flat model is unchanged.");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! `hrdm` — the hierarchical relational data model, assembled.
+//!
+//! A faithful, production-quality reproduction of H. V. Jagadish,
+//! *Incorporating Hierarchy in a Relational Model of Data* (SIGMOD
+//! 1989). This facade re-exports the workspace crates:
+//!
+//! * [`hierarchy`] — class-DAG substrate (node elimination, products,
+//!   preference edges, preemption variants),
+//! * [`core`] — the hierarchical relational model itself (truth-valued
+//!   tuples, inheritance with exceptions, consolidate/explicate, the
+//!   standard operators),
+//! * [`storage`] — the from-scratch flat baseline engine (footnote 1's
+//!   "traditional approach"),
+//! * [`datalog`] — semi-naive Datalog with stratified negation over
+//!   hierarchical EDBs (§2.1's "more powerful inference mechanism"),
+//! * [`hql`] — a textual interface (DDL, assertions, queries, the
+//!   consolidate/explicate operators) over the model,
+//! * [`persist`] — a binary snapshot format for whole catalogs.
+//!
+//! See `examples/` for runnable walkthroughs of the paper's scenarios
+//! and `crates/bench` for the full experiment harness (every figure and
+//! quantitative claim).
+//!
+//! ```
+//! use hrdm::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let mut g = hrdm::hierarchy::HierarchyGraph::new("Animal");
+//! let bird = g.add_class("Bird", g.root()).unwrap();
+//! g.add_instance("Tweety", bird).unwrap();
+//!
+//! let schema = Arc::new(Schema::single("Creature", Arc::new(g)));
+//! let mut flies = HRelation::new(schema);
+//! flies.assert_fact(&["Bird"], Truth::Positive).unwrap();
+//! assert!(flies.holds(&flies.item(&["Tweety"]).unwrap()));
+//! ```
+
+pub use hrdm_core as core;
+pub use hrdm_datalog as datalog;
+pub use hrdm_hierarchy as hierarchy;
+pub use hrdm_hql as hql;
+pub use hrdm_persist as persist;
+pub use hrdm_storage as storage;
+
+/// One-stop imports: the core prelude.
+pub mod prelude {
+    pub use hrdm_core::prelude::*;
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration: the hierarchical core, the flat storage
+//! baseline, and the Datalog layer must agree on the same world.
+
+use std::sync::Arc;
+
+use hrdm::core::flat::flatten;
+use hrdm::datalog::{Engine, Program};
+use hrdm::prelude::*;
+use hrdm::storage::membership::MembershipTable;
+use hrdm::storage::Table;
+use hrdm_bench::workloads::{class_workload, explicated_table, footnote1_baseline};
+
+#[test]
+fn hierarchical_and_flat_engines_agree_on_every_instance() {
+    for (members, exceptions) in [(50usize, 0usize), (50, 5), (200, 20)] {
+        let w = class_workload(members, exceptions);
+        let flat_table = explicated_table(&w);
+        let baseline = footnote1_baseline(&w);
+        assert_eq!(flat_table.len(), members - exceptions);
+        for inst in w.graph.instances() {
+            let item = Item::new(vec![inst]);
+            let truth = w.relation.holds(&item);
+            let id = inst.index() as u32;
+            assert_eq!(
+                !flat_table.lookup(0, id).is_empty(),
+                truth,
+                "flat table disagrees at {id}"
+            );
+            assert_eq!(baseline.holds(id), truth, "footnote-1 join disagrees at {id}");
+        }
+        // Listing queries agree too.
+        let mut joined = baseline.list();
+        joined.sort_unstable();
+        let mut flat: Vec<u32> = flatten(&w.relation)
+            .iter()
+            .map(|i| i.component(0).index() as u32)
+            .collect();
+        flat.sort_unstable();
+        assert_eq!(joined, flat);
+    }
+}
+
+#[test]
+fn membership_integrity_constraint_round_trip() {
+    let w = class_workload(100, 0);
+    let m = MembershipTable::materialize(&w.graph);
+    m.check_integrity(&w.graph).unwrap();
+    // Membership rows: class C0 has 100, the domain root has 100.
+    assert_eq!(m.len(), 200);
+}
+
+#[test]
+fn datalog_over_catalog_matches_direct_binding() {
+    // Build a catalog world, run a Datalog rule, and check the derived
+    // facts against direct binding evaluation.
+    let mut g = hrdm::hierarchy::HierarchyGraph::new("Animal");
+    let bird = g.add_class("Bird", g.root()).unwrap();
+    g.add_instance("Tweety", bird).unwrap();
+    let penguin = g.add_class("Penguin", bird).unwrap();
+    g.add_instance("Paul", penguin).unwrap();
+    let mut cat = Catalog::new();
+    let dom = cat.add_domain("Animal", g);
+    let schema = Arc::new(Schema::single("Creature", dom.clone()));
+    let mut flies = HRelation::new(schema.clone());
+    flies.assert_fact(&["Bird"], Truth::Positive).unwrap();
+    flies.assert_fact(&["Penguin"], Truth::Negative).unwrap();
+    let mut creature = HRelation::new(schema.clone());
+    creature.assert_fact(&["Animal"], Truth::Positive).unwrap();
+    cat.add_relation("flies", flies.clone());
+    cat.add_relation("creature", creature);
+
+    let mut engine = Engine::new();
+    engine.add_catalog(&cat);
+    let program = Program::parse(
+        "travels_far(X) :- flies(X).\n\
+         grounded(X) :- creature(X), !flies(X).",
+    )
+    .unwrap();
+    let travels = engine.run_pretty(&program, "travels_far").unwrap();
+    let grounded = engine.run_pretty(&program, "grounded").unwrap();
+
+    for name in ["Tweety", "Paul"] {
+        let item = flies.item(&[name]).unwrap();
+        let flies_direct = flies.holds(&item);
+        assert_eq!(
+            travels.contains(&vec![name.to_string()]),
+            flies_direct,
+            "{name} travels_far"
+        );
+        assert_eq!(
+            grounded.contains(&vec![name.to_string()]),
+            !flies_direct,
+            "{name} grounded"
+        );
+    }
+}
+
+#[test]
+fn operator_results_can_feed_the_flat_engine() {
+    // A hierarchical query result explicated into the baseline engine:
+    // the end-to-end path a downstream system would take.
+    let mut g = hrdm::hierarchy::HierarchyGraph::new("Animal");
+    let bird = g.add_class("Bird", g.root()).unwrap();
+    for n in ["b1", "b2", "b3"] {
+        g.add_instance(n, bird).unwrap();
+    }
+    let schema = Arc::new(Schema::single("Creature", Arc::new(g)));
+    let mut r = HRelation::new(schema.clone());
+    r.assert_fact(&["Bird"], Truth::Positive).unwrap();
+    r.assert_fact(&["b2"], Truth::Negative).unwrap();
+
+    let selected = hrdm::core::ops::select(&r, &schema.universal_item()).unwrap();
+    let flat = flatten(&selected);
+    let mut table = Table::new("result", 1);
+    for atom in flat.iter() {
+        table.insert(&[atom.component(0).index() as u32]).unwrap();
+    }
+    table.create_index(0).unwrap();
+    assert_eq!(table.len(), 2);
+    let b2 = schema.domain(0).node("b2").unwrap().index() as u32;
+    assert!(table.lookup(0, b2).is_empty(), "the exception is excluded");
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The doc example from src/lib.rs, inlined.
+    let mut g = hrdm::hierarchy::HierarchyGraph::new("Animal");
+    let bird = g.add_class("Bird", g.root()).unwrap();
+    g.add_instance("Tweety", bird).unwrap();
+    let schema = Arc::new(Schema::single("Creature", Arc::new(g)));
+    let mut flies = HRelation::new(schema);
+    flies.assert_fact(&["Bird"], Truth::Positive).unwrap();
+    assert!(flies.holds(&flies.item(&["Tweety"]).unwrap()));
+}
+
+#[test]
+fn catalog_round_trips_through_a_persisted_image() {
+    use hrdm::persist::Image;
+    let mut g = hrdm::hierarchy::HierarchyGraph::new("Animal");
+    let bird = g.add_class("Bird", g.root()).unwrap();
+    g.add_instance("Tweety", bird).unwrap();
+    let mut cat = Catalog::new();
+    let dom = cat.add_domain("Animal", g);
+    let schema = Arc::new(Schema::single("Creature", dom));
+    let mut flies = HRelation::new(schema);
+    flies.assert_fact(&["Bird"], Truth::Positive).unwrap();
+    cat.add_relation("Flies", flies);
+
+    let bytes = Image::from_catalog(&cat).to_bytes().unwrap();
+    let restored = Image::from_bytes(&bytes).unwrap().into_catalog();
+    let flies = restored.relation("Flies").unwrap();
+    assert!(flies.holds(&flies.item(&["Tweety"]).unwrap()));
+    // The restored catalog's domain handle matches the relation's.
+    assert!(Arc::ptr_eq(
+        restored.domain("Animal").unwrap(),
+        flies.schema().attribute(0).domain()
+    ));
+    // And the Datalog layer accepts the restored catalog directly.
+    let mut engine = hrdm::datalog::Engine::new();
+    engine.add_catalog(&restored);
+    let p = hrdm::datalog::Program::parse("f(X) :- Flies(X).");
+    // Predicate names are case-sensitive; catalog name is "Flies".
+    let out = engine.run(&p.unwrap()).unwrap();
+    assert_eq!(out["f"].len(), 1);
+}

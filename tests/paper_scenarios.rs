@@ -1,0 +1,186 @@
+//! Integration tests pinning every worked example of the paper,
+//! end to end through the public facade (`hrdm`).
+//!
+//! These mirror the `figures` binary's assertions as a test suite, so a
+//! regression in any crate that would change a paper figure fails CI.
+
+use std::sync::Arc;
+
+use hrdm::core::conflict::{find_conflicts, is_consistent};
+use hrdm::core::consolidate::consolidate;
+use hrdm::core::flat::{equivalent, flatten};
+use hrdm::core::justify::justify;
+use hrdm::core::ops::{difference, intersection, join, project_names, select, select_eq, union};
+use hrdm::core::subsumption::SubsumptionGraph;
+use hrdm::prelude::*;
+use hrdm_bench::fixtures::*;
+
+#[test]
+fn fig1_all_five_creatures() {
+    let tax = fig1_taxonomy();
+    let flying = fig1_relation(&tax);
+    let expect = [
+        ("Tweety", true),
+        ("Paul", false),
+        ("Patricia", true),
+        ("Pamela", true),
+        ("Peter", true),
+    ];
+    for (name, flies) in expect {
+        assert_eq!(
+            flying.holds(&flying.item(&[name]).unwrap()),
+            flies,
+            "{name}"
+        );
+    }
+    // Fig. 1c: the subsumption graph is the 4-tuple chain.
+    let sub = SubsumptionGraph::build(&flying);
+    assert_eq!(sub.node_count(), 5);
+    // Fig. 1d: Patricia binds only through Amazing Flying Penguin.
+    let patricia = flying.item(&["Patricia"]).unwrap();
+    let (tbg, qi) = SubsumptionGraph::build_for_item(&flying, &patricia);
+    assert_eq!(tbg.parents(qi).len(), 1);
+}
+
+#[test]
+fn fig2_product_diamond() {
+    let (students, teachers) = fig2_graphs();
+    let product =
+        hrdm::hierarchy::ProductHierarchy::new(vec![students.clone(), teachers.clone()]);
+    let corner = vec![
+        students.expect("Obsequious Student"),
+        teachers.expect("Incoherent Teacher"),
+    ];
+    assert_eq!(product.parents(&corner).len(), 2, "the Fig. 2c diamond");
+}
+
+#[test]
+fn fig3_conflict_and_resolution() {
+    let (students, teachers) = fig2_graphs();
+    let schema = Arc::new(Schema::new(vec![
+        Attribute::new("Student", students.clone()),
+        Attribute::new("Teacher", teachers.clone()),
+    ]));
+    let mut partial = HRelation::new(schema);
+    partial
+        .assert_fact(&["Obsequious Student", "Teacher"], Truth::Positive)
+        .unwrap();
+    partial
+        .assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
+        .unwrap();
+    assert!(!is_consistent(&partial));
+    let conflicts = find_conflicts(&partial);
+    assert!(conflicts
+        .iter()
+        .any(|c| c.item == partial.item(&["Obsequious Student", "Incoherent Teacher"]).unwrap()));
+    let full = fig3_respects(&students, &teachers);
+    assert!(is_consistent(&full));
+}
+
+#[test]
+fn fig4_elephant_colors() {
+    let (animals, colors) = fig4_graphs();
+    let rel = fig4_colors(&animals, &colors);
+    for (animal, color, expect) in [
+        ("Clyde", "Dappled", true),
+        ("Clyde", "White", false),
+        ("Clyde", "Grey", false),
+        ("Appu", "White", true),
+        ("Appu", "Grey", false),
+    ] {
+        assert_eq!(rel.holds(&rel.item(&[animal, color]).unwrap()), expect);
+    }
+}
+
+#[test]
+fn fig6_consolidation() {
+    let (students, teachers) = fig2_graphs();
+    let full = fig3_respects(&students, &teachers);
+    let cons = consolidate(&full);
+    assert_eq!(cons.relation.len(), 1);
+    assert_eq!(cons.removed.len(), 2);
+    assert!(equivalent(&full, &cons.relation));
+    // The negation falls first (topological order), then the resolver.
+    assert_eq!(cons.removed[0].truth, Truth::Negative);
+}
+
+#[test]
+fn figs7_8_selections() {
+    let (students, teachers) = fig2_graphs();
+    let respects = fig3_respects(&students, &teachers);
+    let region = respects.item(&["Obsequious Student", "Teacher"]).unwrap();
+    let who = select(&respects, &region).unwrap();
+    let flat = flatten(&who);
+    assert!(flat.contains(&respects.item(&["John", "Smith"]).unwrap()));
+    assert!(flat.contains(&respects.item(&["John", "Jones"]).unwrap()));
+    assert!(!flat.contains(&respects.item(&["Mary", "Jones"]).unwrap()));
+
+    let john = select_eq(&respects, "Student", "John").unwrap();
+    assert_eq!(flatten(&john).len(), 2);
+}
+
+#[test]
+fn fig9_justification() {
+    let (animals, colors) = fig4_graphs();
+    let rel = fig4_colors(&animals, &colors);
+    let clyde_grey = rel.item(&["Clyde", "Grey"]).unwrap();
+    let j = justify(&rel, &clyde_grey);
+    assert_eq!(j.binding.truth(), Some(Truth::Negative));
+    assert_eq!(j.applicable.len(), 2);
+    assert_eq!(
+        j.decisive[0].item,
+        rel.item(&["Royal Elephant", "Grey"]).unwrap()
+    );
+}
+
+#[test]
+fn fig10_set_operations() {
+    let tax = fig1_taxonomy();
+    let schema = Arc::new(Schema::single("Creature", tax));
+    let mut jack = HRelation::new(schema.clone());
+    jack.assert_fact(&["Bird"], Truth::Positive).unwrap();
+    jack.assert_fact(&["Penguin"], Truth::Negative).unwrap();
+    jack.assert_fact(&["Peter"], Truth::Positive).unwrap();
+    let mut jill = HRelation::new(schema.clone());
+    jill.assert_fact(&["Penguin"], Truth::Positive).unwrap();
+
+    let u = union(&jack, &jill).unwrap();
+    assert_eq!(flatten(&u).len(), 5, "all five creatures");
+    let i = intersection(&jack, &jill).unwrap();
+    let fi = flatten(&i);
+    assert_eq!(fi.len(), 1);
+    assert!(fi.contains(&schema.item(&["Peter"]).unwrap()));
+    let d1 = difference(&jack, &jill).unwrap();
+    assert!(flatten(&d1).contains(&schema.item(&["Tweety"]).unwrap()));
+    let d2 = difference(&jill, &jack).unwrap();
+    assert_eq!(flatten(&d2).len(), 3, "Paul, Patricia, Pamela");
+}
+
+#[test]
+fn fig11_join_and_projection() {
+    let (animals, colors) = fig4_graphs();
+    let color_rel = fig4_colors(&animals, &colors);
+    let (_enc, size_rel) = fig11_enclosures(&animals);
+    let joined = join(&size_rel, &color_rel).unwrap();
+    // Appu: white and in a 2000 enclosure (the Indian-elephant size
+    // exception composes with the royal-elephant colour exception).
+    let appu = joined.item(&["Appu", "2000", "White"]).unwrap();
+    assert!(flatten(&joined).contains(&appu));
+    // Projection back recovers the colour relation's model.
+    let back = project_names(&joined, &["Animal", "Color"]).unwrap();
+    assert_eq!(flatten(&back).atoms(), flatten(&color_rel).atoms());
+}
+
+#[test]
+fn appendix_preemption_modes() {
+    let tax = fig1_taxonomy();
+    let mut flying = fig1_relation(&tax);
+    let patricia = flying.item(&["Patricia"]).unwrap();
+
+    flying.set_preemption(Preemption::OffPath);
+    assert_eq!(flying.bind(&patricia).truth(), Some(Truth::Positive));
+    flying.set_preemption(Preemption::OnPath);
+    assert!(flying.bind(&patricia).is_conflict());
+    flying.set_preemption(Preemption::NoPreemption);
+    assert!(flying.bind(&patricia).is_conflict());
+}
