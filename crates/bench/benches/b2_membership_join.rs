@@ -19,16 +19,12 @@ fn bench_point_queries(c: &mut Criterion) {
             &(),
             |b, ()| b.iter(|| std::hint::black_box(w.relation.holds(&probe_item))),
         );
-        group.bench_with_input(
-            BenchmarkId::new("footnote1_join", members),
-            &(),
-            |b, ()| b.iter(|| std::hint::black_box(baseline.holds(probe_id))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("flat_indexed", members),
-            &(),
-            |b, ()| b.iter(|| std::hint::black_box(!flat.lookup(0, probe_id).is_empty())),
-        );
+        group.bench_with_input(BenchmarkId::new("footnote1_join", members), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(baseline.holds(probe_id)))
+        });
+        group.bench_with_input(BenchmarkId::new("flat_indexed", members), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(!flat.lookup(0, probe_id).is_empty()))
+        });
     }
     group.finish();
 }
@@ -53,9 +49,13 @@ fn bench_listing_queries(c: &mut Criterion) {
     group.finish();
 }
 
+fn report_stats(_c: &mut Criterion) {
+    println!("\nengine stats after b2:\n{}", hrdm_core::stats::snapshot());
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_point_queries, bench_listing_queries
+    targets = bench_point_queries, bench_listing_queries, report_stats
 }
 criterion_main!(benches);

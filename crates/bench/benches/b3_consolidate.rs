@@ -21,13 +21,28 @@ fn bench_consolidate(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("reverse_order", &label), &r, |b, r| {
             b.iter(|| std::hint::black_box(consolidate_reverse_order(r).removed.len()));
         });
+        // Ablation: the cascading run above reuses the shared
+        // subsumption/closure caches between iterations; this one pays
+        // the full graph construction every time. The gap is the win of
+        // the caching layer on repeated-operator workloads.
+        group.bench_with_input(BenchmarkId::new("cascading_cold", &label), &r, |b, r| {
+            b.iter(|| {
+                hrdm_core::subsumption::clear_cache();
+                hrdm_hierarchy::cache::clear();
+                std::hint::black_box(consolidate(r).removed.len())
+            });
+        });
     }
     group.finish();
+}
+
+fn report_stats(_c: &mut Criterion) {
+    println!("\nengine stats after b3:\n{}", hrdm_core::stats::snapshot());
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_consolidate
+    targets = bench_consolidate, report_stats
 }
 criterion_main!(benches);

@@ -10,9 +10,8 @@ use hrdm_hierarchy::{NodeId, ProductHierarchy};
 fn bench_product(c: &mut Criterion) {
     let mut group = c.benchmark_group("b6_product");
     for arity in 1usize..=4 {
-        let domains: Vec<Arc<hrdm_hierarchy::HierarchyGraph>> = (0..arity)
-            .map(|_| Arc::new(balanced_tree(3, 3)))
-            .collect();
+        let domains: Vec<Arc<hrdm_hierarchy::HierarchyGraph>> =
+            (0..arity).map(|_| Arc::new(balanced_tree(3, 3))).collect();
         // A deep atom and a shallow class item to probe between.
         let atom: Vec<NodeId> = domains
             .iter()
@@ -23,29 +22,22 @@ fn bench_product(c: &mut Criterion) {
             .map(|g| g.classes().next().expect("tree has classes"))
             .collect();
         let p = ProductHierarchy::new(domains);
-        group.bench_with_input(
-            BenchmarkId::new("lazy_reaches", arity),
-            &(),
-            |b, ()| b.iter(|| std::hint::black_box(p.reaches(&class, &atom))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("lazy_parents", arity),
-            &(),
-            |b, ()| b.iter(|| std::hint::black_box(p.parents(&atom).len())),
-        );
+        group.bench_with_input(BenchmarkId::new("lazy_reaches", arity), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(p.reaches(&class, &atom)))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_parents", arity), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(p.parents(&atom).len()))
+        });
     }
     // Materialization is only feasible at tiny sizes — that asymmetry IS
     // the experiment.
     for arity in 1usize..=2 {
-        let domains: Vec<Arc<hrdm_hierarchy::HierarchyGraph>> = (0..arity)
-            .map(|_| Arc::new(balanced_tree(2, 3)))
-            .collect();
+        let domains: Vec<Arc<hrdm_hierarchy::HierarchyGraph>> =
+            (0..arity).map(|_| Arc::new(balanced_tree(2, 3))).collect();
         let p = ProductHierarchy::new(domains);
-        group.bench_with_input(
-            BenchmarkId::new("materialize", arity),
-            &(),
-            |b, ()| b.iter(|| std::hint::black_box(p.materialize().expect("small product").len())),
-        );
+        group.bench_with_input(BenchmarkId::new("materialize", arity), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(p.materialize().expect("small product").len()))
+        });
     }
     group.finish();
 }

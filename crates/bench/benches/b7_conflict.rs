@@ -21,9 +21,7 @@ fn bench_conflict(c: &mut Criterion) {
     if items.len() >= 2 {
         group.bench_function("minimal_resolution_set", |b| {
             b.iter(|| {
-                std::hint::black_box(
-                    minimal_resolution_set(r.schema(), &items[0], &items[1]).len(),
-                )
+                std::hint::black_box(minimal_resolution_set(r.schema(), &items[0], &items[1]).len())
             })
         });
     }

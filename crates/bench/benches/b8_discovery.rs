@@ -13,9 +13,7 @@ fn bench_discovery(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("greedy_discover", format!("{coverage}pct")),
             &flat,
-            |b, flat| {
-                b.iter(|| std::hint::black_box(discover(flat).stats.hierarchical_tuples))
-            },
+            |b, flat| b.iter(|| std::hint::black_box(discover(flat).stats.hierarchical_tuples)),
         );
     }
     group.finish();

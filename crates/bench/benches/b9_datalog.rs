@@ -11,17 +11,11 @@ fn bench_datalog(c: &mut Criterion) {
         let (engine, program) = datalog_workload(n);
         let facts = (n * (n - 1) / 2) as u64;
         group.throughput(Throughput::Elements(facts));
-        group.bench_with_input(
-            BenchmarkId::new("transitive_closure", n),
-            &(),
-            |b, ()| {
-                b.iter(|| {
-                    std::hint::black_box(
-                        engine.run(&program).expect("stratifiable")["path"].len(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("transitive_closure", n), &(), |b, ()| {
+            b.iter(|| {
+                std::hint::black_box(engine.run(&program).expect("stratifiable")["path"].len())
+            })
+        });
     }
     group.finish();
 }

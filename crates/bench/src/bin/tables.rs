@@ -85,7 +85,12 @@ fn b2_membership_join() {
     heading("B2 — Query: hierarchical binding vs footnote-1 join (fn. 1)");
     println!(
         "{:>9} | {:>14} {:>14} {:>14} | {:>14} {:>14}",
-        "members", "hier point ns", "join point ns", "flat point ns", "hier list ns", "join list ns"
+        "members",
+        "hier point ns",
+        "join point ns",
+        "flat point ns",
+        "hier list ns",
+        "join list ns"
     );
     for members in [100usize, 1_000, 10_000] {
         let w = class_workload(members, members / 100);
@@ -217,9 +222,8 @@ fn b6_product_growth() {
         "arity", "stored nodes", "stored edges", "product nodes", "product edges"
     );
     for arity in 1usize..=4 {
-        let domains: Vec<Arc<hrdm_hierarchy::HierarchyGraph>> = (0..arity)
-            .map(|_| Arc::new(balanced_tree(3, 3)))
-            .collect();
+        let domains: Vec<Arc<hrdm_hierarchy::HierarchyGraph>> =
+            (0..arity).map(|_| Arc::new(balanced_tree(3, 3))).collect();
         let stored_nodes: usize = domains.iter().map(|g| g.len()).sum();
         let stored_edges: usize = domains.iter().map(|g| g.edge_count()).sum();
         let p = ProductHierarchy::new(domains);
@@ -285,10 +289,7 @@ fn b8_discovery() {
 /// B9 — §2.1: Datalog inference over hierarchical EDB.
 fn b9_datalog() {
     heading("B9 — Datalog: transitive closure over hierarchical EDB (§2.1)");
-    println!(
-        "{:>8} | {:>10} | {:>14}",
-        "chain n", "|path|", "eval ns"
-    );
+    println!("{:>8} | {:>10} | {:>14}", "chain n", "|path|", "eval ns");
     for n in [10usize, 30, 60] {
         let (engine, program) = datalog_workload(n);
         let out = engine.run(&program).expect("stratifiable program");

@@ -12,12 +12,15 @@ pub fn fig1_taxonomy() -> Arc<HierarchyGraph> {
     let canary = g.add_class("Canary", bird).expect("fresh name");
     g.add_instance("Tweety", canary).expect("fresh name");
     let penguin = g.add_class("Penguin", bird).expect("fresh name");
-    let gala = g.add_class("Galapagos Penguin", penguin).expect("fresh name");
+    let gala = g
+        .add_class("Galapagos Penguin", penguin)
+        .expect("fresh name");
     let afp = g
         .add_class("Amazing Flying Penguin", penguin)
         .expect("fresh name");
     g.add_instance("Paul", gala).expect("fresh name");
-    g.add_instance_multi("Patricia", &[gala, afp]).expect("fresh name");
+    g.add_instance_multi("Patricia", &[gala, afp])
+        .expect("fresh name");
     g.add_instance("Pamela", afp).expect("fresh name");
     g.add_instance("Peter", afp).expect("fresh name");
     Arc::new(g)
@@ -27,11 +30,14 @@ pub fn fig1_taxonomy() -> Arc<HierarchyGraph> {
 pub fn fig1_relation(taxonomy: &Arc<HierarchyGraph>) -> HRelation {
     let schema = Arc::new(Schema::single("Creature", taxonomy.clone()));
     let mut r = HRelation::new(schema);
-    r.assert_fact(&["Bird"], Truth::Positive).expect("known names");
-    r.assert_fact(&["Penguin"], Truth::Negative).expect("known names");
+    r.assert_fact(&["Bird"], Truth::Positive)
+        .expect("known names");
+    r.assert_fact(&["Penguin"], Truth::Negative)
+        .expect("known names");
     r.assert_fact(&["Amazing Flying Penguin"], Truth::Positive)
         .expect("known names");
-    r.assert_fact(&["Peter"], Truth::Positive).expect("known names");
+    r.assert_fact(&["Peter"], Truth::Positive)
+        .expect("known names");
     r
 }
 
@@ -39,21 +45,22 @@ pub fn fig1_relation(taxonomy: &Arc<HierarchyGraph>) -> HRelation {
 /// selections have extensions to show).
 pub fn fig2_graphs() -> (Arc<HierarchyGraph>, Arc<HierarchyGraph>) {
     let mut s = HierarchyGraph::new("Student");
-    let ob = s.add_class("Obsequious Student", s.root()).expect("fresh name");
+    let ob = s
+        .add_class("Obsequious Student", s.root())
+        .expect("fresh name");
     s.add_instance("John", ob).expect("fresh name");
     s.add_instance("Mary", s.root()).expect("fresh name");
     let mut t = HierarchyGraph::new("Teacher");
-    let ic = t.add_class("Incoherent Teacher", t.root()).expect("fresh name");
+    let ic = t
+        .add_class("Incoherent Teacher", t.root())
+        .expect("fresh name");
     t.add_instance("Smith", ic).expect("fresh name");
     t.add_instance("Jones", t.root()).expect("fresh name");
     (Arc::new(s), Arc::new(t))
 }
 
 /// Fig. 3: the Respects relation (conflict already resolved).
-pub fn fig3_respects(
-    students: &Arc<HierarchyGraph>,
-    teachers: &Arc<HierarchyGraph>,
-) -> HRelation {
+pub fn fig3_respects(students: &Arc<HierarchyGraph>, teachers: &Arc<HierarchyGraph>) -> HRelation {
     let schema = Arc::new(Schema::new(vec![
         Attribute::new("Student", students.clone()),
         Attribute::new("Teacher", teachers.clone()),
@@ -63,8 +70,11 @@ pub fn fig3_respects(
         .expect("known names");
     r.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
         .expect("known names");
-    r.assert_fact(&["Obsequious Student", "Incoherent Teacher"], Truth::Positive)
-        .expect("known names");
+    r.assert_fact(
+        &["Obsequious Student", "Incoherent Teacher"],
+        Truth::Positive,
+    )
+    .expect("known names");
     r
 }
 
@@ -73,8 +83,11 @@ pub fn fig4_graphs() -> (Arc<HierarchyGraph>, Arc<HierarchyGraph>) {
     let mut a = HierarchyGraph::new("Animal");
     let elephant = a.add_class("Elephant", a.root()).expect("fresh name");
     let royal = a.add_class("Royal Elephant", elephant).expect("fresh name");
-    let indian = a.add_class("Indian Elephant", elephant).expect("fresh name");
-    a.add_instance_multi("Appu", &[royal, indian]).expect("fresh name");
+    let indian = a
+        .add_class("Indian Elephant", elephant)
+        .expect("fresh name");
+    a.add_instance_multi("Appu", &[royal, indian])
+        .expect("fresh name");
     a.add_instance("Clyde", royal).expect("fresh name");
     let mut c = HierarchyGraph::new("Color");
     c.add_instance("Grey", c.root()).expect("fresh name");
@@ -84,22 +97,22 @@ pub fn fig4_graphs() -> (Arc<HierarchyGraph>, Arc<HierarchyGraph>) {
 }
 
 /// Fig. 4's Animal-Color relation.
-pub fn fig4_colors(
-    animals: &Arc<HierarchyGraph>,
-    colors: &Arc<HierarchyGraph>,
-) -> HRelation {
+pub fn fig4_colors(animals: &Arc<HierarchyGraph>, colors: &Arc<HierarchyGraph>) -> HRelation {
     let schema = Arc::new(Schema::new(vec![
         Attribute::new("Animal", animals.clone()),
         Attribute::new("Color", colors.clone()),
     ]));
     let mut r = HRelation::new(schema);
-    r.assert_fact(&["Elephant", "Grey"], Truth::Positive).expect("known names");
+    r.assert_fact(&["Elephant", "Grey"], Truth::Positive)
+        .expect("known names");
     r.assert_fact(&["Royal Elephant", "Grey"], Truth::Negative)
         .expect("known names");
     r.assert_fact(&["Royal Elephant", "White"], Truth::Positive)
         .expect("known names");
-    r.assert_fact(&["Clyde", "White"], Truth::Negative).expect("known names");
-    r.assert_fact(&["Clyde", "Dappled"], Truth::Positive).expect("known names");
+    r.assert_fact(&["Clyde", "White"], Truth::Negative)
+        .expect("known names");
+    r.assert_fact(&["Clyde", "Dappled"], Truth::Positive)
+        .expect("known names");
     r
 }
 
@@ -114,7 +127,8 @@ pub fn fig11_enclosures(animals: &Arc<HierarchyGraph>) -> (Arc<HierarchyGraph>, 
         Attribute::new("Enclosure Size", e.clone()),
     ]));
     let mut r = HRelation::new(schema);
-    r.assert_fact(&["Elephant", "3000"], Truth::Positive).expect("known names");
+    r.assert_fact(&["Elephant", "3000"], Truth::Positive)
+        .expect("known names");
     r.assert_fact(&["Indian Elephant", "3000"], Truth::Negative)
         .expect("known names");
     r.assert_fact(&["Indian Elephant", "2000"], Truth::Positive)

@@ -4,8 +4,9 @@
 //!
 //! Two kinds of artifacts live in this crate:
 //!
-//! * `src/bin/figures.rs` — regenerates every worked figure of the
-//!   paper (EX1–EX11 in DESIGN.md) and prints paper-style tables;
+//! * [`figures`] — regenerates every worked figure of the paper
+//!   (EX1–EX11 in DESIGN.md) as one deterministic report; the `figures`
+//!   binary prints it and the golden test snapshots it;
 //! * `src/bin/tables.rs` + `benches/*` — the performance experiments
 //!   (B1–B9), each reproducing one quantitative claim from the paper's
 //!   prose against the flat baseline engine.
@@ -14,5 +15,6 @@
 //! and the synthetic scaled workloads both binaries and the Criterion
 //! benches share.
 
+pub mod figures;
 pub mod fixtures;
 pub mod workloads;

@@ -153,11 +153,7 @@ pub fn consolidation_workload(
     for &c in &class_ids {
         r.assert_item(Item::new(vec![c]), Truth::Positive)
             .expect("valid node");
-        for d in graph
-            .descendants(c)
-            .into_iter()
-            .take(redundant_per_class)
-        {
+        for d in graph.descendants(c).into_iter().take(redundant_per_class) {
             // Same truth value below: redundant by §3.3.
             let _ = r.assert_item(Item::new(vec![d]), Truth::Positive);
         }

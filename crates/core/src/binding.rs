@@ -95,18 +95,17 @@ fn immediate_among(
 ) -> Vec<(Item, Truth)> {
     let product = relation.schema().product();
     match relation.preemption() {
-        Preemption::NoPreemption => candidates
-            .iter()
-            .filter(|(x, _)| x != q)
-            .cloned()
-            .collect(),
+        Preemption::NoPreemption => candidates.iter().filter(|(x, _)| x != q).cloned().collect(),
         Preemption::OffPath => candidates
             .iter()
             .filter(|(x, _)| {
                 if x == q {
                     return false;
                 }
-                if product.direct_edge(x.components(), q.components()).is_some() {
+                if product
+                    .direct_edge(x.components(), q.components())
+                    .is_some()
+                {
                     return true;
                 }
                 !candidates.iter().any(|(z, _)| {
@@ -179,8 +178,7 @@ pub fn bind(relation: &HRelation, q: &Item) -> Binding {
     if binders.is_empty() {
         return Binding::Unspecified;
     }
-    let (positive, negative): (Vec<_>, Vec<_>) =
-        binders.into_iter().partition(|(_, t)| t.holds());
+    let (positive, negative): (Vec<_>, Vec<_>) = binders.into_iter().partition(|(_, t)| t.holds());
     match (positive.is_empty(), negative.is_empty()) {
         (false, true) => Binding::Inherited(
             Truth::Positive,
@@ -257,10 +255,7 @@ mod tests {
         let pamela = r.item(&["Pamela"]).unwrap();
         match r.bind(&pamela) {
             Binding::Inherited(Truth::Positive, binders) => {
-                assert_eq!(
-                    binders,
-                    vec![r.item(&["Amazing Flying Penguin"]).unwrap()]
-                );
+                assert_eq!(binders, vec![r.item(&["Amazing Flying Penguin"]).unwrap()]);
             }
             other => panic!("expected positive inheritance, got {other:?}"),
         }
@@ -283,10 +278,7 @@ mod tests {
         let patricia = r.item(&["Patricia"]).unwrap();
         match r.bind(&patricia) {
             Binding::Inherited(Truth::Positive, binders) => {
-                assert_eq!(
-                    binders,
-                    vec![r.item(&["Amazing Flying Penguin"]).unwrap()]
-                );
+                assert_eq!(binders, vec![r.item(&["Amazing Flying Penguin"]).unwrap()]);
             }
             other => panic!("expected positive inheritance, got {other:?}"),
         }
@@ -303,10 +295,7 @@ mod tests {
         let patricia = r.item(&["Patricia"]).unwrap();
         match r.bind(&patricia) {
             Binding::Conflict { positive, negative } => {
-                assert_eq!(
-                    positive,
-                    vec![r.item(&["Amazing Flying Penguin"]).unwrap()]
-                );
+                assert_eq!(positive, vec![r.item(&["Amazing Flying Penguin"]).unwrap()]);
                 assert_eq!(negative, vec![r.item(&["Galapagos Penguin"]).unwrap()]);
             }
             other => panic!("expected conflict, got {other:?}"),
@@ -378,7 +367,10 @@ mod tests {
         r.assert_fact(&["Amazing Flying Penguin"], Truth::Positive)
             .unwrap();
         let pam = r.item(&["Pamela"]).unwrap();
-        assert!(r.bind(&pam).is_conflict(), "direct edge keeps Penguin immediate");
+        assert!(
+            r.bind(&pam).is_conflict(),
+            "direct edge keeps Penguin immediate"
+        );
     }
 
     #[test]
@@ -430,7 +422,10 @@ mod tests {
 
     #[test]
     fn binding_truth_and_conflict_accessors() {
-        assert_eq!(Binding::Explicit(Truth::Negative).truth(), Some(Truth::Negative));
+        assert_eq!(
+            Binding::Explicit(Truth::Negative).truth(),
+            Some(Truth::Negative)
+        );
         assert_eq!(Binding::Unspecified.truth(), None);
         assert!(!Binding::Unspecified.is_conflict());
         let c = Binding::Conflict {

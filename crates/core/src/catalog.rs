@@ -11,11 +11,12 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use hrdm_hierarchy::HierarchyGraph;
+use hrdm_hierarchy::{cache, HierarchyGraph};
 
 use crate::error::{CoreError, Result};
 use crate::relation::HRelation;
 use crate::schema::Schema;
+use crate::stats::{self, EngineStats};
 
 /// Named domains and relations.
 #[derive(Default)]
@@ -87,13 +88,68 @@ impl Catalog {
         self.domains.keys().map(|s| s.as_str())
     }
 
+    /// Snapshot the engine counters (closure cache, subsumption cache,
+    /// operator wall times). The counters are process-wide; the catalog
+    /// fronts them because it owns the graphs the caches are keyed by.
+    pub fn engine_stats(&self) -> EngineStats {
+        stats::snapshot()
+    }
+
+    /// Zero the engine counters (resident cache entries are kept).
+    pub fn reset_engine_stats(&self) {
+        stats::reset();
+    }
+
+    /// Pre-build both closure kinds for a domain so the first operator
+    /// over it pays no build latency.
+    pub fn warm_domain(&self, name: &str) -> Result<()> {
+        let g = self.domain(name)?;
+        cache::closure(g);
+        cache::subset_closure(g);
+        Ok(())
+    }
+
+    /// Unregister a domain and drop its cached closures. Relations still
+    /// holding the `Arc` keep working; only the shared cache entries are
+    /// reclaimed deterministically.
+    pub fn drop_domain(&mut self, name: &str) -> Result<Arc<HierarchyGraph>> {
+        let g = self
+            .domains
+            .remove(name)
+            .ok_or_else(|| CoreError::UnknownAttribute(name.to_string()))?;
+        cache::invalidate_graph(g.graph_id());
+        Ok(g)
+    }
+
+    /// Mutate a registered domain through copy-on-write.
+    ///
+    /// If the graph is uniquely owned it is mutated in place and its
+    /// generation bump orphans the old cached closures; if shared (a
+    /// relation schema still holds it), the catalog's copy diverges onto
+    /// a fresh graph id and existing relations keep the old version —
+    /// either way no cached closure can ever serve stale reachability.
+    pub fn update_domain<T>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut HierarchyGraph) -> hrdm_hierarchy::Result<T>,
+    ) -> Result<T> {
+        let arc = self
+            .domains
+            .get_mut(name)
+            .ok_or_else(|| CoreError::UnknownAttribute(name.to_string()))?;
+        f(Arc::make_mut(arc)).map_err(CoreError::Hierarchy)
+    }
+
     /// Build a schema from registered domain names, attribute names
     /// doubling as domain names.
     pub fn schema(&self, attrs: &[(&str, &str)]) -> Result<Arc<Schema>> {
         let attributes = attrs
             .iter()
             .map(|&(attr, dom)| {
-                Ok(crate::schema::Attribute::new(attr, self.domain(dom)?.clone()))
+                Ok(crate::schema::Attribute::new(
+                    attr,
+                    self.domain(dom)?.clone(),
+                ))
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(Arc::new(Schema::new(attributes)))
@@ -147,5 +203,76 @@ mod tests {
         assert_eq!(cat.relation("Flies").unwrap().len(), 2);
         assert!(cat.relation("Walks").is_err());
         assert_eq!(cat.relation_names().collect::<Vec<_>>(), vec!["Flies"]);
+    }
+
+    #[test]
+    fn warm_domain_prebuilds_closures() {
+        let mut cat = Catalog::new();
+        let g = cat.add_domain("Animal", sample_graph());
+        cat.warm_domain("Animal").unwrap();
+        let before = cat.engine_stats();
+        // Both closure kinds are resident: these hit, never build.
+        cache::closure(&g);
+        cache::subset_closure(&g);
+        let after = cat.engine_stats();
+        assert_eq!(after.closure_misses, before.closure_misses);
+        assert!(after.closure_hits >= before.closure_hits + 2);
+        assert!(cat.warm_domain("Nope").is_err());
+    }
+
+    #[test]
+    fn drop_domain_evicts_cache_entries() {
+        let mut cat = Catalog::new();
+        let g = cat.add_domain("Animal", sample_graph());
+        cat.warm_domain("Animal").unwrap();
+        let dropped = cat.drop_domain("Animal").unwrap();
+        assert!(Arc::ptr_eq(&g, &dropped));
+        assert!(cat.domain("Animal").is_err());
+        assert!(cat.drop_domain("Animal").is_err());
+        // The dropped graph's entries are gone: touching it rebuilds.
+        let before = cat.engine_stats();
+        cache::closure(&g);
+        let after = cat.engine_stats();
+        assert_eq!(after.closure_misses, before.closure_misses + 1);
+    }
+
+    #[test]
+    fn update_domain_bumps_version_and_preserves_shared_readers() {
+        let mut cat = Catalog::new();
+        let shared = cat.add_domain("Animal", sample_graph());
+        let old_version = shared.version();
+        // `shared` is still held outside, so make_mut must clone: the
+        // catalog copy gets a fresh graph id, the reader keeps the old.
+        let woody = cat
+            .update_domain("Animal", |g| {
+                let bird = g.node("Bird")?;
+                g.add_instance("Woody", bird)
+            })
+            .unwrap();
+        assert_eq!(shared.version(), old_version);
+        assert!(shared.node("Woody").is_err());
+        let updated = cat.domain("Animal").unwrap();
+        assert_eq!(updated.node("Woody").unwrap(), woody);
+        assert_ne!(updated.version().0, old_version.0);
+
+        // Uniquely owned now: in-place mutation bumps the generation.
+        drop(shared);
+        let mid = cat.domain("Animal").unwrap().version();
+        cat.update_domain("Animal", |g| {
+            let bird = g.node("Bird")?;
+            g.add_instance("Buzz", bird)
+        })
+        .unwrap();
+        let end = cat.domain("Animal").unwrap().version();
+        assert_eq!(end.0, mid.0);
+        assert!(end.1 > mid.1);
+
+        // Hierarchy errors surface as CoreError::Hierarchy.
+        let err = cat.update_domain("Animal", |g| {
+            let root = g.root();
+            g.add_instance("Woody", root) // duplicate name
+        });
+        assert!(matches!(err, Err(CoreError::Hierarchy(_))));
+        assert!(cat.update_domain("Nope", |_| Ok(())).is_err());
     }
 }

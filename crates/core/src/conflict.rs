@@ -15,11 +15,14 @@
 //! preemption mode.
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use crate::binding::Binding;
 use crate::item::Item;
+use crate::parallel;
 use crate::relation::HRelation;
 use crate::schema::Schema;
+use crate::stats;
 use crate::truth::Truth;
 
 /// An ambiguity-constraint violation at one item.
@@ -53,13 +56,7 @@ pub fn complete_resolution_set(schema: &Schema, a: &Item, b: &Item) -> Vec<Item>
     let mut out = Vec::new();
     let mut cursor = vec![0usize; axes.len()];
     loop {
-        let item = Item::new(
-            cursor
-                .iter()
-                .zip(&axes)
-                .map(|(&c, ax)| ax[c])
-                .collect(),
-        );
+        let item = Item::new(cursor.iter().zip(&axes).map(|(&c, ax)| ax[c]).collect());
         // C excludes the conflicting items themselves (they are not
         // subsets of each other when incomparable; guard for the
         // comparable case).
@@ -92,9 +89,9 @@ pub fn minimal_resolution_set(schema: &Schema, a: &Item, b: &Item) -> Vec<Item> 
     complete
         .iter()
         .filter(|x| {
-            !complete.iter().any(|y| {
-                *y != **x && product.subsumes(y.components(), x.components())
-            })
+            !complete
+                .iter()
+                .any(|y| *y != **x && product.subsumes(y.components(), x.components()))
         })
         .cloned()
         .collect()
@@ -103,24 +100,36 @@ pub fn minimal_resolution_set(schema: &Schema, a: &Item, b: &Item) -> Vec<Item> 
 /// Find every conflicted item in `relation` (§3.1's ambiguity
 /// constraint), in deterministic item order.
 pub fn find_conflicts(relation: &HRelation) -> Vec<Conflict> {
-    let mut out = Vec::new();
-    for item in conflict_candidates(relation) {
-        if let Binding::Conflict { positive, negative } = relation.bind(&item) {
-            out.push(Conflict {
+    let start = Instant::now();
+    let candidates: Vec<Item> = conflict_candidates(relation).into_iter().collect();
+    // Each candidate's binding is evaluated independently; fan the
+    // lookups out across threads and keep the deterministic item order.
+    let verdicts = parallel::par_map(&candidates, |item| match relation.bind(item) {
+        Binding::Conflict { positive, negative } => Some((positive, negative)),
+        _ => None,
+    });
+    let out = candidates
+        .into_iter()
+        .zip(verdicts)
+        .filter_map(|(item, verdict)| {
+            verdict.map(|(positive, negative)| Conflict {
                 item,
                 positive,
                 negative,
-            });
-        }
-    }
+            })
+        })
+        .collect();
+    stats::record_conflict(start.elapsed());
     out
 }
 
 /// Is the relation free of unresolved conflicts?
 pub fn is_consistent(relation: &HRelation) -> bool {
-    conflict_candidates(relation)
-        .into_iter()
-        .all(|item| !relation.bind(&item).is_conflict())
+    let start = Instant::now();
+    let candidates: Vec<Item> = conflict_candidates(relation).into_iter().collect();
+    let verdicts = parallel::par_map(&candidates, |item| relation.bind(item).is_conflict());
+    stats::record_conflict(start.elapsed());
+    !verdicts.into_iter().any(|conflicted| conflicted)
 }
 
 /// Candidate items at which a conflict could possibly occur: the common
@@ -183,7 +192,9 @@ mod tests {
         // Conflicts at (ObsStudent, IncoTeacher) and at (John,
         // IncoTeacher) — both common descendants without stored tuples.
         let items: Vec<&Item> = conflicts.iter().map(|c| &c.item).collect();
-        let oi = r.item(&["Obsequious Student", "Incoherent Teacher"]).unwrap();
+        let oi = r
+            .item(&["Obsequious Student", "Incoherent Teacher"])
+            .unwrap();
         let ji = r.item(&["John", "Incoherent Teacher"]).unwrap();
         assert!(items.contains(&&oi));
         assert!(items.contains(&&ji));
@@ -199,8 +210,11 @@ mod tests {
         // that all obsequious students do indeed respect all incoherent
         // teachers."
         let mut r = respects_base();
-        r.assert_fact(&["Obsequious Student", "Incoherent Teacher"], Truth::Positive)
-            .unwrap();
+        r.assert_fact(
+            &["Obsequious Student", "Incoherent Teacher"],
+            Truth::Positive,
+        )
+        .unwrap();
         assert!(is_consistent(&r));
         assert!(find_conflicts(&r).is_empty());
     }
@@ -216,7 +230,9 @@ mod tests {
         let minimal = minimal_resolution_set(r.schema(), &a, &b);
         assert_eq!(
             minimal,
-            vec![r.item(&["Obsequious Student", "Incoherent Teacher"]).unwrap()]
+            vec![r
+                .item(&["Obsequious Student", "Incoherent Teacher"])
+                .unwrap()]
         );
     }
 
@@ -295,8 +311,11 @@ mod tests {
     fn stored_tuple_on_candidate_suppresses_conflict_there_only() {
         let mut r = respects_base();
         // Resolve only at the class level; John inherits the resolution.
-        r.assert_fact(&["Obsequious Student", "Incoherent Teacher"], Truth::Positive)
-            .unwrap();
+        r.assert_fact(
+            &["Obsequious Student", "Incoherent Teacher"],
+            Truth::Positive,
+        )
+        .unwrap();
         assert!(is_consistent(&r));
         let ji = r.item(&["John", "Incoherent Teacher"]).unwrap();
         assert_eq!(r.bind(&ji).truth(), Some(Truth::Positive));

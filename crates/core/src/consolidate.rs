@@ -15,8 +15,11 @@
 //! with the *universal negated tuple* supplying a negative predecessor to
 //! every parentless node, so a parentless negated tuple is redundant.
 
+use std::time::Instant;
+
 use crate::item::Item;
 use crate::relation::HRelation;
+use crate::stats;
 use crate::subsumption::SubsumptionGraph;
 use crate::tuple::Tuple;
 
@@ -39,6 +42,7 @@ pub struct Consolidated {
 /// incoherent-teachers tuple is what makes the conflict-resolution tuple
 /// redundant).
 pub fn consolidate(relation: &HRelation) -> Consolidated {
+    let start = Instant::now();
     let g = SubsumptionGraph::build(relation);
     let mut d = g.to_digraph();
     let mut removed: Vec<Tuple> = Vec::new();
@@ -55,6 +59,7 @@ pub fn consolidate(relation: &HRelation) -> Consolidated {
     for t in &removed {
         relation.remove(&t.item);
     }
+    stats::record_consolidate(start.elapsed(), removed.len());
     Consolidated { relation, removed }
 }
 
@@ -143,8 +148,11 @@ mod tests {
             .unwrap();
         r.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
             .unwrap();
-        r.assert_fact(&["Obsequious Student", "Incoherent Teacher"], Truth::Positive)
-            .unwrap();
+        r.assert_fact(
+            &["Obsequious Student", "Incoherent Teacher"],
+            Truth::Positive,
+        )
+        .unwrap();
         r
     }
 
@@ -171,7 +179,8 @@ mod tests {
         assert_eq!(c.removed[0].truth, Truth::Negative);
         assert_eq!(
             c.removed[1].item,
-            r.item(&["Obsequious Student", "Incoherent Teacher"]).unwrap()
+            r.item(&["Obsequious Student", "Incoherent Teacher"])
+                .unwrap()
         );
     }
 
@@ -252,9 +261,7 @@ mod tests {
             .unwrap();
         let c = consolidate(&r);
         assert_eq!(c.relation.len(), 1);
-        assert!(c
-            .relation
-            .contains(&r.item(&["Bird"]).unwrap()));
+        assert!(c.relation.contains(&r.item(&["Bird"]).unwrap()));
     }
 
     #[test]
@@ -293,7 +300,11 @@ mod tests {
         let r = respects();
         let forward = consolidate(&r);
         let reverse = consolidate_reverse_order(&r);
-        assert_eq!(forward.relation.len(), 1, "topological order: unique minimum");
+        assert_eq!(
+            forward.relation.len(),
+            1,
+            "topological order: unique minimum"
+        );
         assert!(
             reverse.relation.len() > forward.relation.len(),
             "reverse order keeps {} tuples",

@@ -64,10 +64,7 @@ pub struct Violation {
 }
 
 /// Check one constraint; `Ok(())` or the violation.
-pub fn check_constraint(
-    relation: &HRelation,
-    constraint: &Constraint,
-) -> Result<(), Violation> {
+pub fn check_constraint(relation: &HRelation, constraint: &Constraint) -> Result<(), Violation> {
     match constraint {
         Constraint::FunctionalDependency {
             determinants,
@@ -200,7 +197,8 @@ mod tests {
         // The paper's Fig. 4 pattern: elephants grey, royals white —
         // with the cancellation, every animal has exactly one colour.
         let mut r = world();
-        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive)
+            .unwrap();
         r.assert_fact(&["Royal Elephant", "Grey"], Truth::Negative)
             .unwrap();
         r.assert_fact(&["Royal Elephant", "White"], Truth::Positive)
@@ -214,7 +212,8 @@ mod tests {
         // royal elephants are white: we would then be implying that
         // royal elephants were somehow both grey and white."
         let mut r = world();
-        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive)
+            .unwrap();
         r.assert_fact(&["Royal Elephant", "White"], Truth::Positive)
             .unwrap();
         let v = check_constraint(&r, &unique_color()).unwrap_err();
@@ -224,19 +223,19 @@ mod tests {
     #[test]
     fn max_extension_counts_class_implications() {
         let mut r = world();
-        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive)
+            .unwrap();
         // One class tuple implies 2 atoms (Clyde, Dumbo) × Grey.
         let region = r.schema().universal_item();
         assert!(check_constraint(
             &r,
-            &Constraint::MaxExtension { region: region.clone(), limit: 2 }
+            &Constraint::MaxExtension {
+                region: region.clone(),
+                limit: 2
+            }
         )
         .is_ok());
-        let v = check_constraint(
-            &r,
-            &Constraint::MaxExtension { region, limit: 1 },
-        )
-        .unwrap_err();
+        let v = check_constraint(&r, &Constraint::MaxExtension { region, limit: 1 }).unwrap_err();
         assert!(v.detail.contains("2 atoms"));
     }
 
@@ -248,13 +247,19 @@ mod tests {
         let royal_region = r.item(&["Royal Elephant", "Color"]).unwrap();
         assert!(check_constraint(
             &r,
-            &Constraint::MinExtension { region: royal_region, minimum: 1 }
+            &Constraint::MinExtension {
+                region: royal_region,
+                minimum: 1
+            }
         )
         .is_ok());
         let dumbo_region = r.item(&["Dumbo", "Color"]).unwrap();
         assert!(check_constraint(
             &r,
-            &Constraint::MinExtension { region: dumbo_region, minimum: 1 }
+            &Constraint::MinExtension {
+                region: dumbo_region,
+                minimum: 1
+            }
         )
         .is_err());
     }
@@ -262,8 +267,10 @@ mod tests {
     #[test]
     fn enforce_collects_all_violations() {
         let mut r = world();
-        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
-        r.assert_fact(&["Elephant", "White"], Truth::Positive).unwrap();
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive)
+            .unwrap();
+        r.assert_fact(&["Elephant", "White"], Truth::Positive)
+            .unwrap();
         let constraints = vec![
             unique_color(),
             Constraint::MaxExtension {

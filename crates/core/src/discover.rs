@@ -186,10 +186,7 @@ mod tests {
     }
 
     fn flat_of(schema: &Arc<Schema>, names: &[&str]) -> FlatRelation {
-        let atoms = names
-            .iter()
-            .map(|n| schema.item(&[n]).unwrap())
-            .collect();
+        let atoms = names.iter().map(|n| schema.item(&[n]).unwrap()).collect();
         FlatRelation::from_atoms(schema.clone(), atoms)
     }
 

@@ -106,7 +106,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::ArityMismatch { expected: 2, got: 3 };
+        let e = CoreError::ArityMismatch {
+            expected: 2,
+            got: 3,
+        };
         assert!(e.to_string().contains('2'));
         assert!(e.to_string().contains('3'));
         let e = CoreError::UnknownAttribute("Color".into());

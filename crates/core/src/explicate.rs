@@ -22,10 +22,13 @@
 //! should run [`crate::integrity::check_consistency`] first.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use crate::error::{CoreError, Result};
 use crate::item::Item;
+use crate::parallel;
 use crate::relation::HRelation;
+use crate::stats;
 use crate::subsumption::SubsumptionGraph;
 use crate::truth::Truth;
 
@@ -42,15 +45,19 @@ pub fn explicate(relation: &HRelation, attrs: &[usize]) -> Result<HRelation> {
             return Err(CoreError::AttributeIndexOutOfRange(a));
         }
     }
+    let start = Instant::now();
     let g = SubsumptionGraph::build(relation);
     let mut order = g.topo_order();
     order.reverse(); // most specific first
 
-    let mut out: BTreeMap<Item, Truth> = BTreeMap::new();
     let schema = relation.schema();
-    for v in order {
-        let item = g.item(v);
-        let truth = g.truth(v);
+    // Per-tuple descendant fan-out is independent per node: enumerate
+    // every node's expansion in parallel, then merge sequentially in
+    // reverse topological order so the paper's most-specific-first
+    // `or_insert` semantics (and hence the output) are exactly those of
+    // the serial sweep.
+    let expansions: Vec<Vec<Item>> = parallel::par_map_indexed(order.len(), |k| {
+        let item = g.item(order[k]);
         // Per-position expansions: extension members for explicated
         // class positions, the original node otherwise.
         let axes: Vec<Vec<hrdm_hierarchy::NodeId>> = item
@@ -65,12 +72,19 @@ pub fn explicate(relation: &HRelation, attrs: &[usize]) -> Result<HRelation> {
                 }
             })
             .collect();
-        for combo in cartesian(&axes) {
-            out.entry(Item::new(combo)).or_insert(truth);
+        cartesian(&axes).into_iter().map(Item::new).collect()
+    });
+
+    let mut out: BTreeMap<Item, Truth> = BTreeMap::new();
+    for (&v, expanded) in order.iter().zip(expansions) {
+        let truth = g.truth(v);
+        for item in expanded {
+            out.entry(item).or_insert(truth);
         }
     }
 
     let mut result = HRelation::with_preemption(schema.clone(), relation.preemption());
+    stats::record_explicate(start.elapsed(), out.len());
     result.replace_tuples(out);
     Ok(result)
 }
@@ -90,13 +104,7 @@ fn cartesian(axes: &[Vec<hrdm_hierarchy::NodeId>]) -> Vec<Vec<hrdm_hierarchy::No
     let mut out = Vec::new();
     let mut cursor = vec![0usize; axes.len()];
     loop {
-        out.push(
-            cursor
-                .iter()
-                .zip(axes)
-                .map(|(&c, axis)| axis[c])
-                .collect(),
-        );
+        out.push(cursor.iter().zip(axes).map(|(&c, axis)| axis[c]).collect());
         let mut pos = axes.len();
         loop {
             if pos == 0 {
@@ -159,9 +167,18 @@ mod tests {
         // All five instances appear.
         assert_eq!(flat.len(), 5);
         // Signs: Tweety+, Paul-, Patricia+, Pamela+, Peter+.
-        assert_eq!(flat.stored(&r.item(&["Paul"]).unwrap()), Some(Truth::Negative));
-        assert_eq!(flat.stored(&r.item(&["Tweety"]).unwrap()), Some(Truth::Positive));
-        assert_eq!(flat.stored(&r.item(&["Patricia"]).unwrap()), Some(Truth::Positive));
+        assert_eq!(
+            flat.stored(&r.item(&["Paul"]).unwrap()),
+            Some(Truth::Negative)
+        );
+        assert_eq!(
+            flat.stored(&r.item(&["Tweety"]).unwrap()),
+            Some(Truth::Positive)
+        );
+        assert_eq!(
+            flat.stored(&r.item(&["Patricia"]).unwrap()),
+            Some(Truth::Positive)
+        );
     }
 
     #[test]
@@ -174,10 +191,7 @@ mod tests {
         assert!(c.removed.iter().all(|t| t.truth == Truth::Negative));
         assert_eq!(c.removed.len(), 1); // Paul
         assert_eq!(c.relation.len(), 4);
-        assert!(c
-            .relation
-            .iter()
-            .all(|(_, t)| t == Truth::Positive));
+        assert!(c.relation.iter().all(|(_, t)| t == Truth::Positive));
     }
 
     #[test]

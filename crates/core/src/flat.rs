@@ -204,7 +204,10 @@ mod tests {
         let r = flying();
         let mut r2 = r.clone();
         r2.remove(&r.item(&["Penguin"]).unwrap());
-        assert!(!equivalent(&r, &r2), "dropping the exception changes the model");
+        assert!(
+            !equivalent(&r, &r2),
+            "dropping the exception changes the model"
+        );
     }
 
     #[test]

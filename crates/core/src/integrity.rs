@@ -147,8 +147,11 @@ mod tests {
             .unwrap();
         tx.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
             .unwrap();
-        tx.assert_fact(&["Obsequious Student", "Incoherent Teacher"], Truth::Positive)
-            .unwrap();
+        tx.assert_fact(
+            &["Obsequious Student", "Incoherent Teacher"],
+            Truth::Positive,
+        )
+        .unwrap();
         tx.commit().unwrap();
         assert_eq!(r.len(), 3);
         assert!(check_consistency(&r).is_ok());

@@ -37,10 +37,9 @@ pub fn justify(relation: &HRelation, item: &Item) -> Justification {
     let binding = relation.bind(item);
     let decisive = match &binding {
         Binding::Explicit(t) => vec![Tuple::new(item.clone(), *t)],
-        Binding::Inherited(t, binders) => binders
-            .iter()
-            .map(|i| Tuple::new(i.clone(), *t))
-            .collect(),
+        Binding::Inherited(t, binders) => {
+            binders.iter().map(|i| Tuple::new(i.clone(), *t)).collect()
+        }
         Binding::Conflict { positive, negative } => positive
             .iter()
             .map(|i| Tuple::new(i.clone(), Truth::Positive))
@@ -84,13 +83,15 @@ mod tests {
             Attribute::new("Color", Arc::new(c)),
         ]));
         let mut r = HRelation::new(schema);
-        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive)
+            .unwrap();
         r.assert_fact(&["Royal Elephant", "Grey"], Truth::Negative)
             .unwrap();
         r.assert_fact(&["Royal Elephant", "White"], Truth::Positive)
             .unwrap();
         r.assert_fact(&["Clyde", "White"], Truth::Negative).unwrap();
-        r.assert_fact(&["Clyde", "Dappled"], Truth::Positive).unwrap();
+        r.assert_fact(&["Clyde", "Dappled"], Truth::Positive)
+            .unwrap();
         r
     }
 
@@ -140,7 +141,9 @@ mod tests {
         // The decisive tuple is the royal-elephant exception.
         assert_eq!(
             j.decisive,
-            vec![Tuple::negative(r.item(&["Royal Elephant", "Grey"]).unwrap())]
+            vec![Tuple::negative(
+                r.item(&["Royal Elephant", "Grey"]).unwrap()
+            )]
         );
     }
 

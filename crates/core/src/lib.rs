@@ -66,8 +66,8 @@
 pub mod binding;
 pub mod catalog;
 pub mod conflict;
-pub mod constraints;
 pub mod consolidate;
+pub mod constraints;
 pub mod discover;
 pub mod error;
 pub mod explicate;
@@ -76,10 +76,12 @@ pub mod integrity;
 pub mod item;
 pub mod justify;
 pub mod ops;
+pub mod parallel;
 pub mod preemption;
 pub mod relation;
 pub mod render;
 pub mod schema;
+pub mod stats;
 pub mod subsumption;
 pub mod three_valued;
 pub mod truth;
@@ -91,9 +93,11 @@ pub mod prelude {
     pub use crate::catalog::Catalog;
     pub use crate::error::{CoreError, Result};
     pub use crate::item::Item;
+    pub use crate::parallel::ExecMode;
     pub use crate::preemption::Preemption;
     pub use crate::relation::HRelation;
     pub use crate::schema::{Attribute, Schema};
+    pub use crate::stats::EngineStats;
     pub use crate::truth::Truth;
     pub use crate::tuple::Tuple;
 }

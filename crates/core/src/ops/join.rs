@@ -13,17 +13,25 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::error::{CoreError, Result};
 use crate::item::Item;
 use crate::ops::{cartesian_items, class_holds, resolve_conflicts_fixpoint};
+use crate::parallel;
 use crate::relation::HRelation;
 use crate::schema::{Attribute, Schema};
+use crate::stats;
 use crate::truth::Truth;
 use crate::tuple::Tuple;
 
 /// Natural join of two hierarchical relations.
+///
+/// The membership intersections (`maximal_intersection`) run over the
+/// shared subset-closure cache, and the per-candidate truth evaluation —
+/// two binding-graph lookups per candidate — fans out across threads.
 pub fn join(left: &HRelation, right: &HRelation) -> Result<HRelation> {
+    let start = Instant::now();
     let ls = left.schema();
     let rs = right.schema();
 
@@ -105,12 +113,14 @@ pub fn join(left: &HRelation, right: &HRelation) -> Result<HRelation> {
         Ok(Truth::from_bool(l && r))
     };
 
+    let candidates: Vec<Item> = candidates.into_iter().collect();
+    let truths = parallel::par_map(&candidates, truth_of);
     let mut result = HRelation::with_preemption(out_schema, left.preemption());
-    for item in candidates {
-        let t = truth_of(&item)?;
-        result.insert(Tuple::new(item, t))?;
+    for (item, t) in candidates.into_iter().zip(truths) {
+        result.insert(Tuple::new(item, t?))?;
     }
     resolve_conflicts_fixpoint(&mut result, truth_of)?;
+    stats::record_join(start.elapsed());
     Ok(result)
 }
 
@@ -148,14 +158,18 @@ mod tests {
             Attribute::new("Color", c),
         ]));
         let mut color = HRelation::new(color_schema);
-        color.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        color
+            .assert_fact(&["Elephant", "Grey"], Truth::Positive)
+            .unwrap();
         color
             .assert_fact(&["Royal Elephant", "Grey"], Truth::Negative)
             .unwrap();
         color
             .assert_fact(&["Royal Elephant", "White"], Truth::Positive)
             .unwrap();
-        color.assert_fact(&["Clyde", "White"], Truth::Negative).unwrap();
+        color
+            .assert_fact(&["Clyde", "White"], Truth::Negative)
+            .unwrap();
         color
             .assert_fact(&["Clyde", "Dappled"], Truth::Positive)
             .unwrap();
@@ -166,7 +180,8 @@ mod tests {
         ]));
         let mut size = HRelation::new(size_schema);
         // Fig. 11a: elephants get 3000, Indian elephants 2000.
-        size.assert_fact(&["Elephant", "3000"], Truth::Positive).unwrap();
+        size.assert_fact(&["Elephant", "3000"], Truth::Positive)
+            .unwrap();
         size.assert_fact(&["Indian Elephant", "3000"], Truth::Negative)
             .unwrap();
         size.assert_fact(&["Indian Elephant", "2000"], Truth::Positive)
@@ -233,10 +248,7 @@ mod tests {
     #[test]
     fn join_requires_shared_attribute() {
         let (color, _) = elephant_world();
-        let other_schema = Arc::new(Schema::single(
-            "Creature",
-            animal_graph(),
-        ));
+        let other_schema = Arc::new(Schema::single("Creature", animal_graph()));
         let other = HRelation::new(other_schema);
         assert!(matches!(
             join(&color, &other),
@@ -266,9 +278,7 @@ mod tests {
         // Clyde is dappled only: exactly one (Clyde, x, y) combination.
         let clyde_rows: Vec<_> = f
             .iter()
-            .filter(|i| {
-                color.schema().domain(0).name(i.component(0)).as_str() == "Clyde"
-            })
+            .filter(|i| color.schema().domain(0).name(i.component(0)).as_str() == "Clyde")
             .collect();
         assert_eq!(clyde_rows.len(), 1);
     }

@@ -49,11 +49,7 @@ pub(crate) fn class_holds(relation: &HRelation, item: &Item) -> Result<bool> {
 /// Componentwise restriction of `item` to `region`: the Cartesian
 /// product of per-attribute maximal intersections. Empty when the two
 /// items are provably disjoint in some attribute.
-pub(crate) fn restrict(
-    schema: &crate::schema::Schema,
-    item: &Item,
-    region: &Item,
-) -> Vec<Item> {
+pub(crate) fn restrict(schema: &crate::schema::Schema, item: &Item, region: &Item) -> Vec<Item> {
     let axes: Vec<Vec<hrdm_hierarchy::NodeId>> = (0..schema.arity())
         .map(|i| {
             schema
@@ -174,8 +170,11 @@ pub(crate) mod test_fixtures {
             .unwrap();
         r.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)
             .unwrap();
-        r.assert_fact(&["Obsequious Student", "Incoherent Teacher"], Truth::Positive)
-            .unwrap();
+        r.assert_fact(
+            &["Obsequious Student", "Incoherent Teacher"],
+            Truth::Positive,
+        )
+        .unwrap();
         r
     }
 }
@@ -199,7 +198,8 @@ mod tests {
     fn class_holds_rejects_conflicted_input() {
         let schema = animal_schema();
         let mut r = flying(&schema);
-        r.assert_fact(&["Galapagos Penguin"], Truth::Negative).unwrap();
+        r.assert_fact(&["Galapagos Penguin"], Truth::Negative)
+            .unwrap();
         let patricia = r.item(&["Patricia"]).unwrap();
         assert!(matches!(
             class_holds(&r, &patricia),

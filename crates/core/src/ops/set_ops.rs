@@ -248,10 +248,7 @@ mod tests {
         let mut extra = HRelation::new(schema.clone());
         extra.assert_fact(&["Paul"], Truth::Positive).unwrap();
         let u = union(&r, &extra).unwrap();
-        assert_eq!(
-            flatten(&u).atoms(),
-            &flat_op(&r, &extra, |l, x| l || x)
-        );
+        assert_eq!(flatten(&u).atoms(), &flat_op(&r, &extra, |l, x| l || x));
         assert!(flatten(&u).contains(&schema.item(&["Paul"]).unwrap()));
     }
 }

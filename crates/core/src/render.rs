@@ -90,7 +90,8 @@ mod tests {
             Attribute::new("Color", Arc::new(c)),
         ]));
         let mut r = HRelation::new(schema);
-        r.assert_fact(&["Elephant", "Grey"], Truth::Positive).unwrap();
+        r.assert_fact(&["Elephant", "Grey"], Truth::Positive)
+            .unwrap();
         r.assert_fact(&["Clyde", "Grey"], Truth::Negative).unwrap();
         r
     }
@@ -126,7 +127,10 @@ mod tests {
         // Header, rule, two rows.
         assert_eq!(lines.len(), 4);
         let bar_positions = |s: &str| -> Vec<usize> {
-            s.char_indices().filter(|&(_, c)| c == '|').map(|(i, _)| i).collect()
+            s.char_indices()
+                .filter(|&(_, c)| c == '|')
+                .map(|(i, _)| i)
+                .collect()
         };
         // All data rows have separators in matching count.
         assert_eq!(bar_positions(lines[0]).len(), 2);

@@ -56,8 +56,7 @@ pub struct Schema {
 impl Schema {
     /// Build a schema from attributes.
     pub fn new(attributes: Vec<Attribute>) -> Schema {
-        let product =
-            ProductHierarchy::new(attributes.iter().map(|a| a.domain.clone()).collect());
+        let product = ProductHierarchy::new(attributes.iter().map(|a| a.domain.clone()).collect());
         Schema {
             attributes,
             product,
@@ -229,7 +228,10 @@ mod tests {
         ));
         assert!(matches!(
             s.item(&["Tweety"]),
-            Err(CoreError::ArityMismatch { expected: 2, got: 1 })
+            Err(CoreError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

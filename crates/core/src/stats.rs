@@ -1,0 +1,282 @@
+//! `EngineStats`: lightweight process-wide instrumentation of the
+//! engine's caches and operators.
+//!
+//! Counters are relaxed atomics, so recording is a few nanoseconds and
+//! safe from the parallel workers in [`crate::parallel`]. A
+//! [`snapshot`] merges the core-side counters with the hierarchy
+//! crate's closure-cache counters
+//! ([`hrdm_hierarchy::cache::stats`]) into one [`EngineStats`] value;
+//! the benchmark harness (`crates/bench`) prints it after each workload
+//! so B2/B3/B4 report cache effectiveness alongside wall time.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static SUBSUMPTION_HITS: AtomicU64 = AtomicU64::new(0);
+static SUBSUMPTION_MISSES: AtomicU64 = AtomicU64::new(0);
+static SUBSUMPTION_BUILD_NS: AtomicU64 = AtomicU64::new(0);
+static TUPLES_ELIMINATED: AtomicU64 = AtomicU64::new(0);
+static TUPLES_EXPANDED: AtomicU64 = AtomicU64::new(0);
+static CONSOLIDATE_CALLS: AtomicU64 = AtomicU64::new(0);
+static CONSOLIDATE_NS: AtomicU64 = AtomicU64::new(0);
+static EXPLICATE_CALLS: AtomicU64 = AtomicU64::new(0);
+static EXPLICATE_NS: AtomicU64 = AtomicU64::new(0);
+static CONFLICT_CALLS: AtomicU64 = AtomicU64::new(0);
+static CONFLICT_NS: AtomicU64 = AtomicU64::new(0);
+static JOIN_CALLS: AtomicU64 = AtomicU64::new(0);
+static JOIN_NS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of every engine counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Closure-cache lookups served without a rebuild.
+    pub closure_hits: u64,
+    /// Closure-cache lookups that built a reachability matrix.
+    pub closure_misses: u64,
+    /// Total closure build wall time, nanoseconds.
+    pub closure_build_ns: u64,
+    /// Closures currently resident in the hierarchy cache.
+    pub closure_entries: usize,
+    /// Subsumption-graph cache lookups served from cache.
+    pub subsumption_hits: u64,
+    /// Subsumption-graph cache lookups that built the graph.
+    pub subsumption_misses: u64,
+    /// Total subsumption-graph build wall time, nanoseconds.
+    pub subsumption_build_ns: u64,
+    /// Tuples removed by `consolidate` since the last reset.
+    pub tuples_eliminated: u64,
+    /// Tuples emitted by `explicate` since the last reset.
+    pub tuples_expanded: u64,
+    /// `consolidate` invocations.
+    pub consolidate_calls: u64,
+    /// Total `consolidate` wall time, nanoseconds.
+    pub consolidate_ns: u64,
+    /// `explicate` invocations.
+    pub explicate_calls: u64,
+    /// Total `explicate` wall time, nanoseconds.
+    pub explicate_ns: u64,
+    /// `find_conflicts` invocations.
+    pub conflict_calls: u64,
+    /// Total conflict-detection wall time, nanoseconds.
+    pub conflict_ns: u64,
+    /// `join` invocations.
+    pub join_calls: u64,
+    /// Total `join` wall time, nanoseconds.
+    pub join_ns: u64,
+}
+
+impl EngineStats {
+    /// Closure-cache hit rate in `[0, 1]`; `None` before any lookup.
+    pub fn closure_hit_rate(&self) -> Option<f64> {
+        let total = self.closure_hits + self.closure_misses;
+        (total > 0).then(|| self.closure_hits as f64 / total as f64)
+    }
+
+    /// Subsumption-cache hit rate in `[0, 1]`; `None` before any lookup.
+    pub fn subsumption_hit_rate(&self) -> Option<f64> {
+        let total = self.subsumption_hits + self.subsumption_misses;
+        (total > 0).then(|| self.subsumption_hits as f64 / total as f64)
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rate(hits: u64, misses: u64) -> String {
+            let total = hits + misses;
+            if total == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.0}%", 100.0 * hits as f64 / total as f64)
+            }
+        }
+        writeln!(
+            f,
+            "closure cache     {} hits / {} misses ({} hit rate), {} resident, {} building",
+            self.closure_hits,
+            self.closure_misses,
+            rate(self.closure_hits, self.closure_misses),
+            self.closure_entries,
+            fmt_ns(self.closure_build_ns),
+        )?;
+        writeln!(
+            f,
+            "subsumption cache {} hits / {} misses ({} hit rate), {} building",
+            self.subsumption_hits,
+            self.subsumption_misses,
+            rate(self.subsumption_hits, self.subsumption_misses),
+            fmt_ns(self.subsumption_build_ns),
+        )?;
+        writeln!(
+            f,
+            "consolidate       {} calls, {}, {} tuples eliminated",
+            self.consolidate_calls,
+            fmt_ns(self.consolidate_ns),
+            self.tuples_eliminated,
+        )?;
+        writeln!(
+            f,
+            "explicate         {} calls, {}, {} tuples expanded",
+            self.explicate_calls,
+            fmt_ns(self.explicate_ns),
+            self.tuples_expanded,
+        )?;
+        writeln!(
+            f,
+            "conflict check    {} calls, {}",
+            self.conflict_calls,
+            fmt_ns(self.conflict_ns),
+        )?;
+        write!(
+            f,
+            "join              {} calls, {}",
+            self.join_calls,
+            fmt_ns(self.join_ns),
+        )
+    }
+}
+
+/// Snapshot every counter, merging the hierarchy crate's closure-cache
+/// stats with the core-side operator counters.
+pub fn snapshot() -> EngineStats {
+    let closure = hrdm_hierarchy::cache::stats();
+    EngineStats {
+        closure_hits: closure.hits,
+        closure_misses: closure.misses,
+        closure_build_ns: closure.build_ns,
+        closure_entries: closure.entries,
+        subsumption_hits: SUBSUMPTION_HITS.load(Ordering::Relaxed),
+        subsumption_misses: SUBSUMPTION_MISSES.load(Ordering::Relaxed),
+        subsumption_build_ns: SUBSUMPTION_BUILD_NS.load(Ordering::Relaxed),
+        tuples_eliminated: TUPLES_ELIMINATED.load(Ordering::Relaxed),
+        tuples_expanded: TUPLES_EXPANDED.load(Ordering::Relaxed),
+        consolidate_calls: CONSOLIDATE_CALLS.load(Ordering::Relaxed),
+        consolidate_ns: CONSOLIDATE_NS.load(Ordering::Relaxed),
+        explicate_calls: EXPLICATE_CALLS.load(Ordering::Relaxed),
+        explicate_ns: EXPLICATE_NS.load(Ordering::Relaxed),
+        conflict_calls: CONFLICT_CALLS.load(Ordering::Relaxed),
+        conflict_ns: CONFLICT_NS.load(Ordering::Relaxed),
+        join_calls: JOIN_CALLS.load(Ordering::Relaxed),
+        join_ns: JOIN_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero every counter, including the hierarchy closure-cache counters
+/// (resident cache entries are kept).
+pub fn reset() {
+    hrdm_hierarchy::cache::reset_stats();
+    for c in [
+        &SUBSUMPTION_HITS,
+        &SUBSUMPTION_MISSES,
+        &SUBSUMPTION_BUILD_NS,
+        &TUPLES_ELIMINATED,
+        &TUPLES_EXPANDED,
+        &CONSOLIDATE_CALLS,
+        &CONSOLIDATE_NS,
+        &EXPLICATE_CALLS,
+        &EXPLICATE_NS,
+        &CONFLICT_CALLS,
+        &CONFLICT_NS,
+        &JOIN_CALLS,
+        &JOIN_NS,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn record_subsumption_hit() {
+    SUBSUMPTION_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_subsumption_miss(build: Duration) {
+    SUBSUMPTION_MISSES.fetch_add(1, Ordering::Relaxed);
+    SUBSUMPTION_BUILD_NS.fetch_add(build.as_nanos() as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_consolidate(elapsed: Duration, eliminated: usize) {
+    CONSOLIDATE_CALLS.fetch_add(1, Ordering::Relaxed);
+    CONSOLIDATE_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    TUPLES_ELIMINATED.fetch_add(eliminated as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_explicate(elapsed: Duration, expanded: usize) {
+    EXPLICATE_CALLS.fetch_add(1, Ordering::Relaxed);
+    EXPLICATE_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    TUPLES_EXPANDED.fetch_add(expanded as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_conflict(elapsed: Duration) {
+    CONFLICT_CALLS.fetch_add(1, Ordering::Relaxed);
+    CONFLICT_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_join(elapsed: Duration) {
+    JOIN_CALLS.fetch_add(1, Ordering::Relaxed);
+    JOIN_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        // Counters are global; only check deltas and monotonicity.
+        let before = snapshot();
+        record_consolidate(Duration::from_nanos(500), 3);
+        record_explicate(Duration::from_nanos(200), 7);
+        record_subsumption_hit();
+        let after = snapshot();
+        assert!(after.consolidate_calls > before.consolidate_calls);
+        assert!(after.tuples_eliminated >= before.tuples_eliminated + 3);
+        assert!(after.tuples_expanded >= before.tuples_expanded + 7);
+        assert!(after.subsumption_hits > before.subsumption_hits);
+    }
+
+    #[test]
+    fn display_mentions_every_section() {
+        let s = snapshot();
+        let text = s.to_string();
+        for needle in [
+            "closure cache",
+            "subsumption",
+            "consolidate",
+            "explicate",
+            "join",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+
+    #[test]
+    fn hit_rates() {
+        let s = EngineStats {
+            closure_hits: 3,
+            closure_misses: 1,
+            ..EngineStats::default()
+        };
+        assert_eq!(s.closure_hit_rate(), Some(0.75));
+        assert_eq!(s.subsumption_hit_rate(), None);
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert!(fmt_ns(1_500).contains("µs"));
+        assert!(fmt_ns(2_000_000).contains("ms"));
+        assert!(fmt_ns(3_000_000_000).contains('s'));
+    }
+}

@@ -19,11 +19,77 @@
 //! arc to every tuple node that has no other predecessor — this is what
 //! makes parentless negated tuples detectably redundant.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
 use crate::binding::path_avoiding;
 use crate::item::Item;
+use crate::parallel;
 use crate::preemption::Preemption;
 use crate::relation::HRelation;
+use crate::stats;
 use crate::truth::Truth;
+
+/// The immutable node/edge data of a subsumption graph, shared via
+/// `Arc` between the cache and every [`SubsumptionGraph`] handle so a
+/// cache hit is a pointer copy, never a rebuild.
+struct SubsumptionCore {
+    items: Vec<Item>,
+    truths: Vec<Truth>,
+    children: Vec<Vec<usize>>,
+    parents: Vec<Vec<usize>>,
+}
+
+/// Upper bound on cached subsumption cores, FIFO-evicted.
+const MAX_CACHED: usize = 64;
+
+/// Cache key: per-attribute domain versions (see
+/// [`hrdm_hierarchy::graph::HierarchyGraph::version`]), the preemption
+/// mode (it changes the edge set), and a fingerprint of the tuple set.
+/// A hit additionally verifies the stored items/truths byte-for-byte,
+/// so a fingerprint collision can never alias two relations.
+#[derive(PartialEq, Eq, Hash, Clone)]
+struct CacheKey {
+    domains: Vec<(u64, u64)>,
+    preemption: Preemption,
+    fingerprint: u64,
+}
+
+#[derive(Default)]
+struct CacheStore {
+    map: HashMap<CacheKey, Arc<SubsumptionCore>>,
+    order: Vec<CacheKey>,
+}
+
+fn cache() -> &'static Mutex<CacheStore> {
+    static CACHE: OnceLock<Mutex<CacheStore>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(CacheStore::default()))
+}
+
+fn fingerprint(items: &[Item], truths: &[Truth]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (item, truth) in items.iter().zip(truths) {
+        for &c in item.components() {
+            eat(c.index() as u64 + 1);
+        }
+        eat(matches!(truth, Truth::Positive) as u64 + 0x10);
+    }
+    eat(items.len() as u64);
+    h
+}
+
+/// Drop every cached subsumption core. Exposed so parity tests and
+/// benchmarks can measure cold builds deliberately.
+pub fn clear_cache() {
+    let mut s = cache().lock().unwrap();
+    s.map.clear();
+    s.order.clear();
+}
 
 /// The subsumption graph of a relation (optionally extended with one
 /// extra item, which turns it into that item's tuple-binding graph).
@@ -31,11 +97,15 @@ use crate::truth::Truth;
 /// Node indexes: 0 is the virtual universal negated tuple; `1..` are the
 /// relation's stored tuples in deterministic item order (plus the extra
 /// item, if any, at the returned position).
+///
+/// Whole-relation graphs ([`SubsumptionGraph::build`]) are cached by
+/// (domain versions, preemption, tuple set): consolidate, explicate,
+/// and conflict detection over the same unchanged relation share one
+/// construction. Binding graphs
+/// ([`SubsumptionGraph::build_for_item`]) are query-specific and always
+/// built fresh.
 pub struct SubsumptionGraph {
-    items: Vec<Item>,
-    truths: Vec<Truth>,
-    children: Vec<Vec<usize>>,
-    parents: Vec<Vec<usize>>,
+    core: Arc<SubsumptionCore>,
     /// Index of the extra (query) item, when built as a tuple-binding
     /// graph for an item with no stored tuple.
     extra: Option<usize>,
@@ -45,9 +115,41 @@ impl SubsumptionGraph {
     /// Index of the virtual universal negated tuple.
     pub const UNIVERSAL: usize = 0;
 
-    /// Build the subsumption graph of `relation` (§3.3.1).
+    /// Build the subsumption graph of `relation` (§3.3.1), reusing the
+    /// shared cache when the relation's domains, preemption mode, and
+    /// tuple set are unchanged.
     pub fn build(relation: &HRelation) -> SubsumptionGraph {
-        Self::build_inner(relation, None)
+        let (items, truths, _) = collect_nodes(relation, None);
+        let key = CacheKey {
+            domains: (0..relation.schema().arity())
+                .map(|i| relation.schema().domain(i).version())
+                .collect(),
+            preemption: relation.preemption(),
+            fingerprint: fingerprint(&items, &truths),
+        };
+        if let Some(hit) = cache().lock().unwrap().map.get(&key) {
+            // Verify content, not just the fingerprint.
+            if hit.items == items && hit.truths == truths {
+                stats::record_subsumption_hit();
+                return SubsumptionGraph {
+                    core: Arc::clone(hit),
+                    extra: None,
+                };
+            }
+        }
+        let start = Instant::now();
+        let core = Arc::new(build_core(relation, items, truths));
+        stats::record_subsumption_miss(start.elapsed());
+        let mut s = cache().lock().unwrap();
+        if !s.map.contains_key(&key) {
+            s.map.insert(key.clone(), Arc::clone(&core));
+            s.order.push(key);
+            while s.map.len() > MAX_CACHED {
+                let victim = s.order.remove(0);
+                s.map.remove(&victim);
+            }
+        }
+        SubsumptionGraph { core, extra: None }
     }
 
     /// Build the tuple-binding graph for `item` (§2.1): the subsumption
@@ -55,125 +157,54 @@ impl SubsumptionGraph {
     ///
     /// Returns the graph and the node index of `item`.
     pub fn build_for_item(relation: &HRelation, item: &Item) -> (SubsumptionGraph, usize) {
-        let g = Self::build_inner(relation, Some(item));
-        let idx = g
+        let (items, truths, extra) = collect_nodes(relation, Some(item));
+        let core = Arc::new(build_core(relation, items, truths));
+        let idx = core
             .items
             .iter()
             .position(|i| i == item)
             .expect("query item always present");
-        (g, idx)
+        (SubsumptionGraph { core, extra }, idx)
     }
 
-    fn build_inner(relation: &HRelation, query: Option<&Item>) -> SubsumptionGraph {
-        let product = relation.schema().product();
-        let universal = relation.schema().universal_item();
-
-        // Node set: universal virtual node + stored tuples (restricted to
-        // those reaching the query item when building a binding graph)
-        // + the query item itself.
-        let mut items: Vec<Item> = vec![universal];
-        let mut truths: Vec<Truth> = vec![Truth::Negative];
-        let mut extra = None;
-        for (i, t) in relation.iter() {
-            if let Some(q) = query {
-                if !product.reaches(i.components(), q.components()) {
-                    continue;
-                }
-            }
-            items.push(i.clone());
-            truths.push(t);
-        }
-        if let Some(q) = query {
-            if !items[1..].contains(q) {
-                items.push(q.clone());
-                // Truth placeholder; the query node's truth is what the
-                // binding computes, not an assertion.
-                truths.push(Truth::Negative);
-                extra = Some(items.len() - 1);
-            }
-        }
-
-        let n = items.len();
-        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
-
-        // Closed-form edges among real nodes (indexes 1..n).
-        let reaches = |a: usize, b: usize| {
-            product.reaches(items[a].components(), items[b].components())
-        };
-        for x in 1..n {
-            for y in 1..n {
-                if x == y || !reaches(x, y) || items[x] == items[y] {
-                    continue;
-                }
-                let edge = match relation.preemption() {
-                    Preemption::NoPreemption => true,
-                    Preemption::OffPath => {
-                        product
-                            .direct_edge(items[x].components(), items[y].components())
-                            .is_some()
-                            || !(1..n).any(|z| {
-                                z != x && z != y && reaches(x, z) && reaches(z, y)
-                            })
-                    }
-                    Preemption::OnPath => {
-                        let kept: Vec<&Item> =
-                            (1..n).filter(|&z| z != y).map(|z| &items[z]).collect();
-                        path_avoiding(product, &items[x], &items[y], &kept)
-                    }
-                };
-                if edge {
-                    children[x].push(y);
-                    parents[y].push(x);
-                }
-            }
-        }
-
-        // Universal negated tuple: arc to every parentless real node.
-        for (y, preds) in parents.iter_mut().enumerate().skip(1) {
-            if preds.is_empty() {
-                children[Self::UNIVERSAL].push(y);
-                preds.push(Self::UNIVERSAL);
-            }
-        }
-
-        SubsumptionGraph {
-            items,
-            truths,
-            children,
-            parents,
-            extra,
-        }
+    /// Whether two graphs share one cached core (observability hook for
+    /// the cache tests — `Arc` identity, not structural equality).
+    #[cfg(test)]
+    pub(crate) fn shares_core(&self, other: &SubsumptionGraph) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
     }
 
     /// Total nodes including the universal virtual node.
     pub fn node_count(&self) -> usize {
-        self.items.len()
+        self.core.items.len()
     }
 
     /// The item at a node (the universal node maps to `D*` itself).
     pub fn item(&self, i: usize) -> &Item {
-        &self.items[i]
+        &self.core.items[i]
     }
 
     /// The truth value at a node (the universal node is negative).
     pub fn truth(&self, i: usize) -> Truth {
-        self.truths[i]
+        self.core.truths[i]
     }
 
     /// Immediate successors.
     pub fn children(&self, i: usize) -> &[usize] {
-        &self.children[i]
+        &self.core.children[i]
     }
 
     /// Immediate predecessors.
     pub fn parents(&self, i: usize) -> &[usize] {
-        &self.parents[i]
+        &self.core.parents[i]
     }
 
     /// The node index of a stored item, if present.
     pub fn index_of(&self, item: &Item) -> Option<usize> {
-        self.items[1..].iter().position(|i| i == item).map(|p| p + 1)
+        self.core.items[1..]
+            .iter()
+            .position(|i| i == item)
+            .map(|p| p + 1)
     }
 
     /// Index of the query item when built via
@@ -189,7 +220,7 @@ impl SubsumptionGraph {
         let n = self.node_count();
         let mut indeg = vec![0usize; n];
         for x in 0..n {
-            for &y in &self.children[x] {
+            for &y in &self.core.children[x] {
                 indeg[y] += 1;
             }
         }
@@ -202,7 +233,7 @@ impl SubsumptionGraph {
             next += 1;
             order.push(x);
             let mut freed: Vec<usize> = Vec::new();
-            for &y in &self.children[x] {
+            for &y in &self.core.children[x] {
                 indeg[y] -= 1;
                 if indeg[y] == 0 {
                     freed.push(y);
@@ -220,10 +251,107 @@ impl SubsumptionGraph {
     /// Decompose into a mutable [`SmallDigraph`] for consolidation.
     pub(crate) fn to_digraph(&self) -> SmallDigraph {
         SmallDigraph {
-            children: self.children.clone(),
-            parents: self.parents.clone(),
+            children: self.core.children.clone(),
+            parents: self.core.parents.clone(),
             alive: vec![true; self.node_count()],
         }
+    }
+}
+
+/// Node set of the (binding-)graph: the universal virtual node + stored
+/// tuples (restricted to those reaching the query item when building a
+/// binding graph) + the query item itself.
+fn collect_nodes(
+    relation: &HRelation,
+    query: Option<&Item>,
+) -> (Vec<Item>, Vec<Truth>, Option<usize>) {
+    let product = relation.schema().product();
+    let mut items: Vec<Item> = vec![relation.schema().universal_item()];
+    let mut truths: Vec<Truth> = vec![Truth::Negative];
+    let mut extra = None;
+    for (i, t) in relation.iter() {
+        if let Some(q) = query {
+            if !product.reaches(i.components(), q.components()) {
+                continue;
+            }
+        }
+        items.push(i.clone());
+        truths.push(t);
+    }
+    if let Some(q) = query {
+        if !items[1..].contains(q) {
+            items.push(q.clone());
+            // Truth placeholder; the query node's truth is what the
+            // binding computes, not an assertion.
+            truths.push(Truth::Negative);
+            extra = Some(items.len() - 1);
+        }
+    }
+    (items, truths, extra)
+}
+
+/// Closed-form edge construction over the collected nodes. Each node's
+/// successor row is independent of every other row, so rows are built in
+/// parallel (index-ordered, hence byte-identical to the serial sweep)
+/// and the predecessor lists are derived in one sequential pass.
+fn build_core(relation: &HRelation, items: Vec<Item>, truths: Vec<Truth>) -> SubsumptionCore {
+    let product = relation.schema().product();
+    let preemption = relation.preemption();
+    let n = items.len();
+    let items_ref = &items;
+    let reaches =
+        |a: usize, b: usize| product.reaches(items_ref[a].components(), items_ref[b].components());
+
+    // Edges among real nodes (indexes 1..n), one row per source.
+    let mut children: Vec<Vec<usize>> = parallel::par_map_indexed(n, |x| {
+        let mut row = Vec::new();
+        if x == SubsumptionGraph::UNIVERSAL {
+            return row;
+        }
+        for y in 1..n {
+            if x == y || !reaches(x, y) || items_ref[x] == items_ref[y] {
+                continue;
+            }
+            let edge = match preemption {
+                Preemption::NoPreemption => true,
+                Preemption::OffPath => {
+                    product
+                        .direct_edge(items_ref[x].components(), items_ref[y].components())
+                        .is_some()
+                        || !(1..n).any(|z| z != x && z != y && reaches(x, z) && reaches(z, y))
+                }
+                Preemption::OnPath => {
+                    let kept: Vec<&Item> =
+                        (1..n).filter(|&z| z != y).map(|z| &items_ref[z]).collect();
+                    path_avoiding(product, &items_ref[x], &items_ref[y], &kept)
+                }
+            };
+            if edge {
+                row.push(y);
+            }
+        }
+        row
+    });
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (x, row) in children.iter().enumerate().skip(1) {
+        for &y in row {
+            parents[y].push(x);
+        }
+    }
+
+    // Universal negated tuple: arc to every parentless real node.
+    for (y, preds) in parents.iter_mut().enumerate().skip(1) {
+        if preds.is_empty() {
+            children[SubsumptionGraph::UNIVERSAL].push(y);
+            preds.push(SubsumptionGraph::UNIVERSAL);
+        }
+    }
+
+    SubsumptionCore {
+        items,
+        truths,
+        children,
+        parents,
     }
 }
 
@@ -431,5 +559,41 @@ mod tests {
         d.eliminate(1);
         assert_eq!(d.children[0], vec![2]);
         assert_eq!(d.predecessors(3), &[2]);
+    }
+
+    #[test]
+    fn repeated_builds_share_one_cached_core() {
+        let mut r = flying();
+        let g1 = SubsumptionGraph::build(&r);
+        let g2 = SubsumptionGraph::build(&r);
+        assert!(g1.shares_core(&g2), "unchanged relation must hit");
+
+        // A tuple change invalidates (the fingerprint differs).
+        r.assert_fact(&["Pamela"], Truth::Negative).unwrap();
+        let g3 = SubsumptionGraph::build(&r);
+        assert!(!g3.shares_core(&g1));
+        assert!(g3.shares_core(&SubsumptionGraph::build(&r)));
+
+        // Preemption mode is part of the key.
+        r.set_preemption(crate::preemption::Preemption::OnPath);
+        let g4 = SubsumptionGraph::build(&r);
+        assert!(!g4.shares_core(&g3));
+
+        // Binding graphs are query-specific: never cached.
+        let peter = r.item(&["Peter"]).unwrap();
+        let (b1, _) = SubsumptionGraph::build_for_item(&r, &peter);
+        let (b2, _) = SubsumptionGraph::build_for_item(&r, &peter);
+        assert!(!b1.shares_core(&b2));
+    }
+
+    #[test]
+    fn identical_twin_relations_do_not_cross_hit() {
+        // Two structurally identical relations over *different* graph
+        // instances have different domain versions: no false sharing.
+        let r1 = flying();
+        let r2 = flying();
+        let g1 = SubsumptionGraph::build(&r1);
+        let g2 = SubsumptionGraph::build(&r2);
+        assert!(!g1.shares_core(&g2));
     }
 }

@@ -49,7 +49,6 @@ impl Truth3 {
             _ => Truth3::Unknown,
         }
     }
-
 }
 
 impl std::ops::Not for Truth3 {

@@ -27,8 +27,18 @@ fn setup(
     ntuples: usize,
     tseed: u64,
 ) -> (HRelation, HierarchyGraph, Vec<(Item, NodeId)>) {
-    let g1 = Arc::new(layered_dag(1 + (s1 % 2) as usize, 2 + (s1 / 2 % 2) as usize, 2, s1));
-    let g2 = Arc::new(layered_dag(1 + (s2 % 2) as usize, 2 + (s2 / 2 % 2) as usize, 2, s2));
+    let g1 = Arc::new(layered_dag(
+        1 + (s1 % 2) as usize,
+        2 + (s1 / 2 % 2) as usize,
+        2,
+        s1,
+    ));
+    let g2 = Arc::new(layered_dag(
+        1 + (s2 % 2) as usize,
+        2 + (s2 / 2 % 2) as usize,
+        2,
+        s2,
+    ));
     let schema = Arc::new(Schema::new(vec![
         Attribute::new("A", g1.clone()),
         Attribute::new("B", g2.clone()),

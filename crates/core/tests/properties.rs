@@ -18,11 +18,11 @@ use hrdm_core::consolidate::consolidate;
 use hrdm_core::explicate::{explicate, explicate_all};
 use hrdm_core::flat::{equivalent, flatten, flatten_via_binding};
 use hrdm_core::ops::{difference, intersection, join, project, select, union};
+use hrdm_core::parallel::run_serial;
 use hrdm_core::prelude::*;
 use hrdm_hierarchy::elim::{EliminationGraph, EliminationMode};
 use hrdm_hierarchy::gen::{layered_dag, sample_nodes};
 use hrdm_hierarchy::HierarchyGraph;
-
 
 /// Owned atom set of a relation's flat model (avoids borrow lifetimes in
 /// proptest macros).
@@ -73,31 +73,68 @@ fn arb_relation() -> impl Strategy<Value = HRelation> {
     })
 }
 
+/// Exact tuple sequence of a relation — the byte-level identity used by
+/// the parity properties (not just flat-model equivalence).
+fn tuples_of(r: &HRelation) -> Vec<(Item, Truth)> {
+    r.iter().map(|(i, t)| (i.clone(), t)).collect()
+}
+
+/// Run `f` against cold shared caches, so serial and parallel runs both
+/// build everything from scratch (a cached core built by one mode and
+/// reused by the other would make the comparison vacuous).
+fn cold<T>(f: impl FnOnce() -> T) -> T {
+    hrdm_core::subsumption::clear_cache();
+    hrdm_hierarchy::cache::clear();
+    f()
+}
+
+/// A consistent single-attribute relation big enough (typically 40+
+/// tuples) that the chunked `std::thread::scope` paths actually spawn
+/// workers instead of falling back to serial under `PAR_THRESHOLD`.
+fn arb_large_relation() -> impl Strategy<Value = HRelation> {
+    (any::<u64>(), 40usize..96, any::<u64>()).prop_map(|(gseed, ntuples, tseed)| {
+        let g = layered_dag(3, 8, 2, gseed);
+        let schema = Arc::new(Schema::single("D", Arc::new(g)));
+        let mut r = HRelation::new(schema.clone());
+        for (k, node) in sample_nodes(schema.domain(0), ntuples, tseed)
+            .into_iter()
+            .enumerate()
+        {
+            let truth = if (tseed >> (k % 64)) & 1 == 1 {
+                Truth::Positive
+            } else {
+                Truth::Negative
+            };
+            let _ = r.insert(Tuple::new(Item::new(vec![node]), truth));
+        }
+        make_consistent(&mut r);
+        r
+    })
+}
+
 /// Random consistent two-attribute relation over shared-able graphs.
 fn arb_relation2() -> impl Strategy<Value = HRelation> {
-    (any::<u64>(), any::<u64>(), 1usize..5, any::<u64>()).prop_map(
-        |(s1, s2, ntuples, tseed)| {
-            let g1 = Arc::new(arb_graph(s1));
-            let g2 = Arc::new(arb_graph(s2));
-            let schema = Arc::new(Schema::new(vec![
-                Attribute::new("A", g1.clone()),
-                Attribute::new("B", g2.clone()),
-            ]));
-            let mut r = HRelation::new(schema.clone());
-            let n1 = sample_nodes(&g1, ntuples, tseed);
-            let n2 = sample_nodes(&g2, ntuples, tseed ^ 0x5a5a);
-            for (k, (a, b)) in n1.into_iter().zip(n2).enumerate() {
-                let truth = if (tseed >> k) & 1 == 1 {
-                    Truth::Positive
-                } else {
-                    Truth::Negative
-                };
-                let _ = r.insert(Tuple::new(Item::new(vec![a, b]), truth));
-            }
-            make_consistent(&mut r);
-            r
-        },
-    )
+    (any::<u64>(), any::<u64>(), 1usize..5, any::<u64>()).prop_map(|(s1, s2, ntuples, tseed)| {
+        let g1 = Arc::new(arb_graph(s1));
+        let g2 = Arc::new(arb_graph(s2));
+        let schema = Arc::new(Schema::new(vec![
+            Attribute::new("A", g1.clone()),
+            Attribute::new("B", g2.clone()),
+        ]));
+        let mut r = HRelation::new(schema.clone());
+        let n1 = sample_nodes(&g1, ntuples, tseed);
+        let n2 = sample_nodes(&g2, ntuples, tseed ^ 0x5a5a);
+        for (k, (a, b)) in n1.into_iter().zip(n2).enumerate() {
+            let truth = if (tseed >> k) & 1 == 1 {
+                Truth::Positive
+            } else {
+                Truth::Negative
+            };
+            let _ = r.insert(Tuple::new(Item::new(vec![a, b]), truth));
+        }
+        make_consistent(&mut r);
+        r
+    })
 }
 
 proptest! {
@@ -348,5 +385,134 @@ proptest! {
         prop_assert!(is_consistent(&e));
         let s = select(&r, &r.schema().universal_item()).unwrap();
         prop_assert!(is_consistent(&s));
+    }
+}
+
+// Algebraic laws of the physical operators, compared at the byte level
+// (exact tuple sequences with truths), not just up to flat-model
+// equivalence.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Consolidation never changes what explication means:
+    /// explicate(consolidate(r)) and explicate(r) have the same flat
+    /// model, and the two can differ only by redundant negated tuples
+    /// (§3.3.2) — so consolidating both yields byte-identical relations
+    /// (the §3.3.1 unique minimum of that shared model).
+    #[test]
+    fn explicate_after_consolidate_is_identity(r in arb_relation2()) {
+        let direct = explicate_all(&r);
+        let via = explicate_all(&consolidate(&r).relation);
+        prop_assert!(equivalent(&direct, &via));
+        prop_assert_eq!(
+            tuples_of(&consolidate(&direct).relation),
+            tuples_of(&consolidate(&via).relation)
+        );
+    }
+
+    /// §3.3.1's "unique minimal relation": the consolidated result
+    /// depends only on the tuple set — not the order tuples were
+    /// inserted — and a second pass is a byte-level fixpoint.
+    #[test]
+    fn consolidate_unique_minimum_regardless_of_order(
+        r in arb_relation2(),
+        seed in any::<u64>(),
+    ) {
+        let c1 = consolidate(&r);
+        let tuples = tuples_of(&r);
+        for variant in 0..2 {
+            let mut order = tuples.clone();
+            if variant == 0 {
+                order.reverse();
+            } else {
+                let rot = (seed as usize) % order.len().max(1);
+                order.rotate_left(rot);
+            }
+            let mut r2 = HRelation::with_preemption(r.schema().clone(), r.preemption());
+            for (item, truth) in order {
+                r2.insert(Tuple::new(item, truth)).unwrap();
+            }
+            let c2 = consolidate(&r2);
+            prop_assert_eq!(tuples_of(&c1.relation), tuples_of(&c2.relation));
+            prop_assert_eq!(&c1.removed, &c2.removed);
+        }
+        let again = consolidate(&c1.relation);
+        prop_assert!(again.removed.is_empty());
+        prop_assert_eq!(tuples_of(&c1.relation), tuples_of(&again.relation));
+    }
+}
+
+// Serial/parallel parity: the chunked `std::thread::scope` execution
+// layer must be a pure performance knob. Every pair below runs the same
+// operator against cold caches in both modes and demands byte-identical
+// results (relations compared as exact tuple sequences, eliminated and
+// conflicting tuples in their exact reported order).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn serial_parallel_parity_consolidate(r in arb_large_relation()) {
+        let par = cold(|| consolidate(&r));
+        let ser = run_serial(|| cold(|| consolidate(&r)));
+        prop_assert_eq!(tuples_of(&par.relation), tuples_of(&ser.relation));
+        prop_assert_eq!(par.removed, ser.removed);
+    }
+
+    #[test]
+    fn serial_parallel_parity_explicate(r in arb_large_relation()) {
+        let par = cold(|| explicate_all(&r));
+        let ser = run_serial(|| cold(|| explicate_all(&r)));
+        prop_assert_eq!(tuples_of(&par), tuples_of(&ser));
+    }
+
+    #[test]
+    fn serial_parallel_parity_conflicts(r in arb_large_relation()) {
+        // Conflict detection over the *unresolved* relation exercises
+        // the parallel candidate-binding sweep with real conflicts: undo
+        // consistency by flipping some truths.
+        let mut noisy = HRelation::with_preemption(r.schema().clone(), r.preemption());
+        for (k, (item, truth)) in tuples_of(&r).into_iter().enumerate() {
+            let t = if k % 5 == 0 {
+                Truth::from_bool(!truth.holds())
+            } else {
+                truth
+            };
+            noisy.insert(Tuple::new(item, t)).unwrap();
+        }
+        let par = cold(|| find_conflicts(&noisy));
+        let ser = run_serial(|| cold(|| find_conflicts(&noisy)));
+        prop_assert_eq!(par, ser);
+        let par_ok = cold(|| is_consistent(&noisy));
+        let ser_ok = run_serial(|| cold(|| is_consistent(&noisy)));
+        prop_assert_eq!(par_ok, ser_ok);
+    }
+
+    #[test]
+    fn serial_parallel_parity_join(
+        (r1, r2) in (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(gseed, t1, t2)| {
+            let g = Arc::new(layered_dag(3, 6, 2, gseed));
+            let schema = Arc::new(Schema::single("D", g));
+            let mk = |seed: u64| {
+                let mut r = HRelation::new(schema.clone());
+                for (k, node) in sample_nodes(schema.domain(0), 12, seed)
+                    .into_iter()
+                    .enumerate()
+                {
+                    let truth = if (seed >> k) & 1 == 1 {
+                        Truth::Positive
+                    } else {
+                        Truth::Negative
+                    };
+                    let _ = r.insert(Tuple::new(Item::new(vec![node]), truth));
+                }
+                make_consistent(&mut r);
+                r
+            };
+            (mk(t1), mk(t2))
+        })
+    ) {
+        let par = cold(|| join(&r1, &r2).unwrap());
+        let ser = run_serial(|| cold(|| join(&r1, &r2).unwrap()));
+        prop_assert_eq!(tuples_of(&par), tuples_of(&ser));
     }
 }

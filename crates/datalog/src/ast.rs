@@ -190,7 +190,9 @@ fn split_top_level(s: &str) -> Result<Vec<&str>> {
         }
     }
     if depth != 0 || in_str {
-        return Err(DatalogError::Parse(format!("unbalanced delimiters in {s:?}")));
+        return Err(DatalogError::Parse(format!(
+            "unbalanced delimiters in {s:?}"
+        )));
     }
     out.push(&s[start..]);
     Ok(out)
@@ -205,11 +207,7 @@ fn parse_atom(s: &str) -> Result<Atom> {
         return Err(DatalogError::Parse(format!("expected ')' at end of {s:?}")));
     }
     let pred = s[..open].trim();
-    if pred.is_empty()
-        || !pred
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
-    {
+    if pred.is_empty() || !pred.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return Err(DatalogError::Parse(format!("bad predicate name {pred:?}")));
     }
     let inner = &s[open + 1..s.len() - 1];
@@ -233,10 +231,7 @@ fn parse_term(s: &str) -> Result<Term> {
         return Ok(Term::Sym(inner.to_string()));
     }
     let first = s.chars().next().expect("non-empty");
-    if !s
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_')
-    {
+    if !s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return Err(DatalogError::Parse(format!("bad term {s:?}")));
     }
     if first.is_ascii_uppercase() || first == '_' {
@@ -275,7 +270,10 @@ impl Program {
 
     /// All predicates defined by rule heads (the IDB).
     pub fn idb_predicates(&self) -> BTreeSet<&str> {
-        self.rules.iter().map(|r| r.head.predicate.as_str()).collect()
+        self.rules
+            .iter()
+            .map(|r| r.head.predicate.as_str())
+            .collect()
     }
 }
 
@@ -347,12 +345,9 @@ mod tests {
 
     #[test]
     fn parse_constants_and_strings() {
-        let r = Rule::parse(r#"white_royal(X) :- isa(X, "Royal Elephant"), color(X, white)"#)
-            .unwrap();
-        assert_eq!(
-            r.body[0].atom.terms[1],
-            Term::Sym("Royal Elephant".into())
-        );
+        let r =
+            Rule::parse(r#"white_royal(X) :- isa(X, "Royal Elephant"), color(X, white)"#).unwrap();
+        assert_eq!(r.body[0].atom.terms[1], Term::Sym("Royal Elephant".into()));
         assert_eq!(r.body[1].atom.terms[1], Term::Sym("white".into()));
     }
 

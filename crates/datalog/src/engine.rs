@@ -94,8 +94,14 @@ impl Engine {
             for b in graph.node_ids() {
                 if a != b && graph.is_descendant(a, b) {
                     facts.insert(vec![
-                        Value { domain: tag, node: a },
-                        Value { domain: tag, node: b },
+                        Value {
+                            domain: tag,
+                            node: a,
+                        },
+                        Value {
+                            domain: tag,
+                            node: b,
+                        },
                     ]);
                 }
             }
@@ -528,7 +534,10 @@ mod tests {
         engine.add_relation("q", &r2);
         let prog = Program::parse("same(X) :- p(X), q(X).").unwrap();
         let out = engine.run(&prog).unwrap();
-        assert!(out["same"].is_empty(), "x1 and x2 share NodeId but differ in domain");
+        assert!(
+            out["same"].is_empty(),
+            "x1 and x2 share NodeId but differ in domain"
+        );
     }
 
     #[test]
@@ -559,7 +568,9 @@ mod tests {
         let mut engine = Engine::new();
         engine.register_domain(&Arc::new(g));
         for w in names.windows(2) {
-            engine.add_fact("edge", &[w[0].as_str(), w[1].as_str()]).unwrap();
+            engine
+                .add_fact("edge", &[w[0].as_str(), w[1].as_str()])
+                .unwrap();
         }
         let p = Program::parse(
             "path(X, Y) :- edge(X, Y).\n\

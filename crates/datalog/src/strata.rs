@@ -95,9 +95,7 @@ mod tests {
 
     #[test]
     fn recursion_through_negation_rejected() {
-        let p = prog(&[
-            "win(X) :- move(X, Y), !win(Y)",
-        ]);
+        let p = prog(&["win(X) :- move(X, Y), !win(Y)"]);
         assert!(matches!(
             stratify(&p),
             Err(DatalogError::NotStratifiable(p)) if p == "win"
@@ -106,10 +104,7 @@ mod tests {
 
     #[test]
     fn mutual_recursion_through_negation_rejected() {
-        let p = prog(&[
-            "p(X) :- e(X), !q(X)",
-            "q(X) :- e(X), !p(X)",
-        ]);
+        let p = prog(&["p(X) :- e(X), !q(X)", "q(X) :- e(X), !p(X)"]);
         assert!(stratify(&p).is_err());
     }
 
@@ -122,11 +117,7 @@ mod tests {
 
     #[test]
     fn chain_of_negations_builds_strata() {
-        let p = prog(&[
-            "a(X) :- e(X)",
-            "b(X) :- e(X), !a(X)",
-            "c(X) :- e(X), !b(X)",
-        ]);
+        let p = prog(&["a(X) :- e(X)", "b(X) :- e(X), !a(X)", "c(X) :- e(X), !b(X)"]);
         let s = stratify(&p).unwrap();
         assert_eq!(s.len(), 3);
     }

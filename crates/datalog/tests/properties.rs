@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use hrdm_datalog::ast::{Atom, Literal, Program, Rule, Term, Value};
+use hrdm_datalog::ast::{Atom, Program, Rule, Term, Value};
 use hrdm_datalog::engine::{Engine, Relation};
 use hrdm_hierarchy::HierarchyGraph;
 
@@ -40,10 +40,7 @@ fn naive_eval(
     }
 }
 
-fn naive_rule(
-    rule: &Rule,
-    db: &std::collections::BTreeMap<String, Relation>,
-) -> Vec<Vec<Value>> {
+fn naive_rule(rule: &Rule, db: &std::collections::BTreeMap<String, Relation>) -> Vec<Vec<Value>> {
     type Subst = std::collections::BTreeMap<String, Value>;
     fn unify(atom: &Atom, fact: &[Value], s: &Subst) -> Option<Subst> {
         if atom.terms.len() != fact.len() {
@@ -116,12 +113,7 @@ fn naive_rule(
 
 /// Random edge EDB over `n` nodes.
 fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (3usize..8).prop_flat_map(|n| {
-        (
-            Just(n),
-            prop::collection::vec((0..n, 0..n), 0..20),
-        )
-    })
+    (3usize..8).prop_flat_map(|n| (Just(n), prop::collection::vec((0..n, 0..n), 0..20)))
 }
 
 fn build_engine(n: usize, edges: &[(usize, usize)]) -> (Engine, Vec<String>) {

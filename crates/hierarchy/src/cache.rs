@@ -1,0 +1,227 @@
+//! A process-wide, versioned cache of reachability closures.
+//!
+//! Every operator in the model — subsumption-graph construction,
+//! consolidate, explicate, preemption, the membership join — reduces to
+//! repeated path-existence queries over the same hierarchy graphs. Before
+//! this cache each operator call rebuilt its own [`Reachability`] matrix;
+//! now a closure is built once per `(graph, generation, edge-kind)` and
+//! shared.
+//!
+//! # Versioning protocol
+//!
+//! Entries are keyed by `(graph_id, generation, kind)`:
+//!
+//! * [`HierarchyGraph::graph_id`] is process-unique and never reused —
+//!   every constructor and every `Clone` takes a fresh id — so a key can
+//!   never alias a structurally different graph;
+//! * [`HierarchyGraph::generation`] is bumped on every structural
+//!   mutation (node added, edge added or removed), so a stale closure is
+//!   simply never looked up again.
+//!
+//! Invalidation is therefore *passive*: mutating a graph orphans its old
+//! entries, which age out of the bounded store ([`MAX_ENTRIES`], FIFO) —
+//! and inserting a closure for a graph proactively drops entries for that
+//! graph's older generations. Callers needing deterministic reclamation
+//! (e.g. a catalog dropping a domain) can call [`invalidate_graph`].
+//!
+//! Lookups and stats are lock-cheap: the mutex guards only the map, and
+//! closures are built *outside* the lock so concurrent readers of other
+//! graphs are never blocked behind an O(V·E) build.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::graph::HierarchyGraph;
+use crate::reach::{ClosureKind, Reachability};
+
+/// Upper bound on cached closures across all graphs; the oldest entries
+/// are evicted first.
+const MAX_ENTRIES: usize = 256;
+
+type Key = (u64, u64, ClosureKind);
+
+#[derive(Default)]
+struct Store {
+    map: HashMap<Key, Arc<Reachability>>,
+    /// Insertion order, for FIFO eviction. May contain keys already
+    /// removed from `map`; eviction skips those.
+    order: Vec<Key>,
+}
+
+fn store() -> &'static Mutex<Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Store::default()))
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BUILD_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Counters describing cache effectiveness since the last
+/// [`reset_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a closure.
+    pub misses: u64,
+    /// Total wall time spent building closures, in nanoseconds.
+    pub build_ns: u64,
+    /// Closures currently resident.
+    pub entries: usize,
+}
+
+/// The shared transitive closure of `g` over both edge kinds.
+pub fn closure(g: &HierarchyGraph) -> Arc<Reachability> {
+    get(g, ClosureKind::Both)
+}
+
+/// The shared subset-edge-only closure of `g` (membership queries).
+pub fn subset_closure(g: &HierarchyGraph) -> Arc<Reachability> {
+    get(g, ClosureKind::SubsetOnly)
+}
+
+/// Look up or build the closure of `g` for the given edge kinds.
+pub fn get(g: &HierarchyGraph, kind: ClosureKind) -> Arc<Reachability> {
+    let key = (g.graph_id(), g.generation(), kind);
+    if let Some(hit) = store().lock().unwrap().map.get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    let built = Arc::new(Reachability::build(g, kind));
+    BUILD_NS.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+    let mut s = store().lock().unwrap();
+    // A concurrent builder may have won the race; keep whichever is
+    // already resident so all holders share one allocation.
+    if let Some(existing) = s.map.get(&key) {
+        return Arc::clone(existing);
+    }
+    // Entries for older generations of this graph can never be looked up
+    // again (generations only grow): drop them eagerly.
+    s.map.retain(|&(id, gen, _), _| id != key.0 || gen == key.1);
+    s.map.insert(key, Arc::clone(&built));
+    s.order.push(key);
+    while s.map.len() > MAX_ENTRIES {
+        let victim = s.order.remove(0);
+        s.map.remove(&victim);
+    }
+    built
+}
+
+/// Drop every cached closure belonging to `graph_id`, regardless of
+/// generation. Useful when a graph is discarded for good.
+pub fn invalidate_graph(graph_id: u64) {
+    store()
+        .lock()
+        .unwrap()
+        .map
+        .retain(|&(id, _, _), _| id != graph_id);
+}
+
+/// Drop all cached closures (stats are left untouched).
+pub fn clear() {
+    let mut s = store().lock().unwrap();
+    s.map.clear();
+    s.order.clear();
+}
+
+/// Snapshot of the hit/miss/build-time counters.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        build_ns: BUILD_NS.load(Ordering::Relaxed),
+        entries: store().lock().unwrap().map.len(),
+    }
+}
+
+/// Zero the hit/miss/build-time counters (resident entries stay).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    BUILD_NS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> HierarchyGraph {
+        let mut g = HierarchyGraph::new("D");
+        let a = g.add_class("A", g.root()).unwrap();
+        let b = g.add_class("B", a).unwrap();
+        g.add_class("C", b).unwrap();
+        g
+    }
+
+    #[test]
+    fn same_generation_hits_same_closure() {
+        let g = chain();
+        let r1 = closure(&g);
+        let r2 = closure(&g);
+        assert!(Arc::ptr_eq(&r1, &r2), "second lookup must be a cache hit");
+    }
+
+    #[test]
+    fn mutation_invalidates() {
+        let mut g = chain();
+        let r1 = closure(&g);
+        let c = g.expect("C");
+        let d = g.add_class("E", g.root()).unwrap();
+        let r2 = closure(&g);
+        assert!(!Arc::ptr_eq(&r1, &r2), "mutation must miss the old entry");
+        assert_eq!(r2.len(), g.len());
+        assert!(!r2.reaches(d, c));
+    }
+
+    #[test]
+    fn clones_never_share_entries() {
+        let g = chain();
+        let r1 = closure(&g);
+        let mut h = g.clone();
+        // Diverge the clone; its closure must not be served from g's key.
+        h.add_class("X", h.expect("C")).unwrap();
+        let r2 = closure(&h);
+        assert!(!Arc::ptr_eq(&r1, &r2));
+        assert_eq!(r2.len(), g.len() + 1);
+        // And g's entry is still intact.
+        assert!(Arc::ptr_eq(&r1, &closure(&g)));
+    }
+
+    #[test]
+    fn subset_and_both_kind_entries_are_distinct() {
+        let mut g = chain();
+        let a = g.expect("A");
+        let b2 = g.add_class("B2", g.root()).unwrap();
+        g.add_preference_edge(a, b2).unwrap();
+        let both = closure(&g);
+        let subset = subset_closure(&g);
+        assert!(both.reaches(a, b2), "preference edge reaches");
+        assert!(!subset.reaches(a, b2), "but is not membership");
+    }
+
+    #[test]
+    fn invalidate_graph_drops_entries() {
+        let g = chain();
+        let before = closure(&g);
+        invalidate_graph(g.graph_id());
+        let after = closure(&g);
+        assert!(!Arc::ptr_eq(&before, &after), "entry was dropped");
+    }
+
+    #[test]
+    fn stats_move() {
+        let g = chain();
+        reset_stats();
+        let s0 = stats();
+        let _ = closure(&g);
+        let _ = closure(&g);
+        let s1 = stats();
+        assert!(s1.hits + s1.misses >= s0.hits + s0.misses + 2);
+    }
+}

@@ -146,7 +146,9 @@ impl EliminationGraph {
 
     /// Number of live edges.
     pub fn edge_count(&self) -> usize {
-        self.alive_nodes().map(|n| self.children[n.index()].len()).sum()
+        self.alive_nodes()
+            .map(|n| self.children[n.index()].len())
+            .sum()
     }
 
     /// Is there a direct edge `from → to`?

@@ -53,12 +53,7 @@ pub fn balanced_tree(fanout: usize, depth: usize) -> HierarchyGraph {
 ///
 /// With `max_parents > 1` this exercises multiple inheritance; density
 /// rises with `max_parents`. Deterministic in `seed`.
-pub fn layered_dag(
-    layers: usize,
-    width: usize,
-    max_parents: usize,
-    seed: u64,
-) -> HierarchyGraph {
+pub fn layered_dag(layers: usize, width: usize, max_parents: usize, seed: u64) -> HierarchyGraph {
     assert!(width >= 1 && max_parents >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = HierarchyGraph::new("D");

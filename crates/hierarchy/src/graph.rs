@@ -14,9 +14,18 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{HierarchyError, Result};
 use crate::node::{NodeId, NodeName};
+
+/// Source of process-unique graph identities (see
+/// [`HierarchyGraph::graph_id`]).
+static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_graph_id() -> u64 {
+    NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// What a node stands for in the taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,11 +75,30 @@ struct NodeData {
 /// the Appendix uses them to switch between off-path and on-path
 /// preemption — but [`crate::reach::redundant_edge_list`] detects them and
 /// [`crate::reach::transitive_reduction`] removes them.
-#[derive(Clone)]
 pub struct HierarchyGraph {
     nodes: Vec<NodeData>,
     by_name: HashMap<NodeName, NodeId>,
     edge_count: usize,
+    /// Process-unique identity; see [`HierarchyGraph::graph_id`].
+    graph_id: u64,
+    /// Bumped on every structural mutation; see
+    /// [`HierarchyGraph::generation`].
+    generation: u64,
+}
+
+/// Cloning takes a *fresh* [`graph_id`](HierarchyGraph::graph_id): the
+/// clone may diverge from the original, so derived results cached under
+/// the original's identity must never be served for the clone.
+impl Clone for HierarchyGraph {
+    fn clone(&self) -> HierarchyGraph {
+        HierarchyGraph {
+            nodes: self.nodes.clone(),
+            by_name: self.by_name.clone(),
+            edge_count: self.edge_count,
+            graph_id: fresh_graph_id(),
+            generation: self.generation,
+        }
+    }
 }
 
 impl HierarchyGraph {
@@ -88,7 +116,35 @@ impl HierarchyGraph {
             }],
             by_name,
             edge_count: 0,
+            graph_id: fresh_graph_id(),
+            generation: 0,
         }
+    }
+
+    /// A process-unique identity for this graph *value*.
+    ///
+    /// Together with [`generation`](HierarchyGraph::generation) it forms
+    /// the version key `(graph_id, generation)` under which derived
+    /// structures (reachability closures, subsumption cores) are cached:
+    /// ids are never reused within a process and every [`Clone`] takes a
+    /// fresh one, so a key can never alias a structurally different graph.
+    #[inline]
+    pub fn graph_id(&self) -> u64 {
+        self.graph_id
+    }
+
+    /// A counter bumped on every structural mutation (node added, edge
+    /// added or removed). A cached result keyed by
+    /// `(graph_id, generation)` is valid iff both still match.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The full cache-version key: `(graph_id, generation)`.
+    #[inline]
+    pub fn version(&self) -> (u64, u64) {
+        (self.graph_id, self.generation)
     }
 
     /// The root node (the domain).
@@ -150,6 +206,7 @@ impl HierarchyGraph {
             self.nodes[id.index()].parents.push((p, EdgeKind::Subset));
             self.edge_count += 1;
         }
+        self.generation += 1;
         Ok(id)
     }
 
@@ -190,7 +247,11 @@ impl HierarchyGraph {
         if self.kind(from) == NodeKind::Instance {
             return Err(HierarchyError::InstanceHasChildren(from));
         }
-        if self.nodes[from.index()].children.iter().any(|&(c, _)| c == to) {
+        if self.nodes[from.index()]
+            .children
+            .iter()
+            .any(|&(c, _)| c == to)
+        {
             return Err(HierarchyError::DuplicateEdge { from, to });
         }
         // Type-irredundancy (§3.1): reject edges that close a cycle. A
@@ -202,6 +263,7 @@ impl HierarchyGraph {
         self.nodes[from.index()].children.push((to, kind));
         self.nodes[to.index()].parents.push((from, kind));
         self.edge_count += 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -233,6 +295,7 @@ impl HierarchyGraph {
         }
         self.nodes[to.index()].parents.retain(|&(p, _)| p != from);
         self.edge_count -= 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -451,36 +514,11 @@ impl HierarchyGraph {
     /// "whether or not there exist any instances of this class" — is a
     /// subset of both.
     pub fn provably_intersect(&self, a: NodeId, b: NodeId) -> bool {
-        if self.is_descendant(a, b) || self.is_descendant(b, a) {
-            return true;
-        }
-        // Mark everything below `a`, then walk below `b` looking for a hit.
-        let mut below_a = vec![false; self.nodes.len()];
-        below_a[a.index()] = true;
-        let mut stack = vec![a];
-        while let Some(n) = stack.pop() {
-            for c in self.subset_children(n) {
-                if !below_a[c.index()] {
-                    below_a[c.index()] = true;
-                    stack.push(c);
-                }
-            }
-        }
-        let mut seen = vec![false; self.nodes.len()];
-        seen[b.index()] = true;
-        let mut stack = vec![b];
-        while let Some(n) = stack.pop() {
-            for c in self.subset_children(n) {
-                if below_a[c.index()] {
-                    return true;
-                }
-                if !seen[c.index()] {
-                    seen[c.index()] = true;
-                    stack.push(c);
-                }
-            }
-        }
-        false
+        // Comparable nodes share the more specific endpoint; incomparable
+        // ones need a common defined descendant. Both cases reduce to a
+        // non-empty AND of the cached subset-closure rows (reflexivity
+        // puts the specific endpoint of a comparable pair in both rows).
+        crate::cache::subset_closure(self).reaches_common(a, b)
     }
 
     /// The common descendants of `a` and `b` (instances and classes).
@@ -488,13 +526,11 @@ impl HierarchyGraph {
     /// These are the candidate members of the *complete conflict
     /// resolution set* of §3.1.
     pub fn common_descendants(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = Vec::new();
-        for id in self.node_ids() {
-            if id != a && id != b && self.is_descendant(id, a) && self.is_descendant(id, b) {
-                out.push(id);
-            }
-        }
-        out
+        let r = crate::cache::subset_closure(self);
+        r.common_reachable(a, b)
+            .into_iter()
+            .filter(|&id| id != a && id != b)
+            .collect()
     }
 
     /// All nodes `z` with `z ⊆ a` and `z ⊆ b`, *including* `a`/`b`
@@ -506,9 +542,7 @@ impl HierarchyGraph {
     ///
     /// [`common_descendants`]: HierarchyGraph::common_descendants
     pub fn intersection_candidates(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
-        self.node_ids()
-            .filter(|&z| self.is_descendant(z, a) && self.is_descendant(z, b))
-            .collect()
+        crate::cache::subset_closure(self).common_reachable(a, b)
     }
 
     /// The maximal elements of [`intersection_candidates`]: the coarsest
@@ -518,15 +552,12 @@ impl HierarchyGraph {
     ///
     /// [`intersection_candidates`]: HierarchyGraph::intersection_candidates
     pub fn maximal_intersection(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
-        let cands = self.intersection_candidates(a, b);
+        let r = crate::cache::subset_closure(self);
+        let cands = r.common_reachable(a, b);
         cands
             .iter()
             .copied()
-            .filter(|&z| {
-                !cands
-                    .iter()
-                    .any(|&y| y != z && self.is_descendant(z, y))
-            })
+            .filter(|&z| !cands.iter().any(|&y| y != z && r.reaches(y, z)))
             .collect()
     }
 }
@@ -696,7 +727,10 @@ mod tests {
             g.add_class("A", bogus),
             Err(HierarchyError::UnknownNode(_))
         ));
-        assert!(matches!(g.node("Nope"), Err(HierarchyError::UnknownName(_))));
+        assert!(matches!(
+            g.node("Nope"),
+            Err(HierarchyError::UnknownName(_))
+        ));
         assert!(matches!(
             g.add_edge(bogus, g.root()),
             Err(HierarchyError::UnknownNode(_))
@@ -723,7 +757,10 @@ mod tests {
         let a = g.add_class("A", g.root()).unwrap();
         let b = g.add_class("B", g.root()).unwrap();
         g.add_preference_edge(a, b).unwrap();
-        assert!(!g.is_descendant(b, a), "preference edge is not set inclusion");
+        assert!(
+            !g.is_descendant(b, a),
+            "preference edge is not set inclusion"
+        );
         assert!(g.reaches(a, b), "but it does affect reachability/binding");
         assert_eq!(g.subset_parents(b).count(), 1); // just the root
         assert_eq!(g.parents(b).count(), 2);
@@ -771,7 +808,10 @@ mod tests {
         let g = birds();
         let gala = g.expect("Galapagos Penguin");
         let afp = g.expect("Amazing Flying Penguin");
-        assert_eq!(g.maximal_intersection(gala, afp), vec![g.expect("Patricia")]);
+        assert_eq!(
+            g.maximal_intersection(gala, afp),
+            vec![g.expect("Patricia")]
+        );
         // Provably disjoint classes: empty.
         let canary = g.expect("Canary");
         assert!(g.maximal_intersection(canary, gala).is_empty());
@@ -793,7 +833,10 @@ mod tests {
     fn leaves_and_kind_filters() {
         let g = birds();
         let leaves: Vec<&str> = g.leaves().map(|n| g.name(n).as_str()).collect();
-        assert_eq!(leaves, vec!["Tweety", "Paul", "Patricia", "Pamela", "Peter"]);
+        assert_eq!(
+            leaves,
+            vec!["Tweety", "Paul", "Patricia", "Pamela", "Peter"]
+        );
         assert_eq!(g.instances().count(), 5);
         assert_eq!(g.classes().count(), 5);
         assert_eq!(g.len(), 11);
@@ -811,7 +854,13 @@ mod tests {
         anc.sort_unstable();
         assert_eq!(
             anc,
-            vec!["Amazing Flying Penguin", "Animal", "Bird", "Galapagos Penguin", "Penguin"]
+            vec![
+                "Amazing Flying Penguin",
+                "Animal",
+                "Bird",
+                "Galapagos Penguin",
+                "Penguin"
+            ]
         );
         let desc = g.descendants(g.expect("Penguin"));
         assert_eq!(desc.len(), 6); // 2 classes + 4 instances

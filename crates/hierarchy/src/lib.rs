@@ -39,6 +39,7 @@
 //! assert!(!g.is_descendant(bird, penguin));
 //! ```
 
+pub mod cache;
 pub mod dot;
 pub mod elim;
 pub mod error;

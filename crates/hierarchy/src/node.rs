@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(NodeId::from_index(3).to_string(), "n3");
-        assert_eq!(NodeName::new("Royal Elephant").to_string(), "Royal Elephant");
+        assert_eq!(
+            NodeName::new("Royal Elephant").to_string(),
+            "Royal Elephant"
+        );
         assert_eq!(format!("{:?}", NodeName::new("x")), "\"x\"");
     }
 }

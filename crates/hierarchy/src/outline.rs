@@ -74,8 +74,11 @@ pub fn parse_outline(text: &str) -> Result<HierarchyGraph, OutlineError> {
         // Split off extra parents: "Name * < P1, P2".
         let (head, extra_parents) = match body.split_once('<') {
             Some((h, rest)) => {
-                let parents: Vec<&str> =
-                    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                let parents: Vec<&str> = rest
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .collect();
                 if parents.is_empty() {
                     return Err(err(lineno, "'<' with no parent names"));
                 }
@@ -96,7 +99,10 @@ pub fn parse_outline(text: &str) -> Result<HierarchyGraph, OutlineError> {
                 return Err(err(lineno, "the first (domain) line must not be indented"));
             }
             if is_instance || !extra_parents.is_empty() {
-                return Err(err(lineno, "the domain line cannot be an instance or have parents"));
+                return Err(err(
+                    lineno,
+                    "the domain line cannot be an instance or have parents",
+                ));
             }
             let g = HierarchyGraph::new(name);
             stack.push((0, g.root()));
@@ -105,14 +111,14 @@ pub fn parse_outline(text: &str) -> Result<HierarchyGraph, OutlineError> {
         };
 
         // Parent = nearest stack entry with smaller indent.
-        while stack
-            .last()
-            .is_some_and(|&(i, _)| i >= indent)
-        {
+        while stack.last().is_some_and(|&(i, _)| i >= indent) {
             stack.pop();
         }
         let Some(&(_, parent)) = stack.last() else {
-            return Err(err(lineno, "node has no parent (indent must exceed the domain's)"));
+            return Err(err(
+                lineno,
+                "node has no parent (indent must exceed the domain's)",
+            ));
         };
 
         let mut parents = vec![parent];
@@ -167,10 +173,7 @@ Animal
 
     #[test]
     fn comments_and_blank_lines_skipped() {
-        let g = parse_outline(
-            "# taxonomy\nD\n\n  A # a class\n    x *\n",
-        )
-        .unwrap();
+        let g = parse_outline("# taxonomy\nD\n\n  A # a class\n    x *\n").unwrap();
         assert_eq!(g.len(), 3);
         assert!(g.is_instance(g.expect("x")));
     }

@@ -17,6 +17,7 @@
 
 use std::sync::Arc;
 
+use crate::cache;
 use crate::error::Result;
 use crate::graph::{EdgeKind, HierarchyGraph};
 use crate::node::NodeId;
@@ -34,16 +35,27 @@ pub type ProductNode = Vec<NodeId>;
 pub struct ProductHierarchy {
     components: Vec<Arc<HierarchyGraph>>,
     reach: Vec<Arc<Reachability>>,
+    subset_reach: Vec<Arc<Reachability>>,
 }
 
 impl ProductHierarchy {
     /// Build from shared component graphs.
+    ///
+    /// The per-component closures come from the process-wide version
+    /// cache ([`crate::cache`]), so constructing many products over the
+    /// same domains — as the relational operators do for every derived
+    /// schema — builds each closure once.
     pub fn new(components: Vec<Arc<HierarchyGraph>>) -> ProductHierarchy {
-        let reach = components
+        let reach = components.iter().map(|g| cache::closure(g)).collect();
+        let subset_reach = components
             .iter()
-            .map(|g| Arc::new(Reachability::new(g)))
+            .map(|g| cache::subset_closure(g))
             .collect();
-        ProductHierarchy { components, reach }
+        ProductHierarchy {
+            components,
+            reach,
+            subset_reach,
+        }
     }
 
     /// Number of attribute domains (the arity).
@@ -90,7 +102,8 @@ impl ProductHierarchy {
                     others = others.saturating_mul(g.len() as u128);
                 }
             }
-            total = total.saturating_add(others.saturating_mul(self.components[i].edge_count() as u128));
+            total = total
+                .saturating_add(others.saturating_mul(self.components[i].edge_count() as u128));
         }
         total
     }
@@ -119,8 +132,14 @@ impl ProductHierarchy {
     pub fn subsumes(&self, a: &[NodeId], b: &[NodeId]) -> bool {
         a.iter()
             .zip(b)
-            .zip(&self.components)
-            .all(|((&x, &y), g)| g.is_descendant(y, x))
+            .zip(&self.subset_reach)
+            .all(|((&x, &y), r)| r.reaches(x, y))
+    }
+
+    /// Cached subset-only (membership) reachability for one component.
+    #[inline]
+    pub fn component_subset_reach(&self, i: usize) -> &Reachability {
+        &self.subset_reach[i]
     }
 
     /// Is there a *direct* product edge `a → b`, and of what kind?
@@ -435,7 +454,7 @@ mod tests {
         let it = p.component(1).expect("Incoherent Teacher");
         assert!(!p.is_atomic(&p.root()));
         assert!(!p.is_atomic(&[john, it])); // Incoherent Teacher is a class
-        // Teacher component has no instances, so extension is empty.
+                                            // Teacher component has no instances, so extension is empty.
         assert_eq!(p.extension(&p.root()).count(), 0);
         assert_eq!(p.extension_size(&p.root()), 0);
         // Student-only product.

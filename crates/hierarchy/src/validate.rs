@@ -81,10 +81,7 @@ pub fn validate(g: &HierarchyGraph) -> Vec<Violation> {
     }
 
     for id in g.node_ids() {
-        if id != g.root()
-            && g.kind(id) != NodeKind::Domain
-            && !g.is_descendant(id, g.root())
-        {
+        if id != g.root() && g.kind(id) != NodeKind::Domain && !g.is_descendant(id, g.root()) {
             out.push(Violation::Unrooted(id));
         }
     }

@@ -28,9 +28,13 @@ fn arb_dag() -> impl Strategy<Value = HierarchyGraph> {
             let mut s = seed;
             for _ in 0..extra {
                 // Cheap deterministic LCG so the strategy stays pure.
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = nodes[(s >> 33) as usize % nodes.len()];
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let b = nodes[(s >> 33) as usize % nodes.len()];
                 let _ = g.add_edge(a, b);
             }

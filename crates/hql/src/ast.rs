@@ -171,7 +171,6 @@ pub enum Derivation {
     Explicated(String, Vec<String>),
 }
 
-
 use std::fmt;
 
 /// Quote a name when it cannot stand as a bare word (or could be
@@ -184,8 +183,7 @@ fn quoted(name: &str) -> String {
             .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
         && !name.contains("--")
         && ![
-            "all", "not", "under", "of", "over", "in", "on", "by", "where", "is", "and",
-            "domain",
+            "all", "not", "under", "of", "over", "in", "on", "by", "where", "is", "and", "domain",
         ]
         .contains(&name.to_ascii_lowercase().as_str());
     if bare_ok {
@@ -245,7 +243,12 @@ impl fmt::Display for Statement {
                     .iter()
                     .map(|(a, d)| format!("{}: {}", quoted(a), quoted(d)))
                     .collect();
-                write!(f, "CREATE RELATION {} ({});", quoted(name), attrs.join(", "))
+                write!(
+                    f,
+                    "CREATE RELATION {} ({});",
+                    quoted(name),
+                    attrs.join(", ")
+                )
             }
             Statement::Assert {
                 relation,

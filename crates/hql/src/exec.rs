@@ -107,12 +107,10 @@ impl Session {
     }
 
     fn domain_mut(&mut self, name: &str) -> Result<&mut HierarchyGraph> {
-        self.domains
-            .get_mut(name)
-            .ok_or_else(|| HqlError::Unknown {
-                kind: "domain",
-                name: name.to_string(),
-            })
+        self.domains.get_mut(name).ok_or_else(|| HqlError::Unknown {
+            kind: "domain",
+            name: name.to_string(),
+        })
     }
 
     /// The domain that contains all the given node names (for resolving
@@ -273,9 +271,7 @@ impl Session {
                 }
                 let attrs = attributes
                     .iter()
-                    .map(|(attr, dom)| {
-                        Ok(Attribute::new(attr.clone(), self.shared_domain(dom)?))
-                    })
+                    .map(|(attr, dom)| Ok(Attribute::new(attr.clone(), self.shared_domain(dom)?)))
                     .collect::<Result<Vec<_>>>()?;
                 let schema = Arc::new(Schema::new(attrs));
                 self.relations
@@ -419,11 +415,10 @@ impl Session {
                         })
                     }
                 };
-                let (rel, _) =
-                    self.relations.get_mut(&relation).ok_or(HqlError::Unknown {
-                        kind: "relation",
-                        name: relation.clone(),
-                    })?;
+                let (rel, _) = self.relations.get_mut(&relation).ok_or(HqlError::Unknown {
+                    kind: "relation",
+                    name: relation.clone(),
+                })?;
                 rel.set_preemption(preemption);
                 Ok(Response::Ok(format!(
                     "{relation} now uses {preemption} preemption"
@@ -437,8 +432,8 @@ impl Session {
                 Ok(Response::Ok(format!("session saved to {path}")))
             }
             Statement::Load { path } => {
-                let image = hrdm_persist::Image::load(&path)
-                    .map_err(|e| HqlError::Core(e.to_string()))?;
+                let image =
+                    hrdm_persist::Image::load(&path).map_err(|e| HqlError::Core(e.to_string()))?;
                 self.restore(image);
                 Ok(Response::Ok(format!(
                     "session restored from {path} ({} domain(s), {} relation(s))",
@@ -451,7 +446,9 @@ impl Session {
                 match by {
                     None => {
                         let n = hrdm_core::ops::cardinality(rel);
-                        Ok(Response::Ok(format!("{relation} has {n} atom(s) in its extension")))
+                        Ok(Response::Ok(format!(
+                            "{relation} has {n} atom(s) in its extension"
+                        )))
                     }
                     Some(attr) => {
                         let rows = hrdm_core::ops::group_count_by_name(rel, &attr)?;
@@ -729,7 +726,10 @@ mod tests {
         let mut s = Session::new();
         assert!(matches!(
             s.execute("SHOW Nope;"),
-            Err(HqlError::Unknown { kind: "relation", .. })
+            Err(HqlError::Unknown {
+                kind: "relation",
+                ..
+            })
         ));
         s.execute("CREATE DOMAIN D;").unwrap();
         assert!(matches!(
@@ -771,10 +771,8 @@ mod tests {
     #[test]
     fn save_and_load_round_trip() {
         let mut s = fig1_session();
-        let path = std::env::temp_dir().join(format!(
-            "hrdm_hql_session_{}.hrdm",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("hrdm_hql_session_{}.hrdm", std::process::id()));
         let path_str = path.to_str().unwrap().to_string();
         s.execute(&format!("SAVE \"{path_str}\";")).unwrap();
 

@@ -314,7 +314,8 @@ impl Parser {
             };
             return Ok(Derivation::Explicated(rel, attrs));
         }
-        Err(self.err("UNION, INTERSECT, DIFFERENCE, JOIN, PROJECT, SELECT, CONSOLIDATE, or EXPLICATE"))
+        Err(self
+            .err("UNION, INTERSECT, DIFFERENCE, JOIN, PROJECT, SELECT, CONSOLIDATE, or EXPLICATE"))
     }
 }
 

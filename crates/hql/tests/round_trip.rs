@@ -39,7 +39,10 @@ fn arb_derivation() -> impl Strategy<Value = Derivation> {
         (arb_name(), arb_name()).prop_map(|(a, b)| Derivation::Difference(a, b)),
         (arb_name(), arb_name()).prop_map(|(a, b)| Derivation::Join(a, b)),
         (arb_name(), arb_names()).prop_map(|(a, ns)| Derivation::Project(a, ns)),
-        (arb_name(), prop::collection::vec((arb_name(), arb_value()), 1..3))
+        (
+            arb_name(),
+            prop::collection::vec((arb_name(), arb_value()), 1..3)
+        )
             .prop_map(|(a, cs)| Derivation::Select(a, cs)),
         arb_name().prop_map(Derivation::Consolidated),
         (arb_name(), prop::collection::vec(arb_name(), 0..3))
@@ -50,14 +53,10 @@ fn arb_derivation() -> impl Strategy<Value = Derivation> {
 fn arb_statement() -> impl Strategy<Value = Statement> {
     prop_oneof![
         arb_name().prop_map(|name| Statement::CreateDomain { name }),
-        (arb_name(), arb_names()).prop_map(|(name, parents)| Statement::CreateClass {
-            name,
-            parents
-        }),
-        (arb_name(), arb_names()).prop_map(|(name, parents)| Statement::CreateInstance {
-            name,
-            parents
-        }),
+        (arb_name(), arb_names())
+            .prop_map(|(name, parents)| Statement::CreateClass { name, parents }),
+        (arb_name(), arb_names())
+            .prop_map(|(name, parents)| Statement::CreateInstance { name, parents }),
         (arb_name(), arb_name(), arb_name()).prop_map(|(stronger, weaker, domain)| {
             Statement::Prefer {
                 stronger,
@@ -65,9 +64,11 @@ fn arb_statement() -> impl Strategy<Value = Statement> {
                 domain,
             }
         }),
-        (arb_name(), prop::collection::vec((arb_name(), arb_name()), 1..4)).prop_map(
-            |(name, attributes)| Statement::CreateRelation { name, attributes }
-        ),
+        (
+            arb_name(),
+            prop::collection::vec((arb_name(), arb_name()), 1..4)
+        )
+            .prop_map(|(name, attributes)| Statement::CreateRelation { name, attributes }),
         (arb_name(), any::<bool>(), arb_values()).prop_map(|(relation, negated, values)| {
             Statement::Assert {
                 relation,
@@ -89,7 +90,10 @@ fn arb_statement() -> impl Strategy<Value = Statement> {
         arb_name().prop_map(|relation| Statement::Consolidate { relation }),
         (arb_name(), prop::collection::vec(arb_name(), 0..3))
             .prop_map(|(relation, attrs)| Statement::Explicate { relation, attrs }),
-        (arb_name(), prop::sample::select(vec!["OFF-PATH", "ON-PATH", "NONE"]))
+        (
+            arb_name(),
+            prop::sample::select(vec!["OFF-PATH", "ON-PATH", "NONE"])
+        )
             .prop_map(|(relation, mode)| Statement::SetPreemption {
                 relation,
                 mode: mode.to_string(),

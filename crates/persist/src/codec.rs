@@ -86,7 +86,10 @@ mod tests {
     fn strings_round_trip() {
         assert_eq!(round_trip_str(""), "");
         assert_eq!(round_trip_str("Bird"), "Bird");
-        assert_eq!(round_trip_str("Amazing Flying Penguin ∀"), "Amazing Flying Penguin ∀");
+        assert_eq!(
+            round_trip_str("Amazing Flying Penguin ∀"),
+            "Amazing Flying Penguin ∀"
+        );
     }
 
     #[test]

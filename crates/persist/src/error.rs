@@ -74,7 +74,9 @@ mod tests {
     #[test]
     fn displays() {
         assert!(PersistError::BadMagic.to_string().contains("magic"));
-        assert!(PersistError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(PersistError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
         assert!(PersistError::Corrupt("short read".into())
             .to_string()
             .contains("short read"));
@@ -82,8 +84,7 @@ mod tests {
 
     #[test]
     fn io_conversion_chains_source() {
-        let e: PersistError =
-            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof").into();
+        let e: PersistError = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof").into();
         assert!(std::error::Error::source(&e).is_some());
     }
 }

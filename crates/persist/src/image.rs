@@ -144,9 +144,7 @@ impl Image {
             .position(|(_, g)| Arc::ptr_eq(g, graph))
             .map(|i| i as u32)
             .ok_or_else(|| {
-                PersistError::Rebuild(
-                    "relation references a domain not added to the image".into(),
-                )
+                PersistError::Rebuild("relation references a domain not added to the image".into())
             })
     }
 
@@ -290,9 +288,7 @@ impl Image {
                     0 => Truth::Negative,
                     1 => Truth::Positive,
                     other => {
-                        return Err(PersistError::Corrupt(format!(
-                            "unknown truth tag {other}"
-                        )))
+                        return Err(PersistError::Corrupt(format!("unknown truth tag {other}")))
                     }
                 };
                 let mut components = Vec::with_capacity(schema.arity());
@@ -348,7 +344,9 @@ fn rebuild_graph(
     edges: &[(usize, usize, u8)],
 ) -> Result<HierarchyGraph> {
     if kinds[0] != 0 {
-        return Err(PersistError::Corrupt("node 0 must be the domain root".into()));
+        return Err(PersistError::Corrupt(
+            "node 0 must be the domain root".into(),
+        ));
     }
     let mut first_parent: BTreeMap<usize, usize> = BTreeMap::new();
     for &(from, to, kind) in edges {
@@ -358,9 +356,9 @@ fn rebuild_graph(
     }
     let mut g = HierarchyGraph::new(names[0].as_str());
     for (i, name) in names.iter().enumerate().skip(1) {
-        let &parent = first_parent.get(&i).ok_or_else(|| {
-            PersistError::Corrupt(format!("node {i} has no subset parent"))
-        })?;
+        let &parent = first_parent
+            .get(&i)
+            .ok_or_else(|| PersistError::Corrupt(format!("node {i} has no subset parent")))?;
         if parent >= i {
             return Err(PersistError::Corrupt(format!(
                 "node {i} created before its parent {parent}"
@@ -370,11 +368,7 @@ fn rebuild_graph(
         let result = match kinds[i] {
             1 => g.add_class(name.as_str(), parent),
             2 => g.add_instance(name.as_str(), parent),
-            other => {
-                return Err(PersistError::Corrupt(format!(
-                    "unknown node kind {other}"
-                )))
-            }
+            other => return Err(PersistError::Corrupt(format!("unknown node kind {other}"))),
         };
         result.map_err(|e| PersistError::Rebuild(e.to_string()))?;
     }
@@ -387,11 +381,7 @@ fn rebuild_graph(
         let result = match kind {
             0 => g.add_edge(from, to),
             1 => g.add_preference_edge(from, to),
-            other => {
-                return Err(PersistError::Corrupt(format!(
-                    "unknown edge kind {other}"
-                )))
-            }
+            other => return Err(PersistError::Corrupt(format!("unknown edge kind {other}"))),
         };
         result.map_err(|e| PersistError::Rebuild(e.to_string()))?;
     }
@@ -429,7 +419,9 @@ mod tests {
             Attribute::new("Color", color.clone()),
         ]));
         let mut colored = HRelation::with_preemption(schema2, Preemption::OnPath);
-        colored.assert_fact(&["Bird", "Grey"], Truth::Positive).unwrap();
+        colored
+            .assert_fact(&["Bird", "Grey"], Truth::Positive)
+            .unwrap();
 
         let mut image = Image::new();
         image.add_domain("Animal", animal);
@@ -488,10 +480,8 @@ mod tests {
     #[test]
     fn file_save_and_load() {
         let image = sample_world();
-        let path = std::env::temp_dir().join(format!(
-            "hrdm_image_test_{}.hrdm",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("hrdm_image_test_{}.hrdm", std::process::id()));
         image.save(&path).unwrap();
         let restored = Image::load(&path).unwrap();
         assert_eq!(restored.relation_names().count(), 2);
@@ -526,10 +516,7 @@ mod tests {
         let rel = HRelation::new(schema);
         let mut image = Image::new();
         image.add_relation("R", rel); // forgot add_domain
-        assert!(matches!(
-            image.to_bytes(),
-            Err(PersistError::Rebuild(_))
-        ));
+        assert!(matches!(image.to_bytes(), Err(PersistError::Rebuild(_))));
     }
 
     #[test]

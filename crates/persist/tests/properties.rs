@@ -11,32 +11,30 @@ use hrdm_hierarchy::gen::{layered_dag, sample_nodes};
 use hrdm_persist::Image;
 
 fn arb_world() -> impl Strategy<Value = Image> {
-    (any::<u64>(), 1usize..6, any::<u64>(), 0u8..3).prop_map(
-        |(gseed, ntuples, tseed, pre)| {
-            let layers = 1 + (gseed % 3) as usize;
-            let width = 2 + (gseed / 3 % 3) as usize;
-            let g = Arc::new(layered_dag(layers, width, 2, gseed));
-            let preemption = match pre {
-                0 => Preemption::OffPath,
-                1 => Preemption::OnPath,
-                _ => Preemption::NoPreemption,
+    (any::<u64>(), 1usize..6, any::<u64>(), 0u8..3).prop_map(|(gseed, ntuples, tseed, pre)| {
+        let layers = 1 + (gseed % 3) as usize;
+        let width = 2 + (gseed / 3 % 3) as usize;
+        let g = Arc::new(layered_dag(layers, width, 2, gseed));
+        let preemption = match pre {
+            0 => Preemption::OffPath,
+            1 => Preemption::OnPath,
+            _ => Preemption::NoPreemption,
+        };
+        let schema = Arc::new(Schema::single("V", g.clone()));
+        let mut r = HRelation::with_preemption(schema, preemption);
+        for (k, node) in sample_nodes(&g, ntuples, tseed).into_iter().enumerate() {
+            let truth = if (tseed >> k) & 1 == 1 {
+                Truth::Positive
+            } else {
+                Truth::Negative
             };
-            let schema = Arc::new(Schema::single("V", g.clone()));
-            let mut r = HRelation::with_preemption(schema, preemption);
-            for (k, node) in sample_nodes(&g, ntuples, tseed).into_iter().enumerate() {
-                let truth = if (tseed >> k) & 1 == 1 {
-                    Truth::Positive
-                } else {
-                    Truth::Negative
-                };
-                let _ = r.insert(Tuple::new(Item::new(vec![node]), truth));
-            }
-            let mut image = Image::new();
-            image.add_domain("D", g);
-            image.add_relation("R", r);
-            image
-        },
-    )
+            let _ = r.insert(Tuple::new(Item::new(vec![node]), truth));
+        }
+        let mut image = Image::new();
+        image.add_domain("D", g);
+        image.add_relation("R", r);
+        image
+    })
 }
 
 proptest! {

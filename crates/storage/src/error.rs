@@ -83,13 +83,21 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(StorageError::UnknownTable("t".into()).to_string().contains("\"t\""));
-        assert!(StorageError::RecordTooLarge { size: 9000, max: 8180 }
+        assert!(StorageError::UnknownTable("t".into())
             .to_string()
-            .contains("9000"));
-        assert!(StorageError::MembershipViolation { spurious: 1, missing: 2 }
-            .to_string()
-            .contains("1 spurious"));
+            .contains("\"t\""));
+        assert!(StorageError::RecordTooLarge {
+            size: 9000,
+            max: 8180
+        }
+        .to_string()
+        .contains("9000"));
+        assert!(StorageError::MembershipViolation {
+            spurious: 1,
+            missing: 2
+        }
+        .to_string()
+        .contains("1 spurious"));
     }
 
     #[test]

@@ -59,10 +59,11 @@ impl HeapFile {
             .pages
             .get(rid.page as usize)
             .ok_or(StorageError::InvalidPage(rid.page as usize))?;
-        page.get(rid.slot as usize).ok_or(StorageError::InvalidSlot {
-            page: rid.page as usize,
-            slot: rid.slot as usize,
-        })
+        page.get(rid.slot as usize)
+            .ok_or(StorageError::InvalidSlot {
+                page: rid.page as usize,
+                slot: rid.slot as usize,
+            })
     }
 
     /// Delete a record (tombstone).

@@ -85,11 +85,7 @@ impl MembershipTable {
     /// recurring cost the hierarchical model avoids by construction.
     pub fn check_integrity(&self, g: &HierarchyGraph) -> Result<()> {
         use std::collections::BTreeSet;
-        let stored: BTreeSet<(u32, u32)> = self
-            .table
-            .scan()
-            .map(|r| (r[0], r[1]))
-            .collect();
+        let stored: BTreeSet<(u32, u32)> = self.table.scan().map(|r| (r[0], r[1])).collect();
         let mut expected: BTreeSet<(u32, u32)> = BTreeSet::new();
         for class in g.node_ids() {
             if g.is_instance(class) {
@@ -111,10 +107,7 @@ impl MembershipTable {
     /// The footnote-1 query plan: expand a by-class relation
     /// `r(class, …)` to instance level via a hash join with the
     /// membership table. Output rows: `(instance, …rest of r's row)`.
-    pub fn expand_by_class<'a>(
-        &'a self,
-        by_class: &'a Table,
-    ) -> impl Iterator<Item = Row> + 'a {
+    pub fn expand_by_class<'a>(&'a self, by_class: &'a Table) -> impl Iterator<Item = Row> + 'a {
         // join Membership(class, instance) with r(class, ...) on class,
         // then project instance + r's payload columns.
         let arity = by_class.arity();

@@ -69,7 +69,9 @@ impl Page {
     /// Bytes still available for one more record (payload + its slot).
     pub fn free_space(&self) -> usize {
         let used_front = HEADER + self.slot_count() * SLOT;
-        self.free_ptr().saturating_sub(used_front).saturating_sub(SLOT)
+        self.free_ptr()
+            .saturating_sub(used_front)
+            .saturating_sub(SLOT)
     }
 
     /// Maximum record payload a fresh page can hold.

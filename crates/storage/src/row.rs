@@ -64,7 +64,10 @@ mod tests {
         let bytes = encode(&[1, 2]);
         assert!(matches!(
             decode(&bytes, 3),
-            Err(StorageError::CorruptRow { expected: 12, got: 8 })
+            Err(StorageError::CorruptRow {
+                expected: 12,
+                got: 8
+            })
         ));
     }
 

@@ -111,7 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{}",
-        render_table_titled(&color_slot.relation, Some("colour slot (with cancellations)"))
+        render_table_titled(
+            &color_slot.relation,
+            Some("colour slot (with cancellations)")
+        )
     );
 
     for subject in ["Dumbo", "Appu", "Clyde"] {

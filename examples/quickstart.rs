@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     flies.assert_fact(&["Amazing Flying Penguin"], Truth::Positive)?; // …except these
     flies.assert_fact(&["Peter"], Truth::Positive)?; // and Peter, explicitly
 
-    println!("{}", render_table_titled(&flies, Some("Flying creatures (4 stored tuples)")));
+    println!(
+        "{}",
+        render_table_titled(&flies, Some("Flying creatures (4 stored tuples)"))
+    );
 
     // 3. Inheritance with exceptions: truth values are derived through
     //    the tuple-binding graph.

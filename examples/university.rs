@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tx.assert_fact(&["Student", "Incoherent Teacher"], Truth::Negative)?;
     let pending = tx.pending_conflicts();
     println!("conflicts before resolution: {}", pending.len());
-    tx.assert_fact(&["Obsequious Student", "Incoherent Teacher"], Truth::Positive)?;
+    tx.assert_fact(
+        &["Obsequious Student", "Incoherent Teacher"],
+        Truth::Positive,
+    )?;
     // A second default: graduate students respect tenured teachers.
     // Smith is both tenured and incoherent, so this conflicts with the
     // incoherent-teacher negation; the §3.1 loop resolves every conflict
@@ -87,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fig. 8-style selection.
     let mike = select_eq(&respects, "Student", "Mike")?;
-    println!("{}", render_table_titled(&mike, Some("who does Mike respect?")));
+    println!(
+        "{}",
+        render_table_titled(&mike, Some("who does Mike respect?"))
+    );
 
     // Datalog rules over the same data: derived predicates the flat
     // model would need views + recursion for.

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-io access, so this shim provides
+//! the benchmarking surface the workspace's `benches/` use: [`Criterion`]
+//! with `sample_size` / `benchmark_group` / `bench_function`,
+//! [`BenchmarkGroup`] with `throughput` / `bench_with_input` / `finish`,
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! `criterion_group!` / `criterion_main!` macros (both forms).
+//!
+//! Measurement is deliberately simple: per benchmark it warms up, picks
+//! an iteration count targeting a fixed per-sample duration, collects
+//! `sample_size` wall-clock samples, and prints min / median / max
+//! nanoseconds per iteration (plus throughput when configured). There is
+//! no statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Wall-clock time a single sample aims for, in nanoseconds.
+const TARGET_SAMPLE_NS: u128 = 2_000_000;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, None, |b| f(b));
+        self
+    }
+
+    /// Upstream prints the closing summary here; the shim has none.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Units for reporting throughput alongside time per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A label combining a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A label from a bare parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Report throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a nullary closure under this group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// End the group. (No summary state to flush in the shim.)
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; [`iter`](Bencher::iter) does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, storing per-iteration samples for the caller to report.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm-up and calibration: estimate one iteration's cost.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let mut per_iter = start.elapsed().as_nanos().max(1);
+        // Refine the estimate if a single iteration is very fast.
+        if per_iter * 100 < TARGET_SAMPLE_NS {
+            let calib = (TARGET_SAMPLE_NS / per_iter / 10).clamp(1, 10_000) as u64;
+            let start = Instant::now();
+            for _ in 0..calib {
+                std::hint::black_box(f());
+            }
+            per_iter = (start.elapsed().as_nanos() / calib as u128).max(1);
+        }
+        let iters = (TARGET_SAMPLE_NS / per_iter).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters as f64);
+        }
+    }
+}
+
+/// Execute one benchmark and print its report line.
+fn run_one<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples: closure never called iter)");
+        return;
+    }
+    bencher
+        .samples
+        .sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    let min = bencher.samples[0];
+    let med = bencher.samples[bencher.samples.len() / 2];
+    let max = bencher.samples[bencher.samples.len() - 1];
+    let mut line = format!(
+        "{label:<50} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(med),
+        fmt_ns(max)
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if count > 0 && med > 0.0 {
+            let rate = count as f64 / (med / 1e9);
+            line.push_str(&format!("  thrpt: {rate:.3e} {unit}/s"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Render nanoseconds with criterion-style unit scaling.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring both
+/// upstream forms (positional and `name = / config = / targets =`).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` invoking each group in turn.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        group.bench_function("nullary", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,408 @@
+//! The [`Strategy`] trait and the combinators / primitive strategies the
+//! workspace's tests use.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value` from a seeded RNG.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking:
+/// `generate` draws a complete value directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds
+    /// from it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The combinator behind [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// The combinator behind [`Strategy::prop_flat_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among type-erased alternatives; built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given (non-empty) alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof requires at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + (rng.below_u64(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128 - lo as u128 + 1) as u64;
+                lo + (rng.below_u64(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below_u64(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below_u64(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+impl_tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8
+);
+impl_tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8,
+    J / 9
+);
+
+/// String literals act as regex strategies producing matching `String`s.
+///
+/// The supported pattern subset: literal characters, `\\`-escapes,
+/// character classes with ranges (`[A-Za-z0-9_-]`), and the quantifiers
+/// `{m}`, `{m,n}`, `*`, `+`, `?` (the unbounded ones capped at 8 reps).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// One pattern element: a set of character ranges repeated `min..=max`
+/// times.
+struct PatternElem {
+    /// Inclusive character ranges; a literal is a single-char range.
+    ranges: Vec<(char, char)>,
+    min: u32,
+    max: u32,
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let elems = parse_pattern(pattern);
+    let mut out = String::new();
+    for e in &elems {
+        let total: u64 = e
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+            .sum();
+        let reps = e.min + rng.below_u64((e.max - e.min + 1) as u64) as u32;
+        for _ in 0..reps {
+            let mut pick = rng.below_u64(total);
+            for &(lo, hi) in &e.ranges {
+                let size = hi as u64 - lo as u64 + 1;
+                if pick < size {
+                    out.push(char::from_u32(lo as u32 + pick as u32).unwrap());
+                    break;
+                }
+                pick -= size;
+            }
+        }
+    }
+    out
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternElem> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elems = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((c, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class: {pattern}");
+                i += 1;
+                ranges
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                vec![(c, c)]
+            }
+            '.' => {
+                i += 1;
+                vec![(' ', '~')]
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .expect("unterminated quantifier");
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad quantifier"),
+                            n.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let m: u32 = body.trim().parse().expect("bad quantifier");
+                            (m, m)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern: {pattern}");
+        elems.push(PatternElem { ranges, min, max });
+    }
+    elems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_shapes_hold() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let s = "[A-Za-z][A-Za-z0-9_]{0,8}".generate(&mut rng);
+            assert!((1..=9).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+
+            let d = "[0-9]{1,4}".generate(&mut rng);
+            assert!((1..=4).contains(&d.len()));
+            assert!(d.chars().all(|c| c.is_ascii_digit()));
+
+            let pair = "[A-Za-z]{1,4}-[A-Za-z]{1,4}".generate(&mut rng);
+            let (a, b) = pair.split_once('-').expect("missing hyphen");
+            assert!(!a.is_empty() && !b.is_empty());
+
+            let spaced = "[A-Za-z]{1,5} [A-Za-z]{1,5}".generate(&mut rng);
+            assert!(spaced.contains(' '));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::new(3);
+        let strat = (1usize..4)
+            .prop_flat_map(|n| crate::collection::vec(0u8..10, n..n + 1).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(5);
+        let mut seen = [false; 5];
+        for _ in 0..300 {
+            let x = (1usize..6).generate(&mut rng);
+            assert!((1..6).contains(&x));
+            seen[x - 1] = true;
+            let y = (-3i64..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&y));
+        }
+        assert!(seen.iter().all(|&s| s), "range endpoints never generated");
+    }
+}

@@ -1,0 +1,192 @@
+//! Deterministic case runner: seeded RNG, config, and the failure /
+//! rejection plumbing used by the `proptest!` macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration; only `cases` is honoured by this shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases, other settings defaulted.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; retry with fresh ones.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// SplitMix64-backed generator handed to strategies.
+///
+/// All generation is a pure function of the seed, so a reported
+/// `(case, seed)` pair reproduces a failure exactly.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..span` via multiply-shift; `span` must be nonzero.
+    pub fn below_u64(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.below_u64(n as u64) as usize
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn below_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from the test name so
+/// distinct tests explore distinct streams.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `config.cases` cases of `body`, panicking on the first failure
+/// with enough context (case index + seed) to reproduce it.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut rejects: u32 = 0;
+    for case in 0..config.cases {
+        loop {
+            // Mix case index and reject count so retries draw new inputs.
+            let seed = base
+                .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((rejects as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+            let mut rng = TestRng::new(seed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+            match outcome {
+                Ok(Ok(())) => break,
+                Ok(Err(TestCaseError::Reject(reason))) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest `{name}`: too many prop_assume rejections \
+                             ({rejects}); last reason: {reason}"
+                        );
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "proptest `{name}` failed at case {case}/{} (seed {seed:#018x}): {msg}",
+                        config.cases
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest `{name}` panicked at case {case}/{} (seed {seed:#018x})",
+                        config.cases
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cases() {
+        let mut count = 0;
+        run_cases(&ProptestConfig::with_cases(17), "runs_all_cases", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejects_retry_with_fresh_inputs() {
+        let mut attempts = 0;
+        run_cases(&ProptestConfig::with_cases(4), "rejects_retry", |rng| {
+            attempts += 1;
+            if rng.next_u64() % 3 == 0 {
+                Err(TestCaseError::reject("unlucky"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(attempts >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_and_seed() {
+        run_cases(&ProptestConfig::with_cases(10), "failures_report", |rng| {
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::fail("boom"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+}

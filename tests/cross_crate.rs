@@ -26,7 +26,11 @@ fn hierarchical_and_flat_engines_agree_on_every_instance() {
                 truth,
                 "flat table disagrees at {id}"
             );
-            assert_eq!(baseline.holds(id), truth, "footnote-1 join disagrees at {id}");
+            assert_eq!(
+                baseline.holds(id),
+                truth,
+                "footnote-1 join disagrees at {id}"
+            );
         }
         // Listing queries agree too.
         let mut joined = baseline.list();

@@ -121,10 +121,8 @@ fn figures_2_through_9_through_hql() {
     }
 
     // Figs. 7–8 selections.
-    s.execute(
-        r#"LET WhoObsequious = SELECT Respects WHERE Student IS ALL "Obsequious Student";"#,
-    )
-    .unwrap();
+    s.execute(r#"LET WhoObsequious = SELECT Respects WHERE Student IS ALL "Obsequious Student";"#)
+        .unwrap();
     assert_eq!(
         truth(s.execute("HOLDS WhoObsequious (John, Smith);").unwrap()),
         Some(true)

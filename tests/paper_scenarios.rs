@@ -45,8 +45,7 @@ fn fig1_all_five_creatures() {
 #[test]
 fn fig2_product_diamond() {
     let (students, teachers) = fig2_graphs();
-    let product =
-        hrdm::hierarchy::ProductHierarchy::new(vec![students.clone(), teachers.clone()]);
+    let product = hrdm::hierarchy::ProductHierarchy::new(vec![students.clone(), teachers.clone()]);
     let corner = vec![
         students.expect("Obsequious Student"),
         teachers.expect("Incoherent Teacher"),
@@ -70,9 +69,10 @@ fn fig3_conflict_and_resolution() {
         .unwrap();
     assert!(!is_consistent(&partial));
     let conflicts = find_conflicts(&partial);
-    assert!(conflicts
-        .iter()
-        .any(|c| c.item == partial.item(&["Obsequious Student", "Incoherent Teacher"]).unwrap()));
+    assert!(conflicts.iter().any(|c| c.item
+        == partial
+            .item(&["Obsequious Student", "Incoherent Teacher"])
+            .unwrap()));
     let full = fig3_respects(&students, &teachers);
     assert!(is_consistent(&full));
 }
@@ -183,4 +183,24 @@ fn appendix_preemption_modes() {
     assert!(flying.bind(&patricia).is_conflict());
     flying.set_preemption(Preemption::NoPreemption);
     assert!(flying.bind(&patricia).is_conflict());
+}
+
+/// Golden snapshot of the full figure report: every paper table, dot
+/// rendering, subsumption edge, and derived truth value, byte for byte.
+/// `UPDATE_GOLDEN=1 cargo test figures_report` re-blesses the snapshot
+/// after a deliberate output change.
+#[test]
+fn figures_report_matches_golden() {
+    let actual = hrdm_bench::figures::report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/figures.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden snapshot missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, expected,
+        "figure report drifted from tests/golden/figures.txt; \
+         if the change is intentional, re-bless with UPDATE_GOLDEN=1"
+    );
 }
