@@ -2,6 +2,7 @@
 //! the membership-join plan vs the fully explicated indexed table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::fixtures::{class_probe, print_engine_stats};
 use hrdm_bench::workloads::{class_workload, explicated_table, footnote1_baseline};
 
 fn bench_point_queries(c: &mut Criterion) {
@@ -10,9 +11,7 @@ fn bench_point_queries(c: &mut Criterion) {
         let w = class_workload(members, members / 100);
         let baseline = footnote1_baseline(&w);
         let flat = explicated_table(&w);
-        let probe_name = format!("i0_{}", members / 2);
-        let probe_item = w.relation.item(&[&probe_name]).expect("generated name");
-        let probe_id = probe_item.component(0).index() as u32;
+        let (probe_item, probe_id) = class_probe(&w);
 
         group.bench_with_input(
             BenchmarkId::new("hierarchical_binding", members),
@@ -50,7 +49,7 @@ fn bench_listing_queries(c: &mut Criterion) {
 }
 
 fn report_stats(_c: &mut Criterion) {
-    println!("\nengine stats after b2:\n{}", hrdm_core::stats::snapshot());
+    print_engine_stats("b2");
 }
 
 criterion_group! {

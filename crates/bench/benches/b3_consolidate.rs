@@ -2,6 +2,7 @@
 //! relation size and redundancy grow.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::fixtures::{clear_shared_caches, print_engine_stats};
 use hrdm_bench::workloads::consolidation_workload;
 use hrdm_core::consolidate::{consolidate, consolidate_reverse_order, immediately_redundant};
 
@@ -27,8 +28,7 @@ fn bench_consolidate(c: &mut Criterion) {
         // the caching layer on repeated-operator workloads.
         group.bench_with_input(BenchmarkId::new("cascading_cold", &label), &r, |b, r| {
             b.iter(|| {
-                hrdm_core::subsumption::clear_cache();
-                hrdm_hierarchy::cache::clear();
+                clear_shared_caches();
                 std::hint::black_box(consolidate(r).removed.len())
             });
         });
@@ -37,7 +37,7 @@ fn bench_consolidate(c: &mut Criterion) {
 }
 
 fn report_stats(_c: &mut Criterion) {
-    println!("\nengine stats after b3:\n{}", hrdm_core::stats::snapshot());
+    print_engine_stats("b3");
 }
 
 criterion_group! {

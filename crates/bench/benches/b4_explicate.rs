@@ -1,6 +1,7 @@
 //! B4 — §3.3.2 explication: output-linear flattening cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hrdm_bench::fixtures::{clear_shared_caches, print_engine_stats};
 use hrdm_bench::workloads::{consolidation_workload, explication_workload};
 use hrdm_core::explicate::explicate_all;
 
@@ -20,8 +21,7 @@ fn bench_explicate(c: &mut Criterion) {
             &r,
             |b, r| {
                 b.iter(|| {
-                    hrdm_core::subsumption::clear_cache();
-                    hrdm_hierarchy::cache::clear();
+                    clear_shared_caches();
                     std::hint::black_box(explicate_all(r).len())
                 });
             },
@@ -44,8 +44,7 @@ fn bench_explicate_tuple_rich(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("cold", &label), &r, |b, r| {
             b.iter(|| {
-                hrdm_core::subsumption::clear_cache();
-                hrdm_hierarchy::cache::clear();
+                clear_shared_caches();
                 std::hint::black_box(explicate_all(r).len())
             });
         });
@@ -54,7 +53,7 @@ fn bench_explicate_tuple_rich(c: &mut Criterion) {
 }
 
 fn report_stats(_c: &mut Criterion) {
-    println!("\nengine stats after b4:\n{}", hrdm_core::stats::snapshot());
+    print_engine_stats("b4");
 }
 
 criterion_group! {

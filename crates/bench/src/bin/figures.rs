@@ -1,15 +1,18 @@
-//! Print every worked-figure reproduction (EX1–EX11 in DESIGN.md),
-//! followed by the engine counters the run accumulated.
+//! Print every worked-figure reproduction (EX1–EX12 in DESIGN.md) and
+//! the EXPLAIN renderings of the worked queries, followed by the engine
+//! counters the run accumulated.
 //!
-//! Run with `cargo run -p hrdm-bench --bin figures`. The report itself
-//! comes from [`hrdm_bench::figures::report`] so the golden test in
-//! `tests/paper_scenarios.rs` snapshots exactly what this binary prints
-//! (the stats trailer is run-dependent and deliberately not part of the
-//! snapshot).
+//! Run with `cargo run -p hrdm-bench --bin figures`. The reports come
+//! from [`hrdm_bench::figures`] so the golden tests in
+//! `tests/paper_scenarios.rs` snapshot exactly what this binary prints.
+//! The stats trailer is run-dependent (wall times) and deliberately not
+//! part of either snapshot; its row/node counters are where the
+//! explicate/select fusion's row reduction shows up engine-wide.
 
 fn main() {
     hrdm_core::stats::reset();
     print!("{}", hrdm_bench::figures::report());
+    print!("{}", hrdm_bench::figures::explain_report());
     println!(
         "\nengine stats for this run:\n{}",
         hrdm_core::stats::snapshot()

@@ -21,6 +21,7 @@ use hrdm_hierarchy::dot::to_dot;
 use hrdm_hierarchy::elim::{EliminationGraph, EliminationMode};
 
 use crate::fixtures::*;
+use crate::workloads::explication_workload;
 
 macro_rules! w {
     ($out:expr, $($arg:tt)*) => {{
@@ -50,6 +51,7 @@ pub fn report() -> String {
     fig10(&mut out);
     fig11(&mut out);
     appendix(&mut out);
+    plans(&mut out);
     w!(out, "\nAll figure reproductions match the paper.");
     out
 }
@@ -514,10 +516,180 @@ fn appendix(out: &mut String) {
     let _ = explicate_all(&flying); // exercised for completeness
 }
 
+/// EX12 — the unified plan layer: EXPLAIN output and the row-count
+/// payoff of explicate/select fusion. Row counts come from the plan's
+/// own [`hrdm_core::plan::NodeProfile`] (not the process-global
+/// counters), so the section stays deterministic under parallel tests.
+fn plans(out: &mut String) {
+    heading(out, "Plan layer — EXPLAIN and explicate/select fusion");
+
+    // The Fig. 1 question "which penguins fly?", phrased over the
+    // explicated relation so the fusion rule has something to do.
+    let tax = fig1_taxonomy();
+    let flying = fig1_relation(&tax);
+    let plan = LogicalPlan::scan("Flies", flying)
+        .explicate(vec![0])
+        .select_eq("Creature", "Penguin");
+    w!(
+        out,
+        "query: which penguins fly? (σ over an explicated Fig. 1)\n"
+    );
+    w!(out, "plan as written:\n{}", plan.render());
+    w!(out, "EXPLAIN:\n{}", plan.explain());
+    let (optimized, rewrites) = plan.optimize();
+    assert!(rewrites.iter().any(|r| r.rule == "selecteq-normalize"));
+    assert!(rewrites.iter().any(|r| r.rule == "explicate-select-fusion"));
+    let naive = plan.execute().expect("consistent input");
+    let fused = optimized.execute().expect("consistent input");
+    assert_eq!(
+        naive.relation.len(),
+        fused.relation.len(),
+        "rewrites preserve the answer"
+    );
+
+    // The same fusion on a B4-sized workload: restrict the fan-out of a
+    // balanced-tree explication to one deep subclass before expanding.
+    let r = explication_workload(4, 5);
+    let graph = r.schema().domain(0);
+    let asserted = graph.classes().next().expect("tree has classes");
+    let leaf_class = graph
+        .descendants(asserted)
+        .into_iter()
+        .rfind(|&d| !graph.is_instance(d))
+        .expect("asserted class has subclasses");
+    let region = Item::new(vec![leaf_class]);
+    let wide = LogicalPlan::scan("B4", r).explicate(vec![0]).select(region);
+    let (wide_fused, wide_rewrites) = wide.optimize();
+    assert!(wide_rewrites
+        .iter()
+        .any(|w| w.rule == "explicate-select-fusion"));
+    let naive_exec = wide.execute().expect("consistent");
+    let fused_exec = wide_fused.execute().expect("consistent");
+    let naive_rows = naive_exec.profile.total_rows();
+    let fused_rows = fused_exec.profile.total_rows();
+    assert!(
+        !fused_exec.relation.is_empty(),
+        "the selected subtree has instances"
+    );
+    w!(
+        out,
+        "B4-style workload (balanced 4-ary tree, depth 5), one deep subclass selected:"
+    );
+    w!(out, "    answer tuples: {}", fused_exec.relation.len());
+    w!(out, "    rows through naive plan nodes: {naive_rows}");
+    w!(out, "    rows through fused plan nodes: {fused_rows}");
+    assert!(
+        fused_rows < naive_rows,
+        "fusion must reduce per-node row flow ({fused_rows} !< {naive_rows})"
+    );
+    w!(
+        out,
+        "fusion restricts the explication fan-out before expansion ✓"
+    );
+}
+
+fn explain_one(out: &mut String, title: &str, plan: &LogicalPlan, expect: &[&str]) {
+    heading(out, title);
+    w!(out, "plan as written:\n{}", plan.render());
+    w!(out, "EXPLAIN:\n{}", plan.explain());
+    let (_, rewrites) = plan.optimize();
+    for rule in expect {
+        assert!(
+            rewrites.iter().any(|r| r.rule == *rule),
+            "{title}: expected rewrite {rule} to fire"
+        );
+    }
+}
+
+/// EXPLAIN renderings of the paper's worked queries, at least one per
+/// rewrite rule. The `figures` binary prints it and
+/// `tests/paper_scenarios.rs` snapshots it as `tests/golden/explain.txt`.
+pub fn explain_report() -> String {
+    let mut out = String::new();
+    let tax = fig1_taxonomy();
+    let flying = fig1_relation(&tax);
+    let (students, teachers) = fig2_graphs();
+    let respects = fig3_respects(&students, &teachers);
+    let (animals, colors) = fig4_graphs();
+    let color_rel = fig4_colors(&animals, &colors);
+    let (_enc, size_rel) = fig11_enclosures(&animals);
+
+    explain_one(
+        &mut out,
+        "Fig. 8 — who does John respect?",
+        &LogicalPlan::scan("Respects", respects.clone()).select_eq("Student", "John"),
+        &["selecteq-normalize"],
+    );
+
+    explain_one(
+        &mut out,
+        "Fig. 6 + Fig. 8 — selection over a consolidation",
+        &LogicalPlan::scan("Respects", respects.clone())
+            .consolidate()
+            .select_eq("Student", "John"),
+        &["selecteq-normalize", "consolidate-hoist"],
+    );
+
+    explain_one(
+        &mut out,
+        "Fig. 1 — which penguins fly, over the explicated relation?",
+        &LogicalPlan::scan("Flies", flying)
+            .explicate(vec![0])
+            .select_eq("Creature", "Penguin"),
+        &["selecteq-normalize", "explicate-select-fusion"],
+    );
+
+    explain_one(
+        &mut out,
+        "Fig. 11 — royal elephants in the Enclosure ⋈ Color join",
+        &LogicalPlan::scan("Sizes", size_rel)
+            .join(LogicalPlan::scan("Colors", color_rel))
+            .select_eq("Animal", "Royal Elephant"),
+        &["selecteq-normalize", "select-pushdown-join"],
+    );
+
+    // Fig. 10's Jack/Jill relations, asked for penguins only.
+    let schema = Arc::new(Schema::single("Creature", tax));
+    let mut jack = HRelation::new(schema.clone());
+    jack.assert_fact(&["Bird"], Truth::Positive).expect("names");
+    jack.assert_fact(&["Penguin"], Truth::Negative)
+        .expect("names");
+    jack.assert_fact(&["Peter"], Truth::Positive)
+        .expect("names");
+    let mut jill = HRelation::new(schema);
+    jill.assert_fact(&["Penguin"], Truth::Positive)
+        .expect("names");
+    explain_one(
+        &mut out,
+        "Fig. 10 — penguins loved by Jack or Jill",
+        &LogicalPlan::scan("Jack", jack)
+            .union(LogicalPlan::scan("Jill", jill))
+            .select_eq("Creature", "Penguin"),
+        &["selecteq-normalize", "select-pushdown-union"],
+    );
+
+    explain_one(
+        &mut out,
+        "§3.3.1 — double consolidation collapses",
+        &LogicalPlan::scan("Respects", respects)
+            .consolidate()
+            .consolidate(),
+        &["consolidate-idempotent"],
+    );
+
+    w!(out, "\nAll six rewrite rules demonstrated.");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn report_is_deterministic() {
         assert_eq!(super::report(), super::report());
+    }
+
+    #[test]
+    fn explain_report_is_deterministic() {
+        assert_eq!(super::explain_report(), super::explain_report());
     }
 }

@@ -1,9 +1,39 @@
-//! The paper's running examples as reusable fixtures.
+//! The paper's running examples as reusable fixtures, plus the shared
+//! harness helpers (probe construction, cache clearing, stats trailers)
+//! the benchmarks used to copy-paste.
 
 use std::sync::Arc;
 
 use hrdm_core::prelude::*;
 use hrdm_hierarchy::HierarchyGraph;
+
+use crate::workloads::ClassWorkload;
+
+/// Drop every shared cross-operator cache (the PR-1 subsumption core
+/// cache and the hierarchy closure cache). Cold-cache bench ablations
+/// call this per iteration so each run pays the full graph construction.
+pub fn clear_shared_caches() {
+    hrdm_core::subsumption::clear_cache();
+    hrdm_hierarchy::cache::clear();
+}
+
+/// The engine-stats trailer every bench prints after its groups finish,
+/// so runs can be compared on operator counters as well as wall time.
+pub fn print_engine_stats(label: &str) {
+    println!(
+        "\nengine stats after {label}:\n{}",
+        hrdm_core::stats::snapshot()
+    );
+}
+
+/// The B2 point-query probe: the middle member of the workload's single
+/// class, as both the hierarchical item and the flat row id.
+pub fn class_probe(w: &ClassWorkload) -> (Item, u32) {
+    let name = format!("i0_{}", w.members / 2);
+    let item = w.relation.item(&[&name]).expect("generated name");
+    let id = item.component(0).index() as u32;
+    (item, id)
+}
 
 /// Fig. 1a: the flying-creatures taxonomy.
 pub fn fig1_taxonomy() -> Arc<HierarchyGraph> {

@@ -17,4 +17,5 @@
 
 pub mod figures;
 pub mod fixtures;
+pub mod flatplan;
 pub mod workloads;

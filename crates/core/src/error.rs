@@ -37,6 +37,9 @@ pub enum CoreError {
     InputInconsistent(Vec<Item>),
     /// An operator received attribute indexes out of range.
     AttributeIndexOutOfRange(usize),
+    /// An operator received the same attribute index more than once
+    /// where the list must be a set (e.g. `explicate`).
+    DuplicateAttributeIndex(usize),
     /// Natural join found no shared attributes.
     NoJoinAttributes,
     /// Declarative integrity constraints were violated (§3.1); the
@@ -70,6 +73,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::AttributeIndexOutOfRange(i) => {
                 write!(f, "attribute index {i} out of range")
+            }
+            CoreError::DuplicateAttributeIndex(i) => {
+                write!(f, "attribute index {i} listed more than once")
             }
             CoreError::NoJoinAttributes => {
                 write!(f, "natural join requires at least one shared attribute")

@@ -40,9 +40,12 @@ use crate::truth::Truth;
 /// intensional; explication is inherently extensional).
 pub fn explicate(relation: &HRelation, attrs: &[usize]) -> Result<HRelation> {
     let arity = relation.schema().arity();
-    for &a in attrs {
+    for (k, &a) in attrs.iter().enumerate() {
         if a >= arity {
             return Err(CoreError::AttributeIndexOutOfRange(a));
+        }
+        if attrs[..k].contains(&a) {
+            return Err(CoreError::DuplicateAttributeIndex(a));
         }
     }
     let start = Instant::now();
@@ -199,6 +202,23 @@ mod tests {
         let r = flying();
         assert!(matches!(
             explicate(&r, &[3]),
+            Err(CoreError::AttributeIndexOutOfRange(3))
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        // Regression: a repeated index used to pass through silently
+        // (the membership test made it a no-op); it now errors like the
+        // out-of-range case does.
+        let r = flying();
+        assert!(matches!(
+            explicate(&r, &[0, 0]),
+            Err(CoreError::DuplicateAttributeIndex(0))
+        ));
+        // Out-of-range is reported first when both apply.
+        assert!(matches!(
+            explicate(&r, &[3, 3]),
             Err(CoreError::AttributeIndexOutOfRange(3))
         ));
     }

@@ -77,6 +77,7 @@ pub mod item;
 pub mod justify;
 pub mod ops;
 pub mod parallel;
+pub mod plan;
 pub mod preemption;
 pub mod relation;
 pub mod render;
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use crate::error::{CoreError, Result};
     pub use crate::item::Item;
     pub use crate::parallel::ExecMode;
+    pub use crate::plan::LogicalPlan;
     pub use crate::preemption::Preemption;
     pub use crate::relation::HRelation;
     pub use crate::schema::{Attribute, Schema};

@@ -26,6 +26,10 @@ static CONFLICT_CALLS: AtomicU64 = AtomicU64::new(0);
 static CONFLICT_NS: AtomicU64 = AtomicU64::new(0);
 static JOIN_CALLS: AtomicU64 = AtomicU64::new(0);
 static JOIN_NS: AtomicU64 = AtomicU64::new(0);
+static PLAN_EXECS: AtomicU64 = AtomicU64::new(0);
+static PLAN_NODES: AtomicU64 = AtomicU64::new(0);
+static PLAN_ROWS: AtomicU64 = AtomicU64::new(0);
+static PLAN_NS: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time snapshot of every engine counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -64,6 +68,14 @@ pub struct EngineStats {
     pub join_calls: u64,
     /// Total `join` wall time, nanoseconds.
     pub join_ns: u64,
+    /// Logical-plan executions ([`crate::plan::LogicalPlan::execute`]).
+    pub plan_execs: u64,
+    /// Plan operator nodes evaluated across all plan executions.
+    pub plan_nodes: u64,
+    /// Rows produced by plan operator nodes (summed over all nodes).
+    pub plan_rows: u64,
+    /// Total plan-node wall time, nanoseconds.
+    pub plan_ns: u64,
 }
 
 impl EngineStats {
@@ -140,11 +152,19 @@ impl fmt::Display for EngineStats {
             self.conflict_calls,
             fmt_ns(self.conflict_ns),
         )?;
-        write!(
+        writeln!(
             f,
             "join              {} calls, {}",
             self.join_calls,
             fmt_ns(self.join_ns),
+        )?;
+        write!(
+            f,
+            "plan exec         {} plan(s), {} node(s), {} row(s), {}",
+            self.plan_execs,
+            self.plan_nodes,
+            self.plan_rows,
+            fmt_ns(self.plan_ns),
         )
     }
 }
@@ -171,6 +191,10 @@ pub fn snapshot() -> EngineStats {
         conflict_ns: CONFLICT_NS.load(Ordering::Relaxed),
         join_calls: JOIN_CALLS.load(Ordering::Relaxed),
         join_ns: JOIN_NS.load(Ordering::Relaxed),
+        plan_execs: PLAN_EXECS.load(Ordering::Relaxed),
+        plan_nodes: PLAN_NODES.load(Ordering::Relaxed),
+        plan_rows: PLAN_ROWS.load(Ordering::Relaxed),
+        plan_ns: PLAN_NS.load(Ordering::Relaxed),
     }
 }
 
@@ -192,6 +216,10 @@ pub fn reset() {
         &CONFLICT_NS,
         &JOIN_CALLS,
         &JOIN_NS,
+        &PLAN_EXECS,
+        &PLAN_NODES,
+        &PLAN_ROWS,
+        &PLAN_NS,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -226,6 +254,16 @@ pub(crate) fn record_conflict(elapsed: Duration) {
 pub(crate) fn record_join(elapsed: Duration) {
     JOIN_CALLS.fetch_add(1, Ordering::Relaxed);
     JOIN_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_plan_exec() {
+    PLAN_EXECS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_plan_node(rows: usize, wall_ns: u64) {
+    PLAN_NODES.fetch_add(1, Ordering::Relaxed);
+    PLAN_ROWS.fetch_add(rows as u64, Ordering::Relaxed);
+    PLAN_NS.fetch_add(wall_ns, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use hrdm_core::explicate::{explicate, explicate_all};
 use hrdm_core::flat::{equivalent, flatten, flatten_via_binding};
 use hrdm_core::ops::{difference, intersection, join, project, select, union};
 use hrdm_core::parallel::run_serial;
+use hrdm_core::plan::LogicalPlan;
 use hrdm_core::prelude::*;
 use hrdm_hierarchy::elim::{EliminationGraph, EliminationMode};
 use hrdm_hierarchy::gen::{layered_dag, sample_nodes};
@@ -442,6 +443,135 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Logical-plan properties: rewrite soundness at the byte level.
+// ---------------------------------------------------------------------
+
+/// A pool of consistent base relations over one shared single-attribute
+/// schema, so every binary plan node (join included) is well-formed.
+fn plan_bases(gseed: u64, t1: u64, t2: u64) -> (Arc<Schema>, Vec<HRelation>) {
+    let g = Arc::new(arb_graph(gseed));
+    let schema = Arc::new(Schema::single("D", g));
+    let mk = |n: usize, seed: u64| {
+        let mut r = HRelation::new(schema.clone());
+        for (k, node) in sample_nodes(schema.domain(0), n, seed)
+            .into_iter()
+            .enumerate()
+        {
+            let truth = if (seed >> k) & 1 == 1 {
+                Truth::Positive
+            } else {
+                Truth::Negative
+            };
+            let _ = r.insert(Tuple::new(Item::new(vec![node]), truth));
+        }
+        make_consistent(&mut r);
+        r
+    };
+    (schema.clone(), vec![mk(3, t1), mk(4, t2)])
+}
+
+/// Deterministically grow a random plan tree from a seed: every
+/// operator of the IR appears, regions/values are sampled from the
+/// shared domain, and leaves scan the base-relation pool.
+fn build_plan(schema: &Arc<Schema>, bases: &[HRelation], seed: u64, depth: usize) -> LogicalPlan {
+    if depth == 0 || seed.is_multiple_of(5) {
+        let k = (seed as usize / 5) % bases.len();
+        return LogicalPlan::scan(format!("R{k}"), bases[k].clone());
+    }
+    let op = (seed / 5) % 9;
+    let next = seed
+        .wrapping_div(45)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(1);
+    let child = build_plan(schema, bases, next, depth - 1);
+    let node = || {
+        sample_nodes(schema.domain(0), 1, seed ^ 0x00ff_00ff)
+            .pop()
+            .unwrap_or(hrdm_hierarchy::NodeId::ROOT)
+    };
+    match op {
+        0 => child.select(Item::new(vec![node()])),
+        1 => {
+            let value = schema.domain(0).name(node()).to_string();
+            child.select_eq("D", value)
+        }
+        2 => child.union(build_plan(schema, bases, next ^ 0xabcd, depth - 1)),
+        3 => child.intersect(build_plan(schema, bases, next ^ 0x1234, depth - 1)),
+        4 => child.diff(build_plan(schema, bases, next ^ 0x5a5a, depth - 1)),
+        5 => child.join(build_plan(schema, bases, next ^ 0xbeef, depth - 1)),
+        6 => child.consolidate(),
+        7 => child.explicate(vec![0]),
+        _ => child.project(vec![0]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimizer is a byte-level no-op on the canonical output:
+    /// 4 random plans per proptest case × 64 cases = 256 plan/relation
+    /// pairs where the rewritten pipeline's result is identical — exact
+    /// tuple sequences with truths — to naive bottom-up evaluation.
+    #[test]
+    fn optimized_plan_matches_naive_evaluation(
+        gseed in any::<u64>(),
+        t1 in any::<u64>(),
+        t2 in any::<u64>(),
+        pseed in any::<u64>(),
+    ) {
+        let (schema, bases) = plan_bases(gseed, t1, t2);
+        for variant in 0..4u64 {
+            let seed = pseed.wrapping_add(variant.wrapping_mul(0x9e37_79b9));
+            let depth = 2 + (seed % 3) as usize;
+            let plan = build_plan(&schema, &bases, seed, depth);
+            let (optimized, _rewrites) = plan.optimize();
+            match (plan.execute(), optimized.execute()) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    tuples_of(&a.relation),
+                    tuples_of(&b.relation),
+                    "plan {:?}",
+                    plan
+                ),
+                // Both evaluation orders may legitimately reject (e.g.
+                // a conflicted intermediate), as long as they agree.
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "naive ok={} vs optimized ok={} for plan {:?}",
+                    a.is_ok(),
+                    b.is_ok(),
+                    plan
+                ),
+            }
+        }
+    }
+
+    /// `Consolidate(Consolidate(p))` ≡ `Consolidate(p)` as executed
+    /// plans — §3.3.1 idempotence at the plan layer, byte for byte.
+    #[test]
+    fn plan_consolidate_is_idempotent(
+        gseed in any::<u64>(),
+        t1 in any::<u64>(),
+        t2 in any::<u64>(),
+        pseed in any::<u64>(),
+    ) {
+        let (schema, bases) = plan_bases(gseed, t1, t2);
+        let depth = 1 + (pseed % 2) as usize;
+        let p = build_plan(&schema, &bases, pseed, depth);
+        let single = p.clone().consolidate().execute();
+        let double = p.consolidate().consolidate().execute();
+        match (single, double) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                tuples_of(&a.relation),
+                tuples_of(&b.relation)
+            ),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "ok={} vs ok={}", a.is_ok(), b.is_ok()),
+        }
+    }
+}
+
 // Serial/parallel parity: the chunked `std::thread::scope` execution
 // layer must be a pure performance knob. Every pair below runs the same
 // operator against cold caches in both modes and demands byte-identical
@@ -514,5 +644,26 @@ proptest! {
         let par = cold(|| join(&r1, &r2).unwrap());
         let ser = run_serial(|| cold(|| join(&r1, &r2).unwrap()));
         prop_assert_eq!(tuples_of(&par), tuples_of(&ser));
+    }
+
+    #[test]
+    fn serial_parallel_parity_plan_execution(
+        (r, rseed) in (arb_large_relation(), any::<u64>())
+    ) {
+        // A whole optimized pipeline (explicate → select, which the
+        // fusion rule reorders) must execute identically whether the
+        // underlying operators fan out across threads or not.
+        let region = sample_nodes(r.schema().domain(0), 1, rseed)
+            .pop()
+            .map(|n| Item::new(vec![n]))
+            .unwrap_or_else(|| r.schema().universal_item());
+        let plan = LogicalPlan::scan("R", r)
+            .explicate(vec![0])
+            .select(region);
+        let (optimized, _) = plan.optimize();
+        let par = cold(|| optimized.execute().unwrap());
+        let ser = run_serial(|| cold(|| optimized.execute().unwrap()));
+        prop_assert_eq!(tuples_of(&par.relation), tuples_of(&ser.relation));
+        prop_assert_eq!(par.canonicalized_away, ser.canonicalized_away);
     }
 }

@@ -19,7 +19,7 @@
 //!   simply never looked up again.
 //!
 //! Invalidation is therefore *passive*: mutating a graph orphans its old
-//! entries, which age out of the bounded store ([`MAX_ENTRIES`], FIFO) —
+//! entries, which age out of the bounded store (`MAX_ENTRIES`, FIFO) —
 //! and inserting a closure for a graph proactively drops entries for that
 //! graph's older generations. Callers needing deterministic reclamation
 //! (e.g. a catalog dropping a domain) can call [`invalidate_graph`].

@@ -148,27 +148,51 @@ pub enum Statement {
         /// The derivation expression.
         derivation: Derivation,
     },
+    /// `EXPLAIN <derivation>` — show the optimized logical plan and the
+    /// rewrite rules that fired, without materializing anything.
+    Explain {
+        /// The derivation expression to plan.
+        derivation: Derivation,
+    },
+}
+
+/// An operand of a derivation: a stored relation by name, or a nested
+/// derivation in parentheses (so a whole query tree is one statement and
+/// the planner can rewrite across the composition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// A stored relation referenced by name.
+    Named(String),
+    /// `( <derivation> )`
+    Derived(Box<Derivation>),
+}
+
+impl Source {
+    /// Convenience constructor for a named operand.
+    pub fn named(name: impl Into<String>) -> Source {
+        Source::Named(name.into())
+    }
 }
 
 /// Right-hand sides of `LET` statements.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Derivation {
     /// `UNION a b`
-    Union(String, String),
+    Union(Source, Source),
     /// `INTERSECT a b`
-    Intersect(String, String),
+    Intersect(Source, Source),
     /// `DIFFERENCE a b`
-    Difference(String, String),
+    Difference(Source, Source),
     /// `JOIN a b`
-    Join(String, String),
+    Join(Source, Source),
     /// `PROJECT a (attr, …)`
-    Project(String, Vec<String>),
+    Project(Source, Vec<String>),
     /// `SELECT a WHERE attr IS value AND …`
-    Select(String, Vec<(String, ValueRef)>),
+    Select(Source, Vec<(String, ValueRef)>),
     /// `CONSOLIDATE a` (derive, don't mutate)
-    Consolidated(String),
+    Consolidated(Source),
     /// `EXPLICATE a [ON attrs]` (derive, don't mutate)
-    Explicated(String, Vec<String>),
+    Explicated(Source, Vec<String>),
 }
 
 use std::fmt;
@@ -298,6 +322,18 @@ impl fmt::Display for Statement {
             Statement::Let { name, derivation } => {
                 write!(f, "LET {} = {};", quoted(name), derivation)
             }
+            Statement::Explain { derivation } => {
+                write!(f, "EXPLAIN {derivation};")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Source::Named(name) => write!(f, "{}", quoted(name)),
+            Source::Derived(d) => write!(f, "({d})"),
         }
     }
 }
@@ -305,30 +341,26 @@ impl fmt::Display for Statement {
 impl fmt::Display for Derivation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Derivation::Union(a, b) => write!(f, "UNION {} {}", quoted(a), quoted(b)),
-            Derivation::Intersect(a, b) => {
-                write!(f, "INTERSECT {} {}", quoted(a), quoted(b))
-            }
-            Derivation::Difference(a, b) => {
-                write!(f, "DIFFERENCE {} {}", quoted(a), quoted(b))
-            }
-            Derivation::Join(a, b) => write!(f, "JOIN {} {}", quoted(a), quoted(b)),
+            Derivation::Union(a, b) => write!(f, "UNION {a} {b}"),
+            Derivation::Intersect(a, b) => write!(f, "INTERSECT {a} {b}"),
+            Derivation::Difference(a, b) => write!(f, "DIFFERENCE {a} {b}"),
+            Derivation::Join(a, b) => write!(f, "JOIN {a} {b}"),
             Derivation::Project(a, attrs) => {
-                write!(f, "PROJECT {} ({})", quoted(a), names(attrs))
+                write!(f, "PROJECT {} ({})", a, names(attrs))
             }
             Derivation::Select(a, conds) => {
                 let cs: Vec<String> = conds
                     .iter()
                     .map(|(attr, v)| format!("{} IS {}", quoted(attr), v))
                     .collect();
-                write!(f, "SELECT {} WHERE {}", quoted(a), cs.join(" AND "))
+                write!(f, "SELECT {} WHERE {}", a, cs.join(" AND "))
             }
-            Derivation::Consolidated(a) => write!(f, "CONSOLIDATE {}", quoted(a)),
+            Derivation::Consolidated(a) => write!(f, "CONSOLIDATE {a}"),
             Derivation::Explicated(a, attrs) => {
                 if attrs.is_empty() {
-                    write!(f, "EXPLICATE {}", quoted(a))
+                    write!(f, "EXPLICATE {a}")
                 } else {
-                    write!(f, "EXPLICATE {} ON {}", quoted(a), names(attrs))
+                    write!(f, "EXPLICATE {} ON {}", a, names(attrs))
                 }
             }
         }
@@ -358,7 +390,30 @@ mod tests {
             name: "Animal".into(),
         };
         assert_eq!(s.clone(), s);
-        let d = Derivation::Union("A".into(), "B".into());
+        let d = Derivation::Union(Source::named("A"), Source::named("B"));
         assert_eq!(d.clone(), d);
+    }
+
+    #[test]
+    fn nested_sources_render_parenthesized() {
+        let d = Derivation::Select(
+            Source::Derived(Box::new(Derivation::Explicated(
+                Source::named("Flies"),
+                vec![],
+            ))),
+            vec![(
+                "Creature".into(),
+                ValueRef {
+                    name: "Penguin".into(),
+                    all: true,
+                },
+            )],
+        );
+        assert_eq!(
+            d.to_string(),
+            "SELECT (EXPLICATE Flies) WHERE Creature IS ALL Penguin"
+        );
+        let e = Statement::Explain { derivation: d };
+        assert!(e.to_string().starts_with("EXPLAIN SELECT (EXPLICATE"));
     }
 }

@@ -13,11 +13,12 @@ use std::sync::Arc;
 
 use hrdm_core::consolidate::consolidate;
 use hrdm_core::justify::justify;
+use hrdm_core::plan::LogicalPlan;
 use hrdm_core::prelude::*;
 use hrdm_core::render::render_table;
 use hrdm_hierarchy::HierarchyGraph;
 
-use crate::ast::{Derivation, Statement, ValueRef};
+use crate::ast::{Derivation, Source, Statement, ValueRef};
 use crate::error::{HqlError, Result};
 use crate::parser::parse;
 
@@ -41,6 +42,9 @@ pub enum Response {
     Conflicts(Vec<String>),
     /// A `SHOW DOMAIN` Graphviz document.
     Dot(String),
+    /// An `EXPLAIN` report: the optimized plan tree plus the rewrite
+    /// rules that fired.
+    Plan(String),
 }
 
 impl fmt::Display for Response {
@@ -58,6 +62,7 @@ impl fmt::Display for Response {
                 write!(f, "conflicts at: {}", items.join(", "))
             }
             Response::Dot(d) => write!(f, "{d}"),
+            Response::Plan(p) => write!(f, "{p}"),
         }
     }
 }
@@ -461,8 +466,12 @@ impl Session {
                 }
             }
             Statement::Let { name, derivation } => {
-                let derived = self.derive(derivation)?;
+                let derived = self.derive(&derivation)?;
                 self.store_derived(name, derived)
+            }
+            Statement::Explain { derivation } => {
+                let plan = self.plan_of(&derivation)?;
+                Ok(Response::Plan(plan.explain()))
             }
         }
     }
@@ -521,55 +530,84 @@ impl Session {
             .collect()
     }
 
-    fn derive(&mut self, derivation: Derivation) -> Result<HRelation> {
-        use hrdm_core::ops;
-        match derivation {
-            Derivation::Union(a, b) => {
-                let (ra, _) = self.relation_entry(&a)?;
-                let (rb, _) = self.relation_entry(&b)?;
-                Ok(ops::union(ra, rb)?)
+    /// Evaluate a derivation by building a [`LogicalPlan`], optimizing
+    /// it, and executing the optimized form. Plan execution returns the
+    /// *canonical* (consolidated, §3.3.1) relation of the query's flat
+    /// model, so one exception applies: a top-level `EXPLICATE` is
+    /// lowered directly — its whole point is the explicit, non-minimal
+    /// form, which the final consolidate would collapse straight back.
+    fn derive(&self, derivation: &Derivation) -> Result<HRelation> {
+        if let Derivation::Explicated(src, attrs) = derivation {
+            let input = self.source_relation(src)?;
+            let indexes = Self::attr_indexes(&input, attrs)?;
+            return Ok(hrdm_core::explicate::explicate(&input, &indexes)?);
+        }
+        let (optimized, _rewrites) = self.plan_of(derivation)?.optimize();
+        Ok(optimized.execute()?.relation)
+    }
+
+    /// Materialize an operand: a named relation is cloned as-is; a
+    /// nested derivation is evaluated like any `LET` right-hand side.
+    fn source_relation(&self, src: &Source) -> Result<HRelation> {
+        match src {
+            Source::Named(name) => Ok(self.relation_entry(name)?.0.clone()),
+            Source::Derived(inner) => self.derive(inner),
+        }
+    }
+
+    /// An operand as a plan node: scans stay leaves, nested derivations
+    /// inline into the surrounding tree so rewrites can cross them.
+    fn source_plan(&self, src: &Source) -> Result<LogicalPlan> {
+        match src {
+            Source::Named(name) => {
+                let (rel, _) = self.relation_entry(name)?;
+                Ok(LogicalPlan::scan(name.clone(), rel.clone()))
             }
-            Derivation::Intersect(a, b) => {
-                let (ra, _) = self.relation_entry(&a)?;
-                let (rb, _) = self.relation_entry(&b)?;
-                Ok(ops::intersection(ra, rb)?)
-            }
-            Derivation::Difference(a, b) => {
-                let (ra, _) = self.relation_entry(&a)?;
-                let (rb, _) = self.relation_entry(&b)?;
-                Ok(ops::difference(ra, rb)?)
-            }
-            Derivation::Join(a, b) => {
-                let (ra, _) = self.relation_entry(&a)?;
-                let (rb, _) = self.relation_entry(&b)?;
-                Ok(ops::join(ra, rb)?)
-            }
+            Source::Derived(inner) => self.plan_of(inner),
+        }
+    }
+
+    /// Build the logical plan of a derivation (no execution). Attribute
+    /// names resolve against the plan's inferred output schema, so
+    /// projections and explications over nested derivations see the
+    /// composed layout (e.g. a join's merged attribute list).
+    fn plan_of(&self, derivation: &Derivation) -> Result<LogicalPlan> {
+        Ok(match derivation {
+            Derivation::Union(a, b) => self.source_plan(a)?.union(self.source_plan(b)?),
+            Derivation::Intersect(a, b) => self.source_plan(a)?.intersect(self.source_plan(b)?),
+            Derivation::Difference(a, b) => self.source_plan(a)?.diff(self.source_plan(b)?),
+            Derivation::Join(a, b) => self.source_plan(a)?.join(self.source_plan(b)?),
             Derivation::Project(a, attrs) => {
-                let (ra, _) = self.relation_entry(&a)?;
-                let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
-                Ok(ops::project_names(ra, &names)?)
+                let p = self.source_plan(a)?;
+                let schema = p.output_schema()?;
+                let indexes = attrs
+                    .iter()
+                    .map(|n| Ok(schema.index_of(n)?))
+                    .collect::<Result<Vec<_>>>()?;
+                p.project(indexes)
             }
             Derivation::Select(a, conds) => {
-                let (ra, _) = self.relation_entry(&a)?;
-                let schema = ra.schema();
-                let mut region = schema.universal_item();
-                for (attr, value) in &conds {
-                    let i = schema.index_of(attr)?;
-                    let node = schema.domain(i).node(&value.name)?;
-                    region = region.with_component(i, node);
+                let mut p = self.source_plan(a)?;
+                for (attr, value) in conds {
+                    p = p.select_eq(attr.clone(), value.name.clone());
                 }
-                Ok(ops::select(ra, &region)?)
+                p
             }
-            Derivation::Consolidated(a) => {
-                let (ra, _) = self.relation_entry(&a)?;
-                Ok(consolidate(ra).relation)
-            }
+            Derivation::Consolidated(a) => self.source_plan(a)?.consolidate(),
             Derivation::Explicated(a, attrs) => {
-                let (ra, _) = self.relation_entry(&a)?;
-                let indexes = Self::attr_indexes(ra, &attrs)?;
-                Ok(hrdm_core::explicate::explicate(ra, &indexes)?)
+                let p = self.source_plan(a)?;
+                let schema = p.output_schema()?;
+                let indexes = if attrs.is_empty() {
+                    (0..schema.arity()).collect()
+                } else {
+                    attrs
+                        .iter()
+                        .map(|n| Ok(schema.index_of(n)?))
+                        .collect::<Result<Vec<_>>>()?
+                };
+                p.explicate(indexes)
             }
-        }
+        })
     }
 }
 
@@ -820,6 +858,67 @@ mod tests {
         assert!(!text.contains("Paul"), "{text}");
         assert!(s.execute("COUNT Nope;").is_err());
         assert!(s.execute("COUNT Flies BY Wing;").is_err());
+    }
+
+    #[test]
+    fn nested_derivations_compose_in_one_statement() {
+        let mut s = fig1_session();
+        // SELECT over an inline EXPLICATE: the planner fuses these
+        // (explicate-select-fusion) but the answer must match running
+        // the two statements separately.
+        s.execute(
+            "LET Fused = SELECT (EXPLICATE Flies) WHERE Creature IS ALL Penguin;\
+             LET Flat = EXPLICATE Flies;\
+             LET TwoStep = SELECT Flat WHERE Creature IS ALL Penguin;",
+        )
+        .unwrap();
+        let fused = s.relation("Fused").unwrap();
+        let twostep = s.relation("TwoStep").unwrap();
+        let tuples = |r: &HRelation| -> Vec<(Item, Truth)> {
+            r.iter().map(|(i, t)| (i.clone(), t)).collect()
+        };
+        assert_eq!(tuples(fused), tuples(twostep));
+        assert_eq!(truth_of(&mut s, "HOLDS Fused (Patricia);"), Some(true));
+        assert_eq!(truth_of(&mut s, "HOLDS Fused (Paul);"), Some(false));
+    }
+
+    #[test]
+    fn top_level_explicate_keeps_explicit_form() {
+        let mut s = fig1_session();
+        // A derived EXPLICATE must not be collapsed back to minimal
+        // form by plan canonicalization: all 5 instances, including the
+        // redundant negated Paul tuple, stay stored.
+        s.execute("LET Flat = EXPLICATE Flies;").unwrap();
+        assert_eq!(s.relation("Flat").unwrap().len(), 5);
+        // Nested under another operator the explicit form is just an
+        // intermediate, so the composed result is canonical.
+        s.execute("LET Can = CONSOLIDATE (EXPLICATE Flies);")
+            .unwrap();
+        assert!(s.relation("Can").unwrap().len() < 5);
+    }
+
+    #[test]
+    fn explain_reports_plan_and_rewrites() {
+        let mut s = fig1_session();
+        let r = s
+            .execute("EXPLAIN SELECT (EXPLICATE Flies) WHERE Creature IS ALL Penguin;")
+            .unwrap()
+            .remove(0);
+        let text = match r {
+            Response::Plan(p) => p,
+            other => panic!("expected a plan, got {other:?}"),
+        };
+        assert!(text.contains("Scan Flies"), "{text}");
+        assert!(text.contains("selecteq-normalize"), "{text}");
+        assert!(text.contains("explicate-select-fusion"), "{text}");
+        // The fused tree runs the select below the explicate.
+        let select_at = text.find("Select").expect("select node rendered");
+        let explicate_at = text.find("Explicate").expect("explicate node rendered");
+        assert!(explicate_at < select_at, "{text}");
+        // EXPLAIN materializes nothing.
+        assert!(s.relation("Flies").unwrap().len() == 4);
+        // Errors in the referenced relations still surface.
+        assert!(s.execute("EXPLAIN UNION Flies Nope;").is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for HQL.
 
-use crate::ast::{Derivation, Statement, ValueRef};
+use crate::ast::{Derivation, Source, Statement, ValueRef};
 use crate::error::{HqlError, Result};
 use crate::lexer::{lex, Token};
 
@@ -216,6 +216,10 @@ impl Parser {
             let derivation = self.derivation()?;
             return Ok(Statement::Let { name, derivation });
         }
+        if self.eat_kw("explain") {
+            let derivation = self.derivation()?;
+            return Ok(Statement::Explain { derivation });
+        }
         Err(self.err("a statement keyword"))
     }
 
@@ -255,40 +259,42 @@ impl Parser {
         Err(self.err("DOMAIN, CLASS, INSTANCE, or RELATION after CREATE"))
     }
 
+    /// A derivation operand: a relation name, or a parenthesized
+    /// derivation (so operator compositions are one statement and the
+    /// planner sees the whole tree).
+    fn source(&mut self) -> Result<Source> {
+        if self.eat(&Token::LParen) {
+            let inner = self.derivation()?;
+            self.expect(&Token::RParen, "')' after nested derivation")?;
+            return Ok(Source::Derived(Box::new(inner)));
+        }
+        Ok(Source::Named(
+            self.name("a relation name or '(' derivation ')'")?,
+        ))
+    }
+
     fn derivation(&mut self) -> Result<Derivation> {
         if self.eat_kw("union") {
-            return Ok(Derivation::Union(
-                self.name("a relation name")?,
-                self.name("a relation name")?,
-            ));
+            return Ok(Derivation::Union(self.source()?, self.source()?));
         }
         if self.eat_kw("intersect") {
-            return Ok(Derivation::Intersect(
-                self.name("a relation name")?,
-                self.name("a relation name")?,
-            ));
+            return Ok(Derivation::Intersect(self.source()?, self.source()?));
         }
         if self.eat_kw("difference") {
-            return Ok(Derivation::Difference(
-                self.name("a relation name")?,
-                self.name("a relation name")?,
-            ));
+            return Ok(Derivation::Difference(self.source()?, self.source()?));
         }
         if self.eat_kw("join") {
-            return Ok(Derivation::Join(
-                self.name("a relation name")?,
-                self.name("a relation name")?,
-            ));
+            return Ok(Derivation::Join(self.source()?, self.source()?));
         }
         if self.eat_kw("project") {
-            let rel = self.name("a relation name")?;
+            let rel = self.source()?;
             self.expect(&Token::LParen, "'('")?;
             let attrs = self.name_list("an attribute name")?;
             self.expect(&Token::RParen, "')'")?;
             return Ok(Derivation::Project(rel, attrs));
         }
         if self.eat_kw("select") {
-            let rel = self.name("a relation name")?;
+            let rel = self.source()?;
             self.expect_kw("where")?;
             let mut conds = Vec::new();
             loop {
@@ -303,10 +309,10 @@ impl Parser {
             return Ok(Derivation::Select(rel, conds));
         }
         if self.eat_kw("consolidate") {
-            return Ok(Derivation::Consolidated(self.name("a relation name")?));
+            return Ok(Derivation::Consolidated(self.source()?));
         }
         if self.eat_kw("explicate") {
-            let rel = self.name("a relation name")?;
+            let rel = self.source()?;
             let attrs = if self.eat_kw("on") {
                 self.name_list("an attribute name")?
             } else {
@@ -421,13 +427,49 @@ mod tests {
                 derivation: Derivation::Select(rel, conds),
                 ..
             } => {
-                assert_eq!(rel, "R");
+                assert_eq!(rel, &Source::named("R"));
                 assert_eq!(conds.len(), 2);
                 assert!(conds[0].1.all);
                 assert!(!conds[1].1.all);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_nested_derivations_and_explain() {
+        let stmts = parse(
+            "LET S = SELECT (EXPLICATE Flies) WHERE Creature IS ALL Penguin;\
+             EXPLAIN JOIN (UNION A B) Sizes;",
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::Let {
+                derivation: Derivation::Select(Source::Derived(inner), conds),
+                ..
+            } => {
+                assert_eq!(
+                    **inner,
+                    Derivation::Explicated(Source::named("Flies"), vec![])
+                );
+                assert_eq!(conds.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &stmts[1] {
+            Statement::Explain {
+                derivation: Derivation::Join(Source::Derived(inner), right),
+            } => {
+                assert_eq!(
+                    **inner,
+                    Derivation::Union(Source::named("A"), Source::named("B"))
+                );
+                assert_eq!(right, &Source::named("Sizes"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An unclosed nested derivation is a parse error.
+        assert!(parse("LET X = UNION (JOIN A B C;").is_err());
     }
 
     #[test]

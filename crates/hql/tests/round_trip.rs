@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use hrdm_hql::ast::{Derivation, Statement, ValueRef};
+use hrdm_hql::ast::{Derivation, Source, Statement, ValueRef};
 use hrdm_hql::parser::parse;
 
 /// Names exercise bare words, digits-only words, hyphens, spaces, and
@@ -32,22 +32,42 @@ fn arb_names() -> impl Strategy<Value = Vec<String>> {
     prop::collection::vec(arb_name(), 1..4)
 }
 
-fn arb_derivation() -> impl Strategy<Value = Derivation> {
+/// Operands: mostly plain names, with nested derivations down to a
+/// bounded depth so parenthesized compositions round-trip too.
+fn arb_source(depth: u32) -> BoxedStrategy<Source> {
+    if depth == 0 {
+        arb_name().prop_map(Source::Named).boxed()
+    } else {
+        prop_oneof![
+            arb_name().prop_map(Source::Named),
+            arb_name().prop_map(Source::Named),
+            arb_derivation_depth(depth - 1).prop_map(|d| Source::Derived(Box::new(d))),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_derivation_depth(depth: u32) -> BoxedStrategy<Derivation> {
     prop_oneof![
-        (arb_name(), arb_name()).prop_map(|(a, b)| Derivation::Union(a, b)),
-        (arb_name(), arb_name()).prop_map(|(a, b)| Derivation::Intersect(a, b)),
-        (arb_name(), arb_name()).prop_map(|(a, b)| Derivation::Difference(a, b)),
-        (arb_name(), arb_name()).prop_map(|(a, b)| Derivation::Join(a, b)),
-        (arb_name(), arb_names()).prop_map(|(a, ns)| Derivation::Project(a, ns)),
+        (arb_source(depth), arb_source(depth)).prop_map(|(a, b)| Derivation::Union(a, b)),
+        (arb_source(depth), arb_source(depth)).prop_map(|(a, b)| Derivation::Intersect(a, b)),
+        (arb_source(depth), arb_source(depth)).prop_map(|(a, b)| Derivation::Difference(a, b)),
+        (arb_source(depth), arb_source(depth)).prop_map(|(a, b)| Derivation::Join(a, b)),
+        (arb_source(depth), arb_names()).prop_map(|(a, ns)| Derivation::Project(a, ns)),
         (
-            arb_name(),
+            arb_source(depth),
             prop::collection::vec((arb_name(), arb_value()), 1..3)
         )
             .prop_map(|(a, cs)| Derivation::Select(a, cs)),
-        arb_name().prop_map(Derivation::Consolidated),
-        (arb_name(), prop::collection::vec(arb_name(), 0..3))
+        arb_source(depth).prop_map(Derivation::Consolidated),
+        (arb_source(depth), prop::collection::vec(arb_name(), 0..3))
             .prop_map(|(a, ns)| Derivation::Explicated(a, ns)),
     ]
+    .boxed()
+}
+
+fn arb_derivation() -> impl Strategy<Value = Derivation> {
+    arb_derivation_depth(2)
 }
 
 fn arb_statement() -> impl Strategy<Value = Statement> {
@@ -104,6 +124,7 @@ fn arb_statement() -> impl Strategy<Value = Statement> {
         arb_name().prop_map(|path| Statement::Load { path }),
         (arb_name(), arb_derivation())
             .prop_map(|(name, derivation)| Statement::Let { name, derivation }),
+        arb_derivation().prop_map(|derivation| Statement::Explain { derivation }),
     ]
 }
 

@@ -74,6 +74,27 @@ pub fn distinct(input: impl Iterator<Item = Row>) -> Vec<Row> {
     out
 }
 
+/// Set union of two row streams, duplicates eliminated, in sorted order
+/// (flat relations are sets, so bag semantics would be wrong here).
+pub fn union(a: impl Iterator<Item = Row>, b: impl Iterator<Item = Row>) -> Vec<Row> {
+    let set: std::collections::BTreeSet<Row> = a.chain(b).collect();
+    set.into_iter().collect()
+}
+
+/// Rows of `a` that do not appear in `b`, deduplicated, in sorted order.
+pub fn difference(a: impl Iterator<Item = Row>, b: impl Iterator<Item = Row>) -> Vec<Row> {
+    let remove: std::collections::BTreeSet<Row> = b.collect();
+    let keep: std::collections::BTreeSet<Row> = a.filter(|r| !remove.contains(r)).collect();
+    keep.into_iter().collect()
+}
+
+/// Rows appearing in both streams, deduplicated, in sorted order.
+pub fn intersection(a: impl Iterator<Item = Row>, b: impl Iterator<Item = Row>) -> Vec<Row> {
+    let right: std::collections::BTreeSet<Row> = b.collect();
+    let both: std::collections::BTreeSet<Row> = a.filter(|r| right.contains(r)).collect();
+    both.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +162,22 @@ mod tests {
         let t = table(&[[1, 1], [1, 1], [2, 2]]);
         let d = distinct(scan(&t));
         assert_eq!(d, vec![vec![1, 1], vec![2, 2]]);
+    }
+
+    #[test]
+    fn set_operators_are_set_semantics() {
+        let a = table(&[[1, 1], [2, 2], [2, 2], [3, 3]]);
+        let b = table(&[[2, 2], [4, 4]]);
+        assert_eq!(
+            union(scan(&a), scan(&b)),
+            vec![vec![1, 1], vec![2, 2], vec![3, 3], vec![4, 4]]
+        );
+        assert_eq!(difference(scan(&a), scan(&b)), vec![vec![1, 1], vec![3, 3]]);
+        assert_eq!(intersection(scan(&a), scan(&b)), vec![vec![2, 2]]);
+        // Empty edge cases.
+        let e = table(&[]);
+        assert_eq!(union(scan(&e), scan(&e)), Vec::<Row>::new());
+        assert_eq!(difference(scan(&a), scan(&e)).len(), 3);
+        assert_eq!(intersection(scan(&a), scan(&e)), Vec::<Row>::new());
     }
 }

@@ -204,3 +204,22 @@ fn figures_report_matches_golden() {
          if the change is intentional, re-bless with UPDATE_GOLDEN=1"
     );
 }
+
+/// Golden snapshot of the EXPLAIN renderings for the worked queries —
+/// the optimized plan trees and which rewrite rules fired, byte for
+/// byte. Re-bless with `UPDATE_GOLDEN=1 cargo test explain_report`.
+#[test]
+fn explain_report_matches_golden() {
+    let actual = hrdm_bench::figures::explain_report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/explain.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden snapshot missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, expected,
+        "EXPLAIN report drifted from tests/golden/explain.txt; \
+         if the change is intentional, re-bless with UPDATE_GOLDEN=1"
+    );
+}
