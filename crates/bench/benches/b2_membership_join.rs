@@ -2,7 +2,7 @@
 //! the membership-join plan vs the fully explicated indexed table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hrdm_bench::fixtures::{class_probe, print_engine_stats};
+use hrdm_bench::fixtures::{class_probe, export_obs_json, print_engine_stats};
 use hrdm_bench::workloads::{class_workload, explicated_table, footnote1_baseline};
 
 fn bench_point_queries(c: &mut Criterion) {
@@ -50,6 +50,7 @@ fn bench_listing_queries(c: &mut Criterion) {
 
 fn report_stats(_c: &mut Criterion) {
     print_engine_stats("b2");
+    export_obs_json("b2", "BENCH_obs.json").expect("write BENCH_obs.json");
 }
 
 criterion_group! {

@@ -2,7 +2,7 @@
 //! relation size and redundancy grow.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hrdm_bench::fixtures::{clear_shared_caches, print_engine_stats};
+use hrdm_bench::fixtures::{clear_shared_caches, export_obs_json, print_engine_stats};
 use hrdm_bench::workloads::consolidation_workload;
 use hrdm_core::consolidate::{consolidate, consolidate_reverse_order, immediately_redundant};
 
@@ -38,6 +38,7 @@ fn bench_consolidate(c: &mut Criterion) {
 
 fn report_stats(_c: &mut Criterion) {
     print_engine_stats("b3");
+    export_obs_json("b3", "BENCH_obs.json").expect("write BENCH_obs.json");
 }
 
 criterion_group! {

@@ -1,7 +1,7 @@
 //! B4 — §3.3.2 explication: output-linear flattening cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hrdm_bench::fixtures::{clear_shared_caches, print_engine_stats};
+use hrdm_bench::fixtures::{clear_shared_caches, export_obs_json, print_engine_stats};
 use hrdm_bench::workloads::{consolidation_workload, explication_workload};
 use hrdm_core::explicate::explicate_all;
 
@@ -54,6 +54,7 @@ fn bench_explicate_tuple_rich(c: &mut Criterion) {
 
 fn report_stats(_c: &mut Criterion) {
     print_engine_stats("b4");
+    export_obs_json("b4", "BENCH_obs.json").expect("write BENCH_obs.json");
 }
 
 criterion_group! {

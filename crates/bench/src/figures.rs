@@ -516,10 +516,22 @@ fn appendix(out: &mut String) {
     let _ = explicate_all(&flying); // exercised for completeness
 }
 
+/// Sum of the `rows` field over the plan-node spans of a trace. Plan
+/// nodes are the bare capitalized kind words ("Scan", "Select", …);
+/// operator-internal spans are dotted and excluded.
+fn plan_rows(trace: &hrdm_obs::QueryTrace) -> u64 {
+    trace
+        .nodes()
+        .iter()
+        .filter(|n| !n.name.contains('.'))
+        .filter_map(|n| n.field_u64("rows"))
+        .sum()
+}
+
 /// EX12 — the unified plan layer: EXPLAIN output and the row-count
 /// payoff of explicate/select fusion. Row counts come from the plan's
-/// own [`hrdm_core::plan::NodeProfile`] (not the process-global
-/// counters), so the section stays deterministic under parallel tests.
+/// own execution trace (not the process-global counters), so the
+/// section stays deterministic under parallel tests.
 fn plans(out: &mut String) {
     heading(out, "Plan layer — EXPLAIN and explicate/select fusion");
 
@@ -565,8 +577,8 @@ fn plans(out: &mut String) {
         .any(|w| w.rule == "explicate-select-fusion"));
     let naive_exec = wide.execute().expect("consistent");
     let fused_exec = wide_fused.execute().expect("consistent");
-    let naive_rows = naive_exec.profile.total_rows();
-    let fused_rows = fused_exec.profile.total_rows();
+    let naive_rows = plan_rows(&naive_exec.trace);
+    let fused_rows = plan_rows(&fused_exec.trace);
     assert!(
         !fused_exec.relation.is_empty(),
         "the selected subtree has instances"
@@ -681,6 +693,54 @@ pub fn explain_report() -> String {
     out
 }
 
+/// Per-node execution traces of one worked query on BOTH engines — the
+/// hierarchical root-consolidate executor and the flat volcano lowering
+/// — in stable-field form (rows and cache attribution only, no wall
+/// times, so the output is golden-snapshot safe). Each engine runs
+/// against freshly built fixtures: fresh hierarchy graphs have fresh
+/// cache identities, which pins every hit/miss count regardless of what
+/// other tests did to the shared caches.
+///
+/// The `figures` binary prints it and `tests/paper_scenarios.rs`
+/// snapshots it as `tests/golden/trace.txt`.
+pub fn trace_report() -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "TRACE — which penguins fly? on both engines (stable fields)",
+    );
+    let build = || {
+        let tax = fig1_taxonomy();
+        let flying = fig1_relation(&tax);
+        LogicalPlan::scan("Flies", flying)
+            .explicate(vec![0])
+            .select_eq("Creature", "Penguin")
+            .optimize()
+            .0
+    };
+
+    let hier = build().execute().expect("consistent input");
+    w!(
+        out,
+        "hierarchical engine (root-consolidate):\n{}",
+        hier.trace.render_stable()
+    );
+
+    let (rows, flat_trace) =
+        crate::flatplan::execute_flat_traced(&build()).expect("flat engine evaluates");
+    w!(
+        out,
+        "flat engine (volcano lowering):\n{}",
+        flat_trace.render_stable()
+    );
+
+    // §3's equivalence principle, visible in the traces themselves.
+    let flat_of_hier = hrdm_core::flat::flatten(&hier.relation).atoms().len();
+    assert_eq!(flat_of_hier, rows.len(), "engines agree on the extension");
+    w!(out, "both engines report {} atom row(s).", rows.len());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -691,5 +751,10 @@ mod tests {
     #[test]
     fn explain_report_is_deterministic() {
         assert_eq!(super::explain_report(), super::explain_report());
+    }
+
+    #[test]
+    fn trace_report_is_deterministic() {
+        assert_eq!(super::trace_report(), super::trace_report());
     }
 }

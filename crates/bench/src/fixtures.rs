@@ -10,20 +10,37 @@ use hrdm_hierarchy::HierarchyGraph;
 use crate::workloads::ClassWorkload;
 
 /// Drop every shared cross-operator cache (the PR-1 subsumption core
-/// cache and the hierarchy closure cache). Cold-cache bench ablations
-/// call this per iteration so each run pays the full graph construction.
+/// cache and the hierarchy closure cache) and reset the metrics
+/// registry with them. Cold-cache bench ablations call this per
+/// iteration so each run pays the full graph construction.
+///
+/// The reset goes through [`hrdm_core::stats::reset`], which zeroes the
+/// whole registry under its lock: the old per-static-counter stores
+/// could interleave with a concurrent snapshot and report a hit count
+/// from before the reset next to a miss count from after it.
 pub fn clear_shared_caches() {
     hrdm_core::subsumption::clear_cache();
     hrdm_hierarchy::cache::clear();
+    hrdm_core::stats::reset();
 }
 
 /// The engine-stats trailer every bench prints after its groups finish,
 /// so runs can be compared on operator counters as well as wall time.
+/// Rendered through the stable-field renderer — counters only, no wall
+/// times — so trailers diff cleanly between runs.
 pub fn print_engine_stats(label: &str) {
     println!(
         "\nengine stats after {label}:\n{}",
-        hrdm_core::stats::snapshot()
+        hrdm_core::stats::snapshot().render_stable()
     );
+}
+
+/// Serialize the whole metrics registry as `BENCH_obs.json` next to the
+/// current directory (or at `path` when given). Benches call this after
+/// their groups finish so operator counters and latency quantiles ride
+/// along with the wall-time numbers.
+pub fn export_obs_json(label: &str, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, hrdm_obs::metrics::export_json(label))
 }
 
 /// The B2 point-query probe: the middle member of the workload's single

@@ -31,6 +31,8 @@ use std::collections::BTreeSet;
 use hrdm_core::error::{CoreError, Result};
 use hrdm_core::flat::flatten;
 use hrdm_core::plan::LogicalPlan;
+use hrdm_obs::attrib;
+use hrdm_obs::QueryTrace;
 use hrdm_storage::exec;
 use hrdm_storage::{Row, Table};
 
@@ -41,8 +43,36 @@ pub fn execute_flat(plan: &LogicalPlan) -> Result<Vec<Row>> {
     Ok(eval(plan)?.0)
 }
 
-/// Evaluate to (sorted distinct rows, arity).
+/// [`execute_flat`] under a trace capture: the span tree mirrors the
+/// plan shape with the same node names the hierarchical executor uses,
+/// so the two engines' traces line up side by side.
+pub fn execute_flat_traced(plan: &LogicalPlan) -> Result<(Vec<Row>, QueryTrace)> {
+    let (rows, trace) = hrdm_obs::trace::capture("flatplan.execute", || execute_flat(plan));
+    Ok((rows?, trace))
+}
+
+/// Evaluate to (sorted distinct rows, arity), one span per plan node.
+/// Unlike the hierarchical executor's exclusive per-node attribution,
+/// the cache/heap deltas here are inclusive of the subtree: the flat
+/// operators rebuild tables at every step, so the interesting number is
+/// how much I/O the whole subtree cost.
 fn eval(plan: &LogicalPlan) -> Result<(Vec<Row>, usize)> {
+    let mut span = hrdm_obs::span!(plan.kind());
+    let before = attrib::snapshot();
+    let result = eval_inner(plan)?;
+    if span.is_active() {
+        span.field_u64("rows", result.0.len() as u64);
+        let delta = attrib::since(&before);
+        for (key, name) in attrib::ALL_KEYS {
+            if delta.get(key) > 0 {
+                span.field_u64(name, delta.get(key));
+            }
+        }
+    }
+    Ok(result)
+}
+
+fn eval_inner(plan: &LogicalPlan) -> Result<(Vec<Row>, usize)> {
     match plan {
         LogicalPlan::Scan { relation, .. } => {
             let arity = relation.schema().arity();
@@ -266,6 +296,34 @@ mod tests {
         let hier = hierarchical_as_rows(&plan).unwrap();
         assert_eq!(flat, hier);
         assert_eq!(flat.len(), 195); // 200 members minus 5 exceptions
+    }
+
+    #[test]
+    fn traced_flat_execution_mirrors_the_plan_shape() {
+        let tax = fig1_taxonomy();
+        let r = fig1_relation(&tax);
+        let plan = LogicalPlan::scan("Flies", r)
+            .explicate(vec![0])
+            .select_eq("Creature", "Penguin");
+        let (rows, trace) = execute_flat_traced(&plan).expect("traced eval");
+        assert_eq!(rows, execute_flat(&plan).expect("plain eval"));
+        assert_eq!(
+            trace.root.as_ref().map(|r| r.name),
+            Some("flatplan.execute")
+        );
+        // The span tree nests exactly like the plan: SelectEq → Explicate → Scan.
+        let seleq = trace.find("SelectEq").expect("root operator span");
+        let expl = trace.find("Explicate").expect("child span");
+        let scan = trace.find("Scan").expect("leaf span");
+        assert_eq!(seleq.field_u64("rows"), Some(rows.len() as u64));
+        assert_eq!(expl.children.len(), 1);
+        assert_eq!(expl.children[0].name, "Scan");
+        // Flattening the base relation explicates through the
+        // subsumption core, and the attribution is inclusive up the
+        // subtree.
+        let touched = scan.field_u64("subsumption_hits").unwrap_or(0)
+            + scan.field_u64("subsumption_misses").unwrap_or(0);
+        assert!(touched > 0, "scan fields: {:?}", scan.fields);
     }
 
     #[test]

@@ -100,8 +100,12 @@ pub fn minimal_resolution_set(schema: &Schema, a: &Item, b: &Item) -> Vec<Item> 
 /// Find every conflicted item in `relation` (§3.1's ambiguity
 /// constraint), in deterministic item order.
 pub fn find_conflicts(relation: &HRelation) -> Vec<Conflict> {
+    let mut span = hrdm_obs::span!("core.conflict");
     let start = Instant::now();
     let candidates: Vec<Item> = conflict_candidates(relation).into_iter().collect();
+    if span.is_active() {
+        span.field_u64("candidates", candidates.len() as u64);
+    }
     // Each candidate's binding is evaluated independently; fan the
     // lookups out across threads and keep the deterministic item order.
     let verdicts = parallel::par_map(&candidates, |item| match relation.bind(item) {
@@ -125,8 +129,12 @@ pub fn find_conflicts(relation: &HRelation) -> Vec<Conflict> {
 
 /// Is the relation free of unresolved conflicts?
 pub fn is_consistent(relation: &HRelation) -> bool {
+    let mut span = hrdm_obs::span!("core.conflict");
     let start = Instant::now();
     let candidates: Vec<Item> = conflict_candidates(relation).into_iter().collect();
+    if span.is_active() {
+        span.field_u64("candidates", candidates.len() as u64);
+    }
     let verdicts = parallel::par_map(&candidates, |item| relation.bind(item).is_conflict());
     stats::record_conflict(start.elapsed());
     !verdicts.into_iter().any(|conflicted| conflicted)

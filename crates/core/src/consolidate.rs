@@ -42,6 +42,7 @@ pub struct Consolidated {
 /// incoherent-teachers tuple is what makes the conflict-resolution tuple
 /// redundant).
 pub fn consolidate(relation: &HRelation) -> Consolidated {
+    let mut span = hrdm_obs::span!("core.consolidate");
     let start = Instant::now();
     let g = SubsumptionGraph::build(relation);
     let mut d = g.to_digraph();
@@ -60,6 +61,10 @@ pub fn consolidate(relation: &HRelation) -> Consolidated {
         relation.remove(&t.item);
     }
     stats::record_consolidate(start.elapsed(), removed.len());
+    if span.is_active() {
+        span.field_u64("rows", relation.len() as u64);
+        span.field_u64("eliminated", removed.len() as u64);
+    }
     Consolidated { relation, removed }
 }
 

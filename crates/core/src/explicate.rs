@@ -48,6 +48,7 @@ pub fn explicate(relation: &HRelation, attrs: &[usize]) -> Result<HRelation> {
             return Err(CoreError::DuplicateAttributeIndex(a));
         }
     }
+    let mut span = hrdm_obs::span!("core.explicate");
     let start = Instant::now();
     let g = SubsumptionGraph::build(relation);
     let mut order = g.topo_order();
@@ -88,6 +89,10 @@ pub fn explicate(relation: &HRelation, attrs: &[usize]) -> Result<HRelation> {
 
     let mut result = HRelation::with_preemption(schema.clone(), relation.preemption());
     stats::record_explicate(start.elapsed(), out.len());
+    if span.is_active() {
+        span.field_u64("input_rows", relation.len() as u64);
+        span.field_u64("expanded", out.len() as u64);
+    }
     result.replace_tuples(out);
     Ok(result)
 }

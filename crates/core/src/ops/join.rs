@@ -31,6 +31,7 @@ use crate::tuple::Tuple;
 /// shared subset-closure cache, and the per-candidate truth evaluation —
 /// two binding-graph lookups per candidate — fans out across threads.
 pub fn join(left: &HRelation, right: &HRelation) -> Result<HRelation> {
+    let mut span = hrdm_obs::span!("core.join");
     let start = Instant::now();
     let ls = left.schema();
     let rs = right.schema();
@@ -121,6 +122,11 @@ pub fn join(left: &HRelation, right: &HRelation) -> Result<HRelation> {
     }
     resolve_conflicts_fixpoint(&mut result, truth_of)?;
     stats::record_join(start.elapsed());
+    if span.is_active() {
+        span.field_u64("left_rows", left.len() as u64);
+        span.field_u64("right_rows", right.len() as u64);
+        span.field_u64("rows", result.len() as u64);
+    }
     Ok(result)
 }
 

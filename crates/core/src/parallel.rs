@@ -75,6 +75,11 @@ pub fn run_serial<R>(f: impl FnOnce() -> R) -> R {
     with_mode(ExecMode::Serial, f)
 }
 
+fn fanout_counter() -> &'static hrdm_obs::metrics::Counter {
+    static C: std::sync::OnceLock<hrdm_obs::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| hrdm_obs::metrics::counter("core.parallel.fanouts"))
+}
+
 fn worker_count(n: usize) -> usize {
     if n < PAR_THRESHOLD || current_mode() == ExecMode::Serial {
         return 1;
@@ -101,6 +106,11 @@ where
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
+    fanout_counter().incr();
+    // Workers run on fresh scoped threads whose span stacks are empty,
+    // so each per-chunk span links to the spawning operator's span
+    // explicitly — fan-out stays attached to the query trace.
+    let parent = hrdm_obs::span::current_span();
     let chunk = n.div_ceil(workers);
     let chunks: Vec<Vec<T>> = thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -109,6 +119,12 @@ where
                 s.spawn(move || {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(n);
+                    let mut span = hrdm_obs::span::span_with_parent("parallel.chunk", parent);
+                    if span.is_active() {
+                        span.field_u64("worker", w as u64);
+                        span.field_u64("lo", lo as u64);
+                        span.field_u64("hi", hi as u64);
+                    }
                     (lo..hi).map(f).collect::<Vec<T>>()
                 })
             })
@@ -175,5 +191,46 @@ mod tests {
     fn empty_and_tiny_inputs() {
         assert!(par_map_indexed(0, |i| i).is_empty());
         assert_eq!(par_map_indexed(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn chunk_spans_link_to_the_spawning_span() {
+        let n = PAR_THRESHOLD * 4;
+        let workers = with_mode(ExecMode::Parallel, || worker_count(n));
+        if workers <= 1 {
+            // Single-core machine: no fan-out to trace.
+            return;
+        }
+        let (out, trace) = hrdm_obs::trace::capture("test.parallel.root", || {
+            with_mode(ExecMode::Parallel, || par_map_indexed(n, |i| i * 2))
+        });
+        assert_eq!(out, (0..n).map(|i| i * 2).collect::<Vec<_>>());
+        let root = trace.root.as_ref().expect("trace recorded");
+        let chunks: Vec<_> = root
+            .children
+            .iter()
+            .filter(|c| c.name == "parallel.chunk")
+            .collect();
+        assert_eq!(
+            chunks.len(),
+            workers,
+            "every worker records one chunk span under the spawning span"
+        );
+        // The chunks partition 0..n.
+        let mut ranges: Vec<(u64, u64)> = chunks
+            .iter()
+            .map(|c| {
+                (
+                    c.field_u64("lo").expect("lo field"),
+                    c.field_u64("hi").expect("hi field"),
+                )
+            })
+            .collect();
+        ranges.sort_unstable();
+        assert_eq!(ranges.first().map(|r| r.0), Some(0));
+        assert_eq!(ranges.last().map(|r| r.1), Some(n as u64));
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+        }
     }
 }

@@ -29,13 +29,20 @@
 //! *non*-minimal physical form (a fully explicated table, say) should
 //! apply [`crate::explicate::explicate`] to the canonical result.
 //!
-//! Each executed node records its output rows and wall time into a
-//! [`NodeProfile`] tree and the process-wide
-//! [`EngineStats`](crate::stats::EngineStats) counters.
+//! Each executed node opens an `hrdm-obs` span (named by
+//! [`LogicalPlan::kind`]) carrying its output rows, own-operator wall
+//! time, and per-node cache-attribution fields; [`LogicalPlan::execute`]
+//! captures the whole run into a [`QueryTrace`] returned on
+//! [`Executed`], and the process-wide
+//! [`EngineStats`](crate::stats::EngineStats) counters accumulate the
+//! same quantities in the shared metrics registry.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
+
+use hrdm_obs::attrib;
+use hrdm_obs::trace::QueryTrace;
 
 use crate::error::{CoreError, Result};
 use crate::item::Item;
@@ -545,39 +552,19 @@ fn try_rewrite(
 // Executor
 // ---------------------------------------------------------------------
 
-/// Per-node execution profile: output rows and wall time, mirroring the
-/// plan tree.
-#[derive(Debug, Clone)]
-pub struct NodeProfile {
-    /// Operator label as rendered by EXPLAIN.
-    pub op: String,
-    /// Stored tuples in this node's output.
-    pub rows: usize,
-    /// Wall time of this node's own operator (children excluded).
-    pub wall_ns: u64,
-    /// Profiles of the input plans.
-    pub children: Vec<NodeProfile>,
-}
-
-impl NodeProfile {
-    /// Total rows produced across this subtree.
-    pub fn total_rows(&self) -> usize {
-        self.rows
-            + self
-                .children
-                .iter()
-                .map(NodeProfile::total_rows)
-                .sum::<usize>()
-    }
-}
-
-/// A plan execution result: the canonical relation plus the profile.
+/// A plan execution result: the canonical relation plus the recorded
+/// execution trace.
 #[derive(Debug)]
 pub struct Executed {
     /// The canonical (root-consolidated) result relation.
     pub relation: HRelation,
-    /// Per-node rows/wall-time, mirroring the executed plan tree.
-    pub profile: NodeProfile,
+    /// The span tree recorded while the plan ran: one node per plan
+    /// operator (named by [`LogicalPlan::kind`], with `rows`, own-op
+    /// `own_ns` and per-node cache-attribution fields), plus a
+    /// `Canonicalize` node for the root consolidate, plus whatever the
+    /// operators themselves opened underneath (closure builds,
+    /// subsumption-core builds, parallel chunks).
+    pub trace: QueryTrace,
     /// Tuples removed by the final canonicalizing consolidate.
     pub canonicalized_away: usize,
 }
@@ -592,105 +579,145 @@ impl LogicalPlan {
     /// byte-identical relations (property-tested in
     /// `crates/core/tests/properties.rs`).
     pub fn execute(&self) -> Result<Executed> {
-        let (raw, profile) = self.eval()?;
-        let canonical = crate::consolidate::consolidate(&raw);
+        let (result, trace) = hrdm_obs::trace::capture("plan.execute", || -> Result<_> {
+            let raw = self.eval()?;
+            let mut span = hrdm_obs::span!("Canonicalize");
+            let before = attrib::snapshot();
+            let start = Instant::now();
+            let canonical = crate::consolidate::consolidate(&raw);
+            let own_ns = start.elapsed().as_nanos() as u64;
+            if span.is_active() {
+                span.field_u64("rows", canonical.relation.len() as u64);
+                span.field_u64("eliminated", canonical.removed.len() as u64);
+                annotate_attrib(&mut span, &attrib::since(&before));
+                span.field_u64("own_ns", own_ns);
+            }
+            Ok((canonical.relation, canonical.removed.len()))
+        });
+        let (relation, canonicalized_away) = result?;
         stats::record_plan_exec();
         Ok(Executed {
-            relation: canonical.relation,
-            profile,
-            canonicalized_away: canonical.removed.len(),
+            relation,
+            trace,
+            canonicalized_away,
         })
     }
 
-    fn eval(&self) -> Result<(HRelation, NodeProfile)> {
+    fn eval(&self) -> Result<HRelation> {
+        // The node's span opens before its children evaluate, so child
+        // spans (and anything the operators open — closure builds,
+        // parallel chunks) parent under it; own-op time and cache
+        // attribution are measured around this node's operator only.
+        let mut span = hrdm_obs::span!(self.kind());
+        if span.is_active() {
+            self.annotate(&mut span);
+        }
+        let inputs: Vec<HRelation> = self
+            .children()
+            .iter()
+            .map(|c| c.eval())
+            .collect::<Result<_>>()?;
+        let before = attrib::snapshot();
+        let start = Instant::now();
+        let (out, extras) = self.apply(inputs)?;
+        let own_ns = start.elapsed().as_nanos() as u64;
+        stats::record_plan_node(out.len(), own_ns);
+        if span.is_active() {
+            span.field_u64("rows", out.len() as u64);
+            for (key, v) in extras {
+                span.field_u64(key, v);
+            }
+            annotate_attrib(&mut span, &attrib::since(&before));
+            span.field_u64("own_ns", own_ns);
+        }
+        Ok(out)
+    }
+
+    /// Run this node's own operator over its already-evaluated inputs,
+    /// returning the result plus any extra trace fields.
+    fn apply(&self, mut inputs: Vec<HRelation>) -> Result<(HRelation, Vec<(&'static str, u64)>)> {
+        let mut take = || inputs.remove(0);
         match self {
-            LogicalPlan::Scan { relation, .. } => {
-                let start = Instant::now();
-                let out = (**relation).clone();
-                Ok(profiled(self.label(), out, start, vec![]))
-            }
-            LogicalPlan::Select { input, region } => {
-                let (child, cp) = input.eval()?;
-                let start = Instant::now();
-                let out = ops::select(&child, region)?;
-                Ok(profiled(self.label(), out, start, vec![cp]))
-            }
-            LogicalPlan::SelectEq { input, attr, value } => {
-                let (child, cp) = input.eval()?;
-                let start = Instant::now();
+            LogicalPlan::Scan { relation, .. } => Ok(((**relation).clone(), vec![])),
+            LogicalPlan::Select { region, .. } => Ok((ops::select(&take(), region)?, vec![])),
+            LogicalPlan::SelectEq { attr, value, .. } => {
+                let child = take();
                 let schema = child.schema();
                 let i = schema.index_of(attr)?;
                 let node = schema.domain(i).node(value)?;
                 let region = schema.universal_item().with_component(i, node);
-                let out = ops::select(&child, &region)?;
-                Ok(profiled(self.label(), out, start, vec![cp]))
+                Ok((ops::select(&child, &region)?, vec![]))
             }
-            LogicalPlan::Project { input, attrs } => {
-                let (child, cp) = input.eval()?;
-                let start = Instant::now();
-                let out = ops::project(&child, attrs)?;
-                Ok(profiled(self.label(), out, start, vec![cp]))
+            LogicalPlan::Project { attrs, .. } => Ok((ops::project(&take(), attrs)?, vec![])),
+            LogicalPlan::Join { .. } => {
+                let l = take();
+                let r = take();
+                Ok((ops::join(&l, &r)?, vec![]))
             }
-            LogicalPlan::Join { left, right } => {
-                let (l, lp) = left.eval()?;
-                let (r, rp) = right.eval()?;
-                let start = Instant::now();
-                let out = ops::join(&l, &r)?;
-                Ok(profiled(self.label(), out, start, vec![lp, rp]))
+            LogicalPlan::Union { .. } => {
+                let l = take();
+                let r = take();
+                Ok((ops::union(&l, &r)?, vec![]))
             }
-            LogicalPlan::Union { left, right } => {
-                let (l, lp) = left.eval()?;
-                let (r, rp) = right.eval()?;
-                let start = Instant::now();
-                let out = ops::union(&l, &r)?;
-                Ok(profiled(self.label(), out, start, vec![lp, rp]))
+            LogicalPlan::Intersect { .. } => {
+                let l = take();
+                let r = take();
+                Ok((ops::intersection(&l, &r)?, vec![]))
             }
-            LogicalPlan::Intersect { left, right } => {
-                let (l, lp) = left.eval()?;
-                let (r, rp) = right.eval()?;
-                let start = Instant::now();
-                let out = ops::intersection(&l, &r)?;
-                Ok(profiled(self.label(), out, start, vec![lp, rp]))
+            LogicalPlan::Diff { .. } => {
+                let l = take();
+                let r = take();
+                Ok((ops::difference(&l, &r)?, vec![]))
             }
-            LogicalPlan::Diff { left, right } => {
-                let (l, lp) = left.eval()?;
-                let (r, rp) = right.eval()?;
-                let start = Instant::now();
-                let out = ops::difference(&l, &r)?;
-                Ok(profiled(self.label(), out, start, vec![lp, rp]))
+            LogicalPlan::Consolidate { .. } => {
+                let out = crate::consolidate::consolidate(&take());
+                let eliminated = out.removed.len() as u64;
+                Ok((out.relation, vec![("eliminated", eliminated)]))
             }
-            LogicalPlan::Consolidate { input } => {
-                let (child, cp) = input.eval()?;
-                let start = Instant::now();
-                let out = crate::consolidate::consolidate(&child).relation;
-                Ok(profiled(self.label(), out, start, vec![cp]))
+            LogicalPlan::Explicate { attrs, .. } => {
+                Ok((crate::explicate::explicate(&take(), attrs)?, vec![]))
             }
-            LogicalPlan::Explicate { input, attrs } => {
-                let (child, cp) = input.eval()?;
-                let start = Instant::now();
-                let out = crate::explicate::explicate(&child, attrs)?;
-                Ok(profiled(self.label(), out, start, vec![cp]))
+        }
+    }
+
+    /// Stable, schema-derived span fields for this node (no row counts
+    /// or timings — those are attached after the operator runs).
+    fn annotate(&self, span: &mut hrdm_obs::SpanGuard) {
+        match self {
+            LogicalPlan::Scan { name, .. } => span.field_str("rel", name.clone()),
+            LogicalPlan::Select { input, region } => {
+                if let Ok(s) = input.output_schema() {
+                    span.field_str("region", s.display_item(region));
+                }
             }
+            LogicalPlan::SelectEq { attr, value, .. } => {
+                span.field_str("attr", attr.clone());
+                span.field_str("value", value.clone());
+            }
+            LogicalPlan::Project { input, attrs } | LogicalPlan::Explicate { input, attrs } => {
+                if let Ok(s) = input.output_schema() {
+                    let names: Vec<&str> = attrs
+                        .iter()
+                        .filter(|&&a| a < s.arity())
+                        .map(|&a| s.attribute(a).name())
+                        .collect();
+                    span.field_str("attrs", names.join(","));
+                }
+            }
+            _ => {}
         }
     }
 }
 
-fn profiled(
-    op: String,
-    relation: HRelation,
-    start: Instant,
-    children: Vec<NodeProfile>,
-) -> (HRelation, NodeProfile) {
-    let wall_ns = start.elapsed().as_nanos() as u64;
-    let rows = relation.len();
-    stats::record_plan_node(rows, wall_ns);
-    let profile = NodeProfile {
-        op,
-        rows,
-        wall_ns,
-        children,
-    };
-    (relation, profile)
+/// Attach the nonzero cache-attribution deltas as span fields, in
+/// [`attrib::ALL_KEYS`] order.
+fn annotate_attrib(span: &mut hrdm_obs::SpanGuard, delta: &attrib::AttribSnapshot) {
+    for (key, field) in attrib::ALL_KEYS {
+        let v = delta.get(key);
+        if v > 0 {
+            span.field_u64(field, v);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -698,9 +725,27 @@ fn profiled(
 // ---------------------------------------------------------------------
 
 impl LogicalPlan {
-    /// One-line label for this node (no children), used by both the
-    /// tree renderer and the execution profile.
-    fn label(&self) -> String {
+    /// The operator kind as a static name — used as the span name for
+    /// this node's execution trace, so `TRACE` output and chrome-trace
+    /// events carry the node kind directly.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LogicalPlan::Scan { .. } => "Scan",
+            LogicalPlan::Select { .. } => "Select",
+            LogicalPlan::SelectEq { .. } => "SelectEq",
+            LogicalPlan::Project { .. } => "Project",
+            LogicalPlan::Join { .. } => "Join",
+            LogicalPlan::Union { .. } => "Union",
+            LogicalPlan::Intersect { .. } => "Intersect",
+            LogicalPlan::Diff { .. } => "Diff",
+            LogicalPlan::Consolidate { .. } => "Consolidate",
+            LogicalPlan::Explicate { .. } => "Explicate",
+        }
+    }
+
+    /// One-line label for this node (no children), used by the EXPLAIN
+    /// tree renderer.
+    pub fn label(&self) -> String {
         match self {
             LogicalPlan::Scan { name, relation } => {
                 format!("Scan {name} [{} stored tuple(s)]", relation.len())
@@ -824,7 +869,9 @@ mod tests {
             tuples_of(&out.relation),
             tuples_of(&crate::consolidate::consolidate(&r).relation)
         );
-        assert_eq!(out.profile.rows, r.len());
+        let scan = out.trace.find("Scan").expect("scan node in trace");
+        assert_eq!(scan.field_u64("rows"), Some(r.len() as u64));
+        assert_eq!(scan.field("rel"), Some("Flying"));
     }
 
     #[test]
@@ -858,24 +905,18 @@ mod tests {
         assert_eq!(tuples_of(&naive.relation), tuples_of(&fused.relation));
         // The fused pipeline expands fewer rows: the explicate node now
         // sees only the penguin region.
-        let explicate_rows = |p: &NodeProfile| -> usize {
-            fn walk(p: &NodeProfile, acc: &mut usize) {
-                if p.op.starts_with("Explicate") {
-                    *acc += p.rows;
-                }
-                for c in &p.children {
-                    walk(c, acc);
-                }
-            }
-            let mut acc = 0;
-            walk(p, &mut acc);
-            acc
+        let explicate_rows = |t: &hrdm_obs::QueryTrace| -> u64 {
+            t.nodes()
+                .iter()
+                .filter(|n| n.name == "Explicate")
+                .filter_map(|n| n.field_u64("rows"))
+                .sum()
         };
         assert!(
-            explicate_rows(&fused.profile) < explicate_rows(&naive.profile),
+            explicate_rows(&fused.trace) < explicate_rows(&naive.trace),
             "fusion must prune explication fan-out: fused {} vs naive {}",
-            explicate_rows(&fused.profile),
-            explicate_rows(&naive.profile)
+            explicate_rows(&fused.trace),
+            explicate_rows(&naive.trace)
         );
     }
 
@@ -981,6 +1022,51 @@ mod tests {
         let (plan, _) = flying_plan();
         let trivial = plan.explain();
         assert!(trivial.contains("no rewrites applied"), "{trivial}");
+    }
+
+    #[test]
+    fn execute_returns_an_assembled_trace() {
+        let (plan, r) = flying_plan();
+        let region = r.item(&["Penguin"]).unwrap();
+        let out = plan.select(region).execute().unwrap();
+        let root = out.trace.root.as_ref().expect("trace recorded");
+        assert_eq!(root.name, "plan.execute");
+        // Node kinds mirror the executed plan, plus the canonicalizing
+        // root consolidate.
+        let select = out.trace.find("Select").expect("select node");
+        // The Scan child parents under Select; operator-internal spans
+        // (e.g. a closure build) may sit alongside it.
+        assert_eq!(select.children[0].name, "Scan");
+        let canon = out.trace.find("Canonicalize").expect("canonicalize node");
+        assert_eq!(
+            canon.field_u64("rows"),
+            Some(out.relation.len() as u64),
+            "canonicalize rows field is the final row count"
+        );
+        assert_eq!(
+            canon.field_u64("eliminated"),
+            Some(out.canonicalized_away as u64)
+        );
+        // Every plan node carries rows and own-op timing (operator-
+        // internal spans are dotted names; plan kinds are bare words).
+        for n in out.trace.nodes() {
+            if !n.name.contains('.') {
+                assert!(n.field_u64("rows").is_some(), "{} missing rows", n.name);
+                assert!(n.field_u64("own_ns").is_some(), "{} missing own_ns", n.name);
+            }
+        }
+        // The select runs over a fresh graph's closure on this thread:
+        // cache attribution shows up on the node that did the work.
+        let attributed: u64 = out
+            .trace
+            .nodes()
+            .iter()
+            .map(|n| {
+                n.field_u64("closure_hits").unwrap_or(0)
+                    + n.field_u64("closure_misses").unwrap_or(0)
+            })
+            .sum();
+        assert!(attributed > 0, "no closure traffic attributed to any node");
     }
 
     #[test]

@@ -1,35 +1,78 @@
-//! `EngineStats`: lightweight process-wide instrumentation of the
-//! engine's caches and operators.
+//! `EngineStats`: a typed view over the engine's metrics registry.
 //!
-//! Counters are relaxed atomics, so recording is a few nanoseconds and
-//! safe from the parallel workers in [`crate::parallel`]. A
-//! [`snapshot`] merges the core-side counters with the hierarchy
-//! crate's closure-cache counters
-//! ([`hrdm_hierarchy::cache::stats`]) into one [`EngineStats`] value;
-//! the benchmark harness (`crates/bench`) prints it after each workload
-//! so B2/B3/B4 report cache effectiveness alongside wall time.
+//! The counters themselves now live in the shared `hrdm-obs` registry
+//! (`core.*` namespace here, `hierarchy.closure.*` for the closure
+//! cache, `storage.heap.*` in the storage crate), so recording stays a
+//! relaxed atomic op that is safe from the parallel workers in
+//! [`crate::parallel`] — but resets, exports (Prometheus text,
+//! `BENCH_obs.json`) and latency quantiles come from one place instead
+//! of per-crate static sets.
+//!
+//! [`snapshot`] gathers the registry values into one [`EngineStats`]
+//! struct; [`reset`] is **atomic** across every registered metric
+//! ([`hrdm_obs::metrics::reset_all`] zeroes the whole registry in one
+//! sweep under the registry lock), which closes the old bench-harness
+//! race where caches were cleared while per-op wall-time accumulators
+//! kept the previous run's totals. [`EngineStats::render_stable`]
+//! renders only the timing-free fields, so golden snapshots can embed
+//! an engine-stats trailer without depending on wall-clock noise.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
-static SUBSUMPTION_HITS: AtomicU64 = AtomicU64::new(0);
-static SUBSUMPTION_MISSES: AtomicU64 = AtomicU64::new(0);
-static SUBSUMPTION_BUILD_NS: AtomicU64 = AtomicU64::new(0);
-static TUPLES_ELIMINATED: AtomicU64 = AtomicU64::new(0);
-static TUPLES_EXPANDED: AtomicU64 = AtomicU64::new(0);
-static CONSOLIDATE_CALLS: AtomicU64 = AtomicU64::new(0);
-static CONSOLIDATE_NS: AtomicU64 = AtomicU64::new(0);
-static EXPLICATE_CALLS: AtomicU64 = AtomicU64::new(0);
-static EXPLICATE_NS: AtomicU64 = AtomicU64::new(0);
-static CONFLICT_CALLS: AtomicU64 = AtomicU64::new(0);
-static CONFLICT_NS: AtomicU64 = AtomicU64::new(0);
-static JOIN_CALLS: AtomicU64 = AtomicU64::new(0);
-static JOIN_NS: AtomicU64 = AtomicU64::new(0);
-static PLAN_EXECS: AtomicU64 = AtomicU64::new(0);
-static PLAN_NODES: AtomicU64 = AtomicU64::new(0);
-static PLAN_ROWS: AtomicU64 = AtomicU64::new(0);
-static PLAN_NS: AtomicU64 = AtomicU64::new(0);
+use hrdm_obs::metrics::{self, Counter, Histogram};
+
+struct CoreMetrics {
+    subsumption_hits: Counter,
+    subsumption_misses: Counter,
+    subsumption_build_ns: Counter,
+    tuples_eliminated: Counter,
+    tuples_expanded: Counter,
+    consolidate_calls: Counter,
+    consolidate_ns: Counter,
+    consolidate_latency: Histogram,
+    explicate_calls: Counter,
+    explicate_ns: Counter,
+    explicate_latency: Histogram,
+    conflict_calls: Counter,
+    conflict_ns: Counter,
+    join_calls: Counter,
+    join_ns: Counter,
+    join_latency: Histogram,
+    plan_execs: Counter,
+    plan_nodes: Counter,
+    plan_rows: Counter,
+    plan_ns: Counter,
+    plan_node_latency: Histogram,
+}
+
+fn obs() -> &'static CoreMetrics {
+    static M: OnceLock<CoreMetrics> = OnceLock::new();
+    M.get_or_init(|| CoreMetrics {
+        subsumption_hits: metrics::counter("core.subsumption.hits"),
+        subsumption_misses: metrics::counter("core.subsumption.misses"),
+        subsumption_build_ns: metrics::counter("core.subsumption.build_ns"),
+        tuples_eliminated: metrics::counter("core.consolidate.eliminated"),
+        tuples_expanded: metrics::counter("core.explicate.expanded"),
+        consolidate_calls: metrics::counter("core.consolidate.calls"),
+        consolidate_ns: metrics::counter("core.consolidate.ns"),
+        consolidate_latency: metrics::histogram("core.consolidate.latency_ns"),
+        explicate_calls: metrics::counter("core.explicate.calls"),
+        explicate_ns: metrics::counter("core.explicate.ns"),
+        explicate_latency: metrics::histogram("core.explicate.latency_ns"),
+        conflict_calls: metrics::counter("core.conflict.calls"),
+        conflict_ns: metrics::counter("core.conflict.ns"),
+        join_calls: metrics::counter("core.join.calls"),
+        join_ns: metrics::counter("core.join.ns"),
+        join_latency: metrics::histogram("core.join.latency_ns"),
+        plan_execs: metrics::counter("core.plan.execs"),
+        plan_nodes: metrics::counter("core.plan.nodes"),
+        plan_rows: metrics::counter("core.plan.rows"),
+        plan_ns: metrics::counter("core.plan.ns"),
+        plan_node_latency: metrics::histogram("core.plan.node_latency_ns"),
+    })
+}
 
 /// A point-in-time snapshot of every engine counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +81,8 @@ pub struct EngineStats {
     pub closure_hits: u64,
     /// Closure-cache lookups that built a reachability matrix.
     pub closure_misses: u64,
+    /// Closure-cache entries evicted by the FIFO capacity bound.
+    pub closure_evictions: u64,
     /// Total closure build wall time, nanoseconds.
     pub closure_build_ns: u64,
     /// Closures currently resident in the hierarchy cache.
@@ -90,6 +135,55 @@ impl EngineStats {
         let total = self.subsumption_hits + self.subsumption_misses;
         (total > 0).then(|| self.subsumption_hits as f64 / total as f64)
     }
+
+    /// Render only the timing-free fields — counts, hit rates, tuple
+    /// totals — one per line. This is what golden snapshots and figure
+    /// reports embed: re-running the engine gives byte-identical output
+    /// as long as the *work* is identical, no matter how fast the
+    /// machine is. (Resident-entry gauges are also elided: they depend
+    /// on whatever else shares the process-wide caches.)
+    pub fn render_stable(&self) -> String {
+        fn rate(hits: u64, misses: u64) -> String {
+            let total = hits + misses;
+            if total == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.0}%", 100.0 * hits as f64 / total as f64)
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "closure cache     {} hits / {} misses ({} hit rate), {} evictions\n",
+            self.closure_hits,
+            self.closure_misses,
+            rate(self.closure_hits, self.closure_misses),
+            self.closure_evictions,
+        ));
+        out.push_str(&format!(
+            "subsumption cache {} hits / {} misses ({} hit rate)\n",
+            self.subsumption_hits,
+            self.subsumption_misses,
+            rate(self.subsumption_hits, self.subsumption_misses),
+        ));
+        out.push_str(&format!(
+            "consolidate       {} calls, {} tuples eliminated\n",
+            self.consolidate_calls, self.tuples_eliminated,
+        ));
+        out.push_str(&format!(
+            "explicate         {} calls, {} tuples expanded\n",
+            self.explicate_calls, self.tuples_expanded,
+        ));
+        out.push_str(&format!(
+            "conflict check    {} calls\n",
+            self.conflict_calls
+        ));
+        out.push_str(&format!("join              {} calls\n", self.join_calls));
+        out.push_str(&format!(
+            "plan exec         {} plan(s), {} node(s), {} row(s)",
+            self.plan_execs, self.plan_nodes, self.plan_rows,
+        ));
+        out
+    }
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -117,10 +211,11 @@ impl fmt::Display for EngineStats {
         }
         writeln!(
             f,
-            "closure cache     {} hits / {} misses ({} hit rate), {} resident, {} building",
+            "closure cache     {} hits / {} misses ({} hit rate), {} evicted, {} resident, {} building",
             self.closure_hits,
             self.closure_misses,
             rate(self.closure_hits, self.closure_misses),
+            self.closure_evictions,
             self.closure_entries,
             fmt_ns(self.closure_build_ns),
         )?;
@@ -173,97 +268,96 @@ impl fmt::Display for EngineStats {
 /// stats with the core-side operator counters.
 pub fn snapshot() -> EngineStats {
     let closure = hrdm_hierarchy::cache::stats();
+    let m = obs();
     EngineStats {
         closure_hits: closure.hits,
         closure_misses: closure.misses,
+        closure_evictions: closure.evictions,
         closure_build_ns: closure.build_ns,
         closure_entries: closure.entries,
-        subsumption_hits: SUBSUMPTION_HITS.load(Ordering::Relaxed),
-        subsumption_misses: SUBSUMPTION_MISSES.load(Ordering::Relaxed),
-        subsumption_build_ns: SUBSUMPTION_BUILD_NS.load(Ordering::Relaxed),
-        tuples_eliminated: TUPLES_ELIMINATED.load(Ordering::Relaxed),
-        tuples_expanded: TUPLES_EXPANDED.load(Ordering::Relaxed),
-        consolidate_calls: CONSOLIDATE_CALLS.load(Ordering::Relaxed),
-        consolidate_ns: CONSOLIDATE_NS.load(Ordering::Relaxed),
-        explicate_calls: EXPLICATE_CALLS.load(Ordering::Relaxed),
-        explicate_ns: EXPLICATE_NS.load(Ordering::Relaxed),
-        conflict_calls: CONFLICT_CALLS.load(Ordering::Relaxed),
-        conflict_ns: CONFLICT_NS.load(Ordering::Relaxed),
-        join_calls: JOIN_CALLS.load(Ordering::Relaxed),
-        join_ns: JOIN_NS.load(Ordering::Relaxed),
-        plan_execs: PLAN_EXECS.load(Ordering::Relaxed),
-        plan_nodes: PLAN_NODES.load(Ordering::Relaxed),
-        plan_rows: PLAN_ROWS.load(Ordering::Relaxed),
-        plan_ns: PLAN_NS.load(Ordering::Relaxed),
+        subsumption_hits: m.subsumption_hits.get(),
+        subsumption_misses: m.subsumption_misses.get(),
+        subsumption_build_ns: m.subsumption_build_ns.get(),
+        tuples_eliminated: m.tuples_eliminated.get(),
+        tuples_expanded: m.tuples_expanded.get(),
+        consolidate_calls: m.consolidate_calls.get(),
+        consolidate_ns: m.consolidate_ns.get(),
+        explicate_calls: m.explicate_calls.get(),
+        explicate_ns: m.explicate_ns.get(),
+        conflict_calls: m.conflict_calls.get(),
+        conflict_ns: m.conflict_ns.get(),
+        join_calls: m.join_calls.get(),
+        join_ns: m.join_ns.get(),
+        plan_execs: m.plan_execs.get(),
+        plan_nodes: m.plan_nodes.get(),
+        plan_rows: m.plan_rows.get(),
+        plan_ns: m.plan_ns.get(),
     }
 }
 
-/// Zero every counter, including the hierarchy closure-cache counters
-/// (resident cache entries are kept).
+/// Zero every counter — atomically, across all crates.
+///
+/// This is one sweep over the shared metrics registry under its lock,
+/// so there is no window where (say) the closure-cache counters read
+/// zero but the consolidate wall-time accumulator still holds the
+/// previous run: either a reader sees the old totals or the new zeros.
+/// Resident cache entries are kept.
 pub fn reset() {
-    hrdm_hierarchy::cache::reset_stats();
-    for c in [
-        &SUBSUMPTION_HITS,
-        &SUBSUMPTION_MISSES,
-        &SUBSUMPTION_BUILD_NS,
-        &TUPLES_ELIMINATED,
-        &TUPLES_EXPANDED,
-        &CONSOLIDATE_CALLS,
-        &CONSOLIDATE_NS,
-        &EXPLICATE_CALLS,
-        &EXPLICATE_NS,
-        &CONFLICT_CALLS,
-        &CONFLICT_NS,
-        &JOIN_CALLS,
-        &JOIN_NS,
-        &PLAN_EXECS,
-        &PLAN_NODES,
-        &PLAN_ROWS,
-        &PLAN_NS,
-    ] {
-        c.store(0, Ordering::Relaxed);
-    }
+    metrics::reset_all();
 }
 
 pub(crate) fn record_subsumption_hit() {
-    SUBSUMPTION_HITS.fetch_add(1, Ordering::Relaxed);
+    obs().subsumption_hits.incr();
 }
 
 pub(crate) fn record_subsumption_miss(build: Duration) {
-    SUBSUMPTION_MISSES.fetch_add(1, Ordering::Relaxed);
-    SUBSUMPTION_BUILD_NS.fetch_add(build.as_nanos() as u64, Ordering::Relaxed);
+    let m = obs();
+    m.subsumption_misses.incr();
+    m.subsumption_build_ns.add(build.as_nanos() as u64);
 }
 
 pub(crate) fn record_consolidate(elapsed: Duration, eliminated: usize) {
-    CONSOLIDATE_CALLS.fetch_add(1, Ordering::Relaxed);
-    CONSOLIDATE_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-    TUPLES_ELIMINATED.fetch_add(eliminated as u64, Ordering::Relaxed);
+    let m = obs();
+    let ns = elapsed.as_nanos() as u64;
+    m.consolidate_calls.incr();
+    m.consolidate_ns.add(ns);
+    m.consolidate_latency.observe_ns(ns);
+    m.tuples_eliminated.add(eliminated as u64);
 }
 
 pub(crate) fn record_explicate(elapsed: Duration, expanded: usize) {
-    EXPLICATE_CALLS.fetch_add(1, Ordering::Relaxed);
-    EXPLICATE_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-    TUPLES_EXPANDED.fetch_add(expanded as u64, Ordering::Relaxed);
+    let m = obs();
+    let ns = elapsed.as_nanos() as u64;
+    m.explicate_calls.incr();
+    m.explicate_ns.add(ns);
+    m.explicate_latency.observe_ns(ns);
+    m.tuples_expanded.add(expanded as u64);
 }
 
 pub(crate) fn record_conflict(elapsed: Duration) {
-    CONFLICT_CALLS.fetch_add(1, Ordering::Relaxed);
-    CONFLICT_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    let m = obs();
+    m.conflict_calls.incr();
+    m.conflict_ns.add(elapsed.as_nanos() as u64);
 }
 
 pub(crate) fn record_join(elapsed: Duration) {
-    JOIN_CALLS.fetch_add(1, Ordering::Relaxed);
-    JOIN_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    let m = obs();
+    let ns = elapsed.as_nanos() as u64;
+    m.join_calls.incr();
+    m.join_ns.add(ns);
+    m.join_latency.observe_ns(ns);
 }
 
 pub(crate) fn record_plan_exec() {
-    PLAN_EXECS.fetch_add(1, Ordering::Relaxed);
+    obs().plan_execs.incr();
 }
 
 pub(crate) fn record_plan_node(rows: usize, wall_ns: u64) {
-    PLAN_NODES.fetch_add(1, Ordering::Relaxed);
-    PLAN_ROWS.fetch_add(rows as u64, Ordering::Relaxed);
-    PLAN_NS.fetch_add(wall_ns, Ordering::Relaxed);
+    let m = obs();
+    m.plan_nodes.incr();
+    m.plan_rows.add(rows as u64);
+    m.plan_ns.add(wall_ns);
+    m.plan_node_latency.observe_ns(wall_ns);
 }
 
 #[cfg(test)]
@@ -285,6 +379,14 @@ mod tests {
     }
 
     #[test]
+    fn latency_histograms_feed_the_registry() {
+        record_join(Duration::from_micros(10));
+        let h = metrics::histogram("core.join.latency_ns");
+        assert!(h.count() >= 1);
+        assert!(h.quantile_ns(0.5).is_some());
+    }
+
+    #[test]
     fn display_mentions_every_section() {
         let s = snapshot();
         let text = s.to_string();
@@ -296,6 +398,30 @@ mod tests {
             "join",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+
+    #[test]
+    fn stable_render_has_no_wall_times() {
+        let s = EngineStats {
+            closure_hits: 3,
+            closure_misses: 1,
+            closure_build_ns: 123_456,
+            consolidate_calls: 2,
+            consolidate_ns: 987_654,
+            tuples_eliminated: 9,
+            ..EngineStats::default()
+        };
+        let stable = s.render_stable();
+        assert!(stable.contains("3 hits / 1 misses"), "{stable}");
+        assert!(stable.contains("9 tuples eliminated"), "{stable}");
+        // "evictions"/"misses" contain the letters "ns"/"s", so probe
+        // for the actual fmt_ns output forms instead.
+        for timing in [" ns", "µs", " ms", "building", "123", "987"] {
+            assert!(
+                !stable.contains(timing),
+                "stable render leaked timing token {timing:?}: {stable}"
+            );
         }
     }
 

@@ -23,6 +23,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use hrdm_obs::attrib::{self, AttribKey};
+
 use crate::binding::path_avoiding;
 use crate::item::Item;
 use crate::parallel;
@@ -131,15 +133,22 @@ impl SubsumptionGraph {
             // Verify content, not just the fingerprint.
             if hit.items == items && hit.truths == truths {
                 stats::record_subsumption_hit();
+                attrib::bump(AttribKey::SubsumptionHit);
                 return SubsumptionGraph {
                     core: Arc::clone(hit),
                     extra: None,
                 };
             }
         }
+        attrib::bump(AttribKey::SubsumptionMiss);
+        let mut span = hrdm_obs::span!("core.subsumption.build");
+        if span.is_active() {
+            span.field_u64("tuples", items.len() as u64);
+        }
         let start = Instant::now();
         let core = Arc::new(build_core(relation, items, truths));
         stats::record_subsumption_miss(start.elapsed());
+        drop(span);
         let mut s = cache().lock().unwrap();
         if !s.map.contains_key(&key) {
             s.map.insert(key.clone(), Arc::clone(&core));

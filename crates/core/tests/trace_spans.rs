@@ -1,0 +1,88 @@
+//! Property test: every span opened during a random-plan execution is
+//! closed and parented correctly, even when `core::parallel` fans out
+//! across scoped threads.
+//!
+//! This file deliberately holds a SINGLE test. Orphan counts compare a
+//! capture's buffer slice against the spans reachable from its root, so
+//! any other capture running concurrently in the same process leaks
+//! events into the slice; `cargo test` runs a binary's tests on
+//! concurrent threads, but a one-test binary cannot race itself.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hrdm_core::parallel::PAR_THRESHOLD;
+use hrdm_core::plan::LogicalPlan;
+use hrdm_core::prelude::*;
+use hrdm_hierarchy::gen::layered_dag;
+
+/// A positive-only (hence always consistent) relation wide enough that
+/// the subsumption build and explicate fan-out stages clear
+/// [`PAR_THRESHOLD`].
+fn big_relation(seed: u64) -> HRelation {
+    let g = Arc::new(layered_dag(4, 12, 2, seed));
+    let schema = Arc::new(Schema::single("D", g.clone()));
+    let mut r = HRelation::new(schema);
+    let nodes: Vec<_> = g.classes().chain(g.instances()).collect();
+    for node in nodes {
+        r.insert(Tuple::positive(Item::new(vec![node])))
+            .expect("fresh positive tuple");
+    }
+    assert!(
+        r.len() >= PAR_THRESHOLD,
+        "workload must clear the threshold"
+    );
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn spans_close_and_parent_under_parallel_fanout(seed in any::<u64>(), shape in 0usize..4) {
+        let r = big_relation(seed);
+        let root_region = Item::new(vec![r.schema().domain(0).root()]);
+        let scan = LogicalPlan::scan("R", r.clone());
+        let plan = match shape {
+            0 => scan,
+            1 => scan.explicate(vec![0]),
+            2 => scan.consolidate(),
+            _ => scan.explicate(vec![0]).select(root_region),
+        };
+
+        prop_assert_eq!(hrdm_obs::span::thread_open_depth(), 0);
+        let executed = plan.execute().expect("positive-only relations are consistent");
+        // Every guard dropped: nothing left open on this thread.
+        prop_assert_eq!(hrdm_obs::span::thread_open_depth(), 0);
+
+        let trace = &executed.trace;
+        let root = trace.root.as_ref().expect("execution recorded a trace");
+        prop_assert_eq!(root.name, "plan.execute");
+        // Parented correctly: every recorded span is reachable from the
+        // root — including spans recorded on scoped worker threads,
+        // which link to the spawning operator explicitly.
+        prop_assert_eq!(trace.orphans, 0);
+        for node in trace.nodes() {
+            // Closed correctly: an event is only appended when its
+            // guard drops, and the monotonic clock orders start ≤ end.
+            prop_assert!(node.end_ns >= node.start_ns, "span {} never closed", node.name);
+        }
+
+        let chunks: Vec<_> = trace
+            .nodes()
+            .into_iter()
+            .filter(|n| n.name == "parallel.chunk")
+            .collect();
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        if cores > 1 {
+            // The root consolidation alone rebuilds the subsumption
+            // graph over ≥ PAR_THRESHOLD tuples, so a multi-core run
+            // must have fanned out somewhere.
+            prop_assert!(!chunks.is_empty(), "a {}-tuple workload must fan out", r.len());
+        }
+        for c in &chunks {
+            prop_assert!(c.field_u64("worker").is_some());
+            prop_assert!(c.field_u64("hi").unwrap_or(0) >= c.field_u64("lo").unwrap_or(0));
+        }
+    }
+}

@@ -29,9 +29,11 @@
 //! graphs are never blocked behind an O(V·E) build.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+use hrdm_obs::attrib::{self, AttribKey};
+use hrdm_obs::metrics::{self, Counter, Gauge};
 
 use crate::graph::HierarchyGraph;
 use crate::reach::{ClosureKind, Reachability};
@@ -55,9 +57,24 @@ fn store() -> &'static Mutex<Store> {
     STORE.get_or_init(|| Mutex::new(Store::default()))
 }
 
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
-static BUILD_NS: AtomicU64 = AtomicU64::new(0);
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    build_ns: Counter,
+    entries: Gauge,
+}
+
+fn obs() -> &'static CacheMetrics {
+    static M: OnceLock<CacheMetrics> = OnceLock::new();
+    M.get_or_init(|| CacheMetrics {
+        hits: metrics::counter("hierarchy.closure.hits"),
+        misses: metrics::counter("hierarchy.closure.misses"),
+        evictions: metrics::counter("hierarchy.closure.evictions"),
+        build_ns: metrics::counter("hierarchy.closure.build_ns"),
+        entries: metrics::gauge("hierarchy.closure.entries"),
+    })
+}
 
 /// Counters describing cache effectiveness since the last
 /// [`reset_stats`].
@@ -67,10 +84,17 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to build a closure.
     pub misses: u64,
+    /// Resident closures evicted by the FIFO capacity bound.
+    pub evictions: u64,
     /// Total wall time spent building closures, in nanoseconds.
     pub build_ns: u64,
     /// Closures currently resident.
     pub entries: usize,
+}
+
+/// Maximum number of closures the store keeps resident (`MAX_ENTRIES`).
+pub fn capacity() -> usize {
+    MAX_ENTRIES
 }
 
 /// The shared transitive closure of `g` over both edge kinds.
@@ -87,13 +111,22 @@ pub fn subset_closure(g: &HierarchyGraph) -> Arc<Reachability> {
 pub fn get(g: &HierarchyGraph, kind: ClosureKind) -> Arc<Reachability> {
     let key = (g.graph_id(), g.generation(), kind);
     if let Some(hit) = store().lock().unwrap().map.get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        obs().hits.incr();
+        attrib::bump(AttribKey::ClosureHit);
         return Arc::clone(hit);
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    let start = Instant::now();
-    let built = Arc::new(Reachability::build(g, kind));
-    BUILD_NS.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    obs().misses.incr();
+    attrib::bump(AttribKey::ClosureMiss);
+    let built = {
+        let mut span = hrdm_obs::span!("hierarchy.closure.build");
+        span.field_u64("nodes", g.len() as u64);
+        let start = Instant::now();
+        let built = Arc::new(Reachability::build(g, kind));
+        let elapsed = start.elapsed().as_nanos() as u64;
+        obs().build_ns.add(elapsed);
+        span.field_u64("build_ns", elapsed);
+        built
+    };
 
     let mut s = store().lock().unwrap();
     // A concurrent builder may have won the race; keep whichever is
@@ -106,21 +139,26 @@ pub fn get(g: &HierarchyGraph, kind: ClosureKind) -> Arc<Reachability> {
     s.map.retain(|&(id, gen, _), _| id != key.0 || gen == key.1);
     s.map.insert(key, Arc::clone(&built));
     s.order.push(key);
+    let mut evicted = 0u64;
     while s.map.len() > MAX_ENTRIES {
         let victim = s.order.remove(0);
-        s.map.remove(&victim);
+        if s.map.remove(&victim).is_some() {
+            evicted += 1;
+        }
     }
+    if evicted > 0 {
+        obs().evictions.add(evicted);
+    }
+    obs().entries.set(s.map.len() as u64);
     built
 }
 
 /// Drop every cached closure belonging to `graph_id`, regardless of
 /// generation. Useful when a graph is discarded for good.
 pub fn invalidate_graph(graph_id: u64) {
-    store()
-        .lock()
-        .unwrap()
-        .map
-        .retain(|&(id, _, _), _| id != graph_id);
+    let mut s = store().lock().unwrap();
+    s.map.retain(|&(id, _, _), _| id != graph_id);
+    obs().entries.set(s.map.len() as u64);
 }
 
 /// Drop all cached closures (stats are left untouched).
@@ -128,23 +166,31 @@ pub fn clear() {
     let mut s = store().lock().unwrap();
     s.map.clear();
     s.order.clear();
+    obs().entries.set(0);
 }
 
-/// Snapshot of the hit/miss/build-time counters.
+/// Snapshot of the hit/miss/eviction/build-time counters.
 pub fn stats() -> CacheStats {
+    let m = obs();
     CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        build_ns: BUILD_NS.load(Ordering::Relaxed),
+        hits: m.hits.get(),
+        misses: m.misses.get(),
+        evictions: m.evictions.get(),
+        build_ns: m.build_ns.get(),
         entries: store().lock().unwrap().map.len(),
     }
 }
 
-/// Zero the hit/miss/build-time counters (resident entries stay).
+/// Zero the cache counters.
+///
+/// The counters live in the shared `hrdm-obs` registry, and the only
+/// way to zero a registry metric is the registry-wide sweep — so this
+/// resets *every* registered metric. That is exactly the semantics the
+/// bench harness needs (one atomic reset point instead of per-crate
+/// counter chasing); callers wanting only a local delta should diff two
+/// [`stats`] snapshots instead.
 pub fn reset_stats() {
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
-    BUILD_NS.store(0, Ordering::Relaxed);
+    metrics::reset_all();
 }
 
 #[cfg(test)]
@@ -216,12 +262,50 @@ mod tests {
 
     #[test]
     fn stats_move() {
+        // Delta-based on purpose: the counters are process-global and
+        // other tests in this binary run concurrently, so an absolute
+        // assertion (or a reset here) would race.
         let g = chain();
-        reset_stats();
         let s0 = stats();
         let _ = closure(&g);
         let _ = closure(&g);
         let s1 = stats();
         assert!(s1.hits + s1.misses >= s0.hits + s0.misses + 2);
+    }
+
+    #[test]
+    fn fifo_capacity_bound_actually_evicts() {
+        let overflow = 8;
+        let first = chain();
+        let pinned = closure(&first);
+        let before = stats();
+        // Fill well past capacity with distinct graphs; every graph_id
+        // is process-unique so each lookup is a fresh insertion.
+        for _ in 0..capacity() + overflow {
+            let g = chain();
+            let _ = closure(&g);
+        }
+        let after = stats();
+        assert!(
+            after.entries <= capacity(),
+            "resident {} exceeds capacity {}",
+            after.entries,
+            capacity()
+        );
+        assert!(
+            after.evictions >= before.evictions + overflow as u64,
+            "expected at least {} evictions, counter moved {} -> {}",
+            overflow,
+            before.evictions,
+            after.evictions
+        );
+        // `first` was inserted earliest, so FIFO must have dropped it:
+        // looking it up again rebuilds rather than returning the pinned
+        // allocation.
+        let rebuilt = closure(&first);
+        assert!(
+            !Arc::ptr_eq(&pinned, &rebuilt),
+            "oldest entry survived a full FIFO sweep"
+        );
     }
 }

@@ -154,6 +154,13 @@ pub enum Statement {
         /// The derivation expression to plan.
         derivation: Derivation,
     },
+    /// `TRACE <derivation>` — run the optimized plan and render the
+    /// recorded execution trace: per-node rows, wall time, and cache
+    /// hit/miss attribution.
+    Trace {
+        /// The derivation expression to run and trace.
+        derivation: Derivation,
+    },
 }
 
 /// An operand of a derivation: a stored relation by name, or a nested
@@ -325,6 +332,9 @@ impl fmt::Display for Statement {
             Statement::Explain { derivation } => {
                 write!(f, "EXPLAIN {derivation};")
             }
+            Statement::Trace { derivation } => {
+                write!(f, "TRACE {derivation};")
+            }
         }
     }
 }
@@ -413,7 +423,11 @@ mod tests {
             d.to_string(),
             "SELECT (EXPLICATE Flies) WHERE Creature IS ALL Penguin"
         );
-        let e = Statement::Explain { derivation: d };
+        let e = Statement::Explain {
+            derivation: d.clone(),
+        };
         assert!(e.to_string().starts_with("EXPLAIN SELECT (EXPLICATE"));
+        let t = Statement::Trace { derivation: d };
+        assert!(t.to_string().starts_with("TRACE SELECT (EXPLICATE"));
     }
 }

@@ -45,6 +45,9 @@ pub enum Response {
     /// An `EXPLAIN` report: the optimized plan tree plus the rewrite
     /// rules that fired.
     Plan(String),
+    /// A `TRACE` report: the executed span tree with per-node rows,
+    /// wall time and cache attribution, plus the rewrites that fired.
+    Trace(String),
 }
 
 impl fmt::Display for Response {
@@ -63,6 +66,7 @@ impl fmt::Display for Response {
             }
             Response::Dot(d) => write!(f, "{d}"),
             Response::Plan(p) => write!(f, "{p}"),
+            Response::Trace(t) => write!(f, "{t}"),
         }
     }
 }
@@ -472,6 +476,26 @@ impl Session {
             Statement::Explain { derivation } => {
                 let plan = self.plan_of(&derivation)?;
                 Ok(Response::Plan(plan.explain()))
+            }
+            Statement::Trace { derivation } => {
+                let plan = self.plan_of(&derivation)?;
+                let (optimized, rewrites) = plan.optimize();
+                let executed = optimized.execute()?;
+                let mut out = executed.trace.render();
+                if rewrites.is_empty() {
+                    out.push_str("no rewrites applied\n");
+                } else {
+                    out.push_str("rewrites applied:\n");
+                    for (k, rw) in rewrites.iter().enumerate() {
+                        out.push_str(&format!("  {}. {} — {}\n", k + 1, rw.rule, rw.detail));
+                    }
+                }
+                out.push_str(&format!(
+                    "result: {} stored tuple(s), {} canonicalized away\n",
+                    executed.relation.len(),
+                    executed.canonicalized_away
+                ));
+                Ok(Response::Trace(out))
             }
         }
     }
@@ -919,6 +943,31 @@ mod tests {
         assert!(s.relation("Flies").unwrap().len() == 4);
         // Errors in the referenced relations still surface.
         assert!(s.execute("EXPLAIN UNION Flies Nope;").is_err());
+    }
+
+    #[test]
+    fn trace_reports_execution_per_node() {
+        let mut s = fig1_session();
+        let r = s
+            .execute("TRACE SELECT (EXPLICATE Flies) WHERE Creature IS ALL Penguin;")
+            .unwrap()
+            .remove(0);
+        let text = match r {
+            Response::Trace(t) => t,
+            other => panic!("expected a trace, got {other:?}"),
+        };
+        // The executed span tree names the plan nodes and reports rows.
+        assert!(text.contains("Scan"), "{text}");
+        assert!(text.contains("Explicate"), "{text}");
+        assert!(text.contains("rows="), "{text}");
+        // Rewrites that fired during optimization are listed.
+        assert!(text.contains("explicate-select-fusion"), "{text}");
+        // The result summary closes the report.
+        assert!(text.contains("stored tuple(s)"), "{text}");
+        // TRACE materializes nothing.
+        assert_eq!(s.relation("Flies").unwrap().len(), 4);
+        // Errors in the referenced relations still surface.
+        assert!(s.execute("TRACE UNION Flies Nope;").is_err());
     }
 
     #[test]

@@ -220,6 +220,10 @@ impl Parser {
             let derivation = self.derivation()?;
             return Ok(Statement::Explain { derivation });
         }
+        if self.eat_kw("trace") {
+            let derivation = self.derivation()?;
+            return Ok(Statement::Trace { derivation });
+        }
         Err(self.err("a statement keyword"))
     }
 
@@ -470,6 +474,21 @@ mod tests {
         }
         // An unclosed nested derivation is a parse error.
         assert!(parse("LET X = UNION (JOIN A B C;").is_err());
+    }
+
+    #[test]
+    fn trace_statement_parses() {
+        let stmts = parse("TRACE SELECT Flying WHERE Creature IS ALL Penguin;").unwrap();
+        assert_eq!(stmts.len(), 1);
+        match &stmts[0] {
+            Statement::Trace {
+                derivation: Derivation::Select(src, conds),
+            } => {
+                assert_eq!(src, &Source::named("Flying"));
+                assert_eq!(conds.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

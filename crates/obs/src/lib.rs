@@ -1,0 +1,70 @@
+//! `hrdm-obs`: structured tracing and metrics for the engine, with no
+//! external dependencies.
+//!
+//! The crate replaces the two disconnected ad-hoc mechanisms the engine
+//! grew earlier — process-global `EngineStats` counters and the
+//! plan-local `NodeProfile` tree — with one layered subsystem:
+//!
+//! * [`metrics`] — a typed registry of named counters, gauges and
+//!   log-scaled latency histograms (p50/p95/p99). Handles are cached
+//!   `Arc`s over relaxed atomics, so recording costs a few nanoseconds
+//!   and is safe from parallel workers. [`metrics::reset_all`] zeroes
+//!   *every* registered metric in one sweep under the registry lock, so
+//!   benchmark harnesses get an atomic reset instead of chasing
+//!   per-crate counter sets.
+//! * [`mod@span`] — `span!("consolidate", rel = name)` guards with
+//!   monotonic timing, thread id, and parent linkage. Parenting uses a
+//!   thread-local stack; scoped worker threads link to their spawner
+//!   explicitly ([`span::span_with_parent`]), so fan-out stages stay
+//!   attached to the query that spawned them. When no capture is
+//!   active, a guard is fully inert — one relaxed atomic load.
+//! * [`trace`] — per-query execution traces:
+//!   [`trace::capture`] records every span closed during a closure and
+//!   assembles the ones reachable from the capture root into a
+//!   [`trace::QueryTrace`] tree with per-node rows, wall time, and
+//!   cache-attribution fields.
+//! * [`attrib`] — thread-local attribution slots (closure and
+//!   subsumption cache hits/misses, heap I/O) that let a plan node
+//!   report *its own* cache traffic deterministically even while other
+//!   threads hammer the shared caches.
+//! * [`chrome`] — `chrome://tracing`-loadable JSON export of a trace.
+//!
+//! # Feature gating
+//!
+//! Everything is behind the `obs` feature (on by default). With
+//! `--no-default-features` the same API compiles to no-ops: guards are
+//! zero-variant, counters don't register, captures run the closure and
+//! return an empty trace. Instrumented crates therefore carry no cfg.
+
+pub mod attrib;
+pub mod chrome;
+mod json;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use span::SpanGuard;
+pub use trace::QueryTrace;
+
+/// Open a span guard, optionally attaching `key = value` fields.
+///
+/// ```
+/// let name = "Flying";
+/// let _g = hrdm_obs::span!("consolidate", rel = name);
+/// ```
+///
+/// Fields are only rendered (and only allocate) when a capture is
+/// active; otherwise the guard is inert.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::span($name)
+    };
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {{
+        let mut guard = $crate::span::span($name);
+        if guard.is_active() {
+            $(guard.field_str(stringify!($key), $val.to_string());)+
+        }
+        guard
+    }};
+}

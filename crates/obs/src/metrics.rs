@@ -1,0 +1,403 @@
+//! The typed metrics registry: named counters, gauges, and log-scaled
+//! latency histograms.
+//!
+//! Handles returned by [`counter`], [`gauge`] and [`histogram`] are
+//! cheap clones of `Arc`-shared atomics; callers cache them in
+//! `OnceLock` statics so the registry lock is only taken once per name
+//! per process. Recording is a relaxed atomic op.
+//!
+//! [`reset_all`] zeroes every registered metric in one sweep while
+//! holding the registry lock — the single reset point the bench
+//! fixtures use so back-to-back runs cannot leak accumulators into each
+//! other.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::escape;
+
+/// Number of log2 buckets a histogram keeps; bucket `i` holds values
+/// `v` with `floor(log2(v)) + 1 == i` (bucket 0 holds zero), so the
+/// top bucket covers everything from ~2^46 ns (≈ 20 hours) up.
+pub const HISTOGRAM_BUCKETS: usize = 48;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "obs")]
+        self.0.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = n;
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn zero(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A settable gauge (current size, resident entries, …).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        #[cfg(feature = "obs")]
+        self.0.store(v, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = v;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn zero(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// A log2-bucketed latency histogram over nanosecond observations.
+///
+/// Quantile estimates return the *upper bound* of the bucket holding
+/// the requested rank — within 2x of the true value, which is the
+/// right resolution for latency regression tracking without any
+/// allocation on the record path.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[cfg_attr(not(feature = "obs"), allow(dead_code))]
+fn bucket_of(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Upper bound (inclusive) of bucket `i`, in nanoseconds.
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one observation of `ns` nanoseconds.
+    #[inline]
+    pub fn observe_ns(&self, ns: u64) {
+        #[cfg(feature = "obs")]
+        {
+            self.0.count.fetch_add(1, Ordering::Relaxed);
+            self.0.sum.fetch_add(ns, Ordering::Relaxed);
+            self.0.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = ns;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`; `None` before any
+    /// observation.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(bucket_bound(i));
+            }
+        }
+        Some(bucket_bound(HISTOGRAM_BUCKETS - 1))
+    }
+
+    fn zero(&self) {
+        self.0.count.store(0, Ordering::Relaxed);
+        self.0.sum.store(0, Ordering::Relaxed);
+        for b in &self.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Get or register the counter called `name`.
+///
+/// Panics if `name` is already registered as a different metric type
+/// (a programming error, caught at the first lookup).
+pub fn counter(name: &'static str) -> Counter {
+    let mut r = registry().lock().unwrap();
+    match r
+        .entry(name)
+        .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric {name} already registered with a different type"),
+    }
+}
+
+/// Get or register the gauge called `name`.
+pub fn gauge(name: &'static str) -> Gauge {
+    let mut r = registry().lock().unwrap();
+    match r
+        .entry(name)
+        .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric {name} already registered with a different type"),
+    }
+}
+
+/// Get or register the histogram called `name`.
+pub fn histogram(name: &'static str) -> Histogram {
+    let mut r = registry().lock().unwrap();
+    match r.entry(name).or_insert_with(|| {
+        Metric::Histogram(Histogram(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        })))
+    }) {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric {name} already registered with a different type"),
+    }
+}
+
+/// Zero every registered metric in one sweep under the registry lock.
+///
+/// Cached handles stay valid — they share the same atomics. This is the
+/// engine's single reset point: counters, gauges, and histograms across
+/// all crates go back to zero together, so a bench harness cannot
+/// observe a half-reset state where caches were cleared but wall-time
+/// accumulators still carry the previous run.
+pub fn reset_all() {
+    let r = registry().lock().unwrap();
+    for m in r.values() {
+        match m {
+            Metric::Counter(c) => c.zero(),
+            Metric::Gauge(g) => g.zero(),
+            Metric::Histogram(h) => h.zero(),
+        }
+    }
+}
+
+/// Names currently registered, in sorted order.
+pub fn metric_names() -> Vec<&'static str> {
+    registry().lock().unwrap().keys().copied().collect()
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("hrdm_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Render the whole registry as Prometheus-style text exposition.
+///
+/// Counters and gauges become single samples; histograms become a
+/// summary (`_count`, `_sum`, and `quantile` samples for p50/p95/p99).
+pub fn render_prometheus() -> String {
+    use std::fmt::Write as _;
+    let r = registry().lock().unwrap();
+    let mut out = String::new();
+    for (name, m) in r.iter() {
+        let p = prom_name(name);
+        match m {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {p} counter");
+                let _ = writeln!(out, "{p} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {p} gauge");
+                let _ = writeln!(out, "{p} {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {p} summary");
+                for q in [0.5, 0.95, 0.99] {
+                    let v = h.quantile_ns(q).unwrap_or(0);
+                    let _ = writeln!(out, "{p}{{quantile=\"{q}\"}} {v}");
+                }
+                let _ = writeln!(out, "{p}_sum {}", h.sum_ns());
+                let _ = writeln!(out, "{p}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Render the registry as machine-readable JSON (the `BENCH_obs.json`
+/// format): `{"schema_version":1,"label":…,"metrics":{name:{…}}}`.
+pub fn export_json(label: &str) -> String {
+    use std::fmt::Write as _;
+    let r = registry().lock().unwrap();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema_version\":1,\"label\":\"{}\",\"metrics\":{{",
+        escape(label)
+    );
+    for (k, (name, m)) in r.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", escape(name));
+        match m {
+            Metric::Counter(c) => {
+                let _ = write!(out, "{{\"type\":\"counter\",\"value\":{}}}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{}}}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"histogram\",\"count\":{},\"sum_ns\":{},\
+                     \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                    h.count(),
+                    h.sum_ns(),
+                    h.quantile_ns(0.5).unwrap_or(0),
+                    h.quantile_ns(0.95).unwrap_or(0),
+                    h.quantile_ns(0.99).unwrap_or(0),
+                );
+            }
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn counters_and_gauges_record() {
+        let c = counter("test.metrics.counter");
+        let before = c.get();
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), before + 4);
+        // A second lookup shares the same atomic.
+        counter("test.metrics.counter").incr();
+        assert_eq!(c.get(), before + 5);
+
+        let g = gauge("test.metrics.gauge");
+        g.set(42);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn histogram_quantiles_are_log_bounded() {
+        let h = histogram("test.metrics.histo");
+        h.zero();
+        for _ in 0..99 {
+            h.observe_ns(1_000); // bucket upper bound 1023
+        }
+        h.observe_ns(1_000_000);
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.5).unwrap();
+        assert!((1_000..2_048).contains(&p50), "{p50}");
+        let p99 = h.quantile_ns(0.99).unwrap();
+        assert!(p99 < 2_048, "p99 still in the small bucket: {p99}");
+        let p100 = h.quantile_ns(1.0).unwrap();
+        assert!(p100 >= 1_000_000, "{p100}");
+    }
+
+    #[test]
+    fn zero_observation_quantile_is_none() {
+        let h = histogram("test.metrics.empty");
+        assert_eq!(h.quantile_ns(0.5), None);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn reset_all_zeroes_everything_in_one_sweep() {
+        let c = counter("test.metrics.reset");
+        let h = histogram("test.metrics.reset_histo");
+        c.add(7);
+        h.observe_ns(5);
+        reset_all();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_ns(), 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn exports_render() {
+        let c = counter("test.metrics.export");
+        c.incr();
+        let prom = render_prometheus();
+        assert!(prom.contains("hrdm_test_metrics_export"), "{prom}");
+        assert!(prom.contains("# TYPE"), "{prom}");
+        let json = export_json("unit");
+        assert!(json.starts_with("{\"schema_version\":1"), "{json}");
+        assert!(json.contains("\"test.metrics.export\""), "{json}");
+        assert!(json.contains("\"label\":\"unit\""), "{json}");
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        let mut prev = 0;
+        for shift in 0..60 {
+            let b = bucket_of(1u64 << shift);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

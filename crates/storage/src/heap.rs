@@ -1,7 +1,29 @@
 //! Heap files: unordered collections of records across slotted pages.
 
+use std::sync::OnceLock;
+
+use hrdm_obs::attrib::{self, AttribKey};
+use hrdm_obs::metrics::{self, Counter};
+
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PAGE_SIZE};
+
+struct HeapMetrics {
+    inserts: Counter,
+    reads: Counter,
+    deletes: Counter,
+    page_allocs: Counter,
+}
+
+fn obs() -> &'static HeapMetrics {
+    static M: OnceLock<HeapMetrics> = OnceLock::new();
+    M.get_or_init(|| HeapMetrics {
+        inserts: metrics::counter("storage.heap.inserts"),
+        reads: metrics::counter("storage.heap.reads"),
+        deletes: metrics::counter("storage.heap.deletes"),
+        page_allocs: metrics::counter("storage.heap.page_allocs"),
+    })
+}
 
 /// Stable address of a record in a heap file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,6 +61,7 @@ impl HeapFile {
             .is_none_or(|p| p.free_space() < record.len())
         {
             self.pages.push(Page::new());
+            obs().page_allocs.incr();
         }
         let page = self.pages.len() - 1;
         let slot = self
@@ -47,6 +70,8 @@ impl HeapFile {
             .expect("just ensured")
             .insert(record)?;
         self.live += 1;
+        obs().inserts.incr();
+        attrib::bump(AttribKey::HeapWrite);
         Ok(RecordId {
             page: page as u32,
             slot: slot as u16,
@@ -55,6 +80,8 @@ impl HeapFile {
 
     /// Read a record by id.
     pub fn get(&self, rid: RecordId) -> Result<&[u8]> {
+        obs().reads.incr();
+        attrib::bump(AttribKey::HeapRead);
         let page = self
             .pages
             .get(rid.page as usize)
@@ -74,6 +101,8 @@ impl HeapFile {
             .ok_or(StorageError::InvalidPage(rid.page as usize))?;
         if page.delete(rid.slot as usize) {
             self.live -= 1;
+            obs().deletes.incr();
+            attrib::bump(AttribKey::HeapWrite);
             Ok(())
         } else {
             Err(StorageError::InvalidSlot {

@@ -205,6 +205,28 @@ fn figures_report_matches_golden() {
     );
 }
 
+/// Golden snapshot of the TRACE report: the executed span trees of one
+/// worked query on both engines, stable fields only (node kinds, rows,
+/// cache attribution — wall times elided). Deterministic because each
+/// engine runs against freshly built fixture graphs, whose cache
+/// entries cannot pre-exist. Re-bless with
+/// `UPDATE_GOLDEN=1 cargo test trace_report`.
+#[test]
+fn trace_report_matches_golden() {
+    let actual = hrdm_bench::figures::trace_report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden snapshot missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, expected,
+        "TRACE report drifted from tests/golden/trace.txt; \
+         if the change is intentional, re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
 /// Golden snapshot of the EXPLAIN renderings for the worked queries —
 /// the optimized plan trees and which rewrite rules fired, byte for
 /// byte. Re-bless with `UPDATE_GOLDEN=1 cargo test explain_report`.

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate the observability export artifacts in CI.
+
+Usage:
+    validate_obs.py --chrome-trace trace.json --obs-json BENCH_obs.json \
+        [--schema tests/golden/bench_obs.schema.json]
+
+Checks that the Chrome trace the figures binary emitted is well-formed
+chrome://tracing JSON (complete "X" events with the required keys) and
+that BENCH_obs.json conforms to the checked-in schema. The schema
+checker implements the small JSON-Schema subset the schema file uses
+(type, required, properties, additionalProperties, enum, const,
+minimum, oneOf) so CI needs no third-party packages.
+"""
+
+import argparse
+import json
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is a subclass of int in Python; a schema "integer" must not
+    # accept true/false.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def check(value, schema, path):
+    """Return a list of error strings for `value` against `schema`."""
+    errors = []
+    if "oneOf" in schema:
+        branches = [check(value, s, path) for s in schema["oneOf"]]
+        if not any(not b for b in branches):
+            flat = "; ".join(e for b in branches for e in b)
+            errors.append(f"{path}: matched no oneOf branch ({flat})")
+        return errors
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    t = schema.get("type")
+    if t is not None and not TYPE_CHECKS[t](value):
+        errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+        return errors
+    if "minimum" in schema and TYPE_CHECKS["number"](value) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    if t == "object":
+        props = schema.get("properties", {})
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key {req!r}")
+        extra = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            if key in props:
+                errors.extend(check(sub, props[key], f"{path}.{key}"))
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                errors.extend(check(sub, extra, f"{path}.{key}"))
+    return errors
+
+
+def validate_obs_json(path, schema_path):
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(path) as f:
+        doc = json.load(f)
+    errors = check(doc, schema, "$")
+    if errors:
+        for e in errors:
+            print(f"{path}: {e}", file=sys.stderr)
+        return False
+    n = len(doc["metrics"])
+    if n == 0:
+        print(f"{path}: metrics registry is empty", file=sys.stderr)
+        return False
+    print(f"{path}: ok ({n} metrics, label {doc['label']!r})")
+    return True
+
+
+def validate_chrome_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"{path}: traceEvents missing or empty", file=sys.stderr)
+        return False
+    for i, e in enumerate(events):
+        for key, kind in [
+            ("name", str),
+            ("ph", str),
+            ("ts", (int, float)),
+            ("dur", (int, float)),
+            ("pid", int),
+            ("tid", int),
+        ]:
+            if not isinstance(e.get(key), kind):
+                print(f"{path}: event {i} has bad {key!r}: {e.get(key)!r}", file=sys.stderr)
+                return False
+        if e["ph"] != "X":
+            print(f"{path}: event {i} is not a complete event: {e['ph']!r}", file=sys.stderr)
+            return False
+    print(f"{path}: ok ({len(events)} complete events)")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--chrome-trace", help="chrome://tracing JSON to validate")
+    ap.add_argument("--obs-json", help="BENCH_obs.json to validate")
+    ap.add_argument(
+        "--schema",
+        default="tests/golden/bench_obs.schema.json",
+        help="schema for --obs-json (default: %(default)s)",
+    )
+    args = ap.parse_args()
+    if not args.chrome_trace and not args.obs_json:
+        ap.error("nothing to validate: pass --chrome-trace and/or --obs-json")
+    ok = True
+    if args.chrome_trace:
+        ok = validate_chrome_trace(args.chrome_trace) and ok
+    if args.obs_json:
+        ok = validate_obs_json(args.obs_json, args.schema) and ok
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()
