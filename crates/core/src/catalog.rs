@@ -11,18 +11,27 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use hrdm_hierarchy::{cache, HierarchyGraph};
+use hrdm_hierarchy::{cache, HierarchyGraph, NodeKind};
 
 use crate::error::{CoreError, Result};
+use crate::mutation::{CatalogMutation, MutationSink};
 use crate::relation::HRelation;
-use crate::schema::Schema;
+use crate::render::render_table;
+use crate::schema::{Attribute, Schema};
 use crate::stats::{self, EngineStats};
+use crate::tuple::Tuple;
 
 /// Named domains and relations.
 #[derive(Default)]
 pub struct Catalog {
     domains: BTreeMap<String, Arc<HierarchyGraph>>,
     relations: BTreeMap<String, HRelation>,
+    /// Observer notified after every mutation applied via [`mutate`]
+    /// (never during [`apply_mutation`] replay).
+    ///
+    /// [`mutate`]: Catalog::mutate
+    /// [`apply_mutation`]: Catalog::apply_mutation
+    sink: Option<Box<dyn MutationSink>>,
 }
 
 impl Catalog {
@@ -140,6 +149,291 @@ impl Catalog {
         f(Arc::make_mut(arc)).map_err(CoreError::Hierarchy)
     }
 
+    /// Unregister a relation.
+    pub fn drop_relation(&mut self, name: &str) -> Result<HRelation> {
+        self.relations
+            .remove(name)
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "relation",
+                name: name.to_string(),
+            })
+    }
+
+    /// Install (or clear) the mutation observer; returns the previous
+    /// one. The sink fires after every successful [`Catalog::mutate`],
+    /// which is how a durable wrapper journals changes without
+    /// re-implementing the catalog surface.
+    pub fn set_mutation_sink(
+        &mut self,
+        sink: Option<Box<dyn MutationSink>>,
+    ) -> Option<Box<dyn MutationSink>> {
+        std::mem::replace(&mut self.sink, sink)
+    }
+
+    /// Is a mutation observer currently installed?
+    pub fn has_mutation_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Apply a logical mutation *without* notifying the sink — the
+    /// replay path. Recovery reads mutations back out of a journal and
+    /// must not re-journal them.
+    ///
+    /// Validation happens before any state changes, so a failed
+    /// mutation leaves the catalog untouched.
+    pub fn apply_mutation(&mut self, m: &CatalogMutation) -> Result<()> {
+        match m {
+            CatalogMutation::CreateDomain { name } => {
+                if self.domains.contains_key(name) {
+                    return Err(CoreError::DuplicateName {
+                        kind: "domain",
+                        name: name.clone(),
+                    });
+                }
+                self.add_domain(name.clone(), HierarchyGraph::new(name.as_str()));
+                Ok(())
+            }
+            CatalogMutation::DropDomain { name } => {
+                let arc = self.domains.get(name).ok_or_else(|| CoreError::NotFound {
+                    kind: "domain",
+                    name: name.clone(),
+                })?;
+                if let Some(rel) = self.relations.iter().find_map(|(rn, r)| {
+                    r.schema()
+                        .attributes()
+                        .iter()
+                        .any(|a| Arc::ptr_eq(a.domain(), arc))
+                        .then_some(rn)
+                }) {
+                    return Err(CoreError::InUse {
+                        kind: "domain",
+                        name: name.clone(),
+                        by: rel.clone(),
+                    });
+                }
+                self.drop_domain(name).map(|_| ())
+            }
+            CatalogMutation::AddClass {
+                domain,
+                name,
+                parents,
+            } => self.mutate_domain_resharing(domain, |g| {
+                let ids = parents
+                    .iter()
+                    .map(|p| g.node(p))
+                    .collect::<hrdm_hierarchy::Result<Vec<_>>>()?;
+                g.add_class_multi(name.as_str(), &ids).map(|_| ())
+            }),
+            CatalogMutation::AddInstance {
+                domain,
+                name,
+                parents,
+            } => self.mutate_domain_resharing(domain, |g| {
+                let ids = parents
+                    .iter()
+                    .map(|p| g.node(p))
+                    .collect::<hrdm_hierarchy::Result<Vec<_>>>()?;
+                g.add_instance_multi(name.as_str(), &ids).map(|_| ())
+            }),
+            CatalogMutation::Prefer {
+                domain,
+                stronger,
+                weaker,
+            } => self.mutate_domain_resharing(domain, |g| {
+                let s = g.node(stronger)?;
+                let w = g.node(weaker)?;
+                hrdm_hierarchy::preference::prefer(g, s, w)
+            }),
+            CatalogMutation::CreateRelation { name, attributes } => {
+                if self.relations.contains_key(name) {
+                    return Err(CoreError::DuplicateName {
+                        kind: "relation",
+                        name: name.clone(),
+                    });
+                }
+                let pairs: Vec<(&str, &str)> = attributes
+                    .iter()
+                    .map(|(a, d)| (a.as_str(), d.as_str()))
+                    .collect();
+                let schema = self.schema(&pairs)?;
+                self.add_relation(name.clone(), HRelation::new(schema));
+                Ok(())
+            }
+            CatalogMutation::DropRelation { name } => self.drop_relation(name).map(|_| ()),
+            CatalogMutation::Assert {
+                relation,
+                values,
+                truth,
+            } => {
+                let rel = self.require_relation_mut(relation)?;
+                let names: Vec<&str> = values.iter().map(String::as_str).collect();
+                rel.assert_fact(&names, *truth)
+            }
+            CatalogMutation::Retract { relation, values } => {
+                let rel = self.require_relation_mut(relation)?;
+                let names: Vec<&str> = values.iter().map(String::as_str).collect();
+                let item = rel.item(&names)?;
+                match rel.remove(&item) {
+                    Some(_) => Ok(()),
+                    None => Err(CoreError::NotFound {
+                        kind: "tuple",
+                        name: values.join(", "),
+                    }),
+                }
+            }
+            CatalogMutation::SetPreemption { relation, mode } => {
+                let rel = self.require_relation_mut(relation)?;
+                rel.set_preemption(*mode);
+                Ok(())
+            }
+        }
+    }
+
+    /// Apply a logical mutation and notify the installed sink.
+    ///
+    /// The sink only sees mutations that succeeded, in application
+    /// order — exactly the sequence a replay needs.
+    pub fn mutate(&mut self, m: CatalogMutation) -> Result<()> {
+        self.apply_mutation(&m)?;
+        if let Some(sink) = &mut self.sink {
+            sink.on_mutation(&m);
+        }
+        Ok(())
+    }
+
+    /// Update a domain through [`Catalog::update_domain`], then re-bind
+    /// every relation schema that held the pre-update `Arc` to the new
+    /// one.
+    ///
+    /// `update_domain`'s copy-on-write leaves relations on the graph
+    /// version they were created with — correct for ad-hoc readers, but
+    /// the mutation vocabulary needs the catalog to stay *internally
+    /// shared* so a checkpoint image can resolve every relation's
+    /// domains by identity. Node ids are append-only, so existing items
+    /// stay valid on the grown graph.
+    fn mutate_domain_resharing(
+        &mut self,
+        domain: &str,
+        f: impl FnOnce(&mut HierarchyGraph) -> hrdm_hierarchy::Result<()>,
+    ) -> Result<()> {
+        let arc = self
+            .domains
+            .get(domain)
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "domain",
+                name: domain.to_string(),
+            })?;
+        if Arc::strong_count(arc) == 1 {
+            // Uniquely owned: mutated in place, no reader can diverge.
+            return self.update_domain(domain, f);
+        }
+        let old = arc.clone();
+        if let Err(e) = self.update_domain(domain, f) {
+            // `Arc::make_mut` may have diverged the catalog's copy
+            // before `f` failed; put the original handle back so a
+            // failed mutation leaves even the `Arc` identity untouched.
+            self.domains.insert(domain.to_string(), old);
+            return Err(e);
+        }
+        let new = self.domain(domain).expect("still registered").clone();
+        debug_assert!(!Arc::ptr_eq(&old, &new), "shared arc must diverge");
+        let stale: Vec<String> = self
+            .relations
+            .iter()
+            .filter(|(_, r)| {
+                r.schema()
+                    .attributes()
+                    .iter()
+                    .any(|a| Arc::ptr_eq(a.domain(), &old))
+            })
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in stale {
+            let rel = self.relations.remove(&name).expect("listed above");
+            let attrs: Vec<Attribute> = rel
+                .schema()
+                .attributes()
+                .iter()
+                .map(|a| {
+                    if Arc::ptr_eq(a.domain(), &old) {
+                        Attribute::new(a.name(), new.clone())
+                    } else {
+                        a.clone()
+                    }
+                })
+                .collect();
+            let schema = Arc::new(Schema::new(attrs));
+            let mut rebuilt = HRelation::with_preemption(schema, rel.preemption());
+            for (item, truth) in rel.iter() {
+                rebuilt
+                    .insert(Tuple::new(item.clone(), truth))
+                    .expect("node ids are stable across domain growth");
+            }
+            self.relations.insert(name, rebuilt);
+        }
+        Ok(())
+    }
+
+    fn require_relation_mut(&mut self, name: &str) -> Result<&mut HRelation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "relation",
+                name: name.to_string(),
+            })
+    }
+
+    /// Render the whole catalog with stable fields only: every domain's
+    /// node/edge structure and every relation's stored tuples, in name
+    /// order, no wall times or pointers. Two catalogs with equal
+    /// `render_stable` output hold the same logical state — the byte
+    /// parity check the crash-recovery harness uses.
+    pub fn render_stable(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, g) in &self.domains {
+            let _ = writeln!(
+                out,
+                "domain {name} ({} nodes, {} edges)",
+                g.len(),
+                g.edge_count()
+            );
+            for id in g.node_ids() {
+                let kind = match g.kind(id) {
+                    NodeKind::Domain => "domain",
+                    NodeKind::Class => "class",
+                    NodeKind::Instance => "instance",
+                };
+                let mut parents: Vec<String> = g
+                    .parents_with_kind(id)
+                    .iter()
+                    .map(|&(p, k)| {
+                        if k == hrdm_hierarchy::EdgeKind::Subset {
+                            g.name(p).to_string()
+                        } else {
+                            format!("~{}", g.name(p))
+                        }
+                    })
+                    .collect();
+                parents.sort();
+                let _ = writeln!(
+                    out,
+                    "  {} [{kind}]{}{}",
+                    g.name(id).as_str(),
+                    if parents.is_empty() { "" } else { " < " },
+                    parents.join(", ")
+                );
+            }
+        }
+        for (name, rel) in &self.relations {
+            let _ = writeln!(out, "relation {name} [{}]", rel.preemption());
+            for line in render_table(rel).lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        out
+    }
+
     /// Build a schema from registered domain names, attribute names
     /// doubling as domain names.
     pub fn schema(&self, attrs: &[(&str, &str)]) -> Result<Arc<Schema>> {
@@ -159,6 +453,7 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::preemption::Preemption;
     use crate::truth::Truth;
 
     fn sample_graph() -> HierarchyGraph {
@@ -234,6 +529,182 @@ mod tests {
         cache::closure(&g);
         let after = cat.engine_stats();
         assert_eq!(after.closure_misses, before.closure_misses + 1);
+    }
+
+    /// The Fig. 1 world expressed as a mutation script.
+    fn fig1_script() -> Vec<CatalogMutation> {
+        use CatalogMutation::*;
+        let one = |s: &str| vec![s.to_string()];
+        vec![
+            CreateDomain {
+                name: "Animal".into(),
+            },
+            AddClass {
+                domain: "Animal".into(),
+                name: "Bird".into(),
+                parents: one("Animal"),
+            },
+            AddClass {
+                domain: "Animal".into(),
+                name: "Penguin".into(),
+                parents: one("Bird"),
+            },
+            AddInstance {
+                domain: "Animal".into(),
+                name: "Paul".into(),
+                parents: one("Penguin"),
+            },
+            CreateRelation {
+                name: "Flies".into(),
+                attributes: vec![("Creature".into(), "Animal".into())],
+            },
+            Assert {
+                relation: "Flies".into(),
+                values: one("Bird"),
+                truth: Truth::Positive,
+            },
+            Assert {
+                relation: "Flies".into(),
+                values: one("Penguin"),
+                truth: Truth::Negative,
+            },
+        ]
+    }
+
+    #[test]
+    fn mutation_script_builds_a_world() {
+        let mut cat = Catalog::new();
+        for m in fig1_script() {
+            cat.mutate(m).unwrap();
+        }
+        let flies = cat.relation("Flies").unwrap();
+        assert_eq!(flies.len(), 2);
+        assert!(!flies.holds(&flies.item(&["Paul"]).unwrap()));
+        // Replaying the same script onto a fresh catalog yields the
+        // same stable rendering — the recovery invariant.
+        let mut replayed = Catalog::new();
+        for m in fig1_script() {
+            replayed.apply_mutation(&m).unwrap();
+        }
+        assert_eq!(cat.render_stable(), replayed.render_stable());
+        assert!(replayed.render_stable().contains("Penguin [class] < Bird"));
+    }
+
+    #[test]
+    fn mutation_sink_sees_successful_mutations_only() {
+        struct Recorder(std::sync::Arc<std::sync::Mutex<Vec<String>>>);
+        impl crate::mutation::MutationSink for Recorder {
+            fn on_mutation(&mut self, m: &CatalogMutation) {
+                self.0.lock().unwrap().push(m.kind().to_string());
+            }
+        }
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut cat = Catalog::new();
+        assert!(!cat.has_mutation_sink());
+        cat.set_mutation_sink(Some(Box::new(Recorder(log.clone()))));
+        assert!(cat.has_mutation_sink());
+        cat.mutate(CatalogMutation::CreateDomain { name: "D".into() })
+            .unwrap();
+        // A failing mutation must not reach the sink.
+        assert!(cat
+            .mutate(CatalogMutation::CreateDomain { name: "D".into() })
+            .is_err());
+        // Replay bypasses the sink entirely.
+        cat.apply_mutation(&CatalogMutation::AddClass {
+            domain: "D".into(),
+            name: "A".into(),
+            parents: vec!["D".into()],
+        })
+        .unwrap();
+        assert_eq!(*log.lock().unwrap(), vec!["create-domain"]);
+        assert!(cat.set_mutation_sink(None).is_some());
+    }
+
+    #[test]
+    fn mutations_fail_atomically() {
+        let mut cat = Catalog::new();
+        for m in fig1_script() {
+            cat.mutate(m).unwrap();
+        }
+        let before = cat.render_stable();
+        use CatalogMutation::*;
+        let bad: Vec<CatalogMutation> = vec![
+            AddClass {
+                domain: "Animal".into(),
+                name: "Bird".into(), // duplicate
+                parents: vec!["Animal".into()],
+            },
+            AddInstance {
+                domain: "Nope".into(),
+                name: "x".into(),
+                parents: vec!["Nope".into()],
+            },
+            DropDomain {
+                name: "Plant".into(),
+            },
+            DropDomain {
+                name: "Animal".into(), // still referenced by Flies
+            },
+            DropRelation {
+                name: "Walks".into(),
+            },
+            Assert {
+                relation: "Walks".into(),
+                values: vec!["Bird".into()],
+                truth: Truth::Positive,
+            },
+            Retract {
+                relation: "Flies".into(),
+                values: vec!["Paul".into()], // not stored
+            },
+            Prefer {
+                domain: "Animal".into(),
+                stronger: "Bird".into(),
+                weaker: "Ghost".into(),
+            },
+            CreateRelation {
+                name: "Flies".into(), // duplicate
+                attributes: vec![("V".into(), "Animal".into())],
+            },
+        ];
+        for m in bad {
+            assert!(cat.mutate(m.clone()).is_err(), "{m} should fail");
+            assert_eq!(cat.render_stable(), before, "{m} must not change state");
+        }
+    }
+
+    #[test]
+    fn drop_and_set_preemption_mutations() {
+        let mut cat = Catalog::new();
+        for m in fig1_script() {
+            cat.mutate(m).unwrap();
+        }
+        cat.mutate(CatalogMutation::SetPreemption {
+            relation: "Flies".into(),
+            mode: Preemption::OnPath,
+        })
+        .unwrap();
+        assert_eq!(
+            cat.relation("Flies").unwrap().preemption(),
+            Preemption::OnPath
+        );
+        cat.mutate(CatalogMutation::Retract {
+            relation: "Flies".into(),
+            values: vec!["Penguin".into()],
+        })
+        .unwrap();
+        assert_eq!(cat.relation("Flies").unwrap().len(), 1);
+        cat.mutate(CatalogMutation::DropRelation {
+            name: "Flies".into(),
+        })
+        .unwrap();
+        assert!(cat.relation("Flies").is_err());
+        cat.mutate(CatalogMutation::DropDomain {
+            name: "Animal".into(),
+        })
+        .unwrap();
+        assert!(cat.domain("Animal").is_err());
+        assert_eq!(cat.render_stable(), "");
     }
 
     #[test]

@@ -45,6 +45,31 @@ pub enum CoreError {
     /// Declarative integrity constraints were violated (§3.1); the
     /// payload lists one human-readable detail per violation.
     ConstraintViolations(Vec<String>),
+    /// A catalog object with this name already exists (mutation replay
+    /// and DDL both refuse silent replacement).
+    DuplicateName {
+        /// Object category ("domain", "relation", …).
+        kind: &'static str,
+        /// The conflicting name.
+        name: String,
+    },
+    /// A catalog mutation referenced an object that does not exist.
+    NotFound {
+        /// Object category ("domain", "relation", "tuple", …).
+        kind: &'static str,
+        /// The missing name (or rendered tuple).
+        name: String,
+    },
+    /// A catalog object cannot be dropped while another still
+    /// references it (e.g. a domain with relations over it).
+    InUse {
+        /// Object category ("domain", …).
+        kind: &'static str,
+        /// The object that cannot be dropped.
+        name: String,
+        /// The first referencing object found.
+        by: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -86,6 +111,15 @@ impl fmt::Display for CoreError {
                 details.len(),
                 details.join("; ")
             ),
+            CoreError::DuplicateName { kind, name } => {
+                write!(f, "{kind} {name:?} already exists")
+            }
+            CoreError::NotFound { kind, name } => {
+                write!(f, "no {kind} named {name:?}")
+            }
+            CoreError::InUse { kind, name, by } => {
+                write!(f, "{kind} {name:?} is still referenced by {by:?}")
+            }
         }
     }
 }

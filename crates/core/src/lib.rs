@@ -75,6 +75,7 @@ pub mod flat;
 pub mod integrity;
 pub mod item;
 pub mod justify;
+pub mod mutation;
 pub mod ops;
 pub mod parallel;
 pub mod plan;
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use crate::catalog::Catalog;
     pub use crate::error::{CoreError, Result};
     pub use crate::item::Item;
+    pub use crate::mutation::{CatalogMutation, MutationSink};
     pub use crate::parallel::ExecMode;
     pub use crate::plan::LogicalPlan;
     pub use crate::preemption::Preemption;

@@ -141,6 +141,19 @@ pub enum Statement {
         /// Source file path.
         path: String,
     },
+    /// `OPEN "dir" [SYNC EVERY n]` — attach the session to a durable
+    /// store directory: recover (latest checkpoint + WAL replay), then
+    /// journal every subsequent catalog mutation with group-commit
+    /// batching of `n` appends per fsync (default 1: every append).
+    Open {
+        /// Store directory path.
+        dir: String,
+        /// Group-commit width; `None` means fsync every append.
+        sync_every: Option<u64>,
+    },
+    /// `CHECKPOINT` — write a fresh checkpoint image of the open store
+    /// and truncate its write-ahead log.
+    Checkpoint,
     /// `LET name = <derivation>`
     Let {
         /// New relation name.
@@ -326,6 +339,11 @@ impl fmt::Display for Statement {
             },
             Statement::Save { path } => write!(f, "SAVE {};", quoted(path)),
             Statement::Load { path } => write!(f, "LOAD {};", quoted(path)),
+            Statement::Open { dir, sync_every } => match sync_every {
+                Some(n) => write!(f, "OPEN {} SYNC EVERY {n};", quoted(dir)),
+                None => write!(f, "OPEN {};", quoted(dir)),
+            },
+            Statement::Checkpoint => write!(f, "CHECKPOINT;"),
             Statement::Let { name, derivation } => {
                 write!(f, "LET {} = {};", quoted(name), derivation)
             }
@@ -402,6 +420,21 @@ mod tests {
         assert_eq!(s.clone(), s);
         let d = Derivation::Union(Source::named("A"), Source::named("B"));
         assert_eq!(d.clone(), d);
+    }
+
+    #[test]
+    fn open_and_checkpoint_render() {
+        let s = Statement::Open {
+            dir: "db".into(),
+            sync_every: None,
+        };
+        assert_eq!(s.to_string(), "OPEN db;");
+        let s = Statement::Open {
+            dir: "/tmp/x".into(),
+            sync_every: Some(4),
+        };
+        assert_eq!(s.to_string(), "OPEN \"/tmp/x\" SYNC EVERY 4;");
+        assert_eq!(Statement::Checkpoint.to_string(), "CHECKPOINT;");
     }
 
     #[test]

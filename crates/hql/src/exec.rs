@@ -9,14 +9,17 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 use hrdm_core::consolidate::consolidate;
 use hrdm_core::justify::justify;
+use hrdm_core::mutation::CatalogMutation;
 use hrdm_core::plan::LogicalPlan;
 use hrdm_core::prelude::*;
 use hrdm_core::render::render_table;
 use hrdm_hierarchy::HierarchyGraph;
+use hrdm_persist::{Image, Journal};
 
 use crate::ast::{Derivation, Source, Statement, ValueRef};
 use crate::error::{HqlError, Result};
@@ -80,6 +83,12 @@ pub struct Session {
     shared: BTreeMap<String, Arc<HierarchyGraph>>,
     /// Relations plus their (attribute, domain-name) signatures.
     relations: BTreeMap<String, (HRelation, Vec<(String, String)>)>,
+    /// The write-ahead journal of an `OPEN`ed durable store, if any.
+    /// Statements in the WAL vocabulary (DDL, assertions, retractions,
+    /// preemption changes) append mutation records; whole-state changes
+    /// (`LET`, in-place `CONSOLIDATE`/`EXPLICATE`, `LOAD`) take an
+    /// implicit checkpoint instead.
+    journal: Option<Journal>,
 }
 
 impl Session {
@@ -103,6 +112,44 @@ impl Session {
                 kind: "relation",
                 name: name.to_string(),
             })
+    }
+
+    /// LSN of the attached store, if one is `OPEN` (= mutations recorded
+    /// since the store's birth).
+    pub fn journal_lsn(&self) -> Option<u64> {
+        self.journal.as_ref().map(Journal::next_lsn)
+    }
+
+    /// Flush and fsync any buffered WAL records of the open store.
+    /// A no-op when no store is attached.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some(j) = self.journal.as_mut() {
+            j.sync().map_err(|e| HqlError::Core(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Append one mutation record to the open store's WAL (no-op when
+    /// detached). Called only after the session applied the change.
+    fn journal_record(&mut self, m: CatalogMutation) -> Result<()> {
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&m).map_err(|e| HqlError::Core(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint the open store from the session's current state —
+    /// used after changes outside the WAL vocabulary (`LET`, in-place
+    /// operators, `LOAD`), which only an image can carry.
+    fn journal_checkpoint(&mut self) -> Result<()> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let image = self.to_image();
+        let j = self.journal.as_mut().expect("checked above");
+        j.checkpoint(&image)
+            .map_err(|e| HqlError::Core(e.to_string()))?;
+        Ok(())
     }
 
     /// Parse and execute a script; returns one response per statement.
@@ -233,6 +280,7 @@ impl Session {
                 }
                 self.domains
                     .insert(name.clone(), HierarchyGraph::new(name.as_str()));
+                self.journal_record(CatalogMutation::CreateDomain { name: name.clone() })?;
                 Ok(Response::Ok(format!("domain {name} created")))
             }
             Statement::CreateClass { name, parents } => {
@@ -244,6 +292,11 @@ impl Session {
                     .collect::<std::result::Result<Vec<_>, _>>()?;
                 g.add_class_multi(name.as_str(), &parent_ids)?;
                 self.reshare(&domain);
+                self.journal_record(CatalogMutation::AddClass {
+                    domain: domain.clone(),
+                    name: name.clone(),
+                    parents,
+                })?;
                 Ok(Response::Ok(format!("class {name} created in {domain}")))
             }
             Statement::CreateInstance { name, parents } => {
@@ -255,6 +308,11 @@ impl Session {
                     .collect::<std::result::Result<Vec<_>, _>>()?;
                 g.add_instance_multi(name.as_str(), &parent_ids)?;
                 self.reshare(&domain);
+                self.journal_record(CatalogMutation::AddInstance {
+                    domain: domain.clone(),
+                    name: name.clone(),
+                    parents,
+                })?;
                 Ok(Response::Ok(format!("instance {name} created in {domain}")))
             }
             Statement::Prefer {
@@ -267,6 +325,11 @@ impl Session {
                 let w = g.node(&weaker)?;
                 hrdm_hierarchy::preference::prefer(g, s, w)?;
                 self.reshare(&domain);
+                self.journal_record(CatalogMutation::Prefer {
+                    domain: domain.clone(),
+                    stronger: stronger.clone(),
+                    weaker: weaker.clone(),
+                })?;
                 Ok(Response::Ok(format!(
                     "{stronger} now dominates {weaker} in {domain}"
                 )))
@@ -284,7 +347,11 @@ impl Session {
                     .collect::<Result<Vec<_>>>()?;
                 let schema = Arc::new(Schema::new(attrs));
                 self.relations
-                    .insert(name.clone(), (HRelation::new(schema), attributes));
+                    .insert(name.clone(), (HRelation::new(schema), attributes.clone()));
+                self.journal_record(CatalogMutation::CreateRelation {
+                    name: name.clone(),
+                    attributes,
+                })?;
                 Ok(Response::Ok(format!("relation {name} created")))
             }
             Statement::Assert {
@@ -302,6 +369,11 @@ impl Session {
                 let rendered = rel.schema().display_item(&item);
                 let (rel, _) = self.relations.get_mut(&relation).expect("checked");
                 rel.assert_item(item, truth)?;
+                self.journal_record(CatalogMutation::Assert {
+                    relation: relation.clone(),
+                    values: values.iter().map(|v| v.name.clone()).collect(),
+                    truth,
+                })?;
                 Ok(Response::Ok(format!(
                     "asserted {} {rendered} in {relation}",
                     truth.sign()
@@ -312,15 +384,19 @@ impl Session {
                 let item = Self::resolve_item(rel, &values)?;
                 let rendered = rel.schema().display_item(&item);
                 let (rel, _) = self.relations.get_mut(&relation).expect("checked");
-                match rel.remove(&item) {
-                    Some(_) => Ok(Response::Ok(format!(
-                        "retracted {rendered} from {relation}"
-                    ))),
-                    None => Err(HqlError::Unknown {
+                if rel.remove(&item).is_none() {
+                    return Err(HqlError::Unknown {
                         kind: "tuple",
                         name: rendered,
-                    }),
+                    });
                 }
+                self.journal_record(CatalogMutation::Retract {
+                    relation: relation.clone(),
+                    values: values.iter().map(|v| v.name.clone()).collect(),
+                })?;
+                Ok(Response::Ok(format!(
+                    "retracted {rendered} from {relation}"
+                )))
             }
             Statement::Holds { relation, values } => {
                 let (rel, _) = self.relation_entry(&relation)?;
@@ -397,6 +473,7 @@ impl Session {
                 let removed = result.removed.len();
                 let (slot, _) = self.relations.get_mut(&relation).expect("checked");
                 *slot = result.relation;
+                self.journal_checkpoint()?;
                 Ok(Response::Ok(format!(
                     "consolidated {relation}: removed {removed} redundant tuple(s)"
                 )))
@@ -408,6 +485,7 @@ impl Session {
                 let tuples = result.len();
                 let (slot, _) = self.relations.get_mut(&relation).expect("checked");
                 *slot = result;
+                self.journal_checkpoint()?;
                 Ok(Response::Ok(format!(
                     "explicated {relation}: now {tuples} tuple(s)"
                 )))
@@ -429,6 +507,10 @@ impl Session {
                     name: relation.clone(),
                 })?;
                 rel.set_preemption(preemption);
+                self.journal_record(CatalogMutation::SetPreemption {
+                    relation: relation.clone(),
+                    mode: preemption,
+                })?;
                 Ok(Response::Ok(format!(
                     "{relation} now uses {preemption} preemption"
                 )))
@@ -444,11 +526,50 @@ impl Session {
                 let image =
                     hrdm_persist::Image::load(&path).map_err(|e| HqlError::Core(e.to_string()))?;
                 self.restore(image);
+                self.journal_checkpoint()?;
                 Ok(Response::Ok(format!(
                     "session restored from {path} ({} domain(s), {} relation(s))",
                     self.domains.len(),
                     self.relations.len()
                 )))
+            }
+            Statement::Open { dir, sync_every } => {
+                let path = Path::new(&dir);
+                std::fs::create_dir_all(path).map_err(|e| HqlError::Core(e.to_string()))?;
+                let recovered =
+                    hrdm_persist::recover(path).map_err(|e| HqlError::Core(e.to_string()))?;
+                let image = Image::from_catalog(&recovered.catalog);
+                let group = sync_every.unwrap_or(1) as usize;
+                // Start a fresh generation at the recovered LSN: the
+                // checkpoint makes the replayed tail durable and drops
+                // any torn bytes, so a re-crash cannot regress.
+                let journal = Journal::begin(path, recovered.report.next_lsn(), &image, group)
+                    .map_err(|e| HqlError::Core(e.to_string()))?;
+                self.restore(image);
+                self.journal = Some(journal);
+                let r = &recovered.report;
+                Ok(Response::Ok(format!(
+                    "store {dir} open at lsn {} ({} domain(s), {} relation(s); \
+                     {} record(s) replayed, {} byte(s) truncated)",
+                    r.next_lsn(),
+                    self.domains.len(),
+                    self.relations.len(),
+                    r.records_replayed,
+                    r.truncated_bytes
+                )))
+            }
+            Statement::Checkpoint => {
+                if self.journal.is_none() {
+                    return Err(HqlError::Core(
+                        "no store open; use OPEN \"dir\" first".into(),
+                    ));
+                }
+                let image = self.to_image();
+                let j = self.journal.as_mut().expect("checked above");
+                let lsn = j
+                    .checkpoint(&image)
+                    .map_err(|e| HqlError::Core(e.to_string()))?;
+                Ok(Response::Ok(format!("checkpoint written at lsn {lsn}")))
             }
             Statement::Count { relation, by } => {
                 let (rel, _) = self.relation_entry(&relation)?;
@@ -471,7 +592,9 @@ impl Session {
             }
             Statement::Let { name, derivation } => {
                 let derived = self.derive(&derivation)?;
-                self.store_derived(name, derived)
+                let response = self.store_derived(name, derived)?;
+                self.journal_checkpoint()?;
+                Ok(response)
             }
             Statement::Explain { derivation } => {
                 let plan = self.plan_of(&derivation)?;
@@ -640,10 +763,7 @@ mod tests {
     use super::*;
 
     /// The Fig. 1 world, entirely through HQL.
-    fn fig1_session() -> Session {
-        let mut s = Session::new();
-        s.execute(
-            r#"
+    const FIG1: &str = r#"
             CREATE DOMAIN Animal;
             CREATE CLASS Bird UNDER Animal;
             CREATE CLASS Canary UNDER Bird;
@@ -660,9 +780,11 @@ mod tests {
             ASSERT NOT Flies (ALL Penguin);
             ASSERT Flies (ALL "Amazing Flying Penguin");
             ASSERT Flies (Peter);
-            "#,
-        )
-        .expect("script is well-formed");
+            "#;
+
+    fn fig1_session() -> Session {
+        let mut s = Session::new();
+        s.execute(FIG1).expect("script is well-formed");
         s
     }
 
@@ -977,5 +1099,101 @@ mod tests {
         assert_eq!(truth_of(&mut s, "HOLDS Flies (Paul);"), Some(true));
         s.execute("ASSERT NOT Flies (ALL Penguin);").unwrap();
         assert_eq!(truth_of(&mut s, "HOLDS Flies (Paul);"), Some(false));
+    }
+
+    fn temp_store(tag: &str) -> (std::path::PathBuf, String) {
+        let dir = std::env::temp_dir().join(format!("hrdm_hql_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let quoted = dir.to_str().unwrap().to_string();
+        (dir, quoted)
+    }
+
+    #[test]
+    fn open_journals_statements_and_survives_reopen() {
+        let (dir, dir_str) = temp_store("reopen");
+        let mut s = Session::new();
+        let r = s
+            .execute(&format!("OPEN \"{dir_str}\" SYNC EVERY 4;"))
+            .unwrap()
+            .remove(0);
+        assert!(r.to_string().contains("open at lsn 0"), "{r}");
+        s.execute(FIG1).unwrap();
+        assert_eq!(s.journal_lsn(), Some(16), "every FIG1 statement journaled");
+        s.sync().unwrap();
+        drop(s);
+
+        // A fresh session recovers the whole world from checkpoint+WAL.
+        let mut s2 = Session::new();
+        let r = s2
+            .execute(&format!("OPEN \"{dir_str}\";"))
+            .unwrap()
+            .remove(0);
+        assert!(r.to_string().contains("16 record(s) replayed"), "{r}");
+        assert_eq!(s2.journal_lsn(), Some(16));
+        assert_eq!(truth_of(&mut s2, "HOLDS Flies (Tweety);"), Some(true));
+        assert_eq!(truth_of(&mut s2, "HOLDS Flies (Paul);"), Some(false));
+        assert_eq!(truth_of(&mut s2, "HOLDS Flies (Patricia);"), Some(true));
+        // DDL keeps working (and journaling) against the recovered state.
+        s2.execute("CREATE INSTANCE Pablo OF Penguin;").unwrap();
+        assert_eq!(truth_of(&mut s2, "HOLDS Flies (Pablo);"), Some(false));
+        assert_eq!(s2.journal_lsn(), Some(17));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_log() {
+        let (dir, dir_str) = temp_store("ckpt");
+        let mut s = Session::new();
+        s.execute(&format!("OPEN \"{dir_str}\";")).unwrap();
+        s.execute(FIG1).unwrap();
+        let r = s.execute("CHECKPOINT;").unwrap().remove(0);
+        assert!(
+            r.to_string().contains("checkpoint written at lsn 16"),
+            "{r}"
+        );
+        drop(s);
+
+        // After the checkpoint the WAL tail is empty: recovery loads the
+        // image and replays nothing.
+        let mut s2 = Session::new();
+        let r = s2
+            .execute(&format!("OPEN \"{dir_str}\";"))
+            .unwrap()
+            .remove(0);
+        assert!(r.to_string().contains("open at lsn 16"), "{r}");
+        assert!(r.to_string().contains("0 record(s) replayed"), "{r}");
+        assert_eq!(truth_of(&mut s2, "HOLDS Flies (Peter);"), Some(true));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn derived_and_in_place_results_checkpoint_implicitly() {
+        let (dir, dir_str) = temp_store("implicit");
+        let mut s = Session::new();
+        s.execute(&format!("OPEN \"{dir_str}\";")).unwrap();
+        s.execute(FIG1).unwrap();
+        // LET is outside the WAL vocabulary, so it must checkpoint; the
+        // derived relation has to survive a reopen.
+        s.execute("LET Sub = SELECT Flies WHERE Creature IS ALL Penguin;")
+            .unwrap();
+        s.execute("CONSOLIDATE Flies;").unwrap();
+        drop(s);
+
+        let mut s2 = Session::new();
+        s2.execute(&format!("OPEN \"{dir_str}\";")).unwrap();
+        assert_eq!(truth_of(&mut s2, "HOLDS Sub (Pamela);"), Some(true));
+        assert_eq!(truth_of(&mut s2, "HOLDS Flies (Paul);"), Some(false));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_without_open_store_errors() {
+        let mut s = Session::new();
+        assert!(matches!(
+            s.execute("CHECKPOINT;"),
+            Err(HqlError::Core(msg)) if msg.contains("no store open")
+        ));
+        assert_eq!(s.journal_lsn(), None);
+        s.sync().unwrap(); // no-op when detached
     }
 }

@@ -201,6 +201,30 @@ impl Parser {
             let path = self.name("a file path (quote it)")?;
             return Ok(Statement::Load { path });
         }
+        if self.eat_kw("open") {
+            let dir = self.name("a store directory path (quote it)")?;
+            let sync_every = if self.eat_kw("sync") {
+                self.expect_kw("every")?;
+                let word = self.name("a group-commit width")?;
+                let n = word.parse::<u64>().map_err(|_| HqlError::Parse {
+                    found: word,
+                    expected: "a positive integer after SYNC EVERY".into(),
+                })?;
+                if n == 0 {
+                    return Err(HqlError::Parse {
+                        found: "0".into(),
+                        expected: "a positive integer after SYNC EVERY".into(),
+                    });
+                }
+                Some(n)
+            } else {
+                None
+            };
+            return Ok(Statement::Open { dir, sync_every });
+        }
+        if self.eat_kw("checkpoint") {
+            return Ok(Statement::Checkpoint);
+        }
         if self.eat_kw("count") {
             let relation = self.name("a relation name")?;
             let by = if self.eat_kw("by") {
@@ -489,6 +513,29 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_open_and_checkpoint() {
+        let stmts = parse("OPEN \"/tmp/store\" SYNC EVERY 8; CHECKPOINT; OPEN db;").unwrap();
+        assert_eq!(
+            stmts[0],
+            Statement::Open {
+                dir: "/tmp/store".into(),
+                sync_every: Some(8),
+            }
+        );
+        assert_eq!(stmts[1], Statement::Checkpoint);
+        assert_eq!(
+            stmts[2],
+            Statement::Open {
+                dir: "db".into(),
+                sync_every: None,
+            }
+        );
+        assert!(parse("OPEN \"x\" SYNC EVERY zero;").is_err());
+        assert!(parse("OPEN \"x\" SYNC EVERY 0;").is_err());
+        assert!(parse("OPEN \"x\" SYNC 4;").is_err());
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Deterministic write-fault injection for crash testing.
+//!
+//! [`FaultFs`] wraps any [`Write`] and misbehaves at exactly the Nth
+//! `write` call — the three classic torn-write shapes:
+//!
+//! * [`Fault::Drop`] — the Nth write (and everything after) never
+//!   reaches the inner writer: a crash *before* the write hit disk.
+//! * [`Fault::Truncate`] — only a prefix of the Nth write lands, then
+//!   the stream goes dead: a torn sector at the moment of the crash.
+//! * [`Fault::BitFlip`] — the Nth write lands with one bit flipped and
+//!   the stream *continues*: silent media corruption that only the
+//!   CRC can catch.
+//!
+//! Everything is counted, nothing is random: the same `(trigger,
+//! fault)` pair replays the same byte stream every run, which is what
+//! lets `crash_recovery.rs` sweep every kill point exhaustively.
+
+use std::io::{Result as IoResult, Write};
+
+/// The misbehavior to inject at the trigger point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Swallow the Nth write and all writes after it.
+    Drop,
+    /// Let only the first `k` bytes of the Nth write land, then swallow
+    /// everything (a torn final write).
+    Truncate(usize),
+    /// Flip the given bit (index into the Nth write's payload,
+    /// `bit / 8` capped to the write's length) and keep going.
+    BitFlip(usize),
+}
+
+/// A counting, fault-injecting [`Write`] wrapper.
+pub struct FaultFs<W> {
+    inner: W,
+    fault: Option<(u64, Fault)>,
+    writes: u64,
+    tripped: bool,
+    dead: bool,
+}
+
+impl<W: Write> FaultFs<W> {
+    /// Pass-through wrapper that only counts writes — run the workload
+    /// once with this to learn how many kill points there are.
+    pub fn counting(inner: W) -> FaultFs<W> {
+        FaultFs {
+            inner,
+            fault: None,
+            writes: 0,
+            tripped: false,
+            dead: false,
+        }
+    }
+
+    /// Inject `fault` at the `trigger`-th write call (0-based).
+    pub fn with_fault(inner: W, trigger: u64, fault: Fault) -> FaultFs<W> {
+        FaultFs {
+            fault: Some((trigger, fault)),
+            ..FaultFs::counting(inner)
+        }
+    }
+
+    /// Number of `write` calls observed so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Did the configured fault fire?
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultFs<W> {
+    fn write(&mut self, buf: &[u8]) -> IoResult<usize> {
+        let n = self.writes;
+        self.writes += 1;
+        if self.dead {
+            // The simulated machine is off: acknowledge and discard.
+            return Ok(buf.len());
+        }
+        match self.fault {
+            Some((trigger, fault)) if n == trigger => {
+                self.tripped = true;
+                match fault {
+                    Fault::Drop => {
+                        self.dead = true;
+                        Ok(buf.len())
+                    }
+                    Fault::Truncate(k) => {
+                        let k = k.min(buf.len());
+                        self.inner.write_all(&buf[..k])?;
+                        self.dead = true;
+                        Ok(buf.len())
+                    }
+                    Fault::BitFlip(bit) => {
+                        let mut copy = buf.to_vec();
+                        if !copy.is_empty() {
+                            let at = (bit / 8) % copy.len();
+                            copy[at] ^= 1 << (bit % 8);
+                        }
+                        self.inner.write_all(&copy)?;
+                        Ok(buf.len())
+                    }
+                }
+            }
+            _ => {
+                self.inner.write_all(buf)?;
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> IoResult<()> {
+        if self.dead {
+            return Ok(());
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(fault: Option<(u64, Fault)>) -> (Vec<u8>, u64, bool) {
+        let mut f = match fault {
+            Some((t, fault)) => FaultFs::with_fault(Vec::new(), t, fault),
+            None => FaultFs::counting(Vec::new()),
+        };
+        for chunk in [&b"aaaa"[..], &b"bbbb"[..], &b"cccc"[..]] {
+            f.write_all(chunk).unwrap();
+        }
+        f.flush().unwrap();
+        let writes = f.writes();
+        let tripped = f.tripped();
+        (f.into_inner(), writes, tripped)
+    }
+
+    #[test]
+    fn counting_passes_through() {
+        let (bytes, writes, tripped) = run(None);
+        assert_eq!(bytes, b"aaaabbbbcccc");
+        assert_eq!(writes, 3);
+        assert!(!tripped);
+    }
+
+    #[test]
+    fn drop_kills_the_stream_from_the_trigger() {
+        let (bytes, writes, tripped) = run(Some((1, Fault::Drop)));
+        assert_eq!(bytes, b"aaaa", "write 1 and later are swallowed");
+        assert_eq!(writes, 3, "the workload itself never notices");
+        assert!(tripped);
+    }
+
+    #[test]
+    fn truncate_tears_the_nth_write() {
+        let (bytes, _, tripped) = run(Some((1, Fault::Truncate(2))));
+        assert_eq!(bytes, b"aaaabb", "two bytes of write 1 land");
+        assert!(tripped);
+        // Truncating to more than the write's length is a full write.
+        let (bytes, _, _) = run(Some((2, Fault::Truncate(99))));
+        assert_eq!(bytes, b"aaaabbbbcccc");
+    }
+
+    #[test]
+    fn bitflip_corrupts_and_continues() {
+        let (bytes, _, tripped) = run(Some((1, Fault::BitFlip(0))));
+        assert_eq!(bytes, b"aaaa\x63bbbcccc", "bit 0 of write 1 flipped");
+        assert!(tripped);
+    }
+
+    #[test]
+    fn trigger_past_the_end_never_fires() {
+        let (bytes, _, tripped) = run(Some((17, Fault::Drop)));
+        assert_eq!(bytes, b"aaaabbbbcccc");
+        assert!(!tripped);
+    }
+}

@@ -1,6 +1,7 @@
 #![warn(missing_docs)]
 
-//! Snapshot persistence for hierarchical relational catalogs.
+//! Persistence for hierarchical relational catalogs: snapshot images
+//! plus crash-safe durability.
 //!
 //! The paper's model is a *data model*; a system built on it needs its
 //! state — domain hierarchies and hierarchical relations — to survive
@@ -41,9 +42,25 @@
 //! assert!(flies.holds(&flies.item(&["Tweety"]).unwrap()));
 //! ```
 
+//! On top of the image sits the durability subsystem ([`wal`],
+//! [`store`]): an append-only write-ahead log of logical
+//! [`CatalogMutation`](hrdm_core::mutation::CatalogMutation) records
+//! (length-prefixed, CRC-32 framed), periodic checkpoints that write a
+//! fresh `HRDM1` image and truncate the log, and a [`recover`] path
+//! that loads the newest intact checkpoint, replays the WAL tail, and
+//! stops cleanly at the first torn record. [`faultfs`] provides the
+//! deterministic write-fault injection the crash-recovery test harness
+//! sweeps kill points with.
+
 pub mod codec;
 pub mod error;
+pub mod faultfs;
 pub mod image;
+pub mod store;
+pub mod wal;
 
 pub use error::{PersistError, Result};
+pub use faultfs::{Fault, FaultFs};
 pub use image::Image;
+pub use store::{recover, DurableCatalog, Journal, Recovered, RecoveryReport};
+pub use wal::{WalFile, WalReader, WalRecord};

@@ -1,0 +1,757 @@
+//! The write-ahead log: an append-only stream of logical catalog
+//! mutations, length-prefixed and CRC-32 framed.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! magic    "HRDMWAL1"
+//! version  u32 (= 1)
+//! records  …, each framed as:
+//!   len    varint (payload bytes, capped at 1 MiB)
+//!   crc    u32 little-endian, CRC-32 (IEEE) of the payload
+//!   payload len bytes, tag u8 + codec-primitive fields
+//! ```
+//!
+//! The **first** record of every log is a [`WalRecord::Checkpoint`]
+//! naming the LSN of the checkpoint image the log extends; mutation
+//! records follow, one per applied [`CatalogMutation`], implicitly
+//! numbered `lsn + 1, lsn + 2, …`. A second checkpoint record in the
+//! same stream is [`PersistError::Corrupt`] — checkpoints truncate the
+//! log and start a new file, they never appear mid-stream.
+//!
+//! # Torn tails
+//!
+//! [`WalReader::next`] is *strict*: a truncated frame, a CRC mismatch,
+//! an oversized length prefix, an unknown tag, or trailing payload
+//! bytes all surface as [`PersistError::Corrupt`], never a panic and
+//! never a partially decoded record. The recovery layer
+//! ([`crate::store::recover`]) is what converts a corrupt *tail* into a
+//! clean stop — every record before it was CRC-verified, so replay
+//! yields exactly a prefix of the history.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use hrdm_core::mutation::CatalogMutation;
+use hrdm_core::preemption::Preemption;
+use hrdm_core::truth::Truth;
+
+use crate::codec::{
+    crc32, read_str, read_u32, read_u64, read_u8, write_str, write_u32, write_u64, write_u8,
+    write_varint,
+};
+use crate::error::{PersistError, Result};
+
+/// WAL file magic.
+pub const WAL_MAGIC: &[u8; 8] = b"HRDMWAL1";
+/// WAL format version.
+pub const WAL_VERSION: u32 = 1;
+/// Upper bound on one record's payload. Catalog mutations are names
+/// and small lists; anything larger is a corrupt length prefix.
+pub const RECORD_CAP: usize = 1 << 20;
+
+/// One record in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Log header record: this log extends the checkpoint at `lsn`.
+    Checkpoint {
+        /// LSN of the checkpoint image this log follows.
+        lsn: u64,
+    },
+    /// One applied catalog mutation.
+    Mutation(CatalogMutation),
+}
+
+fn truth_tag(t: Truth) -> u8 {
+    match t {
+        Truth::Negative => 0,
+        Truth::Positive => 1,
+    }
+}
+
+fn truth_from(tag: u8) -> Result<Truth> {
+    match tag {
+        0 => Ok(Truth::Negative),
+        1 => Ok(Truth::Positive),
+        other => Err(PersistError::Corrupt(format!("unknown truth tag {other}"))),
+    }
+}
+
+fn preemption_tag(p: Preemption) -> u8 {
+    match p {
+        Preemption::OffPath => 0,
+        Preemption::OnPath => 1,
+        Preemption::NoPreemption => 2,
+    }
+}
+
+fn preemption_from(tag: u8) -> Result<Preemption> {
+    match tag {
+        0 => Ok(Preemption::OffPath),
+        1 => Ok(Preemption::OnPath),
+        2 => Ok(Preemption::NoPreemption),
+        other => Err(PersistError::Corrupt(format!(
+            "unknown preemption tag {other}"
+        ))),
+    }
+}
+
+fn write_names(w: &mut impl Write, names: &[String]) -> Result<()> {
+    write_u32(w, names.len() as u32)?;
+    for n in names {
+        write_str(w, n)?;
+    }
+    Ok(())
+}
+
+fn read_names(r: &mut impl Read) -> Result<Vec<String>> {
+    let n = read_u32(r)? as usize;
+    if n > RECORD_CAP {
+        return Err(PersistError::Corrupt(format!(
+            "name count {n} exceeds record cap"
+        )));
+    }
+    (0..n).map(|_| read_str(r)).collect()
+}
+
+/// Encode a record's payload (tag + fields, no framing).
+pub fn encode_payload(record: &WalRecord) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    let w = &mut buf;
+    match record {
+        WalRecord::Checkpoint { lsn } => {
+            write_u8(w, 0)?;
+            write_u64(w, *lsn)?;
+        }
+        WalRecord::Mutation(m) => match m {
+            CatalogMutation::CreateDomain { name } => {
+                write_u8(w, 1)?;
+                write_str(w, name)?;
+            }
+            CatalogMutation::DropDomain { name } => {
+                write_u8(w, 2)?;
+                write_str(w, name)?;
+            }
+            CatalogMutation::AddClass {
+                domain,
+                name,
+                parents,
+            } => {
+                write_u8(w, 3)?;
+                write_str(w, domain)?;
+                write_str(w, name)?;
+                write_names(w, parents)?;
+            }
+            CatalogMutation::AddInstance {
+                domain,
+                name,
+                parents,
+            } => {
+                write_u8(w, 4)?;
+                write_str(w, domain)?;
+                write_str(w, name)?;
+                write_names(w, parents)?;
+            }
+            CatalogMutation::Prefer {
+                domain,
+                stronger,
+                weaker,
+            } => {
+                write_u8(w, 5)?;
+                write_str(w, domain)?;
+                write_str(w, stronger)?;
+                write_str(w, weaker)?;
+            }
+            CatalogMutation::CreateRelation { name, attributes } => {
+                write_u8(w, 6)?;
+                write_str(w, name)?;
+                write_u32(w, attributes.len() as u32)?;
+                for (attr, dom) in attributes {
+                    write_str(w, attr)?;
+                    write_str(w, dom)?;
+                }
+            }
+            CatalogMutation::DropRelation { name } => {
+                write_u8(w, 7)?;
+                write_str(w, name)?;
+            }
+            CatalogMutation::Assert {
+                relation,
+                values,
+                truth,
+            } => {
+                write_u8(w, 8)?;
+                write_str(w, relation)?;
+                write_u8(w, truth_tag(*truth))?;
+                write_names(w, values)?;
+            }
+            CatalogMutation::Retract { relation, values } => {
+                write_u8(w, 9)?;
+                write_str(w, relation)?;
+                write_names(w, values)?;
+            }
+            CatalogMutation::SetPreemption { relation, mode } => {
+                write_u8(w, 10)?;
+                write_str(w, relation)?;
+                write_u8(w, preemption_tag(*mode))?;
+            }
+        },
+    }
+    Ok(buf)
+}
+
+/// Decode a record payload. Trailing bytes after the decoded fields
+/// are [`PersistError::Corrupt`]: a frame carries exactly one record.
+pub fn decode_payload(payload: &[u8]) -> Result<WalRecord> {
+    let mut r = payload;
+    let record = match read_u8(&mut r)? {
+        0 => WalRecord::Checkpoint {
+            lsn: read_u64(&mut r)?,
+        },
+        1 => WalRecord::Mutation(CatalogMutation::CreateDomain {
+            name: read_str(&mut r)?,
+        }),
+        2 => WalRecord::Mutation(CatalogMutation::DropDomain {
+            name: read_str(&mut r)?,
+        }),
+        3 => WalRecord::Mutation(CatalogMutation::AddClass {
+            domain: read_str(&mut r)?,
+            name: read_str(&mut r)?,
+            parents: read_names(&mut r)?,
+        }),
+        4 => WalRecord::Mutation(CatalogMutation::AddInstance {
+            domain: read_str(&mut r)?,
+            name: read_str(&mut r)?,
+            parents: read_names(&mut r)?,
+        }),
+        5 => WalRecord::Mutation(CatalogMutation::Prefer {
+            domain: read_str(&mut r)?,
+            stronger: read_str(&mut r)?,
+            weaker: read_str(&mut r)?,
+        }),
+        6 => {
+            let name = read_str(&mut r)?;
+            let n = read_u32(&mut r)? as usize;
+            if n > RECORD_CAP {
+                return Err(PersistError::Corrupt(format!(
+                    "attribute count {n} exceeds record cap"
+                )));
+            }
+            let attributes = (0..n)
+                .map(|_| Ok((read_str(&mut r)?, read_str(&mut r)?)))
+                .collect::<Result<Vec<_>>>()?;
+            WalRecord::Mutation(CatalogMutation::CreateRelation { name, attributes })
+        }
+        7 => WalRecord::Mutation(CatalogMutation::DropRelation {
+            name: read_str(&mut r)?,
+        }),
+        8 => {
+            let relation = read_str(&mut r)?;
+            let truth = truth_from(read_u8(&mut r)?)?;
+            let values = read_names(&mut r)?;
+            WalRecord::Mutation(CatalogMutation::Assert {
+                relation,
+                values,
+                truth,
+            })
+        }
+        9 => WalRecord::Mutation(CatalogMutation::Retract {
+            relation: read_str(&mut r)?,
+            values: read_names(&mut r)?,
+        }),
+        10 => WalRecord::Mutation(CatalogMutation::SetPreemption {
+            relation: read_str(&mut r)?,
+            mode: preemption_from(read_u8(&mut r)?)?,
+        }),
+        other => {
+            return Err(PersistError::Corrupt(format!(
+                "unknown WAL record tag {other}"
+            )))
+        }
+    };
+    if !r.is_empty() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing byte(s) in record payload",
+            r.len()
+        )));
+    }
+    Ok(record)
+}
+
+/// Write the WAL file header (magic + version).
+pub fn write_header(w: &mut impl Write) -> Result<()> {
+    w.write_all(WAL_MAGIC)?;
+    write_u32(w, WAL_VERSION)?;
+    Ok(())
+}
+
+/// Read and validate the WAL file header.
+pub fn read_header(r: &mut impl Read) -> Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| PersistError::BadMagic)?;
+    if &magic != WAL_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = read_u32(r)?;
+    if version != WAL_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    Ok(())
+}
+
+/// Frame and write one record: varint length, CRC-32, payload.
+pub fn write_record(w: &mut impl Write, record: &WalRecord) -> Result<()> {
+    let payload = encode_payload(record)?;
+    write_varint(w, payload.len() as u64)?;
+    write_u32(w, crc32(&payload))?;
+    w.write_all(&payload)?;
+    Ok(())
+}
+
+/// A counting reader so the WAL reader can report exact byte offsets
+/// (how much of a torn tail gets discarded).
+struct Counted<R> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> Read for Counted<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// Strict streaming reader over a WAL byte stream.
+///
+/// `next()` returns `Ok(Some(record))` per intact record, `Ok(None)`
+/// at a clean end-of-log (EOF exactly on a frame boundary), and
+/// [`PersistError::Corrupt`] for anything else — including a
+/// duplicate checkpoint record or a log whose first record is not a
+/// checkpoint.
+pub struct WalReader<R> {
+    r: Counted<R>,
+    /// Byte offset just past the last successfully decoded record.
+    good_pos: u64,
+    seen_checkpoint: bool,
+    poisoned: bool,
+}
+
+impl<R: Read> WalReader<R> {
+    /// Wrap a reader positioned at the start of a WAL stream; reads
+    /// and validates the header immediately.
+    pub fn new(inner: R) -> Result<WalReader<R>> {
+        let mut r = Counted { inner, pos: 0 };
+        read_header(&mut r)?;
+        let good_pos = r.pos;
+        Ok(WalReader {
+            r,
+            good_pos,
+            seen_checkpoint: false,
+            poisoned: false,
+        })
+    }
+
+    /// Byte offset just past the last intact record (or the header).
+    pub fn good_pos(&self) -> u64 {
+        self.good_pos
+    }
+
+    /// Read the next record. After the first error the reader is
+    /// poisoned: further calls return `Ok(None)` (a torn tail has no
+    /// decodable continuation).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<WalRecord>> {
+        if self.poisoned {
+            return Ok(None);
+        }
+        match self.read_one() {
+            Ok(Some(record)) => {
+                self.good_pos = self.r.pos;
+                Ok(Some(record))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn read_one(&mut self) -> Result<Option<WalRecord>> {
+        // Distinguish clean EOF (no bytes at all) from a torn frame.
+        let mut first = [0u8; 1];
+        match self.r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) => return Err(e.into()),
+        }
+        // Finish the varint whose first byte we just consumed.
+        let len = if first[0] & 0x80 == 0 {
+            first[0] as u64
+        } else {
+            let mut v = (first[0] & 0x7F) as u64;
+            let mut shift = 7u32;
+            loop {
+                let byte = read_u8(&mut self.r)
+                    .map_err(|_| PersistError::Corrupt("torn varint length prefix".into()))?;
+                if shift >= 63 && byte > 1 {
+                    return Err(PersistError::Corrupt("varint overflows 64 bits".into()));
+                }
+                v |= ((byte & 0x7F) as u64) << shift;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+                if shift > 63 {
+                    return Err(PersistError::Corrupt("varint longer than 10 bytes".into()));
+                }
+            }
+            v
+        };
+        if len as usize > RECORD_CAP {
+            return Err(PersistError::Corrupt(format!(
+                "record length {len} exceeds cap {RECORD_CAP}"
+            )));
+        }
+        let expected_crc = read_u32(&mut self.r)
+            .map_err(|_| PersistError::Corrupt("torn record checksum".into()))?;
+        let mut payload = vec![0u8; len as usize];
+        self.r
+            .read_exact(&mut payload)
+            .map_err(|_| PersistError::Corrupt("torn record payload".into()))?;
+        if crc32(&payload) != expected_crc {
+            return Err(PersistError::Corrupt("record checksum mismatch".into()));
+        }
+        let record = decode_payload(&payload)?;
+        match (&record, self.seen_checkpoint) {
+            (WalRecord::Checkpoint { .. }, true) => {
+                return Err(PersistError::Corrupt(
+                    "duplicate checkpoint record mid-log".into(),
+                ))
+            }
+            (WalRecord::Checkpoint { .. }, false) => self.seen_checkpoint = true,
+            (WalRecord::Mutation(_), false) => {
+                return Err(PersistError::Corrupt(
+                    "log does not start with a checkpoint record".into(),
+                ))
+            }
+            (WalRecord::Mutation(_), true) => {}
+        }
+        Ok(Some(record))
+    }
+}
+
+/// An open, appendable WAL file with group-commit fsync batching.
+///
+/// `append` buffers the framed record and fsyncs once every `group`
+/// appends (`group == 1` is synchronous durability; larger groups
+/// amortize the fsync across a batch, the classic group-commit
+/// trade: at most `group - 1` acknowledged records can be lost to a
+/// crash).
+pub struct WalFile {
+    w: BufWriter<File>,
+    path: PathBuf,
+    group: usize,
+    pending: usize,
+    appended: u64,
+}
+
+impl WalFile {
+    /// Create (truncate) a WAL at `path`, writing the header and the
+    /// binding checkpoint record, then fsyncing.
+    pub fn create(path: impl Into<PathBuf>, checkpoint_lsn: u64, group: usize) -> Result<WalFile> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut wal = WalFile {
+            w: BufWriter::new(file),
+            path,
+            group: group.max(1),
+            pending: 0,
+            appended: 0,
+        };
+        write_header(&mut wal.w)?;
+        write_record(
+            &mut wal.w,
+            &WalRecord::Checkpoint {
+                lsn: checkpoint_lsn,
+            },
+        )?;
+        wal.sync()?;
+        Ok(wal)
+    }
+
+    /// The file this WAL writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Mutation records appended so far (excludes the checkpoint
+    /// record).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Records buffered since the last fsync.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Append one mutation record; fsyncs when the group fills.
+    pub fn append(&mut self, m: &CatalogMutation) -> Result<()> {
+        let _g = hrdm_obs::span!("wal.append", kind = m.kind());
+        write_record(&mut self.w, &WalRecord::Mutation(m.clone()))?;
+        hrdm_obs::metrics::counter("wal.appends").incr();
+        self.appended += 1;
+        self.pending += 1;
+        if self.pending >= self.group {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flush buffered records and fsync the file.
+    pub fn sync(&mut self) -> Result<()> {
+        let _g = hrdm_obs::span!("wal.fsync", pending = self.pending);
+        self.w.flush()?;
+        self.w.get_ref().sync_data()?;
+        hrdm_obs::metrics::counter("wal.fsyncs").incr();
+        self.pending = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mutations() -> Vec<CatalogMutation> {
+        vec![
+            CatalogMutation::CreateDomain {
+                name: "Animal".into(),
+            },
+            CatalogMutation::AddClass {
+                domain: "Animal".into(),
+                name: "Bird".into(),
+                parents: vec!["Animal".into()],
+            },
+            CatalogMutation::AddInstance {
+                domain: "Animal".into(),
+                name: "Tweety".into(),
+                parents: vec!["Bird".into()],
+            },
+            CatalogMutation::Prefer {
+                domain: "Animal".into(),
+                stronger: "Bird".into(),
+                weaker: "Animal".into(),
+            },
+            CatalogMutation::CreateRelation {
+                name: "Flies".into(),
+                attributes: vec![("Creature".into(), "Animal".into())],
+            },
+            CatalogMutation::Assert {
+                relation: "Flies".into(),
+                values: vec!["Bird".into()],
+                truth: Truth::Positive,
+            },
+            CatalogMutation::Assert {
+                relation: "Flies".into(),
+                values: vec!["Tweety".into()],
+                truth: Truth::Negative,
+            },
+            CatalogMutation::Retract {
+                relation: "Flies".into(),
+                values: vec!["Tweety".into()],
+            },
+            CatalogMutation::SetPreemption {
+                relation: "Flies".into(),
+                mode: Preemption::NoPreemption,
+            },
+            CatalogMutation::DropRelation {
+                name: "Flies".into(),
+            },
+            CatalogMutation::DropDomain {
+                name: "Animal".into(),
+            },
+        ]
+    }
+
+    fn sample_log() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_header(&mut buf).unwrap();
+        write_record(&mut buf, &WalRecord::Checkpoint { lsn: 7 }).unwrap();
+        for m in sample_mutations() {
+            write_record(&mut buf, &WalRecord::Mutation(m)).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn every_mutation_kind_round_trips() {
+        for m in sample_mutations() {
+            let payload = encode_payload(&WalRecord::Mutation(m.clone())).unwrap();
+            assert_eq!(
+                decode_payload(&payload).unwrap(),
+                WalRecord::Mutation(m.clone()),
+                "{m} must round-trip"
+            );
+        }
+        let payload = encode_payload(&WalRecord::Checkpoint { lsn: u64::MAX }).unwrap();
+        assert_eq!(
+            decode_payload(&payload).unwrap(),
+            WalRecord::Checkpoint { lsn: u64::MAX }
+        );
+    }
+
+    #[test]
+    fn log_reads_back_in_order() {
+        let bytes = sample_log();
+        let mut reader = WalReader::new(&bytes[..]).unwrap();
+        assert_eq!(
+            reader.next().unwrap(),
+            Some(WalRecord::Checkpoint { lsn: 7 })
+        );
+        let mut got = Vec::new();
+        while let Some(WalRecord::Mutation(m)) = reader.next().unwrap() {
+            got.push(m);
+        }
+        assert_eq!(got, sample_mutations());
+        assert_eq!(reader.good_pos(), bytes.len() as u64);
+        // Clean EOF is repeatable.
+        assert_eq!(reader.next().unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_tail_is_corrupt_then_poisoned() {
+        let bytes = sample_log();
+        let cut = bytes.len() - 3;
+        let mut reader = WalReader::new(&bytes[..cut]).unwrap();
+        let mut intact = 0usize;
+        let err = loop {
+            match reader.next() {
+                Ok(Some(_)) => intact += 1,
+                Ok(None) => panic!("a torn final record must error, not EOF"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, PersistError::Corrupt(_)));
+        assert_eq!(intact, 1 + sample_mutations().len() - 1);
+        // Poisoned: the tail has no decodable continuation.
+        assert_eq!(reader.next().unwrap(), None);
+        assert!(reader.good_pos() < cut as u64);
+    }
+
+    #[test]
+    fn flipped_crc_is_corrupt() {
+        let mut bytes = sample_log();
+        // The checkpoint record's CRC sits right after the header +
+        // 1-byte varint length.
+        let crc_at = WAL_MAGIC.len() + 4 + 1;
+        bytes[crc_at] ^= 0x40;
+        let mut reader = WalReader::new(&bytes[..]).unwrap();
+        assert!(matches!(
+            reader.next(),
+            Err(PersistError::Corrupt(msg)) if msg.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corrupt() {
+        let mut bytes = Vec::new();
+        write_header(&mut bytes).unwrap();
+        write_varint(&mut bytes, RECORD_CAP as u64 + 1).unwrap();
+        write_u32(&mut bytes, 0).unwrap();
+        let mut reader = WalReader::new(&bytes[..]).unwrap();
+        assert!(matches!(
+            reader.next(),
+            Err(PersistError::Corrupt(msg)) if msg.contains("cap")
+        ));
+    }
+
+    #[test]
+    fn duplicate_checkpoint_record_is_corrupt() {
+        let mut bytes = Vec::new();
+        write_header(&mut bytes).unwrap();
+        write_record(&mut bytes, &WalRecord::Checkpoint { lsn: 0 }).unwrap();
+        write_record(&mut bytes, &WalRecord::Checkpoint { lsn: 1 }).unwrap();
+        let mut reader = WalReader::new(&bytes[..]).unwrap();
+        assert!(reader.next().unwrap().is_some());
+        assert!(matches!(
+            reader.next(),
+            Err(PersistError::Corrupt(msg)) if msg.contains("duplicate checkpoint")
+        ));
+    }
+
+    #[test]
+    fn missing_leading_checkpoint_is_corrupt() {
+        let mut bytes = Vec::new();
+        write_header(&mut bytes).unwrap();
+        write_record(
+            &mut bytes,
+            &WalRecord::Mutation(CatalogMutation::CreateDomain { name: "D".into() }),
+        )
+        .unwrap();
+        let mut reader = WalReader::new(&bytes[..]).unwrap();
+        assert!(matches!(
+            reader.next(),
+            Err(PersistError::Corrupt(msg)) if msg.contains("start with a checkpoint")
+        ));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            WalReader::new(&b"NOTAWAL!"[..]),
+            Err(PersistError::BadMagic)
+        ));
+        let mut bytes = WAL_MAGIC.to_vec();
+        write_u32(&mut bytes, 9).unwrap();
+        assert!(matches!(
+            WalReader::new(&bytes[..]),
+            Err(PersistError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let mut payload = encode_payload(&WalRecord::Checkpoint { lsn: 3 }).unwrap();
+        payload.push(0xAB);
+        assert!(matches!(
+            decode_payload(&payload),
+            Err(PersistError::Corrupt(msg)) if msg.contains("trailing")
+        ));
+    }
+
+    #[test]
+    fn wal_file_appends_and_group_commits() {
+        let dir = std::env::temp_dir().join(format!("hrdm_wal_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal-test.log");
+        let mut wal = WalFile::create(&path, 0, 4).unwrap();
+        for m in &sample_mutations()[..3] {
+            wal.append(m).unwrap();
+        }
+        assert_eq!(wal.appended(), 3);
+        assert_eq!(wal.pending(), 3, "group of 4 not yet full");
+        wal.append(&sample_mutations()[3]).unwrap();
+        assert_eq!(wal.pending(), 0, "group commit fired");
+        wal.sync().unwrap();
+        drop(wal);
+
+        let file = std::fs::File::open(&path).unwrap();
+        let mut reader = WalReader::new(std::io::BufReader::new(file)).unwrap();
+        let mut n = 0;
+        while reader.next().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1 + 4, "checkpoint + four mutations");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,157 @@
+//! Golden snapshot of crash-recovery reports: checkpoint LSN, records
+//! replayed, torn-tail accounting, and the recovered catalog, byte for
+//! byte. The fixture is a fixed mutation script, so every field —
+//! including the truncated byte count, which pins the WAL frame
+//! encoding — is deterministic. Re-bless deliberate format changes
+//! with `UPDATE_GOLDEN=1 cargo test recovery_report`.
+
+use std::path::{Path, PathBuf};
+
+use hrdm_core::mutation::CatalogMutation;
+use hrdm_core::prelude::*;
+use hrdm_persist::{recover, DurableCatalog};
+
+/// A fixed Fig. 1-flavoured mutation history exercising every record
+/// kind that appears in the report.
+fn fixture() -> Vec<CatalogMutation> {
+    use CatalogMutation::*;
+    vec![
+        CreateDomain {
+            name: "Animal".into(),
+        },
+        AddClass {
+            domain: "Animal".into(),
+            name: "Bird".into(),
+            parents: vec!["Animal".into()],
+        },
+        AddClass {
+            domain: "Animal".into(),
+            name: "Penguin".into(),
+            parents: vec!["Bird".into()],
+        },
+        AddInstance {
+            domain: "Animal".into(),
+            name: "Tweety".into(),
+            parents: vec!["Bird".into()],
+        },
+        AddInstance {
+            domain: "Animal".into(),
+            name: "Paul".into(),
+            parents: vec!["Penguin".into()],
+        },
+        CreateRelation {
+            name: "Flies".into(),
+            attributes: vec![("Creature".into(), "Animal".into())],
+        },
+        Assert {
+            relation: "Flies".into(),
+            values: vec!["Bird".into()],
+            truth: Truth::Positive,
+        },
+        Assert {
+            relation: "Flies".into(),
+            values: vec!["Penguin".into()],
+            truth: Truth::Negative,
+        },
+        SetPreemption {
+            relation: "Flies".into(),
+            mode: Preemption::OffPath,
+        },
+        Retract {
+            relation: "Flies".into(),
+            values: vec!["Penguin".into()],
+        },
+        Assert {
+            relation: "Flies".into(),
+            values: vec!["Penguin".into()],
+            truth: Truth::Negative,
+        },
+    ]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hrdm_golden_recovery_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build a store holding the fixture: checkpoint after the first six
+/// mutations, the remaining five in the WAL tail.
+fn build_store(dir: &Path) {
+    let mut dc = DurableCatalog::open_with_group(dir, 4).unwrap();
+    let script = fixture();
+    for m in &script[..6] {
+        dc.mutate(m.clone()).unwrap();
+    }
+    dc.checkpoint().unwrap();
+    for m in &script[6..] {
+        dc.mutate(m.clone()).unwrap();
+    }
+    dc.sync().unwrap();
+}
+
+fn report() -> String {
+    let mut out = String::new();
+
+    // A clean store: image at lsn 6, five WAL records on top.
+    let dir = temp_dir("clean");
+    build_store(&dir);
+    let clean = recover(&dir).unwrap();
+    out.push_str("== clean recovery ==\n");
+    out.push_str(&clean.report.render_stable());
+
+    out.push_str("\n== recovered catalog ==\n");
+    out.push_str(&clean.catalog.render_stable());
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The same store with a torn WAL tail: the last 7 bytes never made
+    // it to disk, so the final record is discarded and its surviving
+    // prefix counted as truncated.
+    let dir = temp_dir("torn");
+    build_store(&dir);
+    let wal = hrdm_persist::store::wal_path(&dir, 6);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.truncate(bytes.len() - 7);
+    std::fs::write(&wal, &bytes).unwrap();
+    let torn = recover(&dir).unwrap();
+    out.push_str("\n== torn tail ==\n");
+    out.push_str(&torn.report.render_stable());
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A forged, unreadable newest checkpoint: recovery must skip it and
+    // fall back to the previous generation. (The WAL bound to the bad
+    // checkpoint does not exist, so the good generation's log replays.)
+    let dir = temp_dir("skip");
+    build_store(&dir);
+    std::fs::write(
+        hrdm_persist::store::checkpoint_path(&dir, 999),
+        b"HRDMCKP1 not really",
+    )
+    .unwrap();
+    let skip = recover(&dir).unwrap();
+    out.push_str("\n== corrupt checkpoint skipped ==\n");
+    out.push_str(&skip.report.render_stable());
+    std::fs::remove_dir_all(&dir).ok();
+
+    out
+}
+
+/// Golden snapshot of the recovery reports over three deterministic
+/// scenarios (clean, torn tail, corrupt checkpoint). Re-bless with
+/// `UPDATE_GOLDEN=1 cargo test recovery_report`.
+#[test]
+fn recovery_report_matches_golden() {
+    let actual = report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/recovery.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden snapshot missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, expected,
+        "recovery report drifted from tests/golden/recovery.txt; \
+         if the change is intentional, re-bless with UPDATE_GOLDEN=1"
+    );
+}
