@@ -72,6 +72,31 @@ pub enum CoreError {
     },
 }
 
+impl CoreError {
+    /// Stable machine-readable error-kind code, part of the public API
+    /// surface: the unified `hrdm::Error` exposes these codes and the
+    /// `hrdm-server` wire protocol sends them verbatim in `ERR` replies,
+    /// so existing codes must never change meaning.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CoreError::Hierarchy(_) => "hierarchy",
+            CoreError::ArityMismatch { .. } => "arity",
+            CoreError::SchemaMismatch => "schema",
+            CoreError::UnknownAttribute(_) => "unknown",
+            CoreError::ContradictoryAssertion(_) => "contradiction",
+            CoreError::Inconsistent(_) | CoreError::InputInconsistent(_) => "conflict",
+            CoreError::AttributeIndexOutOfRange(_) | CoreError::DuplicateAttributeIndex(_) => {
+                "attr-index"
+            }
+            CoreError::NoJoinAttributes => "join",
+            CoreError::ConstraintViolations(_) => "constraint",
+            CoreError::DuplicateName { .. } => "duplicate",
+            CoreError::NotFound { .. } => "not-found",
+            CoreError::InUse { .. } => "in-use",
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

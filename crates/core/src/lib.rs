@@ -83,6 +83,7 @@ pub mod preemption;
 pub mod relation;
 pub mod render;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod subsumption;
 pub mod three_valued;
@@ -101,6 +102,7 @@ pub mod prelude {
     pub use crate::preemption::Preemption;
     pub use crate::relation::HRelation;
     pub use crate::schema::{Attribute, Schema};
+    pub use crate::snapshot::{Snapshot, SnapshotCell};
     pub use crate::stats::EngineStats;
     pub use crate::truth::Truth;
     pub use crate::tuple::Tuple;

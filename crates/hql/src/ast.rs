@@ -176,6 +176,130 @@ pub enum Statement {
     },
 }
 
+/// The fieldless discriminant of a [`Statement`] — the key the
+/// executor's dispatch table is indexed by, and the unit of the
+/// read/write classification the concurrent engine schedules on.
+///
+/// The discriminant values are the dispatch-table indexes; keep the
+/// order in sync with `engine::DISPATCH`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum StatementKind {
+    /// `CREATE DOMAIN`
+    CreateDomain = 0,
+    /// `CREATE CLASS`
+    CreateClass = 1,
+    /// `CREATE INSTANCE`
+    CreateInstance = 2,
+    /// `PREFER … OVER … IN …`
+    Prefer = 3,
+    /// `CREATE RELATION`
+    CreateRelation = 4,
+    /// `ASSERT [NOT]`
+    Assert = 5,
+    /// `RETRACT`
+    Retract = 6,
+    /// `HOLDS`
+    Holds = 7,
+    /// `HOLDS3`
+    Holds3 = 8,
+    /// `WHY`
+    Why = 9,
+    /// `CHECK`
+    Check = 10,
+    /// `SHOW`
+    Show = 11,
+    /// `SHOW DOMAIN`
+    ShowDomain = 12,
+    /// `CONSOLIDATE` (in place)
+    Consolidate = 13,
+    /// `EXPLICATE` (in place)
+    Explicate = 14,
+    /// `SET PREEMPTION`
+    SetPreemption = 15,
+    /// `COUNT`
+    Count = 16,
+    /// `SAVE`
+    Save = 17,
+    /// `LOAD`
+    Load = 18,
+    /// `OPEN`
+    Open = 19,
+    /// `CHECKPOINT`
+    Checkpoint = 20,
+    /// `LET`
+    Let = 21,
+    /// `EXPLAIN`
+    Explain = 22,
+    /// `TRACE`
+    Trace = 23,
+}
+
+/// Number of statement kinds (= dispatch-table length).
+pub const STATEMENT_KINDS: usize = 24;
+
+impl StatementKind {
+    /// Does this statement leave the session state untouched?
+    ///
+    /// Read-only statements execute against an immutable catalog
+    /// snapshot — many in parallel — while mutating statements funnel
+    /// through the engine's single writer. `SAVE` is classified as a
+    /// read: it writes a file but never changes the session state, so
+    /// it can snapshot concurrently with other readers.
+    pub fn is_read_only(self) -> bool {
+        matches!(
+            self,
+            StatementKind::Holds
+                | StatementKind::Holds3
+                | StatementKind::Why
+                | StatementKind::Check
+                | StatementKind::Show
+                | StatementKind::ShowDomain
+                | StatementKind::Count
+                | StatementKind::Save
+                | StatementKind::Explain
+                | StatementKind::Trace
+        )
+    }
+}
+
+impl Statement {
+    /// The fieldless discriminant of this statement.
+    pub fn kind(&self) -> StatementKind {
+        match self {
+            Statement::CreateDomain { .. } => StatementKind::CreateDomain,
+            Statement::CreateClass { .. } => StatementKind::CreateClass,
+            Statement::CreateInstance { .. } => StatementKind::CreateInstance,
+            Statement::Prefer { .. } => StatementKind::Prefer,
+            Statement::CreateRelation { .. } => StatementKind::CreateRelation,
+            Statement::Assert { .. } => StatementKind::Assert,
+            Statement::Retract { .. } => StatementKind::Retract,
+            Statement::Holds { .. } => StatementKind::Holds,
+            Statement::Holds3 { .. } => StatementKind::Holds3,
+            Statement::Why { .. } => StatementKind::Why,
+            Statement::Check { .. } => StatementKind::Check,
+            Statement::Show { .. } => StatementKind::Show,
+            Statement::ShowDomain { .. } => StatementKind::ShowDomain,
+            Statement::Consolidate { .. } => StatementKind::Consolidate,
+            Statement::Explicate { .. } => StatementKind::Explicate,
+            Statement::SetPreemption { .. } => StatementKind::SetPreemption,
+            Statement::Count { .. } => StatementKind::Count,
+            Statement::Save { .. } => StatementKind::Save,
+            Statement::Load { .. } => StatementKind::Load,
+            Statement::Open { .. } => StatementKind::Open,
+            Statement::Checkpoint => StatementKind::Checkpoint,
+            Statement::Let { .. } => StatementKind::Let,
+            Statement::Explain { .. } => StatementKind::Explain,
+            Statement::Trace { .. } => StatementKind::Trace,
+        }
+    }
+
+    /// Shorthand for `self.kind().is_read_only()`.
+    pub fn is_read_only(&self) -> bool {
+        self.kind().is_read_only()
+    }
+}
+
 /// An operand of a derivation: a stored relation by name, or a nested
 /// derivation in parentheses (so a whole query tree is one statement and
 /// the planner can rewrite across the composition).

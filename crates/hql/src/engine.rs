@@ -1,0 +1,702 @@
+//! The concurrent HQL engine: snapshot reads, serialized writes.
+//!
+//! An [`Engine`] is the shared, thread-safe core a
+//! [`Session`](crate::Session) (and the `hrdm-server` serving layer)
+//! executes against. It splits the statement vocabulary by effect:
+//!
+//! * **Read-only statements** (`HOLDS`, `SHOW`, `EXPLAIN`, …) grab one
+//!   [`Snapshot`] of the [`World`] and evaluate with no lock held —
+//!   arbitrarily many can run in parallel, and each sees a state that
+//!   equals the state after some serial prefix of the write history.
+//! * **Mutating statements** funnel through the single writer: a
+//!   `Mutex` serializes them, each clones the world copy-on-write,
+//!   applies its change, journals it through the write-ahead log of the
+//!   `OPEN`ed store (if any), and publishes the fresh world as the next
+//!   **epoch**. A failed statement publishes nothing, so errors are
+//!   atomic — readers can never observe a half-applied write.
+//!
+//! Statements dispatch through a table indexed by
+//! [`StatementKind`](crate::ast::StatementKind): one handler function
+//! per statement, declared read or write by construction (the private
+//! `Handler` enum).
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use hrdm_core::justify::justify;
+use hrdm_core::mutation::CatalogMutation;
+use hrdm_core::prelude::*;
+use hrdm_core::render::render_table;
+use hrdm_persist::{Image, Journal};
+
+use crate::ast::{Statement, STATEMENT_KINDS};
+use crate::error::{HqlError, Result};
+use crate::exec::Response;
+use crate::parser::parse;
+use crate::world::{resolve_item, World};
+
+/// A shared, thread-safe HQL engine.
+///
+/// `Engine` is `Clone` (handles share one underlying state): clone it
+/// into as many threads as you like. Reads never block other reads;
+/// writes serialize among themselves and publish atomically.
+#[derive(Clone, Default)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+#[derive(Default)]
+struct EngineInner {
+    /// The published world; advances only under the writer lock.
+    state: SnapshotCell<World>,
+    /// Serializes mutating statements and owns the WAL handle.
+    writer: Mutex<Writer>,
+}
+
+#[derive(Default)]
+struct Writer {
+    /// The write-ahead journal of an `OPEN`ed durable store, if any.
+    /// Statements in the WAL vocabulary (DDL, assertions, retractions,
+    /// preemption changes) append mutation records; whole-state changes
+    /// (`LET`, in-place `CONSOLIDATE`/`EXPLICATE`, `LOAD`) take an
+    /// implicit checkpoint instead.
+    journal: Option<Journal>,
+}
+
+/// One mutating statement's workspace: a private copy-on-write clone
+/// of the world plus the journal handle. The engine publishes
+/// `txn.world` only if the handler returns `Ok`, so a failed write is
+/// invisible — readers and later writers keep the previous epoch.
+pub struct WriteTxn<'a> {
+    /// The private world copy this transaction mutates.
+    pub world: World,
+    journal: &'a mut Option<Journal>,
+}
+
+impl WriteTxn<'_> {
+    /// Append one mutation record to the open store's WAL (no-op when
+    /// detached). Called only after the transaction applied the change.
+    fn record(&mut self, m: CatalogMutation) -> Result<()> {
+        if let Some(j) = self.journal.as_mut() {
+            j.record(&m)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint the open store from the transaction's current world —
+    /// used after changes outside the WAL vocabulary (`LET`, in-place
+    /// operators, `LOAD`), which only an image can carry.
+    fn checkpoint(&mut self) -> Result<()> {
+        if let Some(j) = self.journal.as_mut() {
+            let image = self.world.to_image();
+            j.checkpoint(&image)?;
+        }
+        Ok(())
+    }
+}
+
+/// A dispatch-table entry: the effect class is part of the handler's
+/// type, so a statement cannot accidentally mutate through the read
+/// path or dodge the writer lock.
+enum Handler {
+    /// Runs against an immutable snapshot; many in parallel.
+    Read(fn(&World, Statement) -> Result<Response>),
+    /// Runs under the writer lock against a COW clone.
+    Write(fn(&mut WriteTxn<'_>, Statement) -> Result<Response>),
+}
+
+/// One handler per [`StatementKind`], indexed by its discriminant.
+const DISPATCH: [Handler; STATEMENT_KINDS] = [
+    Handler::Write(exec_create_domain),   // CreateDomain
+    Handler::Write(exec_create_class),    // CreateClass
+    Handler::Write(exec_create_instance), // CreateInstance
+    Handler::Write(exec_prefer),          // Prefer
+    Handler::Write(exec_create_relation), // CreateRelation
+    Handler::Write(exec_assert),          // Assert
+    Handler::Write(exec_retract),         // Retract
+    Handler::Read(exec_holds),            // Holds
+    Handler::Read(exec_holds3),           // Holds3
+    Handler::Read(exec_why),              // Why
+    Handler::Read(exec_check),            // Check
+    Handler::Read(exec_show),             // Show
+    Handler::Read(exec_show_domain),      // ShowDomain
+    Handler::Write(exec_consolidate),     // Consolidate
+    Handler::Write(exec_explicate),       // Explicate
+    Handler::Write(exec_set_preemption),  // SetPreemption
+    Handler::Read(exec_count),            // Count
+    Handler::Read(exec_save),             // Save
+    Handler::Write(exec_load),            // Load
+    Handler::Write(exec_open),            // Open
+    Handler::Write(exec_checkpoint),      // Checkpoint
+    Handler::Write(exec_let),             // Let
+    Handler::Read(exec_explain),          // Explain
+    Handler::Read(exec_trace),            // Trace
+];
+
+impl Engine {
+    /// A fresh engine over an empty world.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Grab the current published snapshot (epoch + shared world).
+    pub fn snapshot(&self) -> Snapshot<World> {
+        self.inner.state.load()
+    }
+
+    /// The current epoch (number of successful writes published).
+    pub fn epoch(&self) -> u64 {
+        self.inner.state.epoch()
+    }
+
+    /// Parse and execute a script; returns one response per statement.
+    ///
+    /// Statements run in order; within one call, a read after a write
+    /// sees that write (the write publishes before the read loads its
+    /// snapshot). A parse error anywhere aborts the whole script before
+    /// any statement runs; an execution error stops the script at the
+    /// failing statement, keeping earlier (published) effects.
+    pub fn execute(&self, script: &str) -> Result<Vec<Response>> {
+        let statements = parse(script)?;
+        let mut out = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute one parsed statement through the dispatch table.
+    pub fn execute_statement(&self, stmt: Statement) -> Result<Response> {
+        match &DISPATCH[stmt.kind() as usize] {
+            Handler::Read(h) => {
+                let snap = self.inner.state.load();
+                h(&snap, stmt)
+            }
+            Handler::Write(h) => {
+                let mut writer = self.inner.writer.lock().expect("writer lock poisoned");
+                let snap = self.inner.state.load();
+                let mut txn = WriteTxn {
+                    world: (*snap).clone(),
+                    journal: &mut writer.journal,
+                };
+                let response = h(&mut txn, stmt)?;
+                self.inner.state.publish(Arc::new(txn.world));
+                Ok(response)
+            }
+        }
+    }
+
+    /// LSN of the attached store, if one is `OPEN` (= mutations recorded
+    /// since the store's birth).
+    pub fn journal_lsn(&self) -> Option<u64> {
+        let writer = self.inner.writer.lock().expect("writer lock poisoned");
+        writer.journal.as_ref().map(Journal::next_lsn)
+    }
+
+    /// Flush and fsync any buffered WAL records of the open store.
+    /// A no-op when no store is attached.
+    pub fn sync(&self) -> Result<()> {
+        let mut writer = self.inner.writer.lock().expect("writer lock poisoned");
+        if let Some(j) = writer.journal.as_mut() {
+            j.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Replace the whole published state from a persistence image (no
+    /// journal interaction; used by [`Session::restore`]).
+    ///
+    /// [`Session::restore`]: crate::Session::restore
+    pub fn restore(&self, image: Image) {
+        let _writer = self.inner.writer.lock().expect("writer lock poisoned");
+        self.inner.state.publish(Arc::new(World::from_image(image)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Write handlers
+// ---------------------------------------------------------------------
+
+fn exec_create_domain(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::CreateDomain { name } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    txn.world.create_domain(&name)?;
+    txn.record(CatalogMutation::CreateDomain { name: name.clone() })?;
+    Ok(Response::Ok(format!("domain {name} created")))
+}
+
+fn exec_create_class(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::CreateClass { name, parents } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let domain = txn.world.add_class(&name, &parents)?;
+    txn.record(CatalogMutation::AddClass {
+        domain: domain.clone(),
+        name: name.clone(),
+        parents,
+    })?;
+    Ok(Response::Ok(format!("class {name} created in {domain}")))
+}
+
+fn exec_create_instance(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::CreateInstance { name, parents } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let domain = txn.world.add_instance(&name, &parents)?;
+    txn.record(CatalogMutation::AddInstance {
+        domain: domain.clone(),
+        name: name.clone(),
+        parents,
+    })?;
+    Ok(Response::Ok(format!("instance {name} created in {domain}")))
+}
+
+fn exec_prefer(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::Prefer {
+        stronger,
+        weaker,
+        domain,
+    } = stmt
+    else {
+        unreachable!("dispatched by kind")
+    };
+    txn.world.prefer(&domain, &stronger, &weaker)?;
+    txn.record(CatalogMutation::Prefer {
+        domain: domain.clone(),
+        stronger: stronger.clone(),
+        weaker: weaker.clone(),
+    })?;
+    Ok(Response::Ok(format!(
+        "{stronger} now dominates {weaker} in {domain}"
+    )))
+}
+
+fn exec_create_relation(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::CreateRelation { name, attributes } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    txn.world.create_relation(&name, &attributes)?;
+    txn.record(CatalogMutation::CreateRelation {
+        name: name.clone(),
+        attributes,
+    })?;
+    Ok(Response::Ok(format!("relation {name} created")))
+}
+
+fn exec_assert(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::Assert {
+        relation,
+        negated,
+        values,
+    } = stmt
+    else {
+        unreachable!("dispatched by kind")
+    };
+    let truth = if negated {
+        Truth::Negative
+    } else {
+        Truth::Positive
+    };
+    let rendered = txn.world.assert_item(&relation, &values, truth)?;
+    txn.record(CatalogMutation::Assert {
+        relation: relation.clone(),
+        values: values.iter().map(|v| v.name.clone()).collect(),
+        truth,
+    })?;
+    Ok(Response::Ok(format!(
+        "asserted {} {rendered} in {relation}",
+        truth.sign()
+    )))
+}
+
+fn exec_retract(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::Retract { relation, values } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let rendered = txn.world.retract_item(&relation, &values)?;
+    txn.record(CatalogMutation::Retract {
+        relation: relation.clone(),
+        values: values.iter().map(|v| v.name.clone()).collect(),
+    })?;
+    Ok(Response::Ok(format!(
+        "retracted {rendered} from {relation}"
+    )))
+}
+
+fn exec_consolidate(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::Consolidate { relation } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let removed = txn.world.consolidate_in_place(&relation)?;
+    txn.checkpoint()?;
+    Ok(Response::Ok(format!(
+        "consolidated {relation}: removed {removed} redundant tuple(s)"
+    )))
+}
+
+fn exec_explicate(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::Explicate { relation, attrs } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let tuples = txn.world.explicate_in_place(&relation, &attrs)?;
+    txn.checkpoint()?;
+    Ok(Response::Ok(format!(
+        "explicated {relation}: now {tuples} tuple(s)"
+    )))
+}
+
+fn exec_set_preemption(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::SetPreemption { relation, mode } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let preemption = match mode.to_ascii_uppercase().as_str() {
+        "OFF-PATH" => Preemption::OffPath,
+        "ON-PATH" => Preemption::OnPath,
+        "NONE" | "NO-PREEMPTION" => Preemption::NoPreemption,
+        other => {
+            return Err(HqlError::Parse {
+                found: other.to_string(),
+                expected: "OFF-PATH, ON-PATH, or NONE".into(),
+            })
+        }
+    };
+    txn.world.set_preemption(&relation, preemption)?;
+    txn.record(CatalogMutation::SetPreemption {
+        relation: relation.clone(),
+        mode: preemption,
+    })?;
+    Ok(Response::Ok(format!(
+        "{relation} now uses {preemption} preemption"
+    )))
+}
+
+fn exec_let(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::Let { name, derivation } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let derived = txn.world.derive(&derivation)?;
+    let tuples = txn.world.store_derived(&name, derived)?;
+    txn.checkpoint()?;
+    Ok(Response::Ok(format!(
+        "relation {name} defined ({tuples} tuples)"
+    )))
+}
+
+fn exec_load(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::Load { path } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let image = hrdm_persist::Image::load(&path)?;
+    txn.world = World::from_image(image);
+    txn.checkpoint()?;
+    Ok(Response::Ok(format!(
+        "session restored from {path} ({} domain(s), {} relation(s))",
+        txn.world.domain_count(),
+        txn.world.relation_count()
+    )))
+}
+
+fn exec_open(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::Open { dir, sync_every } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let path = Path::new(&dir);
+    std::fs::create_dir_all(path).map_err(hrdm_persist::PersistError::from)?;
+    let recovered = hrdm_persist::recover(path)?;
+    let image = Image::from_catalog(&recovered.catalog);
+    let group = sync_every.unwrap_or(1) as usize;
+    // Start a fresh generation at the recovered LSN: the checkpoint
+    // makes the replayed tail durable and drops any torn bytes, so a
+    // re-crash cannot regress.
+    let journal = Journal::begin(path, recovered.report.next_lsn(), &image, group)?;
+    txn.world = World::from_image(image);
+    *txn.journal = Some(journal);
+    let r = &recovered.report;
+    Ok(Response::Ok(format!(
+        "store {dir} open at lsn {} ({} domain(s), {} relation(s); \
+         {} record(s) replayed, {} byte(s) truncated)",
+        r.next_lsn(),
+        txn.world.domain_count(),
+        txn.world.relation_count(),
+        r.records_replayed,
+        r.truncated_bytes
+    )))
+}
+
+fn exec_checkpoint(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::Checkpoint = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let Some(j) = txn.journal.as_mut() else {
+        return Err(HqlError::Execution(
+            "no store open; use OPEN \"dir\" first".into(),
+        ));
+    };
+    let image = txn.world.to_image();
+    let lsn = j.checkpoint(&image)?;
+    Ok(Response::Ok(format!("checkpoint written at lsn {lsn}")))
+}
+
+// ---------------------------------------------------------------------
+// Read handlers
+// ---------------------------------------------------------------------
+
+fn exec_holds(world: &World, stmt: Statement) -> Result<Response> {
+    let Statement::Holds { relation, values } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let rel = world.relation(&relation)?;
+    let item = resolve_item(rel, &values)?;
+    let rendered = rel.schema().display_item(&item);
+    let value = match rel.bind(&item) {
+        hrdm_core::Binding::Conflict { .. } => None,
+        b => Some(b.truth() == Some(Truth::Positive)),
+    };
+    Ok(Response::Truth {
+        item: rendered,
+        value,
+    })
+}
+
+fn exec_holds3(world: &World, stmt: Statement) -> Result<Response> {
+    let Statement::Holds3 { relation, values } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let rel = world.relation(&relation)?;
+    let item = resolve_item(rel, &values)?;
+    let rendered = rel.schema().display_item(&item);
+    let verdict = match hrdm_core::three_valued::holds3(rel, &item) {
+        hrdm_core::three_valued::Truth3::True => "true",
+        hrdm_core::three_valued::Truth3::False => "false",
+        hrdm_core::three_valued::Truth3::Unknown => "unknown",
+    };
+    Ok(Response::Ok(format!("{rendered}: {verdict}")))
+}
+
+fn exec_why(world: &World, stmt: Statement) -> Result<Response> {
+    let Statement::Why { relation, values } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let rel = world.relation(&relation)?;
+    let item = resolve_item(rel, &values)?;
+    let j = justify(rel, &item);
+    let mut out = format!(
+        "{}: {:?}\napplicable:\n",
+        rel.schema().display_item(&item),
+        j.binding.truth().map(Truth::holds)
+    );
+    for t in &j.applicable {
+        out.push_str(&format!(
+            "    {} {}\n",
+            t.truth.sign(),
+            rel.schema().display_item(&t.item)
+        ));
+    }
+    out.push_str("decisive:\n");
+    for t in &j.decisive {
+        out.push_str(&format!(
+            "    {} {}\n",
+            t.truth.sign(),
+            rel.schema().display_item(&t.item)
+        ));
+    }
+    Ok(Response::Justification(out))
+}
+
+fn exec_check(world: &World, stmt: Statement) -> Result<Response> {
+    let Statement::Check { relation } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let rel = world.relation(&relation)?;
+    let conflicts = hrdm_core::conflict::find_conflicts(rel)
+        .into_iter()
+        .map(|c| rel.schema().display_item(&c.item))
+        .collect();
+    Ok(Response::Conflicts(conflicts))
+}
+
+fn exec_show(world: &World, stmt: Statement) -> Result<Response> {
+    let Statement::Show { relation } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let rel = world.relation(&relation)?;
+    Ok(Response::Table(render_table(rel)))
+}
+
+fn exec_show_domain(world: &World, stmt: Statement) -> Result<Response> {
+    let Statement::ShowDomain { name } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let g = world.domain(&name)?;
+    Ok(Response::Dot(hrdm_hierarchy::dot::to_dot(g, &name)))
+}
+
+fn exec_count(world: &World, stmt: Statement) -> Result<Response> {
+    let Statement::Count { relation, by } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let rel = world.relation(&relation)?;
+    match by {
+        None => {
+            let n = hrdm_core::ops::cardinality(rel);
+            Ok(Response::Ok(format!(
+                "{relation} has {n} atom(s) in its extension"
+            )))
+        }
+        Some(attr) => {
+            let rows = hrdm_core::ops::group_count_by_name(rel, &attr)?;
+            let mut out = format!("{relation} grouped by {attr}:\n");
+            for (name, count) in rows {
+                out.push_str(&format!("    {name}: {count}\n"));
+            }
+            Ok(Response::Table(out))
+        }
+    }
+}
+
+fn exec_save(world: &World, stmt: Statement) -> Result<Response> {
+    let Statement::Save { path } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    world.to_image().save(&path)?;
+    Ok(Response::Ok(format!("session saved to {path}")))
+}
+
+fn exec_explain(world: &World, stmt: Statement) -> Result<Response> {
+    let Statement::Explain { derivation } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let plan = world.plan_of(&derivation)?;
+    Ok(Response::Plan(plan.explain()))
+}
+
+fn exec_trace(world: &World, stmt: Statement) -> Result<Response> {
+    let Statement::Trace { derivation } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    let plan = world.plan_of(&derivation)?;
+    let (optimized, rewrites) = plan.optimize();
+    let executed = optimized.execute()?;
+    let mut out = executed.trace.render();
+    if rewrites.is_empty() {
+        out.push_str("no rewrites applied\n");
+    } else {
+        out.push_str("rewrites applied:\n");
+        for (k, rw) in rewrites.iter().enumerate() {
+            out.push_str(&format!("  {}. {} — {}\n", k + 1, rw.rule, rw.detail));
+        }
+    }
+    out.push_str(&format!(
+        "result: {} stored tuple(s), {} canonicalized away\n",
+        executed.relation.len(),
+        executed.canonicalized_away
+    ));
+    Ok(Response::Trace(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::StatementKind;
+
+    /// The dispatch table's effect classes must agree with the
+    /// [`StatementKind::is_read_only`] classification the engine (and
+    /// the server's admission logic) relies on.
+    #[test]
+    fn dispatch_table_matches_read_write_classification() {
+        use StatementKind::*;
+        let kinds = [
+            CreateDomain,
+            CreateClass,
+            CreateInstance,
+            Prefer,
+            CreateRelation,
+            Assert,
+            Retract,
+            Holds,
+            Holds3,
+            Why,
+            Check,
+            Show,
+            ShowDomain,
+            Consolidate,
+            Explicate,
+            SetPreemption,
+            Count,
+            Save,
+            Load,
+            Open,
+            Checkpoint,
+            Let,
+            Explain,
+            Trace,
+        ];
+        assert_eq!(kinds.len(), STATEMENT_KINDS);
+        for (i, kind) in kinds.into_iter().enumerate() {
+            assert_eq!(kind as usize, i, "discriminants are table indexes");
+            let is_read = matches!(DISPATCH[i], Handler::Read(_));
+            assert_eq!(
+                is_read,
+                kind.is_read_only(),
+                "{kind:?} handler class disagrees with its classification"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_do_not_advance_the_epoch_and_writes_do() {
+        let engine = Engine::new();
+        assert_eq!(engine.epoch(), 0);
+        engine.execute("CREATE DOMAIN D;").unwrap();
+        assert_eq!(engine.epoch(), 1);
+        engine
+            .execute("CREATE CLASS A UNDER D; CREATE RELATION R (V: D);")
+            .unwrap();
+        assert_eq!(engine.epoch(), 3);
+        engine.execute("SHOW R; CHECK R; SHOW DOMAIN D;").unwrap();
+        assert_eq!(engine.epoch(), 3, "reads publish nothing");
+    }
+
+    #[test]
+    fn failed_writes_publish_nothing() {
+        let engine = Engine::new();
+        engine.execute("CREATE DOMAIN D;").unwrap();
+        let epoch = engine.epoch();
+        assert!(engine.execute("CREATE DOMAIN D;").is_err());
+        assert_eq!(engine.epoch(), epoch, "duplicate DDL left no trace");
+        // A half-failing script keeps the statements before the failure.
+        let r = engine.execute("CREATE CLASS A UNDER D; CREATE CLASS A UNDER D;");
+        assert!(r.is_err());
+        assert_eq!(engine.epoch(), epoch + 1);
+        assert!(engine.snapshot().domain("D").unwrap().node("A").is_ok());
+    }
+
+    #[test]
+    fn old_snapshots_stay_valid_while_writes_continue() {
+        let engine = Engine::new();
+        engine
+            .execute(
+                "CREATE DOMAIN D; CREATE CLASS A UNDER D;\
+                 CREATE RELATION R (V: D); ASSERT R (ALL A);",
+            )
+            .unwrap();
+        let before = engine.snapshot();
+        engine
+            .execute("CREATE INSTANCE x OF A; ASSERT NOT R (x);")
+            .unwrap();
+        let after = engine.snapshot();
+        assert_eq!(before.relation("R").unwrap().len(), 1);
+        assert_eq!(after.relation("R").unwrap().len(), 2);
+        assert!(after.epoch() > before.epoch());
+    }
+
+    #[test]
+    fn engine_handles_share_state() {
+        let a = Engine::new();
+        let b = a.clone();
+        a.execute("CREATE DOMAIN D;").unwrap();
+        assert_eq!(b.epoch(), 1);
+        assert!(b.snapshot().domain("D").is_ok());
+    }
+}

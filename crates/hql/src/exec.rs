@@ -1,29 +1,23 @@
-//! The HQL session: name resolution and statement execution.
+//! The HQL session: a single-caller view over the concurrent engine.
 //!
-//! A [`Session`] owns the mutable domain graphs and the relations over
-//! them. Because relations share their domain graphs through `Arc`s
-//! (join compatibility is `Arc` identity), any DDL that *mutates* a
-//! domain — `CREATE CLASS`, `CREATE INSTANCE`, `PREFER` — re-shares a
-//! fresh `Arc` across every relation on that domain. Node ids are stable
-//! under node/edge addition, so the stored tuples carry over verbatim.
+//! A [`Session`] is the classic embedding API — `new`, `execute`,
+//! `relation` — now implemented as a thin wrapper over an
+//! [`Engine`]: every statement executes through
+//! the engine's dispatch table (snapshot reads, serialized writes), and
+//! the session keeps one cached [`Snapshot`] of the world so borrows
+//! like [`Session::relation`] keep working exactly as before. Programs
+//! that want concurrency call [`Session::engine`] (or build an
+//! [`Engine`] directly) and clone it across
+//! threads; programs that don't never notice the difference.
 
-use std::collections::BTreeMap;
 use std::fmt;
-use std::path::Path;
-use std::sync::Arc;
 
-use hrdm_core::consolidate::consolidate;
-use hrdm_core::justify::justify;
-use hrdm_core::mutation::CatalogMutation;
-use hrdm_core::plan::LogicalPlan;
 use hrdm_core::prelude::*;
-use hrdm_core::render::render_table;
-use hrdm_hierarchy::HierarchyGraph;
-use hrdm_persist::{Image, Journal};
+use hrdm_persist::Image;
 
-use crate::ast::{Derivation, Source, Statement, ValueRef};
-use crate::error::{HqlError, Result};
-use crate::parser::parse;
+use crate::engine::Engine;
+use crate::error::Result;
+use crate::world::World;
 
 /// The result of one executed statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,692 +69,86 @@ impl fmt::Display for Response {
 }
 
 /// An interactive HQL session.
-#[derive(Default)]
 pub struct Session {
-    /// Mutable master copies of the domain graphs.
-    domains: BTreeMap<String, HierarchyGraph>,
-    /// The shared handles currently referenced by relations.
-    shared: BTreeMap<String, Arc<HierarchyGraph>>,
-    /// Relations plus their (attribute, domain-name) signatures.
-    relations: BTreeMap<String, (HRelation, Vec<(String, String)>)>,
-    /// The write-ahead journal of an `OPEN`ed durable store, if any.
-    /// Statements in the WAL vocabulary (DDL, assertions, retractions,
-    /// preemption changes) append mutation records; whole-state changes
-    /// (`LET`, in-place `CONSOLIDATE`/`EXPLICATE`, `LOAD`) take an
-    /// implicit checkpoint instead.
-    journal: Option<Journal>,
+    /// The shared engine all statements execute through.
+    engine: Engine,
+    /// The world as of this session's last statement; refreshed after
+    /// every `execute` so borrowing accessors see the latest state.
+    view: Snapshot<World>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
 }
 
 impl Session {
-    /// A fresh, empty session.
+    /// A fresh, empty session over its own private engine.
     pub fn new() -> Session {
-        Session::default()
+        Session::with_engine(Engine::new())
+    }
+
+    /// A session view over an existing (possibly shared) engine.
+    pub fn with_engine(engine: Engine) -> Session {
+        let view = engine.snapshot();
+        Session { engine, view }
+    }
+
+    /// The underlying engine — clone it to execute concurrently from
+    /// other threads while this session keeps its own view.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Names of the defined relations.
     pub fn relation_names(&self) -> impl Iterator<Item = &str> {
-        self.relations.keys().map(String::as_str)
+        self.view.relation_names()
     }
 
     /// Access a relation by name (for embedding HQL in a larger
     /// program).
     pub fn relation(&self, name: &str) -> Result<&HRelation> {
-        self.relations
-            .get(name)
-            .map(|(r, _)| r)
-            .ok_or_else(|| HqlError::Unknown {
-                kind: "relation",
-                name: name.to_string(),
-            })
+        self.view.relation(name)
     }
 
     /// LSN of the attached store, if one is `OPEN` (= mutations recorded
     /// since the store's birth).
     pub fn journal_lsn(&self) -> Option<u64> {
-        self.journal.as_ref().map(Journal::next_lsn)
+        self.engine.journal_lsn()
     }
 
     /// Flush and fsync any buffered WAL records of the open store.
     /// A no-op when no store is attached.
     pub fn sync(&mut self) -> Result<()> {
-        if let Some(j) = self.journal.as_mut() {
-            j.sync().map_err(|e| HqlError::Core(e.to_string()))?;
-        }
-        Ok(())
-    }
-
-    /// Append one mutation record to the open store's WAL (no-op when
-    /// detached). Called only after the session applied the change.
-    fn journal_record(&mut self, m: CatalogMutation) -> Result<()> {
-        if let Some(j) = self.journal.as_mut() {
-            j.record(&m).map_err(|e| HqlError::Core(e.to_string()))?;
-        }
-        Ok(())
-    }
-
-    /// Checkpoint the open store from the session's current state —
-    /// used after changes outside the WAL vocabulary (`LET`, in-place
-    /// operators, `LOAD`), which only an image can carry.
-    fn journal_checkpoint(&mut self) -> Result<()> {
-        if self.journal.is_none() {
-            return Ok(());
-        }
-        let image = self.to_image();
-        let j = self.journal.as_mut().expect("checked above");
-        j.checkpoint(&image)
-            .map_err(|e| HqlError::Core(e.to_string()))?;
-        Ok(())
+        self.engine.sync()
     }
 
     /// Parse and execute a script; returns one response per statement.
     pub fn execute(&mut self, script: &str) -> Result<Vec<Response>> {
-        let statements = parse(script)?;
-        let mut out = Vec::with_capacity(statements.len());
-        for stmt in statements {
-            out.push(self.execute_statement(stmt)?);
-        }
-        Ok(out)
+        let result = self.engine.execute(script);
+        // Refresh even on error: a mid-script failure keeps the earlier
+        // statements' published effects, and the view must show them.
+        self.view = self.engine.snapshot();
+        result
     }
 
-    fn domain_mut(&mut self, name: &str) -> Result<&mut HierarchyGraph> {
-        self.domains.get_mut(name).ok_or_else(|| HqlError::Unknown {
-            kind: "domain",
-            name: name.to_string(),
-        })
-    }
-
-    /// The domain that contains all the given node names (for resolving
-    /// `UNDER`/`OF` parents).
-    fn domain_containing(&self, names: &[String]) -> Result<String> {
-        let mut hits: Vec<&String> = self
-            .domains
-            .iter()
-            .filter(|(_, g)| names.iter().all(|n| g.node(n).is_ok()))
-            .map(|(d, _)| d)
-            .collect();
-        match hits.len() {
-            1 => Ok(hits.remove(0).clone()),
-            0 => Err(HqlError::Unknown {
-                kind: "class",
-                name: names.join(", "),
-            }),
-            _ => Err(HqlError::Core(format!(
-                "parents {names:?} exist in several domains; qualify with distinct names"
-            ))),
-        }
-    }
-
-    /// After mutating `domain`, re-share one fresh `Arc` across every
-    /// relation that references it (node ids are stable, so tuples are
-    /// reused as-is).
-    fn reshare(&mut self, domain: &str) {
-        let fresh = Arc::new(self.domains[domain].clone());
-        self.shared.insert(domain.to_string(), fresh.clone());
-        let names: Vec<String> = self
-            .relations
-            .iter()
-            .filter(|(_, (_, sig))| sig.iter().any(|(_, d)| d == domain))
-            .map(|(n, _)| n.clone())
-            .collect();
-        for name in names {
-            let (old, sig) = self.relations.remove(&name).expect("listed above");
-            let attrs: Vec<Attribute> = sig
-                .iter()
-                .map(|(attr, dom)| Attribute::new(attr.clone(), self.shared[dom].clone()))
-                .collect();
-            let schema = Arc::new(Schema::new(attrs));
-            let mut rebuilt = HRelation::with_preemption(schema, old.preemption());
-            for (item, truth) in old.iter() {
-                rebuilt
-                    .insert(Tuple::new(item.clone(), truth))
-                    .expect("node ids are stable across domain growth");
-            }
-            self.relations.insert(name, (rebuilt, sig));
-        }
-    }
-
-    fn shared_domain(&mut self, name: &str) -> Result<Arc<HierarchyGraph>> {
-        if !self.domains.contains_key(name) {
-            return Err(HqlError::Unknown {
-                kind: "domain",
-                name: name.to_string(),
-            });
-        }
-        if !self.shared.contains_key(name) {
-            let arc = Arc::new(self.domains[name].clone());
-            self.shared.insert(name.to_string(), arc);
-        }
-        Ok(self.shared[name].clone())
-    }
-
-    fn relation_entry(&self, name: &str) -> Result<&(HRelation, Vec<(String, String)>)> {
-        self.relations.get(name).ok_or_else(|| HqlError::Unknown {
-            kind: "relation",
-            name: name.to_string(),
-        })
-    }
-
-    /// Resolve a written tuple into an item against a relation's schema.
-    fn resolve_item(relation: &HRelation, values: &[ValueRef]) -> Result<Item> {
-        let names: Vec<&str> = values.iter().map(|v| v.name.as_str()).collect();
-        Ok(relation.item(&names)?)
-    }
-
-    fn store_derived(&mut self, name: String, relation: HRelation) -> Result<Response> {
-        if self.relations.contains_key(&name) {
-            return Err(HqlError::Duplicate {
-                kind: "relation",
-                name,
-            });
-        }
-        let sig: Vec<(String, String)> = relation
-            .schema()
-            .attributes()
-            .iter()
-            .map(|a| {
-                let domain_name = a.domain().name(a.domain().root()).to_string();
-                (a.name().to_string(), domain_name)
-            })
-            .collect();
-        let tuples = relation.len();
-        self.relations.insert(name.clone(), (relation, sig));
-        Ok(Response::Ok(format!(
-            "relation {name} defined ({tuples} tuples)"
-        )))
-    }
-
-    fn execute_statement(&mut self, stmt: Statement) -> Result<Response> {
-        match stmt {
-            Statement::CreateDomain { name } => {
-                if self.domains.contains_key(&name) {
-                    return Err(HqlError::Duplicate {
-                        kind: "domain",
-                        name,
-                    });
-                }
-                self.domains
-                    .insert(name.clone(), HierarchyGraph::new(name.as_str()));
-                self.journal_record(CatalogMutation::CreateDomain { name: name.clone() })?;
-                Ok(Response::Ok(format!("domain {name} created")))
-            }
-            Statement::CreateClass { name, parents } => {
-                let domain = self.domain_containing(&parents)?;
-                let g = self.domain_mut(&domain)?;
-                let parent_ids = parents
-                    .iter()
-                    .map(|p| g.node(p))
-                    .collect::<std::result::Result<Vec<_>, _>>()?;
-                g.add_class_multi(name.as_str(), &parent_ids)?;
-                self.reshare(&domain);
-                self.journal_record(CatalogMutation::AddClass {
-                    domain: domain.clone(),
-                    name: name.clone(),
-                    parents,
-                })?;
-                Ok(Response::Ok(format!("class {name} created in {domain}")))
-            }
-            Statement::CreateInstance { name, parents } => {
-                let domain = self.domain_containing(&parents)?;
-                let g = self.domain_mut(&domain)?;
-                let parent_ids = parents
-                    .iter()
-                    .map(|p| g.node(p))
-                    .collect::<std::result::Result<Vec<_>, _>>()?;
-                g.add_instance_multi(name.as_str(), &parent_ids)?;
-                self.reshare(&domain);
-                self.journal_record(CatalogMutation::AddInstance {
-                    domain: domain.clone(),
-                    name: name.clone(),
-                    parents,
-                })?;
-                Ok(Response::Ok(format!("instance {name} created in {domain}")))
-            }
-            Statement::Prefer {
-                stronger,
-                weaker,
-                domain,
-            } => {
-                let g = self.domain_mut(&domain)?;
-                let s = g.node(&stronger)?;
-                let w = g.node(&weaker)?;
-                hrdm_hierarchy::preference::prefer(g, s, w)?;
-                self.reshare(&domain);
-                self.journal_record(CatalogMutation::Prefer {
-                    domain: domain.clone(),
-                    stronger: stronger.clone(),
-                    weaker: weaker.clone(),
-                })?;
-                Ok(Response::Ok(format!(
-                    "{stronger} now dominates {weaker} in {domain}"
-                )))
-            }
-            Statement::CreateRelation { name, attributes } => {
-                if self.relations.contains_key(&name) {
-                    return Err(HqlError::Duplicate {
-                        kind: "relation",
-                        name,
-                    });
-                }
-                let attrs = attributes
-                    .iter()
-                    .map(|(attr, dom)| Ok(Attribute::new(attr.clone(), self.shared_domain(dom)?)))
-                    .collect::<Result<Vec<_>>>()?;
-                let schema = Arc::new(Schema::new(attrs));
-                self.relations
-                    .insert(name.clone(), (HRelation::new(schema), attributes.clone()));
-                self.journal_record(CatalogMutation::CreateRelation {
-                    name: name.clone(),
-                    attributes,
-                })?;
-                Ok(Response::Ok(format!("relation {name} created")))
-            }
-            Statement::Assert {
-                relation,
-                negated,
-                values,
-            } => {
-                let (rel, _) = self.relation_entry(&relation)?;
-                let item = Self::resolve_item(rel, &values)?;
-                let truth = if negated {
-                    Truth::Negative
-                } else {
-                    Truth::Positive
-                };
-                let rendered = rel.schema().display_item(&item);
-                let (rel, _) = self.relations.get_mut(&relation).expect("checked");
-                rel.assert_item(item, truth)?;
-                self.journal_record(CatalogMutation::Assert {
-                    relation: relation.clone(),
-                    values: values.iter().map(|v| v.name.clone()).collect(),
-                    truth,
-                })?;
-                Ok(Response::Ok(format!(
-                    "asserted {} {rendered} in {relation}",
-                    truth.sign()
-                )))
-            }
-            Statement::Retract { relation, values } => {
-                let (rel, _) = self.relation_entry(&relation)?;
-                let item = Self::resolve_item(rel, &values)?;
-                let rendered = rel.schema().display_item(&item);
-                let (rel, _) = self.relations.get_mut(&relation).expect("checked");
-                if rel.remove(&item).is_none() {
-                    return Err(HqlError::Unknown {
-                        kind: "tuple",
-                        name: rendered,
-                    });
-                }
-                self.journal_record(CatalogMutation::Retract {
-                    relation: relation.clone(),
-                    values: values.iter().map(|v| v.name.clone()).collect(),
-                })?;
-                Ok(Response::Ok(format!(
-                    "retracted {rendered} from {relation}"
-                )))
-            }
-            Statement::Holds { relation, values } => {
-                let (rel, _) = self.relation_entry(&relation)?;
-                let item = Self::resolve_item(rel, &values)?;
-                let rendered = rel.schema().display_item(&item);
-                let value = match rel.bind(&item) {
-                    hrdm_core::Binding::Conflict { .. } => None,
-                    b => Some(b.truth() == Some(Truth::Positive)),
-                };
-                Ok(Response::Truth {
-                    item: rendered,
-                    value,
-                })
-            }
-            Statement::Holds3 { relation, values } => {
-                let (rel, _) = self.relation_entry(&relation)?;
-                let item = Self::resolve_item(rel, &values)?;
-                let rendered = rel.schema().display_item(&item);
-                let verdict = match hrdm_core::three_valued::holds3(rel, &item) {
-                    hrdm_core::three_valued::Truth3::True => "true",
-                    hrdm_core::three_valued::Truth3::False => "false",
-                    hrdm_core::three_valued::Truth3::Unknown => "unknown",
-                };
-                Ok(Response::Ok(format!("{rendered}: {verdict}")))
-            }
-            Statement::Why { relation, values } => {
-                let (rel, _) = self.relation_entry(&relation)?;
-                let item = Self::resolve_item(rel, &values)?;
-                let j = justify(rel, &item);
-                let mut out = format!(
-                    "{}: {:?}\napplicable:\n",
-                    rel.schema().display_item(&item),
-                    j.binding.truth().map(Truth::holds)
-                );
-                for t in &j.applicable {
-                    out.push_str(&format!(
-                        "    {} {}\n",
-                        t.truth.sign(),
-                        rel.schema().display_item(&t.item)
-                    ));
-                }
-                out.push_str("decisive:\n");
-                for t in &j.decisive {
-                    out.push_str(&format!(
-                        "    {} {}\n",
-                        t.truth.sign(),
-                        rel.schema().display_item(&t.item)
-                    ));
-                }
-                Ok(Response::Justification(out))
-            }
-            Statement::Check { relation } => {
-                let (rel, _) = self.relation_entry(&relation)?;
-                let conflicts = hrdm_core::conflict::find_conflicts(rel)
-                    .into_iter()
-                    .map(|c| rel.schema().display_item(&c.item))
-                    .collect();
-                Ok(Response::Conflicts(conflicts))
-            }
-            Statement::Show { relation } => {
-                let (rel, _) = self.relation_entry(&relation)?;
-                Ok(Response::Table(render_table(rel)))
-            }
-            Statement::ShowDomain { name } => {
-                let g = self.domains.get(&name).ok_or_else(|| HqlError::Unknown {
-                    kind: "domain",
-                    name: name.clone(),
-                })?;
-                Ok(Response::Dot(hrdm_hierarchy::dot::to_dot(g, &name)))
-            }
-            Statement::Consolidate { relation } => {
-                let (rel, _) = self.relation_entry(&relation)?;
-                let result = consolidate(rel);
-                let removed = result.removed.len();
-                let (slot, _) = self.relations.get_mut(&relation).expect("checked");
-                *slot = result.relation;
-                self.journal_checkpoint()?;
-                Ok(Response::Ok(format!(
-                    "consolidated {relation}: removed {removed} redundant tuple(s)"
-                )))
-            }
-            Statement::Explicate { relation, attrs } => {
-                let (rel, _) = self.relation_entry(&relation)?;
-                let indexes = Self::attr_indexes(rel, &attrs)?;
-                let result = hrdm_core::explicate::explicate(rel, &indexes)?;
-                let tuples = result.len();
-                let (slot, _) = self.relations.get_mut(&relation).expect("checked");
-                *slot = result;
-                self.journal_checkpoint()?;
-                Ok(Response::Ok(format!(
-                    "explicated {relation}: now {tuples} tuple(s)"
-                )))
-            }
-            Statement::SetPreemption { relation, mode } => {
-                let preemption = match mode.to_ascii_uppercase().as_str() {
-                    "OFF-PATH" => Preemption::OffPath,
-                    "ON-PATH" => Preemption::OnPath,
-                    "NONE" | "NO-PREEMPTION" => Preemption::NoPreemption,
-                    other => {
-                        return Err(HqlError::Parse {
-                            found: other.to_string(),
-                            expected: "OFF-PATH, ON-PATH, or NONE".into(),
-                        })
-                    }
-                };
-                let (rel, _) = self.relations.get_mut(&relation).ok_or(HqlError::Unknown {
-                    kind: "relation",
-                    name: relation.clone(),
-                })?;
-                rel.set_preemption(preemption);
-                self.journal_record(CatalogMutation::SetPreemption {
-                    relation: relation.clone(),
-                    mode: preemption,
-                })?;
-                Ok(Response::Ok(format!(
-                    "{relation} now uses {preemption} preemption"
-                )))
-            }
-            Statement::Save { path } => {
-                let image = self.to_image();
-                image
-                    .save(&path)
-                    .map_err(|e| HqlError::Core(e.to_string()))?;
-                Ok(Response::Ok(format!("session saved to {path}")))
-            }
-            Statement::Load { path } => {
-                let image =
-                    hrdm_persist::Image::load(&path).map_err(|e| HqlError::Core(e.to_string()))?;
-                self.restore(image);
-                self.journal_checkpoint()?;
-                Ok(Response::Ok(format!(
-                    "session restored from {path} ({} domain(s), {} relation(s))",
-                    self.domains.len(),
-                    self.relations.len()
-                )))
-            }
-            Statement::Open { dir, sync_every } => {
-                let path = Path::new(&dir);
-                std::fs::create_dir_all(path).map_err(|e| HqlError::Core(e.to_string()))?;
-                let recovered =
-                    hrdm_persist::recover(path).map_err(|e| HqlError::Core(e.to_string()))?;
-                let image = Image::from_catalog(&recovered.catalog);
-                let group = sync_every.unwrap_or(1) as usize;
-                // Start a fresh generation at the recovered LSN: the
-                // checkpoint makes the replayed tail durable and drops
-                // any torn bytes, so a re-crash cannot regress.
-                let journal = Journal::begin(path, recovered.report.next_lsn(), &image, group)
-                    .map_err(|e| HqlError::Core(e.to_string()))?;
-                self.restore(image);
-                self.journal = Some(journal);
-                let r = &recovered.report;
-                Ok(Response::Ok(format!(
-                    "store {dir} open at lsn {} ({} domain(s), {} relation(s); \
-                     {} record(s) replayed, {} byte(s) truncated)",
-                    r.next_lsn(),
-                    self.domains.len(),
-                    self.relations.len(),
-                    r.records_replayed,
-                    r.truncated_bytes
-                )))
-            }
-            Statement::Checkpoint => {
-                if self.journal.is_none() {
-                    return Err(HqlError::Core(
-                        "no store open; use OPEN \"dir\" first".into(),
-                    ));
-                }
-                let image = self.to_image();
-                let j = self.journal.as_mut().expect("checked above");
-                let lsn = j
-                    .checkpoint(&image)
-                    .map_err(|e| HqlError::Core(e.to_string()))?;
-                Ok(Response::Ok(format!("checkpoint written at lsn {lsn}")))
-            }
-            Statement::Count { relation, by } => {
-                let (rel, _) = self.relation_entry(&relation)?;
-                match by {
-                    None => {
-                        let n = hrdm_core::ops::cardinality(rel);
-                        Ok(Response::Ok(format!(
-                            "{relation} has {n} atom(s) in its extension"
-                        )))
-                    }
-                    Some(attr) => {
-                        let rows = hrdm_core::ops::group_count_by_name(rel, &attr)?;
-                        let mut out = format!("{relation} grouped by {attr}:\n");
-                        for (name, count) in rows {
-                            out.push_str(&format!("    {name}: {count}\n"));
-                        }
-                        Ok(Response::Table(out))
-                    }
-                }
-            }
-            Statement::Let { name, derivation } => {
-                let derived = self.derive(&derivation)?;
-                let response = self.store_derived(name, derived)?;
-                self.journal_checkpoint()?;
-                Ok(response)
-            }
-            Statement::Explain { derivation } => {
-                let plan = self.plan_of(&derivation)?;
-                Ok(Response::Plan(plan.explain()))
-            }
-            Statement::Trace { derivation } => {
-                let plan = self.plan_of(&derivation)?;
-                let (optimized, rewrites) = plan.optimize();
-                let executed = optimized.execute()?;
-                let mut out = executed.trace.render();
-                if rewrites.is_empty() {
-                    out.push_str("no rewrites applied\n");
-                } else {
-                    out.push_str("rewrites applied:\n");
-                    for (k, rw) in rewrites.iter().enumerate() {
-                        out.push_str(&format!("  {}. {} — {}\n", k + 1, rw.rule, rw.detail));
-                    }
-                }
-                out.push_str(&format!(
-                    "result: {} stored tuple(s), {} canonicalized away\n",
-                    executed.relation.len(),
-                    executed.canonicalized_away
-                ));
-                Ok(Response::Trace(out))
-            }
-        }
-    }
-
-    /// Snapshot the session as a persistence image (domains use the
-    /// currently shared handles so relation `Arc`s match).
-    pub fn to_image(&mut self) -> hrdm_persist::Image {
-        let mut image = hrdm_persist::Image::new();
-        let domain_names: Vec<String> = self.domains.keys().cloned().collect();
-        for name in domain_names {
-            let arc = self.shared_domain(&name).expect("domain exists");
-            image.add_domain(name, arc);
-        }
-        for (name, (rel, _)) in &self.relations {
-            image.add_relation(name.clone(), rel.clone());
-        }
-        image
+    /// Snapshot the session as a persistence image.
+    pub fn to_image(&self) -> Image {
+        self.view.to_image()
     }
 
     /// Replace the session's whole state from a persistence image.
-    pub fn restore(&mut self, image: hrdm_persist::Image) {
-        self.domains.clear();
-        self.shared.clear();
-        self.relations.clear();
-        let domain_names: Vec<String> = image.domain_names().map(String::from).collect();
-        for name in &domain_names {
-            let arc = image.domain(name).expect("listed").clone();
-            self.domains.insert(name.clone(), (*arc).clone());
-            self.shared.insert(name.clone(), arc);
-        }
-        let relation_names: Vec<String> = image.relation_names().map(String::from).collect();
-        for name in relation_names {
-            let rel = image.relation(&name).expect("listed").clone();
-            let sig: Vec<(String, String)> = rel
-                .schema()
-                .attributes()
-                .iter()
-                .map(|a| {
-                    (
-                        a.name().to_string(),
-                        a.domain().name(a.domain().root()).to_string(),
-                    )
-                })
-                .collect();
-            self.relations.insert(name, (rel, sig));
-        }
-    }
-
-    fn attr_indexes(rel: &HRelation, attrs: &[String]) -> Result<Vec<usize>> {
-        if attrs.is_empty() {
-            return Ok((0..rel.schema().arity()).collect());
-        }
-        attrs
-            .iter()
-            .map(|a| Ok(rel.schema().index_of(a)?))
-            .collect()
-    }
-
-    /// Evaluate a derivation by building a [`LogicalPlan`], optimizing
-    /// it, and executing the optimized form. Plan execution returns the
-    /// *canonical* (consolidated, §3.3.1) relation of the query's flat
-    /// model, so one exception applies: a top-level `EXPLICATE` is
-    /// lowered directly — its whole point is the explicit, non-minimal
-    /// form, which the final consolidate would collapse straight back.
-    fn derive(&self, derivation: &Derivation) -> Result<HRelation> {
-        if let Derivation::Explicated(src, attrs) = derivation {
-            let input = self.source_relation(src)?;
-            let indexes = Self::attr_indexes(&input, attrs)?;
-            return Ok(hrdm_core::explicate::explicate(&input, &indexes)?);
-        }
-        let (optimized, _rewrites) = self.plan_of(derivation)?.optimize();
-        Ok(optimized.execute()?.relation)
-    }
-
-    /// Materialize an operand: a named relation is cloned as-is; a
-    /// nested derivation is evaluated like any `LET` right-hand side.
-    fn source_relation(&self, src: &Source) -> Result<HRelation> {
-        match src {
-            Source::Named(name) => Ok(self.relation_entry(name)?.0.clone()),
-            Source::Derived(inner) => self.derive(inner),
-        }
-    }
-
-    /// An operand as a plan node: scans stay leaves, nested derivations
-    /// inline into the surrounding tree so rewrites can cross them.
-    fn source_plan(&self, src: &Source) -> Result<LogicalPlan> {
-        match src {
-            Source::Named(name) => {
-                let (rel, _) = self.relation_entry(name)?;
-                Ok(LogicalPlan::scan(name.clone(), rel.clone()))
-            }
-            Source::Derived(inner) => self.plan_of(inner),
-        }
-    }
-
-    /// Build the logical plan of a derivation (no execution). Attribute
-    /// names resolve against the plan's inferred output schema, so
-    /// projections and explications over nested derivations see the
-    /// composed layout (e.g. a join's merged attribute list).
-    fn plan_of(&self, derivation: &Derivation) -> Result<LogicalPlan> {
-        Ok(match derivation {
-            Derivation::Union(a, b) => self.source_plan(a)?.union(self.source_plan(b)?),
-            Derivation::Intersect(a, b) => self.source_plan(a)?.intersect(self.source_plan(b)?),
-            Derivation::Difference(a, b) => self.source_plan(a)?.diff(self.source_plan(b)?),
-            Derivation::Join(a, b) => self.source_plan(a)?.join(self.source_plan(b)?),
-            Derivation::Project(a, attrs) => {
-                let p = self.source_plan(a)?;
-                let schema = p.output_schema()?;
-                let indexes = attrs
-                    .iter()
-                    .map(|n| Ok(schema.index_of(n)?))
-                    .collect::<Result<Vec<_>>>()?;
-                p.project(indexes)
-            }
-            Derivation::Select(a, conds) => {
-                let mut p = self.source_plan(a)?;
-                for (attr, value) in conds {
-                    p = p.select_eq(attr.clone(), value.name.clone());
-                }
-                p
-            }
-            Derivation::Consolidated(a) => self.source_plan(a)?.consolidate(),
-            Derivation::Explicated(a, attrs) => {
-                let p = self.source_plan(a)?;
-                let schema = p.output_schema()?;
-                let indexes = if attrs.is_empty() {
-                    (0..schema.arity()).collect()
-                } else {
-                    attrs
-                        .iter()
-                        .map(|n| Ok(schema.index_of(n)?))
-                        .collect::<Result<Vec<_>>>()?
-                };
-                p.explicate(indexes)
-            }
-        })
+    pub fn restore(&mut self, image: Image) {
+        self.engine.restore(image);
+        self.view = self.engine.snapshot();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::HqlError;
 
     /// The Fig. 1 world, entirely through HQL.
     const FIG1: &str = r#"
@@ -970,10 +358,11 @@ mod tests {
         assert_eq!(truth_of(&mut s2, "HOLDS Flies (Pablo);"), Some(false));
         std::fs::remove_file(&path).unwrap();
 
-        // Loading a missing file reports a Core error.
+        // Loading a missing file reports a persistence error with its
+        // stable kind code.
         assert!(matches!(
             s2.execute("LOAD \"/nonexistent/nowhere.hrdm\";"),
-            Err(HqlError::Core(_))
+            Err(HqlError::Persist { kind: "io", .. })
         ));
     }
 
@@ -1191,9 +580,18 @@ mod tests {
         let mut s = Session::new();
         assert!(matches!(
             s.execute("CHECKPOINT;"),
-            Err(HqlError::Core(msg)) if msg.contains("no store open")
+            Err(HqlError::Execution(msg)) if msg.contains("no store open")
         ));
         assert_eq!(s.journal_lsn(), None);
         s.sync().unwrap(); // no-op when detached
+    }
+
+    #[test]
+    fn sessions_sharing_an_engine_see_each_other() {
+        let mut writer = fig1_session();
+        let mut reader = Session::with_engine(writer.engine().clone());
+        assert_eq!(truth_of(&mut reader, "HOLDS Flies (Tweety);"), Some(true));
+        writer.execute("CREATE INSTANCE Pia OF Penguin;").unwrap();
+        assert_eq!(truth_of(&mut reader, "HOLDS Flies (Pia);"), Some(false));
     }
 }

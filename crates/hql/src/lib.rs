@@ -48,13 +48,18 @@
 //! single statements). `--` starts a comment.
 
 pub mod ast;
+pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod world;
 
+pub use ast::{Statement, StatementKind};
+pub use engine::Engine;
 pub use error::{HqlError, Result};
 pub use exec::{Response, Session};
+pub use world::World;
 
 /// Parse and execute one or more statements against a fresh session.
 ///

@@ -1,0 +1,552 @@
+//! The immutable-once-published session state.
+//!
+//! A [`World`] is everything an HQL statement can see: the domain
+//! graphs and the relations over them. It is the unit the concurrent
+//! [`Engine`](crate::engine::Engine) publishes through a
+//! [`SnapshotCell`]: readers hold an
+//! `Arc<World>` and never lock; the single writer clones the world
+//! (cheap — both maps hold `Arc`s, so a clone is a handful of pointer
+//! bumps), mutates its private copy, and publishes it as the next
+//! epoch.
+//!
+//! Because relations share their domain graphs through `Arc`s (join
+//! compatibility is `Arc` identity), any mutation of a domain —
+//! `CREATE CLASS`, `CREATE INSTANCE`, `PREFER` — re-shares a fresh
+//! `Arc` across every relation on that domain. Node ids are stable
+//! under node/edge addition, so the stored tuples carry over verbatim.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hrdm_core::plan::LogicalPlan;
+use hrdm_core::prelude::*;
+use hrdm_hierarchy::HierarchyGraph;
+
+use crate::ast::{Derivation, Source, ValueRef};
+use crate::error::{HqlError, Result};
+
+/// A stored relation plus its (attribute, domain-name) signature. The
+/// signature is what lets a domain mutation rebuild the relation's
+/// schema against the freshly re-shared graphs.
+#[derive(Clone)]
+pub struct RelationEntry {
+    /// The relation itself.
+    pub relation: HRelation,
+    /// `(attribute name, domain name)` per schema position.
+    pub signature: Vec<(String, String)>,
+}
+
+/// The complete state an HQL statement executes against.
+///
+/// `Clone` is the copy-on-write entry point: it clones only the two
+/// maps of `Arc`s, never a graph or a tuple. Mutators then use
+/// [`Arc::make_mut`] (relations) or clone-and-re-share (domains) so the
+/// original world — possibly still held by concurrent readers — is
+/// untouched.
+#[derive(Clone, Default)]
+pub struct World {
+    /// The domain graphs, shared with every schema that references them.
+    domains: BTreeMap<String, Arc<HierarchyGraph>>,
+    /// Relations by name.
+    relations: BTreeMap<String, Arc<RelationEntry>>,
+}
+
+/// Resolve a written tuple into an item against a relation's schema.
+pub(crate) fn resolve_item(relation: &HRelation, values: &[ValueRef]) -> Result<Item> {
+    let names: Vec<&str> = values.iter().map(|v| v.name.as_str()).collect();
+    Ok(relation.item(&names)?)
+}
+
+/// Resolve attribute names to schema indexes; an empty list means all.
+pub(crate) fn attr_indexes(rel: &HRelation, attrs: &[String]) -> Result<Vec<usize>> {
+    if attrs.is_empty() {
+        return Ok((0..rel.schema().arity()).collect());
+    }
+    attrs
+        .iter()
+        .map(|a| Ok(rel.schema().index_of(a)?))
+        .collect()
+}
+
+impl World {
+    /// A fresh, empty world.
+    pub fn new() -> World {
+        World::default()
+    }
+
+    /// Names of the defined domains.
+    pub fn domain_names(&self) -> impl Iterator<Item = &str> {
+        self.domains.keys().map(String::as_str)
+    }
+
+    /// Number of defined domains.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// A domain graph by name.
+    pub fn domain(&self, name: &str) -> Result<&Arc<HierarchyGraph>> {
+        self.domains.get(name).ok_or_else(|| HqlError::Unknown {
+            kind: "domain",
+            name: name.to_string(),
+        })
+    }
+
+    /// Names of the defined relations.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Number of defined relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// A relation by name.
+    pub fn relation(&self, name: &str) -> Result<&HRelation> {
+        self.relation_entry(name).map(|e| &e.relation)
+    }
+
+    pub(crate) fn relation_entry(&self, name: &str) -> Result<&RelationEntry> {
+        self.relations
+            .get(name)
+            .map(Arc::as_ref)
+            .ok_or_else(|| HqlError::Unknown {
+                kind: "relation",
+                name: name.to_string(),
+            })
+    }
+
+    fn relation_entry_mut(&mut self, name: &str) -> Result<&mut RelationEntry> {
+        match self.relations.get_mut(name) {
+            Some(arc) => Ok(Arc::make_mut(arc)),
+            None => Err(HqlError::Unknown {
+                kind: "relation",
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// The domain that contains all the given node names (for resolving
+    /// `UNDER`/`OF` parents).
+    fn domain_containing(&self, names: &[String]) -> Result<String> {
+        let mut hits: Vec<&String> = self
+            .domains
+            .iter()
+            .filter(|(_, g)| names.iter().all(|n| g.node(n).is_ok()))
+            .map(|(d, _)| d)
+            .collect();
+        match hits.len() {
+            1 => Ok(hits.remove(0).clone()),
+            0 => Err(HqlError::Unknown {
+                kind: "class",
+                name: names.join(", "),
+            }),
+            _ => Err(HqlError::Execution(format!(
+                "parents {names:?} exist in several domains; qualify with distinct names"
+            ))),
+        }
+    }
+
+    /// After mutating `domain`, re-share its fresh `Arc` across every
+    /// relation that references it (node ids are stable, so tuples are
+    /// reused as-is).
+    fn reshare(&mut self, domain: &str) {
+        let names: Vec<String> = self
+            .relations
+            .iter()
+            .filter(|(_, e)| e.signature.iter().any(|(_, d)| d == domain))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in names {
+            let entry = self.relations.remove(&name).expect("listed above");
+            let attrs: Vec<Attribute> = entry
+                .signature
+                .iter()
+                .map(|(attr, dom)| Attribute::new(attr.clone(), self.domains[dom].clone()))
+                .collect();
+            let schema = Arc::new(Schema::new(attrs));
+            let mut rebuilt = HRelation::with_preemption(schema, entry.relation.preemption());
+            for (item, truth) in entry.relation.iter() {
+                rebuilt
+                    .insert(Tuple::new(item.clone(), truth))
+                    .expect("node ids are stable across domain growth");
+            }
+            self.relations.insert(
+                name,
+                Arc::new(RelationEntry {
+                    relation: rebuilt,
+                    signature: entry.signature.clone(),
+                }),
+            );
+        }
+    }
+
+    /// Clone `domain`'s graph, apply `f` to the copy, and on success
+    /// publish the fresh graph to every relation over the domain.
+    fn mutate_domain<F>(&mut self, domain: &str, f: F) -> Result<()>
+    where
+        F: FnOnce(&mut HierarchyGraph) -> Result<()>,
+    {
+        let arc = self.domain(domain)?;
+        let mut g = (**arc).clone();
+        f(&mut g)?;
+        self.domains.insert(domain.to_string(), Arc::new(g));
+        self.reshare(domain);
+        Ok(())
+    }
+
+    pub(crate) fn create_domain(&mut self, name: &str) -> Result<()> {
+        if self.domains.contains_key(name) {
+            return Err(HqlError::Duplicate {
+                kind: "domain",
+                name: name.to_string(),
+            });
+        }
+        self.domains
+            .insert(name.to_string(), Arc::new(HierarchyGraph::new(name)));
+        Ok(())
+    }
+
+    /// Add a class under the named parents; returns the containing
+    /// domain's name (for the journal record and the reply).
+    pub(crate) fn add_class(&mut self, name: &str, parents: &[String]) -> Result<String> {
+        let domain = self.domain_containing(parents)?;
+        self.mutate_domain(&domain, |g| {
+            let parent_ids = parents
+                .iter()
+                .map(|p| g.node(p))
+                .collect::<std::result::Result<Vec<_>, _>>()?;
+            g.add_class_multi(name, &parent_ids)?;
+            Ok(())
+        })?;
+        Ok(domain)
+    }
+
+    /// Add an instance under the named parents; returns the containing
+    /// domain's name.
+    pub(crate) fn add_instance(&mut self, name: &str, parents: &[String]) -> Result<String> {
+        let domain = self.domain_containing(parents)?;
+        self.mutate_domain(&domain, |g| {
+            let parent_ids = parents
+                .iter()
+                .map(|p| g.node(p))
+                .collect::<std::result::Result<Vec<_>, _>>()?;
+            g.add_instance_multi(name, &parent_ids)?;
+            Ok(())
+        })?;
+        Ok(domain)
+    }
+
+    pub(crate) fn prefer(&mut self, domain: &str, stronger: &str, weaker: &str) -> Result<()> {
+        self.mutate_domain(domain, |g| {
+            let s = g.node(stronger)?;
+            let w = g.node(weaker)?;
+            hrdm_hierarchy::preference::prefer(g, s, w)?;
+            Ok(())
+        })
+    }
+
+    pub(crate) fn create_relation(
+        &mut self,
+        name: &str,
+        attributes: &[(String, String)],
+    ) -> Result<()> {
+        if self.relations.contains_key(name) {
+            return Err(HqlError::Duplicate {
+                kind: "relation",
+                name: name.to_string(),
+            });
+        }
+        let attrs = attributes
+            .iter()
+            .map(|(attr, dom)| Ok(Attribute::new(attr.clone(), self.domain(dom)?.clone())))
+            .collect::<Result<Vec<_>>>()?;
+        let schema = Arc::new(Schema::new(attrs));
+        self.relations.insert(
+            name.to_string(),
+            Arc::new(RelationEntry {
+                relation: HRelation::new(schema),
+                signature: attributes.to_vec(),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Assert a tuple; returns the rendered item for the reply.
+    pub(crate) fn assert_item(
+        &mut self,
+        relation: &str,
+        values: &[ValueRef],
+        truth: Truth,
+    ) -> Result<String> {
+        let entry = self.relation_entry_mut(relation)?;
+        let item = resolve_item(&entry.relation, values)?;
+        let rendered = entry.relation.schema().display_item(&item);
+        entry.relation.assert_item(item, truth)?;
+        Ok(rendered)
+    }
+
+    /// Retract a stored tuple; returns the rendered item for the reply.
+    pub(crate) fn retract_item(&mut self, relation: &str, values: &[ValueRef]) -> Result<String> {
+        let entry = self.relation_entry_mut(relation)?;
+        let item = resolve_item(&entry.relation, values)?;
+        let rendered = entry.relation.schema().display_item(&item);
+        if entry.relation.remove(&item).is_none() {
+            return Err(HqlError::Unknown {
+                kind: "tuple",
+                name: rendered,
+            });
+        }
+        Ok(rendered)
+    }
+
+    /// Consolidate a relation in place; returns the number of tuples
+    /// removed.
+    pub(crate) fn consolidate_in_place(&mut self, relation: &str) -> Result<usize> {
+        let entry = self.relation_entry_mut(relation)?;
+        let result = hrdm_core::consolidate::consolidate(&entry.relation);
+        let removed = result.removed.len();
+        entry.relation = result.relation;
+        Ok(removed)
+    }
+
+    /// Explicate a relation in place; returns the new tuple count.
+    pub(crate) fn explicate_in_place(&mut self, relation: &str, attrs: &[String]) -> Result<usize> {
+        let entry = self.relation_entry_mut(relation)?;
+        let indexes = attr_indexes(&entry.relation, attrs)?;
+        let result = hrdm_core::explicate::explicate(&entry.relation, &indexes)?;
+        let tuples = result.len();
+        entry.relation = result;
+        Ok(tuples)
+    }
+
+    pub(crate) fn set_preemption(&mut self, relation: &str, mode: Preemption) -> Result<()> {
+        let entry = self.relation_entry_mut(relation)?;
+        entry.relation.set_preemption(mode);
+        Ok(())
+    }
+
+    /// Store a derived relation under a fresh name; returns its stored
+    /// tuple count.
+    pub(crate) fn store_derived(&mut self, name: &str, relation: HRelation) -> Result<usize> {
+        if self.relations.contains_key(name) {
+            return Err(HqlError::Duplicate {
+                kind: "relation",
+                name: name.to_string(),
+            });
+        }
+        let signature: Vec<(String, String)> = relation
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| {
+                let domain_name = a.domain().name(a.domain().root()).to_string();
+                (a.name().to_string(), domain_name)
+            })
+            .collect();
+        let tuples = relation.len();
+        self.relations.insert(
+            name.to_string(),
+            Arc::new(RelationEntry {
+                relation,
+                signature,
+            }),
+        );
+        Ok(tuples)
+    }
+
+    /// Snapshot the world as a persistence image.
+    pub fn to_image(&self) -> hrdm_persist::Image {
+        let mut image = hrdm_persist::Image::new();
+        for (name, arc) in &self.domains {
+            image.add_domain(name.clone(), arc.clone());
+        }
+        for (name, entry) in &self.relations {
+            image.add_relation(name.clone(), entry.relation.clone());
+        }
+        image
+    }
+
+    /// Build a world from a persistence image.
+    pub fn from_image(image: hrdm_persist::Image) -> World {
+        let mut world = World::new();
+        let domain_names: Vec<String> = image.domain_names().map(String::from).collect();
+        for name in &domain_names {
+            let arc = image.domain(name).expect("listed").clone();
+            world.domains.insert(name.clone(), arc);
+        }
+        let relation_names: Vec<String> = image.relation_names().map(String::from).collect();
+        for name in relation_names {
+            let rel = image.relation(&name).expect("listed").clone();
+            let signature: Vec<(String, String)> = rel
+                .schema()
+                .attributes()
+                .iter()
+                .map(|a| {
+                    (
+                        a.name().to_string(),
+                        a.domain().name(a.domain().root()).to_string(),
+                    )
+                })
+                .collect();
+            world.relations.insert(
+                name,
+                Arc::new(RelationEntry {
+                    relation: rel,
+                    signature,
+                }),
+            );
+        }
+        world
+    }
+
+    /// Evaluate a derivation by building a [`LogicalPlan`], optimizing
+    /// it, and executing the optimized form. Plan execution returns the
+    /// *canonical* (consolidated, §3.3.1) relation of the query's flat
+    /// model, so one exception applies: a top-level `EXPLICATE` is
+    /// lowered directly — its whole point is the explicit, non-minimal
+    /// form, which the final consolidate would collapse straight back.
+    pub(crate) fn derive(&self, derivation: &Derivation) -> Result<HRelation> {
+        if let Derivation::Explicated(src, attrs) = derivation {
+            let input = self.source_relation(src)?;
+            let indexes = attr_indexes(&input, attrs)?;
+            return Ok(hrdm_core::explicate::explicate(&input, &indexes)?);
+        }
+        let (optimized, _rewrites) = self.plan_of(derivation)?.optimize();
+        Ok(optimized.execute()?.relation)
+    }
+
+    /// Materialize an operand: a named relation is cloned as-is; a
+    /// nested derivation is evaluated like any `LET` right-hand side.
+    fn source_relation(&self, src: &Source) -> Result<HRelation> {
+        match src {
+            Source::Named(name) => Ok(self.relation_entry(name)?.relation.clone()),
+            Source::Derived(inner) => self.derive(inner),
+        }
+    }
+
+    /// An operand as a plan node: scans stay leaves, nested derivations
+    /// inline into the surrounding tree so rewrites can cross them.
+    fn source_plan(&self, src: &Source) -> Result<LogicalPlan> {
+        match src {
+            Source::Named(name) => {
+                let entry = self.relation_entry(name)?;
+                Ok(LogicalPlan::scan(name.clone(), entry.relation.clone()))
+            }
+            Source::Derived(inner) => self.plan_of(inner),
+        }
+    }
+
+    /// Build the logical plan of a derivation (no execution). Attribute
+    /// names resolve against the plan's inferred output schema, so
+    /// projections and explications over nested derivations see the
+    /// composed layout (e.g. a join's merged attribute list).
+    pub(crate) fn plan_of(&self, derivation: &Derivation) -> Result<LogicalPlan> {
+        Ok(match derivation {
+            Derivation::Union(a, b) => self.source_plan(a)?.union(self.source_plan(b)?),
+            Derivation::Intersect(a, b) => self.source_plan(a)?.intersect(self.source_plan(b)?),
+            Derivation::Difference(a, b) => self.source_plan(a)?.diff(self.source_plan(b)?),
+            Derivation::Join(a, b) => self.source_plan(a)?.join(self.source_plan(b)?),
+            Derivation::Project(a, attrs) => {
+                let p = self.source_plan(a)?;
+                let schema = p.output_schema()?;
+                let indexes = attrs
+                    .iter()
+                    .map(|n| Ok(schema.index_of(n)?))
+                    .collect::<Result<Vec<_>>>()?;
+                p.project(indexes)
+            }
+            Derivation::Select(a, conds) => {
+                let mut p = self.source_plan(a)?;
+                for (attr, value) in conds {
+                    p = p.select_eq(attr.clone(), value.name.clone());
+                }
+                p
+            }
+            Derivation::Consolidated(a) => self.source_plan(a)?.consolidate(),
+            Derivation::Explicated(a, attrs) => {
+                let p = self.source_plan(a)?;
+                let schema = p.output_schema()?;
+                let indexes = if attrs.is_empty() {
+                    (0..schema.arity()).collect()
+                } else {
+                    attrs
+                        .iter()
+                        .map(|n| Ok(schema.index_of(n)?))
+                        .collect::<Result<Vec<_>>>()?
+                };
+                p.explicate(indexes)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_is_shallow() {
+        let mut w = World::new();
+        w.create_domain("D").unwrap();
+        w.create_relation("R", &[("V".into(), "D".into())]).unwrap();
+        let copy = w.clone();
+        // Same Arcs on both sides until someone mutates.
+        assert!(Arc::ptr_eq(
+            w.domain("D").unwrap(),
+            copy.domain("D").unwrap()
+        ));
+        assert!(Arc::ptr_eq(&w.relations["R"], &copy.relations["R"]));
+    }
+
+    #[test]
+    fn mutating_a_copy_leaves_the_original_untouched() {
+        let mut w = World::new();
+        w.create_domain("D").unwrap();
+        w.add_class("A", &["D".into()]).unwrap();
+        w.create_relation("R", &[("V".into(), "D".into())]).unwrap();
+        let mut copy = w.clone();
+        copy.add_class("B", &["A".into()]).unwrap();
+        copy.assert_item(
+            "R",
+            &[ValueRef {
+                name: "A".into(),
+                all: true,
+            }],
+            Truth::Positive,
+        )
+        .unwrap();
+        // The original still has the pre-mutation graph and relation.
+        assert!(w.domain("D").unwrap().node("B").is_err());
+        assert_eq!(w.relation("R").unwrap().len(), 0);
+        assert!(copy.domain("D").unwrap().node("B").is_ok());
+        assert_eq!(copy.relation("R").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn image_round_trip() {
+        let mut w = World::new();
+        w.create_domain("D").unwrap();
+        w.add_class("A", &["D".into()]).unwrap();
+        w.create_relation("R", &[("V".into(), "D".into())]).unwrap();
+        w.assert_item(
+            "R",
+            &[ValueRef {
+                name: "A".into(),
+                all: true,
+            }],
+            Truth::Positive,
+        )
+        .unwrap();
+        let restored = World::from_image(w.to_image());
+        assert_eq!(restored.domain_count(), 1);
+        assert_eq!(restored.relation("R").unwrap().len(), 1);
+        // Domain handle identity links the restored relation's schema to
+        // the restored domain map (join compatibility is Arc identity).
+        assert!(Arc::ptr_eq(
+            restored.domain("D").unwrap(),
+            restored.relation("R").unwrap().schema().attributes()[0].domain()
+        ));
+    }
+}

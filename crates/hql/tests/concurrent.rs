@@ -1,0 +1,159 @@
+//! Concurrent-session parity: K reader threads race one writer on a
+//! shared [`Engine`], and every response any reader ever sees must be
+//! **byte-identical** to the response the same query gets against some
+//! serial prefix of the write history.
+//!
+//! The proof obligation comes straight from the engine's snapshot
+//! protocol: each write publishes exactly one epoch under the writer
+//! lock, so epoch `base + i` *is* the state after the first `i` writes.
+//! A reader brackets each query with two epoch loads; the serving
+//! snapshot's prefix lies in that window, so the response must equal
+//! one of the precomputed serial responses for the window.
+
+use hrdm_hql::Engine;
+
+/// The Fig. 1 world (16 statements — epochs 1..=16 on a fresh engine).
+const BOOTSTRAP: &str = r#"
+    CREATE DOMAIN Animal;
+    CREATE CLASS Bird UNDER Animal;
+    CREATE CLASS Canary UNDER Bird;
+    CREATE CLASS Penguin UNDER Bird;
+    CREATE CLASS "Galapagos Penguin" UNDER Penguin;
+    CREATE CLASS "Amazing Flying Penguin" UNDER Penguin;
+    CREATE INSTANCE Tweety OF Canary;
+    CREATE INSTANCE Paul OF "Galapagos Penguin";
+    CREATE INSTANCE Patricia OF "Galapagos Penguin", "Amazing Flying Penguin";
+    CREATE INSTANCE Pamela OF "Amazing Flying Penguin";
+    CREATE INSTANCE Peter OF "Amazing Flying Penguin";
+    CREATE RELATION Flies (Creature: Animal);
+    ASSERT Flies (ALL Bird);
+    ASSERT NOT Flies (ALL Penguin);
+    ASSERT Flies (ALL "Amazing Flying Penguin");
+    ASSERT Flies (Peter);
+    "#;
+
+/// The write history: one statement per epoch, deterministic.
+fn writes() -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..10 {
+        out.push(format!("CREATE INSTANCE P{i} OF Penguin;"));
+        out.push(format!("ASSERT Flies (P{i});"));
+    }
+    out
+}
+
+/// Read-only statements with deterministic renderings. Several name
+/// instances that only exist after some prefix, so readers exercise
+/// the existence transition too (the error rendering is part of the
+/// parity contract).
+fn queries() -> Vec<&'static str> {
+    vec![
+        "HOLDS Flies (Tweety);",
+        "HOLDS Flies (Paul);",
+        "HOLDS Flies (Patricia);",
+        "COUNT Flies;",
+        "CHECK Flies;",
+        "SHOW Flies;",
+        "HOLDS Flies (P0);",
+        "HOLDS Flies (P4);",
+        "HOLDS Flies (P9);",
+        "COUNT Flies BY Creature;",
+    ]
+}
+
+/// Render a query result the way a serving layer would: the response's
+/// display form, or a stable error line.
+fn rendered(engine: &Engine, q: &str) -> String {
+    match engine.execute(q) {
+        Ok(mut rs) => rs.remove(0).to_string(),
+        Err(e) => format!("ERR {} {e}", e.kind()),
+    }
+}
+
+#[test]
+fn concurrent_readers_see_only_serial_prefixes() {
+    let writes = writes();
+    let queries = queries();
+
+    // Serially precompute expected[i][q]: the response to query q after
+    // the bootstrap plus the first i writes.
+    let mut expected: Vec<Vec<String>> = Vec::with_capacity(writes.len() + 1);
+    {
+        let engine = Engine::new();
+        engine.execute(BOOTSTRAP).unwrap();
+        expected.push(queries.iter().map(|q| rendered(&engine, q)).collect());
+        for w in &writes {
+            engine.execute(w).unwrap();
+            expected.push(queries.iter().map(|q| rendered(&engine, q)).collect());
+        }
+    }
+
+    let engine = Engine::new();
+    engine.execute(BOOTSTRAP).unwrap();
+    let base_epoch = engine.epoch();
+    let w_total = writes.len() as u64;
+
+    std::thread::scope(|s| {
+        let eng = &engine;
+        let writes = &writes;
+        let queries = &queries;
+        let expected = &expected;
+        s.spawn(move || {
+            for w in writes {
+                eng.execute(w).unwrap();
+                std::thread::yield_now();
+            }
+        });
+        for reader in 0..8u64 {
+            s.spawn(move || {
+                // Deterministic per-thread xorshift; no RNG dependency.
+                let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (reader + 1);
+                let mut last_epoch = 0u64;
+                for _ in 0..200 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let qi = (state % queries.len() as u64) as usize;
+                    let e0 = eng.epoch();
+                    let resp = rendered(eng, queries[qi]);
+                    let e1 = eng.epoch();
+                    assert!(e1 >= e0, "epochs are monotone");
+                    assert!(e0 >= last_epoch, "epochs never run backwards");
+                    last_epoch = e0;
+                    // The serving snapshot was published somewhere in
+                    // [e0, e1]; its write prefix must explain the bytes.
+                    let lo = e0.saturating_sub(base_epoch).min(w_total) as usize;
+                    let hi = e1.saturating_sub(base_epoch).min(w_total) as usize;
+                    let matches_a_prefix = (lo..=hi).any(|i| expected[i][qi] == resp);
+                    assert!(
+                        matches_a_prefix,
+                        "response to {:?} matches no serial prefix in [{lo}, {hi}]:\n{resp}",
+                        queries[qi]
+                    );
+                }
+            });
+        }
+    });
+
+    // Every write published exactly one epoch, and the final state is
+    // byte-identical to the full serial replay.
+    assert_eq!(engine.epoch(), base_epoch + w_total);
+    for (qi, q) in queries.iter().enumerate() {
+        assert_eq!(rendered(&engine, q), expected[writes.len()][qi]);
+    }
+}
+
+#[test]
+fn a_reader_holding_a_snapshot_is_immune_to_later_writes() {
+    let engine = Engine::new();
+    engine.execute(BOOTSTRAP).unwrap();
+    let snap = engine.snapshot();
+    let before = snap.relation("Flies").unwrap().len();
+    for w in writes() {
+        engine.execute(&w).unwrap();
+    }
+    // The old snapshot still answers from its own epoch.
+    assert_eq!(snap.relation("Flies").unwrap().len(), before);
+    assert!(snap.relation("Flies").unwrap().schema().arity() == 1);
+    assert!(engine.snapshot().relation("Flies").unwrap().len() > before);
+}

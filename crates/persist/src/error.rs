@@ -23,6 +23,22 @@ pub enum PersistError {
     NotFound(String),
 }
 
+impl PersistError {
+    /// Stable machine-readable error-kind code (reused by the unified
+    /// `hrdm::Error` surface and the `hrdm-server` wire protocol's
+    /// `ERR` replies; existing codes must never change meaning).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PersistError::Io(_) => "io",
+            PersistError::BadMagic => "bad-magic",
+            PersistError::UnsupportedVersion(_) => "unsupported-version",
+            PersistError::Corrupt(_) => "corrupt",
+            PersistError::Rebuild(_) => "rebuild",
+            PersistError::NotFound(_) => "not-found",
+        }
+    }
+}
+
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! `hrdm-server` — a concurrent TCP serving layer over the `hrdm`
+//! engine.
+//!
+//! The server wraps one shared [`Engine`](hrdm::prelude::Engine):
+//! read-only statements evaluate against epoch-stamped catalog
+//! snapshots (arbitrarily many in parallel, no lock held), mutating
+//! statements serialize through the engine's single writer and journal
+//! through the write-ahead log of an `OPEN`ed store. Every client
+//! therefore sees **snapshot-consistent** results: each reply is
+//! byte-identical to executing the same statement against the state
+//! after some serial prefix of the write history.
+//!
+//! * [`proto`] — the `HRDM/1` wire format (length-prefixed UTF-8
+//!   frames, verbs, replies) plus a blocking [`Client`].
+//! * [`server`] — the thread-per-connection server with admission
+//!   control (`BUSY` past the connection cap), per-connection read
+//!   timeouts, and graceful shutdown.
+//!
+//! The `hrdm-serve` binary wires both to a command line:
+//!
+//! ```text
+//! hrdm-serve --addr 127.0.0.1:7878 --store ./data --max-conn 64
+//! ```
+
+pub mod proto;
+pub mod server;
+
+pub use proto::{Client, Reply, Request};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

@@ -1,0 +1,337 @@
+//! The `HRDM/1` wire protocol: framing, requests, replies, and a
+//! blocking client.
+//!
+//! # Framing
+//!
+//! Every message — request or reply — is one **frame**: a big-endian
+//! `u32` byte length followed by that many bytes of UTF-8 text. Frames
+//! are capped at [`MAX_FRAME`] bytes; an oversized or non-UTF-8 frame
+//! is a protocol error and closes the connection.
+//!
+//! # Requests
+//!
+//! The first line of a request frame is the verb; everything after the
+//! first newline is the payload:
+//!
+//! | verb       | payload      | effect                                 |
+//! |------------|--------------|----------------------------------------|
+//! | `HELLO`    | —            | handshake; must be the first request   |
+//! | `QUERY`    | HQL script   | execute; one response per statement    |
+//! | `TRACE`    | HQL script   | execute under a trace; returns the span tree |
+//! | `STATS`    | —            | server + engine counters               |
+//! | `QUIT`     | —            | close this connection                  |
+//! | `SHUTDOWN` | —            | stop the whole server gracefully       |
+//!
+//! # Replies
+//!
+//! * `OK\n<body>` — success. For `QUERY`, the body is the rendered
+//!   responses joined by [`RESPONSE_SEP`] (ASCII record separator), so
+//!   multi-statement scripts round-trip losslessly.
+//! * `ERR <kind>\n<message>` — failure; `<kind>` is the stable error
+//!   code from [`hrdm::Error::kind`] (plus the transport-level codes
+//!   `protocol` and `timeout`).
+//! * `BUSY\n<message>` — the server is at its connection cap; retry
+//!   later. Sent instead of the `HELLO` greeting.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Protocol name + revision, echoed in the `HELLO` reply.
+pub const PROTOCOL_VERSION: &str = "HRDM/1";
+
+/// Maximum frame payload size (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Separator between per-statement responses in a `QUERY` reply body
+/// (ASCII record separator — cannot appear in rendered responses).
+pub const RESPONSE_SEP: &str = "\u{1e}";
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Handshake; must be the connection's first request.
+    Hello,
+    /// Execute an HQL script.
+    Query(String),
+    /// Execute an HQL script under a query trace.
+    Trace(String),
+    /// Server and engine counters.
+    Stats,
+    /// Close this connection.
+    Quit,
+    /// Stop the whole server gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse a request frame (verb on the first line, payload after).
+    pub fn parse(frame: &str) -> Result<Request, String> {
+        let (verb, rest) = match frame.split_once('\n') {
+            Some((v, r)) => (v, r),
+            None => (frame, ""),
+        };
+        match verb.trim() {
+            "HELLO" => Ok(Request::Hello),
+            "QUERY" => Ok(Request::Query(rest.to_string())),
+            "TRACE" => Ok(Request::Trace(rest.to_string())),
+            "STATS" => Ok(Request::Stats),
+            "QUIT" => Ok(Request::Quit),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            other => Err(format!("unknown verb {other:?}")),
+        }
+    }
+
+    /// Render the request as a frame payload.
+    pub fn render(&self) -> String {
+        match self {
+            Request::Hello => "HELLO".into(),
+            Request::Query(script) => format!("QUERY\n{script}"),
+            Request::Trace(script) => format!("TRACE\n{script}"),
+            Request::Stats => "STATS".into(),
+            Request::Quit => "QUIT".into(),
+            Request::Shutdown => "SHUTDOWN".into(),
+        }
+    }
+}
+
+/// A parsed reply frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Success; for `QUERY`, one entry per executed statement.
+    Ok(Vec<String>),
+    /// Failure with a stable kind code and a rendered message.
+    Err {
+        /// Stable error-kind code ([`hrdm::Error::kind`] vocabulary,
+        /// plus `protocol` and `timeout`).
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The server is at its connection cap.
+    Busy(String),
+}
+
+impl Reply {
+    /// Parse a reply frame.
+    pub fn parse(frame: &str) -> Result<Reply, String> {
+        if let Some(body) = frame.strip_prefix("OK\n") {
+            return Ok(Reply::Ok(
+                body.split(RESPONSE_SEP).map(String::from).collect(),
+            ));
+        }
+        if frame == "OK" {
+            return Ok(Reply::Ok(vec![]));
+        }
+        if let Some(rest) = frame.strip_prefix("ERR ") {
+            let (kind, message) = rest.split_once('\n').unwrap_or((rest, ""));
+            return Ok(Reply::Err {
+                kind: kind.to_string(),
+                message: message.to_string(),
+            });
+        }
+        if let Some(msg) = frame.strip_prefix("BUSY\n") {
+            return Ok(Reply::Busy(msg.to_string()));
+        }
+        Err(format!("unparseable reply {frame:?}"))
+    }
+
+    /// Render the reply as a frame payload.
+    pub fn render(&self) -> String {
+        match self {
+            Reply::Ok(parts) if parts.is_empty() => "OK".into(),
+            Reply::Ok(parts) => format!("OK\n{}", parts.join(RESPONSE_SEP)),
+            Reply::Err { kind, message } => format!("ERR {kind}\n{message}"),
+            Reply::Busy(msg) => format!("BUSY\n{msg}"),
+        }
+    }
+
+    /// Did the request succeed?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Reply::Ok(_))
+    }
+}
+
+/// A blocking client over one TCP connection.
+///
+/// ```no_run
+/// use hrdm_server::proto::Client;
+/// let mut client = Client::connect("127.0.0.1:7878").unwrap();
+/// let reply = client.query("HOLDS Flies (Tweety);").unwrap();
+/// assert!(reply.is_ok());
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and perform the `HELLO` handshake. Returns an error if
+    /// the server replies `BUSY` or with an unexpected greeting.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        let mut client = Client::connect_raw(addr)?;
+        match client.request(&Request::Hello)? {
+            Reply::Ok(parts) if parts.first().map(String::as_str) == Some(PROTOCOL_VERSION) => {
+                Ok(client)
+            }
+            Reply::Busy(msg) => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("server busy: {msg}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected greeting: {other:?}"),
+            )),
+        }
+    }
+
+    /// Connect without the handshake (for protocol-level tests).
+    pub fn connect_raw(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Send one request frame and read one reply frame.
+    pub fn request(&mut self, request: &Request) -> io::Result<Reply> {
+        self.send_raw(&request.render())
+    }
+
+    /// Send an arbitrary frame payload and parse the reply (for
+    /// protocol-error tests).
+    pub fn send_raw(&mut self, payload: &str) -> io::Result<Reply> {
+        write_frame(&mut self.stream, payload)?;
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Reply::parse(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Execute an HQL script; returns the reply.
+    pub fn query(&mut self, script: &str) -> io::Result<Reply> {
+        self.request(&Request::Query(script.to_string()))
+    }
+
+    /// Execute an HQL script under a query trace.
+    pub fn trace(&mut self, script: &str) -> io::Result<Reply> {
+        self.request(&Request::Trace(script.to_string()))
+    }
+
+    /// Fetch server and engine counters.
+    pub fn stats(&mut self) -> io::Result<Reply> {
+        self.request(&Request::Stats)
+    }
+
+    /// Close the connection politely.
+    pub fn quit(mut self) -> io::Result<()> {
+        let _ = self.request(&Request::Quit)?;
+        Ok(())
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> io::Result<Reply> {
+        self.request(&Request::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "HELLO").unwrap();
+        write_frame(&mut buf, "QUERY\nSHOW Flies;").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("HELLO"));
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("QUERY\nSHOW Flies;")
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let big = "x".repeat(MAX_FRAME + 1);
+        assert!(write_frame(&mut Vec::new(), &big).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Hello,
+            Request::Query("SHOW R;\nCHECK R;".into()),
+            Request::Trace("TRACE UNION A B;".into()),
+            Request::Stats,
+            Request::Quit,
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::parse(&req.render()).unwrap(), req);
+        }
+        assert!(Request::parse("EXPLODE").is_err());
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in [
+            Reply::Ok(vec![]),
+            Reply::Ok(vec!["domain D created".into(), "t | x".into()]),
+            Reply::Err {
+                kind: "parse".into(),
+                message: "expected a verb".into(),
+            },
+            Reply::Busy("at capacity".into()),
+        ] {
+            assert_eq!(Reply::parse(&reply.render()).unwrap(), reply);
+        }
+        assert!(Reply::parse("???").is_err());
+    }
+
+    #[test]
+    fn multi_statement_bodies_split_on_the_separator() {
+        let reply = Reply::Ok(vec!["a\nmultiline\nresponse".into(), "second".into()]);
+        let parsed = Reply::parse(&reply.render()).unwrap();
+        assert_eq!(parsed, reply, "newlines inside responses survive");
+    }
+}

@@ -1,0 +1,384 @@
+//! The concurrent TCP server over a shared [`Engine`].
+//!
+//! One thread accepts connections (bounded by
+//! [`ServerConfig::max_connections`] — excess connections get a `BUSY`
+//! reply instead of queueing unboundedly); each admitted connection
+//! gets its own thread. Statement execution inherits the engine's
+//! concurrency contract: read-only statements evaluate against an
+//! epoch-stamped snapshot with no lock held, mutating statements
+//! serialize through the engine's single writer and journal through
+//! the WAL of the `OPEN`ed store. Every reply a client sees is
+//! therefore byte-identical to executing the same statements against
+//! some serial prefix of the write history.
+//!
+//! Shutdown is graceful: the flag flips, a self-connection wakes the
+//! accept loop, and every connection thread is joined before
+//! [`ServerHandle::wait`]/[`ServerHandle::shutdown`] return.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hrdm::prelude::Engine;
+
+use crate::proto::{read_frame, write_frame, Reply, Request, PROTOCOL_VERSION};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Admission cap: connections past this count receive `BUSY`.
+    pub max_connections: usize,
+    /// Per-connection read timeout; an idle connection is sent
+    /// `ERR timeout` and closed.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Per-server counters, readable at any time and rendered by `STATS`.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted (admitted or not).
+    pub accepted: AtomicU64,
+    /// Connections turned away with `BUSY`.
+    pub busy_rejected: AtomicU64,
+    /// `QUERY`/`TRACE` requests executed successfully.
+    pub queries: AtomicU64,
+    /// Requests answered with an `ERR` reply.
+    pub errors: AtomicU64,
+}
+
+struct Shared {
+    engine: Engine,
+    config: ServerConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    stats: ServerStats,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The server factory; see [`Server::start`].
+pub struct Server;
+
+/// A running server: its bound address, counters, and shutdown control.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, start the accept loop, and return immediately.
+    pub fn start(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            addr,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            stats: ServerStats::default(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("hrdm-accept".into())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Has a shutdown been requested (via [`ServerHandle::shutdown`] or
+    /// the `SHUTDOWN` verb)?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request a graceful shutdown and wait for every thread to finish.
+    pub fn shutdown(mut self) {
+        trigger_shutdown(&self.shared);
+        self.join();
+    }
+
+    /// Block until the server shuts down (e.g. a client sends
+    /// `SHUTDOWN`), then join every thread.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.conns.lock().expect("conns lock poisoned"));
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
+            trigger_shutdown(&self.shared);
+        }
+        self.join();
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Wake the accept loop out of its blocking accept().
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        hrdm_obs::metrics::counter("server.accept").incr();
+        // Admission control: reply BUSY instead of queueing unboundedly.
+        // Drain the client's opening frame before replying so closing
+        // the socket doesn't RST away the BUSY reply, and do it off the
+        // accept thread so a silent client can't stall admission.
+        if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+            shared.stats.busy_rejected.fetch_add(1, Ordering::Relaxed);
+            hrdm_obs::metrics::counter("server.busy").incr();
+            let reject = std::thread::Builder::new()
+                .name("hrdm-busy".into())
+                .spawn(move || {
+                    let mut stream = stream;
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+                    let _ = read_frame(&mut stream);
+                    let _ = write_frame(
+                        &mut stream,
+                        &Reply::Busy("server at connection capacity; retry later".into()).render(),
+                    );
+                });
+            if let Ok(h) = reject {
+                shared.conns.lock().expect("conns lock poisoned").push(h);
+            }
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("hrdm-conn".into())
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        match handle {
+            Ok(h) => shared.conns.lock().expect("conns lock poisoned").push(h),
+            Err(_) => {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn reply_to(stream: &mut TcpStream, reply: &Reply) -> io::Result<()> {
+    write_frame(stream, &reply.render())
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let mut greeted = false;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // clean EOF
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_to(
+                    &mut stream,
+                    &Reply::Err {
+                        kind: "timeout".into(),
+                        message: format!(
+                            "no request within {:?}; closing",
+                            shared.config.read_timeout
+                        ),
+                    },
+                );
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_to(
+                    &mut stream,
+                    &Reply::Err {
+                        kind: "protocol".into(),
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+            Err(_) => break,
+        };
+        let request = match Request::parse(&frame) {
+            Ok(r) => r,
+            Err(msg) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_to(
+                    &mut stream,
+                    &Reply::Err {
+                        kind: "protocol".into(),
+                        message: msg,
+                    },
+                );
+                continue;
+            }
+        };
+        if !greeted {
+            // HELLO must come first; anything else is a protocol error
+            // that closes the connection.
+            match request {
+                Request::Hello => {
+                    greeted = true;
+                    let _ = reply_to(&mut stream, &Reply::Ok(vec![PROTOCOL_VERSION.into()]));
+                    continue;
+                }
+                _ => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply_to(
+                        &mut stream,
+                        &Reply::Err {
+                            kind: "protocol".into(),
+                            message: "expected HELLO as the first request".into(),
+                        },
+                    );
+                    break;
+                }
+            }
+        }
+        match request {
+            Request::Hello => {
+                let _ = reply_to(&mut stream, &Reply::Ok(vec![PROTOCOL_VERSION.into()]));
+            }
+            Request::Query(script) => {
+                let reply = run_query(&shared.engine, &shared.stats, &script);
+                let _ = reply_to(&mut stream, &reply);
+            }
+            Request::Trace(script) => {
+                let reply = run_trace(&shared.engine, &shared.stats, &script);
+                let _ = reply_to(&mut stream, &reply);
+            }
+            Request::Stats => {
+                let _ = reply_to(&mut stream, &Reply::Ok(vec![render_stats(shared)]));
+            }
+            Request::Quit => {
+                let _ = reply_to(&mut stream, &Reply::Ok(vec!["bye".into()]));
+                break;
+            }
+            Request::Shutdown => {
+                let _ = reply_to(&mut stream, &Reply::Ok(vec!["shutting down".into()]));
+                trigger_shutdown(shared);
+                break;
+            }
+        }
+        let _ = stream.flush();
+    }
+}
+
+fn run_query(engine: &Engine, stats: &ServerStats, script: &str) -> Reply {
+    let mut span = hrdm_obs::span!("server.query");
+    span.field_u64("bytes", script.len() as u64);
+    match engine.execute(script) {
+        Ok(responses) => {
+            stats.queries.fetch_add(1, Ordering::Relaxed);
+            hrdm_obs::metrics::counter("server.query").incr();
+            Reply::Ok(responses.iter().map(ToString::to_string).collect())
+        }
+        Err(e) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            hrdm_obs::metrics::counter("server.query_error").incr();
+            Reply::Err {
+                kind: e.kind().to_string(),
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+fn run_trace(engine: &Engine, stats: &ServerStats, script: &str) -> Reply {
+    let (result, trace) = hrdm_obs::trace::capture("server.query", || engine.execute(script));
+    match result {
+        Ok(responses) => {
+            stats.queries.fetch_add(1, Ordering::Relaxed);
+            hrdm_obs::metrics::counter("server.query").incr();
+            let mut parts: Vec<String> = responses.iter().map(ToString::to_string).collect();
+            parts.push(trace.render());
+            Reply::Ok(parts)
+        }
+        Err(e) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            hrdm_obs::metrics::counter("server.query_error").incr();
+            Reply::Err {
+                kind: e.kind().to_string(),
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+fn render_stats(shared: &Shared) -> String {
+    format!(
+        "epoch: {}\naccepted: {}\nactive: {}\nbusy-rejected: {}\nqueries: {}\nerrors: {}",
+        shared.engine.epoch(),
+        shared.stats.accepted.load(Ordering::Relaxed),
+        shared.active.load(Ordering::SeqCst),
+        shared.stats.busy_rejected.load(Ordering::Relaxed),
+        shared.stats.queries.load(Ordering::Relaxed),
+        shared.stats.errors.load(Ordering::Relaxed),
+    )
+}

@@ -1,0 +1,240 @@
+//! Integration tests over a real socket: handshake, query round-trips
+//! (byte-identical to an embedded session), stable error kinds on the
+//! wire, admission control (`BUSY`), read timeouts, protocol errors,
+//! `STATS`, and graceful shutdown.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hrdm::prelude::{Engine, Session};
+use hrdm_server::proto::{read_frame, write_frame, PROTOCOL_VERSION};
+use hrdm_server::{Client, Reply, Request, Server, ServerConfig, ServerHandle};
+
+fn start(max_connections: usize, read_timeout: Duration) -> ServerHandle {
+    Server::start(
+        Engine::new(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections,
+            read_timeout,
+        },
+    )
+    .expect("bind 127.0.0.1:0")
+}
+
+#[test]
+fn queries_over_the_wire_are_byte_identical_to_an_embedded_session() {
+    let handle = start(8, Duration::from_secs(5));
+    let script = "CREATE DOMAIN Animal; \
+                  CREATE CLASS Bird UNDER Animal; \
+                  CREATE INSTANCE Tweety OF Bird; \
+                  CREATE RELATION Flies (Creature: Animal); \
+                  ASSERT Flies (ALL Bird); \
+                  HOLDS Flies (Tweety); \
+                  SHOW Flies; \
+                  COUNT Flies;";
+    let mut session = Session::new();
+    let expected: Vec<String> = session
+        .execute(script)
+        .unwrap()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let reply = client.query(script).unwrap();
+    assert_eq!(
+        reply,
+        Reply::Ok(expected),
+        "wire == embedded, byte for byte"
+    );
+
+    // A second statement batch sees the first batch's state.
+    let reply = client.query("HOLDS Flies (Tweety);").unwrap();
+    let expected: Vec<String> = session
+        .execute("HOLDS Flies (Tweety);")
+        .unwrap()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    assert_eq!(reply, Reply::Ok(expected));
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn error_kinds_travel_verbatim_on_the_wire() {
+    let handle = start(8, Duration::from_secs(5));
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for (script, kind) in [
+        ("HOLDS", "parse"),
+        ("SHOW Nope;", "unknown"),
+        ("CHECKPOINT;", "execution"),
+        ("LOAD \"/no/such/file.hrdm\";", "io"),
+    ] {
+        match client.query(script).unwrap() {
+            Reply::Err { kind: k, .. } => assert_eq!(k, kind, "kind for {script:?}"),
+            other => panic!("expected ERR {kind} for {script:?}, got {other:?}"),
+        }
+    }
+    // Atomicity is per statement: the failing statement publishes
+    // nothing, but the statements before it in the batch do.
+    let reply = client.query("CREATE DOMAIN D; SHOW Nope;").unwrap();
+    assert!(!reply.is_ok());
+    match client.query("CREATE DOMAIN D;").unwrap() {
+        Reply::Err { kind, .. } => assert_eq!(kind, "duplicate", "prefix was published"),
+        other => panic!("D must already exist from the batch prefix: {other:?}"),
+    }
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn trace_replies_carry_the_span_tree() {
+    let handle = start(8, Duration::from_secs(5));
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .query("CREATE DOMAIN D; CREATE RELATION R (A: D);")
+        .unwrap();
+    match client.trace("CHECK R;").unwrap() {
+        Reply::Ok(parts) => {
+            assert!(parts.len() >= 2, "response parts plus the trace");
+            assert!(
+                parts.last().unwrap().contains("server.query"),
+                "trace names the root span: {:?}",
+                parts.last().unwrap()
+            );
+        }
+        other => panic!("expected OK, got {other:?}"),
+    }
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn stats_report_epoch_and_counters() {
+    let handle = start(8, Duration::from_secs(5));
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.query("CREATE DOMAIN D;").unwrap();
+    match client.stats().unwrap() {
+        Reply::Ok(parts) => {
+            let body = parts.join("\n");
+            assert!(body.contains("epoch: 1"), "one write published: {body}");
+            assert!(body.contains("queries: 1"), "{body}");
+            assert!(body.contains("active: 1"), "{body}");
+        }
+        other => panic!("expected OK, got {other:?}"),
+    }
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn connections_past_the_cap_get_busy() {
+    let handle = start(1, Duration::from_secs(5));
+    let first = Client::connect(handle.addr()).unwrap();
+    // The admitted connection holds the only slot, so the next
+    // connection is turned away with BUSY at the handshake.
+    let err = Client::connect(handle.addr()).expect_err("second client must be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    assert!(err.to_string().contains("busy"), "{err}");
+    assert_eq!(
+        handle
+            .stats()
+            .busy_rejected
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    // Once the slot frees, new connections are admitted again.
+    first.quit().unwrap();
+    let mut admitted = None;
+    for _ in 0..100 {
+        match Client::connect(handle.addr()) {
+            Ok(c) => {
+                admitted = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let client = admitted.expect("slot frees after QUIT");
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_time_out_with_a_stable_kind() {
+    let handle = start(8, Duration::from_millis(200));
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    write_frame(&mut stream, &Request::Hello.render()).unwrap();
+    let greeting = read_frame(&mut stream).unwrap().unwrap();
+    assert_eq!(
+        Reply::parse(&greeting).unwrap(),
+        Reply::Ok(vec![PROTOCOL_VERSION.into()])
+    );
+    // Say nothing; the server must give up and tell us why.
+    std::thread::sleep(Duration::from_millis(600));
+    let frame = read_frame(&mut stream).unwrap().expect("timeout reply");
+    match Reply::parse(&frame).unwrap() {
+        Reply::Err { kind, .. } => assert_eq!(kind, "timeout"),
+        other => panic!("expected ERR timeout, got {other:?}"),
+    }
+    assert_eq!(
+        read_frame(&mut stream).unwrap(),
+        None,
+        "then the connection closes"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn requests_before_hello_are_protocol_errors_that_close_the_connection() {
+    let handle = start(8, Duration::from_secs(5));
+    let mut client = Client::connect_raw(handle.addr()).unwrap();
+    match client.send_raw("QUERY\nSHOW Flies;").unwrap() {
+        Reply::Err { kind, message } => {
+            assert_eq!(kind, "protocol");
+            assert!(message.contains("HELLO"), "{message}");
+        }
+        other => panic!("expected ERR protocol, got {other:?}"),
+    }
+    let err = client.send_raw("HELLO").expect_err("connection is closed");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+        ),
+        "{err}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_verbs_are_protocol_errors_but_keep_the_connection() {
+    let handle = start(8, Duration::from_secs(5));
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match client.send_raw("EXPLODE\nnow").unwrap() {
+        Reply::Err { kind, .. } => assert_eq!(kind, "protocol"),
+        other => panic!("expected ERR protocol, got {other:?}"),
+    }
+    // Still greeted, still serving.
+    assert!(client.query("CREATE DOMAIN D;").unwrap().is_ok());
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn the_shutdown_verb_unblocks_wait() {
+    let handle = start(8, Duration::from_secs(5));
+    let addr = handle.addr();
+    let waiter = std::thread::spawn(move || handle.wait());
+    let mut client = Client::connect(addr).unwrap();
+    match client.shutdown_server().unwrap() {
+        Reply::Ok(parts) => assert_eq!(parts, vec!["shutting down".to_string()]),
+        other => panic!("expected OK, got {other:?}"),
+    }
+    drop(client);
+    waiter.join().expect("wait() returns after SHUTDOWN");
+}

@@ -1,0 +1,131 @@
+//! The unified error surface of the `hrdm` facade.
+//!
+//! Every workspace crate keeps its own structured error type; this
+//! module folds them into one [`Error`] enum with **lossless** `From`
+//! conversions (the original error rides along, `source()` chains to
+//! it) and a single stable [`Error::kind`] code. The kind codes are the
+//! vocabulary of the `hrdm-server` wire protocol's `ERR <kind>`
+//! replies, so their meanings must never change.
+
+use std::fmt;
+
+/// Result alias over the unified [`Error`].
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Any error the `hrdm` stack can produce, one level per layer.
+#[derive(Debug)]
+pub enum Error {
+    /// From the class-DAG substrate ([`hrdm_hierarchy`]).
+    Hierarchy(hrdm_hierarchy::HierarchyError),
+    /// From the hierarchical relational model ([`hrdm_core`]).
+    Core(hrdm_core::CoreError),
+    /// From the HQL language layer ([`hrdm_hql`]).
+    Hql(hrdm_hql::HqlError),
+    /// From the persistence layer ([`hrdm_persist`]).
+    Persist(hrdm_persist::PersistError),
+}
+
+impl Error {
+    /// Stable machine-readable error-kind code.
+    ///
+    /// Structured layers forward their own codes
+    /// ([`CoreError::kind`](hrdm_core::CoreError::kind),
+    /// [`HqlError::kind`](hrdm_hql::HqlError::kind),
+    /// [`PersistError::kind`](hrdm_persist::PersistError::kind));
+    /// hierarchy errors all classify as `"hierarchy"`. The
+    /// `hrdm-server` wire protocol sends these verbatim in `ERR`
+    /// replies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Hierarchy(_) => "hierarchy",
+            Error::Core(e) => e.kind(),
+            Error::Hql(e) => e.kind(),
+            Error::Persist(e) => e.kind(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Hierarchy(e) => write!(f, "{e}"),
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Hql(e) => write!(f, "{e}"),
+            Error::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Hierarchy(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Hql(e) => Some(e),
+            Error::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<hrdm_hierarchy::HierarchyError> for Error {
+    fn from(e: hrdm_hierarchy::HierarchyError) -> Error {
+        Error::Hierarchy(e)
+    }
+}
+
+impl From<hrdm_core::CoreError> for Error {
+    fn from(e: hrdm_core::CoreError) -> Error {
+        Error::Core(e)
+    }
+}
+
+impl From<hrdm_hql::HqlError> for Error {
+    fn from(e: hrdm_hql::HqlError) -> Error {
+        Error::Hql(e)
+    }
+}
+
+impl From<hrdm_persist::PersistError> for Error {
+    fn from(e: hrdm_persist::PersistError) -> Error {
+        Error::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_lossless_and_chain_sources() {
+        let e: Error = hrdm_core::CoreError::SchemaMismatch.into();
+        assert!(matches!(
+            e,
+            Error::Core(hrdm_core::CoreError::SchemaMismatch)
+        ));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: Error = hrdm_hierarchy::HierarchyError::NoParent.into();
+        assert_eq!(e.kind(), "hierarchy");
+        let e: Error = hrdm_persist::PersistError::BadMagic.into();
+        assert_eq!(e.kind(), "bad-magic");
+        let e: Error = hrdm_hql::HqlError::Execution("boom".into()).into();
+        assert_eq!(e.kind(), "execution");
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn kinds_delegate_to_each_layer() {
+        // One representative per layer: the facade must forward the
+        // layer's own stable code, not invent its own.
+        let core: Error = hrdm_core::CoreError::NoJoinAttributes.into();
+        assert_eq!(core.kind(), "join");
+        let hql: Error = hrdm_hql::HqlError::Parse {
+            found: "X".into(),
+            expected: "Y".into(),
+        }
+        .into();
+        assert_eq!(hql.kind(), "parse");
+        // A persist error that travelled through HQL keeps its code.
+        let nested: Error = hrdm_hql::HqlError::from(hrdm_persist::PersistError::BadMagic).into();
+        assert_eq!(nested.kind(), "bad-magic");
+    }
+}

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! `hrdm` — the hierarchical relational data model, assembled.
 //!
@@ -16,8 +16,16 @@
 //! * [`datalog`] — semi-naive Datalog with stratified negation over
 //!   hierarchical EDBs (§2.1's "more powerful inference mechanism"),
 //! * [`hql`] — a textual interface (DDL, assertions, queries, the
-//!   consolidate/explicate operators) over the model,
-//! * [`persist`] — a binary snapshot format for whole catalogs.
+//!   consolidate/explicate operators) over the model, including the
+//!   concurrent [`Engine`](hql::Engine) (snapshot reads, serialized
+//!   writes) that `hrdm-server` serves over TCP,
+//! * [`persist`] — a binary snapshot format plus write-ahead journal
+//!   for whole catalogs,
+//! * [`obs`] — spans, metrics, and query traces across all layers.
+//!
+//! Failures from any layer fold into one [`Error`] with stable
+//! [`Error::kind`] codes (the same codes the `hrdm-server` wire
+//! protocol sends in `ERR` replies).
 //!
 //! See `examples/` for runnable walkthroughs of the paper's scenarios
 //! and `crates/bench` for the full experiment harness (every figure and
@@ -41,10 +49,19 @@ pub use hrdm_core as core;
 pub use hrdm_datalog as datalog;
 pub use hrdm_hierarchy as hierarchy;
 pub use hrdm_hql as hql;
+pub use hrdm_obs as obs;
 pub use hrdm_persist as persist;
 pub use hrdm_storage as storage;
 
-/// One-stop imports: the core prelude.
+mod error;
+
+pub use error::{Error, Result};
+
+/// One-stop imports: the model types, the HQL engine/session layer,
+/// persistence handles, and the unified error.
 pub mod prelude {
+    pub use crate::error::{Error, Result};
     pub use hrdm_core::prelude::*;
+    pub use hrdm_hql::{Engine, HqlError, Response, Session, Statement, StatementKind, World};
+    pub use hrdm_persist::{Image, Journal, PersistError};
 }
