@@ -1,0 +1,265 @@
+//! B2–B4 tuple-vs-batch comparison for the columnar layer; emits
+//! `BENCH_columnar.json`.
+//!
+//! Each figure times the same logical plan on the tuple-at-a-time
+//! executor and on the batch-at-a-time columnar executor (steady state:
+//! one warm-up run per engine, then the median of several repetitions —
+//! the batch layer's shared intersection cache is part of what is being
+//! measured). The cost model is *measured*: a warm-up run populates the
+//! obs histograms, [`CostModel::from_registry`] derives its
+//! calibration from them, and the JSON records which access paths and
+//! join orders it chose. `tools/validate_bench.py` schema-checks the
+//! artifact and gates batch ≤ tuple on every figure.
+//!
+//! Run with `cargo run -p hrdm-bench --release --bin columnar`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hrdm_bench::fixtures::clear_shared_caches;
+use hrdm_bench::flatplan::{execute_flat, execute_flat_batch, execute_flat_batch_traced};
+use hrdm_bench::workloads::{class_workload, explication_workload};
+use hrdm_core::batch::execute_batch;
+use hrdm_core::cost::{optimize_with_cost, CostModel};
+use hrdm_core::prelude::*;
+use hrdm_hierarchy::gen::layered_dag;
+
+const REPS: usize = 7;
+
+/// Median wall time of `f` over [`REPS`] runs, in nanoseconds.
+fn time_ns<T>(mut f: impl FnMut() -> T) -> u64 {
+    let mut samples: Vec<u128> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as u64
+}
+
+struct Figure {
+    name: &'static str,
+    tuple_ns: u64,
+    batch_ns: u64,
+    rows: u64,
+    access_path: &'static str,
+}
+
+impl Figure {
+    fn speedup(&self) -> f64 {
+        self.tuple_ns as f64 / self.batch_ns.max(1) as f64
+    }
+}
+
+/// B2 — the §1 point query: one member of a 20 000-instance class (50
+/// exceptions), on the flat engines. The volcano baseline materializes
+/// a table and filter-scans it; the batch lowering asks the measured
+/// cost model, which picks the class-id-keyed sorted index probe.
+fn b2_point_select(model: &CostModel) -> Figure {
+    let w = class_workload(20_000, 50);
+    let plan = LogicalPlan::scan("R", w.relation.clone()).select_eq("D", "i0_10000");
+
+    // Warm both engines (flatten cache, intersection cache).
+    let rows = execute_flat(&plan).expect("volcano evaluates");
+    let (brows, trace) = execute_flat_batch_traced(&plan, model).expect("batch evaluates");
+    assert_eq!(rows, brows, "engines must agree before being timed");
+    let access = match trace
+        .find("batch.select_eq")
+        .and_then(|n| n.field("access"))
+    {
+        Some("index") => "index",
+        _ => "scan",
+    };
+
+    let tuple_ns = time_ns(|| execute_flat(&plan).expect("volcano evaluates"));
+    let batch_ns = time_ns(|| execute_flat_batch(&plan, model).expect("batch evaluates"));
+    Figure {
+        name: "B2",
+        tuple_ns,
+        batch_ns,
+        rows: rows.len() as u64,
+        access_path: access,
+    }
+}
+
+/// B3 — a natural join on the hierarchical executors: two relations
+/// share only their `D` attribute (a layered DAG), each with its own
+/// payload attribute, written big-side-first. The measured cost model
+/// commutes the join. The shared column repeats a small dictionary of
+/// `D` values across many rows, so the batch executor's
+/// dictionary-encoded intersection matrix computes each distinct value
+/// pair once where the tuple path recomputes it per row pair.
+fn b3_join(model: &CostModel) -> (Figure, u64) {
+    let gd = Arc::new(hrdm_hierarchy::gen::balanced_tree(3, 5));
+    let gp = Arc::new(hrdm_hierarchy::gen::balanced_tree(5, 3));
+    let gq = Arc::new(hrdm_hierarchy::gen::balanced_tree(4, 3));
+    // Join keys are mid-depth classes of a tree: a related pair's
+    // intersection walks the descendant cone (the expensive part,
+    // quadratic in its size) yet always resolves to at most one
+    // maximal element, so candidate generation — not the conflict
+    // fixpoint — is what the figure measures.
+    let d_pool: Vec<_> = gd
+        .node_ids()
+        .skip(1)
+        .filter(|&n| !gd.is_instance(n) && (30..100).contains(&gd.descendants(n).len()))
+        .take(24)
+        .collect();
+    let p_pool: Vec<_> = gp.instances().collect();
+    let q_pool: Vec<_> = gq.instances().collect();
+
+    let big_schema = Arc::new(Schema::new(vec![
+        Attribute::new("D", gd.clone()),
+        Attribute::new("P", gp),
+    ]));
+    let mut big = HRelation::new(big_schema);
+    for k in 0..1000usize {
+        let item = Item::new(vec![d_pool[k % d_pool.len()], p_pool[k % p_pool.len()]]);
+        let _ = big.insert(Tuple::positive(item));
+    }
+
+    let small_schema = Arc::new(Schema::new(vec![
+        Attribute::new("D", gd),
+        Attribute::new("Q", gq),
+    ]));
+    let mut small = HRelation::new(small_schema);
+    for k in 0..18usize {
+        let item = Item::new(vec![d_pool[k % 6], q_pool[k % q_pool.len()]]);
+        let _ = small.insert(Tuple::positive(item));
+    }
+    hrdm_bench::workloads::resolve_positively(&mut small);
+
+    // Big on the left: the measured cost model must commute this.
+    let plan = LogicalPlan::scan("Big", big).join(LogicalPlan::scan("Small", small));
+    let (costed, rewrites) = optimize_with_cost(&plan, model);
+    let commuted = rewrites
+        .iter()
+        .filter(|r| r.rule == "cost-join-order")
+        .count() as u64;
+
+    let tuple = plan.execute().expect("consistent join");
+    let batch = execute_batch(&costed).expect("consistent join");
+    assert_eq!(
+        tuple.relation.iter().collect::<Vec<_>>(),
+        batch.relation.iter().collect::<Vec<_>>(),
+        "executors must agree before being timed"
+    );
+    let rows = tuple.relation.len() as u64;
+
+    let tuple_ns = time_ns(|| plan.execute().expect("consistent join"));
+    let batch_ns = time_ns(|| execute_batch(&costed).expect("consistent join"));
+    (
+        Figure {
+            name: "B3",
+            tuple_ns,
+            batch_ns,
+            rows,
+            access_path: "scan",
+        },
+        commuted,
+    )
+}
+
+/// B4 — explicate + select on the hierarchical executors: expand a
+/// balanced 4-ary tree, then restrict to one deep subclass. The batch
+/// selection memoizes the per-value region intersections that the
+/// tuple path recomputes per stored tuple.
+fn b4_explicate_select() -> Figure {
+    let r = explication_workload(4, 6);
+    let graph = r.schema().domain(0);
+    let asserted = graph.classes().next().expect("tree has classes");
+    let leaf_class = graph
+        .descendants(asserted)
+        .into_iter()
+        .rfind(|&d| !graph.is_instance(d))
+        .expect("asserted class has subclasses");
+    let plan = LogicalPlan::scan("B4", r)
+        .explicate(vec![0])
+        .select(Item::new(vec![leaf_class]));
+
+    let tuple = plan.execute().expect("consistent input");
+    let batch = execute_batch(&plan).expect("consistent input");
+    assert_eq!(
+        tuple.relation.iter().collect::<Vec<_>>(),
+        batch.relation.iter().collect::<Vec<_>>(),
+        "executors must agree before being timed"
+    );
+    let rows = tuple.relation.len() as u64;
+
+    let tuple_ns = time_ns(|| plan.execute().expect("consistent input"));
+    let batch_ns = time_ns(|| execute_batch(&plan).expect("consistent input"));
+    Figure {
+        name: "B4",
+        tuple_ns,
+        batch_ns,
+        rows,
+        access_path: "scan",
+    }
+}
+
+fn main() {
+    clear_shared_caches();
+
+    // Populate the obs histograms so the cost model is measured, not
+    // guessed: one representative run through the tuple executor.
+    {
+        let w = class_workload(2_000, 10);
+        let probe = LogicalPlan::scan("warm", w.relation.clone())
+            .join(LogicalPlan::scan("warm2", w.relation))
+            .select_eq("D", "i0_1000");
+        let _ = probe.execute();
+    }
+    let model = CostModel::from_registry();
+    println!(
+        "cost model (measured={}): join_pair={:.0}ns node={:.0}ns probe={:.0}ns scan_row={:.0}ns",
+        model.measured, model.join_pair_ns, model.node_ns, model.probe_ns, model.scan_row_ns
+    );
+
+    let b2 = b2_point_select(&model);
+    let (b3, commuted) = b3_join(&model);
+    let b4 = b4_explicate_select();
+
+    let index_choices = u64::from(b2.access_path == "index");
+    println!(
+        "\n{:>4} {:>14} {:>14} {:>9} {:>7} {:>7}",
+        "fig", "tuple_ns", "batch_ns", "speedup", "rows", "access"
+    );
+    for f in [&b2, &b3, &b4] {
+        println!(
+            "{:>4} {:>14} {:>14} {:>8.2}x {:>7} {:>7}",
+            f.name,
+            f.tuple_ns,
+            f.batch_ns,
+            f.speedup(),
+            f.rows,
+            f.access_path
+        );
+    }
+    println!(
+        "\ncost model chose {index_choices} index path(s), commuted {commuted} join order(s)."
+    );
+
+    let mut json = String::from("{\n  \"schema_version\": 1,\n  \"label\": \"columnar\",\n");
+    json.push_str("  \"figures\": {\n");
+    for (k, f) in [&b2, &b3, &b4].iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"tuple_ns\": {}, \"batch_ns\": {}, \"speedup\": {:.4}, \"rows\": {}, \"access_path\": \"{}\"}}{}\n",
+            f.name,
+            f.tuple_ns,
+            f.batch_ns,
+            f.speedup(),
+            f.rows,
+            f.access_path,
+            if k + 1 < 3 { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"cost_model\": {{\"measured\": {}, \"index_choices\": {}, \"join_order_commuted\": {}}}\n",
+        model.measured, index_choices, commuted
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_columnar.json", &json).expect("write BENCH_columnar.json");
+    println!("wrote BENCH_columnar.json");
+}

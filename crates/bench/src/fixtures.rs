@@ -22,6 +22,8 @@ pub fn clear_shared_caches() {
     hrdm_core::subsumption::clear_cache();
     hrdm_hierarchy::cache::clear();
     hrdm_core::stats::reset();
+    hrdm_core::columnar::clear_intersection_cache();
+    hrdm_core::intern::reset_for_bench();
 }
 
 /// The engine-stats trailer every bench prints after its groups finish,

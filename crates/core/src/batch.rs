@@ -1,0 +1,633 @@
+//! Batch-at-a-time plan executor over the columnar layer.
+//!
+//! [`execute_batch`] evaluates the same [`LogicalPlan`] IR as
+//! [`LogicalPlan::execute`], but each operator consumes
+//! [`crate::columnar::BATCH_ROWS`]-row column slices instead of one
+//! tuple at a time, memoizing the two expensive per-row computations —
+//! per-column `maximal_intersection` (via the shared intersection
+//! cache) and per-projection binding lookups (`class_holds`).
+//!
+//! **Semantics contract:** consolidate is *not* a function of the flat
+//! model — it removes tuples from the stored physical form — so the
+//! batch operators must (and do) generate exactly the candidate items,
+//! truths, and conflict-resolution fixpoints of `core::ops`. Candidate
+//! generation, truth evaluation order, and error order all mirror the
+//! tuple operators, which makes the two executors byte-identical on
+//! every plan (property-tested over ~8k random plans in
+//! `crates/core/tests/batch_parity.rs`). Consolidate and explicate are
+//! not row-local, so those nodes delegate to the canonical core
+//! functions.
+//!
+//! Observability: every node opens a `batch.*` span (`batch.join`,
+//! `batch.select`, …) with deterministic fields (`rows`, `batches`,
+//! `candidates`, memo hit/miss counts), and the executor maintains the
+//! `batch.rows` / `batch.batches` / `batch.nodes` counters.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use hrdm_hierarchy::NodeId;
+
+use crate::columnar::{cached_intersection, ColumnarRelation, IntersectionMatrix, Run, Spine};
+use crate::error::{CoreError, Result};
+use crate::item::Item;
+use crate::ops::{class_holds, resolve_conflicts_fixpoint};
+use crate::parallel;
+use crate::plan::{join_parts, Executed, LogicalPlan};
+use crate::relation::HRelation;
+use crate::schema::{Attribute, Schema};
+use crate::truth::Truth;
+use crate::tuple::Tuple;
+
+/// Execute `plan` batch-at-a-time and canonicalize the result, exactly
+/// as [`LogicalPlan::execute`] does tuple-at-a-time. The returned
+/// relation is byte-identical to the tuple executor's; the trace tree
+/// carries `batch.*` span names instead of the bare node kinds.
+pub fn execute_batch(plan: &LogicalPlan) -> Result<Executed> {
+    let (result, trace) = hrdm_obs::trace::capture("batch.execute", || -> Result<_> {
+        let raw = eval_batch(plan)?;
+        let mut span = hrdm_obs::span!("batch.canonicalize");
+        let canonical = crate::consolidate::consolidate(&raw);
+        if span.is_active() {
+            span.field_u64("rows", canonical.relation.len() as u64);
+            span.field_u64("eliminated", canonical.removed.len() as u64);
+        }
+        Ok((canonical.relation, canonical.removed.len()))
+    });
+    let (relation, canonicalized_away) = result?;
+    Ok(Executed {
+        relation,
+        trace,
+        canonicalized_away,
+    })
+}
+
+/// The `batch.*` span name for a plan node.
+fn batch_kind(plan: &LogicalPlan) -> &'static str {
+    match plan {
+        LogicalPlan::Scan { .. } => "batch.scan",
+        LogicalPlan::Select { .. } => "batch.select",
+        LogicalPlan::SelectEq { .. } => "batch.select_eq",
+        LogicalPlan::Project { .. } => "batch.project",
+        LogicalPlan::Join { .. } => "batch.join",
+        LogicalPlan::Union { .. } => "batch.union",
+        LogicalPlan::Intersect { .. } => "batch.intersect",
+        LogicalPlan::Diff { .. } => "batch.diff",
+        LogicalPlan::Consolidate { .. } => "batch.consolidate",
+        LogicalPlan::Explicate { .. } => "batch.explicate",
+    }
+}
+
+fn eval_batch(plan: &LogicalPlan) -> Result<HRelation> {
+    let mut span = hrdm_obs::span!(batch_kind(plan));
+    hrdm_obs::metrics::counter("batch.nodes").incr();
+    let out = match plan {
+        LogicalPlan::Scan { relation, .. } => (**relation).clone(),
+        LogicalPlan::Select { input, region } => {
+            let child = eval_batch(input)?;
+            batch_select(&child, region, &mut span)?
+        }
+        LogicalPlan::SelectEq { input, attr, value } => {
+            let child = eval_batch(input)?;
+            let schema = child.schema().clone();
+            let i = schema.index_of(attr)?;
+            let node = schema.domain(i).node(value)?;
+            let region = schema.universal_item().with_component(i, node);
+            batch_select(&child, &region, &mut span)?
+        }
+        LogicalPlan::Project { input, attrs } => batch_project(&eval_batch(input)?, attrs)?,
+        LogicalPlan::Join { left, right } => {
+            let l = eval_batch(left)?;
+            let r = eval_batch(right)?;
+            batch_join(&l, &r, &mut span)?
+        }
+        LogicalPlan::Union { left, right } => {
+            let l = eval_batch(left)?;
+            let r = eval_batch(right)?;
+            batch_combine(&l, &r, |a, b| a || b, &mut span)?
+        }
+        LogicalPlan::Intersect { left, right } => {
+            let l = eval_batch(left)?;
+            let r = eval_batch(right)?;
+            batch_combine(&l, &r, |a, b| a && b, &mut span)?
+        }
+        LogicalPlan::Diff { left, right } => {
+            let l = eval_batch(left)?;
+            let r = eval_batch(right)?;
+            batch_combine(&l, &r, |a, b| a && !b, &mut span)?
+        }
+        LogicalPlan::Consolidate { input } => {
+            let out = crate::consolidate::consolidate(&eval_batch(input)?);
+            if span.is_active() {
+                span.field_u64("eliminated", out.removed.len() as u64);
+            }
+            out.relation
+        }
+        LogicalPlan::Explicate { input, attrs } => {
+            crate::explicate::explicate(&eval_batch(input)?, attrs)?
+        }
+    };
+    hrdm_obs::metrics::counter("batch.rows").add(out.len() as u64);
+    if span.is_active() {
+        span.field_u64("rows", out.len() as u64);
+    }
+    Ok(out)
+}
+
+/// A memoized `class_holds` over one relation: join and set-op
+/// candidates share projections (each left projection recurs once per
+/// right pairing), so the binding machinery runs once per *distinct*
+/// projected item instead of once per candidate.
+struct TruthMemo<'a> {
+    relation: &'a HRelation,
+    memo: HashMap<Item, bool>,
+    hits: u64,
+}
+
+impl<'a> TruthMemo<'a> {
+    fn new(relation: &'a HRelation) -> TruthMemo<'a> {
+        TruthMemo {
+            relation,
+            memo: HashMap::new(),
+            hits: 0,
+        }
+    }
+
+    /// `class_holds` with memoization. Errors are not memoized: they
+    /// abort the operator on first occurrence, same as the tuple path.
+    fn holds(&mut self, item: &Item) -> Result<bool> {
+        if let Some(&b) = self.memo.get(item) {
+            self.hits += 1;
+            return Ok(b);
+        }
+        let b = class_holds(self.relation, item)?;
+        self.memo.insert(item.clone(), b);
+        Ok(b)
+    }
+
+    /// Pre-compute the distinct projections' bindings in parallel —
+    /// the batch-side counterpart of the tuple join's `par_map` over
+    /// candidates. Only `Ok` verdicts are seeded; a projection whose
+    /// binding errors stays unseeded so [`TruthMemo::holds`] recomputes
+    /// it at the first candidate that touches it, surfacing the exact
+    /// error the tuple executor would (same candidate order, left side
+    /// before right).
+    fn seed_parallel(&mut self, projections: &BTreeSet<Item>) {
+        let distinct: Vec<&Item> = projections.iter().collect();
+        let verdicts = parallel::par_map(&distinct, |p| class_holds(self.relation, p));
+        for (p, v) in distinct.into_iter().zip(verdicts) {
+            if let Ok(b) = v {
+                self.memo.insert(p.clone(), b);
+            }
+        }
+        // Seeds count as misses: each distinct projection's binding
+        // machinery ran exactly once, same as the lazy path.
+        self.hits = 0;
+    }
+
+    fn misses(&self) -> u64 {
+        self.memo.len() as u64
+    }
+}
+
+/// Cartesian product of per-attribute axes straight into a sorted set.
+fn cartesian_into(axes: &[Arc<Vec<NodeId>>], out: &mut BTreeSet<Item>) {
+    if axes.iter().any(|a| a.is_empty()) {
+        return;
+    }
+    let mut cursor = vec![0usize; axes.len()];
+    loop {
+        out.insert(Item::new(
+            cursor.iter().zip(axes).map(|(&c, ax)| ax[c]).collect(),
+        ));
+        let mut pos = axes.len();
+        loop {
+            if pos == 0 {
+                return;
+            }
+            pos -= 1;
+            cursor[pos] += 1;
+            if cursor[pos] < axes[pos].len() {
+                break;
+            }
+            cursor[pos] = 0;
+        }
+    }
+}
+
+fn note_memo(
+    span: &mut hrdm_obs::SpanGuard,
+    batches: u64,
+    candidates: u64,
+    hits: u64,
+    misses: u64,
+) {
+    hrdm_obs::metrics::counter("batch.batches").add(batches);
+    hrdm_obs::metrics::counter("batch.memo.hits").add(hits);
+    hrdm_obs::metrics::counter("batch.memo.misses").add(misses);
+    if span.is_active() {
+        span.field_u64("batches", batches);
+        span.field_u64("candidates", candidates);
+        span.field_u64("memo_hits", hits);
+        span.field_u64("memo_misses", misses);
+    }
+}
+
+/// Batched selection — candidates, truths, and fixpoint exactly as
+/// [`crate::ops::select`], with the per-column region intersection
+/// memoized over each column's distinct values.
+fn batch_select(
+    relation: &HRelation,
+    region: &Item,
+    span: &mut hrdm_obs::SpanGuard,
+) -> Result<HRelation> {
+    let schema = relation.schema().clone();
+    schema.check_item(region)?;
+    let col = ColumnarRelation::from_relation(relation);
+    let arity = schema.arity();
+    let mut memos: Vec<HashMap<NodeId, Arc<Vec<NodeId>>>> = vec![HashMap::new(); arity];
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut spine = Spine::new();
+    let mut batches = 0u64;
+    for batch in col.batches() {
+        batches += 1;
+        let mut set: BTreeSet<Item> = BTreeSet::new();
+        let mut axes: Vec<Arc<Vec<NodeId>>> = Vec::with_capacity(arity);
+        'row: for k in 0..batch.len() {
+            axes.clear();
+            for (i, memo) in memos.iter_mut().enumerate() {
+                let v = batch.col(i)[k];
+                let axis = match memo.get(&v) {
+                    Some(ax) => {
+                        hits += 1;
+                        ax.clone()
+                    }
+                    None => {
+                        misses += 1;
+                        let (ax, _) = cached_intersection(schema.domain(i), v, region.component(i));
+                        memo.insert(v, ax.clone());
+                        ax
+                    }
+                };
+                if axis.is_empty() {
+                    continue 'row;
+                }
+                axes.push(axis);
+            }
+            cartesian_into(&axes, &mut set);
+        }
+        spine.push(Run::from_set(set));
+    }
+    let candidates = spine.merge();
+    note_memo(span, batches, candidates.len() as u64, hits, misses);
+    let mut result = HRelation::with_preemption(schema, relation.preemption());
+    for item in candidates {
+        let truth = Truth::from_bool(class_holds(relation, &item)?);
+        result.insert(Tuple::new(item, truth))?;
+    }
+    resolve_conflicts_fixpoint(&mut result, |item| {
+        Ok(Truth::from_bool(class_holds(relation, item)?))
+    })?;
+    Ok(result)
+}
+
+/// Batched projection — identical to [`crate::ops::project`]
+/// (tuple-wise, positive wins on collision), evaluated over column
+/// slices.
+fn batch_project(relation: &HRelation, attrs: &[usize]) -> Result<HRelation> {
+    let schema = relation.schema();
+    for &a in attrs {
+        if a >= schema.arity() {
+            return Err(CoreError::AttributeIndexOutOfRange(a));
+        }
+    }
+    let new_schema = Arc::new(Schema::new(
+        attrs
+            .iter()
+            .map(|&a| {
+                let attr = schema.attribute(a);
+                Attribute::new(attr.name(), attr.domain().clone())
+            })
+            .collect(),
+    ));
+    let col = ColumnarRelation::from_relation(relation);
+    let mut out: BTreeMap<Item, Truth> = BTreeMap::new();
+    for batch in col.batches() {
+        let truths = batch.truths();
+        for k in 0..batch.len() {
+            let projected = Item::new(attrs.iter().map(|&a| batch.col(a)[k]).collect());
+            let truth = truths[k];
+            out.entry(projected)
+                .and_modify(|t| {
+                    if truth == Truth::Positive {
+                        *t = Truth::Positive;
+                    }
+                })
+                .or_insert(truth);
+        }
+    }
+    let mut result = HRelation::with_preemption(new_schema, relation.preemption());
+    result.replace_tuples(out);
+    Ok(result)
+}
+
+/// Batched natural join — candidate pairs, projections, truths, and
+/// fixpoint exactly as [`crate::ops::join`], with shared-attribute
+/// intersections memoized per distinct value pair and the two
+/// per-projection binding lookups memoized per distinct projection.
+fn batch_join(
+    left: &HRelation,
+    right: &HRelation,
+    span: &mut hrdm_obs::SpanGuard,
+) -> Result<HRelation> {
+    let ls = left.schema().clone();
+    let rs = right.schema().clone();
+    let parts = join_parts(&ls, &rs)?;
+    let left_arity = ls.arity();
+    let shared = parts.shared;
+    let right_only = parts.right_only;
+
+    let project_left =
+        |item: &Item| -> Item { Item::new(item.components()[..left_arity].to_vec()) };
+    let project_right = |item: &Item| -> Item {
+        Item::new(
+            (0..rs.arity())
+                .map(|j| {
+                    if let Some(&(i, _)) = shared.iter().find(|&&(_, sj)| sj == j) {
+                        item.component(i)
+                    } else {
+                        let pos = right_only.iter().position(|&r| r == j).expect("partition");
+                        item.component(left_arity + pos)
+                    }
+                })
+                .collect(),
+        )
+    };
+
+    let lcol = ColumnarRelation::from_relation(left);
+    let rcol = ColumnarRelation::from_relation(right);
+    // Dictionary-encode each shared column and compute its
+    // distinct-value intersection matrix up front (in parallel); the
+    // row-pair loop below then resolves every axis with two array
+    // loads — no hashing, no locks.
+    let matrices: Vec<Option<IntersectionMatrix>> = (0..left_arity)
+        .map(|i| {
+            shared
+                .iter()
+                .find(|&&(si, _)| si == i)
+                .map(|&(_, j)| IntersectionMatrix::build(ls.domain(i), lcol.col(i), rcol.col(j)))
+        })
+        .collect();
+    let misses: u64 = matrices
+        .iter()
+        .flatten()
+        .map(IntersectionMatrix::computed)
+        .sum();
+    let mut hits = 0u64;
+    let mut spine = Spine::new();
+    let mut batches = 0u64;
+    for (lbn, lb) in lcol.batches().enumerate() {
+        for (rbn, rb) in rcol.batches().enumerate() {
+            batches += 1;
+            let mut set: BTreeSet<Item> = BTreeSet::new();
+            let mut axes: Vec<Arc<Vec<NodeId>>> = Vec::with_capacity(left_arity + right_only.len());
+            for lk in 0..lb.len() {
+                let lrow = lbn * crate::columnar::BATCH_ROWS + lk;
+                'pair: for rk in 0..rb.len() {
+                    let rrow = rbn * crate::columnar::BATCH_ROWS + rk;
+                    axes.clear();
+                    for (i, matrix) in matrices.iter().enumerate() {
+                        let axis = match matrix {
+                            Some(m) => {
+                                hits += 1;
+                                m.axis(lrow, rrow).clone()
+                            }
+                            None => Arc::new(vec![lb.col(i)[lk]]),
+                        };
+                        if axis.is_empty() {
+                            continue 'pair;
+                        }
+                        axes.push(axis);
+                    }
+                    for &j in &right_only {
+                        axes.push(Arc::new(vec![rb.col(j)[rk]]));
+                    }
+                    cartesian_into(&axes, &mut set);
+                }
+            }
+            spine.push(Run::from_set(set));
+        }
+    }
+    let candidates = spine.merge();
+
+    let mut lmemo = TruthMemo::new(left);
+    let mut rmemo = TruthMemo::new(right);
+    // Fan the distinct projections' bindings across threads up front
+    // (the tuple join par_maps over all candidates; here the memo
+    // dedups first, then the distinct work parallelizes).
+    let lprojs: BTreeSet<Item> = candidates.iter().map(&project_left).collect();
+    let rprojs: BTreeSet<Item> = candidates.iter().map(&project_right).collect();
+    lmemo.seed_parallel(&lprojs);
+    rmemo.seed_parallel(&rprojs);
+    let mut result = HRelation::with_preemption(parts.schema, left.preemption());
+    for item in &candidates {
+        let l = lmemo.holds(&project_left(item))?;
+        let r = rmemo.holds(&project_right(item))?;
+        result.insert(Tuple::new(item.clone(), Truth::from_bool(l && r)))?;
+    }
+    resolve_conflicts_fixpoint(&mut result, |item| {
+        let l = lmemo.holds(&project_left(item))?;
+        let r = rmemo.holds(&project_right(item))?;
+        Ok(Truth::from_bool(l && r))
+    })?;
+    note_memo(
+        span,
+        batches,
+        candidates.len() as u64,
+        hits + lmemo.hits + rmemo.hits,
+        misses + lmemo.misses() + rmemo.misses(),
+    );
+    if span.is_active() {
+        span.field_u64("left_rows", left.len() as u64);
+        span.field_u64("right_rows", right.len() as u64);
+    }
+    Ok(result)
+}
+
+/// Batched set operation — candidates, truths, and fixpoint exactly as
+/// `crate::ops::set_ops::combine`, with pairwise restrictions memoized
+/// per distinct value pair and binding lookups memoized per side.
+fn batch_combine(
+    left: &HRelation,
+    right: &HRelation,
+    op: impl Fn(bool, bool) -> bool + Copy,
+    span: &mut hrdm_obs::SpanGuard,
+) -> Result<HRelation> {
+    if !left.schema().compatible(right.schema()) {
+        return Err(CoreError::SchemaMismatch);
+    }
+    let schema = left.schema().clone();
+    let arity = schema.arity();
+    let lcol = ColumnarRelation::from_relation(left);
+    let rcol = ColumnarRelation::from_relation(right);
+
+    let mut spine = Spine::new();
+    // The argument runs themselves are candidate items, already sorted.
+    spine.push(Run::from_items(
+        (0..lcol.len()).map(|k| lcol.item(k)).collect(),
+    ));
+    spine.push(Run::from_items(
+        (0..rcol.len()).map(|k| rcol.item(k)).collect(),
+    ));
+    // Pairwise meets: restriction of every left row to every right row,
+    // through per-column dictionary-encoded intersection matrices.
+    let matrices: Vec<IntersectionMatrix> = (0..arity)
+        .map(|i| IntersectionMatrix::build(schema.domain(i), lcol.col(i), rcol.col(i)))
+        .collect();
+    let misses: u64 = matrices.iter().map(IntersectionMatrix::computed).sum();
+    let mut hits = 0u64;
+    let mut batches = 0u64;
+    for (lbn, lb) in lcol.batches().enumerate() {
+        for (rbn, rb) in rcol.batches().enumerate() {
+            batches += 1;
+            let mut set: BTreeSet<Item> = BTreeSet::new();
+            let mut axes: Vec<Arc<Vec<NodeId>>> = Vec::with_capacity(arity);
+            for lk in 0..lb.len() {
+                let lrow = lbn * crate::columnar::BATCH_ROWS + lk;
+                'pair: for rk in 0..rb.len() {
+                    let rrow = rbn * crate::columnar::BATCH_ROWS + rk;
+                    axes.clear();
+                    for matrix in &matrices {
+                        hits += 1;
+                        let axis = matrix.axis(lrow, rrow).clone();
+                        if axis.is_empty() {
+                            continue 'pair;
+                        }
+                        axes.push(axis);
+                    }
+                    cartesian_into(&axes, &mut set);
+                }
+            }
+            spine.push(Run::from_set(set));
+        }
+    }
+    let candidates = spine.merge();
+
+    let mut lmemo = TruthMemo::new(left);
+    let mut rmemo = TruthMemo::new(right);
+    let mut result = HRelation::with_preemption(schema, left.preemption());
+    for item in &candidates {
+        let l = lmemo.holds(item)?;
+        let r = rmemo.holds(item)?;
+        result.insert(Tuple::new(item.clone(), Truth::from_bool(op(l, r))))?;
+    }
+    resolve_conflicts_fixpoint(&mut result, |item| {
+        let l = lmemo.holds(item)?;
+        let r = rmemo.holds(item)?;
+        Ok(Truth::from_bool(op(l, r)))
+    })?;
+    note_memo(
+        span,
+        batches,
+        candidates.len() as u64,
+        hits + lmemo.hits + rmemo.hits,
+        misses + lmemo.misses() + rmemo.misses(),
+    );
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_fixtures::*;
+    use crate::plan::LogicalPlan;
+
+    fn tuples_of(r: &HRelation) -> Vec<(Item, Truth)> {
+        r.iter().map(|(i, t)| (i.clone(), t)).collect()
+    }
+
+    fn assert_parity(plan: &LogicalPlan) {
+        let tuple = plan.execute().expect("tuple executor");
+        let batch = execute_batch(plan).expect("batch executor");
+        assert_eq!(tuples_of(&tuple.relation), tuples_of(&batch.relation));
+        assert_eq!(tuple.canonicalized_away, batch.canonicalized_away);
+    }
+
+    #[test]
+    fn select_parity_on_the_flying_relation() {
+        let schema = animal_schema();
+        let r = flying(&schema);
+        let region = r.item(&["Penguin"]).unwrap();
+        assert_parity(&LogicalPlan::scan("Flying", r).select(region));
+    }
+
+    #[test]
+    fn select_eq_and_project_parity() {
+        let r = respects();
+        let plan = LogicalPlan::scan("Respects", r)
+            .select_eq("Student", "John")
+            .project(vec![1, 0]);
+        assert_parity(&plan);
+    }
+
+    #[test]
+    fn join_parity_preserves_exceptions() {
+        let r = respects();
+        let plan = LogicalPlan::scan("R", r.clone()).join(LogicalPlan::scan("S", r));
+        assert_parity(&plan);
+    }
+
+    #[test]
+    fn set_op_parity() {
+        let schema = animal_schema();
+        let r = flying(&schema);
+        let mut extra = HRelation::new(schema.clone());
+        extra.assert_fact(&["Paul"], Truth::Positive).unwrap();
+        for mk in [
+            LogicalPlan::union as fn(LogicalPlan, LogicalPlan) -> LogicalPlan,
+            LogicalPlan::intersect,
+            LogicalPlan::diff,
+        ] {
+            let plan = mk(
+                LogicalPlan::scan("F", r.clone()),
+                LogicalPlan::scan("E", extra.clone()),
+            );
+            assert_parity(&plan);
+        }
+    }
+
+    #[test]
+    fn consolidate_and_explicate_delegate() {
+        let schema = animal_schema();
+        let r = flying(&schema);
+        assert_parity(&LogicalPlan::scan("F", r.clone()).consolidate());
+        assert_parity(&LogicalPlan::scan("F", r).explicate(vec![0]));
+    }
+
+    #[test]
+    fn errors_agree_with_the_tuple_executor() {
+        let schema = animal_schema();
+        let r = flying(&schema);
+        // Out-of-range explicate attribute fails identically.
+        let plan = LogicalPlan::scan("F", r).explicate(vec![7]);
+        let t = plan.execute();
+        let b = execute_batch(&plan);
+        assert!(t.is_err() && b.is_err());
+        assert_eq!(format!("{:?}", t.err()), format!("{:?}", b.err()));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn batch_spans_carry_batch_names() {
+        let schema = animal_schema();
+        let r = flying(&schema);
+        let plan = LogicalPlan::scan("F", r.clone()).select(r.item(&["Bird"]).unwrap());
+        let executed = execute_batch(&plan).unwrap();
+        assert!(executed.trace.find("batch.select").is_some());
+        assert!(executed.trace.find("batch.scan").is_some());
+        assert!(executed.trace.find("batch.canonicalize").is_some());
+        let select = executed.trace.find("batch.select").unwrap();
+        assert!(select.field_u64("batches").is_some());
+        assert!(select.field_u64("candidates").is_some());
+    }
+}

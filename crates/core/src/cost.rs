@@ -1,0 +1,386 @@
+//! A small measured-cost model for physical planning decisions.
+//!
+//! The optimizer's rewrite rules ([`LogicalPlan::optimize`]) are purely
+//! logical. This module adds the two *physical* decisions the paper's
+//! benchmarks care about, fed by the obs per-operator latency
+//! histograms:
+//!
+//! * **Join order** — [`optimize_with_cost`] commutes a join whose
+//!   right input is estimated smaller, compensating with a full-width
+//!   projection that restores the original column order. §3.3.1's
+//!   unique-minimum theorem guarantees the canonical (root-consolidated)
+//!   result is byte-identical either way, so this rewrite composes with
+//!   the logical rules without weakening the plan-parity property
+//!   tests. A smaller left input shrinks both the hierarchical
+//!   executor's outer candidate loop and the flat lowering's hash-join
+//!   build side.
+//! * **Index vs. scan access** — [`CostModel::access_path`] compares the
+//!   estimated cost of probing a membership index against scanning, and
+//!   is consulted by the flat batch lowering
+//!   (`hrdm_bench::flatplan::execute_flat_batch`) when it lowers a
+//!   selection over a base scan.
+//!
+//! Calibration: [`CostModel::from_registry`] reads the p50/p99 of the
+//! `core.join.latency_ns` and `core.plan.node_latency_ns` histograms
+//! that `core::ops`/`core::plan` already record, falling back to
+//! [`CostModel::default_calibration`]'s fixed constants when the
+//! registry is empty (obs off, or nothing executed yet). EXPLAIN
+//! renders costs with the **fixed** calibration only — measured
+//! nanoseconds vary run to run and would break golden snapshots — while
+//! runtime planning uses whatever was measured.
+
+use std::fmt::Write as _;
+
+use crate::plan::{join_parts, map_children, LogicalPlan, Rewrite};
+
+/// Which physical access path a selection should use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Probe a (class-id-keyed) membership index and gather matches.
+    IndexProbe,
+    /// Scan all rows and filter.
+    Scan,
+}
+
+impl AccessPath {
+    /// Stable lowercase label for spans, EXPLAIN, and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessPath::IndexProbe => "index",
+            AccessPath::Scan => "scan",
+        }
+    }
+}
+
+/// Per-operation cost coefficients, in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Cost of evaluating one candidate join pair (memoized binding
+    /// lookups included).
+    pub join_pair_ns: f64,
+    /// Fixed per-operator overhead (span, dispatch, result build).
+    pub node_ns: f64,
+    /// Cost of one index probe (hash/sorted lookup plus gather).
+    pub probe_ns: f64,
+    /// Cost of scanning and filtering one row.
+    pub scan_row_ns: f64,
+    /// True when at least one coefficient came from a measured
+    /// histogram rather than the fixed defaults.
+    pub measured: bool,
+}
+
+impl CostModel {
+    /// The fixed default calibration. Deterministic — this is what
+    /// EXPLAIN renders with — and a reasonable shape for the workloads
+    /// in `BENCH_columnar.json`: probes are ~4× the per-row scan cost,
+    /// so an index pays off below ~25% selectivity.
+    pub fn default_calibration() -> CostModel {
+        CostModel {
+            join_pair_ns: 2_000.0,
+            node_ns: 4_000.0,
+            probe_ns: 160.0,
+            scan_row_ns: 40.0,
+            measured: false,
+        }
+    }
+
+    /// Calibrate from the live metrics registry: p50 of
+    /// `core.join.latency_ns` prices a join, p50 of
+    /// `core.plan.node_latency_ns` prices operator overhead, and its
+    /// p99 spread (normalized per batch row) prices row processing.
+    /// Falls back to the defaults wherever nothing was recorded.
+    pub fn from_registry() -> CostModel {
+        let mut m = CostModel::default_calibration();
+        let join = hrdm_obs::metrics::histogram("core.join.latency_ns");
+        if let Some(p50) = join.quantile_ns(0.5) {
+            m.join_pair_ns = (p50 as f64).max(1.0);
+            m.measured = true;
+        }
+        let node = hrdm_obs::metrics::histogram("core.plan.node_latency_ns");
+        if let Some(p50) = node.quantile_ns(0.5) {
+            m.node_ns = (p50 as f64).max(1.0);
+            m.measured = true;
+        }
+        if let Some(p99) = node.quantile_ns(0.99) {
+            m.scan_row_ns = (p99 as f64 / crate::columnar::BATCH_ROWS as f64).max(1.0);
+            m.probe_ns = m.scan_row_ns * 4.0;
+        }
+        m
+    }
+
+    /// Deterministic structural row estimate for a plan: stored tuple
+    /// counts at the leaves, fixed selectivities above (½ per
+    /// selection, product for joins, 4× fan-out for explication).
+    pub fn estimate_rows(&self, plan: &LogicalPlan) -> u64 {
+        match plan {
+            LogicalPlan::Scan { relation, .. } => relation.len() as u64,
+            LogicalPlan::Select { input, .. } | LogicalPlan::SelectEq { input, .. } => {
+                self.estimate_rows(input).div_ceil(2)
+            }
+            LogicalPlan::Project { input, .. } | LogicalPlan::Consolidate { input } => {
+                self.estimate_rows(input)
+            }
+            LogicalPlan::Join { left, right } => self
+                .estimate_rows(left)
+                .saturating_mul(self.estimate_rows(right).max(1)),
+            LogicalPlan::Union { left, right } => self
+                .estimate_rows(left)
+                .saturating_add(self.estimate_rows(right)),
+            LogicalPlan::Intersect { left, right } => {
+                self.estimate_rows(left).min(self.estimate_rows(right))
+            }
+            LogicalPlan::Diff { left, .. } => self.estimate_rows(left),
+            LogicalPlan::Explicate { input, .. } => self.estimate_rows(input).saturating_mul(4),
+        }
+    }
+
+    /// Choose how to evaluate a selection expecting `est_matches` of
+    /// `input_rows` rows: probe an index when the probe cost (plus
+    /// fixed overhead) undercuts the full scan.
+    pub fn access_path(&self, input_rows: u64, est_matches: u64) -> AccessPath {
+        let probe = self.probe_ns * est_matches as f64 + self.node_ns;
+        let scan = self.scan_row_ns * input_rows as f64;
+        if est_matches < input_rows && probe < scan {
+            AccessPath::IndexProbe
+        } else {
+            AccessPath::Scan
+        }
+    }
+}
+
+/// Optimize `plan` with the logical rule set, then apply the
+/// cost-based `cost-join-order` rewrite bottom-up: any join whose
+/// right input is estimated strictly smaller is commuted, with a
+/// compensating full-width projection restoring the column order.
+///
+/// The rewritten plan's canonical output is byte-identical to the
+/// original's: both orders have the same flat model, and the root
+/// consolidate's unique minimum (§3.3.1) makes the physical forms
+/// agree too (covered by the batch-parity differential harness).
+pub fn optimize_with_cost(plan: &LogicalPlan, model: &CostModel) -> (LogicalPlan, Vec<Rewrite>) {
+    let (optimized, mut log) = plan.optimize();
+    let reordered = commute_joins(optimized, model, &mut log);
+    (reordered, log)
+}
+
+fn commute_joins(plan: LogicalPlan, model: &CostModel, log: &mut Vec<Rewrite>) -> LogicalPlan {
+    let plan = map_children(plan, |c| commute_joins(c, model, log));
+    let LogicalPlan::Join { left, right } = plan else {
+        return plan;
+    };
+    let left_est = model.estimate_rows(&left);
+    let right_est = model.estimate_rows(&right);
+    let rebuilt =
+        |left: Box<LogicalPlan>, right: Box<LogicalPlan>| LogicalPlan::Join { left, right };
+    if right_est >= left_est {
+        return rebuilt(left, right);
+    }
+    let (Ok(ls), Ok(rs)) = (left.output_schema(), right.output_schema()) else {
+        return rebuilt(left, right);
+    };
+    let Ok(parts) = join_parts(&ls, &rs) else {
+        return rebuilt(left, right);
+    };
+    // Column permutation from the swapped join's layout (right's
+    // attributes, then left-only) back to the original (left's
+    // attributes, then right-only).
+    let left_only: Vec<usize> = (0..ls.arity())
+        .filter(|i| !parts.shared.iter().any(|&(si, _)| si == *i))
+        .collect();
+    let mut perm: Vec<usize> = Vec::with_capacity(ls.arity() + parts.right_only.len());
+    for i in 0..ls.arity() {
+        if let Some(&(_, j)) = parts.shared.iter().find(|&&(si, _)| si == i) {
+            perm.push(j);
+        } else {
+            let pos = left_only.iter().position(|&x| x == i).expect("partition");
+            perm.push(rs.arity() + pos);
+        }
+    }
+    perm.extend(parts.right_only.iter().copied());
+    log.push(Rewrite {
+        rule: "cost-join-order",
+        detail: format!(
+            "join inputs commuted (right est {right_est} rows < left est {left_est}); \
+             projection restores the column order"
+        ),
+    });
+    LogicalPlan::Project {
+        input: Box::new(LogicalPlan::Join {
+            left: right,
+            right: left,
+        }),
+        attrs: perm,
+    }
+}
+
+/// The EXPLAIN cost section: deterministic row estimates and
+/// per-operator decisions under the fixed default calibration, one
+/// line per join (order decision) and selection (access decision),
+/// pre-order.
+pub fn explain_costs(plan: &LogicalPlan) -> String {
+    let model = CostModel::default_calibration();
+    let mut out = String::from("cost model (fixed calibration):\n");
+    let _ = writeln!(out, "  est rows: {}", model.estimate_rows(plan));
+    annotate(plan, &model, &mut out);
+    out
+}
+
+fn annotate(plan: &LogicalPlan, model: &CostModel, out: &mut String) {
+    match plan {
+        LogicalPlan::Join { left, right } => {
+            let (le, re) = (model.estimate_rows(left), model.estimate_rows(right));
+            let decision = if re < le {
+                "commute candidate (runtime cost model reorders)"
+            } else {
+                "order kept"
+            };
+            let _ = writeln!(
+                out,
+                "  Join: left est {le} rows, right est {re} — {decision}"
+            );
+        }
+        LogicalPlan::Select { input, .. } | LogicalPlan::SelectEq { input, .. } => {
+            let input_rows = model.estimate_rows(input);
+            let est = model.estimate_rows(plan);
+            let path = model.access_path(input_rows, est);
+            let _ = writeln!(
+                out,
+                "  Select: {} access (est {est} of {input_rows} input rows)",
+                path.label()
+            );
+        }
+        _ => {}
+    }
+    match plan {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::SelectEq { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Consolidate { input }
+        | LogicalPlan::Explicate { input, .. } => annotate(input, model, out),
+        LogicalPlan::Join { left, right }
+        | LogicalPlan::Union { left, right }
+        | LogicalPlan::Intersect { left, right }
+        | LogicalPlan::Diff { left, right } => {
+            annotate(left, model, out);
+            annotate(right, model, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+    use crate::ops::test_fixtures::*;
+    use crate::relation::HRelation;
+    use crate::truth::Truth;
+
+    fn tuples_of(r: &HRelation) -> Vec<(Item, Truth)> {
+        r.iter().map(|(i, t)| (i.clone(), t)).collect()
+    }
+
+    /// Two single-shared-attribute relations with different sizes.
+    fn sized_pair() -> (LogicalPlan, LogicalPlan) {
+        let r = respects(); // 3 stored tuples
+        let mut small = HRelation::new(r.schema().clone());
+        small
+            .assert_fact(
+                &["Obsequious Student", "Incoherent Teacher"],
+                Truth::Positive,
+            )
+            .unwrap();
+        (
+            LogicalPlan::scan("Big", r),
+            LogicalPlan::scan("Small", small),
+        )
+    }
+
+    #[test]
+    fn join_commutes_toward_the_smaller_left_input() {
+        let (big, small) = sized_pair();
+        let plan = big.clone().join(small.clone());
+        let model = CostModel::default_calibration();
+        let (reordered, rewrites) = optimize_with_cost(&plan, &model);
+        assert!(rewrites.iter().any(|r| r.rule == "cost-join-order"));
+        assert!(matches!(reordered, LogicalPlan::Project { .. }));
+        // Already-optimal order is left alone.
+        let (kept, rewrites) = optimize_with_cost(&small.join(big), &model);
+        assert!(!rewrites.iter().any(|r| r.rule == "cost-join-order"));
+        assert!(matches!(kept, LogicalPlan::Join { .. }));
+    }
+
+    #[test]
+    fn commuted_join_is_byte_identical() {
+        let (big, small) = sized_pair();
+        let plan = big.join(small);
+        let model = CostModel::default_calibration();
+        let (reordered, _) = optimize_with_cost(&plan, &model);
+        let naive = plan.execute().unwrap();
+        let costed = reordered.execute().unwrap();
+        assert_eq!(tuples_of(&naive.relation), tuples_of(&costed.relation));
+        // Schema order restored by the compensating projection.
+        assert_eq!(
+            costed.relation.schema().attribute(0).name(),
+            naive.relation.schema().attribute(0).name()
+        );
+        // And the batch executor agrees on the reordered plan too.
+        let batch = crate::batch::execute_batch(&reordered).unwrap();
+        assert_eq!(tuples_of(&naive.relation), tuples_of(&batch.relation));
+    }
+
+    #[test]
+    fn estimates_are_structural_and_deterministic() {
+        let (big, small) = sized_pair();
+        let model = CostModel::default_calibration();
+        assert_eq!(model.estimate_rows(&big), 3);
+        assert_eq!(model.estimate_rows(&small), 1);
+        let sel = big.clone().select_eq("Student", "John");
+        assert_eq!(model.estimate_rows(&sel), 2);
+        assert_eq!(model.estimate_rows(&big.clone().join(small.clone())), 3);
+        assert_eq!(model.estimate_rows(&big.clone().union(small.clone())), 4);
+        assert_eq!(
+            model.estimate_rows(&big.clone().intersect(small.clone())),
+            1
+        );
+        assert_eq!(model.estimate_rows(&big.clone().diff(small)), 3);
+        assert_eq!(model.estimate_rows(&big.clone().explicate(vec![0])), 12);
+        assert_eq!(model.estimate_rows(&big.consolidate()), 3);
+    }
+
+    #[test]
+    fn access_path_prefers_index_only_when_selective() {
+        let model = CostModel::default_calibration();
+        // 10k rows, 100 matches: probe cost 100*160+4000 ≪ scan 400k.
+        assert_eq!(model.access_path(10_000, 100), AccessPath::IndexProbe);
+        // Unselective: scan.
+        assert_eq!(model.access_path(100, 100), AccessPath::Scan);
+        assert_eq!(model.access_path(10, 9), AccessPath::Scan);
+        assert_eq!(AccessPath::IndexProbe.label(), "index");
+        assert_eq!(AccessPath::Scan.label(), "scan");
+    }
+
+    #[test]
+    fn explain_costs_render_is_deterministic() {
+        let (big, small) = sized_pair();
+        let plan = big.join(small).select_eq("Student", "John");
+        let a = explain_costs(&plan);
+        let b = explain_costs(&plan);
+        assert_eq!(a, b);
+        assert!(a.contains("cost model (fixed calibration):"));
+        assert!(a.contains("est rows:"));
+        assert!(a.contains("Join: left est"));
+        assert!(a.contains("Select:"));
+    }
+
+    #[test]
+    fn from_registry_falls_back_to_defaults() {
+        // Whatever the registry holds, the model must stay finite and
+        // positive; with an empty registry it equals the defaults.
+        let m = CostModel::from_registry();
+        assert!(m.join_pair_ns >= 1.0);
+        assert!(m.node_ns >= 1.0);
+        assert!(m.scan_row_ns >= 1.0);
+        assert!(m.probe_ns >= 1.0);
+    }
+}

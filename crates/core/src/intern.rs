@@ -1,0 +1,165 @@
+//! Global string interner: `str` ↔ [`Sym`] with `Arc`-shared storage.
+//!
+//! Hierarchy node names are `Arc<str>`s today, but the columnar layer
+//! wants a fixed-width value it can pack into column vectors and use as
+//! a hash/sort key without touching the heap. [`intern`] assigns every
+//! distinct string a dense `u32` [`Sym`]; [`resolve`] goes back. The
+//! table is append-only while live — a `Sym` handed out once stays
+//! valid for the life of the process (or until an explicit
+//! [`reset_for_bench`], which only benchmarks call between isolated
+//! runs).
+//!
+//! Snapshot safety: [`snapshot`] pins the current `Sym → Arc<str>`
+//! mapping. A published [`InternerSnapshot`] owns strong references to
+//! its strings, so even a later [`reset_for_bench`] cannot leave it
+//! with a dangling `Sym` — it keeps resolving everything interned
+//! before it was taken (and returns `None` for later `Sym`s rather
+//! than aliasing them). This mirrors the epoch-snapshot catalog rule:
+//! readers keep the world they pinned.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// An interned string: a dense index into the global table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The dense table index backing this symbol.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Default)]
+struct InternerInner {
+    by_name: HashMap<Arc<str>, Sym>,
+    names: Vec<Arc<str>>,
+}
+
+/// The global interner: a mutex-guarded map plus append-only name
+/// table. All state is behind the lock; `Sym`s are plain indexes.
+struct Interner {
+    inner: Mutex<InternerInner>,
+}
+
+fn global() -> &'static Interner {
+    static GLOBAL: OnceLock<Interner> = OnceLock::new();
+    GLOBAL.get_or_init(|| Interner {
+        inner: Mutex::new(InternerInner::default()),
+    })
+}
+
+/// Intern `s`, returning its stable symbol. Idempotent: the same
+/// string always maps to the same `Sym` until a [`reset_for_bench`].
+pub fn intern(s: &str) -> Sym {
+    let mut inner = global().inner.lock().expect("interner poisoned");
+    if let Some(&sym) = inner.by_name.get(s) {
+        return sym;
+    }
+    let name: Arc<str> = Arc::from(s);
+    let sym = Sym(u32::try_from(inner.names.len()).expect("interner overflow"));
+    inner.names.push(name.clone());
+    inner.by_name.insert(name, sym);
+    sym
+}
+
+/// The string behind `sym`, if it was interned in the current epoch.
+pub fn resolve(sym: Sym) -> Option<Arc<str>> {
+    let inner = global().inner.lock().expect("interner poisoned");
+    inner.names.get(sym.0 as usize).cloned()
+}
+
+/// Number of distinct strings interned in the current epoch.
+pub fn len() -> usize {
+    global()
+        .inner
+        .lock()
+        .expect("interner poisoned")
+        .names
+        .len()
+}
+
+/// An immutable pin of the interner's state at one instant.
+///
+/// Owns strong references to every interned string, so it keeps
+/// resolving all `Sym`s that existed when it was taken regardless of
+/// later interning or resets.
+#[derive(Clone)]
+pub struct InternerSnapshot {
+    names: Arc<Vec<Arc<str>>>,
+}
+
+impl InternerSnapshot {
+    /// Resolve against the pinned table. `None` for symbols interned
+    /// after this snapshot was taken — never a wrong (reused) string.
+    pub fn resolve(&self, sym: Sym) -> Option<&str> {
+        self.names.get(sym.index() as usize).map(|s| &**s)
+    }
+
+    /// Number of symbols visible to this snapshot.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing had been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Pin the current interner state.
+pub fn snapshot() -> InternerSnapshot {
+    let inner = global().inner.lock().expect("interner poisoned");
+    InternerSnapshot {
+        names: Arc::new(inner.names.clone()),
+    }
+}
+
+/// Drop all interned strings and start a fresh epoch.
+///
+/// For benchmark isolation only (`bench::fixtures::clear_shared_caches`):
+/// `Sym`s from the old epoch must not be compared with new ones, but
+/// snapshots taken before the reset stay fully resolvable.
+pub fn reset_for_bench() {
+    let mut inner = global().inner.lock().expect("interner poisoned");
+    inner.by_name.clear();
+    inner.names.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The interner is process-global, so tests share it; each uses its
+    // own distinct strings and never asserts absolute table size.
+
+    #[test]
+    fn intern_is_idempotent_and_resolves_back() {
+        let a = intern("intern-test-alpha");
+        let b = intern("intern-test-beta");
+        assert_ne!(a, b);
+        assert_eq!(intern("intern-test-alpha"), a);
+        assert_eq!(resolve(a).as_deref(), Some("intern-test-alpha"));
+        assert_eq!(resolve(b).as_deref(), Some("intern-test-beta"));
+        assert!(len() >= 2);
+    }
+
+    #[test]
+    fn unknown_sym_resolves_to_none() {
+        assert!(resolve(Sym(u32::MAX - 1)).is_none());
+    }
+
+    #[test]
+    fn snapshot_pins_the_table() {
+        let before = intern("intern-test-pinned");
+        let snap = snapshot();
+        let after = intern(&format!("intern-test-after-{}", snap.len()));
+        assert_eq!(snap.resolve(before), Some("intern-test-pinned"));
+        // Interned after the pin: invisible, not aliased.
+        if after.index() as usize >= snap.len() {
+            assert_eq!(snap.resolve(after), None);
+        }
+        assert!(!snap.is_empty());
+    }
+}

@@ -63,16 +63,20 @@
 //! assert!(!flies.holds(&flies.item(&["Paul"]).unwrap()));
 //! ```
 
+pub mod batch;
 pub mod binding;
 pub mod catalog;
+pub mod columnar;
 pub mod conflict;
 pub mod consolidate;
 pub mod constraints;
+pub mod cost;
 pub mod discover;
 pub mod error;
 pub mod explicate;
 pub mod flat;
 pub mod integrity;
+pub mod intern;
 pub mod item;
 pub mod justify;
 pub mod mutation;
@@ -92,9 +96,13 @@ pub mod tuple;
 
 /// One-stop imports for the common API surface.
 pub mod prelude {
+    pub use crate::batch::execute_batch;
     pub use crate::binding::Binding;
     pub use crate::catalog::Catalog;
+    pub use crate::columnar::{Batch, ColumnarRelation, BATCH_ROWS};
+    pub use crate::cost::{AccessPath, CostModel};
     pub use crate::error::{CoreError, Result};
+    pub use crate::intern::Sym;
     pub use crate::item::Item;
     pub use crate::mutation::{CatalogMutation, MutationSink};
     pub use crate::parallel::ExecMode;

@@ -258,16 +258,18 @@ impl LogicalPlan {
 }
 
 /// How a natural join lays out its output schema: all left attributes,
-/// then the right-only ones, with the shared pairs recorded.
-struct JoinParts {
-    schema: Arc<Schema>,
+/// then the right-only ones, with the shared pairs recorded. Shared
+/// with the batch executor and the cost model, which must agree with
+/// the tuple operator on the layout byte for byte.
+pub(crate) struct JoinParts {
+    pub(crate) schema: Arc<Schema>,
     /// `(left position, right position)` of attributes shared by name.
-    shared: Vec<(usize, usize)>,
+    pub(crate) shared: Vec<(usize, usize)>,
     /// Right positions not shared with the left, in output order.
-    right_only: Vec<usize>,
+    pub(crate) right_only: Vec<usize>,
 }
 
-fn join_parts(ls: &Schema, rs: &Schema) -> Result<JoinParts> {
+pub(crate) fn join_parts(ls: &Schema, rs: &Schema) -> Result<JoinParts> {
     let mut shared: Vec<(usize, usize)> = Vec::new();
     for (i, la) in ls.attributes().iter().enumerate() {
         if let Ok(j) = rs.index_of(la.name()) {
@@ -355,7 +357,10 @@ fn opt(plan: LogicalPlan, log: &mut Vec<Rewrite>) -> LogicalPlan {
     }
 }
 
-fn map_children(plan: LogicalPlan, mut f: impl FnMut(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+pub(crate) fn map_children(
+    plan: LogicalPlan,
+    mut f: impl FnMut(LogicalPlan) -> LogicalPlan,
+) -> LogicalPlan {
     match plan {
         LogicalPlan::Scan { .. } => plan,
         LogicalPlan::Select { input, region } => LogicalPlan::Select {
@@ -824,8 +829,14 @@ impl LogicalPlan {
         }
     }
 
-    /// Optimize this plan and render the result with rewrite
-    /// annotations — the body of the HQL `EXPLAIN` statement.
+    /// Optimize this plan and render the result with rewrite and
+    /// cost-model annotations — the body of the HQL `EXPLAIN`
+    /// statement.
+    ///
+    /// The cost section uses the *fixed* default calibration so the
+    /// rendering is deterministic (golden-snapshot safe); measured
+    /// histogram quantiles feed only runtime planning through
+    /// [`crate::cost::optimize_with_cost`].
     pub fn explain(&self) -> String {
         let (optimized, rewrites) = self.optimize();
         let mut out = optimized.render();
@@ -837,6 +848,7 @@ impl LogicalPlan {
                 let _ = writeln!(out, "  {}. {} — {}", k + 1, rw.rule, rw.detail);
             }
         }
+        out.push_str(&crate::cost::explain_costs(&optimized));
         out
     }
 }

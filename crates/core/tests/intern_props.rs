@@ -1,0 +1,119 @@
+//! Property tests for the global string interner.
+//!
+//! The interner underpins the columnar layer: every `Sym` stored in a
+//! [`hrdm_core::columnar::ColumnarRelation`] must resolve back to
+//! exactly the string it was interned from (bijection), from any
+//! thread (the table is shared), and for as long as any snapshot that
+//! saw it is alive (snapshot safety) — even across the bench harness's
+//! `reset_for_bench`, which is the regression that motivates the last
+//! test: a published snapshot must never observe a dangling `Sym`.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+
+use hrdm_core::intern::{intern, reset_for_bench, resolve, snapshot, Sym};
+
+/// The interner is process-global and one test here resets it; the
+/// tests in this binary serialize on this lock so a reset can never
+/// interleave with another test's intern/resolve round trip.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// intern/resolve is a bijection on whatever strings this process
+    /// interns: equal strings get equal syms, distinct strings get
+    /// distinct syms, and resolve inverts intern exactly.
+    #[test]
+    fn intern_resolve_bijection(names in prop::collection::vec("[a-zA-Z0-9_]{1,24}", 1..40)) {
+        let _guard = exclusive();
+        let mut seen: HashMap<String, Sym> = HashMap::new();
+        for name in &names {
+            let sym = intern(name);
+            // Idempotent: re-interning returns the same sym.
+            prop_assert_eq!(sym, intern(name));
+            // Resolve inverts intern.
+            let back = resolve(sym);
+            prop_assert_eq!(back.as_deref(), Some(name.as_str()));
+            if let Some(prev) = seen.insert(name.clone(), sym) {
+                prop_assert_eq!(prev, sym);
+            } else {
+                // Distinct strings never collide on a sym.
+                for (other, &osym) in &seen {
+                    if other != name {
+                        prop_assert_ne!(osym, sym, "{} vs {}", other, name);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Concurrent interning from scoped threads agrees: every thread
+    /// interning the same strings sees the same syms, and all of them
+    /// resolve back correctly afterwards.
+    #[test]
+    fn concurrent_interning_is_consistent(
+        names in prop::collection::vec("[a-z]{1,12}", 1..16),
+        threads in 2usize..5,
+    ) {
+        let _guard = exclusive();
+        let per_thread: Vec<Vec<Sym>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let names = &names;
+                    s.spawn(move || {
+                        // Each thread starts at a different offset so
+                        // first-interning races are actually exercised.
+                        let mut syms: Vec<Option<Sym>> = vec![None; names.len()];
+                        for k in 0..names.len() {
+                            let j = (k + t) % names.len();
+                            syms[j] = Some(intern(&names[j]));
+                        }
+                        syms.into_iter().map(|s| s.expect("filled")).collect::<Vec<Sym>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for syms in &per_thread {
+            prop_assert_eq!(syms, &per_thread[0]);
+        }
+        for (name, &sym) in names.iter().zip(&per_thread[0]) {
+            let back = resolve(sym);
+            prop_assert_eq!(back.as_deref(), Some(name.as_str()));
+        }
+    }
+
+    /// Snapshot safety: a snapshot taken at time T resolves every sym
+    /// interned before T, forever — including after `reset_for_bench`
+    /// rebuilds the live table. (Regression: a published snapshot must
+    /// never observe a dangling `Sym`.)
+    #[test]
+    fn snapshots_never_dangle(names in prop::collection::vec("[A-Z][a-z]{1,10}[0-9]{1,6}", 1..24)) {
+        let _guard = exclusive();
+        let syms: Vec<Sym> = names.iter().map(|n| intern(n)).collect();
+        let snap = snapshot();
+        // Interning more strings after the snapshot must not disturb it.
+        for n in &names {
+            intern(&format!("{n}_after"));
+        }
+        for (name, &sym) in names.iter().zip(&syms) {
+            prop_assert_eq!(snap.resolve(sym), Some(name.as_str()));
+        }
+        // The bench-only reset clears the *live* table but the snapshot
+        // still owns its strings (Arc-pinned) — no dangling resolution.
+        reset_for_bench();
+        for (name, &sym) in names.iter().zip(&syms) {
+            prop_assert_eq!(snap.resolve(sym), Some(name.as_str()));
+        }
+        // And the live interner keeps working after the reset.
+        let again = intern(&names[0]);
+        let back = resolve(again);
+        prop_assert_eq!(back.as_deref(), Some(names[0].as_str()));
+    }
+}

@@ -407,14 +407,25 @@ impl World {
     /// model, so one exception applies: a top-level `EXPLICATE` is
     /// lowered directly — its whole point is the explicit, non-minimal
     /// form, which the final consolidate would collapse straight back.
+    ///
+    /// Physical execution is batch-at-a-time
+    /// ([`hrdm_core::batch::execute_batch`]) over a plan reordered by
+    /// the measured cost model
+    /// ([`hrdm_core::cost::optimize_with_cost`] with
+    /// [`hrdm_core::cost::CostModel::from_registry`]); both are proven
+    /// byte-identical to
+    /// the tuple path by the core parity suites, so HQL semantics are
+    /// untouched.
     pub(crate) fn derive(&self, derivation: &Derivation) -> Result<HRelation> {
         if let Derivation::Explicated(src, attrs) = derivation {
             let input = self.source_relation(src)?;
             let indexes = attr_indexes(&input, attrs)?;
             return Ok(hrdm_core::explicate::explicate(&input, &indexes)?);
         }
-        let (optimized, _rewrites) = self.plan_of(derivation)?.optimize();
-        Ok(optimized.execute()?.relation)
+        let model = hrdm_core::cost::CostModel::from_registry();
+        let (optimized, _rewrites) =
+            hrdm_core::cost::optimize_with_cost(&self.plan_of(derivation)?, &model);
+        Ok(hrdm_core::batch::execute_batch(&optimized)?.relation)
     }
 
     /// Materialize an operand: a named relation is cloned as-is; a

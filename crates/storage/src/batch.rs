@@ -1,0 +1,363 @@
+//! Batch-at-a-time (columnar) operators over the flat baseline.
+//!
+//! The volcano operators in [`crate::exec`] pull one [`Row`] at a time;
+//! every operator boundary costs an iterator dispatch per row. This
+//! module processes [`BATCH_ROWS`]-row column slices instead: a
+//! [`RowBatch`] stores each column contiguously, so equality filters
+//! and join-key probes run down a single `Vec<u32>` and materialize
+//! only the surviving row indices.
+//!
+//! The operators here are the lowering targets of
+//! `hrdm_bench::flatplan::execute_flat_batch`; their contract is
+//! *exactly* the tuple operators' — same rows, set semantics, sorted
+//! output from [`distinct_rows`] — which the differential tests below
+//! and the bench crate's parity suite both pin.
+
+use std::collections::HashMap;
+
+use crate::catalog::Table;
+use crate::heap::RecordId;
+use crate::row::Row;
+use crate::sorted::SortedIndex;
+
+/// Rows per batch. Matches the hierarchical engine's
+/// `hrdm_core::columnar::BATCH_ROWS` (the crates are intentionally
+/// independent, so the constant is duplicated rather than imported).
+pub const BATCH_ROWS: usize = 1024;
+
+/// A column-major slice of up to [`BATCH_ROWS`] rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RowBatch {
+    cols: Vec<Vec<u32>>,
+}
+
+impl RowBatch {
+    /// An empty batch with `arity` columns.
+    pub fn new(arity: usize) -> RowBatch {
+        RowBatch {
+            cols: vec![Vec::new(); arity],
+        }
+    }
+
+    /// Build from row-major input.
+    pub fn from_rows(arity: usize, rows: &[Row]) -> RowBatch {
+        let mut b = RowBatch::new(arity);
+        for row in rows {
+            b.push(row);
+        }
+        b
+    }
+
+    /// Append one row (transposing into the columns).
+    pub fn push(&mut self, row: &[u32]) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (col, &v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cols.first().map_or(0, Vec::len)
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// One column as a contiguous slice.
+    pub fn col(&self, i: usize) -> &[u32] {
+        &self.cols[i]
+    }
+
+    /// Materialize row `k` (row-major), for operator boundaries that
+    /// need whole rows (hash-join build, distinct).
+    pub fn row(&self, k: usize) -> Row {
+        self.cols.iter().map(|c| c[k]).collect()
+    }
+
+    /// Keep only the rows at the given indices, in the given order.
+    pub fn take(&self, sel: &[usize]) -> RowBatch {
+        RowBatch {
+            cols: self
+                .cols
+                .iter()
+                .map(|c| sel.iter().map(|&k| c[k]).collect())
+                .collect(),
+        }
+    }
+
+    /// Vectorized equality filter: rows where column `col` equals
+    /// `value`. The comparison runs down one contiguous column; only
+    /// survivors are gathered.
+    pub fn select_eq(&self, col: usize, value: u32) -> RowBatch {
+        let sel: Vec<usize> = self.cols[col]
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &v)| (v == value).then_some(k))
+            .collect();
+        self.take(&sel)
+    }
+
+    /// Keep the listed columns, in the listed order.
+    pub fn project(&self, cols: &[usize]) -> RowBatch {
+        RowBatch {
+            cols: cols.iter().map(|&c| self.cols[c].clone()).collect(),
+        }
+    }
+}
+
+/// Chunk a table scan into column-major batches.
+pub fn batches(table: &Table) -> Vec<RowBatch> {
+    batches_from_rows(table.arity(), table.scan())
+}
+
+/// Chunk an arbitrary row stream into column-major batches.
+pub fn batches_from_rows(arity: usize, rows: impl Iterator<Item = Row>) -> Vec<RowBatch> {
+    let mut out = Vec::new();
+    let mut cur = RowBatch::new(arity);
+    for row in rows {
+        cur.push(&row);
+        if cur.len() == BATCH_ROWS {
+            out.push(std::mem::replace(&mut cur, RowBatch::new(arity)));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Gather the rows behind `rids` into batches — the consumer of an
+/// index probe ([`crate::index::HashIndex::lookup`] or
+/// [`SortedIndex::lookup`]).
+pub fn gather(table: &Table, rids: &[RecordId]) -> Vec<RowBatch> {
+    batches_from_rows(
+        table.arity(),
+        rids.iter()
+            .map(|&rid| table.get(rid).expect("index points at live rows")),
+    )
+}
+
+/// Index-backed equality selection: probe the sorted index and gather
+/// matching rows. Equivalent to filtering a full scan, but touches only
+/// the matching rows.
+pub fn probe_eq(table: &Table, index: &SortedIndex, value: u32) -> Vec<RowBatch> {
+    let rids: Vec<RecordId> = index.lookup(value).iter().map(|&(_, rid)| rid).collect();
+    gather(table, &rids)
+}
+
+/// Batch hash join: build on `left_col` over all left batches, probe
+/// each right batch's key column contiguously. Output rows are
+/// `left ++ right`, in right-stream order (same contract as
+/// [`crate::exec::hash_join`]).
+pub fn hash_join(
+    left: &[RowBatch],
+    left_col: usize,
+    right: &[RowBatch],
+    right_col: usize,
+) -> Vec<RowBatch> {
+    let mut build: HashMap<u32, Vec<Row>> = HashMap::new();
+    for batch in left {
+        for k in 0..batch.len() {
+            build
+                .entry(batch.col(left_col)[k])
+                .or_default()
+                .push(batch.row(k));
+        }
+    }
+    let out_arity =
+        left.first().map_or(0, RowBatch::arity) + right.first().map_or(0, RowBatch::arity);
+    let mut rows: Vec<Row> = Vec::new();
+    for batch in right {
+        let keys = batch.col(right_col);
+        for (k, key) in keys.iter().enumerate() {
+            if let Some(matches) = build.get(key) {
+                for l in matches {
+                    let mut row = l.clone();
+                    row.extend_from_slice(&batch.row(k));
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    batches_from_rows(out_arity, rows.into_iter())
+}
+
+/// A class-id-keyed sorted index built directly over a batch list: a
+/// sorted permutation of `(key, batch, row)` coordinates, probed by
+/// binary search. Unlike [`SortedIndex`] it never materializes a heap
+/// [`Table`] — the probe gathers straight from the batch columns — so
+/// an index-backed selection in the middle of a batch pipeline costs
+/// one sort of plain-old-data triples instead of a row-at-a-time
+/// encode/decode round trip.
+pub struct BatchIndex {
+    /// `(key, batch index, row index)`, sorted by key then coordinate.
+    entries: Vec<(u32, u32, u32)>,
+}
+
+impl BatchIndex {
+    /// Index column `col` of every batch in `input`.
+    pub fn build(input: &[RowBatch], col: usize) -> BatchIndex {
+        let mut entries: Vec<(u32, u32, u32)> = Vec::new();
+        for (b, batch) in input.iter().enumerate() {
+            entries.extend(
+                batch
+                    .col(col)
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &v)| (v, b as u32, k as u32)),
+            );
+        }
+        entries.sort_unstable();
+        BatchIndex { entries }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Gather every row whose indexed column equals `value`, in key
+    /// order, materialized from the batch columns.
+    pub fn probe_into(&self, input: &[RowBatch], value: u32, out: &mut Vec<Row>) {
+        let start = self.entries.partition_point(|&(k, _, _)| k < value);
+        for &(k, b, r) in &self.entries[start..] {
+            if k != value {
+                break;
+            }
+            out.push(input[b as usize].row(r as usize));
+        }
+    }
+}
+
+/// Flatten batches to sorted, deduplicated rows (the flat model's
+/// SELECT UNIQUE; the canonical comparison form for parity tests).
+pub fn distinct_rows(input: &[RowBatch]) -> Vec<Row> {
+    let mut set = std::collections::BTreeSet::new();
+    for batch in input {
+        for k in 0..batch.len() {
+            set.insert(batch.row(k));
+        }
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec;
+
+    fn table(rows: &[[u32; 2]]) -> Table {
+        let mut t = Table::new("T", 2);
+        for r in rows {
+            t.insert(r).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn batches_round_trip_the_scan() {
+        let t = table(&[[1, 10], [2, 20], [3, 30]]);
+        let bs = batches(&t);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].len(), 3);
+        assert_eq!(bs[0].arity(), 2);
+        assert_eq!(bs[0].col(0), &[1, 2, 3]);
+        assert_eq!(bs[0].row(1), vec![2, 20]);
+        assert_eq!(distinct_rows(&bs), exec::distinct(exec::scan(&t)));
+    }
+
+    #[test]
+    fn batches_split_at_the_batch_size() {
+        let mut t = Table::new("Big", 1);
+        for i in 0..(BATCH_ROWS as u32 * 2 + 5) {
+            t.insert(&[i]).unwrap();
+        }
+        let bs = batches(&t);
+        assert_eq!(bs.len(), 3);
+        assert_eq!(bs[0].len(), BATCH_ROWS);
+        assert_eq!(bs[1].len(), BATCH_ROWS);
+        assert_eq!(bs[2].len(), 5);
+        assert_eq!(distinct_rows(&bs).len(), BATCH_ROWS * 2 + 5);
+    }
+
+    #[test]
+    fn select_eq_matches_tuple_filter() {
+        let t = table(&[[1, 10], [2, 20], [1, 30], [3, 10]]);
+        let picked: Vec<Row> = batches(&t)
+            .iter()
+            .flat_map(|b| {
+                let f = b.select_eq(0, 1);
+                (0..f.len()).map(move |k| f.row(k)).collect::<Vec<_>>()
+            })
+            .collect();
+        let tuple: Vec<Row> = exec::filter(exec::scan(&t), |r| r[0] == 1).collect();
+        assert_eq!(picked, tuple);
+        // Projection keeps column order semantics.
+        let proj = RowBatch::from_rows(2, &picked).project(&[1, 0]);
+        assert_eq!(proj.row(0), vec![10, 1]);
+    }
+
+    #[test]
+    fn probe_eq_equals_scan_filter() {
+        let t = table(&[[4, 1], [5, 2], [4, 3], [6, 4], [4, 5]]);
+        let idx = SortedIndex::build(&t, 0).unwrap();
+        let probed = distinct_rows(&probe_eq(&t, &idx, 4));
+        let scanned = exec::distinct(exec::filter(exec::scan(&t), |r| r[0] == 4))
+            .into_iter()
+            .collect::<Vec<_>>();
+        assert_eq!(probed, scanned);
+        assert!(probe_eq(&t, &idx, 99).is_empty());
+    }
+
+    #[test]
+    fn batch_index_probe_equals_sorted_index_probe() {
+        let t = table(&[[4, 1], [5, 2], [4, 3], [6, 4], [4, 5]]);
+        let bs = batches(&t);
+        let bidx = BatchIndex::build(&bs, 0);
+        assert_eq!(bidx.len(), 5);
+        assert!(!bidx.is_empty());
+        let sidx = SortedIndex::build(&t, 0).unwrap();
+        for v in [4u32, 5, 6, 99] {
+            let mut got = Vec::new();
+            bidx.probe_into(&bs, v, &mut got);
+            got.sort();
+            let want = distinct_rows(&probe_eq(&t, &sidx, v));
+            assert_eq!(got, want, "value {v}");
+        }
+        // Duplicate rows across batches are preserved (dedup is the
+        // pipeline terminal's job, same as the scan path).
+        let dup = vec![bs[0].clone(), bs[0].clone()];
+        let didx = BatchIndex::build(&dup, 0);
+        let mut got = Vec::new();
+        didx.probe_into(&dup, 4, &mut got);
+        assert_eq!(got.len(), 6);
+        assert!(BatchIndex::build(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn hash_join_matches_tuple_hash_join() {
+        let l = table(&[[1, 10], [2, 20], [2, 21]]);
+        let r = table(&[[2, 200], [3, 300], [2, 201]]);
+        let batched = distinct_rows(&hash_join(&batches(&l), 0, &batches(&r), 0));
+        let tuple = exec::distinct(exec::hash_join(exec::scan(&l), 0, exec::scan(&r), 0));
+        let tuple: std::collections::BTreeSet<Row> = tuple.into_iter().collect();
+        assert_eq!(batched, tuple.into_iter().collect::<Vec<_>>());
+        // Empty sides.
+        let e = Table::new("E", 2);
+        assert!(hash_join(&batches(&e), 0, &batches(&r), 0).is_empty());
+        assert!(hash_join(&batches(&l), 0, &batches(&e), 0).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Sorted (binary-search) indexes keyed by class/node id.
+//!
+//! The hash indexes in [`crate::index`] answer point probes; benchmarks
+//! of the footnote-1 membership encoding also want *ordered* access —
+//! "all record ids whose class id falls in this subtree's id range" —
+//! and a cache-friendly layout for batch gathers. A [`SortedIndex`] is
+//! the classic static alternative: one sorted `(key, rid)` array,
+//! `partition_point` probes, and contiguous result slices that feed
+//! [`crate::batch::gather`] directly (no per-match `Vec` chasing).
+//!
+//! Rebuild-on-change semantics: the index is a snapshot of the table at
+//! build time. The benchmark workloads are read-heavy after load, which
+//! is exactly the regime where a static sorted array beats a hash map
+//! on probe locality.
+
+use crate::catalog::Table;
+use crate::error::Result;
+use crate::heap::RecordId;
+
+/// An immutable sorted index over one column of a table.
+#[derive(Clone, Debug)]
+pub struct SortedIndex {
+    col: usize,
+    entries: Vec<(u32, RecordId)>,
+}
+
+impl SortedIndex {
+    /// Build by scanning `table`, sorting `(key, rid)` by key (ties by
+    /// rid, so the order is total and deterministic).
+    pub fn build(table: &Table, col: usize) -> Result<SortedIndex> {
+        let mut entries: Vec<(u32, RecordId)> = Vec::with_capacity(table.len());
+        for (rid, row) in table.scan_with_ids() {
+            entries.push((row[col], rid));
+        }
+        entries.sort_unstable();
+        Ok(SortedIndex { col, entries })
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.col
+    }
+
+    /// Total number of entries (= rows at build time).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries for `key`, as a contiguous slice.
+    pub fn lookup(&self, key: u32) -> &[(u32, RecordId)] {
+        let lo = self.entries.partition_point(|&(k, _)| k < key);
+        let hi = self.entries.partition_point(|&(k, _)| k <= key);
+        &self.entries[lo..hi]
+    }
+
+    /// All entries with keys in `lo..=hi` (inclusive), contiguous.
+    /// Subtree membership probes use this when node ids are assigned in
+    /// preorder, so a class's descendants occupy one id range.
+    pub fn range(&self, lo: u32, hi: u32) -> &[(u32, RecordId)] {
+        let start = self.entries.partition_point(|&(k, _)| k < lo);
+        let end = self.entries.partition_point(|&(k, _)| k <= hi);
+        &self.entries[start..end.max(start)]
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        let mut n = 0;
+        let mut prev = None;
+        for &(k, _) in &self.entries {
+            if prev != Some(k) {
+                n += 1;
+                prev = Some(k);
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: &[[u32; 2]]) -> Table {
+        let mut t = Table::new("T", 2);
+        for r in rows {
+            t.insert(r).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn lookup_finds_all_and_only_matches() {
+        let t = table(&[[2, 20], [1, 10], [2, 21], [3, 30], [2, 22]]);
+        let idx = SortedIndex::build(&t, 0).unwrap();
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.column(), 0);
+        assert_eq!(idx.key_count(), 3);
+        let hits = idx.lookup(2);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|&(k, _)| k == 2));
+        let rows: Vec<Row2> = hits.iter().map(|&(_, rid)| t.get(rid).unwrap()).collect();
+        let mut vals: Vec<u32> = rows.iter().map(|r| r[1]).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![20, 21, 22]);
+        assert!(idx.lookup(9).is_empty());
+    }
+    type Row2 = crate::row::Row;
+
+    #[test]
+    fn range_covers_inclusive_bounds() {
+        let t = table(&[[1, 0], [2, 0], [3, 0], [5, 0], [8, 0]]);
+        let idx = SortedIndex::build(&t, 0).unwrap();
+        assert_eq!(idx.range(2, 5).len(), 3);
+        assert_eq!(idx.range(4, 4).len(), 0);
+        assert_eq!(idx.range(0, 100).len(), 5);
+        // Degenerate (hi < lo) ranges are empty, not a panic.
+        assert_eq!(idx.range(5, 2).len(), 0);
+    }
+
+    #[test]
+    fn second_column_and_empty_table() {
+        let t = table(&[[1, 7], [2, 7], [3, 9]]);
+        let idx = SortedIndex::build(&t, 1).unwrap();
+        assert_eq!(idx.lookup(7).len(), 2);
+        assert_eq!(idx.key_count(), 2);
+        let empty = SortedIndex::build(&table(&[]), 0).unwrap();
+        assert!(empty.is_empty());
+        assert!(empty.lookup(0).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_hash_index() {
+        let mut t = table(&[[4, 1], [4, 2], [6, 3], [7, 4], [6, 5]]);
+        let pos = t.create_index(0).unwrap();
+        let sorted = SortedIndex::build(&t, 0).unwrap();
+        for key in [4u32, 6, 7, 99] {
+            let mut hash_rids: Vec<_> = t.index_on(0).unwrap().lookup(key).to_vec();
+            hash_rids.sort();
+            let mut sorted_rids: Vec<_> = sorted.lookup(key).iter().map(|&(_, rid)| rid).collect();
+            sorted_rids.sort();
+            assert_eq!(hash_rids, sorted_rids, "key {key} (index #{pos})");
+        }
+    }
+}

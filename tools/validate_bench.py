@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate and gate the columnar benchmark artifact in CI.
+
+Usage:
+    validate_bench.py BENCH_columnar.json \
+        [--schema tests/golden/bench_columnar.schema.json]
+
+Two layers of checking:
+
+1. Schema: the artifact conforms to the checked-in JSON schema (the
+   same no-dependency JSON-Schema subset as validate_obs.py — type,
+   required, properties, additionalProperties, enum, const, minimum,
+   oneOf).
+2. Gate: the batch-at-a-time executor must not be slower than the
+   tuple-at-a-time executor on any figure (batch_ns <= tuple_ns for
+   B2-B4), and the measured cost model must have chosen at least one
+   index-backed access path. A regression in the columnar layer fails
+   CI here rather than silently shipping a slower engine.
+"""
+
+import argparse
+import json
+import sys
+
+from validate_obs import check
+
+FIGURES = ("B2", "B3", "B4")
+
+
+def validate(path, schema_path):
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(path) as f:
+        doc = json.load(f)
+    errors = check(doc, schema, "$")
+    if errors:
+        for e in errors:
+            print(f"{path}: {e}", file=sys.stderr)
+        return False
+
+    ok = True
+    for name in FIGURES:
+        fig = doc["figures"][name]
+        tuple_ns, batch_ns = fig["tuple_ns"], fig["batch_ns"]
+        if batch_ns > tuple_ns:
+            print(
+                f"{path}: {name}: batch executor is slower than tuple "
+                f"({batch_ns} ns > {tuple_ns} ns)",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(f"{path}: {name}: ok ({tuple_ns / batch_ns:.2f}x, {fig['access_path']})")
+    if doc["cost_model"]["index_choices"] < 1:
+        print(f"{path}: cost model never chose an index access path", file=sys.stderr)
+        ok = False
+    if not doc["cost_model"]["measured"]:
+        print(f"{path}: cost model was not measured from the obs registry", file=sys.stderr)
+        ok = False
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("artifact", help="BENCH_columnar.json to validate")
+    ap.add_argument(
+        "--schema",
+        default="tests/golden/bench_columnar.schema.json",
+        help="schema for the artifact (default: %(default)s)",
+    )
+    args = ap.parse_args()
+    sys.exit(0 if validate(args.artifact, args.schema) else 1)
+
+
+if __name__ == "__main__":
+    main()
