@@ -22,7 +22,6 @@ use hrdm_bench::workloads::{class_workload, explication_workload};
 use hrdm_core::batch::execute_batch;
 use hrdm_core::cost::{optimize_with_cost, CostModel};
 use hrdm_core::prelude::*;
-use hrdm_hierarchy::gen::layered_dag;
 
 const REPS: usize = 7;
 

@@ -1,0 +1,163 @@
+//! Incremental view maintenance vs full recomputation; emits
+//! `BENCH_ivm.json`.
+//!
+//! Two catalog sizes, same shape: one relation `R` holding class-level
+//! rows plus instance exceptions, with a live `LET V = CONSOLIDATE R`
+//! view. The *incremental* figure times one committed single-row write
+//! through the engine — parse, apply, differential view maintenance,
+//! snapshot publication. The *full* figure times what the fallback path
+//! would do instead: re-deriving the view from the whole catalog. A
+//! maintained view's update cost must track the delta (one row), not
+//! the catalog, so the incremental number should stay roughly flat
+//! while the full number grows with the fixture —
+//! `tools/validate_bench.py` gates exactly that.
+//!
+//! Run with `cargo run -p hrdm-bench --release --bin ivm`.
+
+use std::time::Instant;
+
+use hrdm_bench::fixtures::clear_shared_caches;
+use hrdm_core::prelude::*;
+use hrdm_hql::Engine;
+
+const REPS: usize = 7;
+
+/// Median wall time of `f(rep)` over [`REPS`] runs, in nanoseconds.
+fn time_ns<T>(mut f: impl FnMut(usize) -> T) -> u64 {
+    let mut samples: Vec<u128> = (0..REPS)
+        .map(|rep| {
+            let t = Instant::now();
+            std::hint::black_box(f(rep));
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as u64
+}
+
+struct Figure {
+    name: &'static str,
+    catalog_rows: u64,
+    incremental_ns: u64,
+    full_ns: u64,
+    delta_rows: u64,
+}
+
+impl Figure {
+    fn speedup(&self) -> f64 {
+        self.full_ns as f64 / self.incremental_ns.max(1) as f64
+    }
+}
+
+/// Build an engine whose catalog holds `classes` class-level rows and
+/// `exceptions` instance-level exception rows in `R`, bind the live
+/// view, then time one-row updates against full re-derivation.
+fn run_fixture(name: &'static str, classes: usize, exceptions: usize) -> Figure {
+    let engine = Engine::new();
+    let mut script = String::from("CREATE DOMAIN D;");
+    for c in 0..classes {
+        script.push_str(&format!("CREATE CLASS c{c} UNDER D;"));
+    }
+    for e in 0..exceptions {
+        script.push_str(&format!("CREATE INSTANCE x{e} OF c{};", e % classes));
+    }
+    // Spare instances: each timed repetition asserts a fresh row so no
+    // run measures a no-op.
+    for s in 0..REPS {
+        script.push_str(&format!("CREATE INSTANCE s{s} OF c0;"));
+    }
+    script.push_str("CREATE RELATION R (V: D);");
+    engine.execute(&script).expect("catalog builds");
+
+    let mut asserts = String::new();
+    for c in 0..classes {
+        asserts.push_str(&format!("ASSERT R (ALL c{c});"));
+    }
+    for e in 0..exceptions {
+        asserts.push_str(&format!("ASSERT NOT R (x{e});"));
+    }
+    engine.execute(&asserts).expect("catalog rows assert");
+    // Bind the view only after the bulk load: maintenance cost is the
+    // figure, not load amplification.
+    engine
+        .execute("LET V = CONSOLIDATE R;")
+        .expect("view binds");
+    let catalog_rows = engine.snapshot().relation("R").expect("R exists").len() as u64;
+
+    // Incremental: one committed single-row write, live view maintained
+    // differentially (a fresh instance exception each repetition).
+    let incremental_ns = time_ns(|rep| {
+        engine
+            .execute(&format!("ASSERT NOT R (s{rep});"))
+            .expect("update commits")
+    });
+    let (_, delta) = engine.last_delta().expect("write published");
+    let delta_rows = delta.row_count() as u64;
+
+    // Full: what the fallback does — re-derive the view over the whole
+    // catalog (plan execution ends in the root consolidate).
+    let snapshot = engine.snapshot();
+    let r = snapshot.relation("R").expect("R exists").clone();
+    let plan = LogicalPlan::scan("R", r);
+    let full_ns = time_ns(|_| plan.execute().expect("derivation succeeds"));
+
+    Figure {
+        name,
+        catalog_rows,
+        incremental_ns,
+        full_ns,
+        delta_rows,
+    }
+}
+
+fn main() {
+    clear_shared_caches();
+
+    let small = run_fixture("small", 48, 400);
+    let large = run_fixture("large", 48, 4_000);
+
+    println!(
+        "{:>6} {:>9} {:>15} {:>13} {:>9} {:>11}",
+        "fix", "rows", "incremental_ns", "full_ns", "speedup", "delta_rows"
+    );
+    for f in [&small, &large] {
+        println!(
+            "{:>6} {:>9} {:>15} {:>13} {:>8.2}x {:>11}",
+            f.name,
+            f.catalog_rows,
+            f.incremental_ns,
+            f.full_ns,
+            f.speedup(),
+            f.delta_rows
+        );
+    }
+    let catalog_ratio = large.catalog_rows as f64 / small.catalog_rows as f64;
+    let incremental_ratio = large.incremental_ns as f64 / small.incremental_ns.max(1) as f64;
+    let full_ratio = large.full_ns as f64 / small.full_ns.max(1) as f64;
+    println!(
+        "\ncatalog grew {catalog_ratio:.1}x; incremental cost grew \
+         {incremental_ratio:.2}x, full recomputation {full_ratio:.2}x."
+    );
+
+    let mut json = String::from("{\n  \"schema_version\": 1,\n  \"label\": \"ivm\",\n");
+    json.push_str("  \"figures\": {\n");
+    for (k, f) in [&small, &large].iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"catalog_rows\": {}, \"incremental_ns\": {}, \"full_ns\": {}, \"speedup\": {:.4}, \"delta_rows\": {}}}{}\n",
+            f.name,
+            f.catalog_rows,
+            f.incremental_ns,
+            f.full_ns,
+            f.speedup(),
+            f.delta_rows,
+            if k == 0 { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"scaling\": {{\"catalog_ratio\": {catalog_ratio:.4}, \"incremental_ratio\": {incremental_ratio:.4}, \"full_ratio\": {full_ratio:.4}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_ivm.json", &json).expect("write BENCH_ivm.json");
+    println!("wrote BENCH_ivm.json");
+}

@@ -17,7 +17,11 @@ use crate::workloads::ClassWorkload;
 /// The reset goes through [`hrdm_core::stats::reset`], which zeroes the
 /// whole registry under its lock: the old per-static-counter stores
 /// could interleave with a concurrent snapshot and report a hit count
-/// from before the reset next to a miss count from after it.
+/// from before the reset next to a miss count from after it. The
+/// registry sweep also covers the incremental-maintenance family
+/// (`ivm.*` — delta rows, node reuse, fallbacks) introduced with live
+/// views; view registries and published deltas themselves are
+/// per-engine state with no global residue to clear.
 pub fn clear_shared_caches() {
     hrdm_core::subsumption::clear_cache();
     hrdm_hierarchy::cache::clear();
@@ -259,6 +263,47 @@ mod tests {
 
         let (_e, sizes) = fig11_enclosures(&a);
         assert!(hrdm_core::conflict::is_consistent(&sizes));
+    }
+
+    #[test]
+    fn clear_shared_caches_resets_ivm_counters_interner_and_caches() {
+        use hrdm_obs::metrics;
+
+        // Touch one counter from each family the reset must cover: the
+        // live-view maintenance counters and the differential-operator
+        // counters join the registry lazily, so register-and-bump first.
+        for name in [
+            "ivm.maintained",
+            "ivm.fallback",
+            "ivm.delta_rows",
+            "ivm.nodes_localized",
+        ] {
+            metrics::counter(name).add(3);
+        }
+        let sym = hrdm_core::intern::intern("clear-shared-caches-audit");
+        assert_eq!(
+            hrdm_core::intern::resolve(sym).as_deref(),
+            Some("clear-shared-caches-audit")
+        );
+
+        clear_shared_caches();
+
+        for name in [
+            "ivm.maintained",
+            "ivm.fallback",
+            "ivm.delta_rows",
+            "ivm.nodes_localized",
+        ] {
+            assert_eq!(metrics::counter(name).get(), 0, "{name} survived the reset");
+        }
+        // The interner is process-global and other tests may intern in
+        // parallel, so assert only that *our* symbol is gone, not that
+        // the table is empty.
+        assert_ne!(
+            hrdm_core::intern::resolve(sym).as_deref(),
+            Some("clear-shared-caches-audit"),
+            "interner must drop to a fresh epoch"
+        );
     }
 
     #[test]

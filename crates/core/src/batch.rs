@@ -313,10 +313,8 @@ fn batch_project(relation: &HRelation, attrs: &[usize]) -> Result<HRelation> {
     let col = ColumnarRelation::from_relation(relation);
     let mut out: BTreeMap<Item, Truth> = BTreeMap::new();
     for batch in col.batches() {
-        let truths = batch.truths();
-        for k in 0..batch.len() {
+        for (k, &truth) in batch.truths().iter().enumerate() {
             let projected = Item::new(attrs.iter().map(|&a| batch.col(a)[k]).collect());
-            let truth = truths[k];
             out.entry(projected)
                 .and_modify(|t| {
                     if truth == Truth::Positive {

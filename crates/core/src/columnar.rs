@@ -54,8 +54,8 @@ impl ColumnarRelation {
         let mut node_cols: Vec<Vec<NodeId>> = vec![Vec::with_capacity(r.len()); arity];
         let mut truths = Vec::with_capacity(r.len());
         for (item, truth) in r.iter() {
-            for i in 0..arity {
-                node_cols[i].push(item.component(i));
+            for (i, col) in node_cols.iter_mut().enumerate() {
+                col.push(item.component(i));
             }
             truths.push(truth);
         }

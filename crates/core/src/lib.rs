@@ -71,6 +71,8 @@ pub mod conflict;
 pub mod consolidate;
 pub mod constraints;
 pub mod cost;
+pub mod delta;
+pub mod differential;
 pub mod discover;
 pub mod error;
 pub mod explicate;
@@ -101,6 +103,8 @@ pub mod prelude {
     pub use crate::catalog::Catalog;
     pub use crate::columnar::{Batch, ColumnarRelation, BATCH_ROWS};
     pub use crate::cost::{AccessPath, CostModel};
+    pub use crate::delta::{Delta, RelationChange, RelationDelta};
+    pub use crate::differential::{MaintainReport, MaterializedPlan};
     pub use crate::error::{CoreError, Result};
     pub use crate::intern::Sym;
     pub use crate::item::Item;

@@ -639,8 +639,12 @@ impl LogicalPlan {
     }
 
     /// Run this node's own operator over its already-evaluated inputs,
-    /// returning the result plus any extra trace fields.
-    fn apply(&self, mut inputs: Vec<HRelation>) -> Result<(HRelation, Vec<(&'static str, u64)>)> {
+    /// returning the result plus any extra trace fields. Also the entry
+    /// point for [`crate::differential`]'s node-local recomputation.
+    pub(crate) fn apply(
+        &self,
+        mut inputs: Vec<HRelation>,
+    ) -> Result<(HRelation, Vec<(&'static str, u64)>)> {
         let mut take = || inputs.remove(0);
         match self {
             LogicalPlan::Scan { relation, .. } => Ok(((**relation).clone(), vec![])),
@@ -792,7 +796,7 @@ impl LogicalPlan {
         }
     }
 
-    fn children(&self) -> Vec<&LogicalPlan> {
+    pub(crate) fn children(&self) -> Vec<&LogicalPlan> {
         match self {
             LogicalPlan::Scan { .. } => vec![],
             LogicalPlan::Select { input, .. }

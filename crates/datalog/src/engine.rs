@@ -120,29 +120,27 @@ impl Engine {
         Ok(())
     }
 
+    /// Remove one ground EDB fact by node names; returns whether it was
+    /// present.
+    pub fn remove_fact(&mut self, predicate: &str, names: &[&str]) -> Result<bool> {
+        let values = names
+            .iter()
+            .map(|n| self.resolve_symbol(n))
+            .collect::<Result<Fact>>()?;
+        Ok(self
+            .edb
+            .get_mut(predicate)
+            .is_some_and(|rel| rel.remove(&values)))
+    }
+
     /// Resolve a symbolic constant to a unique node across all
     /// registered domains.
     fn resolve_symbol(&self, symbol: &str) -> Result<Value> {
-        let mut hits = Vec::new();
-        for (tag, g) in self.domains.iter().enumerate() {
-            if let Ok(node) = g.node(symbol) {
-                hits.push(Value {
-                    domain: tag as u32,
-                    node,
-                });
-            }
-        }
-        match hits.len() {
-            1 => Ok(hits[0]),
-            n => Err(DatalogError::UnresolvedConstant {
-                symbol: symbol.to_string(),
-                matches: n,
-            }),
-        }
+        resolve_in(&self.domains, symbol)
     }
 
     /// Resolve every `Term::Sym` in the program to constants.
-    fn resolve_program(&self, program: &Program) -> Result<Program> {
+    pub(crate) fn resolve_program(&self, program: &Program) -> Result<Program> {
         let mut rules = Vec::with_capacity(program.rules.len());
         for rule in &program.rules {
             let fix_atom = |atom: &Atom| -> Result<Atom> {
@@ -180,7 +178,7 @@ impl Engine {
     }
 
     /// Validate arities and unknown predicates across program + EDB.
-    fn check_program(&self, program: &Program) -> Result<()> {
+    pub(crate) fn check_program(&self, program: &Program) -> Result<()> {
         let mut arity: HashMap<String, usize> = HashMap::new();
         for (name, rel) in &self.edb {
             if let Some(f) = rel.iter().next() {
@@ -220,67 +218,17 @@ impl Engine {
         let program = self.resolve_program(program)?;
         self.check_program(&program)?;
         let strata = stratify(&program)?;
+        fixpoint(&program, &strata, &self.edb)
+    }
 
-        // Working database: EDB plus accumulating IDB.
-        let mut db: BTreeMap<&str, Relation> = self
-            .edb
-            .iter()
-            .map(|(k, v)| (k.as_str(), v.clone()))
-            .collect();
-        for p in program.idb_predicates() {
-            db.entry(p).or_default();
-        }
+    /// The EDB as registered so far (for materialization snapshots).
+    pub(crate) fn edb(&self) -> &BTreeMap<String, Relation> {
+        &self.edb
+    }
 
-        for stratum in &strata {
-            let rules: Vec<&Rule> = stratum.iter().map(|&i| &program.rules[i]).collect();
-            let stratum_preds: BTreeSet<&str> =
-                rules.iter().map(|r| r.head.predicate.as_str()).collect();
-
-            // Naive first round.
-            let mut delta: BTreeMap<&str, Relation> = BTreeMap::new();
-            for rule in &rules {
-                for fact in eval_rule(rule, &db, None, &stratum_preds)? {
-                    let head = rule.head.predicate.as_str();
-                    if !db[head].contains(&fact) {
-                        delta.entry(head).or_default().insert(fact);
-                    }
-                }
-            }
-            merge(&mut db, &delta);
-
-            // Semi-naive rounds.
-            while delta.values().any(|d| !d.is_empty()) {
-                let mut next: BTreeMap<&str, Relation> = BTreeMap::new();
-                for rule in &rules {
-                    for (pos, lit) in rule.body.iter().enumerate() {
-                        if !lit.positive {
-                            continue;
-                        }
-                        let p = lit.atom.predicate.as_str();
-                        let Some(d) = delta.get(p) else { continue };
-                        if d.is_empty() {
-                            continue;
-                        }
-                        for fact in eval_rule(rule, &db, Some((pos, d)), &stratum_preds)? {
-                            let head = rule.head.predicate.as_str();
-                            if !db[head].contains(&fact)
-                                && !next.get(head).is_some_and(|n| n.contains(&fact))
-                            {
-                                next.entry(head).or_default().insert(fact);
-                            }
-                        }
-                    }
-                }
-                merge(&mut db, &next);
-                delta = next;
-            }
-        }
-
-        Ok(program
-            .idb_predicates()
-            .into_iter()
-            .map(|p| (p.to_string(), db[p].clone()))
-            .collect())
+    /// The registered domain graphs, in tag order.
+    pub(crate) fn domain_list(&self) -> &[Arc<HierarchyGraph>] {
+        &self.domains
     }
 
     /// Evaluate and render one predicate's facts as name tuples.
@@ -300,15 +248,102 @@ impl Engine {
     }
 }
 
+/// Resolve a symbolic constant to a unique node across `domains`.
+pub(crate) fn resolve_in(domains: &[Arc<HierarchyGraph>], symbol: &str) -> Result<Value> {
+    let mut hits = Vec::new();
+    for (tag, g) in domains.iter().enumerate() {
+        if let Ok(node) = g.node(symbol) {
+            hits.push(Value {
+                domain: tag as u32,
+                node,
+            });
+        }
+    }
+    match hits.len() {
+        1 => Ok(hits[0]),
+        n => Err(DatalogError::UnresolvedConstant {
+            symbol: symbol.to_string(),
+            matches: n,
+        }),
+    }
+}
+
+/// Full stratified semi-naive evaluation of an already-resolved,
+/// checked program over `edb`. Shared by [`Engine::run`] and the
+/// initial materialization of a [`crate::incremental::LiveProgram`].
+pub(crate) fn fixpoint(
+    program: &Program,
+    strata: &crate::strata::Strata,
+    edb: &BTreeMap<String, Relation>,
+) -> Result<BTreeMap<String, Relation>> {
+    // Working database: EDB plus accumulating IDB.
+    let mut db: BTreeMap<&str, Relation> =
+        edb.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    for p in program.idb_predicates() {
+        db.entry(p).or_default();
+    }
+
+    for stratum in strata {
+        let rules: Vec<&Rule> = stratum.iter().map(|&i| &program.rules[i]).collect();
+        let stratum_preds: BTreeSet<&str> =
+            rules.iter().map(|r| r.head.predicate.as_str()).collect();
+
+        // Naive first round.
+        let mut delta: BTreeMap<&str, Relation> = BTreeMap::new();
+        for rule in &rules {
+            for fact in eval_rule(rule, &db, None, &stratum_preds)? {
+                let head = rule.head.predicate.as_str();
+                if !db[head].contains(&fact) {
+                    delta.entry(head).or_default().insert(fact);
+                }
+            }
+        }
+        merge(&mut db, &delta);
+
+        // Semi-naive rounds.
+        while delta.values().any(|d| !d.is_empty()) {
+            let mut next: BTreeMap<&str, Relation> = BTreeMap::new();
+            for rule in &rules {
+                for (pos, lit) in rule.body.iter().enumerate() {
+                    if !lit.positive {
+                        continue;
+                    }
+                    let p = lit.atom.predicate.as_str();
+                    let Some(d) = delta.get(p) else { continue };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    for fact in eval_rule(rule, &db, Some((pos, d)), &stratum_preds)? {
+                        let head = rule.head.predicate.as_str();
+                        if !db[head].contains(&fact)
+                            && !next.get(head).is_some_and(|n| n.contains(&fact))
+                        {
+                            next.entry(head).or_default().insert(fact);
+                        }
+                    }
+                }
+            }
+            merge(&mut db, &next);
+            delta = next;
+        }
+    }
+
+    Ok(program
+        .idb_predicates()
+        .into_iter()
+        .map(|p| (p.to_string(), db[p].clone()))
+        .collect())
+}
+
 fn merge<'a>(db: &mut BTreeMap<&'a str, Relation>, delta: &BTreeMap<&'a str, Relation>) {
     for (p, facts) in delta {
         db.entry(p).or_default().extend(facts.iter().cloned());
     }
 }
 
-type Subst = BTreeMap<String, Value>;
+pub(crate) type Subst = BTreeMap<String, Value>;
 
-fn unify(atom: &Atom, fact: &[Value], subst: &Subst) -> Option<Subst> {
+pub(crate) fn unify(atom: &Atom, fact: &[Value], subst: &Subst) -> Option<Subst> {
     if atom.terms.len() != fact.len() {
         return None;
     }
@@ -333,7 +368,7 @@ fn unify(atom: &Atom, fact: &[Value], subst: &Subst) -> Option<Subst> {
     Some(s)
 }
 
-fn instantiate(atom: &Atom, subst: &Subst) -> Fact {
+pub(crate) fn instantiate(atom: &Atom, subst: &Subst) -> Fact {
     atom.terms
         .iter()
         .map(|t| match t {

@@ -31,6 +31,9 @@ pub enum DatalogError {
         /// How many domains matched.
         matches: usize,
     },
+    /// A fact write targeted a predicate defined by rules: the IDB is
+    /// derived, only EDB predicates accept direct fact edits.
+    NotExtensional(String),
     /// An atom's arity differs between uses.
     ArityMismatch {
         /// The predicate involved.
@@ -59,6 +62,12 @@ impl fmt::Display for DatalogError {
                 f,
                 "constant {symbol:?} resolved in {matches} domains (need exactly 1)"
             ),
+            DatalogError::NotExtensional(p) => {
+                write!(
+                    f,
+                    "predicate {p:?} is derived by rules; edit its EDB inputs instead"
+                )
+            }
             DatalogError::ArityMismatch {
                 predicate,
                 expected,

@@ -17,7 +17,9 @@
 //!
 //! * [`ast`] — terms, atoms, literals, rules, programs, safety checks,
 //! * [`strata`] — stratification for negation,
-//! * [`engine`] — the semi-naive evaluator.
+//! * [`engine`] — the semi-naive evaluator,
+//! * [`incremental`] — materialized programs maintained under EDB
+//!   edits with delete/rederive (DRed).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -45,8 +47,10 @@
 pub mod ast;
 pub mod engine;
 pub mod error;
+pub mod incremental;
 pub mod strata;
 
 pub use ast::{Atom, Literal, Program, Rule, Term, Value};
 pub use engine::Engine;
 pub use error::{DatalogError, Result};
+pub use incremental::{ChangeSummary, LiveProgram};

@@ -1,0 +1,180 @@
+//! Incremental IDB maintenance: DRed edge cases and random parity
+//! against full re-evaluation.
+
+use std::sync::Arc;
+
+use hrdm_datalog::ast::Program;
+use hrdm_datalog::engine::Engine;
+use hrdm_datalog::DatalogError;
+use hrdm_hierarchy::HierarchyGraph;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A flat domain of `n` named nodes.
+fn nodes(n: usize) -> (Arc<HierarchyGraph>, Vec<String>) {
+    let mut g = HierarchyGraph::new("Node");
+    let names: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
+    for name in &names {
+        g.add_instance(name.as_str(), g.root()).unwrap();
+    }
+    (Arc::new(g), names)
+}
+
+/// Retracting one support of a fact with an *alternative derivation*
+/// must keep the fact: DRed overdeletes it, rederivation brings it
+/// back.
+#[test]
+fn retraction_with_alternative_derivation_rederives() {
+    let (g, _) = nodes(3);
+    let mut engine = Engine::new();
+    engine.register_domain(&g);
+    // Two routes n0 → n2: direct, and via n1.
+    engine.add_fact("edge", &["n0", "n1"]).unwrap();
+    engine.add_fact("edge", &["n1", "n2"]).unwrap();
+    engine.add_fact("edge", &["n0", "n2"]).unwrap();
+    let program = Program::parse(
+        "path(X, Y) :- edge(X, Y).\n\
+         path(X, Z) :- path(X, Y), edge(Y, Z).",
+    )
+    .unwrap();
+    let mut live = engine.materialize(&program).unwrap();
+    assert_eq!(live.relation("path").unwrap().len(), 3); // 01 12 02
+
+    // Drop the via-n1 leg: path(n1,n2) dies, but path(n0,n2) survives
+    // through the direct edge — the rederivation step must notice.
+    let summary = live.retract_fact("edge", &["n1", "n2"]).unwrap();
+    assert_eq!(live.relation("path").unwrap().len(), 2);
+    let removed: usize = summary.removed.values().map(|r| r.len()).sum();
+    assert_eq!(removed, 2, "edge(n1,n2) and path(n1,n2) only");
+    assert!(summary.added.is_empty());
+
+    // And the maintained state matches a fresh evaluation.
+    engine.remove_fact("edge", &["n1", "n2"]).unwrap();
+    assert_eq!(live.idb(), &engine.run(&program).unwrap());
+}
+
+/// Retraction under stratified negation: removing a fact from a lower
+/// stratum can *create* facts above it (absence newly holds), and
+/// adding one can *remove* them.
+#[test]
+fn retraction_under_stratified_negation() {
+    let (g, _) = nodes(3);
+    let mut engine = Engine::new();
+    engine.register_domain(&g);
+    engine.add_fact("creature", &["n0"]).unwrap();
+    engine.add_fact("creature", &["n1"]).unwrap();
+    engine.add_fact("bird", &["n0"]).unwrap();
+    let program = Program::parse(
+        "flies(X) :- bird(X).\n\
+         grounded(X) :- creature(X), !flies(X).",
+    )
+    .unwrap();
+    let mut live = engine.materialize(&program).unwrap();
+    assert_eq!(live.relation("grounded").unwrap().len(), 1); // n1
+
+    // n0 stops being a bird: flies(n0) dies, grounded(n0) appears.
+    let summary = live.retract_fact("bird", &["n0"]).unwrap();
+    assert!(summary.removed.contains_key("flies"));
+    assert!(summary.added.contains_key("grounded"));
+    assert_eq!(live.relation("grounded").unwrap().len(), 2);
+
+    // And back: a new bird fact must *retract* through the negation.
+    let summary = live.add_fact("bird", &["n1"]).unwrap();
+    assert!(summary.added.contains_key("flies"));
+    assert!(summary.removed.contains_key("grounded"));
+    assert_eq!(live.relation("grounded").unwrap().len(), 1); // n0 again
+}
+
+/// Writes into rule-defined predicates are rejected: the IDB is
+/// derived.
+#[test]
+fn idb_writes_rejected() {
+    let (g, _) = nodes(2);
+    let mut engine = Engine::new();
+    engine.register_domain(&g);
+    engine.add_fact("edge", &["n0", "n1"]).unwrap();
+    let program = Program::parse("path(X, Y) :- edge(X, Y).").unwrap();
+    let mut live = engine.materialize(&program).unwrap();
+    assert!(matches!(
+        live.add_fact("path", &["n0", "n1"]),
+        Err(DatalogError::NotExtensional(p)) if p == "path"
+    ));
+    assert!(matches!(
+        live.add_fact("edge", &["n0"]),
+        Err(DatalogError::ArityMismatch { .. })
+    ));
+}
+
+/// Random edit scripts: after every add/retract the maintained IDB
+/// must equal a fresh full evaluation over the same EDB.
+#[test]
+fn random_edits_match_full_reevaluation() {
+    let program_text = "path(X, Y) :- edge(X, Y).\n\
+         path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+         unreachable(X, Y) :- node(X), node(Y), !path(X, Y).\n\
+         looped(X) :- path(X, X).";
+    let program = Program::parse(program_text).unwrap();
+
+    const N: usize = 6;
+    const SCRIPTS: u64 = 64;
+    const STEPS: usize = 24;
+    let mut rng = 0x000d_1ab0_1155_u64;
+    let mut maintained_rows = 0usize;
+    for _ in 0..SCRIPTS {
+        let (g, names) = nodes(N);
+        let mut engine = Engine::new();
+        engine.register_domain(&g);
+        for name in &names {
+            engine.add_fact("node", &[name.as_str()]).unwrap();
+        }
+        // Seed a few edges so the first materialization is non-trivial.
+        for w in names.windows(2).take(3) {
+            engine
+                .add_fact("edge", &[w[0].as_str(), w[1].as_str()])
+                .unwrap();
+        }
+        let mut live = engine.materialize(&program).unwrap();
+        for _ in 0..STEPS {
+            let r = splitmix(&mut rng);
+            let a = names[(r as usize >> 8) % N].clone();
+            let b = names[(r as usize >> 20) % N].clone();
+            let summary = if r.is_multiple_of(2) {
+                live.add_fact("edge", &[a.as_str(), b.as_str()]).unwrap()
+            } else {
+                live.retract_fact("edge", &[a.as_str(), b.as_str()])
+                    .unwrap()
+            };
+            maintained_rows += summary.row_count();
+            // Mirror the edit in the oracle engine and re-run from
+            // scratch.
+            if r.is_multiple_of(2) {
+                engine.add_fact("edge", &[a.as_str(), b.as_str()]).unwrap();
+            } else {
+                engine
+                    .remove_fact("edge", &[a.as_str(), b.as_str()])
+                    .unwrap();
+            }
+            let fresh = engine.run(&program).unwrap();
+            assert_eq!(
+                live.idb(),
+                &fresh,
+                "maintained IDB diverged from full evaluation after {}ing edge({a},{b})",
+                if r.is_multiple_of(2) {
+                    "add"
+                } else {
+                    "retract"
+                },
+            );
+        }
+    }
+    assert!(
+        maintained_rows > 1_000,
+        "only {maintained_rows} maintained rows across the sweep"
+    );
+}

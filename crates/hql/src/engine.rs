@@ -21,12 +21,14 @@
 //! `Handler` enum).
 
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use hrdm_core::delta::Delta;
 use hrdm_core::justify::justify;
 use hrdm_core::mutation::CatalogMutation;
 use hrdm_core::prelude::*;
 use hrdm_core::render::render_table;
+use hrdm_obs::metrics::{self, Counter};
 use hrdm_persist::{Image, Journal};
 
 use crate::ast::{Statement, STATEMENT_KINDS};
@@ -51,6 +53,25 @@ struct EngineInner {
     state: SnapshotCell<World>,
     /// Serializes mutating statements and owns the WAL handle.
     writer: Mutex<Writer>,
+    /// The most recent committed write's structured delta, published
+    /// alongside its epoch (under the writer lock, so it always pairs
+    /// with the epoch it produced).
+    last_delta: Mutex<Option<(u64, Arc<Delta>)>>,
+}
+
+struct IvmMetrics {
+    maintained: Counter,
+    fallback: Counter,
+    detached: Counter,
+}
+
+fn ivm_obs() -> &'static IvmMetrics {
+    static M: OnceLock<IvmMetrics> = OnceLock::new();
+    M.get_or_init(|| IvmMetrics {
+        maintained: metrics::counter("ivm.maintained"),
+        fallback: metrics::counter("ivm.fallback"),
+        detached: metrics::counter("ivm.detached"),
+    })
 }
 
 #[derive(Default)]
@@ -70,6 +91,11 @@ struct Writer {
 pub struct WriteTxn<'a> {
     /// The private world copy this transaction mutates.
     pub world: World,
+    /// The structured effect of this write: asserted/retracted rows per
+    /// relation, resets, and domain-graph edits. Handlers record into
+    /// it; the engine feeds it to view maintenance and publishes it
+    /// alongside the new epoch.
+    pub delta: Delta,
     journal: &'a mut Option<Journal>,
 }
 
@@ -149,6 +175,17 @@ impl Engine {
         self.inner.state.epoch()
     }
 
+    /// The most recent committed write's structured [`Delta`], paired
+    /// with the epoch it produced. `None` until the first write (and
+    /// after [`Engine::restore`], which replaces state out-of-band).
+    pub fn last_delta(&self) -> Option<(u64, Arc<Delta>)> {
+        self.inner
+            .last_delta
+            .lock()
+            .expect("delta lock poisoned")
+            .clone()
+    }
+
     /// Parse and execute a script; returns one response per statement.
     ///
     /// Statements run in order; within one call, a read after a write
@@ -177,10 +214,29 @@ impl Engine {
                 let snap = self.inner.state.load();
                 let mut txn = WriteTxn {
                     world: (*snap).clone(),
+                    delta: Delta::new(),
                     journal: &mut writer.journal,
                 };
                 let response = h(&mut txn, stmt)?;
-                self.inner.state.publish(Arc::new(txn.world));
+                // Bring live views up to date with this write's delta
+                // before anything publishes: a maintenance failure (the
+                // fallback recomputation erroring) fails the statement
+                // atomically, so readers never see a world whose views
+                // disagree with their definitions.
+                let mut delta = std::mem::take(&mut txn.delta);
+                let summary = txn.world.maintain_views(&mut delta)?;
+                if summary.changed() {
+                    // View relations changed outside the WAL mutation
+                    // vocabulary; only an image carries them.
+                    txn.checkpoint()?;
+                }
+                let m = ivm_obs();
+                m.maintained.add(summary.maintained as u64);
+                m.fallback.add(summary.fallback as u64);
+                m.detached.add(summary.detached as u64);
+                let epoch = self.inner.state.publish(Arc::new(txn.world));
+                *self.inner.last_delta.lock().expect("delta lock poisoned") =
+                    Some((epoch, Arc::new(delta)));
                 Ok(response)
             }
         }
@@ -210,6 +266,7 @@ impl Engine {
     pub fn restore(&self, image: Image) {
         let _writer = self.inner.writer.lock().expect("writer lock poisoned");
         self.inner.state.publish(Arc::new(World::from_image(image)));
+        *self.inner.last_delta.lock().expect("delta lock poisoned") = None;
     }
 }
 
@@ -222,6 +279,7 @@ fn exec_create_domain(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Respons
         unreachable!("dispatched by kind")
     };
     txn.world.create_domain(&name)?;
+    txn.delta.record_domain(&name);
     txn.record(CatalogMutation::CreateDomain { name: name.clone() })?;
     Ok(Response::Ok(format!("domain {name} created")))
 }
@@ -231,6 +289,7 @@ fn exec_create_class(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response
         unreachable!("dispatched by kind")
     };
     let domain = txn.world.add_class(&name, &parents)?;
+    txn.delta.record_domain(&domain);
     txn.record(CatalogMutation::AddClass {
         domain: domain.clone(),
         name: name.clone(),
@@ -244,6 +303,7 @@ fn exec_create_instance(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Respo
         unreachable!("dispatched by kind")
     };
     let domain = txn.world.add_instance(&name, &parents)?;
+    txn.delta.record_domain(&domain);
     txn.record(CatalogMutation::AddInstance {
         domain: domain.clone(),
         name: name.clone(),
@@ -262,6 +322,7 @@ fn exec_prefer(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
         unreachable!("dispatched by kind")
     };
     txn.world.prefer(&domain, &stronger, &weaker)?;
+    txn.delta.record_domain(&domain);
     txn.record(CatalogMutation::Prefer {
         domain: domain.clone(),
         stronger: stronger.clone(),
@@ -277,6 +338,7 @@ fn exec_create_relation(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Respo
         unreachable!("dispatched by kind")
     };
     txn.world.create_relation(&name, &attributes)?;
+    txn.delta.record_reset(&name);
     txn.record(CatalogMutation::CreateRelation {
         name: name.clone(),
         attributes,
@@ -298,7 +360,8 @@ fn exec_assert(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
     } else {
         Truth::Positive
     };
-    let rendered = txn.world.assert_item(&relation, &values, truth)?;
+    let (rendered, item) = txn.world.assert_item(&relation, &values, truth)?;
+    txn.delta.record_added(&relation, item, truth);
     txn.record(CatalogMutation::Assert {
         relation: relation.clone(),
         values: values.iter().map(|v| v.name.clone()).collect(),
@@ -314,7 +377,8 @@ fn exec_retract(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
     let Statement::Retract { relation, values } = stmt else {
         unreachable!("dispatched by kind")
     };
-    let rendered = txn.world.retract_item(&relation, &values)?;
+    let (rendered, item) = txn.world.retract_item(&relation, &values)?;
+    txn.delta.record_removed(&relation, item);
     txn.record(CatalogMutation::Retract {
         relation: relation.clone(),
         values: values.iter().map(|v| v.name.clone()).collect(),
@@ -329,6 +393,7 @@ fn exec_consolidate(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response>
         unreachable!("dispatched by kind")
     };
     let removed = txn.world.consolidate_in_place(&relation)?;
+    txn.delta.record_reset(&relation);
     txn.checkpoint()?;
     Ok(Response::Ok(format!(
         "consolidated {relation}: removed {removed} redundant tuple(s)"
@@ -340,6 +405,7 @@ fn exec_explicate(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
         unreachable!("dispatched by kind")
     };
     let tuples = txn.world.explicate_in_place(&relation, &attrs)?;
+    txn.delta.record_reset(&relation);
     txn.checkpoint()?;
     Ok(Response::Ok(format!(
         "explicated {relation}: now {tuples} tuple(s)"
@@ -362,6 +428,7 @@ fn exec_set_preemption(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Respon
         }
     };
     txn.world.set_preemption(&relation, preemption)?;
+    txn.delta.record_reset(&relation);
     txn.record(CatalogMutation::SetPreemption {
         relation: relation.clone(),
         mode: preemption,
@@ -377,6 +444,11 @@ fn exec_let(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
     };
     let derived = txn.world.derive(&derivation)?;
     let tuples = txn.world.store_derived(&name, derived)?;
+    // The fresh binding becomes a live view: from now on the writer
+    // maintains it per-delta at commit. Its own birth is deliberately
+    // not recorded in the delta — nothing can depend on it yet, and a
+    // row entry under its name would read as a direct write (detach).
+    txn.world.register_view(&name, derivation)?;
     txn.checkpoint()?;
     Ok(Response::Ok(format!(
         "relation {name} defined ({tuples} tuples)"
@@ -389,6 +461,12 @@ fn exec_load(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
     };
     let image = hrdm_persist::Image::load(&path)?;
     txn.world = World::from_image(image);
+    // Wholesale state replacement: every relation resets and any live
+    // views are gone (images carry relations, not view definitions).
+    let names: Vec<String> = txn.world.relation_names().map(String::from).collect();
+    for name in &names {
+        txn.delta.record_reset(name);
+    }
     txn.checkpoint()?;
     Ok(Response::Ok(format!(
         "session restored from {path} ({} domain(s), {} relation(s))",
@@ -411,6 +489,10 @@ fn exec_open(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
     // re-crash cannot regress.
     let journal = Journal::begin(path, recovered.report.next_lsn(), &image, group)?;
     txn.world = World::from_image(image);
+    let names: Vec<String> = txn.world.relation_names().map(String::from).collect();
+    for name in &names {
+        txn.delta.record_reset(name);
+    }
     *txn.journal = Some(journal);
     let r = &recovered.report;
     Ok(Response::Ok(format!(

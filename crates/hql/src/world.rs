@@ -15,9 +15,11 @@
 //! `Arc` across every relation on that domain. Node ids are stable
 //! under node/edge addition, so the stored tuples carry over verbatim.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use hrdm_core::delta::{Delta, RelationChange, RelationDelta};
+use hrdm_core::differential::MaterializedPlan;
 use hrdm_core::plan::LogicalPlan;
 use hrdm_core::prelude::*;
 use hrdm_hierarchy::HierarchyGraph;
@@ -30,16 +32,73 @@ use crate::error::{HqlError, Result};
 /// schema against the freshly re-shared graphs.
 #[derive(Clone)]
 pub struct RelationEntry {
-    /// The relation itself.
-    pub relation: HRelation,
+    /// The relation itself, shared so a maintained view can alias its
+    /// materialized plan's root cache instead of cloning every tuple on
+    /// each write.
+    pub relation: Arc<HRelation>,
     /// `(attribute name, domain name)` per schema position.
     pub signature: Vec<(String, String)>,
+}
+
+/// How a registered view is kept current.
+#[derive(Clone)]
+enum ViewMode {
+    /// Maintained per-delta through the differential plan evaluator.
+    Incremental(MaterializedPlan),
+    /// Re-derived in full on every relevant delta. Used for top-level
+    /// `EXPLICATE` over a *derived* source, whose evaluation order
+    /// (consolidate the inner result, then explicate) the plan IR does
+    /// not express — and as the landing mode when a materialization
+    /// cannot be (re)built.
+    Recompute,
+}
+
+/// One live `LET` view: its defining derivation plus the machinery to
+/// keep the stored relation equal to re-deriving it from scratch.
+#[derive(Clone)]
+struct ViewDef {
+    /// The view's relation name.
+    name: String,
+    /// The defining right-hand side, for full recomputation.
+    derivation: Derivation,
+    /// Base relations the derivation scans (delta routing).
+    deps: BTreeSet<String>,
+    /// Domains those base relations are over: an edit to any of them
+    /// changes subsumption itself (and re-shares the schema `Arc`s the
+    /// cached node outputs were built against), so the differential
+    /// path does not apply and the view falls back to recomputation.
+    dep_domains: BTreeSet<String>,
+    /// Maintenance machinery.
+    mode: ViewMode,
+}
+
+/// What one [`World::maintain_views`] pass did, for the engine's
+/// durability policy (checkpoint when any view state changed) and the
+/// `ivm.*` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct MaintainSummary {
+    /// Views updated through the differential path.
+    pub maintained: usize,
+    /// Views re-derived in full (domain edits, resets, recompute-mode
+    /// views, or differential-path errors).
+    pub fallback: usize,
+    /// Views detached because the statement wrote their relation
+    /// directly.
+    pub detached: usize,
+}
+
+impl MaintainSummary {
+    /// Whether any view relation or registration changed.
+    pub fn changed(&self) -> bool {
+        self.maintained + self.fallback + self.detached > 0
+    }
 }
 
 /// The complete state an HQL statement executes against.
 ///
 /// `Clone` is the copy-on-write entry point: it clones only the two
-/// maps of `Arc`s, never a graph or a tuple. Mutators then use
+/// maps of `Arc`s (plus the view registry's `Arc`s), never a graph or
+/// a tuple. Mutators then use
 /// [`Arc::make_mut`] (relations) or clone-and-re-share (domains) so the
 /// original world — possibly still held by concurrent readers — is
 /// untouched.
@@ -49,6 +108,11 @@ pub struct World {
     domains: BTreeMap<String, Arc<HierarchyGraph>>,
     /// Relations by name.
     relations: BTreeMap<String, Arc<RelationEntry>>,
+    /// Live `LET` views in registration order, so a view over another
+    /// view is maintained after its input and sees its delta. Views are
+    /// *session* state, not image state: `LOAD`/`OPEN`/`restore`
+    /// degrade them to plain relations.
+    views: Vec<Arc<ViewDef>>,
 }
 
 /// Resolve a written tuple into an item against a relation's schema.
@@ -104,7 +168,7 @@ impl World {
 
     /// A relation by name.
     pub fn relation(&self, name: &str) -> Result<&HRelation> {
-        self.relation_entry(name).map(|e| &e.relation)
+        self.relation_entry(name).map(|e| e.relation.as_ref())
     }
 
     pub(crate) fn relation_entry(&self, name: &str) -> Result<&RelationEntry> {
@@ -125,6 +189,13 @@ impl World {
                 name: name.to_string(),
             }),
         }
+    }
+
+    /// Unique access to a relation's tuples (copy-on-write through both
+    /// the entry and the relation `Arc`s).
+    fn relation_mut(&mut self, name: &str) -> Result<&mut HRelation> {
+        let entry = self.relation_entry_mut(name)?;
+        Ok(Arc::make_mut(&mut entry.relation))
     }
 
     /// The domain that contains all the given node names (for resolving
@@ -175,7 +246,7 @@ impl World {
             self.relations.insert(
                 name,
                 Arc::new(RelationEntry {
-                    relation: rebuilt,
+                    relation: Arc::new(rebuilt),
                     signature: entry.signature.clone(),
                 }),
             );
@@ -266,64 +337,69 @@ impl World {
         self.relations.insert(
             name.to_string(),
             Arc::new(RelationEntry {
-                relation: HRelation::new(schema),
+                relation: Arc::new(HRelation::new(schema)),
                 signature: attributes.to_vec(),
             }),
         );
         Ok(())
     }
 
-    /// Assert a tuple; returns the rendered item for the reply.
+    /// Assert a tuple; returns the rendered item (for the reply) and
+    /// the resolved item (for the write's delta).
     pub(crate) fn assert_item(
         &mut self,
         relation: &str,
         values: &[ValueRef],
         truth: Truth,
-    ) -> Result<String> {
-        let entry = self.relation_entry_mut(relation)?;
-        let item = resolve_item(&entry.relation, values)?;
-        let rendered = entry.relation.schema().display_item(&item);
-        entry.relation.assert_item(item, truth)?;
-        Ok(rendered)
+    ) -> Result<(String, Item)> {
+        let rel = self.relation_mut(relation)?;
+        let item = resolve_item(rel, values)?;
+        let rendered = rel.schema().display_item(&item);
+        rel.assert_item(item.clone(), truth)?;
+        Ok((rendered, item))
     }
 
-    /// Retract a stored tuple; returns the rendered item for the reply.
-    pub(crate) fn retract_item(&mut self, relation: &str, values: &[ValueRef]) -> Result<String> {
-        let entry = self.relation_entry_mut(relation)?;
-        let item = resolve_item(&entry.relation, values)?;
-        let rendered = entry.relation.schema().display_item(&item);
-        if entry.relation.remove(&item).is_none() {
+    /// Retract a stored tuple; returns the rendered item (for the
+    /// reply) and the resolved item (for the write's delta).
+    pub(crate) fn retract_item(
+        &mut self,
+        relation: &str,
+        values: &[ValueRef],
+    ) -> Result<(String, Item)> {
+        let rel = self.relation_mut(relation)?;
+        let item = resolve_item(rel, values)?;
+        let rendered = rel.schema().display_item(&item);
+        if rel.remove(&item).is_none() {
             return Err(HqlError::Unknown {
                 kind: "tuple",
                 name: rendered,
             });
         }
-        Ok(rendered)
+        Ok((rendered, item))
     }
 
     /// Consolidate a relation in place; returns the number of tuples
     /// removed.
     pub(crate) fn consolidate_in_place(&mut self, relation: &str) -> Result<usize> {
         let entry = self.relation_entry_mut(relation)?;
-        let result = hrdm_core::consolidate::consolidate(&entry.relation);
+        let result = hrdm_core::consolidate::consolidate(entry.relation.as_ref());
         let removed = result.removed.len();
-        entry.relation = result.relation;
+        entry.relation = Arc::new(result.relation);
         Ok(removed)
     }
 
     /// Explicate a relation in place; returns the new tuple count.
     pub(crate) fn explicate_in_place(&mut self, relation: &str, attrs: &[String]) -> Result<usize> {
         let entry = self.relation_entry_mut(relation)?;
-        let indexes = attr_indexes(&entry.relation, attrs)?;
-        let result = hrdm_core::explicate::explicate(&entry.relation, &indexes)?;
+        let indexes = attr_indexes(entry.relation.as_ref(), attrs)?;
+        let result = hrdm_core::explicate::explicate(entry.relation.as_ref(), &indexes)?;
         let tuples = result.len();
-        entry.relation = result;
+        entry.relation = Arc::new(result);
         Ok(tuples)
     }
 
     pub(crate) fn set_preemption(&mut self, relation: &str, mode: Preemption) -> Result<()> {
-        let entry = self.relation_entry_mut(relation)?;
-        entry.relation.set_preemption(mode);
+        self.relation_mut(relation)?.set_preemption(mode);
         Ok(())
     }
 
@@ -349,11 +425,217 @@ impl World {
         self.relations.insert(
             name.to_string(),
             Arc::new(RelationEntry {
-                relation,
+                relation: Arc::new(relation),
                 signature,
             }),
         );
         Ok(tuples)
+    }
+
+    /// Names of the relations currently live as maintained views.
+    pub fn view_names(&self) -> impl Iterator<Item = &str> {
+        self.views.iter().map(|v| v.name.as_str())
+    }
+
+    /// Whether `name` is a maintained view.
+    pub fn is_view(&self, name: &str) -> bool {
+        self.views.iter().any(|v| v.name == name)
+    }
+
+    /// The `(attribute, domain-root)` signature of a relation's schema,
+    /// mirroring [`World::store_derived`]'s bookkeeping.
+    fn signature_of(relation: &HRelation) -> Vec<(String, String)> {
+        relation
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| {
+                let domain_name = a.domain().name(a.domain().root()).to_string();
+                (a.name().to_string(), domain_name)
+            })
+            .collect()
+    }
+
+    /// Replace a relation entry wholesale (view maintenance). Takes the
+    /// relation as an `Arc` so the entry can alias a materialized
+    /// plan's root cache without copying tuples.
+    fn set_relation(&mut self, name: &str, relation: Arc<HRelation>) {
+        let signature = World::signature_of(&relation);
+        self.relations.insert(
+            name.to_string(),
+            Arc::new(RelationEntry {
+                relation,
+                signature,
+            }),
+        );
+    }
+
+    /// Build the maintenance machinery for a derivation against the
+    /// current world. A top-level `EXPLICATE` over a *derived* source
+    /// is pinned to recompute mode (see [`ViewMode::Recompute`]); every
+    /// other shape gets a materialized plan — `new_raw` for a top-level
+    /// `EXPLICATE` over a named relation (its point is the non-minimal
+    /// form the canonicalizing root consolidate would collapse),
+    /// canonical otherwise, matching [`World::derive`]'s two paths.
+    fn view_mode_of(&self, derivation: &Derivation) -> ViewMode {
+        let built = match derivation {
+            Derivation::Explicated(Source::Derived(_), _) => None,
+            Derivation::Explicated(Source::Named(_), _) => self
+                .plan_of(derivation)
+                .ok()
+                .and_then(|p| MaterializedPlan::new_raw(p).ok()),
+            _ => self
+                .plan_of(derivation)
+                .ok()
+                .and_then(|p| MaterializedPlan::new(p).ok()),
+        };
+        match built {
+            Some(mat) => ViewMode::Incremental(mat),
+            None => ViewMode::Recompute,
+        }
+    }
+
+    /// Register a freshly `LET`-bound relation as a live view. Called
+    /// after [`World::store_derived`]; from here on the single writer
+    /// keeps the stored relation identical to re-deriving `derivation`
+    /// from scratch at every epoch.
+    pub(crate) fn register_view(&mut self, name: &str, derivation: Derivation) -> Result<()> {
+        let plan = self.plan_of(&derivation)?;
+        let deps = hrdm_core::differential::scan_names(&plan);
+        let mut dep_domains = BTreeSet::new();
+        for dep in &deps {
+            if let Ok(entry) = self.relation_entry(dep) {
+                for (_, dom) in &entry.signature {
+                    dep_domains.insert(dom.clone());
+                }
+            }
+        }
+        let mode = self.view_mode_of(&derivation);
+        self.views.push(Arc::new(ViewDef {
+            name: name.to_string(),
+            derivation,
+            deps,
+            dep_domains,
+            mode,
+        }));
+        Ok(())
+    }
+
+    /// Bring every registered view up to date with one committed
+    /// write's `delta`, in registration order (so a view over another
+    /// view sees its input's fresh rows). Each view takes the cheapest
+    /// sound path:
+    ///
+    /// * none of its dependencies changed — untouched;
+    /// * the statement wrote the view's relation directly — the view
+    ///   **detaches** and its relation stays a plain relation;
+    /// * row-level deltas only — differential maintenance through the
+    ///   materialized plan;
+    /// * a dependency was reset, a dependency's domain was edited, the
+    ///   view is recompute-mode, or the differential path errored —
+    ///   full recomputation via [`World::derive`].
+    ///
+    /// Either way the view's output delta is recorded into `delta`
+    /// under the view's name, so cascaded views (and the published
+    /// epoch delta) see it. An error from the fallback recomputation
+    /// propagates: the *statement* fails atomically and publishes
+    /// nothing — live views enforce derivability at every epoch.
+    pub(crate) fn maintain_views(&mut self, delta: &mut Delta) -> Result<MaintainSummary> {
+        let mut summary = MaintainSummary::default();
+        if self.views.is_empty() {
+            return Ok(summary);
+        }
+        let views = std::mem::take(&mut self.views);
+        let mut kept = Vec::with_capacity(views.len());
+        for view in views {
+            // A direct write into the view's relation detaches it: the
+            // user took ownership of the stored tuples.
+            if delta.relations.contains_key(&view.name) {
+                summary.detached += 1;
+                continue;
+            }
+            let domain_hit = !delta.domains.is_disjoint(&view.dep_domains);
+            let dep_reset = view
+                .deps
+                .iter()
+                .any(|d| matches!(delta.relations.get(d), Some(RelationChange::Reset)));
+            let mut rows: BTreeMap<String, RelationDelta> = BTreeMap::new();
+            for dep in &view.deps {
+                if let Some(RelationChange::Rows(rd)) = delta.relations.get(dep) {
+                    if !rd.is_empty() {
+                        rows.insert(dep.clone(), rd.clone());
+                    }
+                }
+            }
+            if !domain_hit && !dep_reset && rows.is_empty() {
+                kept.push(view);
+                continue;
+            }
+
+            let mut incremental = None;
+            if !domain_hit && !dep_reset {
+                if let ViewMode::Incremental(mat) = &view.mode {
+                    // Post-write base relations, shared so the plan's
+                    // scan caches alias them instead of copying.
+                    let mut bases: BTreeMap<String, Arc<HRelation>> = BTreeMap::new();
+                    for dep in rows.keys() {
+                        if let Ok(entry) = self.relation_entry(dep) {
+                            bases.insert(dep.clone(), entry.relation.clone());
+                        }
+                    }
+                    // Any differential error falls through to the full
+                    // recomputation below.
+                    if let Ok((next, out_delta, _)) = mat.apply_with_bases(&rows, &bases) {
+                        incremental = Some((next, out_delta));
+                    }
+                }
+            }
+            let old_preemption = self.relation(&view.name)?.preemption();
+            let (relation, out_delta, mode) = match incremental {
+                Some((next, out_delta)) => {
+                    summary.maintained += 1;
+                    // Share the plan's root cache — no per-write copy
+                    // of the view's tuples.
+                    let rel = next.relation_arc();
+                    (rel, out_delta, ViewMode::Incremental(next))
+                }
+                None => {
+                    summary.fallback += 1;
+                    let derived = self.derive(&view.derivation)?;
+                    let old = self.relation(&view.name)?;
+                    let out_delta = RelationDelta::diff(old, &derived);
+                    let mode = {
+                        // Rebuild against the post-write world so later
+                        // epochs can go differential again.
+                        self.view_mode_of(&view.derivation)
+                    };
+                    (Arc::new(derived), out_delta, mode)
+                }
+            };
+            let mode_changed = relation.preemption() != old_preemption;
+            self.set_relation(&view.name, relation);
+            if mode_changed {
+                // A preemption-mode flip is invisible to a row diff but
+                // changes downstream semantics; cascade it as a reset so
+                // dependent views rebuild their caches.
+                delta
+                    .relations
+                    .insert(view.name.clone(), RelationChange::Reset);
+            } else if !out_delta.is_empty() {
+                delta
+                    .relations
+                    .insert(view.name.clone(), RelationChange::Rows(out_delta));
+            }
+            kept.push(Arc::new(ViewDef {
+                name: view.name.clone(),
+                derivation: view.derivation.clone(),
+                deps: view.deps.clone(),
+                dep_domains: view.dep_domains.clone(),
+                mode,
+            }));
+        }
+        self.views = kept;
+        Ok(summary)
     }
 
     /// Snapshot the world as a persistence image.
@@ -363,7 +645,7 @@ impl World {
             image.add_domain(name.clone(), arc.clone());
         }
         for (name, entry) in &self.relations {
-            image.add_relation(name.clone(), entry.relation.clone());
+            image.add_relation(name.clone(), entry.relation.as_ref().clone());
         }
         image
     }
@@ -393,7 +675,7 @@ impl World {
             world.relations.insert(
                 name,
                 Arc::new(RelationEntry {
-                    relation: rel,
+                    relation: Arc::new(rel),
                     signature,
                 }),
             );
@@ -432,7 +714,7 @@ impl World {
     /// nested derivation is evaluated like any `LET` right-hand side.
     fn source_relation(&self, src: &Source) -> Result<HRelation> {
         match src {
-            Source::Named(name) => Ok(self.relation_entry(name)?.relation.clone()),
+            Source::Named(name) => Ok(self.relation_entry(name)?.relation.as_ref().clone()),
             Source::Derived(inner) => self.derive(inner),
         }
     }
@@ -443,7 +725,10 @@ impl World {
         match src {
             Source::Named(name) => {
                 let entry = self.relation_entry(name)?;
-                Ok(LogicalPlan::scan(name.clone(), entry.relation.clone()))
+                Ok(LogicalPlan::scan(
+                    name.clone(),
+                    entry.relation.as_ref().clone(),
+                ))
             }
             Source::Derived(inner) => self.plan_of(inner),
         }

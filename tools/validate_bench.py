@@ -1,21 +1,31 @@
 #!/usr/bin/env python3
-"""Validate and gate the columnar benchmark artifact in CI.
+"""Validate and gate benchmark artifacts in CI.
 
 Usage:
-    validate_bench.py BENCH_columnar.json \
-        [--schema tests/golden/bench_columnar.schema.json]
+    validate_bench.py BENCH_columnar.json [--schema path/to.schema.json]
+    validate_bench.py BENCH_ivm.json
 
-Two layers of checking:
+Two layers of checking, dispatched on the artifact's "label" field:
 
-1. Schema: the artifact conforms to the checked-in JSON schema (the
-   same no-dependency JSON-Schema subset as validate_obs.py — type,
-   required, properties, additionalProperties, enum, const, minimum,
-   oneOf).
-2. Gate: the batch-at-a-time executor must not be slower than the
-   tuple-at-a-time executor on any figure (batch_ns <= tuple_ns for
-   B2-B4), and the measured cost model must have chosen at least one
-   index-backed access path. A regression in the columnar layer fails
-   CI here rather than silently shipping a slower engine.
+1. Schema: the artifact conforms to the checked-in JSON schema for its
+   label (tests/golden/bench_<label>.schema.json by default — the same
+   no-dependency JSON-Schema subset as validate_obs.py: type, required,
+   properties, additionalProperties, enum, const, minimum, oneOf).
+2. Gates, per label:
+
+   * columnar — the batch-at-a-time executor must not be slower than
+     the tuple-at-a-time executor on any figure (batch_ns <= tuple_ns
+     for B2-B4), and the measured cost model must have chosen at least
+     one index-backed access path.
+   * ivm — a maintained view's one-row update must beat re-deriving the
+     view from scratch on the large-catalog fixture, and growing the
+     catalog must inflate the incremental cost strictly less than it
+     inflates full recomputation (per-update cost tracks the delta, not
+     the catalog). The published delta must stay small (row-level, not
+     a wholesale reset).
+
+A regression in either layer fails CI here rather than silently
+shipping a slower engine.
 """
 
 import argparse
@@ -24,22 +34,17 @@ import sys
 
 from validate_obs import check
 
-FIGURES = ("B2", "B3", "B4")
+COLUMNAR_FIGURES = ("B2", "B3", "B4")
+
+# The incremental figure is a committed engine write: one asserted row
+# plus the view's maintained row. Anything larger means maintenance
+# stopped being row-level.
+IVM_MAX_DELTA_ROWS = 8
 
 
-def validate(path, schema_path):
-    with open(schema_path) as f:
-        schema = json.load(f)
-    with open(path) as f:
-        doc = json.load(f)
-    errors = check(doc, schema, "$")
-    if errors:
-        for e in errors:
-            print(f"{path}: {e}", file=sys.stderr)
-        return False
-
+def gate_columnar(path, doc):
     ok = True
-    for name in FIGURES:
+    for name in COLUMNAR_FIGURES:
         fig = doc["figures"][name]
         tuple_ns, batch_ns = fig["tuple_ns"], fig["batch_ns"]
         if batch_ns > tuple_ns:
@@ -60,13 +65,80 @@ def validate(path, schema_path):
     return ok
 
 
+def gate_ivm(path, doc):
+    ok = True
+    large = doc["figures"]["large"]
+    if large["incremental_ns"] >= large["full_ns"]:
+        print(
+            f"{path}: large: incremental maintenance does not beat full "
+            f"recomputation ({large['incremental_ns']} ns >= "
+            f"{large['full_ns']} ns)",
+            file=sys.stderr,
+        )
+        ok = False
+    else:
+        print(
+            f"{path}: large: ok (incremental {large['incremental_ns']} ns, "
+            f"{large['full_ns'] / large['incremental_ns']:.2f}x faster than full)"
+        )
+    scaling = doc["scaling"]
+    if scaling["incremental_ratio"] >= scaling["full_ratio"]:
+        print(
+            f"{path}: catalog growth inflates incremental cost as much as "
+            f"full recomputation ({scaling['incremental_ratio']:.2f}x >= "
+            f"{scaling['full_ratio']:.2f}x) — update cost is tracking the "
+            f"catalog, not the delta",
+            file=sys.stderr,
+        )
+        ok = False
+    else:
+        print(
+            f"{path}: scaling: ok (catalog {scaling['catalog_ratio']:.1f}x -> "
+            f"incremental {scaling['incremental_ratio']:.2f}x, "
+            f"full {scaling['full_ratio']:.2f}x)"
+        )
+    for name in ("small", "large"):
+        delta_rows = doc["figures"][name]["delta_rows"]
+        if delta_rows > IVM_MAX_DELTA_ROWS:
+            print(
+                f"{path}: {name}: published delta has {delta_rows} rows "
+                f"(> {IVM_MAX_DELTA_ROWS}) — the one-row write is not being "
+                f"maintained row-level",
+                file=sys.stderr,
+            )
+            ok = False
+    return ok
+
+
+GATES = {"columnar": gate_columnar, "ivm": gate_ivm}
+
+
+def validate(path, schema_path):
+    with open(path) as f:
+        doc = json.load(f)
+    label = doc.get("label")
+    if label not in GATES:
+        print(f"{path}: unknown artifact label {label!r}", file=sys.stderr)
+        return False
+    if schema_path is None:
+        schema_path = f"tests/golden/bench_{label}.schema.json"
+    with open(schema_path) as f:
+        schema = json.load(f)
+    errors = check(doc, schema, "$")
+    if errors:
+        for e in errors:
+            print(f"{path}: {e}", file=sys.stderr)
+        return False
+    return GATES[label](path, doc)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("artifact", help="BENCH_columnar.json to validate")
+    ap.add_argument("artifact", help="benchmark artifact to validate")
     ap.add_argument(
         "--schema",
-        default="tests/golden/bench_columnar.schema.json",
-        help="schema for the artifact (default: %(default)s)",
+        default=None,
+        help="schema for the artifact (default: tests/golden/bench_<label>.schema.json)",
     )
     args = ap.parse_args()
     sys.exit(0 if validate(args.artifact, args.schema) else 1)
