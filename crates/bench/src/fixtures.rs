@@ -20,14 +20,18 @@ use crate::workloads::ClassWorkload;
 /// from before the reset next to a miss count from after it. The
 /// registry sweep also covers the incremental-maintenance family
 /// (`ivm.*` — delta rows, node reuse, fallbacks) introduced with live
-/// views; view registries and published deltas themselves are
-/// per-engine state with no global residue to clear.
+/// views and the serving-tier family (`server.*` — per-verb latency
+/// histograms, byte counters, admission counters); view registries and
+/// published deltas themselves are per-engine state with no global
+/// residue to clear. The slow-query log is the one piece of serving
+/// telemetry outside the registry, so it is cleared alongside.
 pub fn clear_shared_caches() {
     hrdm_core::subsumption::clear_cache();
     hrdm_hierarchy::cache::clear();
     hrdm_core::stats::reset();
     hrdm_core::columnar::clear_intersection_cache();
     hrdm_core::intern::reset_for_bench();
+    hrdm_obs::slowlog::clear();
 }
 
 /// The engine-stats trailer every bench prints after its groups finish,
@@ -247,6 +251,13 @@ pub fn serving_writes() -> Vec<String> {
 mod tests {
     use super::*;
 
+    /// The audit tests both sweep the process-global registry; run
+    /// them one at a time so neither clears the other's mid-test state.
+    fn audit_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn fixtures_build_and_are_consistent() {
         let tax = fig1_taxonomy();
@@ -268,6 +279,8 @@ mod tests {
     #[test]
     fn clear_shared_caches_resets_ivm_counters_interner_and_caches() {
         use hrdm_obs::metrics;
+
+        let _guard = audit_lock();
 
         // Touch one counter from each family the reset must cover: the
         // live-view maintenance counters and the differential-operator
@@ -304,6 +317,42 @@ mod tests {
             Some("clear-shared-caches-audit"),
             "interner must drop to a fresh epoch"
         );
+    }
+
+    /// PR-7's ivm-counter audit, extended to the serving tier: the
+    /// shared reset must also zero the server-side latency histograms
+    /// (they live in the same registry) and drain the slow-query log
+    /// (the one piece of serving telemetry outside the registry).
+    #[test]
+    fn clear_shared_caches_resets_server_histograms_and_the_slowlog() {
+        use hrdm_obs::{metrics, slowlog};
+
+        let _guard = audit_lock();
+
+        let lat = metrics::histogram("server.latency.query");
+        lat.observe_ns(1_234);
+        metrics::counter("server.requests").incr();
+        metrics::gauge("server.active_connections").set(7);
+        let recorded = slowlog::record(
+            "QUERY",
+            "SHOW Flies; -- fixtures audit",
+            5_000_000,
+            3,
+            "server.query [5.0ms]".into(),
+        );
+        if cfg!(feature = "obs") {
+            assert!(recorded, "the obs build records slowlog entries");
+            assert!(lat.count() >= 1);
+            assert!(slowlog::len() >= 1);
+        }
+
+        clear_shared_caches();
+
+        assert_eq!(lat.count(), 0, "server histogram survived the reset");
+        assert_eq!(lat.sum_ns(), 0);
+        assert_eq!(metrics::counter("server.requests").get(), 0);
+        assert_eq!(metrics::gauge("server.active_connections").get(), 0);
+        assert_eq!(slowlog::len(), 0, "slow-query log survived the reset");
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   report *its own* cache traffic deterministically even while other
 //!   threads hammer the shared caches.
 //! * [`chrome`] — `chrome://tracing`-loadable JSON export of a trace.
+//! * [`slowlog`] — a process-global bounded buffer of the N slowest
+//!   requests (wall time, epoch, rendered trace tree) that the serving
+//!   layer feeds and exposes over the wire via its `SLOWLOG` verb.
 //!
 //! # Feature gating
 //!
@@ -40,6 +43,7 @@ pub mod attrib;
 pub mod chrome;
 mod json;
 pub mod metrics;
+pub mod slowlog;
 pub mod span;
 pub mod trace;
 

@@ -243,30 +243,70 @@ fn prom_name(name: &str) -> String {
     out
 }
 
-/// Render the whole registry as Prometheus-style text exposition.
+/// Escape a string for use as a Prometheus label *value* (the
+/// exposition format: backslash, double quote, and line feed must be
+/// escaped inside the surrounding quotes).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a string for a `# HELP` line (backslash and line feed).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the whole registry as Prometheus text exposition.
 ///
-/// Counters and gauges become single samples; histograms become a
-/// summary (`_count`, `_sum`, and `quantile` samples for p50/p95/p99).
+/// Every series gets a `# HELP` and a `# TYPE` line before its
+/// samples. Counters and gauges become single samples; histograms
+/// become a summary (`_count`, `_sum`, and `quantile` samples for
+/// p50/p95/p99) whose label values are escaped per the exposition
+/// format.
 pub fn render_prometheus() -> String {
     use std::fmt::Write as _;
     let r = registry().lock().unwrap();
     let mut out = String::new();
     for (name, m) in r.iter() {
         let p = prom_name(name);
+        let help = escape_help(name);
         match m {
             Metric::Counter(c) => {
+                let _ = writeln!(out, "# HELP {p} hrdm counter {help}");
                 let _ = writeln!(out, "# TYPE {p} counter");
                 let _ = writeln!(out, "{p} {}", c.get());
             }
             Metric::Gauge(g) => {
+                let _ = writeln!(out, "# HELP {p} hrdm gauge {help}");
                 let _ = writeln!(out, "# TYPE {p} gauge");
                 let _ = writeln!(out, "{p} {}", g.get());
             }
             Metric::Histogram(h) => {
+                let _ = writeln!(out, "# HELP {p} hrdm latency histogram {help} (ns)");
                 let _ = writeln!(out, "# TYPE {p} summary");
                 for q in [0.5, 0.95, 0.99] {
                     let v = h.quantile_ns(q).unwrap_or(0);
-                    let _ = writeln!(out, "{p}{{quantile=\"{q}\"}} {v}");
+                    let _ = writeln!(
+                        out,
+                        "{p}{{quantile=\"{}\"}} {v}",
+                        escape_label_value(&q.to_string())
+                    );
                 }
                 let _ = writeln!(out, "{p}_sum {}", h.sum_ns());
                 let _ = writeln!(out, "{p}_count {}", h.count());
@@ -387,6 +427,121 @@ mod tests {
         assert!(json.starts_with("{\"schema_version\":1"), "{json}");
         assert!(json.contains("\"test.metrics.export\""), "{json}");
         assert!(json.contains("\"label\":\"unit\""), "{json}");
+    }
+
+    /// Line-by-line exposition-format check: every line is a `# HELP`,
+    /// a `# TYPE`, or a sample `name[{labels}] value`; metric names are
+    /// legal; every sampled family is preceded by its own HELP and TYPE
+    /// lines; label values are well-formed quoted strings.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn prometheus_output_parses_against_the_exposition_format() {
+        use std::collections::BTreeSet;
+
+        counter("test.metrics.prom.counter").incr();
+        gauge("test.metrics.prom.gauge").set(3);
+        histogram("test.metrics.prom.histo").observe_ns(500);
+
+        fn legal_name(s: &str) -> bool {
+            let mut chars = s.chars();
+            let ok_first = |c: char| c.is_ascii_alphabetic() || c == '_' || c == ':';
+            match chars.next() {
+                Some(c) if ok_first(c) => {}
+                _ => return false,
+            }
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+
+        // A sample's base family: `name_sum`/`name_count` fold into
+        // `name` only when `name` itself was announced.
+        let text = render_prometheus();
+        let mut helped: BTreeSet<String> = BTreeSet::new();
+        let mut typed: BTreeSet<String> = BTreeSet::new();
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in the exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has text");
+                assert!(legal_name(name), "bad HELP name {name:?}");
+                assert!(!help.is_empty(), "empty HELP text for {name}");
+                helped.insert(name.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has a kind");
+                assert!(legal_name(name), "bad TYPE name {name:?}");
+                assert!(
+                    ["counter", "gauge", "summary"].contains(&kind),
+                    "unknown TYPE {kind:?}"
+                );
+                assert!(
+                    helped.contains(name),
+                    "# TYPE {name} appears before its # HELP"
+                );
+                typed.insert(name.to_string());
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unknown comment line {line:?}");
+            // Sample line: name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("sample value {value:?} is not a number in {line:?}"));
+            let name = match series.split_once('{') {
+                None => series,
+                Some((name, labels)) => {
+                    let labels = labels.strip_suffix('}').expect("labels close");
+                    for pair in labels.split(',') {
+                        let (k, v) = pair.split_once('=').expect("label has a value");
+                        assert!(legal_name(k), "bad label name {k:?}");
+                        let v = v
+                            .strip_prefix('"')
+                            .and_then(|v| v.strip_suffix('"'))
+                            .unwrap_or_else(|| panic!("label value {v:?} is not quoted"));
+                        // Inside the quotes, every `"` and `\` must be
+                        // escaped and no raw newline can appear.
+                        let mut chars = v.chars();
+                        while let Some(c) = chars.next() {
+                            match c {
+                                '\\' => {
+                                    let e = chars.next().expect("dangling escape");
+                                    assert!(
+                                        matches!(e, '\\' | '"' | 'n'),
+                                        "bad escape \\{e} in label value {v:?}"
+                                    );
+                                }
+                                '"' => panic!("unescaped quote in label value {v:?}"),
+                                '\n' => panic!("raw newline in label value {v:?}"),
+                                _ => {}
+                            }
+                        }
+                    }
+                    name
+                }
+            };
+            assert!(legal_name(name), "bad sample name {name:?}");
+            let family = ["_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    let base = name.strip_suffix(suffix)?;
+                    typed.contains(base).then_some(base)
+                })
+                .unwrap_or(name);
+            assert!(helped.contains(family), "{name} sampled without # HELP");
+            assert!(typed.contains(family), "{name} sampled without # TYPE");
+        }
+        assert!(
+            helped.contains("hrdm_test_metrics_prom_counter"),
+            "registered counter missing from the exposition"
+        );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn label_values_escape_per_the_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
     }
 
     #[test]

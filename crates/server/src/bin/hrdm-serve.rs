@@ -3,6 +3,7 @@
 //! ```text
 //! hrdm-serve [--addr HOST:PORT] [--store DIR] [--bootstrap FILE]
 //!            [--max-conn N] [--timeout-ms N]
+//!            [--slowlog-ms N] [--slowlog-cap N]
 //! ```
 //!
 //! * `--addr` — address to bind (default `127.0.0.1:7878`; port 0
@@ -13,6 +14,10 @@
 //!   `--store`, so the bootstrap is journaled).
 //! * `--max-conn N` — admission cap; excess connections get `BUSY`.
 //! * `--timeout-ms N` — per-connection read timeout.
+//! * `--slowlog-ms N` — requests at least this slow are captured (with
+//!   their trace trees) into the slow-query log served by `SLOWLOG`
+//!   (default 100; `0` captures everything; obs builds only).
+//! * `--slowlog-cap N` — keep the N slowest requests (default 32).
 //!
 //! The process runs until a client sends the `SHUTDOWN` verb (or the
 //! process receives a fatal signal); shutdown is graceful — in-flight
@@ -30,6 +35,8 @@ struct Args {
     bootstrap: Option<String>,
     max_conn: usize,
     timeout_ms: u64,
+    slowlog_ms: u64,
+    slowlog_cap: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +46,8 @@ fn parse_args() -> Result<Args, String> {
         bootstrap: None,
         max_conn: 64,
         timeout_ms: 30_000,
+        slowlog_ms: 100,
+        slowlog_cap: 32,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -57,9 +66,20 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--timeout-ms: {e}"))?
             }
+            "--slowlog-ms" => {
+                args.slowlog_ms = value("--slowlog-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slowlog-ms: {e}"))?
+            }
+            "--slowlog-cap" => {
+                args.slowlog_cap = value("--slowlog-cap")?
+                    .parse()
+                    .map_err(|e| format!("--slowlog-cap: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: hrdm-serve [--addr HOST:PORT] [--store DIR] \
-                     [--bootstrap FILE] [--max-conn N] [--timeout-ms N]"
+                     [--bootstrap FILE] [--max-conn N] [--timeout-ms N] \
+                     [--slowlog-ms N] [--slowlog-cap N]"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -108,6 +128,8 @@ fn main() -> ExitCode {
         addr: args.addr,
         max_connections: args.max_conn,
         read_timeout: Duration::from_millis(args.timeout_ms),
+        slowlog_threshold: Duration::from_millis(args.slowlog_ms),
+        slowlog_capacity: args.slowlog_cap.max(1),
     };
     let handle = match Server::start(engine, config) {
         Ok(h) => h,

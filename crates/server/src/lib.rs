@@ -18,6 +18,16 @@
 //!   control (`BUSY` past the connection cap), per-connection read
 //!   timeouts, and graceful shutdown.
 //!
+//! Every request is telemetered end to end: per-verb latency
+//! histograms, bytes-in/out and frame-size counters, and
+//! admission/timeout/protocol-error counters land in the `hrdm-obs`
+//! registry, readable over the wire via the `METRICS` verb (Prometheus
+//! text or JSON) and summarized by `STATS`. Requests slower than
+//! [`ServerConfig::slowlog_threshold`] are captured — with their
+//! rendered `QueryTrace` trees — into a bounded slow-query log served
+//! by the `SLOWLOG` verb. All of it compiles to no-ops (the two verbs
+//! answer `ERR unsupported`) when the `obs` feature is off.
+//!
 //! The `hrdm-serve` binary wires both to a command line:
 //!
 //! ```text
@@ -27,5 +37,5 @@
 pub mod proto;
 pub mod server;
 
-pub use proto::{Client, Reply, Request};
+pub use proto::{Client, MetricsFormat, Reply, Request};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

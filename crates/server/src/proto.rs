@@ -19,8 +19,13 @@
 //! | `QUERY`    | HQL script   | execute; one response per statement    |
 //! | `TRACE`    | HQL script   | execute under a trace; returns the span tree |
 //! | `STATS`    | —            | server + engine counters               |
+//! | `METRICS`  | `PROM`/`JSON` | the whole metrics registry (Prometheus text or JSON) |
+//! | `SLOWLOG`  | optional `N` | the N slowest requests with their trace trees |
 //! | `QUIT`     | —            | close this connection                  |
 //! | `SHUTDOWN` | —            | stop the whole server gracefully       |
+//!
+//! `METRICS` and `SLOWLOG` require a server built with the `obs`
+//! feature; without it they return a stable `ERR unsupported` reply.
 //!
 //! # Replies
 //!
@@ -82,6 +87,15 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
 }
 
+/// Payload variant of the `METRICS` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition (`# HELP`/`# TYPE` + samples).
+    Prometheus,
+    /// The `BENCH_obs.json` machine-readable registry dump.
+    Json,
+}
+
 /// A parsed request frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -93,6 +107,11 @@ pub enum Request {
     Trace(String),
     /// Server and engine counters.
     Stats,
+    /// The whole metrics registry in the requested export format.
+    Metrics(MetricsFormat),
+    /// The slowest requests seen so far (at most `N` when given), each
+    /// with its rendered trace tree.
+    Slowlog(Option<u32>),
     /// Close this connection.
     Quit,
     /// Stop the whole server gracefully.
@@ -111,6 +130,20 @@ impl Request {
             "QUERY" => Ok(Request::Query(rest.to_string())),
             "TRACE" => Ok(Request::Trace(rest.to_string())),
             "STATS" => Ok(Request::Stats),
+            "METRICS" => match rest.trim() {
+                "" | "PROM" => Ok(Request::Metrics(MetricsFormat::Prometheus)),
+                "JSON" => Ok(Request::Metrics(MetricsFormat::Json)),
+                other => Err(format!(
+                    "unknown METRICS format {other:?} (expected PROM or JSON)"
+                )),
+            },
+            "SLOWLOG" => match rest.trim() {
+                "" => Ok(Request::Slowlog(None)),
+                n => n
+                    .parse::<u32>()
+                    .map(|n| Request::Slowlog(Some(n)))
+                    .map_err(|_| format!("SLOWLOG limit {n:?} is not an integer")),
+            },
             "QUIT" => Ok(Request::Quit),
             "SHUTDOWN" => Ok(Request::Shutdown),
             other => Err(format!("unknown verb {other:?}")),
@@ -124,8 +157,27 @@ impl Request {
             Request::Query(script) => format!("QUERY\n{script}"),
             Request::Trace(script) => format!("TRACE\n{script}"),
             Request::Stats => "STATS".into(),
+            Request::Metrics(MetricsFormat::Prometheus) => "METRICS\nPROM".into(),
+            Request::Metrics(MetricsFormat::Json) => "METRICS\nJSON".into(),
+            Request::Slowlog(None) => "SLOWLOG".into(),
+            Request::Slowlog(Some(n)) => format!("SLOWLOG\n{n}"),
             Request::Quit => "QUIT".into(),
             Request::Shutdown => "SHUTDOWN".into(),
+        }
+    }
+
+    /// The wire verb, as a stable label (per-verb latency histograms
+    /// and the slow-query log key on it).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Hello => "HELLO",
+            Request::Query(_) => "QUERY",
+            Request::Trace(_) => "TRACE",
+            Request::Stats => "STATS",
+            Request::Metrics(_) => "METRICS",
+            Request::Slowlog(_) => "SLOWLOG",
+            Request::Quit => "QUIT",
+            Request::Shutdown => "SHUTDOWN",
         }
     }
 }
@@ -222,9 +274,12 @@ impl Client {
 
     /// Connect without the handshake (for protocol-level tests).
     pub fn connect_raw(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
-        Ok(Client {
-            stream: TcpStream::connect(addr)?,
-        })
+        let stream = TcpStream::connect(addr)?;
+        // A request is two small writes (length header, then payload);
+        // without TCP_NODELAY, Nagle holds the second until the peer
+        // ACKs the first, costing tens of milliseconds per round trip.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
     }
 
     /// Send one request frame and read one reply frame.
@@ -255,6 +310,18 @@ impl Client {
     /// Fetch server and engine counters.
     pub fn stats(&mut self) -> io::Result<Reply> {
         self.request(&Request::Stats)
+    }
+
+    /// Fetch the whole metrics registry (`ERR unsupported` from a
+    /// server built without the `obs` feature).
+    pub fn metrics(&mut self, format: MetricsFormat) -> io::Result<Reply> {
+        self.request(&Request::Metrics(format))
+    }
+
+    /// Fetch the slow-query log, optionally limited to the `limit`
+    /// slowest entries (`ERR unsupported` without the `obs` feature).
+    pub fn slowlog(&mut self, limit: Option<u32>) -> io::Result<Reply> {
+        self.request(&Request::Slowlog(limit))
     }
 
     /// Close the connection politely.
@@ -304,12 +371,23 @@ mod tests {
             Request::Query("SHOW R;\nCHECK R;".into()),
             Request::Trace("TRACE UNION A B;".into()),
             Request::Stats,
+            Request::Metrics(MetricsFormat::Prometheus),
+            Request::Metrics(MetricsFormat::Json),
+            Request::Slowlog(None),
+            Request::Slowlog(Some(12)),
             Request::Quit,
             Request::Shutdown,
         ] {
             assert_eq!(Request::parse(&req.render()).unwrap(), req);
         }
         assert!(Request::parse("EXPLODE").is_err());
+        // Bare METRICS defaults to the Prometheus exposition.
+        assert_eq!(
+            Request::parse("METRICS").unwrap(),
+            Request::Metrics(MetricsFormat::Prometheus)
+        );
+        assert!(Request::parse("METRICS\nXML").is_err());
+        assert!(Request::parse("SLOWLOG\nfast").is_err());
     }
 
     #[test]

@@ -11,6 +11,20 @@
 //! therefore byte-identical to executing the same statements against
 //! some serial prefix of the write history.
 //!
+//! # Telemetry
+//!
+//! Every request is instrumented into the `hrdm-obs` registry: a
+//! per-verb latency histogram (`server.latency.<verb>`, p50/p95/p99),
+//! bytes-in/out counters and a frame-size histogram, and counters for
+//! admission (`server.busy`), timeouts, and protocol errors, plus
+//! `server.active_connections` / `server.epoch` gauges. The registry
+//! is readable over the wire via the `METRICS` verb; requests slower
+//! than [`ServerConfig::slowlog_threshold`] are additionally captured
+//! into the process-global slow-query log (`hrdm_obs::slowlog`) with
+//! their rendered trace trees, served by the `SLOWLOG` verb. Without
+//! the `obs` feature both verbs answer a stable `ERR unsupported` and
+//! the instrumentation compiles out.
+//!
 //! Shutdown is graceful: the flag flips, a self-connection wakes the
 //! accept loop, and every connection thread is joined before
 //! [`ServerHandle::wait`]/[`ServerHandle::shutdown`] return.
@@ -18,13 +32,15 @@
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hrdm::prelude::Engine;
+use hrdm_obs::metrics::{self, Counter, Gauge, Histogram};
+use hrdm_obs::trace::fmt_ns;
 
-use crate::proto::{read_frame, write_frame, Reply, Request, PROTOCOL_VERSION};
+use crate::proto::{read_frame, write_frame, MetricsFormat, Reply, Request, PROTOCOL_VERSION};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -36,6 +52,14 @@ pub struct ServerConfig {
     /// Per-connection read timeout; an idle connection is sent
     /// `ERR timeout` and closed.
     pub read_timeout: Duration,
+    /// `QUERY`/`TRACE` requests at least this slow are captured into
+    /// the process-global slow-query log with their rendered trace
+    /// trees (`Duration::ZERO` captures every request). Only servers
+    /// built with the `obs` feature capture anything.
+    pub slowlog_threshold: Duration,
+    /// Bound on resident slow-log entries; the log keeps the N
+    /// *slowest* requests, not the N most recent.
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +68,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             max_connections: 64,
             read_timeout: Duration::from_secs(30),
+            slowlog_threshold: Duration::from_millis(100),
+            slowlog_capacity: hrdm_obs::slowlog::DEFAULT_CAPACITY,
         }
     }
 }
@@ -59,6 +85,83 @@ pub struct ServerStats {
     pub queries: AtomicU64,
     /// Requests answered with an `ERR` reply.
     pub errors: AtomicU64,
+    /// Connections closed by the read timeout.
+    pub timeouts: AtomicU64,
+    /// Malformed frames / unknown verbs / handshake violations.
+    pub protocol_errors: AtomicU64,
+    /// Request bytes read off the wire (frame headers included).
+    pub bytes_in: AtomicU64,
+    /// Reply bytes written to the wire (frame headers included).
+    pub bytes_out: AtomicU64,
+}
+
+/// Registry-backed server metrics, resolved once per process. The same
+/// series back every server instance (like the engine's own metrics),
+/// so `metrics::reset_all` / the bench fixtures reset them all at once.
+struct ServerObs {
+    accept: Counter,
+    busy: Counter,
+    requests: Counter,
+    query: Counter,
+    query_error: Counter,
+    timeout: Counter,
+    protocol_error: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    frame_bytes: Histogram,
+    slow_recorded: Counter,
+    active: Gauge,
+    epoch: Gauge,
+    lat_hello: Histogram,
+    lat_query: Histogram,
+    lat_trace: Histogram,
+    lat_stats: Histogram,
+    lat_metrics: Histogram,
+    lat_slowlog: Histogram,
+    lat_quit: Histogram,
+    lat_shutdown: Histogram,
+}
+
+fn server_obs() -> &'static ServerObs {
+    static OBS: OnceLock<ServerObs> = OnceLock::new();
+    OBS.get_or_init(|| ServerObs {
+        accept: metrics::counter("server.accept"),
+        busy: metrics::counter("server.busy"),
+        requests: metrics::counter("server.requests"),
+        query: metrics::counter("server.query"),
+        query_error: metrics::counter("server.query_error"),
+        timeout: metrics::counter("server.timeout"),
+        protocol_error: metrics::counter("server.protocol_error"),
+        bytes_in: metrics::counter("server.bytes_in"),
+        bytes_out: metrics::counter("server.bytes_out"),
+        frame_bytes: metrics::histogram("server.frame_bytes"),
+        slow_recorded: metrics::counter("server.slowlog.recorded"),
+        active: metrics::gauge("server.active_connections"),
+        epoch: metrics::gauge("server.epoch"),
+        lat_hello: metrics::histogram("server.latency.hello"),
+        lat_query: metrics::histogram("server.latency.query"),
+        lat_trace: metrics::histogram("server.latency.trace"),
+        lat_stats: metrics::histogram("server.latency.stats"),
+        lat_metrics: metrics::histogram("server.latency.metrics"),
+        lat_slowlog: metrics::histogram("server.latency.slowlog"),
+        lat_quit: metrics::histogram("server.latency.quit"),
+        lat_shutdown: metrics::histogram("server.latency.shutdown"),
+    })
+}
+
+impl ServerObs {
+    fn latency_of(&self, request: &Request) -> &Histogram {
+        match request {
+            Request::Hello => &self.lat_hello,
+            Request::Query(_) => &self.lat_query,
+            Request::Trace(_) => &self.lat_trace,
+            Request::Stats => &self.lat_stats,
+            Request::Metrics(_) => &self.lat_metrics,
+            Request::Slowlog(_) => &self.lat_slowlog,
+            Request::Quit => &self.lat_quit,
+            Request::Shutdown => &self.lat_shutdown,
+        }
+    }
 }
 
 struct Shared {
@@ -85,6 +188,7 @@ impl Server {
     pub fn start(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        hrdm_obs::slowlog::set_capacity(config.slowlog_capacity);
         let shared = Arc::new(Shared {
             engine,
             config,
@@ -178,23 +282,25 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             break;
         }
         shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-        hrdm_obs::metrics::counter("server.accept").incr();
+        server_obs().accept.incr();
         // Admission control: reply BUSY instead of queueing unboundedly.
         // Drain the client's opening frame before replying so closing
         // the socket doesn't RST away the BUSY reply, and do it off the
         // accept thread so a silent client can't stall admission.
         if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
             shared.stats.busy_rejected.fetch_add(1, Ordering::Relaxed);
-            hrdm_obs::metrics::counter("server.busy").incr();
+            server_obs().busy.incr();
+            let busy_shared = shared.clone();
             let reject = std::thread::Builder::new()
                 .name("hrdm-busy".into())
                 .spawn(move || {
                     let mut stream = stream;
                     let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
                     let _ = read_frame(&mut stream);
-                    let _ = write_frame(
+                    let _ = reply_to(
                         &mut stream,
-                        &Reply::Busy("server at connection capacity; retry later".into()).render(),
+                        &busy_shared,
+                        &Reply::Busy("server at connection capacity; retry later".into()),
                     );
                 });
             if let Ok(h) = reject {
@@ -202,36 +308,65 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             }
             continue;
         }
-        shared.active.fetch_add(1, Ordering::SeqCst);
+        let now_active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+        server_obs().active.set(now_active as u64);
         let conn_shared = shared.clone();
         let handle = std::thread::Builder::new()
             .name("hrdm-conn".into())
             .spawn(move || {
                 handle_connection(stream, &conn_shared);
-                conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                let left = conn_shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+                server_obs().active.set(left as u64);
             });
         match handle {
             Ok(h) => shared.conns.lock().expect("conns lock poisoned").push(h),
             Err(_) => {
-                shared.active.fetch_sub(1, Ordering::SeqCst);
+                let left = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+                server_obs().active.set(left as u64);
             }
         }
     }
 }
 
-fn reply_to(stream: &mut TcpStream, reply: &Reply) -> io::Result<()> {
-    write_frame(stream, &reply.render())
+/// Render and write one reply, accounting the bytes that left the wire
+/// (4-byte frame header included).
+fn reply_to(stream: &mut TcpStream, shared: &Shared, reply: &Reply) -> io::Result<()> {
+    let payload = reply.render();
+    shared
+        .stats
+        .bytes_out
+        .fetch_add(4 + payload.len() as u64, Ordering::Relaxed);
+    server_obs().bytes_out.add(4 + payload.len() as u64);
+    write_frame(stream, &payload)
+}
+
+/// What the connection loop does after a reply is written.
+enum After {
+    Continue,
+    Close,
+    Shutdown,
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    // Replies are two small writes (length header, then payload);
+    // without TCP_NODELAY, Nagle holds the payload until the client
+    // ACKs the header — tens of milliseconds per request.
+    let _ = stream.set_nodelay(true);
+    let obs = server_obs();
     let mut greeted = false;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let frame = match read_frame(&mut stream) {
-            Ok(Some(frame)) => frame,
+            Ok(Some(frame)) => {
+                let wire_len = 4 + frame.len() as u64;
+                shared.stats.bytes_in.fetch_add(wire_len, Ordering::Relaxed);
+                obs.bytes_in.add(wire_len);
+                obs.frame_bytes.observe_ns(frame.len() as u64);
+                frame
+            }
             Ok(None) => break, // clean EOF
             Err(e)
                 if matches!(
@@ -240,8 +375,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 ) =>
             {
                 shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                obs.timeout.incr();
                 let _ = reply_to(
                     &mut stream,
+                    shared,
                     &Reply::Err {
                         kind: "timeout".into(),
                         message: format!(
@@ -254,8 +392,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                obs.protocol_error.incr();
                 let _ = reply_to(
                     &mut stream,
+                    shared,
                     &Reply::Err {
                         kind: "protocol".into(),
                         message: e.to_string(),
@@ -269,8 +410,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             Ok(r) => r,
             Err(msg) => {
                 shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                obs.protocol_error.incr();
                 let _ = reply_to(
                     &mut stream,
+                    shared,
                     &Reply::Err {
                         kind: "protocol".into(),
                         message: msg,
@@ -279,49 +423,45 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 continue;
             }
         };
-        if !greeted {
+        if !greeted && !matches!(request, Request::Hello) {
             // HELLO must come first; anything else is a protocol error
             // that closes the connection.
-            match request {
-                Request::Hello => {
-                    greeted = true;
-                    let _ = reply_to(&mut stream, &Reply::Ok(vec![PROTOCOL_VERSION.into()]));
-                    continue;
-                }
-                _ => {
-                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = reply_to(
-                        &mut stream,
-                        &Reply::Err {
-                            kind: "protocol".into(),
-                            message: "expected HELLO as the first request".into(),
-                        },
-                    );
-                    break;
-                }
-            }
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            obs.protocol_error.incr();
+            let _ = reply_to(
+                &mut stream,
+                shared,
+                &Reply::Err {
+                    kind: "protocol".into(),
+                    message: "expected HELLO as the first request".into(),
+                },
+            );
+            break;
         }
-        match request {
+        let started = Instant::now();
+        let (reply, after) = match request {
             Request::Hello => {
-                let _ = reply_to(&mut stream, &Reply::Ok(vec![PROTOCOL_VERSION.into()]));
+                greeted = true;
+                (Reply::Ok(vec![PROTOCOL_VERSION.into()]), After::Continue)
             }
-            Request::Query(script) => {
-                let reply = run_query(&shared.engine, &shared.stats, &script);
-                let _ = reply_to(&mut stream, &reply);
-            }
-            Request::Trace(script) => {
-                let reply = run_trace(&shared.engine, &shared.stats, &script);
-                let _ = reply_to(&mut stream, &reply);
-            }
-            Request::Stats => {
-                let _ = reply_to(&mut stream, &Reply::Ok(vec![render_stats(shared)]));
-            }
-            Request::Quit => {
-                let _ = reply_to(&mut stream, &Reply::Ok(vec!["bye".into()]));
-                break;
-            }
-            Request::Shutdown => {
-                let _ = reply_to(&mut stream, &Reply::Ok(vec!["shutting down".into()]));
+            Request::Query(ref script) => (run_script(shared, script, false), After::Continue),
+            Request::Trace(ref script) => (run_script(shared, script, true), After::Continue),
+            Request::Stats => (Reply::Ok(vec![render_stats(shared)]), After::Continue),
+            Request::Metrics(format) => (run_metrics(format), After::Continue),
+            Request::Slowlog(limit) => (run_slowlog(limit), After::Continue),
+            Request::Quit => (Reply::Ok(vec!["bye".into()]), After::Close),
+            Request::Shutdown => (Reply::Ok(vec!["shutting down".into()]), After::Shutdown),
+        };
+        obs.requests.incr();
+        obs.latency_of(&request)
+            .observe_ns(started.elapsed().as_nanos() as u64);
+        obs.epoch.set(shared.engine.epoch());
+        let _ = reply_to(&mut stream, shared, &reply);
+        match after {
+            After::Continue => {}
+            After::Close => break,
+            After::Shutdown => {
                 trigger_shutdown(shared);
                 break;
             }
@@ -330,18 +470,47 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn run_query(engine: &Engine, stats: &ServerStats, script: &str) -> Reply {
-    let mut span = hrdm_obs::span!("server.query");
-    span.field_u64("bytes", script.len() as u64);
-    match engine.execute(script) {
+/// Execute a script, recording query counters and — when the request
+/// lands at or beyond the slow-log threshold — its rendered trace tree
+/// into the process-global slow-query log. With `traced` the trace is
+/// also appended to the reply (the `TRACE` verb contract).
+fn run_script(shared: &Shared, script: &str, traced: bool) -> Reply {
+    let obs = server_obs();
+    let started = Instant::now();
+    // Capture spans whenever the trace can be consumed: always for
+    // TRACE, and for QUERY when an obs build may feed the slow log.
+    let capture = traced || cfg!(feature = "obs");
+    let (result, trace) = if capture {
+        hrdm_obs::trace::capture("server.query", || shared.engine.execute(script))
+    } else {
+        (shared.engine.execute(script), hrdm_obs::QueryTrace::empty())
+    };
+    let wall = started.elapsed();
+    if cfg!(feature = "obs") && wall >= shared.config.slowlog_threshold {
+        let verb = if traced { "TRACE" } else { "QUERY" };
+        if hrdm_obs::slowlog::record(
+            verb,
+            script,
+            wall.as_nanos() as u64,
+            shared.engine.epoch(),
+            trace.render(),
+        ) {
+            obs.slow_recorded.incr();
+        }
+    }
+    match result {
         Ok(responses) => {
-            stats.queries.fetch_add(1, Ordering::Relaxed);
-            hrdm_obs::metrics::counter("server.query").incr();
-            Reply::Ok(responses.iter().map(ToString::to_string).collect())
+            shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+            obs.query.incr();
+            let mut parts: Vec<String> = responses.iter().map(ToString::to_string).collect();
+            if traced {
+                parts.push(trace.render());
+            }
+            Reply::Ok(parts)
         }
         Err(e) => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
-            hrdm_obs::metrics::counter("server.query_error").incr();
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            obs.query_error.incr();
             Reply::Err {
                 kind: e.kind().to_string(),
                 message: e.to_string(),
@@ -350,35 +519,67 @@ fn run_query(engine: &Engine, stats: &ServerStats, script: &str) -> Reply {
     }
 }
 
-fn run_trace(engine: &Engine, stats: &ServerStats, script: &str) -> Reply {
-    let (result, trace) = hrdm_obs::trace::capture("server.query", || engine.execute(script));
-    match result {
-        Ok(responses) => {
-            stats.queries.fetch_add(1, Ordering::Relaxed);
-            hrdm_obs::metrics::counter("server.query").incr();
-            let mut parts: Vec<String> = responses.iter().map(ToString::to_string).collect();
-            parts.push(trace.render());
-            Reply::Ok(parts)
-        }
-        Err(e) => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
-            hrdm_obs::metrics::counter("server.query_error").incr();
-            Reply::Err {
-                kind: e.kind().to_string(),
-                message: e.to_string(),
-            }
-        }
+fn unsupported(verb: &str) -> Reply {
+    Reply::Err {
+        kind: "unsupported".into(),
+        message: format!("{verb} requires a server built with the obs feature"),
     }
+}
+
+fn run_metrics(format: MetricsFormat) -> Reply {
+    if !cfg!(feature = "obs") {
+        return unsupported("METRICS");
+    }
+    let body = match format {
+        MetricsFormat::Prometheus => metrics::render_prometheus(),
+        MetricsFormat::Json => metrics::export_json("server"),
+    };
+    Reply::Ok(vec![body])
+}
+
+fn run_slowlog(limit: Option<u32>) -> Reply {
+    if !cfg!(feature = "obs") {
+        return unsupported("SLOWLOG");
+    }
+    let mut entries = hrdm_obs::slowlog::entries();
+    if let Some(n) = limit {
+        entries.truncate(n as usize);
+    }
+    let parts = entries
+        .iter()
+        .enumerate()
+        .map(|(rank, e)| {
+            format!(
+                "#{} {} {} epoch={} seq={}\n{}\n{}",
+                rank + 1,
+                e.verb,
+                fmt_ns(e.wall_ns),
+                e.epoch,
+                e.seq,
+                e.preview,
+                e.trace
+            )
+        })
+        .collect();
+    Reply::Ok(parts)
 }
 
 fn render_stats(shared: &Shared) -> String {
     format!(
-        "epoch: {}\naccepted: {}\nactive: {}\nbusy-rejected: {}\nqueries: {}\nerrors: {}",
+        "epoch: {}\naccepted: {}\nactive: {}\nbusy-rejected: {}\nqueries: {}\nerrors: {}\n\
+         timeouts: {}\nprotocol-errors: {}\nbytes-in: {}\nbytes-out: {}\n\
+         slowlog-entries: {}\nslowlog-threshold-ms: {}",
         shared.engine.epoch(),
         shared.stats.accepted.load(Ordering::Relaxed),
         shared.active.load(Ordering::SeqCst),
         shared.stats.busy_rejected.load(Ordering::Relaxed),
         shared.stats.queries.load(Ordering::Relaxed),
         shared.stats.errors.load(Ordering::Relaxed),
+        shared.stats.timeouts.load(Ordering::Relaxed),
+        shared.stats.protocol_errors.load(Ordering::Relaxed),
+        shared.stats.bytes_in.load(Ordering::Relaxed),
+        shared.stats.bytes_out.load(Ordering::Relaxed),
+        hrdm_obs::slowlog::len(),
+        shared.config.slowlog_threshold.as_millis(),
     )
 }

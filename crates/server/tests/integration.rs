@@ -10,16 +10,17 @@ use hrdm::prelude::{Engine, Session};
 use hrdm_server::proto::{read_frame, write_frame, PROTOCOL_VERSION};
 use hrdm_server::{Client, Reply, Request, Server, ServerConfig, ServerHandle};
 
+fn start_with(config: ServerConfig) -> ServerHandle {
+    Server::start(Engine::new(), config).expect("bind 127.0.0.1:0")
+}
+
 fn start(max_connections: usize, read_timeout: Duration) -> ServerHandle {
-    Server::start(
-        Engine::new(),
-        ServerConfig {
-            addr: "127.0.0.1:0".into(),
-            max_connections,
-            read_timeout,
-        },
-    )
-    .expect("bind 127.0.0.1:0")
+    start_with(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_connections,
+        read_timeout,
+        ..ServerConfig::default()
+    })
 }
 
 #[test]
@@ -99,11 +100,21 @@ fn trace_replies_carry_the_span_tree() {
     match client.trace("CHECK R;").unwrap() {
         Reply::Ok(parts) => {
             assert!(parts.len() >= 2, "response parts plus the trace");
-            assert!(
-                parts.last().unwrap().contains("server.query"),
-                "trace names the root span: {:?}",
-                parts.last().unwrap()
-            );
+            if cfg!(feature = "obs") {
+                assert!(
+                    parts.last().unwrap().contains("server.query"),
+                    "trace names the root span: {:?}",
+                    parts.last().unwrap()
+                );
+            } else {
+                // Without obs the capture is inert: the trace part is
+                // present (the verb's contract) but carries no spans.
+                assert!(
+                    parts.last().unwrap().contains("(empty trace)"),
+                    "{:?}",
+                    parts.last().unwrap()
+                );
+            }
         }
         other => panic!("expected OK, got {other:?}"),
     }
@@ -122,6 +133,29 @@ fn stats_report_epoch_and_counters() {
             assert!(body.contains("epoch: 1"), "one write published: {body}");
             assert!(body.contains("queries: 1"), "{body}");
             assert!(body.contains("active: 1"), "{body}");
+            // The enriched telemetry lines are always present, even in
+            // obs-off builds (they come from per-server atomics).
+            for line in [
+                "timeouts: ",
+                "protocol-errors: ",
+                "bytes-in: ",
+                "bytes-out: ",
+                "slowlog-entries: ",
+                "slowlog-threshold-ms: ",
+            ] {
+                assert!(body.contains(line), "missing {line:?} in {body}");
+            }
+            // Both directions of the wire have moved bytes by now.
+            let field = |name: &str| -> u64 {
+                body.lines()
+                    .find_map(|l| l.strip_prefix(name))
+                    .unwrap_or_else(|| panic!("no {name:?} line in {body}"))
+                    .trim()
+                    .parse()
+                    .expect("numeric stats field")
+            };
+            assert!(field("bytes-in:") > 0, "{body}");
+            assert!(field("bytes-out:") > 0, "{body}");
         }
         other => panic!("expected OK, got {other:?}"),
     }
@@ -184,6 +218,14 @@ fn idle_connections_time_out_with_a_stable_kind() {
         None,
         "then the connection closes"
     );
+    assert_eq!(
+        handle
+            .stats()
+            .timeouts
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "the timeout is counted"
+    );
     handle.shutdown();
 }
 
@@ -221,6 +263,155 @@ fn unknown_verbs_are_protocol_errors_but_keep_the_connection() {
     }
     // Still greeted, still serving.
     assert!(client.query("CREATE DOMAIN D;").unwrap().is_ok());
+    assert!(
+        handle
+            .stats()
+            .protocol_errors
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "the protocol error is counted"
+    );
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Pull one counter's value out of the `METRICS JSON` body without a
+/// JSON parser: the exporter's layout is stable
+/// (`"name":{"type":"counter","value":N}`).
+#[cfg(feature = "obs")]
+fn json_counter(body: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":{{\"type\":\"counter\",\"value\":");
+    let at = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no counter {name:?} in {body}"));
+    body[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+/// The acceptance criterion for the serving tier: `METRICS` output
+/// reflects the requests actually served — counters visibly increase
+/// across a scripted session. The registry is process-global and other
+/// tests run in parallel, so assertions are monotone (`after >= before
+/// + n`), never exact.
+#[cfg(feature = "obs")]
+#[test]
+fn metrics_over_the_wire_reflect_requests_actually_served() {
+    use hrdm_server::MetricsFormat;
+
+    let handle = start(8, Duration::from_secs(5));
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let before = match client.metrics(MetricsFormat::Json).unwrap() {
+        Reply::Ok(parts) => parts.join(""),
+        other => panic!("expected OK, got {other:?}"),
+    };
+    assert!(before.contains("\"label\":\"server\""), "{before}");
+    assert!(client.query("CREATE DOMAIN MetricsD;").unwrap().is_ok());
+    assert!(client
+        .query("CREATE CLASS MetricsC UNDER MetricsD;")
+        .unwrap()
+        .is_ok());
+    client.stats().unwrap();
+    let after = match client.metrics(MetricsFormat::Json).unwrap() {
+        Reply::Ok(parts) => parts.join(""),
+        other => panic!("expected OK, got {other:?}"),
+    };
+    // Between the two scrapes this session issued 2 QUERYs, a STATS,
+    // and the second METRICS itself: at least 4 more requests, at
+    // least 2 more queries.
+    assert!(
+        json_counter(&after, "server.requests") >= json_counter(&before, "server.requests") + 4,
+        "requests must advance: {before} -> {after}"
+    );
+    assert!(
+        json_counter(&after, "server.query") >= json_counter(&before, "server.query") + 2,
+        "queries must advance: {before} -> {after}"
+    );
+    assert!(
+        json_counter(&after, "server.bytes_in") > json_counter(&before, "server.bytes_in"),
+        "bytes flowed in"
+    );
+
+    // The Prometheus variant of the same registry, with exposition
+    // metadata for every series.
+    let prom = match client.metrics(MetricsFormat::Prometheus).unwrap() {
+        Reply::Ok(parts) => parts.join(""),
+        other => panic!("expected OK, got {other:?}"),
+    };
+    assert!(
+        prom.contains("# TYPE hrdm_server_requests counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("# HELP hrdm_server_requests "), "{prom}");
+    assert!(
+        prom.contains("# TYPE hrdm_server_latency_query summary"),
+        "per-verb latency series present: {prom}"
+    );
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn slowlog_captures_slow_requests_with_their_trace_trees() {
+    let handle = start_with(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        // Threshold zero: every request qualifies as slow.
+        slowlog_threshold: Duration::ZERO,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // A distinctive marker so this test finds its own entry even while
+    // parallel tests share the process-global log.
+    let marker = "SlowlogMarkerDomain";
+    client.query(&format!("CREATE DOMAIN {marker};")).unwrap();
+    let parts = match client.slowlog(None).unwrap() {
+        Reply::Ok(parts) => parts,
+        other => panic!("expected OK, got {other:?}"),
+    };
+    let mine = parts
+        .iter()
+        .find(|p| p.contains(marker))
+        .unwrap_or_else(|| panic!("no slowlog entry mentions {marker}: {parts:?}"));
+    assert!(mine.contains("QUERY"), "verb recorded: {mine}");
+    assert!(mine.contains("epoch="), "epoch recorded: {mine}");
+    assert!(
+        mine.contains("server.query"),
+        "the rendered trace tree rides along: {mine}"
+    );
+    // A limit of zero is honoured.
+    assert_eq!(client.slowlog(Some(0)).unwrap(), Reply::Ok(vec![]));
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Without the obs feature the new verbs answer a stable
+/// `ERR unsupported` — and the connection keeps serving queries.
+#[cfg(not(feature = "obs"))]
+#[test]
+fn metrics_and_slowlog_are_cleanly_unsupported_without_obs() {
+    use hrdm_server::MetricsFormat;
+
+    let handle = start(8, Duration::from_secs(5));
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match client.metrics(MetricsFormat::Prometheus).unwrap() {
+        Reply::Err { kind, message } => {
+            assert_eq!(kind, "unsupported");
+            assert!(message.contains("obs"), "{message}");
+        }
+        other => panic!("expected ERR unsupported, got {other:?}"),
+    }
+    match client.slowlog(None).unwrap() {
+        Reply::Err { kind, .. } => assert_eq!(kind, "unsupported"),
+        other => panic!("expected ERR unsupported, got {other:?}"),
+    }
+    assert!(
+        client.query("CREATE DOMAIN D;").unwrap().is_ok(),
+        "the connection keeps serving"
+    );
     client.quit().unwrap();
     handle.shutdown();
 }

@@ -1,0 +1,101 @@
+//! Property tests for the `HRDM/1` wire protocol: every renderable
+//! request and reply — including the `METRICS`/`SLOWLOG` telemetry
+//! verbs — must survive render → parse unchanged, and frames must
+//! survive write → read byte-for-byte.
+
+use proptest::prelude::*;
+
+use hrdm_server::proto::{read_frame, write_frame};
+use hrdm_server::{MetricsFormat, Reply, Request};
+
+/// HQL-ish script bodies, plus hostile shapes: empty, blank lines,
+/// embedded newlines, leading whitespace, unicode.
+fn arb_script() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9_ ;(),:.]{0,60}",
+        "[a-zA-Z ;]{0,20}\n[a-zA-Z ;]{0,20}\n\n[a-zA-Z ;]{0,20}",
+        Just(String::new()),
+        Just("\n".to_string()),
+        Just("  SHOW Flies;  ".to_string()),
+        Just("ASSERT Vole (\"Amazing Flying Penguin\");".to_string()),
+        Just("über — ünïcode ☃".to_string()),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Hello),
+        arb_script().prop_map(Request::Query),
+        arb_script().prop_map(Request::Trace),
+        Just(Request::Stats),
+        Just(Request::Metrics(MetricsFormat::Prometheus)),
+        Just(Request::Metrics(MetricsFormat::Json)),
+        Just(Request::Slowlog(None)),
+        any::<u32>().prop_map(|n| Request::Slowlog(Some(n))),
+        Just(Request::Quit),
+        Just(Request::Shutdown),
+    ]
+}
+
+/// Reply body parts: anything printable except the record separator
+/// (`RESPONSE_SEP` is reserved by the protocol and cannot appear in
+/// rendered responses). Newlines inside parts are legal and must
+/// survive.
+fn arb_part() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9_ |:=.,-]{0,40}",
+        "[a-zA-Z ]{0,12}\n[a-zA-Z ]{0,12}",
+        Just("(empty trace)".to_string()),
+        Just(String::new()),
+    ]
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        // NB: `Reply::Ok(vec![])` and `Reply::Ok(vec![""])` render
+        // distinctly ("OK" vs "OK\n") — both shapes are generated.
+        prop::collection::vec(arb_part(), 0..4).prop_map(Reply::Ok),
+        ("[a-z-]{1,12}", arb_part()).prop_map(|(kind, message)| Reply::Err { kind, message }),
+        arb_part().prop_map(Reply::Busy),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_render_then_parse_unchanged(req in arb_request()) {
+        let rendered = req.render();
+        let parsed = Request::parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered {rendered:?} failed to parse: {e}"));
+        prop_assert_eq!(parsed, req, "rendered {}", rendered);
+    }
+
+    #[test]
+    fn replies_render_then_parse_unchanged(reply in arb_reply()) {
+        let rendered = reply.render();
+        let parsed = Reply::parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered {rendered:?} failed to parse: {e}"));
+        prop_assert_eq!(parsed, reply, "rendered {}", rendered);
+    }
+
+    #[test]
+    fn frames_write_then_read_byte_identical(payloads in prop::collection::vec(arb_script(), 1..5)) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).expect("within MAX_FRAME");
+        }
+        let mut r = buf.as_slice();
+        for p in &payloads {
+            let got = read_frame(&mut r).expect("readable");
+            prop_assert_eq!(got.as_deref(), Some(p.as_str()));
+        }
+        prop_assert_eq!(read_frame(&mut r).expect("clean EOF"), None);
+    }
+
+    #[test]
+    fn request_verbs_are_stable_across_a_round_trip(req in arb_request()) {
+        let parsed = Request::parse(&req.render()).expect("round-trips");
+        prop_assert_eq!(parsed.verb(), req.verb());
+    }
+}

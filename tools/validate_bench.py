@@ -23,6 +23,11 @@ Two layers of checking, dispatched on the artifact's "label" field:
      inflates full recomputation (per-update cost tracks the delta, not
      the catalog). The published delta must stay small (row-level, not
      a wholesale reset).
+   * server — the serving-tier load harness completed every request in
+     every phase with zero errors, percentiles are ordered and nonzero
+     (p50 <= p95 <= p99), throughput is positive, and the server-side
+     counters moved (queries served, bytes in both directions, epochs
+     published by the write phase).
 
 A regression in either layer fails CI here rather than silently
 shipping a slower engine.
@@ -110,7 +115,55 @@ def gate_ivm(path, doc):
     return ok
 
 
-GATES = {"columnar": gate_columnar, "ivm": gate_ivm}
+SERVER_PHASES = ("writes", "closed", "rate")
+
+
+def gate_server(path, doc):
+    ok = True
+    for name in SERVER_PHASES:
+        phase = doc["phases"][name]
+        if phase["requests"] < 1:
+            print(f"{path}: {name}: zero completed requests", file=sys.stderr)
+            ok = False
+            continue
+        if phase["errors"]:
+            print(f"{path}: {name}: {phase['errors']} request errors", file=sys.stderr)
+            ok = False
+        p50, p95, p99 = phase["p50_ns"], phase["p95_ns"], phase["p99_ns"]
+        if not (0 < p50 <= p95 <= p99):
+            print(
+                f"{path}: {name}: percentiles are missing or unordered "
+                f"(p50={p50} p95={p95} p99={p99})",
+                file=sys.stderr,
+            )
+            ok = False
+        if phase["throughput_rps"] <= 0:
+            print(f"{path}: {name}: nonpositive throughput", file=sys.stderr)
+            ok = False
+        if ok:
+            print(
+                f"{path}: {name}: ok ({phase['requests']} requests, "
+                f"{phase['throughput_rps']:.0f} rps, p50 {p50} ns, p99 {p99} ns)"
+            )
+    server = doc["server"]
+    total = sum(doc["phases"][n]["requests"] for n in SERVER_PHASES)
+    if server["queries"] < total:
+        print(
+            f"{path}: server counted {server['queries']} queries but the "
+            f"harness completed {total}",
+            file=sys.stderr,
+        )
+        ok = False
+    if server["bytes_in"] < 1 or server["bytes_out"] < 1:
+        print(f"{path}: no bytes accounted on the wire", file=sys.stderr)
+        ok = False
+    if server["epoch"] < 1:
+        print(f"{path}: the write phase published no epochs", file=sys.stderr)
+        ok = False
+    return ok
+
+
+GATES = {"columnar": gate_columnar, "ivm": gate_ivm, "server": gate_server}
 
 
 def validate(path, schema_path):
