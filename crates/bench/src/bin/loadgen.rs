@@ -12,6 +12,12 @@
 //! 3. **rate** — requests are released on a fixed schedule and latency
 //!    is measured from the *scheduled* send time, so queueing delay
 //!    under an offered load shows up in the percentiles.
+//! 4. **pipeline** — a depth sweep: every client keeps `depth`
+//!    requests in flight on one connection ([`Client::pipeline`]),
+//!    measuring how request pipelining trades per-burst latency for
+//!    throughput. Each sweep point reports total requests, burst
+//!    round-trip percentiles, and throughput; the validator requires
+//!    deep pipelining (depth >= 8) to beat depth 1 on throughput.
 //!
 //! Each phase reports throughput and exact (sorted-sample) p50/p95/p99
 //! latency; the trailer reports the server-side counter deltas — the
@@ -30,7 +36,11 @@ use hrdm_bench::fixtures::{
     clear_shared_caches, serving_bootstrap, serving_queries, serving_writes,
 };
 use hrdm_hql::Engine;
-use hrdm_server::{Client, MetricsFormat, Reply, Server, ServerConfig};
+use hrdm_server::{Client, MetricsFormat, Reply, Request, Server, ServerConfig};
+
+/// The pipelining sweep: depth 1 is the closed-loop baseline on the
+/// same code path, the deeper points show the latency/throughput trade.
+const PIPELINE_DEPTHS: [usize; 3] = [1, 8, 32];
 
 struct Args {
     clients: usize,
@@ -140,6 +150,103 @@ impl Phase {
 
 fn expect_ok(reply: &Reply, what: &str) {
     assert!(reply.is_ok(), "{what} must succeed, got {reply:?}");
+}
+
+/// One point of the pipelining depth sweep. Latency samples are
+/// per-*burst* round-trips (send `depth` requests, read `depth`
+/// replies), so the depth-1 point is directly comparable to the closed
+/// phase while deeper points measure the amortized batch.
+struct PipelinePoint {
+    depth: usize,
+    requests: u64,
+    errors: u64,
+    burst_ns: Vec<u64>,
+    wall: Duration,
+}
+
+impl PipelinePoint {
+    fn percentile_ns(&self, q: f64) -> u64 {
+        if self.burst_ns.is_empty() {
+            return 0;
+        }
+        let rank = ((q * (self.burst_ns.len() - 1) as f64).round()) as usize;
+        self.burst_ns[rank.min(self.burst_ns.len() - 1)]
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"depth\": {}, \"requests\": {}, \"errors\": {}, \"wall_ns\": {}, \
+             \"throughput_rps\": {:.2}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+            self.depth,
+            self.requests,
+            self.errors,
+            self.wall.as_nanos(),
+            self.throughput_rps(),
+            self.percentile_ns(0.50),
+            self.percentile_ns(0.95),
+            self.percentile_ns(0.99),
+        )
+    }
+}
+
+/// Phase 4 (one sweep point): M clients, each keeping `depth` requests
+/// in flight on a single connection.
+fn run_pipeline(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: usize,
+    depth: usize,
+) -> PipelinePoint {
+    let queries = serving_queries();
+    let bursts = requests.div_ceil(depth);
+    let started = Instant::now();
+    let per_client: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let queries = &queries;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let mut burst_ns = Vec::with_capacity(bursts);
+                    for b in 0..bursts {
+                        let burst: Vec<Request> = (0..depth)
+                            .map(|k| {
+                                Request::Query(
+                                    queries[(c + b * depth + k) % queries.len()].to_string(),
+                                )
+                            })
+                            .collect();
+                        let t = Instant::now();
+                        let replies = client.pipeline(&burst).expect("burst round-trips");
+                        burst_ns.push(t.elapsed().as_nanos() as u64);
+                        assert_eq!(replies.len(), depth, "a reply per request, in order");
+                        for (reply, request) in replies.iter().zip(&burst) {
+                            expect_ok(reply, &request.render());
+                        }
+                    }
+                    client.quit().expect("client quits");
+                    burst_ns
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut burst_ns = per_client.concat();
+    burst_ns.sort_unstable();
+    PipelinePoint {
+        depth,
+        requests: (clients * bursts * depth) as u64,
+        errors: 0,
+        burst_ns,
+        wall,
+    }
 }
 
 /// Phase 1: replay the serving write mix through one connection.
@@ -268,6 +375,10 @@ fn main() {
     let writes = run_writes(addr);
     let closed = run_closed(addr, args.clients, args.requests);
     let rate = run_rate(addr, args.clients, args.requests, args.rate_rps);
+    let pipeline: Vec<PipelinePoint> = PIPELINE_DEPTHS
+        .iter()
+        .map(|&depth| run_pipeline(addr, args.clients, args.requests, depth))
+        .collect();
 
     // Drive the telemetry verbs over the wire as part of the workload:
     // obs builds must serve them, obs-off builds must refuse them with
@@ -319,6 +430,18 @@ fn main() {
             hrdm_obs::trace::fmt_ns(p.percentile_ns(0.99)),
         );
     }
+    for p in &pipeline {
+        println!(
+            "{:>7} {:>9} {:>7} {:>12.1} {:>11} {:>11} {:>11}",
+            format!("pipe@{}", p.depth),
+            p.requests,
+            p.errors,
+            p.throughput_rps(),
+            hrdm_obs::trace::fmt_ns(p.percentile_ns(0.50)),
+            hrdm_obs::trace::fmt_ns(p.percentile_ns(0.95)),
+            hrdm_obs::trace::fmt_ns(p.percentile_ns(0.99)),
+        );
+    }
     println!(
         "\nserver: {} queries, {} bytes in, {} bytes out, {} slowlog entries over the wire",
         stats.queries.load(Ordering::Relaxed),
@@ -347,6 +470,15 @@ fn main() {
         ));
     }
     json.push_str("  },\n");
+    json.push_str("  \"pipeline\": [\n");
+    for (k, p) in pipeline.iter().enumerate() {
+        json.push_str(&format!(
+            "    {}{}\n",
+            p.to_json(),
+            if k + 1 < pipeline.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"server\": {{\"queries\": {}, \"errors\": {}, \"busy_rejected\": {}, \
          \"timeouts\": {}, \"protocol_errors\": {}, \"bytes_in\": {}, \"bytes_out\": {}, \

@@ -203,6 +203,57 @@ const DISPATCH: [Handler; STATEMENT_KINDS] = [
     Handler::Read(exec_trace),            // Trace
 ];
 
+/// A pinned, shareable read-only view of the engine: one snapshot
+/// acquisition serving arbitrarily many read-only scripts.
+///
+/// The serving tier's event loop acquires one `ReadView` per loop tick
+/// and hands clones of it to every worker executing a read-only script
+/// parsed in that tick, so a batch of independent queries from many
+/// connections costs a **single** snapshot load instead of one per
+/// statement. Cloning is an `Arc` bump; the view keeps its world alive
+/// (and byte-stable) for as long as any clone exists, exactly like a
+/// reader inside [`Engine::execute`].
+#[derive(Clone)]
+pub struct ReadView {
+    snap: Snapshot<World>,
+}
+
+impl ReadView {
+    /// The epoch this view was pinned at: its state equals the state
+    /// after exactly this many committed writes.
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch()
+    }
+
+    /// Execute `script` against the pinned snapshot **iff** every
+    /// statement in it is read-only.
+    ///
+    /// Returns `None` when the script contains a mutating statement
+    /// (the caller must fall back to [`Engine::execute`], which routes
+    /// writes through the single writer). Parse errors are served from
+    /// the view (`Some(Err(..))`) — they touch no shared state.
+    pub fn try_execute(&self, script: &str) -> Option<Result<Vec<Response>>> {
+        let statements = match parse(script) {
+            Ok(s) => s,
+            Err(e) => return Some(Err(e)),
+        };
+        if !statements.iter().all(Statement::is_read_only) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            let Handler::Read(h) = &DISPATCH[stmt.kind() as usize] else {
+                unreachable!("read-only statements dispatch to read handlers");
+            };
+            match h(&self.snap, stmt) {
+                Ok(r) => out.push(r),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(Ok(out))
+    }
+}
+
 impl Engine {
     /// A fresh engine over an empty world.
     pub fn new() -> Engine {
@@ -212,6 +263,26 @@ impl Engine {
     /// Grab the current published snapshot (epoch + shared world).
     pub fn snapshot(&self) -> Snapshot<World> {
         self.inner.state.load()
+    }
+
+    /// Pin a shareable [`ReadView`] of the current state — one snapshot
+    /// acquisition that can serve many read-only scripts (the serving
+    /// tier's per-tick read batch).
+    pub fn read_view(&self) -> ReadView {
+        ReadView {
+            snap: self.inner.state.load(),
+        }
+    }
+
+    /// Writers currently queued on (or holding) the writer mutex.
+    ///
+    /// This is the live admission-control signal behind the
+    /// `engine.write_queue_depth` gauge: unlike the gauge (which is
+    /// sampled at lock acquisition and compiles out without the `obs`
+    /// feature), this reads the atomic directly, so backpressure
+    /// policies can act on it in any build.
+    pub fn write_queue_depth(&self) -> u64 {
+        self.inner.write_queue.load(Ordering::SeqCst)
     }
 
     /// The current epoch (number of successful writes published).
@@ -842,6 +913,50 @@ mod tests {
         a.execute("CREATE DOMAIN D;").unwrap();
         assert_eq!(b.epoch(), 1);
         assert!(b.snapshot().domain("D").is_ok());
+    }
+
+    /// A pinned [`ReadView`] serves read-only scripts byte-identically
+    /// to [`Engine::execute`] at the same epoch, refuses scripts with
+    /// writes, and stays byte-stable while writes continue publishing.
+    #[test]
+    fn read_views_pin_one_snapshot_for_many_read_scripts() {
+        let engine = Engine::new();
+        engine
+            .execute(
+                "CREATE DOMAIN D; CREATE CLASS A UNDER D; \
+                 CREATE RELATION R (V: D); ASSERT R (ALL A);",
+            )
+            .unwrap();
+        let view = engine.read_view();
+        assert_eq!(view.epoch(), engine.epoch());
+        let render =
+            |rs: Vec<Response>| -> Vec<String> { rs.iter().map(ToString::to_string).collect() };
+        for script in ["SHOW R;", "CHECK R; COUNT R;", "HOLDS R (ALL A);"] {
+            let via_view = render(view.try_execute(script).expect("read-only").unwrap());
+            let via_engine = render(engine.execute(script).unwrap());
+            assert_eq!(via_view, via_engine, "{script}");
+        }
+        // Mutating statements anywhere in the script refuse the view.
+        assert!(view.try_execute("CREATE CLASS B UNDER D;").is_none());
+        assert!(view.try_execute("SHOW R; ASSERT R (ALL A);").is_none());
+        // Parse errors are served from the view without engine access.
+        assert!(view.try_execute("EXPLODE").unwrap().is_err());
+        // The view is immune to later writes; a fresh view sees them.
+        let before = render(view.try_execute("COUNT R;").unwrap().unwrap());
+        engine
+            .execute("CREATE INSTANCE x OF A; ASSERT NOT R (x);")
+            .unwrap();
+        assert_eq!(
+            render(view.try_execute("COUNT R;").unwrap().unwrap()),
+            before,
+            "pinned views are byte-stable across writes"
+        );
+        assert_ne!(
+            render(engine.read_view().try_execute("SHOW R;").unwrap().unwrap()),
+            render(view.try_execute("SHOW R;").unwrap().unwrap()),
+        );
+        // The queue-depth signal reads zero when no writer is queued.
+        assert_eq!(engine.write_queue_depth(), 0);
     }
 
     /// The write-contention telemetry moves under concurrent writers:

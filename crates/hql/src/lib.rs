@@ -56,7 +56,7 @@ pub mod parser;
 pub mod world;
 
 pub use ast::{Statement, StatementKind};
-pub use engine::Engine;
+pub use engine::{Engine, ReadView};
 pub use error::{HqlError, Result};
 pub use exec::{Response, Session};
 pub use world::World;

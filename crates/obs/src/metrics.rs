@@ -121,6 +121,16 @@ impl Histogram {
         let _ = ns;
     }
 
+    /// Record one dimensionless observation (queue depths, batch
+    /// sizes, ready-event counts, frame bytes, …).
+    ///
+    /// Histograms are unit-agnostic log2 buckets; this alias exists so
+    /// call sites recording non-latency values don't claim nanoseconds.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.observe_ns(value);
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)

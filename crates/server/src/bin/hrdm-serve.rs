@@ -4,6 +4,7 @@
 //! hrdm-serve [--addr HOST:PORT] [--store DIR] [--bootstrap FILE]
 //!            [--max-conn N] [--timeout-ms N]
 //!            [--slowlog-ms N] [--slowlog-cap N]
+//!            [--workers N] [--backpressure-depth N]
 //! ```
 //!
 //! * `--addr` — address to bind (default `127.0.0.1:7878`; port 0
@@ -18,6 +19,11 @@
 //!   their trace trees) into the slow-query log served by `SLOWLOG`
 //!   (default 100; `0` captures everything; obs builds only).
 //! * `--slowlog-cap N` — keep the N slowest requests (default 32).
+//! * `--workers N` — query-execution worker threads (default 0 =
+//!   sized from the machine's available parallelism).
+//! * `--backpressure-depth N` — shed mutating scripts with `BUSY`
+//!   while the engine's writer queue is at least N deep (default 0 =
+//!   disabled; reads are never shed).
 //!
 //! The process runs until a client sends the `SHUTDOWN` verb (or the
 //! process receives a fatal signal); shutdown is graceful — in-flight
@@ -37,6 +43,8 @@ struct Args {
     timeout_ms: u64,
     slowlog_ms: u64,
     slowlog_cap: usize,
+    workers: usize,
+    backpressure_depth: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: 30_000,
         slowlog_ms: 100,
         slowlog_cap: 32,
+        workers: 0,
+        backpressure_depth: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,10 +86,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--slowlog-cap: {e}"))?
             }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--backpressure-depth" => {
+                args.backpressure_depth = value("--backpressure-depth")?
+                    .parse()
+                    .map_err(|e| format!("--backpressure-depth: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: hrdm-serve [--addr HOST:PORT] [--store DIR] \
                      [--bootstrap FILE] [--max-conn N] [--timeout-ms N] \
-                     [--slowlog-ms N] [--slowlog-cap N]"
+                     [--slowlog-ms N] [--slowlog-cap N] [--workers N] \
+                     [--backpressure-depth N]"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -130,6 +151,9 @@ fn main() -> ExitCode {
         read_timeout: Duration::from_millis(args.timeout_ms),
         slowlog_threshold: Duration::from_millis(args.slowlog_ms),
         slowlog_capacity: args.slowlog_cap.max(1),
+        workers: args.workers,
+        backpressure_depth: args.backpressure_depth,
+        ..ServerConfig::default()
     };
     let handle = match Server::start(engine, config) {
         Ok(h) => h,

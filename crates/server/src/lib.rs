@@ -13,10 +13,18 @@
 //! after some serial prefix of the write history.
 //!
 //! * [`proto`] — the `HRDM/1` wire format (length-prefixed UTF-8
-//!   frames, verbs, replies) plus a blocking [`Client`].
-//! * [`server`] — the thread-per-connection server with admission
-//!   control (`BUSY` past the connection cap), per-connection read
+//!   frames, verbs, replies), an incremental [`proto::FrameReader`]
+//!   for non-blocking reassembly, and a blocking [`Client`] with
+//!   pipelining support ([`Client::pipeline`]).
+//! * [`server`] — the event-driven server: one `poll(2)` readiness
+//!   loop owning every socket in non-blocking mode, a worker pool
+//!   executing requests against engine snapshots, per-connection
+//!   request pipelining (in-order execution and replies), admission
+//!   control (`BUSY` past the connection cap), write backpressure
+//!   keyed off the engine's writer-queue depth, idle/slow-client
 //!   timeouts, and graceful shutdown.
+//! * [`sys`] — the thin `libc` shim behind the loop (`poll`, the
+//!   self-wake pipe, fd-limit control); std-only, no external crates.
 //!
 //! Every request is telemetered end to end: per-verb latency
 //! histograms, bytes-in/out and frame-size counters, and
@@ -36,6 +44,7 @@
 
 pub mod proto;
 pub mod server;
+pub mod sys;
 
-pub use proto::{Client, MetricsFormat, Reply, Request};
+pub use proto::{Client, FrameReader, MetricsFormat, Reply, Request};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

@@ -35,8 +35,21 @@
 //! * `ERR <kind>\n<message>` — failure; `<kind>` is the stable error
 //!   code from [`hrdm::Error::kind`] (plus the transport-level codes
 //!   `protocol` and `timeout`).
-//! * `BUSY\n<message>` — the server is at its connection cap; retry
-//!   later. Sent instead of the `HELLO` greeting.
+//! * `BUSY\n<message>` — the server is at its connection cap (sent
+//!   instead of the `HELLO` greeting) **or** sheds a mutating script
+//!   under write backpressure; retry later.
+//!
+//! # Pipelining
+//!
+//! `HRDM/1` is pipelined: a client may send any number of request
+//! frames without waiting for replies. The server executes one
+//! connection's requests **in order** and replies **in order**, so the
+//! k-th reply always answers the k-th request. [`Client::pipeline`]
+//! sends a burst of requests as one contiguous write and collects the
+//! replies; [`Client::send`]/[`Client::recv`] expose the two halves for
+//! arbitrary interleavings. [`FrameReader`] is the incremental decoder
+//! both ends use to reassemble frames from arbitrarily-fragmented
+//! reads.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -63,6 +76,91 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     w.write_all(&(bytes.len() as u32).to_be_bytes())?;
     w.write_all(bytes)?;
     w.flush()
+}
+
+/// Append one length-prefixed frame to a byte buffer (the non-blocking
+/// write path: the event loop and the pipelined client both build a
+/// contiguous buffer of frames and hand it to the socket in one write).
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_FRAME`] — buffer-building call
+/// sites render their own payloads, so an oversized frame is a logic
+/// error, not an I/O condition.
+pub fn encode_frame(payload: &str, out: &mut Vec<u8>) {
+    let bytes = payload.as_bytes();
+    assert!(bytes.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// An incremental frame decoder over an arbitrarily-chunked byte
+/// stream.
+///
+/// Bytes arrive from a non-blocking socket in whatever fragments the
+/// kernel delivers — a frame may span many reads, and one read may
+/// carry many frames. `FrameReader` buffers pushed bytes and yields
+/// complete frames as they materialize; the pipelining property suite
+/// proves that any split of any frame sequence reassembles
+/// byte-identically.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames (compacted
+    /// lazily so a burst of small frames doesn't memmove per frame).
+    consumed: usize,
+}
+
+impl FrameReader {
+    /// A fresh decoder with no buffered bytes.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Feed bytes read off the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `consumed` is dead.
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        } else if self.consumed >= 4096 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Pop the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means more bytes are needed. Errors are protocol
+    /// violations (oversized frame, non-UTF-8 payload) and poison the
+    /// stream — the caller must close the connection.
+    pub fn next_frame(&mut self) -> io::Result<Option<String>> {
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+            ));
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = std::str::from_utf8(&pending[4..4 + len])
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?
+            .to_string();
+        self.consumed += 4 + len;
+        Ok(Some(payload))
+    }
 }
 
 /// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
@@ -287,6 +385,41 @@ impl Client {
         self.send_raw(&request.render())
     }
 
+    /// Send one request frame **without** waiting for the reply — the
+    /// pipelined half of the protocol. Pair with [`Client::recv`]; the
+    /// server executes a connection's requests in order and replies in
+    /// order, so the k-th `recv` answers the k-th `send`.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, &request.render())
+    }
+
+    /// Read the next reply frame (the receive half of a pipelined
+    /// exchange).
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Reply::parse(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Issue `requests` pipelined: every frame is encoded into one
+    /// contiguous buffer and written in a single call (one wire burst,
+    /// no per-request round trip), then the replies are read back in
+    /// request order. The reply at index `k` answers `requests[k]`.
+    pub fn pipeline(&mut self, requests: &[Request]) -> io::Result<Vec<Reply>> {
+        let mut burst = Vec::new();
+        for request in requests {
+            encode_frame(&request.render(), &mut burst);
+        }
+        self.stream.write_all(&burst)?;
+        self.stream.flush()?;
+        let mut replies = Vec::with_capacity(requests.len());
+        for _ in requests {
+            replies.push(self.recv()?);
+        }
+        Ok(replies)
+    }
+
     /// Send an arbitrary frame payload and parse the reply (for
     /// protocol-error tests).
     pub fn send_raw(&mut self, payload: &str) -> io::Result<Reply> {
@@ -404,6 +537,42 @@ mod tests {
             assert_eq!(Reply::parse(&reply.render()).unwrap(), reply);
         }
         assert!(Reply::parse("???").is_err());
+    }
+
+    #[test]
+    fn frame_reader_reassembles_byte_at_a_time() {
+        let mut encoded = Vec::new();
+        let payloads = ["HELLO", "QUERY\nSHOW Flies;", "", "über ☃"];
+        for p in &payloads {
+            encode_frame(p, &mut encoded);
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for byte in &encoded {
+            reader.push(std::slice::from_ref(byte));
+            while let Some(frame) = reader.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_and_non_utf8_frames() {
+        let mut reader = FrameReader::new();
+        reader.push(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert_eq!(
+            reader.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut reader = FrameReader::new();
+        reader.push(&2u32.to_be_bytes());
+        reader.push(&[0xff, 0xfe]);
+        assert_eq!(
+            reader.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 
     #[test]

@@ -1,46 +1,80 @@
-//! The concurrent TCP server over a shared [`Engine`].
+//! The event-driven TCP server over a shared [`Engine`].
 //!
-//! One thread accepts connections (bounded by
-//! [`ServerConfig::max_connections`] — excess connections get a `BUSY`
-//! reply instead of queueing unboundedly); each admitted connection
-//! gets its own thread. Statement execution inherits the engine's
-//! concurrency contract: read-only statements evaluate against an
-//! epoch-stamped snapshot with no lock held, mutating statements
-//! serialize through the engine's single writer and journal through
-//! the WAL of the `OPEN`ed store. Every reply a client sees is
-//! therefore byte-identical to executing the same statements against
-//! some serial prefix of the write history.
+//! # Architecture
+//!
+//! One **readiness loop** (`hrdm-loop`) owns every socket in
+//! non-blocking mode — the listener, a self-wake pipe, and all client
+//! connections — and multiplexes them through `poll(2)` (via the thin
+//! [`crate::sys`] libc shim). Connections are state machines: bytes
+//! arrive in arbitrary fragments, a [`FrameReader`] reassembles frames,
+//! parsed requests queue per connection, and replies flush through a
+//! per-connection write buffer when the socket is writable. The loop
+//! itself never executes a query: `QUERY`/`TRACE` requests are handed
+//! to a small **worker pool** (`hrdm-worker-N`) over a channel; workers
+//! execute against engine snapshots and post completed reply frames
+//! back through a completion queue + wake pipe.
+//!
+//! # Pipelining
+//!
+//! A connection may have many requests in flight (up to
+//! [`ServerConfig::max_pipeline`]): requests execute **in order** and
+//! replies return **in order**, so the k-th reply answers the k-th
+//! request. In-order execution preserves read-your-writes per
+//! connection — a pipelined burst answers byte-identically to the same
+//! requests issued sequentially. Past the pipeline cap the loop simply
+//! stops reading from that connection, letting TCP flow control push
+//! back on the client.
+//!
+//! # Snapshot batching
+//!
+//! Read-only scripts dispatched within one loop tick share a **single**
+//! snapshot acquisition ([`Engine::read_view`]): the loop pins one
+//! `ReadView` per tick and attaches it to every job. A worker uses the
+//! shared view unless the connection committed a later write (the
+//! read-your-writes floor), in which case it pins a fresh one. Scripts
+//! containing mutations fall back to [`Engine::execute`] and serialize
+//! through the single writer as always.
+//!
+//! # Admission control and backpressure
+//!
+//! Connections past [`ServerConfig::max_connections`] get a `BUSY`
+//! reply at the handshake, exactly as before. Additionally, when the
+//! engine's writer queue is at least [`ServerConfig::backpressure_depth`]
+//! deep (the `engine.write_queue_depth` signal), **mutating** scripts
+//! are shed with `BUSY` before touching the writer — reads are never
+//! shed; they cost no writer capacity.
 //!
 //! # Telemetry
 //!
-//! Every request is instrumented into the `hrdm-obs` registry: a
-//! per-verb latency histogram (`server.latency.<verb>`, p50/p95/p99),
-//! bytes-in/out counters and a frame-size histogram, and counters for
-//! admission (`server.busy`), timeouts, and protocol errors, plus
-//! `server.active_connections` / `server.epoch` gauges. The registry
-//! is readable over the wire via the `METRICS` verb; requests slower
-//! than [`ServerConfig::slowlog_threshold`] are additionally captured
-//! into the process-global slow-query log (`hrdm_obs::slowlog`) with
-//! their rendered trace trees, served by the `SLOWLOG` verb. Without
-//! the `obs` feature both verbs answer a stable `ERR unsupported` and
-//! the instrumentation compiles out.
+//! Everything PR 8 instrumented is preserved (per-verb latency
+//! histograms, bytes in/out, admission/timeout/protocol counters, the
+//! `METRICS`/`SLOWLOG` verbs and the slow-query log), plus the loop's
+//! own series: `server.loop.tick` / `server.loop.ready` (events per
+//! tick), `server.pipeline.depth` (queued requests at dispatch),
+//! `server.snapshot.batch` / `server.snapshot.shared_read` (tick views
+//! pinned / reads served from a shared view), and
+//! `server.backpressure.shed`.
 //!
-//! Shutdown is graceful: the flag flips, a self-connection wakes the
-//! accept loop, and every connection thread is joined before
-//! [`ServerHandle::wait`]/[`ServerHandle::shutdown`] return.
+//! Shutdown is graceful: the flag flips, the wake pipe nudges the
+//! loop, in-flight requests complete and flush, every connection
+//! closes, the job channel drops, and the loop joins every worker
+//! before [`ServerHandle::wait`]/[`ServerHandle::shutdown`] return.
 
-use std::io::{self, Write};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hrdm::prelude::Engine;
+use hrdm::prelude::{Engine, ReadView};
 use hrdm_obs::metrics::{self, Counter, Gauge, Histogram};
 use hrdm_obs::trace::fmt_ns;
 
-use crate::proto::{read_frame, write_frame, MetricsFormat, Reply, Request, PROTOCOL_VERSION};
+use crate::proto::{encode_frame, FrameReader, MetricsFormat, Reply, Request, PROTOCOL_VERSION};
+use crate::sys::{self, PollFd, WakePipe, POLLIN, POLLOUT};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -49,8 +83,11 @@ pub struct ServerConfig {
     pub addr: String,
     /// Admission cap: connections past this count receive `BUSY`.
     pub max_connections: usize,
-    /// Per-connection read timeout; an idle connection is sent
-    /// `ERR timeout` and closed.
+    /// Per-connection idle deadline, measured from the last *completed*
+    /// request activity (admission, a fully-received frame, a reply).
+    /// An idle — or slow-loris — connection is sent `ERR timeout` and
+    /// closed; trickling bytes without ever completing a frame does
+    /// not reset the clock.
     pub read_timeout: Duration,
     /// `QUERY`/`TRACE` requests at least this slow are captured into
     /// the process-global slow-query log with their rendered trace
@@ -60,6 +97,19 @@ pub struct ServerConfig {
     /// Bound on resident slow-log entries; the log keeps the N
     /// *slowest* requests, not the N most recent.
     pub slowlog_capacity: usize,
+    /// Worker threads executing `QUERY`/`TRACE` requests. `0` sizes
+    /// the pool from the machine (available parallelism, clamped to
+    /// [2, 8]).
+    pub workers: usize,
+    /// Write backpressure: when the engine's writer queue is at least
+    /// this deep, mutating scripts are shed with `BUSY` instead of
+    /// queueing on the writer lock. Reads are never shed. `0` disables
+    /// shedding.
+    pub backpressure_depth: u64,
+    /// Per-connection pipelining cap: requests parsed but not yet
+    /// answered. Past it the loop stops reading from the connection
+    /// (TCP flow control backpressures the client).
+    pub max_pipeline: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,7 +120,22 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             slowlog_threshold: Duration::from_millis(100),
             slowlog_capacity: hrdm_obs::slowlog::DEFAULT_CAPACITY,
+            workers: 0,
+            backpressure_depth: 0,
+            max_pipeline: 128,
         }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8)
     }
 }
 
@@ -93,6 +158,8 @@ pub struct ServerStats {
     pub bytes_in: AtomicU64,
     /// Reply bytes written to the wire (frame headers included).
     pub bytes_out: AtomicU64,
+    /// Mutating scripts shed with `BUSY` under write backpressure.
+    pub shed_writes: AtomicU64,
 }
 
 /// Registry-backed server metrics, resolved once per process. The same
@@ -112,6 +179,13 @@ struct ServerObs {
     slow_recorded: Counter,
     active: Gauge,
     epoch: Gauge,
+    loop_tick: Counter,
+    loop_ready: Histogram,
+    pipeline_depth: Histogram,
+    snapshot_batch: Counter,
+    snapshot_shared_read: Counter,
+    shed: Counter,
+    write_queue_depth: Gauge,
     lat_hello: Histogram,
     lat_query: Histogram,
     lat_trace: Histogram,
@@ -138,6 +212,13 @@ fn server_obs() -> &'static ServerObs {
         slow_recorded: metrics::counter("server.slowlog.recorded"),
         active: metrics::gauge("server.active_connections"),
         epoch: metrics::gauge("server.epoch"),
+        loop_tick: metrics::counter("server.loop.tick"),
+        loop_ready: metrics::histogram("server.loop.ready"),
+        pipeline_depth: metrics::histogram("server.pipeline.depth"),
+        snapshot_batch: metrics::counter("server.snapshot.batch"),
+        snapshot_shared_read: metrics::counter("server.snapshot.shared_read"),
+        shed: metrics::counter("server.backpressure.shed"),
+        write_queue_depth: metrics::gauge("server.write_queue_depth"),
         lat_hello: metrics::histogram("server.latency.hello"),
         lat_query: metrics::histogram("server.latency.query"),
         lat_trace: metrics::histogram("server.latency.trace"),
@@ -149,19 +230,30 @@ fn server_obs() -> &'static ServerObs {
     })
 }
 
-impl ServerObs {
-    fn latency_of(&self, request: &Request) -> &Histogram {
-        match request {
-            Request::Hello => &self.lat_hello,
-            Request::Query(_) => &self.lat_query,
-            Request::Trace(_) => &self.lat_trace,
-            Request::Stats => &self.lat_stats,
-            Request::Metrics(_) => &self.lat_metrics,
-            Request::Slowlog(_) => &self.lat_slowlog,
-            Request::Quit => &self.lat_quit,
-            Request::Shutdown => &self.lat_shutdown,
-        }
-    }
+/// One `QUERY`/`TRACE` request handed to the worker pool.
+struct Job {
+    conn: usize,
+    generation: u64,
+    seq: u64,
+    script: String,
+    traced: bool,
+    /// The loop-tick snapshot this job may execute on (read-only
+    /// scripts only, and only if it satisfies `min_epoch`).
+    view: ReadView,
+    /// Read-your-writes floor: the engine epoch this connection has
+    /// already observed through a completed write.
+    min_epoch: u64,
+}
+
+/// A finished request: the fully-encoded reply frame plus routing.
+struct Completion {
+    conn: usize,
+    generation: u64,
+    seq: u64,
+    frame: Vec<u8>,
+    /// Engine epoch after execution — advances the connection's
+    /// read-your-writes floor.
+    epoch: u64,
 }
 
 struct Shared {
@@ -171,7 +263,8 @@ struct Shared {
     shutdown: AtomicBool,
     active: AtomicUsize,
     stats: ServerStats,
-    conns: Mutex<Vec<JoinHandle<()>>>,
+    wake: WakePipe,
+    completions: Mutex<Vec<Completion>>,
 }
 
 /// The server factory; see [`Server::start`].
@@ -180,13 +273,15 @@ pub struct Server;
 /// A running server: its bound address, counters, and shutdown control.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind, start the accept loop, and return immediately.
+    /// Bind, start the readiness loop and worker pool, and return
+    /// immediately.
     pub fn start(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         hrdm_obs::slowlog::set_capacity(config.slowlog_capacity);
         let shared = Arc::new(Shared {
@@ -196,17 +291,32 @@ impl Server {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             stats: ServerStats::default(),
-            conns: Mutex::new(Vec::new()),
+            wake: WakePipe::new()?,
+            completions: Mutex::new(Vec::new()),
         });
-        let accept = {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut workers = Vec::new();
+        for k in 0..shared.config.effective_workers() {
+            let shared = shared.clone();
+            let rx = job_rx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("hrdm-worker-{k}"))
+                    .spawn(move || worker_loop(shared, rx))?,
+            );
+        }
+        let event_loop = {
             let shared = shared.clone();
             std::thread::Builder::new()
-                .name("hrdm-accept".into())
-                .spawn(move || accept_loop(listener, shared))?
+                .name("hrdm-loop".into())
+                .spawn(move || {
+                    EventLoop::new(listener, shared, job_tx, workers).run();
+                })?
         };
         Ok(ServerHandle {
             shared,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
         })
     }
 }
@@ -222,31 +332,34 @@ impl ServerHandle {
         &self.shared.stats
     }
 
+    /// Admitted connections currently open (excludes connections being
+    /// turned away with `BUSY`). The chaos suite asserts this returns
+    /// to zero after hostile clients disconnect.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
     /// Has a shutdown been requested (via [`ServerHandle::shutdown`] or
     /// the `SHUTDOWN` verb)?
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Request a graceful shutdown and wait for every thread to finish.
+    /// Request a graceful shutdown and wait for the loop and every
+    /// worker to finish.
     pub fn shutdown(mut self) {
         trigger_shutdown(&self.shared);
         self.join();
     }
 
     /// Block until the server shuts down (e.g. a client sends
-    /// `SHUTDOWN`), then join every thread.
+    /// `SHUTDOWN`), then join the loop and every worker.
     pub fn wait(mut self) {
         self.join();
     }
 
     fn join(&mut self) {
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        let conns: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.shared.conns.lock().expect("conns lock poisoned"));
-        for h in conns {
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
     }
@@ -263,234 +376,108 @@ impl Drop for ServerHandle {
 
 fn trigger_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
-    // Wake the accept loop out of its blocking accept().
-    let _ = TcpStream::connect(shared.addr);
+    shared.wake.wake();
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>) {
     loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                continue;
-            }
+        // std mpsc receivers are single-consumer; the pool shares one
+        // behind a mutex held only for the blocking recv.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
         };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
+        let Ok(job) = job else {
+            return; // channel closed: the loop is shutting down
+        };
+        let reply = execute_job(&shared, &job);
+        let payload = reply.render();
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        encode_frame(&payload, &mut frame);
+        shared
+            .stats
+            .bytes_out
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        server_obs().bytes_out.add(frame.len() as u64);
+        let completion = Completion {
+            conn: job.conn,
+            generation: job.generation,
+            seq: job.seq,
+            frame,
+            epoch: shared.engine.epoch(),
+        };
+        match shared.completions.lock() {
+            Ok(mut q) => q.push(completion),
+            Err(_) => return,
         }
-        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-        server_obs().accept.incr();
-        // Admission control: reply BUSY instead of queueing unboundedly.
-        // Drain the client's opening frame before replying so closing
-        // the socket doesn't RST away the BUSY reply, and do it off the
-        // accept thread so a silent client can't stall admission.
-        if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
-            shared.stats.busy_rejected.fetch_add(1, Ordering::Relaxed);
-            server_obs().busy.incr();
-            let busy_shared = shared.clone();
-            let reject = std::thread::Builder::new()
-                .name("hrdm-busy".into())
-                .spawn(move || {
-                    let mut stream = stream;
-                    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
-                    let _ = read_frame(&mut stream);
-                    let _ = reply_to(
-                        &mut stream,
-                        &busy_shared,
-                        &Reply::Busy("server at connection capacity; retry later".into()),
-                    );
-                });
-            if let Ok(h) = reject {
-                shared.conns.lock().expect("conns lock poisoned").push(h);
-            }
-            continue;
-        }
-        let now_active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
-        server_obs().active.set(now_active as u64);
-        let conn_shared = shared.clone();
-        let handle = std::thread::Builder::new()
-            .name("hrdm-conn".into())
-            .spawn(move || {
-                handle_connection(stream, &conn_shared);
-                let left = conn_shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
-                server_obs().active.set(left as u64);
-            });
-        match handle {
-            Ok(h) => shared.conns.lock().expect("conns lock poisoned").push(h),
-            Err(_) => {
-                let left = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
-                server_obs().active.set(left as u64);
-            }
-        }
+        shared.wake.wake();
     }
 }
 
-/// Render and write one reply, accounting the bytes that left the wire
-/// (4-byte frame header included).
-fn reply_to(stream: &mut TcpStream, shared: &Shared, reply: &Reply) -> io::Result<()> {
-    let payload = reply.render();
-    shared
-        .stats
-        .bytes_out
-        .fetch_add(4 + payload.len() as u64, Ordering::Relaxed);
-    server_obs().bytes_out.add(4 + payload.len() as u64);
-    write_frame(stream, &payload)
-}
-
-/// What the connection loop does after a reply is written.
-enum After {
-    Continue,
-    Close,
-    Shutdown,
-}
-
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    // Replies are two small writes (length header, then payload);
-    // without TCP_NODELAY, Nagle holds the payload until the client
-    // ACKs the header — tens of milliseconds per request.
-    let _ = stream.set_nodelay(true);
-    let obs = server_obs();
-    let mut greeted = false;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(frame)) => {
-                let wire_len = 4 + frame.len() as u64;
-                shared.stats.bytes_in.fetch_add(wire_len, Ordering::Relaxed);
-                obs.bytes_in.add(wire_len);
-                obs.frame_bytes.observe_ns(frame.len() as u64);
-                frame
-            }
-            Ok(None) => break, // clean EOF
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                obs.timeout.incr();
-                let _ = reply_to(
-                    &mut stream,
-                    shared,
-                    &Reply::Err {
-                        kind: "timeout".into(),
-                        message: format!(
-                            "no request within {:?}; closing",
-                            shared.config.read_timeout
-                        ),
-                    },
-                );
-                break;
-            }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                obs.protocol_error.incr();
-                let _ = reply_to(
-                    &mut stream,
-                    shared,
-                    &Reply::Err {
-                        kind: "protocol".into(),
-                        message: e.to_string(),
-                    },
-                );
-                break;
-            }
-            Err(_) => break,
-        };
-        let request = match Request::parse(&frame) {
-            Ok(r) => r,
-            Err(msg) => {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                obs.protocol_error.incr();
-                let _ = reply_to(
-                    &mut stream,
-                    shared,
-                    &Reply::Err {
-                        kind: "protocol".into(),
-                        message: msg,
-                    },
-                );
-                continue;
-            }
-        };
-        if !greeted && !matches!(request, Request::Hello) {
-            // HELLO must come first; anything else is a protocol error
-            // that closes the connection.
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            obs.protocol_error.incr();
-            let _ = reply_to(
-                &mut stream,
-                shared,
-                &Reply::Err {
-                    kind: "protocol".into(),
-                    message: "expected HELLO as the first request".into(),
-                },
-            );
-            break;
-        }
-        let started = Instant::now();
-        let (reply, after) = match request {
-            Request::Hello => {
-                greeted = true;
-                (Reply::Ok(vec![PROTOCOL_VERSION.into()]), After::Continue)
-            }
-            Request::Query(ref script) => (run_script(shared, script, false), After::Continue),
-            Request::Trace(ref script) => (run_script(shared, script, true), After::Continue),
-            Request::Stats => (Reply::Ok(vec![render_stats(shared)]), After::Continue),
-            Request::Metrics(format) => (run_metrics(format), After::Continue),
-            Request::Slowlog(limit) => (run_slowlog(limit), After::Continue),
-            Request::Quit => (Reply::Ok(vec!["bye".into()]), After::Close),
-            Request::Shutdown => (Reply::Ok(vec!["shutting down".into()]), After::Shutdown),
-        };
-        obs.requests.incr();
-        obs.latency_of(&request)
-            .observe_ns(started.elapsed().as_nanos() as u64);
-        obs.epoch.set(shared.engine.epoch());
-        let _ = reply_to(&mut stream, shared, &reply);
-        match after {
-            After::Continue => {}
-            After::Close => break,
-            After::Shutdown => {
-                trigger_shutdown(shared);
-                break;
-            }
-        }
-        let _ = stream.flush();
-    }
-}
-
-/// Execute a script, recording query counters and — when the request
-/// lands at or beyond the slow-log threshold — its rendered trace tree
-/// into the process-global slow-query log. With `traced` the trace is
-/// also appended to the reply (the `TRACE` verb contract).
-fn run_script(shared: &Shared, script: &str, traced: bool) -> Reply {
+/// Execute one `QUERY`/`TRACE` script, preferring the tick-shared
+/// snapshot for read-only scripts, shedding mutating scripts under
+/// write backpressure, and recording query counters plus the slow log.
+fn execute_job(shared: &Shared, job: &Job) -> Reply {
     let obs = server_obs();
     let started = Instant::now();
     // Capture spans whenever the trace can be consumed: always for
     // TRACE, and for QUERY when an obs build may feed the slow log.
-    let capture = traced || cfg!(feature = "obs");
-    let (result, trace) = if capture {
-        hrdm_obs::trace::capture("server.query", || shared.engine.execute(script))
-    } else {
-        (shared.engine.execute(script), hrdm_obs::QueryTrace::empty())
+    let capture = job.traced || cfg!(feature = "obs");
+    let run = || {
+        // Read-your-writes: the tick view is only usable if it is at
+        // least as fresh as the last write this connection observed.
+        let (view, from_tick) = if job.view.epoch() >= job.min_epoch {
+            (job.view.clone(), true)
+        } else {
+            (shared.engine.read_view(), false)
+        };
+        match view.try_execute(&job.script) {
+            Some(result) => (result, from_tick, false),
+            None => {
+                // The script mutates: apply write backpressure, then
+                // take the ordinary serialized-writer path.
+                let limit = shared.config.backpressure_depth;
+                if limit > 0 && shared.engine.write_queue_depth() >= limit {
+                    return (Ok(Vec::new()), false, true);
+                }
+                (shared.engine.execute(&job.script), false, false)
+            }
+        }
     };
+    let ((result, shared_view, shed), trace) = if capture {
+        hrdm_obs::trace::capture("server.query", run)
+    } else {
+        (run(), hrdm_obs::QueryTrace::empty())
+    };
+    obs.requests.incr();
+    obs.write_queue_depth.set(shared.engine.write_queue_depth());
     let wall = started.elapsed();
+    if job.traced {
+        obs.lat_trace.observe_ns(wall.as_nanos() as u64);
+    } else {
+        obs.lat_query.observe_ns(wall.as_nanos() as u64);
+    }
+    obs.epoch.set(shared.engine.epoch());
+    if shed {
+        shared.stats.shed_writes.fetch_add(1, Ordering::Relaxed);
+        obs.shed.incr();
+        return Reply::Busy(format!(
+            "write backpressure: writer queue depth >= {}; retry later",
+            shared.config.backpressure_depth
+        ));
+    }
+    if shared_view {
+        obs.snapshot_shared_read.incr();
+    }
     if cfg!(feature = "obs") && wall >= shared.config.slowlog_threshold {
-        let verb = if traced { "TRACE" } else { "QUERY" };
+        let verb = if job.traced { "TRACE" } else { "QUERY" };
         if hrdm_obs::slowlog::record(
             verb,
-            script,
+            &job.script,
             wall.as_nanos() as u64,
             shared.engine.epoch(),
             trace.render(),
@@ -503,7 +490,7 @@ fn run_script(shared: &Shared, script: &str, traced: bool) -> Reply {
             shared.stats.queries.fetch_add(1, Ordering::Relaxed);
             obs.query.incr();
             let mut parts: Vec<String> = responses.iter().map(ToString::to_string).collect();
-            if traced {
+            if job.traced {
                 parts.push(trace.render());
             }
             Reply::Ok(parts)
@@ -518,6 +505,801 @@ fn run_script(shared: &Shared, script: &str, traced: bool) -> Reply {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Connection state machine
+// ---------------------------------------------------------------------
+
+/// Why a connection stops accepting input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lifecycle {
+    /// Serving normally.
+    Open,
+    /// No more input; close once every queued/in-flight reply flushes.
+    Draining,
+}
+
+struct Conn {
+    stream: TcpStream,
+    generation: u64,
+    reader: FrameReader,
+    greeted: bool,
+    /// Turned away with `BUSY` at admission: waits for the client's
+    /// opening frame (so closing doesn't RST the reply away), answers
+    /// `BUSY`, drains, closes. Not counted as active.
+    rejecting: bool,
+    /// Last *completed* activity: admission, a full frame, a reply.
+    last_activity: Instant,
+    /// Idle deadline for this connection (the server read timeout, or
+    /// the short busy-drain window for rejected connections).
+    deadline: Duration,
+    /// Next sequence number a parsed request will get.
+    next_seq: u64,
+    /// Next sequence number the write path may flush.
+    next_write_seq: u64,
+    /// Completed reply frames waiting on in-order flush.
+    ready: BTreeMap<u64, Vec<u8>>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// A worker job is outstanding for this connection.
+    inflight: bool,
+    /// Parsed requests not yet executed (pipelining backlog).
+    queue: VecDeque<(u64, Request)>,
+    /// Read-your-writes floor (engine epoch after this connection's
+    /// last completed request).
+    min_epoch: u64,
+    lifecycle: Lifecycle,
+    /// Trigger a server shutdown once this connection's replies flush
+    /// (the `SHUTDOWN` verb).
+    shutdown_after: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, generation: u64, rejecting: bool, deadline: Duration) -> Conn {
+        Conn {
+            stream,
+            generation,
+            reader: FrameReader::new(),
+            greeted: false,
+            rejecting,
+            last_activity: Instant::now(),
+            deadline,
+            next_seq: 0,
+            next_write_seq: 0,
+            ready: BTreeMap::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            inflight: false,
+            queue: VecDeque::new(),
+            min_epoch: 0,
+            lifecycle: Lifecycle::Open,
+            shutdown_after: false,
+        }
+    }
+
+    fn accepts_input(&self) -> bool {
+        self.lifecycle == Lifecycle::Open
+    }
+
+    /// Parsed-but-unanswered requests (the pipeline depth).
+    fn backlog(&self) -> usize {
+        self.queue.len() + usize::from(self.inflight)
+    }
+
+    fn wants_read(&self, max_pipeline: usize) -> bool {
+        self.accepts_input() && self.backlog() < max_pipeline
+    }
+
+    fn has_pending_writes(&self) -> bool {
+        self.write_pos < self.write_buf.len() || self.ready.contains_key(&self.next_write_seq)
+    }
+
+    /// Fully quiesced: nothing queued, nothing in flight, nothing to
+    /// write.
+    fn drained(&self) -> bool {
+        !self.inflight && self.queue.is_empty() && !self.has_pending_writes()
+    }
+
+    /// The idle clock runs only when the connection is waiting on the
+    /// *client* — a request in flight or a reply mid-write is server
+    /// work, not idleness.
+    fn timeout_applies(&self) -> bool {
+        !self.inflight && self.queue.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The readiness loop
+// ---------------------------------------------------------------------
+
+/// What a pollfd entry refers to.
+#[derive(Clone, Copy)]
+enum Target {
+    Wake,
+    Listener,
+    Conn(usize),
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    jobs: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    generation: u64,
+    /// The tick-shared read snapshot (pinned lazily at first dispatch,
+    /// cleared every tick).
+    tick_view: Option<ReadView>,
+    /// Connections whose slot must be closed at the end of the tick.
+    doomed: Vec<usize>,
+    shutdown_started: Option<Instant>,
+}
+
+/// Hard cap on how long a graceful shutdown waits for in-flight
+/// requests and reply flushes before force-closing.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
+
+/// How long a `BUSY`-rejected connection is given to present its
+/// opening frame before the reply is sent regardless.
+const BUSY_DRAIN: Duration = Duration::from_secs(1);
+
+impl EventLoop {
+    fn new(
+        listener: TcpListener,
+        shared: Arc<Shared>,
+        jobs: mpsc::Sender<Job>,
+        workers: Vec<JoinHandle<()>>,
+    ) -> EventLoop {
+        EventLoop {
+            listener,
+            shared,
+            jobs: Some(jobs),
+            workers,
+            conns: Vec::new(),
+            free: Vec::new(),
+            generation: 0,
+            tick_view: None,
+            doomed: Vec::new(),
+            shutdown_started: None,
+        }
+    }
+
+    fn run(mut self) {
+        let obs = server_obs();
+        let mut pollfds: Vec<PollFd> = Vec::new();
+        let mut targets: Vec<Target> = Vec::new();
+        let mut read_chunk = vec![0u8; 64 * 1024];
+        loop {
+            pollfds.clear();
+            targets.clear();
+            {
+                use std::os::unix::io::AsRawFd;
+                pollfds.push(PollFd::new(self.shared.wake.poll_fd(), POLLIN));
+                targets.push(Target::Wake);
+                if self.shutdown_started.is_none() {
+                    pollfds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                    targets.push(Target::Listener);
+                }
+                for (token, slot) in self.conns.iter().enumerate() {
+                    let Some(conn) = slot else { continue };
+                    let mut events = 0;
+                    if conn.wants_read(self.shared.config.max_pipeline) {
+                        events |= POLLIN;
+                    }
+                    if conn.has_pending_writes() {
+                        events |= POLLOUT;
+                    }
+                    // Registered even with an empty interest set:
+                    // poll(2) always reports errors and hangups.
+                    pollfds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                    targets.push(Target::Conn(token));
+                }
+            }
+            let timeout_ms = self.poll_timeout_ms();
+            let ready = sys::poll_fds(&mut pollfds, timeout_ms).unwrap_or_default();
+            obs.loop_tick.incr();
+            obs.loop_ready.observe(ready as u64);
+            self.tick_view = None;
+
+            // Readiness events first (their indexes match `targets`).
+            for k in 0..pollfds.len() {
+                if pollfds[k].revents == 0 {
+                    continue;
+                }
+                match targets[k] {
+                    Target::Wake => self.shared.wake.drain(),
+                    Target::Listener => self.accept_ready(),
+                    Target::Conn(token) => {
+                        if pollfds[k].readable() {
+                            self.conn_readable(token, &mut read_chunk);
+                        }
+                        if pollfds[k].writable() {
+                            self.conn_writable(token);
+                        }
+                    }
+                }
+            }
+
+            // Worker completions (wake-pipe driven, but drained every
+            // tick regardless so a missed wake can't strand a reply).
+            self.drain_completions();
+
+            // Shutdown entry: stop accepting, stop reading, let
+            // in-flight work and queued replies drain.
+            if self.shared.shutdown.load(Ordering::SeqCst) && self.shutdown_started.is_none() {
+                self.shutdown_started = Some(Instant::now());
+                for token in 0..self.conns.len() {
+                    if let Some(conn) = self.conns[token].as_mut() {
+                        conn.lifecycle = Lifecycle::Draining;
+                        conn.queue.clear();
+                    }
+                    self.try_finish_drain(token);
+                }
+            }
+
+            self.expire_idle();
+            self.reap_doomed();
+
+            if let Some(started) = self.shutdown_started {
+                let all_closed = self.conns.iter().all(Option::is_none);
+                if all_closed || started.elapsed() >= SHUTDOWN_DRAIN {
+                    break;
+                }
+            }
+        }
+        // Tear down: close every socket, stop the pool, join it.
+        for slot in &mut self.conns {
+            *slot = None;
+        }
+        self.shared.active.store(0, Ordering::SeqCst);
+        server_obs().active.set(0);
+        drop(self.jobs.take());
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Poll timeout: the nearest idle deadline across connections
+    /// (clamped to [1ms, 1s]), a short tick while draining for
+    /// shutdown, or a 1s housekeeping tick when fully idle.
+    fn poll_timeout_ms(&self) -> i32 {
+        if self.shutdown_started.is_some() {
+            return 10;
+        }
+        let now = Instant::now();
+        let mut next: Option<Duration> = None;
+        for conn in self.conns.iter().flatten() {
+            if !conn.timeout_applies() {
+                continue;
+            }
+            let deadline = conn.last_activity + conn.deadline;
+            let left = deadline.saturating_duration_since(now);
+            next = Some(match next {
+                Some(cur) => cur.min(left),
+                None => left,
+            });
+        }
+        match next {
+            Some(d) => (d.as_millis() as i64).clamp(1, 1000) as i32,
+            None => 1000,
+        }
+    }
+
+    // -- admission ----------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            };
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            server_obs().accept.incr();
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            // Replies can be several frames batched into one buffer;
+            // without TCP_NODELAY, Nagle holds small tails until the
+            // client ACKs — tens of milliseconds per request.
+            let _ = stream.set_nodelay(true);
+            let rejecting =
+                self.shared.active.load(Ordering::SeqCst) >= self.shared.config.max_connections;
+            if rejecting {
+                self.shared
+                    .stats
+                    .busy_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                server_obs().busy.incr();
+            } else {
+                let now_active = self.shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+                server_obs().active.set(now_active as u64);
+            }
+            self.generation += 1;
+            let deadline = if rejecting {
+                BUSY_DRAIN
+            } else {
+                self.shared.config.read_timeout
+            };
+            let conn = Conn::new(stream, self.generation, rejecting, deadline);
+            match self.free.pop() {
+                Some(token) => self.conns[token] = Some(conn),
+                None => self.conns.push(Some(conn)),
+            }
+        }
+    }
+
+    // -- reads --------------------------------------------------------
+
+    fn conn_readable(&mut self, token: usize, chunk: &mut [u8]) {
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        let mut eof = false;
+        // Bounded per tick so one firehose connection cannot starve
+        // the rest of the loop.
+        for _ in 0..4 {
+            match conn.stream.read(chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.reader.push(&chunk[..n]);
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // RST or similar: the peer is gone, take the slot
+                    // down without ceremony.
+                    self.doom(token);
+                    return;
+                }
+            }
+        }
+        self.process_input(token);
+        if eof {
+            if let Some(conn) = self.conns[token].as_mut() {
+                if conn.drained() {
+                    self.doom(token);
+                } else {
+                    // Half-close: finish in-flight work, flush, then
+                    // close from the write path.
+                    conn.lifecycle = Lifecycle::Draining;
+                }
+            }
+            return;
+        }
+        self.pump(token);
+    }
+
+    /// Parse buffered bytes into requests (respecting the pipeline
+    /// cap), start execution, and enqueue any immediate replies.
+    fn process_input(&mut self, token: usize) {
+        let obs = server_obs();
+        loop {
+            let Some(conn) = self.conns[token].as_mut() else {
+                return;
+            };
+            if !conn.accepts_input() || conn.backlog() >= self.shared.config.max_pipeline {
+                break;
+            }
+            let frame = match conn.reader.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing violation (oversized / non-UTF-8): tell
+                    // the client why, then close. Queued-but-undispatched
+                    // requests are discarded, so the reply takes over
+                    // the first abandoned sequence slot — the write
+                    // path flushes strictly in sequence order.
+                    self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .stats
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    obs.protocol_error.incr();
+                    let seq = conn.queue.front().map_or(conn.next_seq, |(s, _)| *s);
+                    conn.next_seq = seq + 1;
+                    conn.lifecycle = Lifecycle::Draining;
+                    conn.queue.clear();
+                    self.complete_inline(
+                        token,
+                        seq,
+                        &Reply::Err {
+                            kind: "protocol".into(),
+                            message: e.to_string(),
+                        },
+                    );
+                    break;
+                }
+            };
+            let wire_len = 4 + frame.len() as u64;
+            self.shared
+                .stats
+                .bytes_in
+                .fetch_add(wire_len, Ordering::Relaxed);
+            obs.bytes_in.add(wire_len);
+            obs.frame_bytes.observe(frame.len() as u64);
+            let conn = self.conns[token].as_mut().expect("checked above");
+            conn.last_activity = Instant::now();
+            if conn.rejecting {
+                // The client's opening frame has arrived; now a BUSY
+                // reply cannot be lost to a racing RST.
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.lifecycle = Lifecycle::Draining;
+                self.complete_inline(
+                    token,
+                    seq,
+                    &Reply::Busy("server at connection capacity; retry later".into()),
+                );
+                break;
+            }
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            match Request::parse(&frame) {
+                Ok(request) => {
+                    // The handshake check runs at parse time so a
+                    // pipelined burst beginning with HELLO is valid
+                    // even before the HELLO executes.
+                    if matches!(request, Request::Hello) {
+                        conn.greeted = true;
+                    } else if !conn.greeted {
+                        // HELLO must come first; anything else is a
+                        // protocol error that closes the connection.
+                        self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        self.shared
+                            .stats
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        obs.protocol_error.incr();
+                        conn.lifecycle = Lifecycle::Draining;
+                        conn.queue.clear();
+                        self.complete_inline(
+                            token,
+                            seq,
+                            &Reply::Err {
+                                kind: "protocol".into(),
+                                message: "expected HELLO as the first request".into(),
+                            },
+                        );
+                        break;
+                    }
+                    conn.queue.push_back((seq, request));
+                }
+                Err(msg) => {
+                    // Unknown verb / malformed payload: answer in
+                    // sequence and keep serving the connection.
+                    self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .stats
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    obs.protocol_error.incr();
+                    self.complete_inline(
+                        token,
+                        seq,
+                        &Reply::Err {
+                            kind: "protocol".into(),
+                            message: msg,
+                        },
+                    );
+                }
+            }
+        }
+        self.advance(token);
+    }
+
+    /// Execute from the head of the connection's request queue:
+    /// lightweight verbs run inline on the loop thread, `QUERY`/`TRACE`
+    /// dispatch to the worker pool (one in flight per connection, so
+    /// pipelined requests execute — and answer — in order).
+    fn advance(&mut self, token: usize) {
+        let obs = server_obs();
+        loop {
+            let (seq, request) = {
+                let Some(conn) = self.conns[token].as_mut() else {
+                    return;
+                };
+                if conn.inflight {
+                    return;
+                }
+                let Some(head) = conn.queue.pop_front() else {
+                    return;
+                };
+                head
+            };
+            let started = Instant::now();
+            match request {
+                Request::Query(script) => {
+                    self.dispatch(token, seq, script, false);
+                    return;
+                }
+                Request::Trace(script) => {
+                    self.dispatch(token, seq, script, true);
+                    return;
+                }
+                Request::Hello => {
+                    obs.requests.incr();
+                    obs.lat_hello
+                        .observe_ns(started.elapsed().as_nanos() as u64);
+                    self.complete_inline(token, seq, &Reply::Ok(vec![PROTOCOL_VERSION.into()]));
+                }
+                Request::Stats => {
+                    let reply = Reply::Ok(vec![render_stats(&self.shared)]);
+                    obs.requests.incr();
+                    obs.lat_stats
+                        .observe_ns(started.elapsed().as_nanos() as u64);
+                    self.complete_inline(token, seq, &reply);
+                }
+                Request::Metrics(format) => {
+                    let reply = run_metrics(format);
+                    obs.requests.incr();
+                    obs.lat_metrics
+                        .observe_ns(started.elapsed().as_nanos() as u64);
+                    self.complete_inline(token, seq, &reply);
+                }
+                Request::Slowlog(limit) => {
+                    let reply = run_slowlog(limit);
+                    obs.requests.incr();
+                    obs.lat_slowlog
+                        .observe_ns(started.elapsed().as_nanos() as u64);
+                    self.complete_inline(token, seq, &reply);
+                }
+                Request::Quit => {
+                    obs.requests.incr();
+                    obs.lat_quit.observe_ns(started.elapsed().as_nanos() as u64);
+                    if let Some(conn) = self.conns[token].as_mut() {
+                        conn.lifecycle = Lifecycle::Draining;
+                        conn.queue.clear();
+                    }
+                    self.complete_inline(token, seq, &Reply::Ok(vec!["bye".into()]));
+                }
+                Request::Shutdown => {
+                    obs.requests.incr();
+                    obs.lat_shutdown
+                        .observe_ns(started.elapsed().as_nanos() as u64);
+                    if let Some(conn) = self.conns[token].as_mut() {
+                        conn.lifecycle = Lifecycle::Draining;
+                        conn.queue.clear();
+                        conn.shutdown_after = true;
+                    }
+                    self.complete_inline(token, seq, &Reply::Ok(vec!["shutting down".into()]));
+                    trigger_shutdown(&self.shared);
+                }
+            }
+        }
+    }
+
+    /// Hand one script to the worker pool, pinning (at most) one
+    /// snapshot per loop tick for the whole read batch.
+    fn dispatch(&mut self, token: usize, seq: u64, script: String, traced: bool) {
+        let obs = server_obs();
+        let view = match self.tick_view.clone() {
+            Some(v) => v,
+            None => {
+                let v = self.shared.engine.read_view();
+                obs.snapshot_batch.incr();
+                self.tick_view = Some(v.clone());
+                v
+            }
+        };
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        conn.inflight = true;
+        obs.pipeline_depth.observe(conn.backlog() as u64);
+        let job = Job {
+            conn: token,
+            generation: conn.generation,
+            seq,
+            script,
+            traced,
+            view,
+            min_epoch: conn.min_epoch,
+        };
+        if let Some(jobs) = &self.jobs {
+            if jobs.send(job).is_err() {
+                // Worker pool gone (shutdown race): the connection can
+                // only drain now.
+                if let Some(conn) = self.conns[token].as_mut() {
+                    conn.inflight = false;
+                    conn.lifecycle = Lifecycle::Draining;
+                    conn.queue.clear();
+                }
+            }
+        }
+    }
+
+    // -- completions and writes ---------------------------------------
+
+    fn drain_completions(&mut self) {
+        let completions: Vec<Completion> = match self.shared.completions.lock() {
+            Ok(mut q) => std::mem::take(&mut *q),
+            Err(_) => return,
+        };
+        for c in completions {
+            let Some(conn) = self.conns.get_mut(c.conn).and_then(Option::as_mut) else {
+                continue; // connection died while the job ran
+            };
+            if conn.generation != c.generation {
+                continue; // slot was reused
+            }
+            conn.inflight = false;
+            conn.last_activity = Instant::now();
+            conn.min_epoch = conn.min_epoch.max(c.epoch);
+            conn.ready.insert(c.seq, c.frame);
+            // The pipeline may have buffered frames beyond the cap;
+            // with a slot free, parse further and start the next
+            // request before flushing.
+            self.process_input(c.conn);
+            self.pump(c.conn);
+        }
+    }
+
+    /// Render, encode, and enqueue a loop-thread reply, then flush
+    /// opportunistically.
+    fn complete_inline(&mut self, token: usize, seq: u64, reply: &Reply) {
+        let payload = reply.render();
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        encode_frame(&payload, &mut frame);
+        self.shared
+            .stats
+            .bytes_out
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        server_obs().bytes_out.add(frame.len() as u64);
+        conn.ready.insert(seq, frame);
+        conn.last_activity = Instant::now();
+        self.pump(token);
+    }
+
+    fn conn_writable(&mut self, token: usize) {
+        self.pump(token);
+    }
+
+    /// Move in-order completed replies into the write buffer and push
+    /// bytes to the socket until it would block (or everything sent).
+    fn pump(&mut self, token: usize) {
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        loop {
+            while let Some(frame) = conn.ready.remove(&conn.next_write_seq) {
+                conn.write_buf.extend_from_slice(&frame);
+                conn.next_write_seq += 1;
+            }
+            if conn.write_pos == conn.write_buf.len() {
+                conn.write_buf.clear();
+                conn.write_pos = 0;
+                break;
+            }
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    self.doom(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.write_pos += n;
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.doom(token);
+                    return;
+                }
+            }
+        }
+        self.try_finish_drain(token);
+    }
+
+    /// Close a draining connection whose work has fully flushed; kick
+    /// the server shutdown if its `SHUTDOWN` reply just went out.
+    fn try_finish_drain(&mut self, token: usize) {
+        let Some(conn) = self.conns[token].as_ref() else {
+            return;
+        };
+        if conn.lifecycle == Lifecycle::Draining && conn.drained() {
+            if conn.shutdown_after {
+                trigger_shutdown(&self.shared);
+            }
+            self.doom(token);
+        }
+    }
+
+    // -- timeouts and teardown ----------------------------------------
+
+    fn expire_idle(&mut self) {
+        let obs = server_obs();
+        let now = Instant::now();
+        for token in 0..self.conns.len() {
+            let Some(conn) = self.conns[token].as_mut() else {
+                continue;
+            };
+            if !conn.timeout_applies() {
+                continue;
+            }
+            if now.saturating_duration_since(conn.last_activity) < conn.deadline {
+                continue;
+            }
+            if conn.rejecting {
+                // The opening frame never (fully) arrived; send BUSY
+                // anyway — matching the blocking server's behavior —
+                // and close.
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.lifecycle = Lifecycle::Draining;
+                self.complete_inline(
+                    token,
+                    seq,
+                    &Reply::Busy("server at connection capacity; retry later".into()),
+                );
+                // Best-effort: if the socket still isn't writable the
+                // reply is lost, exactly like the old fire-and-forget.
+                self.doom(token);
+                continue;
+            }
+            if conn.lifecycle == Lifecycle::Draining {
+                // A drain that cannot make progress (peer stopped
+                // reading): give up.
+                self.doom(token);
+                continue;
+            }
+            self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            obs.timeout.incr();
+            let timeout = conn.deadline;
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            conn.lifecycle = Lifecycle::Draining;
+            conn.queue.clear();
+            self.complete_inline(
+                token,
+                seq,
+                &Reply::Err {
+                    kind: "timeout".into(),
+                    message: format!("no request within {timeout:?}; closing"),
+                },
+            );
+            // If the reply flushed, the pump already closed the slot;
+            // otherwise the drain deadline will reap it.
+        }
+    }
+
+    fn doom(&mut self, token: usize) {
+        if !self.doomed.contains(&token) {
+            self.doomed.push(token);
+        }
+    }
+
+    fn reap_doomed(&mut self) {
+        while let Some(token) = self.doomed.pop() {
+            let Some(conn) = self.conns[token].take() else {
+                continue;
+            };
+            if !conn.rejecting {
+                let left = self.shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+                server_obs().active.set(left as u64);
+            }
+            self.free.push(token);
+            // `conn.stream` drops here, closing the socket.
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inline verbs
+// ---------------------------------------------------------------------
 
 fn unsupported(verb: &str) -> Reply {
     Reply::Err {
@@ -568,7 +1350,8 @@ fn render_stats(shared: &Shared) -> String {
     format!(
         "epoch: {}\naccepted: {}\nactive: {}\nbusy-rejected: {}\nqueries: {}\nerrors: {}\n\
          timeouts: {}\nprotocol-errors: {}\nbytes-in: {}\nbytes-out: {}\n\
-         slowlog-entries: {}\nslowlog-threshold-ms: {}",
+         slowlog-entries: {}\nslowlog-threshold-ms: {}\nworkers: {}\n\
+         backpressure-depth: {}\nshed-writes: {}",
         shared.engine.epoch(),
         shared.stats.accepted.load(Ordering::Relaxed),
         shared.active.load(Ordering::SeqCst),
@@ -581,5 +1364,8 @@ fn render_stats(shared: &Shared) -> String {
         shared.stats.bytes_out.load(Ordering::Relaxed),
         hrdm_obs::slowlog::len(),
         shared.config.slowlog_threshold.as_millis(),
+        shared.config.effective_workers(),
+        shared.config.backpressure_depth,
+        shared.stats.shed_writes.load(Ordering::Relaxed),
     )
 }

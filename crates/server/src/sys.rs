@@ -1,0 +1,238 @@
+//! A thin `libc` shim for the readiness loop: `poll(2)`, a self-wake
+//! pipe, and file-descriptor limit control.
+//!
+//! The workspace builds offline with no external crates, so — in the
+//! same spirit as the `shims/` offline stand-ins for rand/proptest —
+//! the event loop binds the four C entry points it needs directly.
+//! `std` already links the platform libc on every unix target, so
+//! these `extern "C"` declarations add no dependency; they only name
+//! symbols that are already in the process.
+//!
+//! Everything here is unix-only (`poll`, `pipe`, `fcntl` are POSIX);
+//! the serving crate targets the same platforms the CI matrix runs.
+
+#![allow(clippy::missing_safety_doc)]
+
+use std::io;
+use std::os::raw::{c_int, c_short, c_ulong};
+use std::os::unix::io::RawFd;
+
+/// Readable-data readiness (POSIX `POLLIN`).
+pub const POLLIN: c_short = 0x001;
+/// Writable-without-blocking readiness (POSIX `POLLOUT`).
+pub const POLLOUT: c_short = 0x004;
+/// Error condition (output only; POSIX `POLLERR`).
+pub const POLLERR: c_short = 0x008;
+/// Peer hung up (output only; POSIX `POLLHUP`).
+pub const POLLHUP: c_short = 0x010;
+/// Invalid fd (output only; POSIX `POLLNVAL`).
+pub const POLLNVAL: c_short = 0x020;
+
+/// One `poll(2)` registration: fd, interest set, readiness set.
+///
+/// Layout-identical to the C `struct pollfd` on every POSIX platform.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by
+    /// the kernel — handy for masking slots without reshuffling).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: c_short,
+    /// Returned events (kernel-filled; includes [`POLLERR`],
+    /// [`POLLHUP`], [`POLLNVAL`] regardless of the request).
+    pub revents: c_short,
+}
+
+impl PollFd {
+    /// Watch `fd` for `events`.
+    pub fn new(fd: RawFd, events: c_short) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Did the kernel report readable data (or a hangup/error, which a
+    /// read must observe to learn the cause)?
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+
+    /// Did the kernel report writability (or an error a write must
+    /// observe)?
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+}
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: c_ulong,
+    rlim_max: c_ulong,
+}
+
+const RLIMIT_NOFILE: c_int = 7;
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const O_NONBLOCK: c_int = 0o4000;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+/// Block until at least one registered fd is ready, `timeout_ms`
+/// elapses (`-1` = forever), or a signal lands. Returns the number of
+/// entries with nonzero `revents`; `Interrupted` errors are retried
+/// internally so callers never see `EINTR`.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// A self-wake pipe: any thread calls [`WakePipe::wake`], the readiness
+/// loop polls the read end and [`WakePipe::drain`]s it. Both ends are
+/// closed on drop.
+#[derive(Debug)]
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+// The fds are plain integers; wake()/drain() are single syscalls that
+// the kernel serializes.
+unsafe impl Send for WakePipe {}
+unsafe impl Sync for WakePipe {}
+
+impl WakePipe {
+    /// Create the pipe; both ends are set non-blocking so a full pipe
+    /// can never stall a waker and a drain can never stall the loop.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0 as c_int; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+            if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+                let err = io::Error::last_os_error();
+                unsafe {
+                    close(fds[0]);
+                    close(fds[1]);
+                }
+                return Err(err);
+            }
+        }
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The fd the readiness loop registers for [`POLLIN`].
+    pub fn poll_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Nudge the loop awake. Lossy by design: if the pipe is already
+    /// full the loop is provably waking anyway.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        unsafe {
+            let _ = write(self.write_fd, byte.as_ptr(), 1);
+        }
+    }
+
+    /// Swallow all pending wake bytes.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+/// Raise the soft open-file limit toward `want` (clamped to the hard
+/// limit) and return the resulting soft limit. High-connection-count
+/// tests call this so thousands of idle sockets don't trip the
+/// platform's default 1024-fd ceiling; failures are reported as the
+/// unchanged current limit, never an error.
+// rlim_t is c_ulong, which is already u64 on 64-bit linux but not on
+// every target the shim could meet — keep the widening casts.
+#[allow(clippy::unnecessary_cast)]
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    let mut lim = RLimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    if (lim.rlim_cur as u64) >= want {
+        return lim.rlim_cur as u64;
+    }
+    let target = (want as c_ulong).min(lim.rlim_max);
+    let new = RLimit {
+        rlim_cur: target,
+        rlim_max: lim.rlim_max,
+    };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &new) } == 0 {
+        target as u64
+    } else {
+        lim.rlim_cur as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pipe_round_trips_and_drains() {
+        let pipe = WakePipe::new().unwrap();
+        let mut fds = [PollFd::new(pipe.poll_fd(), POLLIN)];
+        // Nothing pending: poll times out with zero ready entries.
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        pipe.wake();
+        pipe.wake();
+        let mut fds = [PollFd::new(pipe.poll_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].readable());
+        pipe.drain();
+        let mut fds = [PollFd::new(pipe.poll_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0, "drained");
+    }
+
+    #[test]
+    fn nofile_limit_reports_a_positive_ceiling() {
+        assert!(raise_nofile_limit(64) >= 64);
+    }
+}

@@ -1,0 +1,158 @@
+//! Pipelining parity: a burst of K requests in flight on one
+//! connection must answer **byte-identically** to the same K scripts
+//! executed sequentially on an embedded engine — same replies, same
+//! order, reads observing every earlier write in the burst
+//! (read-your-writes survives the worker handoff and the tick-shared
+//! snapshots).
+
+use std::time::Duration;
+
+use hrdm::prelude::Engine;
+use hrdm_bench::fixtures::serving_bootstrap;
+use hrdm_server::{Client, Reply, Request, Server, ServerConfig};
+
+/// A deliberately stateful burst against the Fig. 1 serving world:
+/// writes interleaved with reads that only answer correctly if they
+/// observe the writes earlier in the same burst, plus a script that
+/// errors (unknown instance) so `ERR` replies are byte-checked too.
+fn burst() -> Vec<String> {
+    vec![
+        "SHOW Flies;".into(),
+        "CREATE INSTANCE P0 OF Penguin;".into(),
+        "HOLDS Flies (P0);".into(),
+        "ASSERT Flies (P0);".into(),
+        "HOLDS Flies (P0);".into(),
+        "COUNT Flies;".into(),
+        "HOLDS Flies (NoSuchCreature);".into(),
+        "CREATE INSTANCE P1 OF \"Amazing Flying Penguin\";".into(),
+        "HOLDS Flies (P1);".into(),
+        "COUNT Flies;".into(),
+        "CHECK Flies;".into(),
+        "COUNT Flies BY Creature;".into(),
+        "SHOW Flies;".into(),
+    ]
+}
+
+/// The reply a serial engine gives, rendered the way the server
+/// renders it on the wire.
+fn serial_reply(engine: &Engine, statement: &str) -> Reply {
+    match engine.execute(statement) {
+        Ok(responses) => Reply::Ok(responses.iter().map(ToString::to_string).collect()),
+        Err(e) => Reply::Err {
+            kind: e.kind().to_string(),
+            message: e.to_string(),
+        },
+    }
+}
+
+fn start_server() -> hrdm_server::ServerHandle {
+    let engine = Engine::new();
+    engine.execute(serving_bootstrap()).unwrap();
+    Server::start(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            read_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn as_requests(scripts: &[String]) -> Vec<Request> {
+    scripts.iter().map(|s| Request::Query(s.clone())).collect()
+}
+
+#[test]
+fn a_pipelined_burst_matches_sequential_embedded_execution() {
+    let scripts = burst();
+    // Reference: the same scripts, in order, on an embedded engine.
+    let reference = Engine::new();
+    reference.execute(serving_bootstrap()).unwrap();
+    let expected: Vec<Reply> = scripts
+        .iter()
+        .map(|s| serial_reply(&reference, s))
+        .collect();
+
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let replies = client.pipeline(&as_requests(&scripts)).unwrap();
+
+    assert_eq!(replies.len(), expected.len());
+    for (k, (got, want)) in replies.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            got, want,
+            "pipelined reply {k} to {:?} diverged from sequential execution",
+            scripts[k]
+        );
+    }
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_and_sequential_connections_answer_identically() {
+    let scripts = burst();
+
+    // One server, one burst down a pipelined connection.
+    let handle = start_server();
+    let mut pipelined = Client::connect(handle.addr()).unwrap();
+    let piped = pipelined.pipeline(&as_requests(&scripts)).unwrap();
+    pipelined.quit().unwrap();
+    handle.shutdown();
+
+    // A fresh identical server, same scripts one round-trip at a time.
+    let handle = start_server();
+    let mut sequential = Client::connect(handle.addr()).unwrap();
+    let mut serial = Vec::new();
+    for s in &scripts {
+        serial.push(sequential.query(s).unwrap());
+    }
+    sequential.quit().unwrap();
+    handle.shutdown();
+
+    assert_eq!(piped, serial, "pipelining changed observable replies");
+}
+
+/// Pipelined bursts repeated back-to-back on a single connection keep
+/// their in-order, read-your-writes guarantees across bursts, and the
+/// server's query/error counters see every request exactly once.
+#[test]
+fn repeated_bursts_on_one_connection_stay_ordered() {
+    let reference = Engine::new();
+    reference.execute(serving_bootstrap()).unwrap();
+
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut sent = 0u64;
+    for round in 0..8 {
+        let scripts: Vec<String> = vec![
+            format!("CREATE INSTANCE R{round} OF Canary;"),
+            format!("HOLDS Flies (R{round});"),
+            "COUNT Flies;".into(),
+        ];
+        let expected: Vec<Reply> = scripts
+            .iter()
+            .map(|s| serial_reply(&reference, s))
+            .collect();
+        let replies = client.pipeline(&as_requests(&scripts)).unwrap();
+        assert_eq!(replies, expected, "round {round} diverged");
+        sent += scripts.len() as u64;
+    }
+    client.quit().unwrap();
+    let ok = handle
+        .stats()
+        .queries
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let err = handle
+        .stats()
+        .errors
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        ok + err,
+        sent,
+        "each pipelined request counted exactly once"
+    );
+    assert_eq!(err, 0, "every script in these bursts succeeds serially");
+    handle.shutdown();
+}

@@ -1,12 +1,15 @@
 //! Property tests for the `HRDM/1` wire protocol: every renderable
 //! request and reply — including the `METRICS`/`SLOWLOG` telemetry
-//! verbs — must survive render → parse unchanged, and frames must
-//! survive write → read byte-for-byte.
+//! verbs — must survive render → parse unchanged, frames must survive
+//! write → read byte-for-byte, and *pipelined* frame sequences must
+//! reassemble through the incremental [`FrameReader`] no matter how
+//! the byte stream is split (partial headers, partial payloads, many
+//! frames in one chunk).
 
 use proptest::prelude::*;
 
-use hrdm_server::proto::{read_frame, write_frame};
-use hrdm_server::{MetricsFormat, Reply, Request};
+use hrdm_server::proto::{encode_frame, read_frame, write_frame};
+use hrdm_server::{FrameReader, MetricsFormat, Reply, Request};
 
 /// HQL-ish script bodies, plus hostile shapes: empty, blank lines,
 /// embedded newlines, leading whitespace, unicode.
@@ -97,5 +100,75 @@ proptest! {
     fn request_verbs_are_stable_across_a_round_trip(req in arb_request()) {
         let parsed = Request::parse(&req.render()).expect("round-trips");
         prop_assert_eq!(parsed.verb(), req.verb());
+    }
+
+    /// The partial-write side of pipelining: a client may flush a burst
+    /// of request frames in one write, the kernel may deliver it in any
+    /// fragmentation. Whatever the split points — mid-header,
+    /// mid-payload, several frames per chunk — the incremental reader
+    /// must recover exactly the original request sequence, in order,
+    /// with nothing left buffered.
+    #[test]
+    fn pipelined_request_bursts_survive_arbitrary_stream_splits(
+        requests in prop::collection::vec(arb_request(), 1..8),
+        splits in prop::collection::vec(1usize..64, 0..32),
+    ) {
+        let payloads: Vec<String> = requests.iter().map(Request::render).collect();
+        let mut wire = Vec::new();
+        for p in &payloads {
+            encode_frame(p, &mut wire);
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut split = 0;
+        while pos < wire.len() {
+            let n = if splits.is_empty() {
+                wire.len() - pos
+            } else {
+                splits[split % splits.len()].min(wire.len() - pos)
+            };
+            split += 1;
+            reader.push(&wire[pos..pos + n]);
+            pos += n;
+            while let Some(frame) = reader.next_frame().expect("well-formed frames") {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(&got, &payloads, "reassembled payload sequence diverged");
+        prop_assert_eq!(reader.buffered(), 0, "bytes left behind after the last frame");
+        for (frame, original) in got.iter().zip(&requests) {
+            prop_assert_eq!(&Request::parse(frame).expect("parses"), original);
+        }
+    }
+
+    /// The partial-read side: a server flushes a batch of in-order
+    /// reply frames; however the client's reads fragment the stream,
+    /// the k-th reassembled reply must parse back to the k-th reply
+    /// sent.
+    #[test]
+    fn pipelined_reply_bursts_survive_arbitrary_stream_splits(
+        replies in prop::collection::vec(arb_reply(), 1..8),
+        splits in prop::collection::vec(1usize..48, 1..24),
+    ) {
+        let mut wire = Vec::new();
+        for r in &replies {
+            encode_frame(&r.render(), &mut wire);
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut split = 0;
+        while pos < wire.len() {
+            let n = splits[split % splits.len()].min(wire.len() - pos);
+            split += 1;
+            reader.push(&wire[pos..pos + n]);
+            pos += n;
+            while let Some(frame) = reader.next_frame().expect("well-formed frames") {
+                got.push(Reply::parse(&frame).expect("replies parse"));
+            }
+        }
+        prop_assert_eq!(&got, &replies);
+        prop_assert_eq!(reader.buffered(), 0);
     }
 }

@@ -76,33 +76,47 @@ fn soak_eight_clients_against_a_journaled_store() {
     .unwrap();
     let addr = handle.addr();
 
+    // Every client tallies its replies by kind, so the server's
+    // counters can be checked *exactly* per kind afterwards — not as a
+    // lump sum that would hide misclassification.
+    let (mut total_ok, mut total_err) = (0u64, 0u64);
     std::thread::scope(|s| {
         let queries = &queries;
         let writes = &writes;
         let expected = &expected;
         // The writer journals every mutation through the store's WAL.
-        s.spawn(move || {
+        let writer = s.spawn(move || {
             let mut client = Client::connect(addr).unwrap();
             for w in writes {
                 assert!(client.query(w).unwrap().is_ok(), "write {w:?} failed");
                 std::thread::sleep(Duration::from_millis(1));
             }
             client.quit().unwrap();
+            (writes.len() as u64, 0u64)
         });
+        let mut readers = Vec::new();
         for reader in 0..CLIENTS as u64 {
-            s.spawn(move || {
+            readers.push(s.spawn(move || {
                 let mut client = Client::connect(addr).unwrap();
                 let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (reader + 1);
+                let (mut ok, mut err) = (0u64, 0u64);
                 for _ in 0..QUERIES_PER_CLIENT {
                     state ^= state << 13;
                     state ^= state >> 7;
                     state ^= state << 17;
                     let qi = (state % queries.len() as u64) as usize;
                     let reply = client.query(queries[qi]).unwrap();
-                    assert!(
-                        !matches!(reply, Reply::Busy(_)),
-                        "reader was admitted; BUSY is a protocol failure here"
-                    );
+                    match reply {
+                        Reply::Ok(_) => ok += 1,
+                        // Queries racing ahead of the writer
+                        // legitimately get ERR replies (they name
+                        // instances a later write creates — the point
+                        // of the existence-transition mix).
+                        Reply::Err { .. } => err += 1,
+                        Reply::Busy(_) => {
+                            panic!("reader was admitted; BUSY is a protocol failure here")
+                        }
+                    }
                     let matches_a_prefix = expected.iter().any(|row| row[qi] == reply);
                     assert!(
                         matches_a_prefix,
@@ -111,40 +125,48 @@ fn soak_eight_clients_against_a_journaled_store() {
                     );
                 }
                 client.quit().unwrap();
-            });
+                (ok, err)
+            }));
+        }
+        for h in readers.into_iter().chain(std::iter::once(writer)) {
+            let (ok, err) = h.join().unwrap();
+            total_ok += ok;
+            total_err += err;
         }
     });
 
     // All writes landed: the final state answers exactly like the full
-    // serial replay, and the counters saw every request.
+    // serial replay (all successes in the final serial state, so they
+    // tally as OK replies).
     let mut client = Client::connect(addr).unwrap();
     for (qi, q) in queries.iter().enumerate() {
-        assert_eq!(client.query(q).unwrap(), expected[writes.len()][qi]);
+        let reply = client.query(q).unwrap();
+        assert_eq!(reply, expected[writes.len()][qi]);
+        match reply {
+            Reply::Ok(_) => total_ok += 1,
+            Reply::Err { .. } => total_err += 1,
+            Reply::Busy(_) => unreachable!("checked equal to a serial reply"),
+        }
     }
     client.quit().unwrap();
-    // Queries racing ahead of the writer legitimately get ERR replies
-    // (they name instances a later write creates — that's the point of
-    // the existence-transition mix), and those land in `errors`, not
-    // `queries`. The request *count* is what must add up.
-    let queries_served = handle
-        .stats()
-        .queries
-        .load(std::sync::atomic::Ordering::Relaxed)
-        + handle
-            .stats()
-            .errors
-            .load(std::sync::atomic::Ordering::Relaxed);
-    assert!(
-        queries_served >= (CLIENTS * QUERIES_PER_CLIENT) as u64,
-        "served {queries_served}"
-    );
+    // Per-kind exactness: the server classified every request the way
+    // the clients observed it, and nothing else happened.
+    let stat = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(stat(&handle.stats().queries), total_ok, "OK replies");
+    assert_eq!(stat(&handle.stats().errors), total_err, "ERR replies");
     assert_eq!(
-        handle
-            .stats()
-            .busy_rejected
-            .load(std::sync::atomic::Ordering::Relaxed),
-        0
+        total_ok + total_err,
+        (CLIENTS * QUERIES_PER_CLIENT + writes.len() + queries.len()) as u64,
+        "every request accounted for"
     );
+    assert_eq!(stat(&handle.stats().timeouts), 0, "no timeouts");
+    assert_eq!(
+        stat(&handle.stats().protocol_errors),
+        0,
+        "no protocol errors"
+    );
+    assert_eq!(stat(&handle.stats().busy_rejected), 0, "no admission BUSY");
+    assert_eq!(stat(&handle.stats().shed_writes), 0, "no backpressure shed");
     handle.shutdown();
 
     // Durability: recovery rebuilds the full serial state from the WAL.

@@ -62,6 +62,8 @@ pub use error::{Error, Result};
 pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use hrdm_core::prelude::*;
-    pub use hrdm_hql::{Engine, HqlError, Response, Session, Statement, StatementKind, World};
+    pub use hrdm_hql::{
+        Engine, HqlError, ReadView, Response, Session, Statement, StatementKind, World,
+    };
     pub use hrdm_persist::{Image, Journal, PersistError};
 }

@@ -25,9 +25,11 @@ Two layers of checking, dispatched on the artifact's "label" field:
      a wholesale reset).
    * server — the serving-tier load harness completed every request in
      every phase with zero errors, percentiles are ordered and nonzero
-     (p50 <= p95 <= p99), throughput is positive, and the server-side
+     (p50 <= p95 <= p99), throughput is positive, the server-side
      counters moved (queries served, bytes in both directions, epochs
-     published by the write phase).
+     published by the write phase), and request pipelining pays: the
+     deepest sweep point at depth >= 8 must beat the depth-1 point on
+     throughput.
 
 A regression in either layer fails CI here rather than silently
 shipping a slower engine.
@@ -145,8 +147,59 @@ def gate_server(path, doc):
                 f"{path}: {name}: ok ({phase['requests']} requests, "
                 f"{phase['throughput_rps']:.0f} rps, p50 {p50} ns, p99 {p99} ns)"
             )
+    pipeline = doc["pipeline"]
+    for point in pipeline:
+        name = f"pipeline@{point['depth']}"
+        if point["errors"]:
+            print(f"{path}: {name}: {point['errors']} request errors", file=sys.stderr)
+            ok = False
+        p50, p95, p99 = point["p50_ns"], point["p95_ns"], point["p99_ns"]
+        if not (0 < p50 <= p95 <= p99):
+            print(
+                f"{path}: {name}: percentiles are missing or unordered "
+                f"(p50={p50} p95={p95} p99={p99})",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(
+                f"{path}: {name}: ok ({point['requests']} requests, "
+                f"{point['throughput_rps']:.0f} rps, burst p50 {p50} ns)"
+            )
+    shallow = next((p for p in pipeline if p["depth"] == 1), None)
+    # The sweep's best deep point must beat depth 1: pipelining has to
+    # pay somewhere at depth >= 8 (the deepest point may legitimately
+    # oversaturate per-connection serial execution).
+    deep = max(
+        (p for p in pipeline if p["depth"] >= 8),
+        key=lambda p: p["throughput_rps"],
+        default=None,
+    )
+    if shallow is None or deep is None:
+        print(
+            f"{path}: pipeline sweep must include depth 1 and a depth >= 8 "
+            f"(got {[p['depth'] for p in pipeline]})",
+            file=sys.stderr,
+        )
+        ok = False
+    elif deep["throughput_rps"] <= shallow["throughput_rps"]:
+        print(
+            f"{path}: pipelining does not pay: depth {deep['depth']} reached "
+            f"{deep['throughput_rps']:.0f} rps <= depth 1 at "
+            f"{shallow['throughput_rps']:.0f} rps",
+            file=sys.stderr,
+        )
+        ok = False
+    else:
+        print(
+            f"{path}: pipeline: ok (depth {deep['depth']} at "
+            f"{deep['throughput_rps']:.0f} rps, "
+            f"{deep['throughput_rps'] / shallow['throughput_rps']:.2f}x depth 1)"
+        )
     server = doc["server"]
-    total = sum(doc["phases"][n]["requests"] for n in SERVER_PHASES)
+    total = sum(doc["phases"][n]["requests"] for n in SERVER_PHASES) + sum(
+        p["requests"] for p in pipeline
+    )
     if server["queries"] < total:
         print(
             f"{path}: server counted {server['queries']} queries but the "

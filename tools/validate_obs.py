@@ -10,7 +10,7 @@ chrome://tracing JSON (complete "X" events with the required keys) and
 that BENCH_obs.json conforms to the checked-in schema. The schema
 checker implements the small JSON-Schema subset the schema file uses
 (type, required, properties, additionalProperties, enum, const,
-minimum, oneOf) so CI needs no third-party packages.
+minimum, oneOf, items, minItems) so CI needs no third-party packages.
 """
 
 import argparse
@@ -61,6 +61,14 @@ def check(value, schema, path):
                 errors.append(f"{path}: unexpected key {key!r}")
             elif isinstance(extra, dict):
                 errors.extend(check(sub, extra, f"{path}.{key}"))
+    if t == "array":
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(value)} items below minItems {schema['minItems']}"
+            )
+        if "items" in schema:
+            for i, item in enumerate(value):
+                errors.extend(check(item, schema["items"], f"{path}[{i}]"))
     return errors
 
 
