@@ -104,7 +104,9 @@ pub mod prelude {
     pub use crate::columnar::{Batch, ColumnarRelation, BATCH_ROWS};
     pub use crate::cost::{AccessPath, CostModel};
     pub use crate::delta::{Delta, RelationChange, RelationDelta};
-    pub use crate::differential::{MaintainReport, MaterializedPlan};
+    pub use crate::differential::{
+        cone_limit, set_cone_limit, MaintainReport, MaterializedPlan, DEFAULT_CONE_LIMIT,
+    };
     pub use crate::error::{CoreError, Result};
     pub use crate::intern::Sym;
     pub use crate::item::Item;

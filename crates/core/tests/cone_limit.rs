@@ -1,0 +1,23 @@
+//! The cone-localization knob: environment initialization and runtime
+//! override. Lives in its own test binary so this process's first read
+//! of the knob happens *after* `HRDM_CONE_LIMIT` is set — the `OnceLock`
+//! init is per-process.
+
+use hrdm_core::differential::{cone_limit, set_cone_limit, DEFAULT_CONE_LIMIT};
+
+#[test]
+fn env_seeds_the_limit_and_runtime_overrides_win() {
+    // Must precede the first cone_limit() call anywhere in this process.
+    std::env::set_var("HRDM_CONE_LIMIT", "7");
+    assert_eq!(cone_limit(), 7, "first read honors HRDM_CONE_LIMIT");
+
+    set_cone_limit(0);
+    assert_eq!(cone_limit(), 0, "0 = always recompute");
+    set_cone_limit(usize::MAX);
+    assert_eq!(cone_limit(), usize::MAX, "MAX = always sweep locally");
+
+    // The env var is only consulted once; later changes are inert.
+    std::env::set_var("HRDM_CONE_LIMIT", "99");
+    set_cone_limit(DEFAULT_CONE_LIMIT);
+    assert_eq!(cone_limit(), DEFAULT_CONE_LIMIT);
+}

@@ -174,6 +174,24 @@ pub enum Statement {
         /// The derivation expression to run and trace.
         derivation: Derivation,
     },
+    /// `DROP DOMAIN name` — remove a domain no relation references.
+    DropDomain {
+        /// Domain name.
+        name: String,
+    },
+    /// `DROP RELATION name` — remove a stored relation (and its live
+    /// view definition, if it was a `LET` view).
+    DropRelation {
+        /// Relation name.
+        name: String,
+    },
+    /// `RENAME RELATION old TO new`
+    RenameRelation {
+        /// Current relation name.
+        from: String,
+        /// New relation name.
+        to: String,
+    },
 }
 
 /// The fieldless discriminant of a [`Statement`] — the key the
@@ -233,10 +251,16 @@ pub enum StatementKind {
     Explain = 22,
     /// `TRACE`
     Trace = 23,
+    /// `DROP DOMAIN`
+    DropDomain = 24,
+    /// `DROP RELATION`
+    DropRelation = 25,
+    /// `RENAME RELATION`
+    RenameRelation = 26,
 }
 
 /// Number of statement kinds (= dispatch-table length).
-pub const STATEMENT_KINDS: usize = 24;
+pub const STATEMENT_KINDS: usize = 27;
 
 impl StatementKind {
     /// Does this statement leave the session state untouched?
@@ -291,6 +315,9 @@ impl Statement {
             Statement::Let { .. } => StatementKind::Let,
             Statement::Explain { .. } => StatementKind::Explain,
             Statement::Trace { .. } => StatementKind::Trace,
+            Statement::DropDomain { .. } => StatementKind::DropDomain,
+            Statement::DropRelation { .. } => StatementKind::DropRelation,
+            Statement::RenameRelation { .. } => StatementKind::RenameRelation,
         }
     }
 
@@ -352,6 +379,7 @@ fn quoted(name: &str) -> String {
         && !name.contains("--")
         && ![
             "all", "not", "under", "of", "over", "in", "on", "by", "where", "is", "and", "domain",
+            "to", "relation",
         ]
         .contains(&name.to_ascii_lowercase().as_str());
     if bare_ok {
@@ -476,6 +504,11 @@ impl fmt::Display for Statement {
             }
             Statement::Trace { derivation } => {
                 write!(f, "TRACE {derivation};")
+            }
+            Statement::DropDomain { name } => write!(f, "DROP DOMAIN {};", quoted(name)),
+            Statement::DropRelation { name } => write!(f, "DROP RELATION {};", quoted(name)),
+            Statement::RenameRelation { from, to } => {
+                write!(f, "RENAME RELATION {} TO {};", quoted(from), quoted(to))
             }
         }
     }

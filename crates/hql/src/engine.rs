@@ -201,6 +201,9 @@ const DISPATCH: [Handler; STATEMENT_KINDS] = [
     Handler::Write(exec_let),             // Let
     Handler::Read(exec_explain),          // Explain
     Handler::Read(exec_trace),            // Trace
+    Handler::Write(exec_drop_domain),     // DropDomain
+    Handler::Write(exec_drop_relation),   // DropRelation
+    Handler::Write(exec_rename_relation), // RenameRelation
 ];
 
 /// A pinned, shareable read-only view of the engine: one snapshot
@@ -251,6 +254,17 @@ impl ReadView {
             }
         }
         Some(Ok(out))
+    }
+
+    /// Execute one parsed statement against the pinned snapshot **iff**
+    /// it is read-only (`None` otherwise). The per-statement entry
+    /// point a sharded coordinator scatter-gathers through: it routes
+    /// each statement to its owning shard's floor-checked view.
+    pub fn execute_statement(&self, stmt: Statement) -> Option<Result<Response>> {
+        let Handler::Read(h) = &DISPATCH[stmt.kind() as usize] else {
+            return None;
+        };
+        Some(h(&self.snap, stmt))
     }
 }
 
@@ -390,6 +404,22 @@ impl Engine {
             j.sync()?;
         }
         Ok(())
+    }
+
+    /// The incremental-view-maintenance cone-localization threshold:
+    /// deltas touching more than this many cone-affected tuples make a
+    /// consolidate node recompute instead of sweeping locally. Both
+    /// sides of the cutoff are byte-identical; this is a cost knob.
+    pub fn cone_limit(&self) -> usize {
+        hrdm_core::differential::cone_limit()
+    }
+
+    /// Override the cone-localization threshold. The setting is
+    /// process-global (it also honors the `HRDM_CONE_LIMIT` environment
+    /// variable at first use), so it applies to every engine — and
+    /// every shard — in the process.
+    pub fn set_cone_limit(&self, limit: usize) {
+        hrdm_core::differential::set_cone_limit(limit);
     }
 
     /// Replace the whole published state from a persistence image (no
@@ -653,6 +683,43 @@ fn exec_checkpoint(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> 
     Ok(Response::Ok(format!("checkpoint written at lsn {lsn}")))
 }
 
+fn exec_drop_domain(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::DropDomain { name } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    txn.world.drop_domain(&name)?;
+    txn.delta.record_domain(&name);
+    txn.record(CatalogMutation::DropDomain { name: name.clone() })?;
+    Ok(Response::Ok(format!("domain {name} dropped")))
+}
+
+fn exec_drop_relation(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::DropRelation { name } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    txn.world.drop_relation(&name)?;
+    // The reset makes any view depending on the dropped relation fail
+    // its maintenance pass — and therefore this statement — atomically.
+    txn.delta.record_reset(&name);
+    txn.record(CatalogMutation::DropRelation { name: name.clone() })?;
+    Ok(Response::Ok(format!("relation {name} dropped")))
+}
+
+fn exec_rename_relation(txn: &mut WriteTxn<'_>, stmt: Statement) -> Result<Response> {
+    let Statement::RenameRelation { from, to } = stmt else {
+        unreachable!("dispatched by kind")
+    };
+    txn.world.rename_relation(&from, &to)?;
+    // Both names reset: views depending on the old name fail atomically
+    // (their derivations no longer resolve), and consumers of the new
+    // name rebuild from scratch. A rename is outside the WAL mutation
+    // vocabulary, so durability takes an implicit checkpoint.
+    txn.delta.record_reset(&from);
+    txn.delta.record_reset(&to);
+    txn.checkpoint()?;
+    Ok(Response::Ok(format!("relation {from} renamed to {to}")))
+}
+
 // ---------------------------------------------------------------------
 // Read handlers
 // ---------------------------------------------------------------------
@@ -846,6 +913,9 @@ mod tests {
             Let,
             Explain,
             Trace,
+            DropDomain,
+            DropRelation,
+            RenameRelation,
         ];
         assert_eq!(kinds.len(), STATEMENT_KINDS);
         for (i, kind) in kinds.into_iter().enumerate() {

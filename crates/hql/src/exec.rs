@@ -86,13 +86,23 @@ impl Default for Session {
 impl Session {
     /// A fresh, empty session over its own private engine.
     pub fn new() -> Session {
-        Session::with_engine(Engine::new())
+        Session::over(Engine::new())
+    }
+
+    fn over(engine: Engine) -> Session {
+        let view = engine.snapshot();
+        Session { engine, view }
     }
 
     /// A session view over an existing (possibly shared) engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "program against `ExecutorHandle` (which `Engine` implements directly) \
+                instead of wrapping a shared engine in a second `Session`; \
+                use `Session::new()` for a private session"
+    )]
     pub fn with_engine(engine: Engine) -> Session {
-        let view = engine.snapshot();
-        Session { engine, view }
+        Session::over(engine)
     }
 
     /// The underlying engine — clone it to execute concurrently from
@@ -589,9 +599,15 @@ mod tests {
     #[test]
     fn sessions_sharing_an_engine_see_each_other() {
         let mut writer = fig1_session();
-        let mut reader = Session::with_engine(writer.engine().clone());
+        let mut reader = Session::over(writer.engine().clone());
         assert_eq!(truth_of(&mut reader, "HOLDS Flies (Tweety);"), Some(true));
         writer.execute("CREATE INSTANCE Pia OF Penguin;").unwrap();
         assert_eq!(truth_of(&mut reader, "HOLDS Flies (Pia);"), Some(false));
+        // The supported public shape of the same pattern: share the
+        // engine through the location-transparent handle.
+        let handle: &dyn crate::executor::ExecutorHandle = writer.engine();
+        let out = handle.execute_read("HOLDS Flies (Pia);", 0).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].ends_with("false"), "{:?}", out[0]);
     }
 }

@@ -51,14 +51,20 @@ pub mod ast;
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod executor;
 pub mod lexer;
 pub mod parser;
+pub mod replica;
+pub mod shard;
 pub mod world;
 
 pub use ast::{Statement, StatementKind};
 pub use engine::{Engine, ReadView};
 pub use error::{HqlError, Result};
 pub use exec::{Response, Session};
+pub use executor::{render, ExecError, ExecResult, ExecutorHandle};
+pub use replica::Replica;
+pub use shard::{default_shard, ShardedEngine};
 pub use world::World;
 
 /// Parse and execute one or more statements against a fresh session.

@@ -248,6 +248,23 @@ impl Parser {
             let derivation = self.derivation()?;
             return Ok(Statement::Trace { derivation });
         }
+        if self.eat_kw("drop") {
+            if self.eat_kw("domain") {
+                let name = self.name("a domain name")?;
+                return Ok(Statement::DropDomain { name });
+            }
+            self.expect_kw("relation")
+                .map_err(|_| self.err("DOMAIN or RELATION after DROP"))?;
+            let name = self.name("a relation name")?;
+            return Ok(Statement::DropRelation { name });
+        }
+        if self.eat_kw("rename") {
+            self.expect_kw("relation")?;
+            let from = self.name("a relation name")?;
+            self.expect_kw("to")?;
+            let to = self.name("a new relation name")?;
+            return Ok(Statement::RenameRelation { from, to });
+        }
         Err(self.err("a statement keyword"))
     }
 
@@ -536,6 +553,41 @@ mod tests {
         assert!(parse("OPEN \"x\" SYNC EVERY zero;").is_err());
         assert!(parse("OPEN \"x\" SYNC EVERY 0;").is_err());
         assert!(parse("OPEN \"x\" SYNC 4;").is_err());
+    }
+
+    #[test]
+    fn parse_drop_and_rename() {
+        let stmts = parse(
+            "DROP DOMAIN Animal;\
+             DROP RELATION Flies;\
+             RENAME RELATION Flies TO Flying;",
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Statement::DropDomain {
+                name: "Animal".into()
+            }
+        );
+        assert_eq!(
+            stmts[1],
+            Statement::DropRelation {
+                name: "Flies".into()
+            }
+        );
+        assert_eq!(
+            stmts[2],
+            Statement::RenameRelation {
+                from: "Flies".into(),
+                to: "Flying".into(),
+            }
+        );
+        assert!(parse("DROP TABLE x;").is_err());
+        assert!(parse("RENAME RELATION A B;").is_err());
+        // Round-trip through Display.
+        for s in &stmts {
+            assert_eq!(parse(&s.to_string()).unwrap()[0], *s);
+        }
     }
 
     #[test]

@@ -1,0 +1,515 @@
+//! A single-process sharded coordinator over N engine shards.
+//!
+//! [`ShardedEngine`] hash-partitions the catalog by **relation name**
+//! ([`default_shard`]) across N in-process [`Engine`] shards, while
+//! staying **domain-subtree aware**: domain hierarchies are replicated
+//! to every shard (domain DDL — `CREATE DOMAIN`/`CLASS`/`INSTANCE`,
+//! `PREFER`, `DROP DOMAIN` — broadcasts), so the name-hash partition
+//! never splits a domain's subsumption structure and any relation can
+//! resolve its values on whichever shard owns it.
+//!
+//! * **Reads scatter-gather**: each read statement routes to its owning
+//!   shard's epoch-floor-checked [`ReadView`] and the responses are
+//!   gathered in statement order.
+//! * **Writes route**: relation-scoped writes go to the owning shard;
+//!   `LET` lands on the (single) shard holding all its sources;
+//!   `RENAME RELATION` migrates the relation when the name hash moves
+//!   it to a different shard.
+//! * **Errors merge** under the existing stable wire codes: a shard's
+//!   [`HqlError::kind`](crate::HqlError::kind) crosses the coordinator
+//!   unchanged as an [`ExecError`].
+//!
+//! The coordinator keeps a per-shard **epoch floor**, advanced after
+//! every write it routes; reads pin a view at or above the floor, so a
+//! read that program-order follows a write through this coordinator
+//! always observes it, even while other statements race.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, RwLock};
+
+use hrdm_core::prelude::*;
+
+use crate::ast::{Derivation, Source, Statement, ValueRef};
+use crate::engine::{Engine, ReadView};
+use crate::error::HqlError;
+use crate::exec::Response;
+use crate::executor::{ExecError, ExecResult, ExecutorHandle};
+use crate::parser::parse;
+
+/// The default placement of a relation name: FNV-1a over the name,
+/// modulo the shard count. Routing-table entries (tracking `LET`
+/// colocations and `RENAME` moves) override it.
+pub fn default_shard(relation: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in relation.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// The relation a statement is scoped to, when it names exactly one
+/// (derivation-bearing statements route by their source set instead).
+pub fn statement_relation(stmt: &Statement) -> Option<&str> {
+    match stmt {
+        Statement::CreateRelation { name, .. } | Statement::DropRelation { name } => Some(name),
+        Statement::Assert { relation, .. }
+        | Statement::Retract { relation, .. }
+        | Statement::Holds { relation, .. }
+        | Statement::Holds3 { relation, .. }
+        | Statement::Why { relation, .. }
+        | Statement::Check { relation }
+        | Statement::Show { relation }
+        | Statement::Consolidate { relation }
+        | Statement::Explicate { relation, .. }
+        | Statement::SetPreemption { relation, .. }
+        | Statement::Count { relation, .. } => Some(relation),
+        _ => None,
+    }
+}
+
+/// Collect the named base relations a derivation scans (recursing into
+/// nested derivations).
+pub fn derivation_sources(derivation: &Derivation, out: &mut BTreeSet<String>) {
+    let mut source = |s: &Source| match s {
+        Source::Named(name) => {
+            out.insert(name.clone());
+        }
+        Source::Derived(inner) => derivation_sources(inner, out),
+    };
+    match derivation {
+        Derivation::Union(a, b)
+        | Derivation::Intersect(a, b)
+        | Derivation::Difference(a, b)
+        | Derivation::Join(a, b) => {
+            source(a);
+            source(b);
+        }
+        Derivation::Project(a, _)
+        | Derivation::Select(a, _)
+        | Derivation::Consolidated(a)
+        | Derivation::Explicated(a, _) => source(a),
+    }
+}
+
+/// Routing state: the authoritative relation→shard map plus the
+/// per-shard epoch floors of writes routed through this coordinator.
+struct Routing {
+    routes: BTreeMap<String, usize>,
+    floors: Vec<u64>,
+}
+
+/// A coordinator that partitions one logical catalog across N
+/// in-process engine shards behind the same [`ExecutorHandle`] surface
+/// as a single [`Engine`]. See the module docs for the routing rules.
+///
+/// Statements that are inherently whole-catalog (`SAVE`, `LOAD`,
+/// `OPEN`, `CHECKPOINT`) report kind `"unsupported"` through the
+/// coordinator — durability composes per shard instead (each shard
+/// engine can be `OPEN`ed individually before serving).
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+    routing: RwLock<Routing>,
+    /// Serializes route-changing DDL (broadcasts, create/drop/rename
+    /// relation) so a `DROP DOMAIN` probe can't race a `CREATE
+    /// RELATION` into an inconsistent cross-shard state. Row writes
+    /// (`ASSERT`, …) do not take it.
+    ddl: Mutex<()>,
+}
+
+impl ShardedEngine {
+    /// A coordinator over `shards` fresh, empty engine shards (at
+    /// least one).
+    pub fn new(shards: usize) -> ShardedEngine {
+        let n = shards.max(1);
+        ShardedEngine {
+            shards: (0..n).map(|_| Engine::new()).collect(),
+            routing: RwLock::new(Routing {
+                routes: BTreeMap::new(),
+                floors: vec![0; n],
+            }),
+            ddl: Mutex::new(()),
+        }
+    }
+
+    /// The shard engines, in shard order — e.g. to put each behind its
+    /// own `hrdm-server` event loop.
+    pub fn shards(&self) -> &[Engine] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard currently owning `relation`: its routing-table entry
+    /// if the coordinator placed it, the name hash otherwise.
+    pub fn owner_of(&self, relation: &str) -> usize {
+        let routing = self.routing.read().expect("routing lock poisoned");
+        routing
+            .routes
+            .get(relation)
+            .copied()
+            .unwrap_or_else(|| default_shard(relation, self.shards.len()))
+    }
+
+    /// The routing-table entry for `relation`, if the coordinator has
+    /// placed it (created, `LET`-bound, or renamed through here).
+    pub fn route_of(&self, relation: &str) -> Option<usize> {
+        let routing = self.routing.read().expect("routing lock poisoned");
+        routing.routes.get(relation).copied()
+    }
+
+    /// The coordinator epoch: the sum of all shard epochs (monotone —
+    /// every routed or broadcast write advances it by at least one).
+    pub fn epoch(&self) -> u64 {
+        self.shards.iter().map(Engine::epoch).sum()
+    }
+
+    /// Execute one statement on shard `k` and advance its epoch floor.
+    fn exec_on(&self, k: usize, stmt: Statement) -> ExecResult<Response> {
+        let response = self.shards[k].execute_statement(stmt)?;
+        let mut routing = self.routing.write().expect("routing lock poisoned");
+        let epoch = self.shards[k].epoch();
+        if routing.floors[k] < epoch {
+            routing.floors[k] = epoch;
+        }
+        Ok(response)
+    }
+
+    /// Pin a read view on shard `k` at or above its epoch floor.
+    ///
+    /// The floor is recorded *after* a routed write publishes, so a
+    /// freshly loaded view can never be below it; the loop is the
+    /// belt-and-braces form of that argument.
+    fn floor_view(&self, k: usize) -> ReadView {
+        let floor = self.routing.read().expect("routing lock poisoned").floors[k];
+        loop {
+            let view = self.shards[k].read_view();
+            if view.epoch() >= floor {
+                return view;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// The single shard holding **all** of a derivation's sources.
+    /// Cross-shard derivations are not evaluated in this PR; colocate
+    /// the sources (they hash together or were `LET` on one shard) or
+    /// run the derivation against one shard engine directly.
+    fn single_shard_of(&self, derivation: &Derivation) -> ExecResult<usize> {
+        let mut sources = BTreeSet::new();
+        derivation_sources(derivation, &mut sources);
+        let shards: BTreeSet<usize> = sources.iter().map(|s| self.owner_of(s)).collect();
+        match shards.len() {
+            0 => Err(ExecError::new("unsupported", "derivation has no sources")),
+            1 => Ok(shards.into_iter().next().expect("len checked")),
+            _ => Err(ExecError::new(
+                "unsupported",
+                format!(
+                    "derivation spans shards {shards:?} (sources {sources:?}); \
+                     cross-shard derivations are not supported"
+                ),
+            )),
+        }
+    }
+
+    /// Apply a domain-scoped statement to every shard. Shard 0 goes
+    /// first: since domain state is identical on every shard by
+    /// induction, its verdict is the statement's verdict, and a failure
+    /// there leaves all shards untouched. The caller holds the DDL
+    /// lock.
+    fn broadcast_locked(&self, stmt: Statement) -> ExecResult<Response> {
+        let response = self.exec_on(0, stmt.clone())?;
+        for k in 1..self.shards.len() {
+            self.exec_on(k, stmt.clone()).map_err(|e| {
+                ExecError::new(
+                    "execution",
+                    format!("shard {k} diverged on broadcast of `{stmt}`: {e}"),
+                )
+            })?;
+        }
+        Ok(response)
+    }
+
+    fn run_write(&self, stmt: Statement) -> ExecResult<Response> {
+        match stmt {
+            Statement::CreateDomain { .. }
+            | Statement::CreateClass { .. }
+            | Statement::CreateInstance { .. }
+            | Statement::Prefer { .. } => {
+                let _ddl = self.ddl.lock().expect("ddl lock poisoned");
+                self.broadcast_locked(stmt)
+            }
+            Statement::DropDomain { name } => {
+                let _ddl = self.ddl.lock().expect("ddl lock poisoned");
+                // The InUse guard must see every shard's relations, not
+                // just one's: probe all snapshots before broadcasting.
+                for shard in &self.shards {
+                    if let Some(by) = shard.snapshot().domain_user(&name) {
+                        return Err(HqlError::Core(CoreError::InUse {
+                            kind: "domain",
+                            name: name.clone(),
+                            by,
+                        })
+                        .into());
+                    }
+                }
+                self.broadcast_locked(Statement::DropDomain { name })
+            }
+            Statement::CreateRelation { name, attributes } => {
+                let _ddl = self.ddl.lock().expect("ddl lock poisoned");
+                let k = default_shard(&name, self.shards.len());
+                let response = self.exec_on(
+                    k,
+                    Statement::CreateRelation {
+                        name: name.clone(),
+                        attributes,
+                    },
+                )?;
+                let mut routing = self.routing.write().expect("routing lock poisoned");
+                routing.routes.insert(name, k);
+                Ok(response)
+            }
+            Statement::DropRelation { name } => {
+                let _ddl = self.ddl.lock().expect("ddl lock poisoned");
+                let k = self.owner_of(&name);
+                let response = self.exec_on(k, Statement::DropRelation { name: name.clone() })?;
+                let mut routing = self.routing.write().expect("routing lock poisoned");
+                routing.routes.remove(&name);
+                Ok(response)
+            }
+            Statement::RenameRelation { from, to } => self.rename(from, to),
+            Statement::Let { name, derivation } => {
+                let _ddl = self.ddl.lock().expect("ddl lock poisoned");
+                let k = self.single_shard_of(&derivation)?;
+                let response = self.exec_on(
+                    k,
+                    Statement::Let {
+                        name: name.clone(),
+                        derivation,
+                    },
+                )?;
+                let mut routing = self.routing.write().expect("routing lock poisoned");
+                routing.routes.insert(name, k);
+                Ok(response)
+            }
+            Statement::Load { .. } | Statement::Open { .. } | Statement::Checkpoint => {
+                Err(ExecError::new(
+                    "unsupported",
+                    format!(
+                        "`{}` is whole-catalog; it does not route through a sharded \
+                         coordinator (open each shard engine individually)",
+                        stmt.kind_keyword()
+                    ),
+                ))
+            }
+            other => {
+                // Relation-scoped row writes: ASSERT, RETRACT,
+                // CONSOLIDATE, EXPLICATE, SET PREEMPTION.
+                let relation = statement_relation(&other)
+                    .expect("all remaining write statements are relation-scoped")
+                    .to_string();
+                self.exec_on(self.owner_of(&relation), other)
+            }
+        }
+    }
+
+    fn run_read(&self, stmt: Statement) -> ExecResult<Response> {
+        let k = match &stmt {
+            Statement::ShowDomain { .. } => 0, // domains are on every shard
+            Statement::Explain { derivation } | Statement::Trace { derivation } => {
+                self.single_shard_of(derivation)?
+            }
+            Statement::Save { .. } => {
+                return Err(ExecError::new(
+                    "unsupported",
+                    "`SAVE` is whole-catalog; it does not route through a sharded coordinator",
+                ))
+            }
+            other => {
+                let relation = statement_relation(other)
+                    .expect("all remaining read statements are relation-scoped");
+                self.owner_of(relation)
+            }
+        };
+        match self.floor_view(k).execute_statement(stmt) {
+            Some(result) => result.map_err(ExecError::from),
+            None => unreachable!("run_read is called with read-only statements"),
+        }
+    }
+
+    fn run_one(&self, stmt: Statement) -> ExecResult<Response> {
+        if stmt.is_read_only() {
+            self.run_read(stmt)
+        } else {
+            self.run_write(stmt)
+        }
+    }
+
+    /// Rename, migrating the relation when the name hash places the new
+    /// name on a different shard: replay schema, preemption mode, and
+    /// tuples onto the destination (domains are already everywhere),
+    /// then drop the source. Failures before the source drop roll the
+    /// destination back, so the old name stays intact.
+    fn rename(&self, from: String, to: String) -> ExecResult<Response> {
+        let _ddl = self.ddl.lock().expect("ddl lock poisoned");
+        let src = self.owner_of(&from);
+        let dst = default_shard(&to, self.shards.len());
+        if src == dst {
+            let response = self.exec_on(
+                src,
+                Statement::RenameRelation {
+                    from: from.clone(),
+                    to: to.clone(),
+                },
+            )?;
+            let mut routing = self.routing.write().expect("routing lock poisoned");
+            routing.routes.remove(&from);
+            routing.routes.insert(to, src);
+            return Ok(response);
+        }
+        let snap = self.shards[src].snapshot();
+        let entry = snap.relation_entry(&from)?; // kind "unknown" if missing
+        if self.shards[src].snapshot().is_view(&from) {
+            // Match the single-engine semantics: a renamed view detaches.
+            // Dropping the source below would otherwise fail its
+            // dependents mid-migration; keep it simple and explicit.
+            return Err(ExecError::new(
+                "unsupported",
+                format!("{from} is a live view; drop or detach it before a cross-shard rename"),
+            ));
+        }
+        let attributes = entry.signature.clone();
+        let relation = entry.relation.clone();
+        self.exec_on(
+            dst,
+            Statement::CreateRelation {
+                name: to.clone(),
+                attributes,
+            },
+        )?; // kind "duplicate" if the new name exists — source untouched
+        let replay: ExecResult<()> = (|| {
+            let mode = match relation.preemption() {
+                Preemption::OffPath => "OFF-PATH",
+                Preemption::OnPath => "ON-PATH",
+                Preemption::NoPreemption => "NONE",
+            };
+            self.exec_on(
+                dst,
+                Statement::SetPreemption {
+                    relation: to.clone(),
+                    mode: mode.to_string(),
+                },
+            )?;
+            let attrs = relation.schema().attributes().to_vec();
+            for (item, truth) in relation.iter() {
+                let values: Vec<ValueRef> = item
+                    .components()
+                    .iter()
+                    .zip(attrs.iter())
+                    .map(|(id, a)| ValueRef {
+                        name: a.domain().name(*id).to_string(),
+                        all: false,
+                    })
+                    .collect();
+                self.exec_on(
+                    dst,
+                    Statement::Assert {
+                        relation: to.clone(),
+                        negated: truth == Truth::Negative,
+                        values,
+                    },
+                )?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = replay {
+            let _ = self.exec_on(dst, Statement::DropRelation { name: to.clone() });
+            return Err(e);
+        }
+        self.exec_on(src, Statement::DropRelation { name: from.clone() })?;
+        let mut routing = self.routing.write().expect("routing lock poisoned");
+        routing.routes.remove(&from);
+        routing.routes.insert(to.clone(), dst);
+        Ok(Response::Ok(format!("relation {from} renamed to {to}")))
+    }
+}
+
+impl ExecutorHandle for ShardedEngine {
+    fn execute(&self, script: &str) -> ExecResult<Vec<String>> {
+        let statements = parse(script).map_err(ExecError::from)?;
+        let mut out = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            out.push(self.run_one(stmt)?.to_string());
+        }
+        Ok(out)
+    }
+
+    fn execute_read(&self, script: &str, min_epoch: u64) -> ExecResult<Vec<String>> {
+        let statements = parse(script).map_err(ExecError::from)?;
+        if !statements.iter().all(Statement::is_read_only) {
+            return Err(ExecError::new(
+                "unsupported",
+                "script contains a mutating statement; route it through execute",
+            ));
+        }
+        if self.epoch() < min_epoch {
+            return Err(ExecError::new(
+                "stale",
+                format!(
+                    "coordinator at epoch {} is below the requested floor {min_epoch}",
+                    self.epoch()
+                ),
+            ));
+        }
+        let mut out = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            out.push(self.run_read(stmt)?.to_string());
+        }
+        Ok(out)
+    }
+
+    fn last_epoch(&self) -> ExecResult<u64> {
+        Ok(self.epoch())
+    }
+
+    fn probe(&self) -> ExecResult<String> {
+        let mut out = format!("epoch: {}\nshards: {}", self.epoch(), self.shards.len());
+        for (k, shard) in self.shards.iter().enumerate() {
+            out.push_str(&format!("\nshard-{k}-epoch: {}", shard.epoch()));
+        }
+        let routing = self.routing.read().expect("routing lock poisoned");
+        out.push_str(&format!("\nrouted-relations: {}", routing.routes.len()));
+        Ok(out)
+    }
+}
+
+impl Statement {
+    /// The leading keyword(s) of this statement kind, for messages.
+    fn kind_keyword(&self) -> &'static str {
+        match self {
+            Statement::Load { .. } => "LOAD",
+            Statement::Open { .. } => "OPEN",
+            Statement::Checkpoint => "CHECKPOINT",
+            _ => "statement",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shard_is_stable_and_in_range() {
+        for n in 1..8 {
+            for name in ["Flies", "Sizes", "Colors", "R1", "R2"] {
+                let k = default_shard(name, n);
+                assert!(k < n);
+                assert_eq!(k, default_shard(name, n), "deterministic");
+            }
+        }
+    }
+}

@@ -344,6 +344,78 @@ impl World {
         Ok(())
     }
 
+    /// The name of some relation whose schema references `domain`, if
+    /// any — the `DROP DOMAIN` InUse guard, and what a sharded
+    /// coordinator probes on every shard before broadcasting a drop.
+    pub fn domain_user(&self, domain: &str) -> Option<String> {
+        self.relations
+            .iter()
+            .find(|(_, e)| e.signature.iter().any(|(_, d)| d == domain))
+            .map(|(n, _)| n.clone())
+    }
+
+    /// Remove a domain no relation references (mirrors
+    /// `Catalog::apply_mutation`'s InUse guard, keyed on the signature
+    /// rather than `Arc` identity — equivalent, since every relation
+    /// over the domain shares its graph by name).
+    pub(crate) fn drop_domain(&mut self, name: &str) -> Result<()> {
+        if !self.domains.contains_key(name) {
+            return Err(HqlError::Unknown {
+                kind: "domain",
+                name: name.to_string(),
+            });
+        }
+        if let Some(by) = self.domain_user(name) {
+            return Err(CoreError::InUse {
+                kind: "domain",
+                name: name.to_string(),
+                by,
+            }
+            .into());
+        }
+        self.domains.remove(name);
+        Ok(())
+    }
+
+    /// Remove a stored relation. If it was a live view, its definition
+    /// goes with it; views *depending* on it fail on their next
+    /// maintenance pass (the caller records a reset delta, so that pass
+    /// is this very statement and the failure is atomic).
+    pub(crate) fn drop_relation(&mut self, name: &str) -> Result<()> {
+        if self.relations.remove(name).is_none() {
+            return Err(HqlError::Unknown {
+                kind: "relation",
+                name: name.to_string(),
+            });
+        }
+        self.views.retain(|v| v.name != name);
+        Ok(())
+    }
+
+    /// Move a relation to a new name. A live view named `from` detaches
+    /// (the stored tuples survive under `to` as a plain relation); views
+    /// depending on `from` fail atomically via the caller's reset delta.
+    pub(crate) fn rename_relation(&mut self, from: &str, to: &str) -> Result<()> {
+        if self.relations.contains_key(to) {
+            return Err(HqlError::Duplicate {
+                kind: "relation",
+                name: to.to_string(),
+            });
+        }
+        let entry = match self.relations.remove(from) {
+            Some(e) => e,
+            None => {
+                return Err(HqlError::Unknown {
+                    kind: "relation",
+                    name: from.to_string(),
+                })
+            }
+        };
+        self.relations.insert(to.to_string(), entry);
+        self.views.retain(|v| v.name != from);
+        Ok(())
+    }
+
     /// Assert a tuple; returns the rendered item (for the reply) and
     /// the resolved item (for the write's delta).
     pub(crate) fn assert_item(

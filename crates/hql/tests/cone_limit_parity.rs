@@ -1,0 +1,67 @@
+//! `CONE_LIMIT` is a cost knob, not a semantics knob: a live
+//! `CONSOLIDATE` view maintained with cone localization disabled
+//! (limit 0 → every delta falls back to recomputation) renders
+//! byte-identically to one maintained with localization always on
+//! (limit `MAX` → every delta sweeps the preemption cone locally).
+//! Own test binary: the knob is process-global.
+
+use hrdm_hql::{Engine, ExecutorHandle};
+
+const BOOTSTRAP: &str = "
+    CREATE DOMAIN Animal;
+    CREATE CLASS Bird UNDER Animal;
+    CREATE CLASS Penguin UNDER Bird;
+    CREATE CLASS Emperor UNDER Penguin;
+    CREATE INSTANCE Tweety OF Bird;
+    CREATE INSTANCE Paul OF Penguin;
+    CREATE INSTANCE Pia OF Emperor;
+    CREATE RELATION Flies (Creature: Animal);
+    ASSERT Flies (ALL Bird);
+    ASSERT NOT Flies (ALL Penguin);
+    LET Known = CONSOLIDATE Flies;
+";
+
+/// Deltas that exercise both directions through the view: inserts and
+/// retracts, on-path and off-path of the existing preemption chain.
+const MUTATIONS: [&str; 6] = [
+    "ASSERT Flies (ALL Emperor);",
+    "CREATE INSTANCE Pablo OF Penguin;",
+    "ASSERT NOT Flies (Tweety);",
+    "RETRACT Flies (ALL Emperor);",
+    "CREATE CLASS Kiwi UNDER Bird; ASSERT NOT Flies (ALL Kiwi);",
+    "RETRACT Flies (Tweety);",
+];
+
+const READS: &str =
+    "SHOW Known;\nCOUNT Known;\nCHECK Known;\nSHOW Flies;\nHOLDS Known (Paul);\nHOLDS Known (Pia);";
+
+/// Run the whole script under one cone limit, capturing the rendered
+/// read suite after every mutation.
+fn run_under(limit: usize) -> Vec<Vec<String>> {
+    let engine = Engine::new();
+    engine.set_cone_limit(limit);
+    assert_eq!(engine.cone_limit(), limit);
+    engine.execute(BOOTSTRAP).unwrap();
+    MUTATIONS
+        .iter()
+        .map(|m| {
+            engine.execute(m).unwrap();
+            engine.execute_read(READS, 0).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn both_sides_of_the_cutoff_render_byte_identically() {
+    // limit 0: the localized sweep never fires (everything recomputes).
+    let recomputed = run_under(0);
+    // limit MAX: the localized sweep always fires.
+    let localized = run_under(usize::MAX);
+    for (step, (a, b)) in recomputed.iter().zip(&localized).enumerate() {
+        assert_eq!(
+            a, b,
+            "cone localization changed results after mutation #{step} ({:?})",
+            MUTATIONS[step]
+        );
+    }
+}

@@ -56,11 +56,13 @@ pub mod codec;
 pub mod error;
 pub mod faultfs;
 pub mod image;
+pub mod ship;
 pub mod store;
 pub mod wal;
 
 pub use error::{PersistError, Result};
 pub use faultfs::{Fault, FaultFs};
 pub use image::Image;
+pub use ship::{ShipEvent, WalTailer};
 pub use store::{recover, DurableCatalog, Journal, Recovered, RecoveryReport};
 pub use wal::{WalFile, WalReader, WalRecord};

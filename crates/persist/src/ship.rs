@@ -1,0 +1,302 @@
+//! WAL shipping: tail a live store directory and stream its committed
+//! history to a read replica.
+//!
+//! A [`WalTailer`] attaches to the same directory a primary journals
+//! into (see [`crate::store`]) and, on every [`poll`](WalTailer::poll),
+//! reports what is newly durable as [`ShipEvent`]s:
+//!
+//! * [`ShipEvent::Rollover`] — a new generation appeared (first attach,
+//!   or the primary took a checkpoint). Carries the checkpoint
+//!   [`Image`]; the replica replaces its state with it wholesale.
+//! * [`ShipEvent::Mutation`] — one committed WAL record past what was
+//!   already delivered, numbered by its LSN (mutations applied since
+//!   the store was born).
+//!
+//! The tailer is strictly **read-only** and crash-tolerant by the same
+//! argument as recovery: every delivered record was CRC-verified, a
+//! torn or corrupt tail is a clean stop (the next poll re-reads the
+//! file and picks up whatever the primary has completed since), and a
+//! vanished generation (checkpointed away mid-poll) resolves as a
+//! rollover to the newer one. Polling therefore always yields a
+//! *prefix* of the primary's committed history, delivered exactly once
+//! across the tailer's lifetime.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+use hrdm_core::mutation::CatalogMutation;
+
+use crate::error::{PersistError, Result};
+use crate::image::Image;
+use crate::store::{checkpoint_path, load_checkpoint, wal_path};
+use crate::wal::{WalReader, WalRecord};
+
+/// One unit of shipped history.
+pub enum ShipEvent {
+    /// A new generation: the replica must replace its state with this
+    /// checkpoint image (which captures the first `lsn` mutations).
+    Rollover {
+        /// LSN of the checkpoint the new generation starts from.
+        lsn: u64,
+        /// The checkpoint image.
+        image: Image,
+    },
+    /// One committed mutation, the `lsn`-th applied since the store was
+    /// born (1-based; follows the generation's checkpoint LSN).
+    Mutation {
+        /// This mutation's LSN.
+        lsn: u64,
+        /// The mutation itself.
+        mutation: CatalogMutation,
+    },
+}
+
+/// Newest checkpoint LSN in `dir` whose image verifies, skipping
+/// corrupt ones exactly like recovery does.
+fn newest_intact_checkpoint(dir: &Path) -> Result<Option<(u64, Image)>> {
+    if !dir.is_dir() {
+        return Ok(None);
+    }
+    let mut lsns = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(hex) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+        {
+            if let Ok(lsn) = u64::from_str_radix(hex, 16) {
+                lsns.push(lsn);
+            }
+        }
+    }
+    lsns.sort_unstable();
+    for lsn in lsns.into_iter().rev() {
+        match load_checkpoint(&checkpoint_path(dir, lsn)) {
+            Ok((file_lsn, image)) if file_lsn == lsn => return Ok(Some((lsn, image))),
+            Ok(_) | Err(_) => continue, // skipped, like recovery
+        }
+    }
+    Ok(None)
+}
+
+/// A read-only tailer over a store directory's live generation.
+pub struct WalTailer {
+    dir: PathBuf,
+    /// Checkpoint LSN of the generation being tailed; `None` until the
+    /// first generation is observed.
+    generation: Option<u64>,
+    /// Mutation records already delivered from the current generation's
+    /// WAL (the leading checkpoint record is not counted).
+    delivered: u64,
+}
+
+impl WalTailer {
+    /// Attach to a store directory. The directory need not exist yet —
+    /// the first [`poll`](WalTailer::poll) after the primary `OPEN`s it
+    /// reports the initial generation as a rollover.
+    pub fn attach(dir: impl Into<PathBuf>) -> WalTailer {
+        WalTailer {
+            dir: dir.into(),
+            generation: None,
+            delivered: 0,
+        }
+    }
+
+    /// The store directory being tailed.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// LSN of the last event delivered (checkpoint LSN + mutations
+    /// delivered on top); 0 before the first generation is observed.
+    pub fn shipped_lsn(&self) -> u64 {
+        self.generation.unwrap_or(0) + self.delivered
+    }
+
+    /// Collect everything newly committed since the last poll.
+    ///
+    /// Returns an empty vector when nothing changed. A torn WAL tail is
+    /// not an error — delivery stops at the last intact record and the
+    /// next poll continues from there. IO failures (other than files
+    /// legitimately missing mid-rollover) propagate.
+    pub fn poll(&mut self) -> Result<Vec<ShipEvent>> {
+        let _g = hrdm_obs::span!("ship.poll", dir = self.dir.display());
+        let mut events = Vec::new();
+
+        // 1. Generation check: first attach, or the primary rolled over.
+        match newest_intact_checkpoint(&self.dir)? {
+            None => return Ok(events), // store not born yet
+            Some((lsn, image)) => {
+                if self.generation != Some(lsn) {
+                    self.generation = Some(lsn);
+                    self.delivered = 0;
+                    events.push(ShipEvent::Rollover { lsn, image });
+                    hrdm_obs::metrics::counter("ship.rollovers").incr();
+                }
+            }
+        }
+        let generation = self.generation.expect("set above");
+
+        // 2. Tail the generation's WAL past what was already delivered.
+        //    The file may not exist yet (checkpoint written, WAL not):
+        //    that's just "nothing to ship".
+        let path = wal_path(&self.dir, generation);
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(events),
+            Err(e) => return Err(e.into()),
+        };
+        let mut reader = match WalReader::new(BufReader::new(file)) {
+            Ok(r) => r,
+            Err(PersistError::Io(e)) => return Err(PersistError::Io(e)),
+            Err(_) => return Ok(events), // torn header: nothing durable yet
+        };
+        let mut seen = 0u64;
+        loop {
+            match reader.next() {
+                Ok(None) => break,
+                Ok(Some(WalRecord::Checkpoint { lsn })) => {
+                    if lsn != generation {
+                        return Err(PersistError::Corrupt(format!(
+                            "wal names checkpoint {lsn}, expected {generation}"
+                        )));
+                    }
+                }
+                Ok(Some(WalRecord::Mutation(mutation))) => {
+                    seen += 1;
+                    if seen > self.delivered {
+                        self.delivered = seen;
+                        events.push(ShipEvent::Mutation {
+                            lsn: generation + seen,
+                            mutation,
+                        });
+                        hrdm_obs::metrics::counter("ship.mutations").incr();
+                    }
+                }
+                Err(PersistError::Io(e)) => return Err(PersistError::Io(e)),
+                Err(_) => break, // torn tail: clean stop, next poll retries
+            }
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DurableCatalog;
+    use hrdm_core::prelude::Truth;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hrdm_ship_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn mutations() -> Vec<CatalogMutation> {
+        use CatalogMutation::*;
+        vec![
+            CreateDomain {
+                name: "Animal".into(),
+            },
+            AddClass {
+                domain: "Animal".into(),
+                name: "Bird".into(),
+                parents: vec!["Animal".into()],
+            },
+            CreateRelation {
+                name: "Flies".into(),
+                attributes: vec![("Creature".into(), "Animal".into())],
+            },
+            Assert {
+                relation: "Flies".into(),
+                values: vec!["Bird".into()],
+                truth: Truth::Positive,
+            },
+        ]
+    }
+
+    #[test]
+    fn ships_a_live_store_in_order() {
+        let dir = temp_dir("order");
+        let mut tailer = WalTailer::attach(&dir);
+        assert!(tailer.poll().unwrap().is_empty(), "store not born yet");
+
+        let mut store = DurableCatalog::open(&dir).unwrap();
+        let events = tailer.poll().unwrap();
+        assert!(
+            matches!(events.as_slice(), [ShipEvent::Rollover { lsn: 0, .. }]),
+            "first generation arrives as a rollover"
+        );
+
+        for (i, m) in mutations().into_iter().enumerate() {
+            store.mutate(m.clone()).unwrap();
+            let events = tailer.poll().unwrap();
+            match events.as_slice() {
+                [ShipEvent::Mutation { lsn, mutation }] => {
+                    assert_eq!(*lsn, i as u64 + 1);
+                    assert_eq!(*mutation, m);
+                }
+                other => panic!("expected one mutation, got {} events", other.len()),
+            }
+        }
+        assert_eq!(tailer.shipped_lsn(), mutations().len() as u64);
+        assert!(tailer.poll().unwrap().is_empty(), "exactly-once delivery");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_arrives_as_rollover_without_replay() {
+        let dir = temp_dir("rollover");
+        let mut store = DurableCatalog::open(&dir).unwrap();
+        let mut tailer = WalTailer::attach(&dir);
+        for m in mutations() {
+            store.mutate(m).unwrap();
+        }
+        let _ = tailer.poll().unwrap(); // drain: rollover(0) + 4 mutations
+        let lsn = store.checkpoint().unwrap();
+        let mut events = tailer.poll().unwrap();
+        assert_eq!(events.len(), 1);
+        match events.pop().unwrap() {
+            ShipEvent::Rollover { lsn: got, image } => {
+                assert_eq!(got, lsn);
+                assert_eq!(
+                    image.into_catalog().render_stable(),
+                    store.catalog().render_stable(),
+                    "rollover image equals the primary state"
+                );
+            }
+            ShipEvent::Mutation { .. } => panic!("expected a rollover"),
+        }
+        assert!(tailer.poll().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn late_attach_catches_up_from_the_checkpoint() {
+        let dir = temp_dir("late");
+        let mut store = DurableCatalog::open(&dir).unwrap();
+        for m in mutations() {
+            store.mutate(m).unwrap();
+        }
+        let lsn = store.checkpoint().unwrap();
+        store
+            .mutate(CatalogMutation::CreateDomain {
+                name: "Tool".into(),
+            })
+            .unwrap();
+
+        let mut tailer = WalTailer::attach(&dir);
+        let events = tailer.poll().unwrap();
+        assert_eq!(events.len(), 2, "rollover + one post-checkpoint mutation");
+        assert!(matches!(&events[0], ShipEvent::Rollover { lsn: got, .. } if *got == lsn));
+        assert!(matches!(
+            &events[1],
+            ShipEvent::Mutation { lsn: got, mutation: CatalogMutation::CreateDomain { name } }
+                if *got == lsn + 1 && name == "Tool"
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -44,7 +44,9 @@
 
 pub mod proto;
 pub mod server;
+pub mod shard;
 pub mod sys;
 
 pub use proto::{Client, FrameReader, MetricsFormat, Reply, Request};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use shard::WireRouter;

@@ -53,6 +53,9 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::sync::Mutex;
+
+use hrdm::hql::{ExecError, ExecResult, ExecutorHandle};
 
 /// Protocol name + revision, echoed in the `HELLO` reply.
 pub const PROTOCOL_VERSION: &str = "HRDM/1";
@@ -339,6 +342,13 @@ impl Reply {
 
 /// A blocking client over one TCP connection.
 ///
+/// The stream sits behind a mutex so a `Client` is also a
+/// [`ExecutorHandle`]: the trait's `&self` methods serialize whole
+/// round trips per lock hold (requests from different threads
+/// interleave at reply boundaries, never mid-frame). The inherent
+/// `&mut self` methods take the uncontended fast path through
+/// [`Mutex::get_mut`].
+///
 /// ```no_run
 /// use hrdm_server::proto::Client;
 /// let mut client = Client::connect("127.0.0.1:7878").unwrap();
@@ -347,7 +357,7 @@ impl Reply {
 /// ```
 #[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
+    stream: Mutex<TcpStream>,
 }
 
 impl Client {
@@ -377,7 +387,15 @@ impl Client {
         // without TCP_NODELAY, Nagle holds the second until the peer
         // ACKs the first, costing tens of milliseconds per round trip.
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream: Mutex::new(stream),
+        })
+    }
+
+    /// Exclusive access to the stream without locking (the `&mut self`
+    /// fast path).
+    fn stream(&mut self) -> &mut TcpStream {
+        self.stream.get_mut().expect("client stream poisoned")
     }
 
     /// Send one request frame and read one reply frame.
@@ -390,13 +408,13 @@ impl Client {
     /// server executes a connection's requests in order and replies in
     /// order, so the k-th `recv` answers the k-th `send`.
     pub fn send(&mut self, request: &Request) -> io::Result<()> {
-        write_frame(&mut self.stream, &request.render())
+        write_frame(self.stream(), &request.render())
     }
 
     /// Read the next reply frame (the receive half of a pipelined
     /// exchange).
     pub fn recv(&mut self) -> io::Result<Reply> {
-        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+        let frame = read_frame(self.stream())?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })?;
         Reply::parse(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
@@ -411,8 +429,9 @@ impl Client {
         for request in requests {
             encode_frame(&request.render(), &mut burst);
         }
-        self.stream.write_all(&burst)?;
-        self.stream.flush()?;
+        let stream = self.stream();
+        stream.write_all(&burst)?;
+        stream.flush()?;
         let mut replies = Vec::with_capacity(requests.len());
         for _ in requests {
             replies.push(self.recv()?);
@@ -423,11 +442,47 @@ impl Client {
     /// Send an arbitrary frame payload and parse the reply (for
     /// protocol-error tests).
     pub fn send_raw(&mut self, payload: &str) -> io::Result<Reply> {
-        write_frame(&mut self.stream, payload)?;
-        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+        let stream = self.stream();
+        write_frame(stream, payload)?;
+        let frame = read_frame(stream)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })?;
         Reply::parse(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// One whole round trip under the stream lock (the `&self` path the
+    /// [`ExecutorHandle`] impl uses).
+    fn roundtrip(&self, request: &Request) -> ExecResult<Reply> {
+        let io_err = |e: io::Error| ExecError::new("io", e.to_string());
+        let mut stream = self.stream.lock().expect("client stream poisoned");
+        write_frame(&mut *stream, &request.render()).map_err(io_err)?;
+        let frame = read_frame(&mut *stream)
+            .map_err(io_err)?
+            .ok_or_else(|| ExecError::new("io", "server closed the connection"))?;
+        Reply::parse(&frame).map_err(|e| ExecError::new("protocol", e))
+    }
+
+    /// Map a reply to the handle-level result: `OK` bodies pass
+    /// through, `ERR` keeps its stable kind, `BUSY` becomes kind
+    /// `"busy"`.
+    fn unwrap_reply(reply: Reply) -> ExecResult<Vec<String>> {
+        match reply {
+            Reply::Ok(parts) => Ok(parts),
+            Reply::Err { kind, message } => Err(ExecError::new(kind, message)),
+            Reply::Busy(message) => Err(ExecError::new("busy", message)),
+        }
+    }
+
+    /// The server's current epoch, off the first `epoch: <n>` line of
+    /// `STATS`.
+    fn stats_epoch(&self) -> ExecResult<u64> {
+        let stats = Client::unwrap_reply(self.roundtrip(&Request::Stats)?)?;
+        stats
+            .first()
+            .and_then(|body| body.lines().next())
+            .and_then(|line| line.strip_prefix("epoch: "))
+            .and_then(|n| n.trim().parse().ok())
+            .ok_or_else(|| ExecError::new("protocol", "STATS reply lacks an epoch line"))
     }
 
     /// Execute an HQL script; returns the reply.
@@ -466,6 +521,58 @@ impl Client {
     /// Ask the server to shut down gracefully.
     pub fn shutdown_server(&mut self) -> io::Result<Reply> {
         self.request(&Request::Shutdown)
+    }
+}
+
+/// The remote end of the location-transparent surface: the same trait
+/// the embedded engine implements, over one `HRDM/1` connection. The
+/// server renders responses with the identical `Display` impls the
+/// embedded path uses, so `execute` here is byte-equal to
+/// `Engine::execute` against the same state — the parity run in the
+/// server integration suite pins this.
+impl ExecutorHandle for Client {
+    fn execute(&self, script: &str) -> ExecResult<Vec<String>> {
+        Client::unwrap_reply(self.roundtrip(&Request::Query(script.to_string()))?)
+    }
+
+    fn execute_read(&self, script: &str, min_epoch: u64) -> ExecResult<Vec<String>> {
+        // The wire has no read-at-epoch verb; enforce the contract
+        // client-side. Mutating scripts are refused before any bytes
+        // move, and the epoch floor is awaited via STATS (the server
+        // publishes each write's epoch before its reply is sent, so a
+        // bounded wait only expires if the floor genuinely isn't
+        // reachable yet).
+        let statements = hrdm::hql::parser::parse(script)
+            .map_err(|e| ExecError::new(e.kind(), e.to_string()))?;
+        if !statements.iter().all(hrdm::hql::Statement::is_read_only) {
+            return Err(ExecError::new(
+                "unsupported",
+                "script contains a mutating statement; route it through execute",
+            ));
+        }
+        if min_epoch > 0 {
+            let mut tries = 0u32;
+            while self.stats_epoch()? < min_epoch {
+                tries += 1;
+                if tries >= 50 {
+                    return Err(ExecError::new(
+                        "stale",
+                        format!("server has not reached the requested epoch floor {min_epoch}"),
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        Client::unwrap_reply(self.roundtrip(&Request::Query(script.to_string()))?)
+    }
+
+    fn last_epoch(&self) -> ExecResult<u64> {
+        self.stats_epoch()
+    }
+
+    fn probe(&self) -> ExecResult<String> {
+        let parts = Client::unwrap_reply(self.roundtrip(&Request::Stats)?)?;
+        Ok(parts.join("\n"))
     }
 }
 

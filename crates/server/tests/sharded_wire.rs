@@ -1,0 +1,163 @@
+//! Location transparency over a real socket: the same program runs
+//! unchanged against an embedded [`Engine`], a [`Client`] speaking
+//! `HRDM/1` to a server, and a [`WireRouter`] fronting N shard servers
+//! — all through [`ExecutorHandle`] — and every rendered byte agrees.
+
+use std::time::Duration;
+
+use hrdm::hql::{ExecutorHandle, ShardedEngine};
+use hrdm::prelude::Engine;
+use hrdm_server::{Client, Server, ServerConfig, ServerHandle, WireRouter};
+
+fn start() -> ServerHandle {
+    Server::start(
+        Engine::new(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind 127.0.0.1:0")
+}
+
+const BOOTSTRAP: &str = "
+    CREATE DOMAIN Animal;
+    CREATE CLASS Bird UNDER Animal;
+    CREATE CLASS Penguin UNDER Bird;
+    CREATE INSTANCE Tweety OF Bird;
+    CREATE INSTANCE Paul OF Penguin;
+    CREATE DOMAIN Color;
+    CREATE CLASS Dark UNDER Color;
+    CREATE INSTANCE Black OF Dark;
+    CREATE RELATION Flies (Creature: Animal);
+    ASSERT Flies (ALL Bird);
+    ASSERT NOT Flies (ALL Penguin);
+    CREATE RELATION Colors (Creature: Animal, Hue: Color);
+    ASSERT Colors (ALL Penguin, Black);
+";
+
+const READS: &str = "
+    HOLDS Flies (Tweety);
+    HOLDS Flies (Paul);
+    SHOW Flies;
+    COUNT Flies;
+    CHECK Flies;
+    WHY Flies (Paul);
+    SHOW Colors;
+    COUNT Colors BY Creature;
+    SHOW DOMAIN Animal;
+";
+
+/// Drive one backend through the trait alone and return every rendered
+/// response, writes then reads.
+fn drive(handle: &dyn ExecutorHandle) -> Vec<String> {
+    let mut out = handle.execute(BOOTSTRAP).unwrap();
+    let epoch = handle.last_epoch().unwrap();
+    out.extend(handle.execute_read(READS, epoch).unwrap());
+    // Every backend leads its probe with the epoch line.
+    let probe = handle.probe().unwrap();
+    assert!(probe.starts_with("epoch: "), "{probe:?}");
+    out
+}
+
+#[test]
+fn every_backend_renders_byte_identically_through_the_trait() {
+    let embedded = Engine::new();
+
+    let server = start();
+    let wire = Client::connect(server.addr()).unwrap();
+
+    let sharded = ShardedEngine::new(4);
+
+    let shard_servers: Vec<ServerHandle> = (0..3).map(|_| start()).collect();
+    let router = WireRouter::over(
+        shard_servers
+            .iter()
+            .map(|s| Client::connect(s.addr()).unwrap())
+            .collect(),
+    );
+
+    let reference = drive(&embedded);
+    assert_eq!(reference, drive(&wire), "wire client diverged");
+    assert_eq!(
+        reference,
+        drive(&sharded),
+        "in-process coordinator diverged"
+    );
+    assert_eq!(reference, drive(&router), "wire router diverged");
+
+    server.shutdown();
+    for s in shard_servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn wire_client_enforces_the_read_contract() {
+    let server = start();
+    let client = Client::connect(server.addr()).unwrap();
+    client.execute("CREATE DOMAIN D;").unwrap();
+
+    // A mutating statement through the read path is refused before it
+    // ever reaches the socket.
+    let e = client.execute_read("CREATE DOMAIN E;", 0).unwrap_err();
+    assert_eq!(e.kind(), "unsupported");
+    // An unreachable epoch floor reports stale rather than hanging.
+    let e = client.execute_read("SHOW DOMAIN D;", u64::MAX).unwrap_err();
+    assert_eq!(e.kind(), "stale");
+    // Server-side error kinds pass through unchanged.
+    let e = client.execute("SHOW Nothing;").unwrap_err();
+    assert_eq!(e.kind(), "unknown");
+    // A satisfied floor serves the read.
+    let epoch = client.last_epoch().unwrap();
+    client.execute_read("SHOW DOMAIN D;", epoch).unwrap();
+
+    server.shutdown();
+}
+
+#[test]
+fn wire_router_guards_mirror_the_in_process_coordinator() {
+    let shard_servers: Vec<ServerHandle> = (0..4).map(|_| start()).collect();
+    let router = WireRouter::over(
+        shard_servers
+            .iter()
+            .map(|s| Client::connect(s.addr()).unwrap())
+            .collect(),
+    );
+    router.execute(BOOTSTRAP).unwrap();
+
+    // DROP DOMAIN is guarded by the router's placement records.
+    let e = router.execute("DROP DOMAIN Color;").unwrap_err();
+    assert_eq!(e.kind(), "in-use");
+    router.execute("DROP RELATION Colors;").unwrap();
+    router.execute("DROP DOMAIN Color;").unwrap();
+
+    // Cross-shard renames need the in-process coordinator.
+    let to = (0..)
+        .map(|i| format!("Migrated{i}"))
+        .find(|c| hrdm::hql::default_shard(c, 4) != hrdm::hql::default_shard("Flies", 4))
+        .unwrap();
+    let e = router
+        .execute(&format!("RENAME RELATION Flies TO {to};"))
+        .unwrap_err();
+    assert_eq!(e.kind(), "unsupported");
+
+    // Same-shard renames route through and update placement.
+    let same = (0..)
+        .map(|i| format!("Renamed{i}"))
+        .find(|c| hrdm::hql::default_shard(c, 4) == hrdm::hql::default_shard("Flies", 4))
+        .unwrap();
+    router
+        .execute(&format!("RENAME RELATION Flies TO {same};"))
+        .unwrap();
+    assert_eq!(router.owner_of(&same), hrdm::hql::default_shard("Flies", 4));
+    let out = router
+        .execute_read(&format!("HOLDS {same} (Tweety);"), 0)
+        .unwrap();
+    assert!(out[0].ends_with("true"), "{:?}", out[0]);
+
+    for s in shard_servers {
+        s.shutdown();
+    }
+}

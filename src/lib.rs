@@ -58,12 +58,23 @@ mod error;
 pub use error::{Error, Result};
 
 /// One-stop imports: the model types, the HQL engine/session layer,
-/// persistence handles, and the unified error.
+/// the location-transparent execution surface, persistence handles,
+/// and the unified error.
+///
+/// Programs that execute HQL should depend on
+/// [`ExecutorHandle`](hrdm_hql::ExecutorHandle) rather than a concrete
+/// backend: the embedded [`Engine`](hrdm_hql::Engine), the sharded
+/// coordinator ([`ShardedEngine`](hrdm_hql::ShardedEngine)), a
+/// WAL-fed read [`Replica`](hrdm_hql::Replica), and `hrdm-server`'s
+/// wire `Client` all implement it with byte-identical rendered
+/// responses, so the choice of deployment (embedded, sharded, remote,
+/// replicated) is a wiring decision, not an API one.
 pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use hrdm_core::prelude::*;
     pub use hrdm_hql::{
-        Engine, HqlError, ReadView, Response, Session, Statement, StatementKind, World,
+        default_shard, render, Engine, ExecError, ExecResult, ExecutorHandle, HqlError, ReadView,
+        Replica, Response, Session, ShardedEngine, Statement, StatementKind, World,
     };
-    pub use hrdm_persist::{Image, Journal, PersistError};
+    pub use hrdm_persist::{Image, Journal, PersistError, ShipEvent, WalTailer};
 }
